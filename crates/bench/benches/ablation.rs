@@ -1,0 +1,63 @@
+//! Ablation benchmarks (experiments B7–B8 in `EXPERIMENTS.md`).
+//!
+//! * B7 `ablation_policies` — the design choices §3.2 discusses: the
+//!   paper's syntactic `TyRes` vs. the environment-extension variant
+//!   (costlier assumption handling), and `no_overlap` vs.
+//!   most-specific overlap handling; plus the *semantic* entailment
+//!   prover with backtracking, quantifying what the paper's "no
+//!   backtracking" decision buys.
+//! * B8 `termination_checker` — cost of the Appendix A conditions,
+//!   which are intended to be cheap enough to run on every context.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use implicit_bench::{chain_env, poly_env};
+use implicit_core::logic;
+use implicit_core::resolve::{resolve, ResolutionPolicy};
+use implicit_core::termination;
+
+fn ablation_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_policies");
+    for n in [4usize, 16, 64] {
+        let (env, query) = chain_env(n);
+        let paper = ResolutionPolicy::paper().with_max_depth(4096);
+        let ext = paper.clone().with_env_extension();
+        let most_specific = paper.clone().with_most_specific();
+        g.bench_with_input(BenchmarkId::new("paper", n), &n, |b, _| {
+            b.iter(|| black_box(resolve(black_box(&env), &query, &paper).unwrap()))
+        });
+        g.bench_with_input(BenchmarkId::new("env_extension", n), &n, |b, _| {
+            b.iter(|| black_box(resolve(black_box(&env), &query, &ext).unwrap()))
+        });
+        g.bench_with_input(BenchmarkId::new("most_specific", n), &n, |b, _| {
+            b.iter(|| black_box(resolve(black_box(&env), &query, &most_specific).unwrap()))
+        });
+        // The semantic prover with full backtracking — the road not
+        // taken (§3.2 rejects it for predictability and cost).
+        if n <= 16 {
+            g.bench_with_input(BenchmarkId::new("backtracking_entailment", n), &n, |b, _| {
+                b.iter(|| black_box(logic::entails(black_box(&env), &query, 4096)))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn termination_checker(c: &mut Criterion) {
+    let mut g = c.benchmark_group("termination_checker");
+    for n in [8usize, 64, 512] {
+        let (env, _) = chain_env(n);
+        g.bench_with_input(BenchmarkId::new("chain", n), &n, |b, _| {
+            b.iter(|| black_box(termination::check_env(black_box(&env)).is_ok()))
+        });
+        let (poly, _) = poly_env(n);
+        g.bench_with_input(BenchmarkId::new("poly", n), &n, |b, _| {
+            b.iter(|| black_box(termination::check_env(black_box(&poly)).is_ok()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, ablation_policies, termination_checker);
+criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! End-to-end pipeline benchmarks (experiments B5, B6, B9 in
+//! `EXPERIMENTS.md`).
+//!
+//! * B5 `elaborate_vs_opsem` — the paper's two semantics compared:
+//!   static resolution + System F evaluation vs. the direct
+//!   interpreter with runtime resolution.
+//! * B6 `source_pipeline` — the §5 front end: parse → infer → encode
+//!   → type-check → elaborate → evaluate on the Figure-3 `Eq`
+//!   program and the higher-order `show` program.
+//! * B9 `unification` — one-way matching micro-cost vs. type size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use implicit_bench::{
+    chain_program, distinct_type, eq_source_program, perfect_source_program,
+    show_source_program,
+};
+use implicit_core::syntax::Declarations;
+use implicit_core::unify;
+
+fn elaborate_vs_opsem(c: &mut Criterion) {
+    let mut g = c.benchmark_group("elaborate_vs_opsem");
+    let decls = Declarations::new();
+    for n in [2usize, 8, 32] {
+        let prog = chain_program(n);
+        g.bench_with_input(BenchmarkId::new("elaborate_eval", n), &n, |b, _| {
+            b.iter(|| black_box(implicit_elab::run(&decls, black_box(&prog)).unwrap().value))
+        });
+        g.bench_with_input(BenchmarkId::new("opsem_eval", n), &n, |b, _| {
+            b.iter(|| black_box(implicit_opsem::eval(&decls, black_box(&prog)).unwrap()))
+        });
+        // Elaboration alone (the "compile-time" part).
+        g.bench_with_input(BenchmarkId::new("elaborate_only", n), &n, |b, _| {
+            b.iter(|| black_box(implicit_elab::elaborate(&decls, black_box(&prog)).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn source_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("source_pipeline");
+    for depth in [0usize, 2, 4] {
+        let src = eq_source_program(depth);
+        g.bench_with_input(BenchmarkId::new("eq_compile", depth), &depth, |b, _| {
+            b.iter(|| black_box(implicit_source::compile(black_box(&src)).unwrap()))
+        });
+        let compiled = implicit_source::compile(&src).unwrap();
+        g.bench_with_input(BenchmarkId::new("eq_run", depth), &depth, |b, _| {
+            b.iter(|| {
+                black_box(
+                    implicit_elab::run(&compiled.decls, black_box(&compiled.core))
+                        .unwrap()
+                        .value,
+                )
+            })
+        });
+    }
+    // B11: the §1 Perfect program — data kinds + higher-kinded
+    // resolution + polymorphic recursion through the whole pipeline.
+    for depth in [1usize, 2, 3, 4] {
+        let src = perfect_source_program(depth);
+        g.bench_with_input(BenchmarkId::new("perfect_compile", depth), &depth, |b, _| {
+            b.iter(|| black_box(implicit_source::compile(black_box(&src)).unwrap()))
+        });
+        let compiled = implicit_source::compile(&src).unwrap();
+        g.bench_with_input(BenchmarkId::new("perfect_run", depth), &depth, |b, _| {
+            b.iter(|| {
+                black_box(
+                    implicit_elab::run(&compiled.decls, black_box(&compiled.core))
+                        .unwrap()
+                        .value,
+                )
+            })
+        });
+    }
+    for len in [4usize, 16, 64] {
+        let src = show_source_program(len);
+        g.bench_with_input(BenchmarkId::new("show_compile", len), &len, |b, _| {
+            b.iter(|| black_box(implicit_source::compile(black_box(&src)).unwrap()))
+        });
+        let compiled = implicit_source::compile(&src).unwrap();
+        g.bench_with_input(BenchmarkId::new("show_run", len), &len, |b, _| {
+            b.iter(|| {
+                black_box(
+                    implicit_elab::run(&compiled.decls, black_box(&compiled.core))
+                        .unwrap()
+                        .value,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn unification(c: &mut Criterion) {
+    let mut g = c.benchmark_group("unification");
+    for size in [2usize, 8, 32, 128] {
+        // Match a polymorphic pattern against a large ground type.
+        let a = implicit_core::symbol::Symbol::intern("bench_a");
+        let pattern = implicit_core::syntax::Type::prod(
+            implicit_core::syntax::Type::Var(a),
+            implicit_core::syntax::Type::Var(a),
+        );
+        let big = distinct_type(size);
+        let target = implicit_core::syntax::Type::prod(big.clone(), big);
+        g.bench_with_input(BenchmarkId::new("match", size), &size, |b, _| {
+            b.iter(|| black_box(unify::match_type(&pattern, black_box(&target), &[a]).unwrap()))
+        });
+        let mismatch = implicit_core::syntax::Type::prod(
+            distinct_type(size),
+            distinct_type(size + 1),
+        );
+        g.bench_with_input(BenchmarkId::new("match_fail", size), &size, |b, _| {
+            b.iter(|| black_box(unify::match_type(&pattern, black_box(&mismatch), &[a])))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, elaborate_vs_opsem, source_pipeline, unification);
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! Resolution micro-benchmarks (experiments B1–B4 in
+//! `EXPERIMENTS.md`).
+//!
+//! * B1 `resolution_depth` — cost of `Δ ⊢r ρ` vs. recursive chain
+//!   length (the analogue of instance-chain depth in type classes).
+//! * B2 `environment_size` — lookup cost vs. rules-per-frame (wide)
+//!   and vs. stack depth (deep).
+//! * B3 `polymorphic_matching` — matching against many non-matching
+//!   polymorphic candidates.
+//! * B4 `partial_resolution` — higher-order queries: how the split
+//!   between assumed and recursively resolved premises affects cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use implicit_bench::{chain_env, deep_stack_env, partial_env, poly_env, wide_env};
+use implicit_core::resolve::{resolve, ResolutionPolicy};
+
+fn resolution_depth(c: &mut Criterion) {
+    let mut g = c.benchmark_group("resolution_depth");
+    for n in [1usize, 4, 16, 64, 256] {
+        let (env, query) = chain_env(n);
+        let policy = ResolutionPolicy::paper().with_max_depth(4096);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let r = resolve(black_box(&env), black_box(&query), &policy).unwrap();
+                black_box(r.steps())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn environment_size(c: &mut Criterion) {
+    let mut g = c.benchmark_group("environment_size");
+    for n in [8usize, 32, 128, 512] {
+        let (env, query) = wide_env(n, 1.0);
+        let policy = ResolutionPolicy::paper();
+        g.bench_with_input(BenchmarkId::new("wide_frame", n), &n, |b, _| {
+            b.iter(|| black_box(resolve(black_box(&env), black_box(&query), &policy).unwrap()))
+        });
+    }
+    for n in [8usize, 32, 128, 512] {
+        let (env, query) = deep_stack_env(n);
+        let policy = ResolutionPolicy::paper();
+        g.bench_with_input(BenchmarkId::new("deep_stack", n), &n, |b, _| {
+            b.iter(|| black_box(resolve(black_box(&env), black_box(&query), &policy).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn polymorphic_matching(c: &mut Criterion) {
+    let mut g = c.benchmark_group("polymorphic_matching");
+    for n in [4usize, 16, 64, 256] {
+        let (env, query) = poly_env(n);
+        let policy = ResolutionPolicy::paper();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(resolve(black_box(&env), black_box(&query), &policy).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn partial_resolution(c: &mut Criterion) {
+    let mut g = c.benchmark_group("partial_resolution");
+    let n = 12usize;
+    for assumed in [0usize, 4, 8, 12] {
+        let (env, query) = partial_env(n, assumed);
+        let policy = ResolutionPolicy::paper();
+        g.bench_with_input(
+            BenchmarkId::new(format!("assumed_of_{n}"), assumed),
+            &assumed,
+            |b, _| {
+                b.iter(|| {
+                    black_box(resolve(black_box(&env), black_box(&query), &policy).unwrap())
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn higher_kinded_depth(c: &mut Criterion) {
+    // B10: constructor matching through the §1-shaped rule
+    // ∀b. {b → String} ⇒ f b → String at growing nesting depth.
+    let mut g = c.benchmark_group("higher_kinded_depth");
+    for n in [1usize, 4, 16, 64] {
+        let (env, query) = genprog::hk_nested_env(n);
+        let policy = ResolutionPolicy::paper().with_max_depth(4096);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let r = resolve(black_box(&env), black_box(&query), &policy).unwrap();
+                black_box(r.steps())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    resolution_depth,
+    environment_size,
+    polymorphic_matching,
+    partial_resolution,
+    higher_kinded_depth
+);
+criterion_main!(benches);

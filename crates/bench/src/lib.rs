@@ -1,0 +1,136 @@
+//! # `implicit-bench` — benchmark workloads
+//!
+//! Shared programs for the Criterion benchmark targets (`benches/`).
+//! The workload families themselves live in [`genprog`]; this crate
+//! adds the source-language programs used by the end-to-end pipeline
+//! benchmarks and re-exports everything the bench targets need.
+//!
+//! See `EXPERIMENTS.md` at the repository root for the experiment
+//! index (B1–B9) and recorded results.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use genprog::{
+    chain_env, chain_program, deep_stack_env, distinct_type, partial_env, poly_env, wide_env,
+};
+
+/// The Figure-"Encoding the Equality Type Class" program (§5),
+/// parameterized by how deeply the compared pairs nest: depth 0
+/// compares `Int`s, depth `d` compares `d`-times-nested pairs —
+/// resolution work grows linearly with `d`.
+pub fn eq_source_program(depth: usize) -> String {
+    let mut value = String::from("1");
+    for _ in 0..depth {
+        value = format!("({value}, {value})");
+    }
+    format!(
+        r#"
+interface Eq a = {{ eq : a -> a -> Bool }}
+let eqv : forall a. {{Eq a}} => a -> a -> Bool = eq ? in
+let eqInt : Eq Int = Eq {{ eq = \x. \y. x == y }} in
+let eqPair : forall a b. {{Eq a, Eq b}} => Eq (a * b) =
+  Eq {{ eq = \x. \y. eqv (fst x) (fst y) && eqv (snd x) (snd y) }} in
+implicit eqInt, eqPair in eqv {value} {value}
+"#
+    )
+}
+
+/// The §5 higher-order pretty-printing program, parameterized by
+/// list length.
+pub fn show_source_program(len: usize) -> String {
+    let items: String = (1..=len.max(1)).map(|i| format!("{i} :: ")).collect();
+    format!(
+        r#"
+let show : forall a. {{a -> String}} => a -> String = ? in
+let showInt' : Int -> String = \n. showInt n in
+let comma : forall a. {{a -> String}} => [a] -> String =
+  fix go : [a] -> String. \xs.
+    case xs of
+      nil -> ""
+    | h :: t -> (case t of nil -> show h | h2 :: t2 -> show h ++ "," ++ go t)
+in
+let o : {{Int -> String, {{Int -> String}} => [Int] -> String}} => String =
+  show ({items}nil)
+in
+implicit showInt' in (implicit comma in o)
+"#
+    )
+}
+
+/// The §1 `Perfect` program at the given tree depth: the value at
+/// depth d contains 2^d − 1 integers, and compiling it exercises
+/// data-type kind inference, higher-kinded resolution and
+/// polymorphic recursion.
+pub fn perfect_source_program(depth: usize) -> String {
+    fn value(d: usize, next: &mut i64) -> String {
+        if d == 0 {
+            let v = *next;
+            *next += 1;
+            v.to_string()
+        } else {
+            let f = value(d - 1, next);
+            let b = value(d - 1, next);
+            format!("Twice {{ front = {f}, back = {b} }}")
+        }
+    }
+    fn spine(d: usize, depth: usize, next: &mut i64) -> String {
+        if d == depth {
+            "PNil".to_owned()
+        } else {
+            let head = value(d, next);
+            let tail = spine(d + 1, depth, next);
+            format!("PCons ({head}) ({tail})")
+        }
+    }
+    let mut counter = 1;
+    let tree = spine(0, depth, &mut counter);
+    format!(
+        r#"
+data Perfect f a = PNil | PCons a (Perfect f (f a))
+interface Twice a = {{ front : a, back : a }}
+let show : forall a. {{a -> String}} => a -> String = ? in
+let showInt' : Int -> String = \n. showInt n in
+let showTwice : forall a. {{a -> String}} => Twice a -> String =
+  \t. "<" ++ show (front t) ++ "," ++ show (back t) ++ ">" in
+letrec showPerfect : forall f a.
+    {{forall b. {{b -> String}} => f b -> String, a -> String}}
+      => Perfect f a -> String =
+  \t. match t {{ PNil -> "Nil" | PCons x rest -> show x ++ " :: " ++ showPerfect rest }}
+in
+implicit showInt', showTwice in showPerfect (({tree}) : Perfect Twice Int)
+"#
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq_programs_compile_and_run_at_every_depth() {
+        for d in [0, 1, 3] {
+            let src = eq_source_program(d);
+            let c = implicit_source::compile(&src)
+                .unwrap_or_else(|e| panic!("depth {d}: {e}"));
+            let out = implicit_elab::run(&c.decls, &c.core).unwrap();
+            assert_eq!(out.value.to_string(), "true", "depth {d}");
+        }
+    }
+
+    #[test]
+    fn perfect_programs_compile_and_run() {
+        let src = perfect_source_program(2);
+        let c = implicit_source::compile(&src).unwrap();
+        let out = implicit_elab::run(&c.decls, &c.core).unwrap();
+        assert_eq!(out.value.to_string(), "\"1 :: <2,3> :: Nil\"");
+    }
+
+    #[test]
+    fn show_programs_compile_and_run() {
+        let src = show_source_program(4);
+        let c = implicit_source::compile(&src).unwrap();
+        let out = implicit_elab::run(&c.decls, &c.core).unwrap();
+        assert_eq!(out.value.to_string(), "\"1,2,3,4\"");
+    }
+}

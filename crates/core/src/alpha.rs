@@ -1,0 +1,251 @@
+//! α-equivalence and canonical keys for types and rule types.
+//!
+//! Contexts in λ⇒ are *sets* of rule types, and the partial-resolution
+//! step of rule `TyRes` computes the set difference `π′ − π`. Set
+//! membership must therefore be decided modulo renaming of quantified
+//! variables. This module renders types into a *canonical key*: a
+//! string in which every bound variable is replaced by its binder
+//! coordinates (binder depth and position). Two rule types are
+//! α-equivalent iff their canonical keys are equal, and sorting by key
+//! gives the deterministic context order the elaboration semantics
+//! requires.
+
+use std::fmt::Write as _;
+
+use crate::symbol::Symbol;
+use crate::syntax::{RuleType, Type};
+
+/// Environment mapping bound variables to canonical coordinates.
+struct Scope<'a> {
+    parent: Option<&'a Scope<'a>>,
+    depth: usize,
+    vars: &'a [Symbol],
+}
+
+impl<'a> Scope<'a> {
+    fn lookup(&self, v: Symbol) -> Option<(usize, usize)> {
+        if let Some(ix) = self.vars.iter().position(|&w| w == v) {
+            return Some((self.depth, ix));
+        }
+        self.parent.and_then(|p| p.lookup(v))
+    }
+}
+
+fn write_type(out: &mut String, ty: &Type, scope: Option<&Scope<'_>>) {
+    match ty {
+        Type::Var(v) => match scope.and_then(|s| s.lookup(*v)) {
+            Some((d, i)) => {
+                let _ = write!(out, "#{d}.{i}");
+            }
+            None => {
+                let _ = write!(out, "'{v}");
+            }
+        },
+        Type::Int => out.push_str("Int"),
+        Type::Bool => out.push_str("Bool"),
+        Type::Str => out.push_str("Str"),
+        Type::Unit => out.push_str("Unit"),
+        Type::Arrow(a, b) => {
+            out.push_str("(->");
+            write_type(out, a, scope);
+            out.push(' ');
+            write_type(out, b, scope);
+            out.push(')');
+        }
+        Type::Prod(a, b) => {
+            out.push_str("(*");
+            write_type(out, a, scope);
+            out.push(' ');
+            write_type(out, b, scope);
+            out.push(')');
+        }
+        Type::List(a) => {
+            out.push_str("(L ");
+            write_type(out, a, scope);
+            out.push(')');
+        }
+        Type::Con(name, args) if args.is_empty() => {
+            // A nullary constructor application is identified with
+            // the constructor reference itself (`Perfect Twice Int`
+            // parses `Twice` as `Con(Twice, [])`).
+            let _ = write!(out, "(K {name})");
+        }
+        Type::Con(name, args) => {
+            let _ = write!(out, "(C {name}");
+            for a in args {
+                out.push(' ');
+                write_type(out, a, scope);
+            }
+            out.push(')');
+        }
+        Type::VarApp(f, args) => {
+            out.push_str("(V ");
+            match scope.and_then(|s| s.lookup(*f)) {
+                Some((d, i)) => {
+                    let _ = write!(out, "#{d}.{i}");
+                }
+                None => {
+                    let _ = write!(out, "'{f}");
+                }
+            }
+            for a in args {
+                out.push(' ');
+                write_type(out, a, scope);
+            }
+            out.push(')');
+        }
+        Type::Ctor(c) => {
+            let _ = write!(out, "(K {c})");
+        }
+        Type::Rule(r) => write_rule(out, r, scope),
+    }
+}
+
+fn write_rule(out: &mut String, rho: &RuleType, scope: Option<&Scope<'_>>) {
+    let depth = scope.map_or(0, |s| s.depth + 1);
+    let inner = Scope {
+        parent: scope,
+        depth,
+        vars: rho.vars(),
+    };
+    let _ = write!(out, "(R{} [", rho.vars().len());
+    // The stored context is already canonically ordered, so keys of
+    // equal rule types list premises in the same order.
+    for (i, r) in rho.context().iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        write_rule(out, r, Some(&inner));
+    }
+    out.push_str("] ");
+    write_type(out, rho.head(), Some(&inner));
+    out.push(')');
+}
+
+/// Canonical key of a rule type. Equal keys ⇔ α-equivalent rule types.
+///
+/// # Examples
+///
+/// ```
+/// use implicit_core::alpha::canonical_key;
+/// use implicit_core::symbol::Symbol;
+/// use implicit_core::syntax::{RuleType, Type};
+///
+/// let a = Symbol::intern("a");
+/// let b = Symbol::intern("b");
+/// let ra = RuleType::new(vec![a], vec![], Type::arrow(Type::Var(a), Type::Var(a)));
+/// let rb = RuleType::new(vec![b], vec![], Type::arrow(Type::Var(b), Type::Var(b)));
+/// assert_eq!(canonical_key(&ra), canonical_key(&rb));
+/// ```
+pub fn canonical_key(rho: &RuleType) -> String {
+    let mut out = String::new();
+    write_rule(&mut out, rho, None);
+    out
+}
+
+/// Canonical key of a type (free variables keep their names).
+pub fn type_key(ty: &Type) -> String {
+    let mut out = String::new();
+    write_type(&mut out, ty, None);
+    out
+}
+
+/// α-equivalence of rule types.
+pub fn alpha_eq(a: &RuleType, b: &RuleType) -> bool {
+    canonical_key(a) == canonical_key(b)
+}
+
+/// α-equivalence of types.
+pub fn alpha_eq_type(a: &Type, b: &Type) -> bool {
+    type_key(a) == type_key(b)
+}
+
+/// Set difference `π′ − π` modulo α-equivalence, preserving the order
+/// of `left`. Used by partial resolution (rule `TyRes`).
+pub fn context_difference(left: &[RuleType], right: &[RuleType]) -> Vec<RuleType> {
+    let right_keys: Vec<String> = right.iter().map(canonical_key).collect();
+    left.iter()
+        .filter(|r| !right_keys.contains(&canonical_key(r)))
+        .cloned()
+        .collect()
+}
+
+/// Set membership modulo α-equivalence; returns the index in
+/// `context` of the entry α-equivalent to `rho`.
+pub fn context_position(context: &[RuleType], rho: &RuleType) -> Option<usize> {
+    let key = canonical_key(rho);
+    context.iter().position(|r| canonical_key(r) == key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::Symbol;
+
+    fn v(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+
+    fn tv(s: &str) -> Type {
+        Type::var(v(s))
+    }
+
+    #[test]
+    fn bound_variable_names_do_not_matter() {
+        let ra = RuleType::new(vec![v("a")], vec![tv("a").promote()], Type::prod(tv("a"), tv("a")));
+        let rb = RuleType::new(vec![v("b")], vec![tv("b").promote()], Type::prod(tv("b"), tv("b")));
+        assert!(alpha_eq(&ra, &rb));
+    }
+
+    #[test]
+    fn free_variable_names_do_matter() {
+        let ra = RuleType::simple(tv("a"));
+        let rb = RuleType::simple(tv("b"));
+        assert!(!alpha_eq(&ra, &rb));
+    }
+
+    #[test]
+    fn quantifier_order_matters() {
+        // ∀a b. a → b  vs  ∀a b. b → a  are not α-equivalent.
+        let r1 = RuleType::new(vec![v("a"), v("b")], vec![], Type::arrow(tv("a"), tv("b")));
+        let r2 = RuleType::new(vec![v("a"), v("b")], vec![], Type::arrow(tv("b"), tv("a")));
+        assert!(!alpha_eq(&r1, &r2));
+    }
+
+    #[test]
+    fn nested_shadowing_is_handled() {
+        // ∀a. {∀a. a} ⇒ a   ≡   ∀b. {∀c. c} ⇒ b
+        let inner1 = RuleType::new(vec![v("a")], vec![], tv("a"));
+        let r1 = RuleType::new(vec![v("a")], vec![inner1], tv("a"));
+        let inner2 = RuleType::new(vec![v("c")], vec![], tv("c"));
+        let r2 = RuleType::new(vec![v("b")], vec![inner2], tv("b"));
+        assert!(alpha_eq(&r1, &r2));
+    }
+
+    #[test]
+    fn difference_removes_alpha_equivalent_entries() {
+        let ra = RuleType::new(vec![v("a")], vec![], Type::arrow(tv("a"), tv("a")));
+        let rb = RuleType::new(vec![v("b")], vec![], Type::arrow(tv("b"), tv("b")));
+        let int = Type::Int.promote();
+        let diff = context_difference(&[ra, int.clone()], &[rb]);
+        assert_eq!(diff, vec![int]);
+    }
+
+    #[test]
+    fn position_finds_alpha_equivalent_entry() {
+        let ra = RuleType::new(vec![v("a")], vec![], Type::arrow(tv("a"), tv("a")));
+        let rb = RuleType::new(vec![v("b")], vec![], Type::arrow(tv("b"), tv("b")));
+        let ctx = [Type::Int.promote(), ra];
+        assert_eq!(context_position(&ctx, &rb), Some(1));
+        assert_eq!(context_position(&ctx, &Type::Bool.promote()), None);
+    }
+
+    #[test]
+    fn distinct_heads_have_distinct_keys() {
+        assert_ne!(type_key(&Type::Int), type_key(&Type::Bool));
+        assert_ne!(
+            type_key(&Type::arrow(Type::Int, Type::Bool)),
+            type_key(&Type::arrow(Type::Bool, Type::Int))
+        );
+    }
+}

@@ -1,0 +1,600 @@
+//! Coherence and overlap analysis (companion note "Resolution with
+//! Overlapping Rules").
+//!
+//! A program is *coherent* when every query has a single, lexically
+//! nearest match that is the same statically and at runtime. Overlap
+//! within one rule set threatens coherence; the companion note
+//! develops three conditions on rule sets:
+//!
+//! * **uniqueness of instances** — no two distinct rules can be made
+//!   to produce the same type by any substitution
+//!   (`∀ρ₁≠ρ₂, θ. θ|ρ₁| ≠ θ|ρ₂|`);
+//! * **existence of a most specific rule** — whenever two rules both
+//!   match a query, some rule in the set matches exactly their
+//!   common instance;
+//! * **type safety / stability** — a resolution that succeeds for a
+//!   general type must still succeed after substitution
+//!   (`Δ ⊢r ρ ⟹ θΔ ⊢r θρ`).
+//!
+//! The first two are decidable syntactic checks implemented here; the
+//! third is exposed as a checkable property ([`stable_under`]) that
+//! the test suite exercises with concrete and random substitutions —
+//! including the note's counterexample `{∀β.β→β, Int→Int} ⊢r β→β`,
+//! which is *not* stable and must be flagged.
+
+use std::fmt;
+
+use crate::env::ImplicitEnv;
+use crate::resolve::{resolve, ResolutionPolicy};
+use crate::subst::{freshen_rule, TySubst};
+use crate::syntax::{RuleType, Type};
+use crate::unify;
+
+/// A coherence violation within one rule set.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CoherenceError {
+    /// Two distinct rules have unifiable heads: some substitution
+    /// makes both produce the same type.
+    OverlappingInstances {
+        /// First rule.
+        left: RuleType,
+        /// Second rule.
+        right: RuleType,
+        /// A witness type both heads can produce.
+        witness: Type,
+    },
+    /// Two rules overlap but the set contains no rule matching
+    /// exactly their most general common instance.
+    NoMostSpecific {
+        /// First rule.
+        left: RuleType,
+        /// Second rule.
+        right: RuleType,
+        /// Their most general common instance.
+        meet: Type,
+    },
+    /// A query with free type variables could resolve differently
+    /// once those variables are instantiated (extended report:
+    /// "its single nearest match is not the one used at runtime").
+    UnstableQuery {
+        /// The query.
+        query: RuleType,
+        /// The statically chosen rule.
+        winner: RuleType,
+        /// A rule in a nearer-or-equal scope that could match some
+        /// instance of the query.
+        rival: RuleType,
+    },
+}
+
+impl fmt::Display for CoherenceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoherenceError::OverlappingInstances {
+                left,
+                right,
+                witness,
+            } => write!(
+                f,
+                "rules `{left}` and `{right}` overlap: both can produce `{witness}`"
+            ),
+            CoherenceError::NoMostSpecific { left, right, meet } => write!(
+                f,
+                "rules `{left}` and `{right}` overlap at `{meet}` but no rule in the set is \
+                 most specific there"
+            ),
+            CoherenceError::UnstableQuery {
+                query,
+                winner,
+                rival,
+            } => write!(
+                f,
+                "query `{query}` is incoherent: it statically resolves to `{winner}` but \
+                 `{rival}` could match an instantiation of the query at runtime"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CoherenceError {}
+
+/// `nonoverlap(ρ₁, ρ₂)`: no substitution can make the two rules
+/// produce a value of the same type. Decided by unifying the
+/// (freshened) heads.
+pub fn nonoverlap(r1: &RuleType, r2: &RuleType) -> bool {
+    common_instance(r1, r2).is_none()
+}
+
+/// The most general common instance of two rule heads, if the heads
+/// overlap. Quantified variables on both sides are flexible; free
+/// variables are flexible too (the note quantifies over *all*
+/// substitutions, including ones instantiating free variables).
+pub fn common_instance(r1: &RuleType, r2: &RuleType) -> Option<Type> {
+    let (f1, _) = freshen_rule(r1);
+    let (f2, _) = freshen_rule(r2);
+    let theta = unify::mgu(f1.head(), f2.head())?;
+    Some(theta.apply_type(f1.head()))
+}
+
+/// `distinct(π₁, π₂)`: every rule of `π₁` is nonoverlapping with
+/// every rule of `π₂`.
+pub fn distinct(c1: &[RuleType], c2: &[RuleType]) -> bool {
+    c1.iter().all(|r1| c2.iter().all(|r2| nonoverlap(r1, r2)))
+}
+
+/// Uniqueness of instances: checks that no two distinct rules of the
+/// set can produce the same type under any substitution.
+///
+/// # Errors
+///
+/// Returns [`CoherenceError::OverlappingInstances`] with a witness.
+pub fn unique_instances(context: &[RuleType]) -> Result<(), CoherenceError> {
+    for (i, r1) in context.iter().enumerate() {
+        for r2 in &context[i + 1..] {
+            if let Some(witness) = common_instance(r1, r2) {
+                return Err(CoherenceError::OverlappingInstances {
+                    left: r1.clone(),
+                    right: r2.clone(),
+                    witness,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Existence of a most specific rule: for every overlapping pair, the
+/// set must contain a rule whose head is (an α-variant of) the pair's
+/// most general common instance.
+///
+/// This is the condition that licenses the
+/// [`OverlapPolicy::MostSpecific`](crate::env::OverlapPolicy) lookup:
+/// under it, every query that matches several rules has a unique
+/// best match.
+///
+/// # Errors
+///
+/// Returns [`CoherenceError::NoMostSpecific`] for the first
+/// uncovered overlap.
+pub fn exists_most_specific(context: &[RuleType]) -> Result<(), CoherenceError> {
+    for (i, r1) in context.iter().enumerate() {
+        for r2 in &context[i + 1..] {
+            let Some(meet) = common_instance(r1, r2) else {
+                continue;
+            };
+            let covered = context.iter().any(|r| head_is_variant_of(r, &meet));
+            if !covered {
+                return Err(CoherenceError::NoMostSpecific {
+                    left: r1.clone(),
+                    right: r2.clone(),
+                    meet,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Is the rule's head an α-variant of `ty` (matches it in both
+/// directions)?
+fn head_is_variant_of(rho: &RuleType, ty: &Type) -> bool {
+    let (f, _) = freshen_rule(rho);
+    // f.head matches ty…
+    let Some(theta) = unify::match_type(f.head(), ty, f.vars()) else {
+        return false;
+    };
+    // …by a renaming only (every quantifier maps to a distinct
+    // variable).
+    let mut seen = std::collections::BTreeSet::new();
+    f.vars().iter().all(|v| match theta.get(*v) {
+        None => true,
+        Some(Type::Var(w)) => seen.insert(*w),
+        Some(_) => false,
+    })
+}
+
+/// The *deferred* existence check from the note's "Static Condition
+/// Checking": unlike [`exists_most_specific`], free type variables of
+/// the context are treated as substitutable — the overlap between
+/// `Eq a` and `Eq b` collapses under `[b ↦ a]` onto `Eq a` itself, so
+/// contexts like `{Eq a, Eq b}` (the ubiquitous pair-instance shape)
+/// are accepted, while `{∀a.a→Int, ∀a.Int→a}` is still rejected
+/// (after any substitution the meet `Int→Int` is covered by neither
+/// *pattern*).
+///
+/// # Errors
+///
+/// Returns [`CoherenceError::NoMostSpecific`] for the first overlap
+/// whose most general common instance no context entry can equal.
+pub fn exists_deferred(context: &[RuleType]) -> Result<(), CoherenceError> {
+    for (i, r1) in context.iter().enumerate() {
+        for r2 in &context[i + 1..] {
+            let (f1, _) = freshen_rule(r1);
+            let (f2, _) = freshen_rule(r2);
+            let flex1: std::collections::BTreeSet<_> = f1.vars().iter().copied().collect();
+            let flex2: std::collections::BTreeSet<_> = f2.vars().iter().copied().collect();
+            let Some(sigma) = unify::mgu(f1.head(), f2.head()) else {
+                continue;
+            };
+            let meet = sigma.apply_type(f1.head());
+            // Residual pair-quantifier variables in the meet are
+            // flexible on the meet's side.
+            let meet_flex: std::collections::BTreeSet<_> = meet
+                .ftv()
+                .into_iter()
+                .filter(|v| flex1.contains(v) || flex2.contains(v))
+                .collect();
+            let covered = context.iter().any(|r| {
+                let (fr, _) = freshen_rule(r);
+                // σ may substitute the entry's *free* variables (they
+                // are shared program variables); its quantifiers are
+                // fresh and untouched.
+                let head = sigma.apply_type(fr.head());
+                let head_flex: std::collections::BTreeSet<_> =
+                    fr.vars().iter().copied().collect();
+                pattern_variants(&head, &head_flex, &meet, &meet_flex)
+            });
+            if !covered {
+                return Err(CoherenceError::NoMostSpecific {
+                    left: r1.clone(),
+                    right: r2.clone(),
+                    meet,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Are two type *patterns* equal up to renaming of their respective
+/// flexible variables? Rigid (shared free) variables must coincide
+/// exactly.
+fn pattern_variants(
+    left: &Type,
+    left_flex: &std::collections::BTreeSet<crate::syntax::TyVar>,
+    right: &Type,
+    right_flex: &std::collections::BTreeSet<crate::syntax::TyVar>,
+) -> bool {
+    fn canon(
+        t: &Type,
+        flex: &std::collections::BTreeSet<crate::syntax::TyVar>,
+        seen: &mut Vec<crate::syntax::TyVar>,
+        out: &mut String,
+    ) {
+        match t {
+            Type::Var(v) if flex.contains(v) => {
+                let ix = match seen.iter().position(|w| w == v) {
+                    Some(ix) => ix,
+                    None => {
+                        seen.push(*v);
+                        seen.len() - 1
+                    }
+                };
+                out.push_str(&format!("#{ix}"));
+            }
+            Type::Var(v) => out.push_str(&format!("'{v}")),
+            Type::Int => out.push('I'),
+            Type::Bool => out.push('B'),
+            Type::Str => out.push('S'),
+            Type::Unit => out.push('U'),
+            Type::Arrow(a, b) => {
+                out.push_str("(>");
+                canon(a, flex, seen, out);
+                out.push(' ');
+                canon(b, flex, seen, out);
+                out.push(')');
+            }
+            Type::Prod(a, b) => {
+                out.push_str("(*");
+                canon(a, flex, seen, out);
+                out.push(' ');
+                canon(b, flex, seen, out);
+                out.push(')');
+            }
+            Type::List(a) => {
+                out.push_str("(L");
+                canon(a, flex, seen, out);
+                out.push(')');
+            }
+            Type::Con(n, args) => {
+                out.push_str(&format!("(C{n}"));
+                for a in args {
+                    out.push(' ');
+                    canon(a, flex, seen, out);
+                }
+                out.push(')');
+            }
+            Type::VarApp(f, args) => {
+                out.push_str("(V");
+                if flex.contains(f) {
+                    let ix = match seen.iter().position(|w| w == f) {
+                        Some(ix) => ix,
+                        None => {
+                            seen.push(*f);
+                            seen.len() - 1
+                        }
+                    };
+                    out.push_str(&format!("#{ix}"));
+                } else {
+                    out.push_str(&format!("'{f}"));
+                }
+                for a in args {
+                    out.push(' ');
+                    canon(a, flex, seen, out);
+                }
+                out.push(')');
+            }
+            Type::Ctor(c) => out.push_str(&format!("(K{c})")),
+            Type::Rule(_) => out.push_str(&crate::alpha::type_key(t)),
+        }
+    }
+    let mut l = String::new();
+    let mut r = String::new();
+    canon(left, left_flex, &mut Vec::new(), &mut l);
+    canon(right, right_flex, &mut Vec::new(), &mut r);
+    l == r
+}
+
+/// Stability of a query with free type variables (extended report,
+/// §"Runtime Errors and Coherence Failures"): the statically chosen
+/// rule must stay the chosen rule under every instantiation of the
+/// query's free variables. Violations occur when a rule in a *nearer
+/// or equal* scope could match some instance of the query — then the
+/// runtime (instantiated) lookup would pick a different rule than the
+/// static one.
+///
+/// # Errors
+///
+/// Returns [`CoherenceError::UnstableQuery`] naming the rival rule.
+pub fn query_stability(
+    env: &ImplicitEnv,
+    query: &RuleType,
+    policy: &ResolutionPolicy,
+) -> Result<(), CoherenceError> {
+    let Ok(hit) = env.lookup(query.head(), policy.overlap) else {
+        // Unresolvable queries are reported by resolution itself.
+        return Ok(());
+    };
+    if query.head().ftv().is_empty() {
+        return Ok(()); // ground queries cannot be destabilized
+    }
+    // Only *strictly nearer* scopes can steal the match at runtime;
+    // overlap within the winner's own frame is governed by the
+    // deferred uniqueness condition at `with` sites (the note accepts
+    // `∀a b.{a,b} ⇒ a × b` whose internal queries ?a and ?b are
+    // mutually unifiable but frame-local).
+    for (frame_ix, frame) in env.frames_innermost_first() {
+        if frame_ix >= hit.frame {
+            break;
+        }
+        for rule in frame.iter() {
+            let (fresh, _) = freshen_rule(rule);
+            if unify::mgu(fresh.head(), query.head()).is_some() {
+                return Err(CoherenceError::UnstableQuery {
+                    query: query.clone(),
+                    winner: hit.rule.clone(),
+                    rival: rule.clone(),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Applies a substitution to every rule of every frame.
+pub fn subst_env(theta: &TySubst, env: &ImplicitEnv) -> ImplicitEnv {
+    let mut frames: Vec<Vec<RuleType>> = Vec::new();
+    for (_, frame) in env.frames_innermost_first() {
+        frames.push(theta.apply_context(frame));
+    }
+    frames.reverse();
+    let mut out = ImplicitEnv::new();
+    for f in frames {
+        out.push(f);
+    }
+    out
+}
+
+/// The type-safety/stability condition: if `Δ ⊢r ρ` then
+/// `θΔ ⊢r θρ`. Returns `true` when the implication holds for this
+/// particular `θ` (vacuously when the original query fails).
+pub fn stable_under(
+    env: &ImplicitEnv,
+    query: &RuleType,
+    theta: &TySubst,
+    policy: &ResolutionPolicy,
+) -> bool {
+    if resolve(env, query, policy).is_err() {
+        return true;
+    }
+    let env2 = subst_env(theta, env);
+    let query2 = theta.apply_rule(query);
+    resolve(&env2, &query2, policy).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::Symbol;
+
+    fn v(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+
+    fn tv(s: &str) -> Type {
+        Type::var(v(s))
+    }
+
+    #[test]
+    fn x3_uniqueness_counterexample() {
+        // {α, Int}: substituting α ↦ Int makes both produce Int.
+        let ctx = [tv("alpha0").promote(), Type::Int.promote()];
+        let err = unique_instances(&ctx).unwrap_err();
+        match err {
+            CoherenceError::OverlappingInstances { witness, .. } => {
+                assert_eq!(witness, Type::Int)
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disjoint_heads_are_unique() {
+        let ctx = [Type::Int.promote(), Type::Bool.promote()];
+        assert!(unique_instances(&ctx).is_ok());
+        let pair = RuleType::new(
+            vec![v("a")],
+            vec![tv("a").promote()],
+            Type::prod(tv("a"), tv("a")),
+        );
+        assert!(unique_instances(&[Type::Int.promote(), pair]).is_ok());
+    }
+
+    #[test]
+    fn polymorphic_overlap_is_detected() {
+        // ∀a. a → Int and ∀b. Int → b overlap at Int → Int.
+        let r1 = RuleType::new(vec![v("a")], vec![], Type::arrow(tv("a"), Type::Int));
+        let r2 = RuleType::new(vec![v("b")], vec![], Type::arrow(Type::Int, tv("b")));
+        assert!(!nonoverlap(&r1, &r2));
+        let meet = common_instance(&r1, &r2).unwrap();
+        assert_eq!(meet, Type::arrow(Type::Int, Type::Int));
+    }
+
+    #[test]
+    fn most_specific_exists_when_meet_is_covered() {
+        // {∀a.a→a, ∀a.a→Int, ∀a b. a→b?} — note's example: the set
+        // {∀a.a→Int, ∀a.Int→a} lacks a most specific rule at Int→Int;
+        // adding Int→Int fixes it.
+        let r1 = RuleType::new(vec![v("a")], vec![], Type::arrow(tv("a"), Type::Int));
+        let r2 = RuleType::new(vec![v("a")], vec![], Type::arrow(Type::Int, tv("a")));
+        assert!(exists_most_specific(&[r1.clone(), r2.clone()]).is_err());
+        let fix = Type::arrow(Type::Int, Type::Int).promote();
+        assert!(exists_most_specific(&[r1, r2, fix]).is_ok());
+    }
+
+    #[test]
+    fn generic_plus_specific_is_covered() {
+        // {∀a. a→a, ∀a. a→Int}: common instance is ∀?. a→Int itself
+        // — wait, mgu(a→a, b→Int) = a→Int with a≔Int? It is Int→Int…
+        // covered only by neither head exactly; the meet Int→Int is
+        // not the head of either rule, so the existence condition
+        // requires a dedicated rule.
+        let generic = RuleType::new(vec![v("a")], vec![], Type::arrow(tv("a"), tv("a")));
+        let specific = RuleType::new(vec![v("a")], vec![], Type::arrow(tv("a"), Type::Int));
+        let err = exists_most_specific(&[generic.clone(), specific.clone()]);
+        assert!(err.is_err());
+        let covered = exists_most_specific(&[
+            generic,
+            specific,
+            Type::arrow(Type::Int, Type::Int).promote(),
+        ]);
+        assert!(covered.is_ok());
+    }
+
+    #[test]
+    fn stability_holds_for_ground_environments() {
+        let mut env = ImplicitEnv::new();
+        env.push(vec![Type::Int.promote()]);
+        let theta = TySubst::single(v("z"), Type::Bool);
+        assert!(stable_under(
+            &env,
+            &Type::Int.promote(),
+            &theta,
+            &ResolutionPolicy::paper()
+        ));
+    }
+
+    #[test]
+    fn note_counterexample_is_unstable() {
+        // Δ = {∀β.β→β}; {Int→Int} (inner frame nearest), query β→β
+        // with β free. Statically the query resolves against the
+        // nearest frame? No: Int→Int does not match β→β (β is rigid),
+        // so the outer ∀-rule is used. After θ = [β↦Int] the nearest
+        // frame matches too — and resolution picks the *other* rule.
+        // The implication "resolves before ⟹ resolves after" holds,
+        // but the chosen rule differs: detect this with derivations.
+        let beta = v("beta");
+        let mut env = ImplicitEnv::new();
+        env.push(vec![RuleType::new(
+            vec![v("a")],
+            vec![],
+            Type::arrow(tv("a"), tv("a")),
+        )]);
+        env.push(vec![Type::arrow(Type::Int, Type::Int).promote()]);
+        let query = Type::arrow(Type::Var(beta), Type::Var(beta)).promote();
+        let policy = ResolutionPolicy::paper();
+        let before = resolve(&env, &query, &policy).unwrap();
+        let theta = TySubst::single(beta, Type::Int);
+        let after = resolve(&subst_env(&theta, &env), &theta.apply_rule(&query), &policy).unwrap();
+        // Still resolvable (stable in the weak sense)…
+        assert!(stable_under(&env, &query, &theta, &policy));
+        // …but incoherent: the chosen rule changed frames.
+        assert_ne!(before.rule, after.rule);
+    }
+
+    #[test]
+    fn distinct_contexts() {
+        let c1 = [Type::Int.promote()];
+        let c2 = [Type::Bool.promote()];
+        assert!(distinct(&c1, &c2));
+        let c3 = [tv("q").promote()];
+        assert!(!distinct(&c1, &c3));
+    }
+
+    #[test]
+    fn deferred_existence_accepts_free_variable_collapses() {
+        // {Eq a, Eq b}: under [b ↦ a] the meet Eq a is one of the
+        // entries — the note's eqPair-style context must pass.
+        let eq = |t: Type| Type::Con(v("EqD"), vec![t]).promote();
+        let ctx = [eq(tv("a")), eq(tv("b"))];
+        assert!(exists_deferred(&ctx).is_ok());
+        // But quantified incomparable heads still fail:
+        let r1 = RuleType::new(vec![v("a")], vec![], Type::arrow(tv("a"), Type::Int));
+        let r2 = RuleType::new(vec![v("a")], vec![], Type::arrow(Type::Int, tv("a")));
+        assert!(exists_deferred(&[r1.clone(), r2.clone()]).is_err());
+        // …unless the meet is covered explicitly.
+        let cover = Type::arrow(Type::Int, Type::Int).promote();
+        assert!(exists_deferred(&[r1, r2, cover]).is_ok());
+    }
+
+    #[test]
+    fn deferred_existence_accepts_generic_plus_quantified_sibling() {
+        // {∀c. c → c} alone, and together with a distinct shape.
+        let idr = RuleType::new(vec![v("c")], vec![], Type::arrow(tv("c"), tv("c")));
+        assert!(exists_deferred(std::slice::from_ref(&idr)).is_ok());
+        let list_rule = RuleType::new(vec![v("c")], vec![], Type::list(tv("c")));
+        assert!(exists_deferred(&[idr, list_rule]).is_ok());
+    }
+
+    #[test]
+    fn query_stability_flags_nearer_rivals_only() {
+        let beta = v("beta_qs");
+        let query = Type::arrow(Type::Var(beta), Type::Var(beta)).promote();
+        let policy = ResolutionPolicy::paper();
+        // Rival in a nearer frame: unstable.
+        let mut env = ImplicitEnv::new();
+        env.push(vec![RuleType::new(vec![v("a")], vec![], Type::arrow(tv("a"), tv("a")))]);
+        env.push(vec![Type::arrow(Type::Int, Type::Int).promote()]);
+        assert!(matches!(
+            query_stability(&env, &query, &policy),
+            Err(CoherenceError::UnstableQuery { .. })
+        ));
+        // Same-frame siblings are deferred to `with`-site checks.
+        let env2 = ImplicitEnv::with_frame(vec![
+            tv("x").promote(),
+            tv("y").promote(),
+        ]);
+        let q2 = tv("x").promote();
+        assert!(query_stability(&env2, &q2, &policy).is_ok());
+        // Ground queries are always stable.
+        let env3 = ImplicitEnv::with_frame(vec![Type::Int.promote()]);
+        assert!(query_stability(&env3, &Type::Int.promote(), &policy).is_ok());
+    }
+
+    #[test]
+    fn errors_display_helpfully() {
+        let ctx = [tv("alpha1").promote(), Type::Int.promote()];
+        let msg = unique_instances(&ctx).unwrap_err().to_string();
+        assert!(msg.contains("overlap"), "got {msg}");
+    }
+}

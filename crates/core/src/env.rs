@@ -1,0 +1,455 @@
+//! Implicit environments Δ and type-directed lookup `Δ⟨τ⟩`.
+//!
+//! An implicit environment is a *stack of contexts* (rule sets). Each
+//! rule abstraction traversed pushes one frame, so the stack mirrors
+//! the lexical nesting of `implicit` scopes. Lookup respects that
+//! nesting: the innermost frame is searched first and, per the paper's
+//! lookup judgment, only if a frame has *no* matching rule does lookup
+//! descend to the next frame. Within a frame, the `no_overlap`
+//! condition requires at most one matching rule — unless the
+//! *most-specific* overlap policy from the companion note on
+//! overlapping rules is selected, in which case a unique most specific
+//! match is chosen.
+
+use std::fmt;
+
+use crate::subst::{freshen_rule, TySubst};
+use crate::syntax::{RuleType, Type};
+use crate::unify;
+
+/// How lookup treats several matching rules within one frame.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum OverlapPolicy {
+    /// The paper's `no_overlap` condition: more than one match within
+    /// a frame is an error (default).
+    #[default]
+    Forbid,
+    /// The companion note's discipline: pick the unique most specific
+    /// match; error only when no most specific match exists.
+    MostSpecific,
+}
+
+/// A successful lookup `Δ⟨τ⟩ = θπ′ ⇒ τ`.
+#[derive(Clone, Debug)]
+pub struct LookupHit {
+    /// Frame index, counted from the innermost (0 = nearest scope).
+    pub frame: usize,
+    /// Position of the rule within its frame.
+    pub index: usize,
+    /// The stored rule `∀β̄. π′ ⇒ τ′` as it appears in the frame.
+    pub rule: RuleType,
+    /// The matching substitution θ applied to the *freshened* copy of
+    /// the rule, expressed as the instantiation of the rule's
+    /// quantifiers in binder order (the `|τ̄|` of evidence `x |τ̄|`).
+    pub type_args: Vec<Type>,
+    /// The instantiated context `θπ′`, in the rule's stored premise
+    /// order (this order matches the λ-binder order of the rule's
+    /// elaboration, so evidence lines up positionally).
+    pub context: Vec<RuleType>,
+}
+
+/// Lookup failure.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LookupError {
+    /// No frame contains a matching rule.
+    NoMatch(Type),
+    /// A frame contains several matching rules (violating
+    /// `no_overlap`), or — under [`OverlapPolicy::MostSpecific`] — no
+    /// unique most specific one.
+    Overlap {
+        /// The queried type.
+        target: Type,
+        /// The competing rules.
+        candidates: Vec<RuleType>,
+    },
+    /// Matching left a quantified variable of the winning rule
+    /// undetermined (an *ambiguous instantiation*, e.g. looking up
+    /// `Int` against `∀α.{α → α} ⇒ Int`).
+    AmbiguousInstantiation {
+        /// The offending rule.
+        rule: RuleType,
+    },
+}
+
+impl fmt::Display for LookupError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LookupError::NoMatch(t) => write!(f, "no rule matches type `{t}`"),
+            LookupError::Overlap { target, candidates } => write!(
+                f,
+                "overlapping rules for `{target}`: {}",
+                candidates
+                    .iter()
+                    .map(|r| format!("`{r}`"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+            LookupError::AmbiguousInstantiation { rule } => {
+                write!(f, "ambiguous instantiation of rule `{rule}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LookupError {}
+
+/// The implicit environment Δ: a stack of contexts.
+///
+/// # Examples
+///
+/// ```
+/// use implicit_core::env::ImplicitEnv;
+/// use implicit_core::syntax::Type;
+///
+/// let mut env = ImplicitEnv::new();
+/// env.push(vec![Type::Int.promote()]);
+/// let hit = env.lookup(&Type::Int, Default::default()).unwrap();
+/// assert_eq!(hit.frame, 0);
+/// ```
+#[derive(Clone, Default, Debug)]
+pub struct ImplicitEnv {
+    /// Outermost first; `frames.last()` is the nearest scope.
+    frames: Vec<Vec<RuleType>>,
+}
+
+impl ImplicitEnv {
+    /// An empty environment.
+    pub fn new() -> ImplicitEnv {
+        ImplicitEnv::default()
+    }
+
+    /// An environment with a single frame.
+    pub fn with_frame(frame: Vec<RuleType>) -> ImplicitEnv {
+        let mut e = ImplicitEnv::new();
+        e.push(frame);
+        e
+    }
+
+    /// Pushes a context as the new nearest frame.
+    pub fn push(&mut self, frame: Vec<RuleType>) {
+        self.frames.push(frame);
+    }
+
+    /// Pops the nearest frame.
+    pub fn pop(&mut self) -> Option<Vec<RuleType>> {
+        self.frames.pop()
+    }
+
+    /// Number of frames.
+    pub fn depth(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Iterates frames from the *innermost* outwards, paired with
+    /// their innermost-first index.
+    pub fn frames_innermost_first(&self) -> impl Iterator<Item = (usize, &Vec<RuleType>)> {
+        self.frames.iter().rev().enumerate()
+    }
+
+    /// Free type variables of every rule in the environment.
+    pub fn ftv(&self) -> std::collections::BTreeSet<crate::syntax::TyVar> {
+        let mut acc = std::collections::BTreeSet::new();
+        for f in &self.frames {
+            for r in f {
+                r.ftv_into(&mut acc);
+            }
+        }
+        acc
+    }
+
+    /// The lookup judgment `Δ⟨τ⟩`.
+    ///
+    /// Searches frames innermost-first; the first frame with at least
+    /// one match decides. Within that frame the match must be unique
+    /// (or uniquely most specific under
+    /// [`OverlapPolicy::MostSpecific`]).
+    ///
+    /// # Errors
+    ///
+    /// * [`LookupError::NoMatch`] if no frame matches.
+    /// * [`LookupError::Overlap`] on ambiguous matches.
+    /// * [`LookupError::AmbiguousInstantiation`] if matching leaves a
+    ///   rule quantifier undetermined.
+    pub fn lookup(&self, target: &Type, policy: OverlapPolicy) -> Result<LookupHit, LookupError> {
+        for (frame_ix, frame) in self.frames_innermost_first() {
+            match lookup_in_frame(frame, target, policy)? {
+                Some((index, hit_rule, type_args, context)) => {
+                    return Ok(LookupHit {
+                        frame: frame_ix,
+                        index,
+                        rule: hit_rule,
+                        type_args,
+                        context,
+                    });
+                }
+                None => continue,
+            }
+        }
+        Err(LookupError::NoMatch(target.clone()))
+    }
+}
+
+type FrameHit = (usize, RuleType, Vec<Type>, Vec<RuleType>);
+
+/// Lookup within a single context (the `π⟨τ⟩` judgment).
+///
+/// Returns `Ok(None)` when the frame has no match (so the caller
+/// descends), `Ok(Some(hit))` on a unique (or uniquely most specific)
+/// match.
+pub(crate) fn lookup_in_frame(
+    frame: &[RuleType],
+    target: &Type,
+    policy: OverlapPolicy,
+) -> Result<Option<FrameHit>, LookupError> {
+    // Collect all matches: (index, freshened rule, θ).
+    let mut matches: Vec<(usize, RuleType, TySubst)> = Vec::new();
+    for (ix, rule) in frame.iter().enumerate() {
+        // Rename quantifiers apart so they cannot clash with
+        // variables of the target (the paper's footnote).
+        let (fresh, _) = freshen_rule(rule);
+        if let Some(theta) = unify::head_matches(&fresh, target) {
+            matches.push((ix, fresh, theta));
+        }
+    }
+    let chosen = match matches.len() {
+        0 => return Ok(None),
+        1 => matches.pop().expect("len checked"),
+        _ => match policy {
+            OverlapPolicy::Forbid => {
+                return Err(LookupError::Overlap {
+                    target: target.clone(),
+                    candidates: matches.into_iter().map(|(ix, ..)| frame[ix].clone()).collect(),
+                })
+            }
+            OverlapPolicy::MostSpecific => {
+                match pick_most_specific(&matches) {
+                    Some(winner_pos) => matches.swap_remove(winner_pos),
+                    None => {
+                        return Err(LookupError::Overlap {
+                            target: target.clone(),
+                            candidates: matches
+                                .into_iter()
+                                .map(|(ix, ..)| frame[ix].clone())
+                                .collect(),
+                        })
+                    }
+                }
+            }
+        },
+    };
+    let (index, fresh, theta) = chosen;
+    // Every quantifier must be determined by the match, otherwise the
+    // instantiation is ambiguous.
+    let mut type_args = Vec::with_capacity(fresh.vars().len());
+    for v in fresh.vars() {
+        match theta.get(*v) {
+            Some(t) => type_args.push(t.clone()),
+            None => {
+                return Err(LookupError::AmbiguousInstantiation {
+                    rule: frame[index].clone(),
+                })
+            }
+        }
+    }
+    let context = theta.apply_context(fresh.context());
+    Ok(Some((index, frame[index].clone(), type_args, context)))
+}
+
+/// `ρ₁` is at least as specific as `ρ₂` when `ρ₂`'s head matches
+/// `ρ₁`'s head (i.e. `ρ₁`'s head is an instance of `ρ₂`'s).
+fn at_least_as_specific(r1: &RuleType, r2: &RuleType) -> bool {
+    let (f1, _) = freshen_rule(r1);
+    let (f2, _) = freshen_rule(r2);
+    unify::match_type(f2.head(), f1.head(), f2.vars()).is_some()
+}
+
+/// Index (within `matches`) of the unique most specific rule, if any.
+fn pick_most_specific(matches: &[(usize, RuleType, TySubst)]) -> Option<usize> {
+    'outer: for (i, (_, ri, _)) in matches.iter().enumerate() {
+        for (j, (_, rj, _)) in matches.iter().enumerate() {
+            if i != j && !at_least_as_specific(ri, rj) {
+                continue 'outer;
+            }
+        }
+        // ri is as specific as everything; require strictness over at
+        // least the distinct ones to be *the* most specific: it must
+        // not be tied with a non-α-equivalent rival that is also as
+        // specific as everything.
+        for (j, (_, rj, _)) in matches.iter().enumerate() {
+            if i != j
+                && at_least_as_specific(rj, ri)
+                && !crate::alpha::alpha_eq(ri, rj)
+            {
+                return None; // tie between genuinely different rules
+            }
+        }
+        return Some(i);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::Symbol;
+
+    fn v(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+
+    fn tv(s: &str) -> Type {
+        Type::var(v(s))
+    }
+
+    fn int_pair() -> Type {
+        Type::prod(Type::Int, Type::Int)
+    }
+
+    #[test]
+    fn innermost_frame_wins() {
+        // §2 "locally and lexically scoped rules": the nearer rule
+        // providing Int shadows the outer Int value.
+        let mut env = ImplicitEnv::new();
+        env.push(vec![Type::Int.promote()]);
+        env.push(vec![
+            Type::Bool.promote(),
+            RuleType::mono(vec![Type::Bool.promote()], Type::Int),
+        ]);
+        let hit = env.lookup(&Type::Int, OverlapPolicy::Forbid).unwrap();
+        assert_eq!(hit.frame, 0, "nearest frame must win");
+        assert_eq!(hit.context, vec![Type::Bool.promote()]);
+    }
+
+    #[test]
+    fn lookup_descends_when_frame_has_no_match() {
+        let mut env = ImplicitEnv::new();
+        env.push(vec![Type::Int.promote()]);
+        env.push(vec![Type::Bool.promote()]);
+        let hit = env.lookup(&Type::Int, OverlapPolicy::Forbid).unwrap();
+        assert_eq!(hit.frame, 1);
+    }
+
+    #[test]
+    fn polymorphic_rules_match_with_instantiation() {
+        // ∀a.{a} ⇒ a × a looked up at Int × Int.
+        let rule = RuleType::new(
+            vec![v("a")],
+            vec![tv("a").promote()],
+            Type::prod(tv("a"), tv("a")),
+        );
+        let env = ImplicitEnv::with_frame(vec![Type::Int.promote(), rule]);
+        let hit = env.lookup(&int_pair(), OverlapPolicy::Forbid).unwrap();
+        assert_eq!(hit.type_args, vec![Type::Int]);
+        assert_eq!(hit.context, vec![Type::Int.promote()]);
+    }
+
+    #[test]
+    fn overlap_within_frame_is_an_error() {
+        // Two rules that can produce Int → Int (ext. report §errors).
+        let r1 = RuleType::new(vec![v("a")], vec![], Type::arrow(tv("a"), Type::Int));
+        let r2 = RuleType::new(vec![v("a")], vec![], Type::arrow(Type::Int, tv("a")));
+        let env = ImplicitEnv::with_frame(vec![r1, r2]);
+        let err = env
+            .lookup(&Type::arrow(Type::Int, Type::Int), OverlapPolicy::Forbid)
+            .unwrap_err();
+        assert!(matches!(err, LookupError::Overlap { .. }));
+    }
+
+    #[test]
+    fn overlap_across_frames_is_fine() {
+        // Companion note: stack priority disambiguates across frames.
+        let r1 = RuleType::new(vec![v("a")], vec![], Type::arrow(tv("a"), Type::Int));
+        let r2 = RuleType::new(vec![v("a")], vec![], Type::arrow(Type::Int, tv("a")));
+        let mut env = ImplicitEnv::new();
+        env.push(vec![r1]);
+        env.push(vec![r2.clone()]);
+        let hit = env
+            .lookup(&Type::arrow(Type::Int, Type::Int), OverlapPolicy::Forbid)
+            .unwrap();
+        assert_eq!(hit.frame, 0);
+        assert!(crate::alpha::alpha_eq(&hit.rule, &r2));
+    }
+
+    #[test]
+    fn most_specific_policy_picks_the_instance() {
+        // Companion note: within one set, the most specific matching
+        // rule (the one whose head is an instance of the others) wins.
+        let generic = RuleType::new(vec![v("a")], vec![], Type::arrow(tv("a"), tv("a")));
+        let specific = Type::arrow(Type::Int, Type::Int).promote();
+        let env = ImplicitEnv::with_frame(vec![generic.clone(), specific.clone()]);
+        let hit = env
+            .lookup(&Type::arrow(Type::Int, Type::Int), OverlapPolicy::MostSpecific)
+            .unwrap();
+        assert!(crate::alpha::alpha_eq(&hit.rule, &specific));
+        // A query only the generic rule matches still resolves to it.
+        let hit2 = env
+            .lookup(&Type::arrow(Type::Bool, Type::Bool), OverlapPolicy::MostSpecific)
+            .unwrap();
+        assert!(crate::alpha::alpha_eq(&hit2.rule, &generic));
+        // Under the paper policy the overlapping query is an error.
+        assert!(env
+            .lookup(&Type::arrow(Type::Int, Type::Int), OverlapPolicy::Forbid)
+            .is_err());
+    }
+
+    #[test]
+    fn most_specific_policy_still_fails_on_incomparable_rules() {
+        // {∀a. a → Int, ∀a. Int → a}: neither is most specific.
+        let r1 = RuleType::new(vec![v("a")], vec![], Type::arrow(tv("a"), Type::Int));
+        let r2 = RuleType::new(vec![v("a")], vec![], Type::arrow(Type::Int, tv("a")));
+        let env = ImplicitEnv::with_frame(vec![r1, r2]);
+        let err = env
+            .lookup(&Type::arrow(Type::Int, Type::Int), OverlapPolicy::MostSpecific)
+            .unwrap_err();
+        assert!(matches!(err, LookupError::Overlap { .. }));
+    }
+
+    #[test]
+    fn ambiguous_instantiation_is_detected() {
+        // ext. report: ∀a. {a → a} ⇒ Int queried at Int leaves a
+        // undetermined.
+        let rule = RuleType::new(
+            vec![v("a")],
+            vec![Type::arrow(tv("a"), tv("a")).promote()],
+            Type::Int,
+        );
+        let env = ImplicitEnv::with_frame(vec![rule]);
+        let err = env.lookup(&Type::Int, OverlapPolicy::Forbid).unwrap_err();
+        assert!(matches!(err, LookupError::AmbiguousInstantiation { .. }));
+    }
+
+    #[test]
+    fn no_match_reports_the_type() {
+        let env = ImplicitEnv::with_frame(vec![Type::Bool.promote()]);
+        assert_eq!(
+            env.lookup(&Type::Int, OverlapPolicy::Forbid).unwrap_err(),
+            LookupError::NoMatch(Type::Int)
+        );
+    }
+
+    #[test]
+    fn duplicate_monomorphic_rules_overlap() {
+        // ext. report: {Int:1, Int:2} ⊢ ?Int is ambiguous. At the
+        // type level both entries collapse to one in a *canonical*
+        // context, so model them in separate sets of one frame is not
+        // possible — instead two α-equal entries in one frame come
+        // from distinct `with` arguments; keep them as given.
+        let frame = vec![Type::Int.promote(), Type::Int.promote()];
+        let err = lookup_in_frame(&frame, &Type::Int, OverlapPolicy::Forbid).unwrap_err();
+        assert!(matches!(err, LookupError::Overlap { .. }));
+    }
+
+    #[test]
+    fn rule_typed_heads_can_be_looked_up() {
+        // A rule *producing* a rule: {Bool} ⇒ ({Int} ⇒ Int × Int).
+        // Looking up the rule-typed head must match under binders.
+        let produced = Type::rule(RuleType::mono(
+            vec![Type::Int.promote()],
+            Type::prod(Type::Int, Type::Int),
+        ));
+        let producer = RuleType::mono(vec![Type::Bool.promote()], produced.clone());
+        let env = ImplicitEnv::with_frame(vec![producer]);
+        let hit = env.lookup(&produced, OverlapPolicy::Forbid).unwrap();
+        assert_eq!(hit.context, vec![Type::Bool.promote()]);
+    }
+}

@@ -1,0 +1,1338 @@
+//! Lexer and parser for the concrete syntax of λ⇒.
+//!
+//! The syntax mirrors the paper's notation, ASCII-fied:
+//!
+//! ```text
+//! -- types
+//! Int, Bool, String, Unit, a, Int -> Bool, Int * Bool, [Int], Eq a
+//! forall a. {a} => a * a                  -- rule type
+//!
+//! -- expressions
+//! ?(Int)                                  -- query
+//! rule ({Int, Bool} => Int * Bool) (e)    -- rule abstraction
+//! e [Int, Bool]                           -- type application
+//! e with {1 : Int, true : Bool}           -- rule application
+//! implicit {1 : Int} in e : Int           -- scoping sugar
+//! \x : Int. e      fix f : Int -> Int. e  let x : Int = e in e
+//! if c then t else e
+//! case xs of nil -> e | h :: t -> e
+//! Eq [Int] { eq = e }     r.eq            -- records
+//! ```
+//!
+//! A program is a sequence of `interface` declarations followed by an
+//! expression:
+//!
+//! ```text
+//! interface Eq a = { eq : a -> a -> Bool }
+//! implicit { ... } in ... : Bool
+//! ```
+//!
+//! Comments run from `--` to end of line.
+
+use std::fmt;
+use std::rc::Rc;
+
+use crate::symbol::Symbol;
+use crate::syntax::{
+    BinOp, Declarations, Expr, InterfaceDecl, RuleType, Type, UnOp,
+};
+
+/// A parsed `data` declaration before kind inference:
+/// (name, parameters, constructors).
+type ParsedData = (Symbol, Vec<Symbol>, Vec<(Symbol, Vec<Type>)>);
+
+/// A parse error with source position.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParseError {
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    Int(i64),
+    Str(String),
+    /// Lowercase identifier (term/type variable) or keyword.
+    Lower(String),
+    /// Capitalized identifier (interface name or base type).
+    Upper(String),
+    // punctuation
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Comma,
+    Dot,
+    Colon,
+    ColonColon,
+    FatArrow,
+    Arrow,
+    Lambda,
+    Question,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    EqEq,
+    Eq,
+    Lt,
+    Le,
+    AndAnd,
+    OrOr,
+    PlusPlus,
+    Pipe,
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Int(n) => write!(f, "{n}"),
+            Tok::Str(s) => write!(f, "{s:?}"),
+            Tok::Lower(s) | Tok::Upper(s) => write!(f, "{s}"),
+            Tok::LParen => f.write_str("("),
+            Tok::RParen => f.write_str(")"),
+            Tok::LBracket => f.write_str("["),
+            Tok::RBracket => f.write_str("]"),
+            Tok::LBrace => f.write_str("{"),
+            Tok::RBrace => f.write_str("}"),
+            Tok::Comma => f.write_str(","),
+            Tok::Dot => f.write_str("."),
+            Tok::Colon => f.write_str(":"),
+            Tok::ColonColon => f.write_str("::"),
+            Tok::FatArrow => f.write_str("=>"),
+            Tok::Arrow => f.write_str("->"),
+            Tok::Lambda => f.write_str("\\"),
+            Tok::Question => f.write_str("?"),
+            Tok::Star => f.write_str("*"),
+            Tok::Plus => f.write_str("+"),
+            Tok::Minus => f.write_str("-"),
+            Tok::Slash => f.write_str("/"),
+            Tok::Percent => f.write_str("%"),
+            Tok::EqEq => f.write_str("=="),
+            Tok::Eq => f.write_str("="),
+            Tok::Lt => f.write_str("<"),
+            Tok::Le => f.write_str("<="),
+            Tok::AndAnd => f.write_str("&&"),
+            Tok::OrOr => f.write_str("||"),
+            Tok::PlusPlus => f.write_str("++"),
+            Tok::Pipe => f.write_str("|"),
+            Tok::Eof => f.write_str("<end of input>"),
+        }
+    }
+}
+
+struct Lexer<'s> {
+    src: &'s [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+impl<'s> Lexer<'s> {
+    fn new(src: &'s str) -> Lexer<'s> {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            line: self.line,
+            col: self.col,
+            message: message.into(),
+        }
+    }
+
+    fn peek_byte(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek_byte()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        loop {
+            match self.peek_byte() {
+                Some(b) if b.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'-') if self.src.get(self.pos + 1) == Some(&b'-') => {
+                    while let Some(b) = self.peek_byte() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<(Tok, usize, usize), ParseError> {
+        self.skip_ws();
+        let (line, col) = (self.line, self.col);
+        let Some(b) = self.peek_byte() else {
+            return Ok((Tok::Eof, line, col));
+        };
+        let tok = match b {
+            b'0'..=b'9' => {
+                let mut n: i64 = 0;
+                while let Some(d) = self.peek_byte() {
+                    if d.is_ascii_digit() {
+                        n = n
+                            .checked_mul(10)
+                            .and_then(|n| n.checked_add(i64::from(d - b'0')))
+                            .ok_or_else(|| self.error("integer literal overflows i64"))?;
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                Tok::Int(n)
+            }
+            b'"' => {
+                self.bump();
+                let mut s = String::new();
+                loop {
+                    match self.bump() {
+                        None => return Err(self.error("unterminated string literal")),
+                        Some(b'"') => break,
+                        Some(b'\\') => match self.bump() {
+                            Some(b'n') => s.push('\n'),
+                            Some(b't') => s.push('\t'),
+                            Some(b'\\') => s.push('\\'),
+                            Some(b'"') => s.push('"'),
+                            other => {
+                                return Err(self.error(format!(
+                                    "invalid escape `\\{}`",
+                                    other.map(char::from).unwrap_or(' ')
+                                )))
+                            }
+                        },
+                        Some(c) => s.push(char::from(c)),
+                    }
+                }
+                Tok::Str(s)
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = self.pos;
+                while let Some(c) = self.peek_byte() {
+                    if c.is_ascii_alphanumeric() || c == b'_' || c == b'\'' {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                let word = std::str::from_utf8(&self.src[start..self.pos])
+                    .expect("ascii")
+                    .to_owned();
+                if word.as_bytes()[0].is_ascii_uppercase() {
+                    Tok::Upper(word)
+                } else {
+                    Tok::Lower(word)
+                }
+            }
+            _ => {
+                self.bump();
+                match b {
+                    b'(' => Tok::LParen,
+                    b')' => Tok::RParen,
+                    b'[' => Tok::LBracket,
+                    b']' => Tok::RBracket,
+                    b'{' => Tok::LBrace,
+                    b'}' => Tok::RBrace,
+                    b',' => Tok::Comma,
+                    b'.' => Tok::Dot,
+                    b'\\' => Tok::Lambda,
+                    b'?' => Tok::Question,
+                    b'*' => Tok::Star,
+                    b'/' => Tok::Slash,
+                    b'%' => Tok::Percent,
+                    b':' => {
+                        if self.peek_byte() == Some(b':') {
+                            self.bump();
+                            Tok::ColonColon
+                        } else {
+                            Tok::Colon
+                        }
+                    }
+                    b'=' => match self.peek_byte() {
+                        Some(b'>') => {
+                            self.bump();
+                            Tok::FatArrow
+                        }
+                        Some(b'=') => {
+                            self.bump();
+                            Tok::EqEq
+                        }
+                        _ => Tok::Eq,
+                    },
+                    b'-' => {
+                        if self.peek_byte() == Some(b'>') {
+                            self.bump();
+                            Tok::Arrow
+                        } else {
+                            Tok::Minus
+                        }
+                    }
+                    b'+' => {
+                        if self.peek_byte() == Some(b'+') {
+                            self.bump();
+                            Tok::PlusPlus
+                        } else {
+                            Tok::Plus
+                        }
+                    }
+                    b'<' => {
+                        if self.peek_byte() == Some(b'=') {
+                            self.bump();
+                            Tok::Le
+                        } else {
+                            Tok::Lt
+                        }
+                    }
+                    b'&' => {
+                        if self.peek_byte() == Some(b'&') {
+                            self.bump();
+                            Tok::AndAnd
+                        } else {
+                            return Err(self.error("expected `&&`"));
+                        }
+                    }
+                    b'|' => {
+                        if self.peek_byte() == Some(b'|') {
+                            self.bump();
+                            Tok::OrOr
+                        } else {
+                            Tok::Pipe
+                        }
+                    }
+                    other => {
+                        return Err(self.error(format!(
+                            "unexpected character `{}`",
+                            char::from(other)
+                        )))
+                    }
+                }
+            }
+        };
+        Ok((tok, line, col))
+    }
+}
+
+fn tokenize(src: &str) -> Result<Vec<(Tok, usize, usize)>, ParseError> {
+    let mut lx = Lexer::new(src);
+    let mut out = Vec::new();
+    loop {
+        let t = lx.next_token()?;
+        let done = t.0 == Tok::Eof;
+        out.push(t);
+        if done {
+            return Ok(out);
+        }
+    }
+}
+
+struct Parser {
+    toks: Vec<(Tok, usize, usize)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].0
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].0.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        let (_, line, col) = &self.toks[self.pos];
+        ParseError {
+            line: *line,
+            col: *col,
+            message: message.into(),
+        }
+    }
+
+    fn expect(&mut self, t: &Tok) -> Result<(), ParseError> {
+        if self.peek() == t {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{t}`, found `{}`", self.peek())))
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.peek() {
+            Tok::Lower(w) if w == kw => {
+                self.bump();
+                Ok(())
+            }
+            other => Err(self.error(format!("expected `{kw}`, found `{other}`"))),
+        }
+    }
+
+    fn at_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Lower(w) if w == kw)
+    }
+
+    fn lower_ident(&mut self) -> Result<Symbol, ParseError> {
+        match self.peek().clone() {
+            Tok::Lower(w) if !is_keyword(&w) => {
+                self.bump();
+                Ok(Symbol::intern(&w))
+            }
+            other => Err(self.error(format!("expected identifier, found `{other}`"))),
+        }
+    }
+
+    fn upper_ident(&mut self) -> Result<Symbol, ParseError> {
+        match self.peek().clone() {
+            Tok::Upper(w) if !is_base_type(&w) => {
+                self.bump();
+                Ok(Symbol::intern(&w))
+            }
+            other => Err(self.error(format!("expected interface name, found `{other}`"))),
+        }
+    }
+
+    // ---------- types ----------
+
+    /// type := ['forall' ident+ '.'] ['{' ctx '}' '=>'] arrow
+    fn parse_type(&mut self) -> Result<Type, ParseError> {
+        Ok(Type::rule(self.parse_rule_type()?))
+    }
+
+    fn parse_rule_type(&mut self) -> Result<RuleType, ParseError> {
+        let mut vars = Vec::new();
+        if self.at_kw("forall") {
+            self.bump();
+            while matches!(self.peek(), Tok::Lower(w) if !is_keyword(w)) {
+                vars.push(self.lower_ident()?);
+            }
+            if vars.is_empty() {
+                return Err(self.error("`forall` needs at least one variable"));
+            }
+            self.expect(&Tok::Dot)?;
+        }
+        let mut context = Vec::new();
+        let has_context = *self.peek() == Tok::LBrace;
+        if has_context {
+            self.bump();
+            if *self.peek() != Tok::RBrace {
+                loop {
+                    context.push(self.parse_rule_type()?);
+                    if *self.peek() == Tok::Comma {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            self.expect(&Tok::RBrace)?;
+            self.expect(&Tok::FatArrow)?;
+        }
+        let head = self.parse_arrow_type()?;
+        Ok(RuleType::new(vars, context, head))
+    }
+
+    /// arrow := prod ['->' arrow]
+    fn parse_arrow_type(&mut self) -> Result<Type, ParseError> {
+        let left = self.parse_prod_type()?;
+        if *self.peek() == Tok::Arrow {
+            self.bump();
+            let right = self.parse_arrow_type()?;
+            Ok(Type::arrow(left, right))
+        } else {
+            Ok(left)
+        }
+    }
+
+    /// prod := app ('*' app)*
+    fn parse_prod_type(&mut self) -> Result<Type, ParseError> {
+        let mut left = self.parse_app_type()?;
+        while *self.peek() == Tok::Star {
+            self.bump();
+            let right = self.parse_app_type()?;
+            left = Type::prod(left, right);
+        }
+        Ok(left)
+    }
+
+    /// app := Upper atom* | lower atom+ | atom
+    fn parse_app_type(&mut self) -> Result<Type, ParseError> {
+        if let Tok::Upper(w) = self.peek().clone() {
+            if w == "List" {
+                // `List` is the built-in constructor: bare it is a
+                // constructor reference, applied it is the list type.
+                self.bump();
+                if self.starts_atom_type() {
+                    let arg = self.parse_atom_type()?;
+                    return Ok(Type::list(arg));
+                }
+                return Ok(Type::Ctor(crate::syntax::TyCon::List));
+            }
+            if !is_base_type(&w) {
+                let name = self.upper_ident()?;
+                let mut args = Vec::new();
+                while self.starts_atom_type() {
+                    args.push(self.parse_atom_type()?);
+                }
+                return Ok(Type::Con(name, args));
+            }
+        }
+        if let Tok::Lower(w) = self.peek().clone() {
+            if !is_keyword(&w) {
+                let head = self.lower_ident()?;
+                let mut args = Vec::new();
+                while self.starts_atom_type() {
+                    args.push(self.parse_atom_type()?);
+                }
+                return Ok(if args.is_empty() {
+                    Type::var(head)
+                } else {
+                    Type::VarApp(head, args)
+                });
+            }
+        }
+        self.parse_atom_type()
+    }
+
+    fn starts_atom_type(&self) -> bool {
+        matches!(self.peek(), Tok::Upper(_) | Tok::LParen | Tok::LBracket)
+            || matches!(self.peek(), Tok::Lower(w) if !is_keyword(w))
+    }
+
+    fn parse_atom_type(&mut self) -> Result<Type, ParseError> {
+        match self.peek().clone() {
+            Tok::Upper(w) => match w.as_str() {
+                "Int" => {
+                    self.bump();
+                    Ok(Type::Int)
+                }
+                "Bool" => {
+                    self.bump();
+                    Ok(Type::Bool)
+                }
+                "String" => {
+                    self.bump();
+                    Ok(Type::Str)
+                }
+                "Unit" => {
+                    self.bump();
+                    Ok(Type::Unit)
+                }
+                "List" => {
+                    self.bump();
+                    Ok(Type::Ctor(crate::syntax::TyCon::List))
+                }
+                _ => {
+                    // A bare constructor (no arguments at atom level).
+                    let name = self.upper_ident()?;
+                    Ok(Type::Con(name, Vec::new()))
+                }
+            },
+            Tok::Lower(w) if !is_keyword(&w) => {
+                self.bump();
+                Ok(Type::var(Symbol::intern(&w)))
+            }
+            Tok::LBracket => {
+                self.bump();
+                let t = self.parse_type()?;
+                self.expect(&Tok::RBracket)?;
+                Ok(Type::list(t))
+            }
+            Tok::LParen => {
+                self.bump();
+                let t = self.parse_type()?;
+                self.expect(&Tok::RParen)?;
+                Ok(t)
+            }
+            other => Err(self.error(format!("expected a type, found `{other}`"))),
+        }
+    }
+
+    // ---------- expressions ----------
+
+    fn parse_expr(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            Tok::Lambda => {
+                self.bump();
+                let x = self.lower_ident()?;
+                self.expect(&Tok::Colon)?;
+                let t = self.parse_type()?;
+                self.expect(&Tok::Dot)?;
+                let body = self.parse_expr()?;
+                Ok(Expr::lam(x, t, body))
+            }
+            Tok::Lower(w) if w == "fix" => {
+                self.bump();
+                let x = self.lower_ident()?;
+                self.expect(&Tok::Colon)?;
+                let t = self.parse_type()?;
+                self.expect(&Tok::Dot)?;
+                let body = self.parse_expr()?;
+                Ok(Expr::Fix(x, t, Rc::new(body)))
+            }
+            Tok::Lower(w) if w == "if" => {
+                self.bump();
+                let c = self.parse_with_expr()?;
+                self.expect_kw("then")?;
+                let t = self.parse_with_expr()?;
+                self.expect_kw("else")?;
+                let e = self.parse_expr()?;
+                Ok(Expr::if_(c, t, e))
+            }
+            Tok::Lower(w) if w == "case" => {
+                self.bump();
+                let scrut = self.parse_with_expr()?;
+                self.expect_kw("of")?;
+                self.expect_kw("nil")?;
+                self.expect(&Tok::Arrow)?;
+                let nil = self.parse_with_expr()?;
+                self.expect(&Tok::Pipe)?;
+                let h = self.lower_ident()?;
+                self.expect(&Tok::ColonColon)?;
+                let t = self.lower_ident()?;
+                self.expect(&Tok::Arrow)?;
+                let cons = self.parse_expr()?;
+                Ok(Expr::ListCase {
+                    scrut: Rc::new(scrut),
+                    nil: Rc::new(nil),
+                    head: h,
+                    tail: t,
+                    cons: Rc::new(cons),
+                })
+            }
+            Tok::Lower(w) if w == "let" => {
+                self.bump();
+                let x = self.lower_ident()?;
+                self.expect(&Tok::Colon)?;
+                let t = self.parse_type()?;
+                self.expect(&Tok::Eq)?;
+                let bound = self.parse_expr()?;
+                self.expect_kw("in")?;
+                let body = self.parse_expr()?;
+                Ok(Expr::let_(x, t, bound, body))
+            }
+            Tok::Lower(w) if w == "implicit" => {
+                self.bump();
+                self.expect(&Tok::LBrace)?;
+                let mut args = Vec::new();
+                if *self.peek() != Tok::RBrace {
+                    loop {
+                        let e = self.parse_arg_expr()?;
+                        self.expect(&Tok::Colon)?;
+                        let r = self.parse_rule_type()?;
+                        args.push((e, r));
+                        if *self.peek() == Tok::Comma {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&Tok::RBrace)?;
+                self.expect_kw("in")?;
+                let body = self.parse_expr()?;
+                self.expect(&Tok::Colon)?;
+                let ty = self.parse_type()?;
+                Ok(Expr::implicit(args, body, ty))
+            }
+            _ => self.parse_with_expr(),
+        }
+    }
+
+    /// An argument expression in `with { e : rho }` / `implicit`
+    /// lists: a full expression, except that a top-level `implicit`
+    /// body annotation would swallow the `:` separator, so `implicit`
+    /// arguments must be parenthesized there.
+    fn parse_arg_expr(&mut self) -> Result<Expr, ParseError> {
+        if self.at_kw("implicit") {
+            return Err(self.error(
+                "parenthesize an `implicit` expression used as a `with` argument",
+            ));
+        }
+        self.parse_expr()
+    }
+
+    /// withexpr := binary ('with' '{' args '}')*
+    fn parse_with_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.parse_binary(2)?;
+        while self.at_kw("with") {
+            self.bump();
+            self.expect(&Tok::LBrace)?;
+            let mut args = Vec::new();
+            if *self.peek() != Tok::RBrace {
+                loop {
+                    let a = self.parse_arg_expr()?;
+                    self.expect(&Tok::Colon)?;
+                    let r = self.parse_rule_type()?;
+                    args.push((a, r));
+                    if *self.peek() == Tok::Comma {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            self.expect(&Tok::RBrace)?;
+            e = Expr::with(e, args);
+        }
+        Ok(e)
+    }
+
+    /// Precedence-climbing binary expressions; levels match the
+    /// pretty printer (2 `||`, 3 `&&`, 4 comparisons, 5 `++`/`::`,
+    /// 6 `+`/`-`, 7 `*`/`/`/`%`).
+    fn parse_binary(&mut self, min_level: u8) -> Result<Expr, ParseError> {
+        if min_level > 7 {
+            return self.parse_app();
+        }
+        let mut left = self.parse_binary(min_level + 1)?;
+        loop {
+            let op = match (min_level, self.peek()) {
+                (2, Tok::OrOr) => Some(BinOp::Or),
+                (3, Tok::AndAnd) => Some(BinOp::And),
+                (4, Tok::EqEq) => Some(BinOp::Eq),
+                (4, Tok::Lt) => Some(BinOp::Lt),
+                (4, Tok::Le) => Some(BinOp::Le),
+                (5, Tok::PlusPlus) => Some(BinOp::Concat),
+                (6, Tok::Plus) => Some(BinOp::Add),
+                (6, Tok::Minus) => Some(BinOp::Sub),
+                (7, Tok::Star) => Some(BinOp::Mul),
+                (7, Tok::Slash) => Some(BinOp::Div),
+                (7, Tok::Percent) => Some(BinOp::Mod),
+                _ => None,
+            };
+            if let Some(op) = op {
+                self.bump();
+                let right = self.parse_binary(min_level + 1)?;
+                left = Expr::binop(op, left, right);
+                continue;
+            }
+            // Cons is right-associative at level 5.
+            if min_level == 5 && *self.peek() == Tok::ColonColon {
+                self.bump();
+                let right = self.parse_binary(5)?;
+                left = Expr::Cons(Rc::new(left), Rc::new(right));
+                continue;
+            }
+            return Ok(left);
+        }
+    }
+
+    /// app := prefix postfix* (application is left-associative;
+    /// postfix is type application `[τ̄]` or projection `.field`)
+    fn parse_app(&mut self) -> Result<Expr, ParseError> {
+        // Prefix keyword operators.
+        for (kw, op) in [
+            ("not", UnOp::Not),
+            ("neg", UnOp::Neg),
+            ("showInt", UnOp::IntToStr),
+        ] {
+            if self.at_kw(kw) {
+                self.bump();
+                let e = self.parse_postfix()?;
+                return Ok(Expr::UnOp(op, Rc::new(e)));
+            }
+        }
+        if self.at_kw("fst") {
+            self.bump();
+            return Ok(Expr::Fst(Rc::new(self.parse_postfix()?)));
+        }
+        if self.at_kw("snd") {
+            self.bump();
+            return Ok(Expr::Snd(Rc::new(self.parse_postfix()?)));
+        }
+        let mut e = self.parse_postfix()?;
+        while self.starts_atom_expr() {
+            let arg = self.parse_postfix()?;
+            e = Expr::app(e, arg);
+        }
+        Ok(e)
+    }
+
+    fn starts_atom_expr(&self) -> bool {
+        match self.peek() {
+            Tok::Int(_) | Tok::Str(_) | Tok::LParen | Tok::Question => true,
+            Tok::Upper(w) => !is_base_type(w),
+            Tok::Lower(w) => {
+                !is_keyword(w)
+                    || matches!(
+                        w.as_str(),
+                        "true" | "false" | "unit" | "nil" | "rule" | "con" | "match"
+                    )
+            }
+            _ => false,
+        }
+    }
+
+    fn parse_postfix(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.parse_atom_expr()?;
+        loop {
+            match self.peek() {
+                Tok::LBracket => {
+                    self.bump();
+                    let mut ts = Vec::new();
+                    if *self.peek() != Tok::RBracket {
+                        loop {
+                            ts.push(self.parse_type()?);
+                            if *self.peek() == Tok::Comma {
+                                self.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&Tok::RBracket)?;
+                    e = Expr::TyApp(Rc::new(e), ts);
+                }
+                Tok::Dot => {
+                    self.bump();
+                    let field = self.lower_ident()?;
+                    e = Expr::Proj(Rc::new(e), field);
+                }
+                _ => return Ok(e),
+            }
+        }
+    }
+
+    fn parse_atom_expr(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            Tok::Int(n) => {
+                self.bump();
+                Ok(Expr::Int(n))
+            }
+            Tok::Str(s) => {
+                self.bump();
+                Ok(Expr::Str(s))
+            }
+            Tok::Question => {
+                self.bump();
+                self.expect(&Tok::LParen)?;
+                let r = self.parse_rule_type()?;
+                self.expect(&Tok::RParen)?;
+                Ok(Expr::Query(r))
+            }
+            Tok::Lower(w) => match w.as_str() {
+                "true" => {
+                    self.bump();
+                    Ok(Expr::Bool(true))
+                }
+                "false" => {
+                    self.bump();
+                    Ok(Expr::Bool(false))
+                }
+                "unit" => {
+                    self.bump();
+                    Ok(Expr::Unit)
+                }
+                "nil" => {
+                    self.bump();
+                    self.expect(&Tok::LBracket)?;
+                    let t = self.parse_type()?;
+                    self.expect(&Tok::RBracket)?;
+                    Ok(Expr::Nil(t))
+                }
+                "rule" => {
+                    self.bump();
+                    self.expect(&Tok::LParen)?;
+                    let r = self.parse_rule_type()?;
+                    self.expect(&Tok::RParen)?;
+                    self.expect(&Tok::LParen)?;
+                    let body = self.parse_expr()?;
+                    self.expect(&Tok::RParen)?;
+                    if r.is_trivial() {
+                        return Err(self.error("trivial rule abstraction (empty quantifier and context)"));
+                    }
+                    Ok(Expr::rule_abs(r, body))
+                }
+                "con" => {
+                    // con C [τ̄] (e₁, …, eₙ)
+                    self.bump();
+                    let ctor = self.upper_ident()?;
+                    let mut targs = Vec::new();
+                    if *self.peek() == Tok::LBracket {
+                        self.bump();
+                        if *self.peek() != Tok::RBracket {
+                            loop {
+                                targs.push(self.parse_type()?);
+                                if *self.peek() == Tok::Comma {
+                                    self.bump();
+                                } else {
+                                    break;
+                                }
+                            }
+                        }
+                        self.expect(&Tok::RBracket)?;
+                    }
+                    self.expect(&Tok::LParen)?;
+                    let mut args = Vec::new();
+                    if *self.peek() != Tok::RParen {
+                        loop {
+                            args.push(self.parse_expr()?);
+                            if *self.peek() == Tok::Comma {
+                                self.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&Tok::RParen)?;
+                    Ok(Expr::Inject(ctor, targs, args))
+                }
+                "match" => {
+                    // match e { C x̄ -> e | … }
+                    self.bump();
+                    let scrut = self.parse_binary(2)?;
+                    self.expect(&Tok::LBrace)?;
+                    let mut arms = Vec::new();
+                    loop {
+                        let ctor = self.upper_ident()?;
+                        let mut binders = Vec::new();
+                        while matches!(self.peek(), Tok::Lower(w) if !is_keyword(w)) {
+                            binders.push(self.lower_ident()?);
+                        }
+                        self.expect(&Tok::Arrow)?;
+                        let body = self.parse_expr()?;
+                        arms.push(crate::syntax::MatchArm { ctor, binders, body });
+                        if *self.peek() == Tok::Pipe {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    self.expect(&Tok::RBrace)?;
+                    Ok(Expr::Match(Rc::new(scrut), arms))
+                }
+                _ if !is_keyword(&w) => {
+                    self.bump();
+                    Ok(Expr::var(Symbol::intern(&w)))
+                }
+                _ => Err(self.error(format!("unexpected keyword `{w}`"))),
+            },
+            Tok::Upper(w) if !is_base_type(&w) => {
+                // Record construction: I [τ̄]? { u = e, … }
+                let name = self.upper_ident()?;
+                let mut args = Vec::new();
+                if *self.peek() == Tok::LBracket {
+                    self.bump();
+                    if *self.peek() != Tok::RBracket {
+                        loop {
+                            args.push(self.parse_type()?);
+                            if *self.peek() == Tok::Comma {
+                                self.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&Tok::RBracket)?;
+                }
+                self.expect(&Tok::LBrace)?;
+                let mut fields = Vec::new();
+                if *self.peek() != Tok::RBrace {
+                    loop {
+                        let u = self.lower_ident()?;
+                        self.expect(&Tok::Eq)?;
+                        let e = self.parse_expr()?;
+                        fields.push((u, e));
+                        if *self.peek() == Tok::Comma {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&Tok::RBrace)?;
+                Ok(Expr::Make(name, args, fields))
+            }
+            Tok::LParen => {
+                self.bump();
+                let e = self.parse_expr()?;
+                if *self.peek() == Tok::Comma {
+                    self.bump();
+                    let e2 = self.parse_expr()?;
+                    self.expect(&Tok::RParen)?;
+                    Ok(Expr::pair(e, e2))
+                } else {
+                    self.expect(&Tok::RParen)?;
+                    Ok(e)
+                }
+            }
+            other => Err(self.error(format!("expected an expression, found `{other}`"))),
+        }
+    }
+
+    // ---------- programs ----------
+
+    /// data D p₁ … pₙ = C₁ T̄₁ | … | Cₖ T̄ₖ
+    fn parse_data(&mut self) -> Result<ParsedData, ParseError> {
+        self.expect_kw("data")?;
+        let name = self.upper_ident()?;
+        let mut params = Vec::new();
+        while matches!(self.peek(), Tok::Lower(w) if !is_keyword(w)) {
+            params.push(self.lower_ident()?);
+        }
+        self.expect(&Tok::Eq)?;
+        let mut ctors = Vec::new();
+        loop {
+            let ctor = self.upper_ident()?;
+            let mut args = Vec::new();
+            while self.starts_atom_type() {
+                args.push(self.parse_atom_type()?);
+            }
+            ctors.push((ctor, args));
+            if *self.peek() == Tok::Pipe {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        Ok((name, params, ctors))
+    }
+
+    fn parse_interface(&mut self) -> Result<InterfaceDecl, ParseError> {
+        self.expect_kw("interface")?;
+        let name = self.upper_ident()?;
+        let mut vars = Vec::new();
+        while matches!(self.peek(), Tok::Lower(w) if !is_keyword(w)) {
+            vars.push(self.lower_ident()?);
+        }
+        self.expect(&Tok::Eq)?;
+        self.expect(&Tok::LBrace)?;
+        let mut fields = Vec::new();
+        if *self.peek() != Tok::RBrace {
+            loop {
+                let u = self.lower_ident()?;
+                self.expect(&Tok::Colon)?;
+                let t = self.parse_type()?;
+                fields.push((u, t));
+                if *self.peek() == Tok::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&Tok::RBrace)?;
+        Ok(InterfaceDecl { name, vars, fields })
+    }
+}
+
+fn is_keyword(w: &str) -> bool {
+    matches!(
+        w,
+        "forall"
+            | "rule"
+            | "with"
+            | "implicit"
+            | "in"
+            | "if"
+            | "then"
+            | "else"
+            | "true"
+            | "false"
+            | "unit"
+            | "nil"
+            | "case"
+            | "of"
+            | "fix"
+            | "let"
+            | "not"
+            | "neg"
+            | "showInt"
+            | "fst"
+            | "snd"
+            | "interface"
+            | "data"
+            | "con"
+            | "match"
+    )
+}
+
+fn is_base_type(w: &str) -> bool {
+    matches!(w, "Int" | "Bool" | "String" | "Unit")
+}
+
+fn run_parser<T>(
+    src: &str,
+    f: impl FnOnce(&mut Parser) -> Result<T, ParseError>,
+) -> Result<T, ParseError> {
+    let toks = tokenize(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let out = f(&mut p)?;
+    if *p.peek() != Tok::Eof {
+        return Err(p.error(format!("unexpected trailing `{}`", p.peek())));
+    }
+    Ok(out)
+}
+
+/// Parses a type.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with position information.
+pub fn parse_type(src: &str) -> Result<Type, ParseError> {
+    run_parser(src, Parser::parse_type)
+}
+
+/// Parses a rule type (`forall ā. {π} => τ`, with quantifier and
+/// context optional).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with position information.
+pub fn parse_rule_type(src: &str) -> Result<RuleType, ParseError> {
+    run_parser(src, Parser::parse_rule_type)
+}
+
+/// Parses an expression.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with position information.
+///
+/// # Examples
+///
+/// ```
+/// use implicit_core::parse::parse_expr;
+///
+/// let e = parse_expr("implicit {1 : Int, true : Bool} in (?(Int) + 1, not ?(Bool)) : Int * Bool")?;
+/// # let _ = e;
+/// # Ok::<(), implicit_core::parse::ParseError>(())
+/// ```
+pub fn parse_expr(src: &str) -> Result<Expr, ParseError> {
+    run_parser(src, Parser::parse_expr)
+}
+
+/// Parses a whole program: `interface` declarations followed by one
+/// expression.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with position information, or an
+/// interface-redeclaration error mapped onto the declaration site.
+pub fn parse_program(src: &str) -> Result<(Declarations, Expr), ParseError> {
+    run_parser(src, |p| {
+        let mut decls = Declarations::new();
+        while p.at_kw("interface") || p.at_kw("data") {
+            let (line, col) = {
+                let (_, l, c) = &p.toks[p.pos];
+                (*l, *c)
+            };
+            let fail = |message: String| ParseError { line, col, message };
+            if p.at_kw("interface") {
+                let d = p.parse_interface()?;
+                decls.declare(d).map_err(fail)?;
+            } else {
+                let (name, params, ctors) = p.parse_data()?;
+                let d = crate::syntax::DataDecl::infer(name, params, ctors).map_err(fail)?;
+                decls.declare_data(d).map_err(fail)?;
+            }
+        }
+        let e = p.parse_expr()?;
+        Ok((decls, e))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_types() {
+        assert_eq!(parse_type("Int").unwrap(), Type::Int);
+        assert_eq!(
+            parse_type("Int -> Bool -> Int").unwrap(),
+            Type::arrow(Type::Int, Type::arrow(Type::Bool, Type::Int))
+        );
+        assert_eq!(
+            parse_type("Int * Bool").unwrap(),
+            Type::prod(Type::Int, Type::Bool)
+        );
+        assert_eq!(parse_type("[Int]").unwrap(), Type::list(Type::Int));
+        assert_eq!(
+            parse_type("(Int -> Int) -> Bool").unwrap(),
+            Type::arrow(Type::arrow(Type::Int, Type::Int), Type::Bool)
+        );
+    }
+
+    #[test]
+    fn parses_rule_types() {
+        let r = parse_rule_type("forall a. {a} => a * a").unwrap();
+        assert_eq!(r.vars().len(), 1);
+        assert_eq!(r.context().len(), 1);
+        let r2 = parse_rule_type("{Int, Bool} => Int").unwrap();
+        assert_eq!(r2.context().len(), 2);
+        assert!(parse_rule_type("Int").unwrap().is_trivial());
+    }
+
+    #[test]
+    fn trivial_rule_types_collapse_in_types() {
+        // A parenthesized context-free "rule type" is just the type.
+        assert_eq!(parse_type("(Int)").unwrap(), Type::Int);
+    }
+
+    #[test]
+    fn parses_paper_example_e1() {
+        let e = parse_expr(
+            "implicit {1 : Int, true : Bool} in (?(Int) + 1, not ?(Bool)) : Int * Bool",
+        )
+        .unwrap();
+        assert!(matches!(e, Expr::RuleApp(_, _)));
+    }
+
+    #[test]
+    fn parses_higher_order_rule_e2() {
+        let src = "implicit {3 : Int, rule ({Int} => Int * Int) ((?(Int), ?(Int) + 1)) : {Int} => Int * Int} in ?(Int * Int) : Int * Int";
+        let e = parse_expr(src).unwrap();
+        assert!(matches!(e, Expr::RuleApp(_, _)));
+    }
+
+    #[test]
+    fn parses_lambda_and_application() {
+        let e = parse_expr("(\\x : Int. x + 1) 41").unwrap();
+        match &e {
+            Expr::App(f, a) => {
+                assert!(matches!(&**f, Expr::Lam(_, Type::Int, _)));
+                assert_eq!(**a, Expr::Int(41));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_type_application_and_with() {
+        let e = parse_expr(
+            "rule (forall a. {a} => a * a) ((?(a), ?(a))) [Int] with {3 : Int}",
+        )
+        .unwrap();
+        assert!(matches!(e, Expr::RuleApp(_, _)));
+    }
+
+    #[test]
+    fn parses_interfaces_and_records() {
+        let (decls, e) = parse_program(
+            "interface Eq a = { eq : a -> a -> Bool }\n\
+             (Eq [Int] { eq = \\x : Int. \\y : Int. x == y }).eq 1 2",
+        )
+        .unwrap();
+        assert!(decls.lookup(Symbol::intern("Eq")).is_some());
+        assert!(matches!(e, Expr::App(_, _)));
+    }
+
+    #[test]
+    fn parses_case_fix_let_strings() {
+        let src = r#"
+            let join : [String] -> String =
+              fix go : [String] -> String.
+                \xs : [String]. case xs of nil -> "" | h :: t -> h ++ go t
+            in join ("a" :: "b" :: nil [String])
+        "#;
+        let e = parse_expr(src).unwrap();
+        assert!(matches!(e, Expr::App(_, _)));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let e = parse_expr("1 + -- a comment\n 2").unwrap();
+        assert_eq!(e, Expr::binop(BinOp::Add, Expr::Int(1), Expr::Int(2)));
+    }
+
+    #[test]
+    fn operator_precedence_matches_printer() {
+        let e = parse_expr("1 + 2 * 3 == 7 && true").unwrap();
+        // ((1 + (2*3)) == 7) && true
+        match e {
+            Expr::BinOp(BinOp::And, l, _) => match &*l {
+                Expr::BinOp(BinOp::Eq, _, _) => {}
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let err = parse_expr("1 +\n  )").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("parse error"));
+    }
+
+    #[test]
+    fn roundtrip_print_parse() {
+        let sources = [
+            "implicit {1 : Int, true : Bool} in (?(Int) + 1, not ?(Bool)) : Int * Bool",
+            "rule (forall a. {a} => a * a) ((?(a), ?(a))) [Int] with {3 : Int}",
+            "\\x : Int. if x < 2 then x else x * 2",
+            "case 1 :: nil [Int] of nil -> 0 | h :: t -> h",
+            "fix f : Int -> Int. \\n : Int. if n <= 0 then 1 else n * f (n - 1)",
+            "(fst (1, true), snd (1, true))",
+            "showInt 42 ++ \"!\"",
+        ];
+        for src in sources {
+            let e1 = parse_expr(src).unwrap();
+            let printed = e1.to_string();
+            let e2 = parse_expr(&printed)
+                .unwrap_or_else(|err| panic!("reparse of `{printed}` failed: {err}"));
+            assert_eq!(e1, e2, "roundtrip mismatch for `{src}` → `{printed}`");
+        }
+    }
+
+    #[test]
+    fn duplicate_interfaces_error_at_position() {
+        let err = parse_program(
+            "interface A = { x : Int }\ninterface A = { y : Int }\n1",
+        )
+        .unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(parse_expr("\"abc").is_err());
+    }
+
+    #[test]
+    fn integer_overflow_is_reported() {
+        assert!(parse_expr("99999999999999999999999").is_err());
+    }
+}

@@ -1,0 +1,700 @@
+//! Resolution: the judgment `Δ ⊢r ρ` (rule `TyRes`, §3.2).
+//!
+//! Resolution is the novel mechanism of λ⇒. Given a queried rule type
+//! `ρ = ∀ᾱ. π ⇒ τ`, rule `TyRes`:
+//!
+//! 1. looks up `Δ⟨τ⟩ = π′ ⇒ τ` — a rule whose head matches the
+//!    queried head, respecting nested scopes;
+//! 2. recursively resolves `π′ − π`: premises of the found rule that
+//!    the query does not itself assume. Premises in `π ∩ π′` stay
+//!    abstract — this is **partial resolution**.
+//!
+//! Simple types are handled by promotion (`τ` as `∀∅.{} ⇒ τ`), which
+//! makes `TyRes` behave like recursive type-class resolution; proper
+//! rule types match whole rules, possibly partially resolved. The
+//! unified rule subsumes both `SimpleRes` and `RuleRes` of §3.2.
+//!
+//! The resolver returns a full [`Resolution`] *derivation* rather than
+//! a boolean: elaboration (crate `implicit-elab`) turns the derivation
+//! into System F evidence, the operational semantics replays it at
+//! runtime, and tests inspect it.
+//!
+//! Two deliberately rejected alternatives from §3.2 are available as
+//! [`ResolutionPolicy`] switches so that their trade-offs can be
+//! reproduced: backtracking is *never* performed (the paper rejects
+//! it outright), but the *environment-extension* variant — which
+//! resolves `Char ⇒ Int` from `{Char ⇒ Int}` by assuming the queried
+//! context during recursive resolution — can be enabled with
+//! [`ResolutionPolicy::with_env_extension`].
+
+use std::fmt;
+
+use crate::alpha;
+use crate::env::{ImplicitEnv, LookupError, OverlapPolicy};
+use crate::syntax::{RuleType, Type};
+
+/// Resolution configuration.
+#[derive(Clone, Debug)]
+pub struct ResolutionPolicy {
+    /// Overlap handling within one frame.
+    pub overlap: OverlapPolicy,
+    /// Enables the §3.2 environment-extension variant ("we have
+    /// considered another definition of resolution"): recursive
+    /// premises may use the queried context as additional nearest
+    /// assumptions. Off by default, as in the paper.
+    pub env_extension: bool,
+    /// Recursion fuel. The termination conditions of Appendix A
+    /// guarantee termination for checked environments; the fuel turns
+    /// non-termination of unchecked environments (e.g. the
+    /// `{Char}⇒Int, {Int}⇒Char` loop) into an error.
+    pub max_depth: usize,
+}
+
+impl Default for ResolutionPolicy {
+    fn default() -> ResolutionPolicy {
+        ResolutionPolicy {
+            overlap: OverlapPolicy::Forbid,
+            env_extension: false,
+            max_depth: 512,
+        }
+    }
+}
+
+impl ResolutionPolicy {
+    /// The paper's resolution: no overlap, no environment extension.
+    pub fn paper() -> ResolutionPolicy {
+        ResolutionPolicy::default()
+    }
+
+    /// Enables most-specific overlap resolution (companion note).
+    pub fn with_most_specific(mut self) -> ResolutionPolicy {
+        self.overlap = OverlapPolicy::MostSpecific;
+        self
+    }
+
+    /// Enables the environment-extension variant of §3.2.
+    pub fn with_env_extension(mut self) -> ResolutionPolicy {
+        self.env_extension = true;
+        self
+    }
+
+    /// Overrides the recursion fuel.
+    pub fn with_max_depth(mut self, depth: usize) -> ResolutionPolicy {
+        self.max_depth = depth;
+        self
+    }
+}
+
+/// Which rule a resolution step used.
+#[derive(Clone, PartialEq, Debug)]
+pub enum RuleRef {
+    /// A rule from the implicit environment: `frame` counts from the
+    /// innermost scope, `index` is the rule's position in its frame.
+    Env {
+        /// Frame index (0 = innermost).
+        frame: usize,
+        /// Rule position within the frame.
+        index: usize,
+    },
+    /// A rule from an *assumption frame* pushed by the
+    /// environment-extension policy; `level` is the recursion level
+    /// that pushed the frame (0 = the original query). Only produced
+    /// when [`ResolutionPolicy::env_extension`] is on; elaboration
+    /// rejects derivations containing these.
+    Extension {
+        /// Recursion level whose queried context was assumed.
+        level: usize,
+        /// Premise position within that context.
+        index: usize,
+    },
+}
+
+/// Evidence for one premise of the rule used by a resolution step.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Premise {
+    /// The premise is α-equivalent to a premise of the *query's* own
+    /// context and stays abstract (partial resolution): `index` is
+    /// its position in the queried context.
+    Assumed {
+        /// Position in the queried context π.
+        index: usize,
+        /// The premise type.
+        rho: RuleType,
+    },
+    /// The premise was recursively resolved.
+    Derived(Box<Resolution>),
+}
+
+impl Premise {
+    /// The premise's rule type.
+    pub fn rho(&self) -> &RuleType {
+        match self {
+            Premise::Assumed { rho, .. } => rho,
+            Premise::Derived(r) => &r.query,
+        }
+    }
+}
+
+/// A resolution derivation: one `TyRes` application and the evidence
+/// for its recursive premises.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Resolution {
+    /// The resolved query `∀ᾱ. π ⇒ τ`.
+    pub query: RuleType,
+    /// The environment rule used.
+    pub rule: RuleRef,
+    /// The stored rule as found (pre-instantiation).
+    pub rule_type: RuleType,
+    /// Instantiation of the rule's quantifiers, in binder order.
+    pub type_args: Vec<Type>,
+    /// Evidence for the instantiated context `θπ′`, in the rule's
+    /// stored premise order (aligned with the rule's elaborated
+    /// λ-binders).
+    pub premises: Vec<Premise>,
+}
+
+impl Resolution {
+    /// Number of `TyRes` steps in the derivation (1 + recursive
+    /// steps). Useful for tests and benchmarks.
+    pub fn steps(&self) -> usize {
+        1 + self
+            .premises
+            .iter()
+            .map(|p| match p {
+                Premise::Assumed { .. } => 0,
+                Premise::Derived(r) => r.steps(),
+            })
+            .sum::<usize>()
+    }
+
+    /// `true` if any step was *partial* (kept an assumed premise while
+    /// recursively resolving others).
+    pub fn is_partial(&self) -> bool {
+        let here = self.premises.iter().any(|p| matches!(p, Premise::Assumed { .. }))
+            && self
+                .premises
+                .iter()
+                .any(|p| matches!(p, Premise::Derived(_)));
+        here || self.premises.iter().any(|p| match p {
+            Premise::Derived(r) => r.is_partial(),
+            Premise::Assumed { .. } => false,
+        })
+    }
+
+    /// Renders the derivation as an indented, human-readable
+    /// explanation — useful for diagnostics and teaching.
+    ///
+    /// ```text
+    /// (Int * Int) * (Int * Int)  ⇐ rule #0 of scope 0 [Int * Int]
+    ///   Int * Int  ⇐ rule #0 of scope 0 [Int]
+    ///     Int  ⇐ rule #0 of scope 1
+    /// ```
+    pub fn explain(&self) -> String {
+        fn go(res: &Resolution, depth: usize, out: &mut String) {
+            out.push_str(&"  ".repeat(depth));
+            out.push_str(&res.query.to_string());
+            match res.rule {
+                RuleRef::Env { frame, index } => {
+                    out.push_str(&format!("  ⇐ rule #{index} of scope {frame}"));
+                }
+                RuleRef::Extension { level, index } => {
+                    out.push_str(&format!("  ⇐ assumption #{index} at level {level}"));
+                }
+            }
+            if !res.type_args.is_empty() {
+                out.push_str(" [");
+                for (i, t) in res.type_args.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&t.to_string());
+                }
+                out.push(']');
+            }
+            out.push('\n');
+            for p in &res.premises {
+                match p {
+                    Premise::Assumed { rho, .. } => {
+                        out.push_str(&"  ".repeat(depth + 1));
+                        out.push_str(&format!("{rho}  (assumed — partial resolution)\n"));
+                    }
+                    Premise::Derived(inner) => go(inner, depth + 1, out),
+                }
+            }
+        }
+        let mut out = String::new();
+        go(self, 0, &mut out);
+        out
+    }
+
+    /// Aggregate work counters for this derivation against `env`
+    /// (post-hoc; resolution itself is not instrumented). Lookup
+    /// scans every frame nearer than the hit completely, plus the
+    /// whole hit frame (for the `no_overlap` check), so `rules_tried`
+    /// reflects the matching work the derivation caused.
+    pub fn stats(&self, env: &crate::env::ImplicitEnv) -> ResolutionStats {
+        let frame_sizes: Vec<usize> = env
+            .frames_innermost_first()
+            .map(|(_, f)| f.len())
+            .collect();
+        let mut stats = ResolutionStats::default();
+        fn go(res: &Resolution, sizes: &[usize], stats: &mut ResolutionStats) {
+            stats.steps += 1;
+            if let RuleRef::Env { frame, .. } = res.rule {
+                stats.frames_scanned += frame + 1;
+                stats.rules_tried += sizes
+                    .iter()
+                    .take(frame + 1)
+                    .sum::<usize>();
+                stats.max_frame_reached = stats.max_frame_reached.max(frame);
+            }
+            for p in &res.premises {
+                match p {
+                    Premise::Assumed { .. } => stats.assumed += 1,
+                    Premise::Derived(inner) => go(inner, sizes, stats),
+                }
+            }
+        }
+        go(self, &frame_sizes, &mut stats);
+        stats
+    }
+
+    /// `true` if the derivation uses an extension-frame rule and thus
+    /// cannot be elaborated.
+    pub fn uses_extension(&self) -> bool {
+        matches!(self.rule, RuleRef::Extension { .. })
+            || self.premises.iter().any(|p| match p {
+                Premise::Derived(r) => r.uses_extension(),
+                Premise::Assumed { .. } => false,
+            })
+    }
+}
+
+/// Aggregate work counters for a resolution derivation (see
+/// [`Resolution::stats`]).
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct ResolutionStats {
+    /// `TyRes` applications.
+    pub steps: usize,
+    /// Frames visited across all lookups.
+    pub frames_scanned: usize,
+    /// Candidate rules match-tested across all lookups.
+    pub rules_tried: usize,
+    /// Premises discharged by partial resolution.
+    pub assumed: usize,
+    /// Deepest frame index any lookup descended to.
+    pub max_frame_reached: usize,
+}
+
+/// Resolution failure.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ResolveError {
+    /// Lookup failed at some (sub-)query.
+    Lookup {
+        /// The sub-query whose lookup failed.
+        query: RuleType,
+        /// The underlying lookup error.
+        error: LookupError,
+    },
+    /// The recursion fuel ran out — the environment admits a
+    /// non-terminating resolution (see Appendix A).
+    DepthExceeded {
+        /// The original query.
+        query: RuleType,
+        /// The configured fuel.
+        max_depth: usize,
+    },
+}
+
+impl fmt::Display for ResolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResolveError::Lookup { query, error } => {
+                write!(f, "cannot resolve `{query}`: {error}")
+            }
+            ResolveError::DepthExceeded { query, max_depth } => write!(
+                f,
+                "resolution of `{query}` exceeded depth {max_depth} (non-terminating rules?)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ResolveError {}
+
+/// Resolves `query` against `env` (judgment `Δ ⊢r ρ`).
+///
+/// # Errors
+///
+/// Returns [`ResolveError::Lookup`] when some (sub-)query has no,
+/// or no unambiguous, matching rule, and
+/// [`ResolveError::DepthExceeded`] when recursion exceeds the policy's
+/// fuel.
+///
+/// # Examples
+///
+/// ```
+/// use implicit_core::env::ImplicitEnv;
+/// use implicit_core::resolve::{resolve, ResolutionPolicy};
+/// use implicit_core::symbol::Symbol;
+/// use implicit_core::syntax::{RuleType, Type};
+///
+/// // §3.2 Example: Int; ∀α.{α} ⇒ α×α ⊢r Int × Int
+/// let a = Symbol::intern("alpha");
+/// let mut env = ImplicitEnv::new();
+/// env.push(vec![Type::Int.promote()]);
+/// env.push(vec![RuleType::new(
+///     vec![a],
+///     vec![Type::Var(a).promote()],
+///     Type::prod(Type::Var(a), Type::Var(a)),
+/// )]);
+/// let query = Type::prod(Type::Int, Type::Int).promote();
+/// let res = resolve(&env, &query, &ResolutionPolicy::paper()).unwrap();
+/// assert_eq!(res.steps(), 2); // pair rule, then the Int value
+/// ```
+pub fn resolve(
+    env: &ImplicitEnv,
+    query: &RuleType,
+    policy: &ResolutionPolicy,
+) -> Result<Resolution, ResolveError> {
+    let mut assumptions: Vec<Vec<RuleType>> = Vec::new();
+    resolve_rec(env, query, policy, policy.max_depth, &mut assumptions)
+}
+
+fn resolve_rec(
+    env: &ImplicitEnv,
+    query: &RuleType,
+    policy: &ResolutionPolicy,
+    fuel: usize,
+    assumptions: &mut Vec<Vec<RuleType>>,
+) -> Result<Resolution, ResolveError> {
+    if fuel == 0 {
+        return Err(ResolveError::DepthExceeded {
+            query: query.clone(),
+            max_depth: policy.max_depth,
+        });
+    }
+    let target = query.head();
+
+    // Under the environment-extension policy, assumption frames are
+    // nearer than the environment (the variant rule reads Δ,π̄).
+    let hit = lookup_with_assumptions(env, target, policy, assumptions).map_err(|error| {
+        ResolveError::Lookup {
+            query: query.clone(),
+            error,
+        }
+    })?;
+
+    let (rule_ref, rule_type, type_args, inst_context) = hit;
+
+    // Partial resolution: premises α-present in the queried context
+    // stay abstract; the rest are resolved recursively.
+    let mut premises = Vec::with_capacity(inst_context.len());
+    for rho in &inst_context {
+        match alpha::context_position(query.context(), rho) {
+            Some(index) => premises.push(Premise::Assumed {
+                index,
+                rho: rho.clone(),
+            }),
+            None => {
+                if policy.env_extension {
+                    assumptions.push(query.context().to_vec());
+                    let r = resolve_rec(env, rho, policy, fuel - 1, assumptions);
+                    assumptions.pop();
+                    premises.push(Premise::Derived(Box::new(r?)));
+                } else {
+                    let r = resolve_rec(env, rho, policy, fuel - 1, assumptions)?;
+                    premises.push(Premise::Derived(Box::new(r)));
+                }
+            }
+        }
+    }
+
+    Ok(Resolution {
+        query: query.clone(),
+        rule: rule_ref,
+        rule_type,
+        type_args,
+        premises,
+    })
+}
+
+type RawHit = (RuleRef, RuleType, Vec<Type>, Vec<RuleType>);
+
+fn lookup_with_assumptions(
+    env: &ImplicitEnv,
+    target: &Type,
+    policy: &ResolutionPolicy,
+    assumptions: &[Vec<RuleType>],
+) -> Result<RawHit, LookupError> {
+    if policy.env_extension {
+        // Assumption frames, innermost (most recently pushed) first.
+        for (level_rev, frame) in assumptions.iter().rev().enumerate() {
+            let level = assumptions.len() - 1 - level_rev;
+            if let Some((index, rule, args, ctx)) =
+                crate::env::lookup_in_frame(frame, target, policy.overlap)?
+            {
+                return Ok((RuleRef::Extension { level, index }, rule, args, ctx));
+            }
+        }
+    }
+    let hit = env.lookup(target, policy.overlap)?;
+    Ok((
+        RuleRef::Env {
+            frame: hit.frame,
+            index: hit.index,
+        },
+        hit.rule,
+        hit.type_args,
+        hit.context,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::Symbol;
+
+    fn v(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+
+    fn tv(s: &str) -> Type {
+        Type::var(v(s))
+    }
+
+    fn pair_rule() -> RuleType {
+        // ∀a. {a} ⇒ a × a
+        RuleType::new(
+            vec![v("a")],
+            vec![tv("a").promote()],
+            Type::prod(tv("a"), tv("a")),
+        )
+    }
+
+    fn p() -> ResolutionPolicy {
+        ResolutionPolicy::paper()
+    }
+
+    #[test]
+    fn simple_recursive_resolution() {
+        // §3.2 Example 1.
+        let mut env = ImplicitEnv::new();
+        env.push(vec![Type::Int.promote()]);
+        env.push(vec![pair_rule()]);
+        let res = resolve(&env, &Type::prod(Type::Int, Type::Int).promote(), &p()).unwrap();
+        assert_eq!(res.steps(), 2);
+        assert!(!res.is_partial());
+        // First step used the pair rule from the innermost frame.
+        assert_eq!(res.rule, RuleRef::Env { frame: 0, index: 0 });
+        assert_eq!(res.type_args, vec![Type::Int]);
+    }
+
+    #[test]
+    fn rule_type_resolution_without_recursion() {
+        // §3.2 Example 2: querying {Int} ⇒ Int × Int matches the rule
+        // wholesale; the Int premise stays abstract.
+        let mut env = ImplicitEnv::new();
+        env.push(vec![Type::Int.promote()]);
+        env.push(vec![pair_rule()]);
+        let query = RuleType::mono(vec![Type::Int.promote()], Type::prod(Type::Int, Type::Int));
+        let res = resolve(&env, &query, &p()).unwrap();
+        assert_eq!(res.steps(), 1, "no recursive resolution may happen");
+        assert_eq!(res.premises.len(), 1);
+        assert!(matches!(res.premises[0], Premise::Assumed { index: 0, .. }));
+    }
+
+    #[test]
+    fn partial_resolution() {
+        // §3.2 Example 3: Bool; ∀α.{Bool,α} ⇒ α×α ⊢r {Int} ⇒ Int×Int.
+        let rule = RuleType::new(
+            vec![v("a")],
+            vec![Type::Bool.promote(), tv("a").promote()],
+            Type::prod(tv("a"), tv("a")),
+        );
+        let mut env = ImplicitEnv::new();
+        env.push(vec![Type::Bool.promote()]);
+        env.push(vec![rule]);
+        let query = RuleType::mono(vec![Type::Int.promote()], Type::prod(Type::Int, Type::Int));
+        let res = resolve(&env, &query, &p()).unwrap();
+        assert!(res.is_partial());
+        assert_eq!(res.steps(), 2); // Bool resolved, Int assumed
+        let kinds: Vec<bool> = res
+            .premises
+            .iter()
+            .map(|pr| matches!(pr, Premise::Assumed { .. }))
+            .collect();
+        assert_eq!(kinds.iter().filter(|b| **b).count(), 1);
+        assert_eq!(kinds.iter().filter(|b| !**b).count(), 1);
+    }
+
+    #[test]
+    fn polymorphic_query_resolves_against_polymorphic_rule() {
+        // §2: ?(∀α. {α} ⇒ α×α) with the same rule in scope.
+        let env = ImplicitEnv::with_frame(vec![pair_rule()]);
+        let res = resolve(&env, &pair_rule(), &p()).unwrap();
+        assert_eq!(res.steps(), 1);
+        assert!(matches!(res.premises[0], Premise::Assumed { .. }));
+    }
+
+    #[test]
+    fn no_backtracking_gets_stuck() {
+        // §3.2 "semantic resolution": Char; Char⇒Int; Bool⇒Int ⊬ Int.
+        // (Char modeled as Str.)
+        let mut env = ImplicitEnv::new();
+        env.push(vec![Type::Str.promote()]);
+        env.push(vec![RuleType::mono(vec![Type::Str.promote()], Type::Int)]);
+        env.push(vec![RuleType::mono(vec![Type::Bool.promote()], Type::Int)]);
+        let err = resolve(&env, &Type::Int.promote(), &p()).unwrap_err();
+        match err {
+            ResolveError::Lookup { query, .. } => assert_eq!(query, Type::Bool.promote()),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exact_context_match_needs_no_extension() {
+        // §3.2: Char; Char⇒Int; Bool⇒Int ⊢r Char⇒Int. With Bool⇒Int
+        // as the *nearest* rule, lookup commits to it and its Bool
+        // premise cannot be discharged: both the paper rule and the
+        // extension variant fail (no backtracking, ever).
+        let mut env = ImplicitEnv::new();
+        env.push(vec![Type::Str.promote()]);
+        env.push(vec![RuleType::mono(vec![Type::Str.promote()], Type::Int)]);
+        env.push(vec![RuleType::mono(vec![Type::Bool.promote()], Type::Int)]);
+        let query = RuleType::mono(vec![Type::Str.promote()], Type::Int);
+        assert!(resolve(&env, &query, &p()).is_err());
+        assert!(resolve(&env, &query, &p().with_env_extension()).is_err());
+        // With Char⇒Int nearest, already the *paper* rule succeeds —
+        // the premise is α-equal to the queried context and stays
+        // assumed (partial resolution subsumes this case).
+        let mut env2 = ImplicitEnv::new();
+        env2.push(vec![RuleType::mono(vec![Type::Bool.promote()], Type::Int)]);
+        env2.push(vec![RuleType::mono(vec![Type::Str.promote()], Type::Int)]);
+        let res = resolve(&env2, &query, &p()).unwrap();
+        assert_eq!(res.steps(), 1);
+        assert!(matches!(res.premises[0], Premise::Assumed { .. }));
+    }
+
+    #[test]
+    fn env_extension_uses_assumptions_recursively() {
+        // Where the §3.2 extension variant genuinely adds power:
+        // recursive sub-goals may consume the queried context. With
+        // only the pair rule in scope, {Int} ⇒ (Int×Int)×(Int×Int)
+        // needs the assumed Int *two levels down* — the paper rule
+        // cannot reach it (assumptions are only consulted by the
+        // α-equality test at the top), the extension rule can.
+        let env = ImplicitEnv::with_frame(vec![pair_rule()]);
+        let query = RuleType::mono(
+            vec![Type::Int.promote()],
+            Type::prod(
+                Type::prod(Type::Int, Type::Int),
+                Type::prod(Type::Int, Type::Int),
+            ),
+        );
+        assert!(resolve(&env, &query, &p()).is_err());
+        let res = resolve(&env, &query, &p().with_env_extension()).unwrap();
+        assert!(res.uses_extension());
+        fn find_extension(r: &Resolution) -> bool {
+            matches!(r.rule, RuleRef::Extension { .. })
+                || r.premises.iter().any(|pr| match pr {
+                    Premise::Derived(d) => find_extension(d),
+                    Premise::Assumed { .. } => false,
+                })
+        }
+        assert!(find_extension(&res));
+    }
+
+    #[test]
+    fn nontermination_is_cut_by_fuel() {
+        // Appendix A: {Char}⇒Int and {Int}⇒Char loop forever.
+        let mut env = ImplicitEnv::new();
+        env.push(vec![
+            RuleType::mono(vec![Type::Str.promote()], Type::Int),
+            RuleType::mono(vec![Type::Int.promote()], Type::Str),
+        ]);
+        let err = resolve(&env, &Type::Int.promote(), &p().with_max_depth(64)).unwrap_err();
+        assert!(matches!(err, ResolveError::DepthExceeded { .. }));
+    }
+
+    #[test]
+    fn higher_order_plus_polymorphic_composes() {
+        // §2: Int and ∀α.{α}⇒α×α resolve ((Int×Int)×(Int×Int)).
+        let env = ImplicitEnv::with_frame(vec![Type::Int.promote(), pair_rule()]);
+        let t = Type::prod(
+            Type::prod(Type::Int, Type::Int),
+            Type::prod(Type::Int, Type::Int),
+        );
+        let res = resolve(&env, &t.promote(), &p()).unwrap();
+        // pair rule at (Int×Int), then pair rule at Int, then Int.
+        assert_eq!(res.steps(), 3);
+    }
+
+    #[test]
+    fn derivation_records_scope_of_each_step() {
+        let mut env = ImplicitEnv::new();
+        env.push(vec![Type::Int.promote()]); // frame 1 (outer)
+        env.push(vec![pair_rule()]); // frame 0 (inner)
+        let res = resolve(&env, &Type::prod(Type::Int, Type::Int).promote(), &p()).unwrap();
+        assert_eq!(res.rule, RuleRef::Env { frame: 0, index: 0 });
+        match &res.premises[0] {
+            Premise::Derived(inner) => {
+                assert_eq!(inner.rule, RuleRef::Env { frame: 1, index: 0 });
+            }
+            other => panic!("unexpected premise {other:?}"),
+        }
+    }
+
+    #[test]
+    fn explain_renders_the_derivation_tree() {
+        let mut env = ImplicitEnv::new();
+        env.push(vec![Type::Int.promote()]);
+        env.push(vec![pair_rule()]);
+        let res = resolve(&env, &Type::prod(Type::Int, Type::Int).promote(), &p()).unwrap();
+        let text = res.explain();
+        assert!(text.contains("Int * Int"), "got {text}");
+        assert!(text.contains("scope 0"), "got {text}");
+        assert!(text.contains("scope 1"), "got {text}");
+        assert!(text.contains("[Int]"), "got {text}");
+    }
+
+    #[test]
+    fn stats_count_steps_and_scanning_work() {
+        let mut env = ImplicitEnv::new();
+        env.push(vec![Type::Int.promote()]); // frame 1 (outer)
+        env.push(vec![pair_rule()]); // frame 0 (inner)
+        let res = resolve(&env, &Type::prod(Type::Int, Type::Int).promote(), &p()).unwrap();
+        let stats = res.stats(&env);
+        assert_eq!(stats.steps, 2);
+        assert_eq!(stats.assumed, 0);
+        assert_eq!(stats.max_frame_reached, 1);
+        // Pair rule: scans frame 0 (1 rule). Int: scans frames 0 and
+        // 1 (2 rules).
+        assert_eq!(stats.frames_scanned, 1 + 2);
+        assert_eq!(stats.rules_tried, 1 + 2);
+    }
+
+    #[test]
+    fn stats_count_assumed_premises() {
+        let rule = RuleType::new(
+            vec![v("a")],
+            vec![Type::Bool.promote(), tv("a").promote()],
+            Type::prod(tv("a"), tv("a")),
+        );
+        let mut env = ImplicitEnv::new();
+        env.push(vec![Type::Bool.promote()]);
+        env.push(vec![rule]);
+        let query = RuleType::mono(vec![Type::Int.promote()], Type::prod(Type::Int, Type::Int));
+        let res = resolve(&env, &query, &p()).unwrap();
+        assert_eq!(res.stats(&env).assumed, 1);
+    }
+
+    #[test]
+    fn resolve_error_displays_helpfully() {
+        let env = ImplicitEnv::new();
+        let err = resolve(&env, &Type::Int.promote(), &p()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("cannot resolve"), "got: {msg}");
+        assert!(msg.contains("Int"), "got: {msg}");
+    }
+}

@@ -1,0 +1,421 @@
+//! Capture-avoiding type substitutions (Appendix "Substitutions").
+//!
+//! A [`TySubst`] maps type variables to types and applies to types,
+//! rule types, contexts and expressions (expressions carry type
+//! annotations). Application is capture-avoiding: when a substitution
+//! would capture a quantified variable of a rule type, the binder is
+//! renamed apart with a fresh name, exactly as the paper's footnote
+//! prescribes ("quantified type variables should be renamed apart to
+//! avoid variable capture").
+
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use crate::symbol::{fresh, Symbol};
+use crate::syntax::{Expr, RuleType, TyVar, Type};
+
+
+/// A finite map from type variables to types.
+#[derive(Clone, Default, PartialEq, Debug)]
+pub struct TySubst {
+    map: BTreeMap<TyVar, Type>,
+}
+
+impl TySubst {
+    /// The empty substitution.
+    pub fn new() -> TySubst {
+        TySubst::default()
+    }
+
+    /// The singleton substitution `[a ↦ ty]`.
+    pub fn single(a: TyVar, ty: Type) -> TySubst {
+        let mut s = TySubst::new();
+        s.bind(a, ty);
+        s
+    }
+
+    /// The simultaneous substitution `[ᾱ ↦ τ̄]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two slices have different lengths.
+    pub fn bind_all(vars: &[TyVar], types: &[Type]) -> TySubst {
+        assert_eq!(vars.len(), types.len(), "substitution arity mismatch");
+        let mut s = TySubst::new();
+        for (v, t) in vars.iter().zip(types) {
+            s.bind(*v, t.clone());
+        }
+        s
+    }
+
+    /// Adds the binding `a ↦ ty`. Identity bindings are dropped.
+    pub fn bind(&mut self, a: TyVar, ty: Type) {
+        if ty == Type::Var(a) {
+            self.map.remove(&a);
+        } else {
+            self.map.insert(a, ty);
+        }
+    }
+
+    /// Looks up the image of `a`, if bound.
+    pub fn get(&self, a: TyVar) -> Option<&Type> {
+        self.map.get(&a)
+    }
+
+    /// `true` if the substitution is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The domain of the substitution.
+    pub fn domain(&self) -> impl Iterator<Item = TyVar> + '_ {
+        self.map.keys().copied()
+    }
+
+    /// Composition: `(self ∘ other)(t) = self(other(t))`.
+    pub fn compose(&self, other: &TySubst) -> TySubst {
+        let mut out = TySubst::new();
+        for (v, t) in &other.map {
+            out.bind(*v, self.apply_type(t));
+        }
+        for (v, t) in &self.map {
+            if !out.map.contains_key(v) {
+                out.bind(*v, t.clone());
+            }
+        }
+        out
+    }
+
+    /// Applies the substitution to a type.
+    pub fn apply_type(&self, ty: &Type) -> Type {
+        if self.is_empty() {
+            return ty.clone();
+        }
+        match ty {
+            Type::Var(a) => self.map.get(a).cloned().unwrap_or_else(|| ty.clone()),
+            Type::Int | Type::Bool | Type::Str | Type::Unit => ty.clone(),
+            Type::Arrow(a, b) => Type::arrow(self.apply_type(a), self.apply_type(b)),
+            Type::Prod(a, b) => Type::prod(self.apply_type(a), self.apply_type(b)),
+            Type::List(a) => Type::list(self.apply_type(a)),
+            Type::Con(name, args) => {
+                Type::Con(*name, args.iter().map(|t| self.apply_type(t)).collect())
+            }
+            Type::VarApp(f, args) => {
+                let args2: Vec<Type> = args.iter().map(|t| self.apply_type(t)).collect();
+                match self.map.get(f) {
+                    None => Type::VarApp(*f, args2),
+                    Some(Type::Var(g)) => Type::VarApp(*g, args2),
+                    Some(Type::Ctor(c)) => c.apply(args2),
+                    // Nullary constructor applications are identified
+                    // with constructor references.
+                    Some(Type::Con(n, a)) if a.is_empty() => Type::Con(*n, args2),
+                    Some(other) => panic!(
+                        "ill-kinded substitution: applied variable `{f}` mapped to non-constructor `{other}`"
+                    ),
+                }
+            }
+            Type::Ctor(_) => ty.clone(),
+            Type::Rule(r) => Type::rule(self.apply_rule(r)),
+        }
+    }
+
+    /// Applies the substitution to a rule type, capture-avoidingly.
+    ///
+    /// Bindings for the rule's own quantified variables are dropped;
+    /// quantified variables that would capture a variable free in the
+    /// substitution's range are renamed fresh first.
+    pub fn apply_rule(&self, rho: &RuleType) -> RuleType {
+        if self.is_empty() {
+            return rho.clone();
+        }
+        // Restrict to the bindings relevant under this binder.
+        let mut inner = TySubst::new();
+        for (v, t) in &self.map {
+            if !rho.vars().contains(v) {
+                inner.map.insert(*v, t.clone());
+            }
+        }
+        // Which binders would capture range variables?
+        let mut range_ftv = std::collections::BTreeSet::new();
+        let free = rho.ftv();
+        for (v, t) in &inner.map {
+            if free.contains(v) {
+                t.ftv_into(&mut range_ftv);
+            }
+        }
+        let mut new_vars = Vec::with_capacity(rho.vars().len());
+        for &v in rho.vars() {
+            if range_ftv.contains(&v) {
+                let v2 = fresh(crate::symbol::base_name(v));
+                inner.map.insert(v, Type::Var(v2));
+                new_vars.push(v2);
+            } else {
+                new_vars.push(v);
+            }
+        }
+        if inner.is_empty() {
+            return rho.clone();
+        }
+        RuleType::new(
+            new_vars,
+            rho.context().iter().map(|r| inner.apply_rule(r)).collect(),
+            inner.apply_type(rho.head()),
+        )
+    }
+
+    /// Applies the substitution to every rule type of a context.
+    pub fn apply_context(&self, ctx: &[RuleType]) -> Vec<RuleType> {
+        ctx.iter().map(|r| self.apply_rule(r)).collect()
+    }
+
+    /// Applies the substitution to the type annotations of an
+    /// expression (Appendix "Substitutions").
+    pub fn apply_expr(&self, e: &Expr) -> Expr {
+        if self.is_empty() {
+            return e.clone();
+        }
+        match e {
+            Expr::Int(_) | Expr::Bool(_) | Expr::Str(_) | Expr::Unit | Expr::Var(_) => e.clone(),
+            Expr::Lam(x, t, b) => Expr::Lam(*x, self.apply_type(t), Rc::new(self.apply_expr(b))),
+            Expr::App(f, a) => Expr::App(Rc::new(self.apply_expr(f)), Rc::new(self.apply_expr(a))),
+            Expr::Query(r) => Expr::Query(self.apply_rule(r)),
+            Expr::RuleAbs(r, b) => {
+                // Like the appendix: bindings for the rule's own
+                // variables do not reach the body.
+                let r2 = self.apply_rule(r);
+                let mut inner = self.clone();
+                for v in r.vars() {
+                    inner.map.remove(v);
+                }
+                // Binder renames performed by apply_rule must reach
+                // the body annotations too.
+                for (old, new) in r.vars().iter().zip(r2.vars()) {
+                    if old != new {
+                        inner.map.insert(*old, Type::Var(*new));
+                    }
+                }
+                Expr::RuleAbs(Rc::new(r2), Rc::new(inner.apply_expr(b)))
+            }
+            Expr::TyApp(f, ts) => Expr::TyApp(
+                Rc::new(self.apply_expr(f)),
+                ts.iter().map(|t| self.apply_type(t)).collect(),
+            ),
+            Expr::RuleApp(f, args) => Expr::RuleApp(
+                Rc::new(self.apply_expr(f)),
+                args.iter()
+                    .map(|(e, r)| (self.apply_expr(e), self.apply_rule(r)))
+                    .collect(),
+            ),
+            Expr::If(c, t, f) => Expr::If(
+                Rc::new(self.apply_expr(c)),
+                Rc::new(self.apply_expr(t)),
+                Rc::new(self.apply_expr(f)),
+            ),
+            Expr::BinOp(op, a, b) => {
+                Expr::BinOp(*op, Rc::new(self.apply_expr(a)), Rc::new(self.apply_expr(b)))
+            }
+            Expr::UnOp(op, a) => Expr::UnOp(*op, Rc::new(self.apply_expr(a))),
+            Expr::Pair(a, b) => {
+                Expr::Pair(Rc::new(self.apply_expr(a)), Rc::new(self.apply_expr(b)))
+            }
+            Expr::Fst(a) => Expr::Fst(Rc::new(self.apply_expr(a))),
+            Expr::Snd(a) => Expr::Snd(Rc::new(self.apply_expr(a))),
+            Expr::Nil(t) => Expr::Nil(self.apply_type(t)),
+            Expr::Cons(h, t) => {
+                Expr::Cons(Rc::new(self.apply_expr(h)), Rc::new(self.apply_expr(t)))
+            }
+            Expr::ListCase {
+                scrut,
+                nil,
+                head,
+                tail,
+                cons,
+            } => Expr::ListCase {
+                scrut: Rc::new(self.apply_expr(scrut)),
+                nil: Rc::new(self.apply_expr(nil)),
+                head: *head,
+                tail: *tail,
+                cons: Rc::new(self.apply_expr(cons)),
+            },
+            Expr::Fix(x, t, b) => Expr::Fix(*x, self.apply_type(t), Rc::new(self.apply_expr(b))),
+            Expr::Make(name, args, fields) => Expr::Make(
+                *name,
+                args.iter().map(|t| self.apply_type(t)).collect(),
+                fields
+                    .iter()
+                    .map(|(u, e)| (*u, self.apply_expr(e)))
+                    .collect(),
+            ),
+            Expr::Proj(e, u) => Expr::Proj(Rc::new(self.apply_expr(e)), *u),
+            Expr::Inject(c, ts, args) => Expr::Inject(
+                *c,
+                ts.iter().map(|t| self.apply_type(t)).collect(),
+                args.iter().map(|a| self.apply_expr(a)).collect(),
+            ),
+            Expr::Match(scrut, arms) => Expr::Match(
+                Rc::new(self.apply_expr(scrut)),
+                arms.iter()
+                    .map(|arm| crate::syntax::MatchArm {
+                        ctor: arm.ctor,
+                        binders: arm.binders.clone(),
+                        body: self.apply_expr(&arm.body),
+                    })
+                    .collect(),
+            ),
+        }
+    }
+}
+
+/// Renames the quantified variables of `rho` to fresh names, returning
+/// the renamed rule type and the renaming used.
+///
+/// Lookup in the implicit environment renames rules apart before
+/// matching so that rule variables never clash with query variables.
+pub fn freshen_rule(rho: &RuleType) -> (RuleType, TySubst) {
+    if rho.vars().is_empty() {
+        return (rho.clone(), TySubst::new());
+    }
+    let new_vars: Vec<Symbol> = rho
+        .vars()
+        .iter()
+        .map(|v| fresh(crate::symbol::base_name(*v)))
+        .collect();
+    let renaming = TySubst::bind_all(
+        rho.vars(),
+        &new_vars.iter().map(|v| Type::Var(*v)).collect::<Vec<_>>(),
+    );
+    let renamed = RuleType::new(
+        new_vars,
+        renaming.apply_context(rho.context()),
+        renaming.apply_type(rho.head()),
+    );
+    (renamed, renaming)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alpha::alpha_eq;
+    use crate::symbol::Symbol;
+
+    fn v(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+
+    fn tv(s: &str) -> Type {
+        Type::var(v(s))
+    }
+
+    #[test]
+    fn substitutes_free_variables() {
+        let s = TySubst::single(v("a"), Type::Int);
+        assert_eq!(s.apply_type(&tv("a")), Type::Int);
+        assert_eq!(s.apply_type(&tv("b")), tv("b"));
+        assert_eq!(
+            s.apply_type(&Type::arrow(tv("a"), tv("a"))),
+            Type::arrow(Type::Int, Type::Int)
+        );
+    }
+
+    #[test]
+    fn bound_variables_are_untouched() {
+        // [a ↦ Int] (∀a. a → a) = ∀a. a → a
+        let rho = RuleType::new(vec![v("a")], vec![], Type::arrow(tv("a"), tv("a")));
+        let s = TySubst::single(v("a"), Type::Int);
+        assert!(alpha_eq(&s.apply_rule(&rho), &rho));
+    }
+
+    #[test]
+    fn capture_is_avoided() {
+        // [b ↦ a] (∀a. b → a): the binder a must be renamed so the
+        // substituted b (now a) stays free.
+        let rho = RuleType::new(vec![v("a")], vec![], Type::arrow(tv("b"), tv("a")));
+        let s = TySubst::single(v("b"), tv("a"));
+        let out = s.apply_rule(&rho);
+        assert_eq!(out.vars().len(), 1);
+        let binder = out.vars()[0];
+        assert_ne!(binder, v("a"));
+        assert_eq!(out.head(), &Type::arrow(tv("a"), Type::Var(binder)));
+        // And the free a must really be free:
+        assert!(out.ftv().contains(&v("a")));
+    }
+
+    #[test]
+    fn identity_bindings_are_dropped() {
+        let s = TySubst::single(v("a"), tv("a"));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn composition_applies_right_then_left() {
+        // self = [b ↦ Int], other = [a ↦ b]
+        let left = TySubst::single(v("b"), Type::Int);
+        let right = TySubst::single(v("a"), tv("b"));
+        let comp = left.compose(&right);
+        assert_eq!(comp.apply_type(&tv("a")), Type::Int);
+        assert_eq!(comp.apply_type(&tv("b")), Type::Int);
+    }
+
+    #[test]
+    fn substitution_recanonicalizes_contexts() {
+        // {a, Int} ⇒ Unit under [a ↦ Int] collapses to {Int} ⇒ Unit.
+        let rho = RuleType::new(
+            vec![],
+            vec![tv("a").promote(), Type::Int.promote()],
+            Type::Unit,
+        );
+        let s = TySubst::single(v("a"), Type::Int);
+        let out = s.apply_rule(&rho);
+        assert_eq!(out.context().len(), 1);
+        assert_eq!(out.context()[0], Type::Int.promote());
+    }
+
+    #[test]
+    fn expression_annotations_are_substituted() {
+        let e = Expr::lam("x", tv("a"), Expr::query_simple(tv("a")));
+        let s = TySubst::single(v("a"), Type::Bool);
+        let out = s.apply_expr(&e);
+        match out {
+            Expr::Lam(_, t, body) => {
+                assert_eq!(t, Type::Bool);
+                assert_eq!(*body, Expr::query_simple(Type::Bool));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rule_abs_body_sees_binder_renames() {
+        // [b ↦ a] rule(∀a. {} ⇒ b → a)(λx:a. ?b…)
+        // After capture-avoidance the body's `a` annotations must be
+        // the *renamed* binder.
+        let rho = RuleType::new(vec![v("a")], vec![tv("b").promote()], Type::arrow(tv("b"), tv("a")));
+        let body = Expr::lam("x", tv("a"), Expr::var("x"));
+        let e = Expr::rule_abs(rho, body);
+        let s = TySubst::single(v("b"), tv("a"));
+        let out = s.apply_expr(&e);
+        match out {
+            Expr::RuleAbs(r, b) => {
+                let binder = r.vars()[0];
+                assert_ne!(binder, v("a"));
+                match &*b {
+                    Expr::Lam(_, t, _) => assert_eq!(*t, Type::Var(binder)),
+                    other => panic!("unexpected body {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn freshen_rule_preserves_alpha_class() {
+        let rho = RuleType::new(
+            vec![v("a")],
+            vec![tv("a").promote()],
+            Type::prod(tv("a"), tv("a")),
+        );
+        let (fresh_rho, _) = freshen_rule(&rho);
+        assert!(alpha_eq(&rho, &fresh_rho));
+        assert_ne!(rho.vars(), fresh_rho.vars());
+    }
+}

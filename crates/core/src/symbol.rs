@@ -1,0 +1,173 @@
+//! Interned identifiers.
+//!
+//! Names in the calculus — term variables, type variables, interface
+//! names, record field names — are interned into [`Symbol`]s: cheap,
+//! `Copy`, order- and hash-friendly handles into a global, append-only
+//! string table. Interning the same string twice yields the same
+//! symbol, so symbol equality is string equality.
+//!
+//! The module also provides [`fresh`], a capture-avoiding fresh-name
+//! supply used when renaming bound variables apart (the paper assumes
+//! "all variables in binders are distinct; if not, they can easily be
+//! renamed apart").
+
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// An interned string.
+///
+/// `Symbol`s compare, hash and copy in O(1). The underlying string is
+/// recovered with [`Symbol::as_str`] or via `Display`.
+///
+/// # Examples
+///
+/// ```
+/// use implicit_core::symbol::Symbol;
+///
+/// let a = Symbol::intern("alpha");
+/// let b = Symbol::intern("alpha");
+/// assert_eq!(a, b);
+/// assert_eq!(a.as_str(), "alpha");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+struct Interner {
+    names: Vec<&'static str>,
+    table: std::collections::HashMap<&'static str, u32>,
+    fresh_counter: u64,
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        Mutex::new(Interner {
+            names: Vec::new(),
+            table: std::collections::HashMap::new(),
+            fresh_counter: 0,
+        })
+    })
+}
+
+impl Symbol {
+    /// Interns `name`, returning its symbol.
+    pub fn intern(name: &str) -> Symbol {
+        let mut i = interner().lock().expect("interner poisoned");
+        if let Some(&id) = i.table.get(name) {
+            return Symbol(id);
+        }
+        // Leak the string: the table is global and append-only, so the
+        // allocation lives for the program lifetime by design.
+        let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        let id = u32::try_from(i.names.len()).expect("interner overflow");
+        i.names.push(leaked);
+        i.table.insert(leaked, id);
+        Symbol(id)
+    }
+
+    /// Returns the interned string.
+    pub fn as_str(self) -> &'static str {
+        let i = interner().lock().expect("interner poisoned");
+        i.names[self.0 as usize]
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "`{}`", self.as_str())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+}
+
+/// Returns a fresh symbol whose name starts with `stem`.
+///
+/// Fresh names contain a `%` character, which the lexer rejects in
+/// ordinary identifiers, so a fresh name can never collide with a name
+/// appearing in a parsed program, and successive calls never return
+/// the same symbol.
+///
+/// # Examples
+///
+/// ```
+/// use implicit_core::symbol::fresh;
+///
+/// let a = fresh("a");
+/// let b = fresh("a");
+/// assert_ne!(a, b);
+/// ```
+pub fn fresh(stem: &str) -> Symbol {
+    let n = {
+        let mut i = interner().lock().expect("interner poisoned");
+        i.fresh_counter += 1;
+        i.fresh_counter
+    };
+    Symbol::intern(&format!("{stem}%{n}"))
+}
+
+/// Strips the freshness suffix from a symbol's name, for display.
+///
+/// `strip_fresh(fresh("beta"))` starts with `"beta"`.
+pub fn base_name(sym: Symbol) -> &'static str {
+    let s = sym.as_str();
+    match s.find('%') {
+        Some(ix) => &s[..ix],
+        None => s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Symbol::intern("x");
+        let b = Symbol::intern("x");
+        let c = Symbol::intern("y");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.as_str(), "x");
+        assert_eq!(c.as_str(), "y");
+    }
+
+    #[test]
+    fn fresh_names_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            assert!(seen.insert(fresh("t")));
+        }
+    }
+
+    #[test]
+    fn fresh_names_keep_their_stem() {
+        let f = fresh("gamma");
+        assert_eq!(base_name(f), "gamma");
+        assert!(f.as_str().starts_with("gamma%"));
+    }
+
+    #[test]
+    fn display_and_debug_are_nonempty() {
+        let s = Symbol::intern("show");
+        assert_eq!(format!("{s}"), "show");
+        assert_eq!(format!("{s:?}"), "`show`");
+    }
+
+    #[test]
+    fn symbols_are_ordered_by_creation() {
+        // Ordering is an implementation detail but must be total.
+        let a = Symbol::intern("ord-test-1");
+        let b = Symbol::intern("ord-test-2");
+        assert!(a < b || b < a);
+    }
+}

@@ -1,0 +1,273 @@
+//! Termination conditions for resolution (Appendix A).
+//!
+//! Recursive resolution may diverge for ill-chosen rule sets — the
+//! appendix's example is the mutual pair `{Char} ⇒ Int` and
+//! `{Int} ⇒ Char`, which alternate forever. The paper adapts the
+//! modular syntactic restrictions developed for Haskell type-class
+//! instances (the Paterson conditions of "Understanding functional
+//! dependencies via constraint handling rules"): a rule
+//! `∀ᾱ. {ρ₁, …, ρₙ} ⇒ τ` is *terminating* when, for every premise
+//! `ρᵢ` with head `τᵢ`,
+//!
+//! 1. no free type variable occurs more often in `τᵢ` than in `τ`,
+//! 2. `τᵢ` is strictly smaller than `τ` (fewer constructors), and
+//! 3. `ρᵢ` is itself terminating (higher-order premises recurse).
+//!
+//! If every rule in every frame of an environment is terminating,
+//! every resolution measure strictly decreases and `Δ ⊢r ρ` cannot
+//! diverge (the environment stays fixed during resolution — one of
+//! the paper's arguments *for* the simpler `TyRes` rule).
+
+use std::fmt;
+
+use crate::env::ImplicitEnv;
+use crate::syntax::RuleType;
+
+/// Why a rule fails the termination conditions.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TerminationViolation {
+    /// A premise head is not strictly smaller than the rule head.
+    PremiseNotSmaller {
+        /// The offending rule.
+        rule: RuleType,
+        /// The premise whose head is too large.
+        premise: RuleType,
+        /// Size of the premise head.
+        premise_size: usize,
+        /// Size of the rule head.
+        head_size: usize,
+    },
+    /// A type variable occurs more often in a premise head than in
+    /// the rule head.
+    VariableGrows {
+        /// The offending rule.
+        rule: RuleType,
+        /// The premise in which the variable grows.
+        premise: RuleType,
+        /// The growing variable.
+        var: crate::syntax::TyVar,
+    },
+}
+
+impl fmt::Display for TerminationViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TerminationViolation::PremiseNotSmaller {
+                rule,
+                premise,
+                premise_size,
+                head_size,
+            } => write!(
+                f,
+                "rule `{rule}`: premise `{premise}` (size {premise_size}) is not strictly smaller \
+                 than the head (size {head_size})"
+            ),
+            TerminationViolation::VariableGrows { rule, premise, var } => write!(
+                f,
+                "rule `{rule}`: type variable `{var}` occurs more often in premise `{premise}` \
+                 than in the head"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TerminationViolation {}
+
+/// Checks one rule against the termination conditions.
+///
+/// # Errors
+///
+/// Returns the first violated condition.
+///
+/// # Examples
+///
+/// ```
+/// use implicit_core::syntax::{RuleType, Type};
+/// use implicit_core::termination::check_rule;
+///
+/// // {Int} ⇒ Int × Int terminates…
+/// let ok = RuleType::mono(vec![Type::Int.promote()],
+///                         Type::prod(Type::Int, Type::Int));
+/// assert!(check_rule(&ok).is_ok());
+///
+/// // …but {Char} ⇒ Int does not (premise not smaller than head).
+/// let bad = RuleType::mono(vec![Type::Str.promote()], Type::Int);
+/// assert!(check_rule(&bad).is_err());
+/// ```
+pub fn check_rule(rho: &RuleType) -> Result<(), TerminationViolation> {
+    let head = rho.head();
+    let head_size = head.size();
+    // Free variables relevant to condition 1: the rule's own
+    // quantifiers plus anything free in the rule.
+    let mut vars: Vec<crate::syntax::TyVar> = rho.vars().to_vec();
+    for v in rho.ftv() {
+        if !vars.contains(&v) {
+            vars.push(v);
+        }
+    }
+    for premise in rho.context() {
+        let ph = premise.head();
+        if ph.size() >= head_size {
+            return Err(TerminationViolation::PremiseNotSmaller {
+                rule: rho.clone(),
+                premise: premise.clone(),
+                premise_size: ph.size(),
+                head_size,
+            });
+        }
+        for &v in &vars {
+            if premise_occurrences(premise, v) > head.occurrences(v) {
+                return Err(TerminationViolation::VariableGrows {
+                    rule: rho.clone(),
+                    premise: premise.clone(),
+                    var: v,
+                });
+            }
+        }
+        // Higher-order premises must be terminating themselves: when
+        // such a premise is queried, its context enters a recursive
+        // resolution.
+        check_rule(premise)?;
+    }
+    Ok(())
+}
+
+fn premise_occurrences(premise: &RuleType, v: crate::syntax::TyVar) -> usize {
+    // Occurrences in the premise's head, with the premise's own
+    // binders masking.
+    if premise.vars().contains(&v) {
+        0
+    } else {
+        premise.head().occurrences(v)
+    }
+}
+
+/// Checks every rule of a context.
+///
+/// # Errors
+///
+/// Returns the first violated condition.
+pub fn check_context(context: &[RuleType]) -> Result<(), TerminationViolation> {
+    context.iter().try_for_each(check_rule)
+}
+
+/// Checks every rule in every frame of an implicit environment.
+///
+/// # Errors
+///
+/// Returns the first violated condition.
+pub fn check_env(env: &ImplicitEnv) -> Result<(), TerminationViolation> {
+    for (_, frame) in env.frames_innermost_first() {
+        check_context(frame)?;
+    }
+    Ok(())
+}
+
+/// Convenience: is the whole environment terminating?
+pub fn is_terminating(env: &ImplicitEnv) -> bool {
+    check_env(env).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::Symbol;
+    use crate::syntax::Type;
+
+    fn v(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+
+    fn tv(s: &str) -> Type {
+        Type::var(v(s))
+    }
+
+    #[test]
+    fn appendix_loop_is_rejected() {
+        // {Char}⇒Int, {Int}⇒Char (Char as Str).
+        let r1 = RuleType::mono(vec![Type::Str.promote()], Type::Int);
+        let r2 = RuleType::mono(vec![Type::Int.promote()], Type::Str);
+        assert!(check_rule(&r1).is_err());
+        assert!(check_rule(&r2).is_err());
+        let env = ImplicitEnv::with_frame(vec![r1, r2]);
+        assert!(!is_terminating(&env));
+    }
+
+    #[test]
+    fn structural_rules_are_accepted() {
+        // ∀a. {a} ⇒ a × a : premise a smaller than a × a, occurrences
+        // 1 ≤ 2.
+        let pair = RuleType::new(
+            vec![v("a")],
+            vec![tv("a").promote()],
+            Type::prod(tv("a"), tv("a")),
+        );
+        assert!(check_rule(&pair).is_ok());
+        // ∀a b. {a, b} ⇒ a × b (the eqPair shape).
+        let eq_pair = RuleType::new(
+            vec![v("a"), v("b")],
+            vec![tv("a").promote(), tv("b").promote()],
+            Type::prod(tv("a"), tv("b")),
+        );
+        assert!(check_rule(&eq_pair).is_ok());
+    }
+
+    #[test]
+    fn growing_variables_are_rejected() {
+        // ∀a. {a × a} ⇒ (a × Int) × Int : the premise is smaller than
+        // the head, but `a` occurs twice in the premise vs once in
+        // the head — exactly the duplication that lets resolution
+        // diverge by doubling.
+        let bad = RuleType::new(
+            vec![v("a")],
+            vec![Type::prod(tv("a"), tv("a")).promote()],
+            Type::prod(Type::prod(tv("a"), Type::Int), Type::Int),
+        );
+        let err = check_rule(&bad).unwrap_err();
+        assert!(matches!(err, TerminationViolation::VariableGrows { .. }));
+    }
+
+    #[test]
+    fn equal_size_premise_is_rejected() {
+        // {Int} ⇒ Bool : premise size == head size.
+        let bad = RuleType::mono(vec![Type::Int.promote()], Type::Bool);
+        let err = check_rule(&bad).unwrap_err();
+        assert!(matches!(err, TerminationViolation::PremiseNotSmaller { .. }));
+    }
+
+    #[test]
+    fn higher_order_premises_are_checked_recursively() {
+        // {{Char} ⇒ Int×Int×huge?} — build an outer rule whose premise
+        // is itself a non-terminating rule, nested inside a large
+        // enough head that the outer conditions hold.
+        let inner_bad = RuleType::mono(vec![Type::Str.promote()], Type::Int);
+        let big_head = Type::prod(
+            Type::prod(Type::Int, Type::Int),
+            Type::prod(Type::Int, Type::Int),
+        );
+        let outer = RuleType::mono(vec![inner_bad], big_head);
+        assert!(check_rule(&outer).is_err());
+    }
+
+    #[test]
+    fn context_free_rules_trivially_terminate() {
+        assert!(check_rule(&Type::Int.promote()).is_ok());
+        let id = RuleType::new(vec![v("a")], vec![], Type::arrow(tv("a"), tv("a")));
+        assert!(check_rule(&id).is_ok());
+    }
+
+    #[test]
+    fn env_check_reports_any_frame() {
+        let mut env = ImplicitEnv::new();
+        env.push(vec![Type::Int.promote()]);
+        env.push(vec![RuleType::mono(vec![Type::Str.promote()], Type::Int)]);
+        assert!(check_env(&env).is_err());
+    }
+
+    #[test]
+    fn violations_display_helpfully() {
+        let bad = RuleType::mono(vec![Type::Int.promote()], Type::Bool);
+        let msg = check_rule(&bad).unwrap_err().to_string();
+        assert!(msg.contains("not strictly smaller"), "got {msg}");
+    }
+}

@@ -1,0 +1,574 @@
+//! Matching and unification (Appendix "Unification").
+//!
+//! Resolution needs *one-way matching*: `unify(τ′ ≐ τ; ᾱ)` finds a
+//! substitution θ with support contained in `ᾱ` (the rule's quantified
+//! variables) such that `θτ′ = τ`. The target `τ` is rigid — its
+//! variables act as constants — which is exactly the paper's
+//! `⌈τ′ ≐ τ⌉_ᾱ`.
+//!
+//! The coherence analysis additionally needs *two-way unification*
+//! ([`mgu`]) to decide whether two rule heads can overlap under some
+//! substitution.
+//!
+//! Both operations descend under the binders of rule types: binders
+//! are matched positionally, and a solution that would let a locally
+//! bound variable escape its scope is rejected. Context (rule-set)
+//! matching follows the appendix's nondeterministic `⊎` rule via a
+//! backtracking search: every pattern premise must match some target
+//! premise and every target premise must be matched (substitution may
+//! collapse several pattern premises onto one target premise).
+
+use std::collections::BTreeMap;
+
+use crate::subst::TySubst;
+use crate::symbol::Symbol;
+use crate::syntax::{RuleType, TyCon, TyVar, Type};
+
+/// Pairs of (pattern-bound, target-bound) variables introduced by the
+/// binders traversed so far.
+type BinderEnv = Vec<(Symbol, Symbol)>;
+
+struct Matcher {
+    /// Variables the substitution may bind (the ᾱ of `⌈·⌉_ᾱ`).
+    flexible: Vec<TyVar>,
+    solution: BTreeMap<TyVar, Type>,
+}
+
+impl Matcher {
+    fn new(flexible: &[TyVar]) -> Matcher {
+        Matcher {
+            flexible: flexible.to_vec(),
+            solution: BTreeMap::new(),
+        }
+    }
+
+    /// `true` if `ty` mentions any locally bound target variable (a
+    /// scope-escape check for solutions).
+    fn escapes(ty: &Type, binders: &BinderEnv) -> bool {
+        let ftv = ty.ftv();
+        binders.iter().any(|(_, t)| ftv.contains(t))
+    }
+
+    fn match_type(&mut self, pattern: &Type, target: &Type, binders: &BinderEnv) -> bool {
+        match (pattern, target) {
+            (Type::Var(p), _) => {
+                // A pattern variable is: locally bound (rigid, must
+                // correspond to the paired target binder), flexible
+                // (bind or check consistency), or free-rigid (must
+                // equal the same variable).
+                if let Some((_, t)) = binders.iter().rev().find(|(pv, _)| pv == p) {
+                    return matches!(target, Type::Var(tv) if tv == t);
+                }
+                if self.flexible.contains(p) {
+                    if Matcher::escapes(target, binders) {
+                        return false;
+                    }
+                    match self.solution.get(p) {
+                        Some(bound) => bound == target,
+                        None => {
+                            self.solution.insert(*p, target.clone());
+                            true
+                        }
+                    }
+                } else {
+                    matches!(target, Type::Var(tv) if tv == p
+                        && !binders.iter().any(|(_, b)| b == tv))
+                }
+            }
+            (Type::Int, Type::Int)
+            | (Type::Bool, Type::Bool)
+            | (Type::Str, Type::Str)
+            | (Type::Unit, Type::Unit) => true,
+            (Type::Arrow(p1, p2), Type::Arrow(t1, t2))
+            | (Type::Prod(p1, p2), Type::Prod(t1, t2)) => {
+                self.match_type(p1, t1, binders) && self.match_type(p2, t2, binders)
+            }
+            (Type::List(p), Type::List(t)) => self.match_type(p, t, binders),
+            (Type::Con(pn, pa), Type::Con(tn, ta)) => {
+                pn == tn
+                    && pa.len() == ta.len()
+                    && pa
+                        .iter()
+                        .zip(ta)
+                        .all(|(p, t)| self.match_type(p, t, binders))
+            }
+            (Type::VarApp(pf, pargs), _) => {
+                // Haskell-98-style constructor matching: decompose
+                // the target's outermost constructor and bind the
+                // head variable to it.
+                if let Some((_, t)) = binders.iter().rev().find(|(pv, _)| pv == pf) {
+                    // Locally bound head: the target must be the
+                    // paired variable applied to as many arguments.
+                    let Type::VarApp(tf, targs) = target else {
+                        return false;
+                    };
+                    return tf == t
+                        && pargs.len() == targs.len()
+                        && pargs
+                            .iter()
+                            .zip(targs)
+                            .all(|(p, a)| self.match_type(p, a, binders));
+                }
+                if self.flexible.contains(pf) {
+                    let (head_image, targs): (Type, Vec<Type>) = match target {
+                        Type::List(el) if pargs.len() == 1 => {
+                            (Type::Ctor(TyCon::List), vec![(**el).clone()])
+                        }
+                        Type::Con(n, targs) if pargs.len() == targs.len() => {
+                            (Type::Ctor(TyCon::Named(*n)), targs.clone())
+                        }
+                        Type::VarApp(g, targs) if pargs.len() == targs.len() => {
+                            if binders.iter().any(|(_, b)| b == g) {
+                                return false; // bound head would escape
+                            }
+                            (Type::Var(*g), targs.clone())
+                        }
+                        _ => return false,
+                    };
+                    match self.solution.get(pf) {
+                        Some(bound) if *bound != head_image => return false,
+                        Some(_) => {}
+                        None => {
+                            self.solution.insert(*pf, head_image);
+                        }
+                    }
+                    return pargs
+                        .iter()
+                        .zip(&targs)
+                        .all(|(p, a)| self.match_type(p, a, binders));
+                }
+                // Free-rigid head: only an identical application.
+                match target {
+                    Type::VarApp(tf, targs) => {
+                        tf == pf
+                            && !binders.iter().any(|(_, b)| b == tf)
+                            && pargs.len() == targs.len()
+                            && pargs
+                                .iter()
+                                .zip(targs)
+                                .all(|(p, a)| self.match_type(p, a, binders))
+                    }
+                    _ => false,
+                }
+            }
+            (Type::Ctor(a), Type::Ctor(b)) => a == b,
+            // Nullary constructor applications are identified with
+            // constructor references.
+            (Type::Ctor(TyCon::Named(a)), Type::Con(b, bs)) if bs.is_empty() => a == b,
+            (Type::Con(a, asz), Type::Ctor(TyCon::Named(b))) if asz.is_empty() => a == b,
+            (Type::Rule(p), Type::Rule(t)) => self.match_rule_under(p, t, binders),
+            _ => false,
+        }
+    }
+
+    fn match_rule_under(
+        &mut self,
+        pattern: &RuleType,
+        target: &RuleType,
+        binders: &BinderEnv,
+    ) -> bool {
+        if pattern.vars().len() != target.vars().len() {
+            return false;
+        }
+        let mut inner = binders.clone();
+        inner.extend(
+            pattern
+                .vars()
+                .iter()
+                .copied()
+                .zip(target.vars().iter().copied()),
+        );
+        if !self.match_type(pattern.head(), target.head(), &inner) {
+            return false;
+        }
+        self.match_context(pattern.context(), target.context(), &inner)
+    }
+
+    /// Backtracking rule-set matching: a total map from pattern
+    /// premises to target premises that is onto the target premises.
+    fn match_context(
+        &mut self,
+        pattern: &[RuleType],
+        target: &[RuleType],
+        binders: &BinderEnv,
+    ) -> bool {
+        fn go(
+            m: &mut Matcher,
+            pattern: &[RuleType],
+            target: &[RuleType],
+            binders: &BinderEnv,
+            used: &mut Vec<bool>,
+        ) -> bool {
+            let Some((first, rest)) = pattern.split_first() else {
+                return used.iter().all(|u| *u);
+            };
+            for (i, t) in target.iter().enumerate() {
+                let saved = m.solution.clone();
+                let was_used = used[i];
+                if m.match_rule_under(first, t, binders) {
+                    used[i] = true;
+                    if go(m, rest, target, binders, used) {
+                        return true;
+                    }
+                }
+                used[i] = was_used;
+                m.solution = saved;
+            }
+            false
+        }
+        if pattern.is_empty() && target.is_empty() {
+            return true;
+        }
+        if pattern.len() < target.len() {
+            return false;
+        }
+        let mut used = vec![false; target.len()];
+        go(self, pattern, target, binders, &mut used)
+    }
+
+    fn into_subst(self) -> TySubst {
+        let mut s = TySubst::new();
+        for (v, t) in self.solution {
+            s.bind(v, t);
+        }
+        s
+    }
+}
+
+/// One-way matching `⌈pattern ≐ target⌉_vars`: finds θ with
+/// `dom(θ) ⊆ vars` and `θ(pattern) = target`, or `None`.
+///
+/// # Examples
+///
+/// ```
+/// use implicit_core::symbol::Symbol;
+/// use implicit_core::syntax::Type;
+/// use implicit_core::unify::match_type;
+///
+/// let a = Symbol::intern("a");
+/// let pattern = Type::prod(Type::Var(a), Type::Var(a));
+/// let target = Type::prod(Type::Int, Type::Int);
+/// let theta = match_type(&pattern, &target, &[a]).unwrap();
+/// assert_eq!(theta.apply_type(&pattern), target);
+/// ```
+pub fn match_type(pattern: &Type, target: &Type, vars: &[TyVar]) -> Option<TySubst> {
+    let mut m = Matcher::new(vars);
+    if m.match_type(pattern, target, &Vec::new()) {
+        Some(m.into_subst())
+    } else {
+        None
+    }
+}
+
+/// One-way matching of whole rule types (binders matched
+/// positionally).
+pub fn match_rule(pattern: &RuleType, target: &RuleType, vars: &[TyVar]) -> Option<TySubst> {
+    let mut m = Matcher::new(vars);
+    if m.match_rule_under(pattern, target, &Vec::new()) {
+        Some(m.into_subst())
+    } else {
+        None
+    }
+}
+
+/// First-order most-general unification of two types, treating every
+/// free variable as flexible. Used by the coherence analysis to ask
+/// "can these two heads describe the same type under *some*
+/// substitution?".
+///
+/// Rule types unify binder-positionally; bound variables are rigid.
+/// Returns `None` when the types do not unify (including occurs-check
+/// failures).
+pub fn mgu(left: &Type, right: &Type) -> Option<TySubst> {
+    let mut subst = TySubst::new();
+    if unify_types(&subst.apply_type(left), &subst.apply_type(right), &mut subst, &Vec::new()) {
+        Some(subst)
+    } else {
+        None
+    }
+}
+
+/// Binds an arrow-kinded head variable to a constructor or another
+/// head variable during unification. (By the time this is called the
+/// head has already been chased through `subst`, so it is unbound.)
+fn bind_head(subst: &mut TySubst, f: Symbol, image: Type) -> bool {
+    if image == Type::Var(f) {
+        return true;
+    }
+    let single = TySubst::single(f, image);
+    *subst = single.compose(subst);
+    true
+}
+
+fn unify_types(l: &Type, r: &Type, subst: &mut TySubst, rigid: &Vec<Symbol>) -> bool {
+    let l = subst.apply_type(l);
+    let r = subst.apply_type(r);
+    match (&l, &r) {
+        (Type::Var(a), Type::Var(b)) if a == b => true,
+        (Type::Var(a), other) | (other, Type::Var(a)) if !rigid.contains(a) => {
+            if matches!(other, Type::Ctor(_)) {
+                return false; // kind mismatch: * variable vs constructor
+            }
+            if other.ftv().contains(a) {
+                return false; // occurs check
+            }
+            // A flexible variable may not capture a rigid (locally
+            // bound) variable.
+            let other_ftv = other.ftv();
+            if rigid.iter().any(|rv| other_ftv.contains(rv)) {
+                return false;
+            }
+            let single = TySubst::single(*a, other.clone());
+            *subst = single.compose(subst);
+            true
+        }
+        (Type::Int, Type::Int)
+        | (Type::Bool, Type::Bool)
+        | (Type::Str, Type::Str)
+        | (Type::Unit, Type::Unit) => true,
+        (Type::Arrow(a1, b1), Type::Arrow(a2, b2)) | (Type::Prod(a1, b1), Type::Prod(a2, b2)) => {
+            unify_types(a1, a2, subst, rigid) && unify_types(b1, b2, subst, rigid)
+        }
+        (Type::List(a), Type::List(b)) => unify_types(a, b, subst, rigid),
+        (Type::Con(n1, a1), Type::Con(n2, a2)) => {
+            n1 == n2
+                && a1.len() == a2.len()
+                && a1
+                    .iter()
+                    .zip(a2)
+                    .all(|(x, y)| unify_types(x, y, subst, rigid))
+        }
+        (Type::VarApp(f1, a1), Type::VarApp(f2, a2)) => {
+            if a1.len() != a2.len() {
+                return false;
+            }
+            let heads_ok = if f1 == f2 {
+                true
+            } else if !rigid.contains(f1) {
+                bind_head(subst, *f1, Type::Var(*f2))
+            } else if !rigid.contains(f2) {
+                bind_head(subst, *f2, Type::Var(*f1))
+            } else {
+                false
+            };
+            heads_ok
+                && a1
+                    .iter()
+                    .zip(a2)
+                    .all(|(x, y)| unify_types(x, y, subst, rigid))
+        }
+        (Type::VarApp(f, fa), Type::List(el)) | (Type::List(el), Type::VarApp(f, fa)) => {
+            fa.len() == 1
+                && !rigid.contains(f)
+                && bind_head(subst, *f, Type::Ctor(TyCon::List))
+                && unify_types(&fa[0], el, subst, rigid)
+        }
+        (Type::VarApp(f, fa), Type::Con(n, na)) | (Type::Con(n, na), Type::VarApp(f, fa)) => {
+            fa.len() == na.len()
+                && !rigid.contains(f)
+                && bind_head(subst, *f, Type::Ctor(TyCon::Named(*n)))
+                && fa
+                    .iter()
+                    .zip(na)
+                    .all(|(x, y)| unify_types(x, y, subst, rigid))
+        }
+        (Type::Ctor(c1), Type::Ctor(c2)) => c1 == c2,
+        (Type::Ctor(TyCon::Named(a)), Type::Con(b, bs))
+        | (Type::Con(b, bs), Type::Ctor(TyCon::Named(a)))
+            if bs.is_empty() =>
+        {
+            a == b
+        }
+        (Type::Rule(r1), Type::Rule(r2)) => {
+            if r1.vars().len() != r2.vars().len() || r1.context().len() != r2.context().len() {
+                return false;
+            }
+            // Rename both binder lists to shared fresh rigid names.
+            let shared: Vec<Symbol> = r1
+                .vars()
+                .iter()
+                .map(|v| crate::symbol::fresh(crate::symbol::base_name(*v)))
+                .collect();
+            let shared_tys: Vec<Type> = shared.iter().map(|v| Type::Var(*v)).collect();
+            let s1 = TySubst::bind_all(r1.vars(), &shared_tys);
+            let s2 = TySubst::bind_all(r2.vars(), &shared_tys);
+            let mut rigid2 = rigid.clone();
+            rigid2.extend(shared.iter().copied());
+            if !unify_types(
+                &s1.apply_type(r1.head()),
+                &s2.apply_type(r2.head()),
+                subst,
+                &rigid2,
+            ) {
+                return false;
+            }
+            // Contexts are canonically ordered; unify pointwise. (A
+            // full set-unification would permute; pointwise is
+            // sufficient for the coherence analysis, which only needs
+            // a sound "may overlap" approximation, and exact for
+            // contexts that are already in canonical order.)
+            r1.context().iter().zip(r2.context()).all(|(c1, c2)| {
+                unify_types(
+                    &s1.apply_type(&c1.to_type()),
+                    &s2.apply_type(&c2.to_type()),
+                    subst,
+                    &rigid2,
+                )
+            })
+        }
+        _ => false,
+    }
+}
+
+/// Does `rho`'s head match `target` for some instantiation of its
+/// quantifiers? This is the `ρ ≻ τ` relation of the operational
+/// semantics (`∀ᾱ.π ⇒ τ′ ≻ τ  ⇔  ∃θ. θ = ⌈τ′ ≐ τ⌉_ᾱ`).
+pub fn head_matches(rho: &RuleType, target: &Type) -> Option<TySubst> {
+    match_type(rho.head(), target, rho.vars())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::Symbol;
+
+    fn v(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+
+    fn tv(s: &str) -> Type {
+        Type::var(v(s))
+    }
+
+    #[test]
+    fn matches_instantiate_flexible_vars() {
+        let theta = match_type(&Type::arrow(tv("a"), tv("b")), &Type::arrow(Type::Int, Type::Bool), &[v("a"), v("b")])
+            .unwrap();
+        assert_eq!(theta.get(v("a")), Some(&Type::Int));
+        assert_eq!(theta.get(v("b")), Some(&Type::Bool));
+    }
+
+    #[test]
+    fn inconsistent_matches_fail() {
+        assert!(match_type(
+            &Type::prod(tv("a"), tv("a")),
+            &Type::prod(Type::Int, Type::Bool),
+            &[v("a")]
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn rigid_variables_only_match_themselves() {
+        // b is rigid (not in the flexible set).
+        assert!(match_type(&tv("b"), &Type::Int, &[v("a")]).is_none());
+        assert!(match_type(&tv("b"), &tv("b"), &[v("a")]).is_some());
+    }
+
+    #[test]
+    fn target_is_rigid() {
+        // Matching is one-way: Int does not match against a variable
+        // target unless equal.
+        assert!(match_type(&Type::Int, &tv("a"), &[v("a")]).is_none());
+    }
+
+    #[test]
+    fn matching_descends_under_binders() {
+        // pattern ∀c. c → a   target ∀d. d → Int  with a flexible
+        let pat = RuleType::new(vec![v("c")], vec![], Type::arrow(tv("c"), tv("a")));
+        let tgt = RuleType::new(vec![v("d")], vec![], Type::arrow(tv("d"), Type::Int));
+        let theta = match_rule(&pat, &tgt, &[v("a")]).unwrap();
+        assert_eq!(theta.get(v("a")), Some(&Type::Int));
+    }
+
+    #[test]
+    fn bound_variables_may_not_escape() {
+        // pattern ∀c. c → a   target ∀d. d → d : would need a ↦ d.
+        let pat = RuleType::new(vec![v("c")], vec![], Type::arrow(tv("c"), tv("a")));
+        let tgt = RuleType::new(vec![v("d")], vec![], Type::arrow(tv("d"), tv("d")));
+        assert!(match_rule(&pat, &tgt, &[v("a")]).is_none());
+    }
+
+    #[test]
+    fn context_matching_permutes() {
+        // pattern {a, Bool} ⇒ a   target {Bool, Int} ⇒ Int
+        let pat = RuleType::new(
+            vec![],
+            vec![tv("a").promote(), Type::Bool.promote()],
+            tv("a"),
+        );
+        let tgt = RuleType::new(
+            vec![],
+            vec![Type::Bool.promote(), Type::Int.promote()],
+            Type::Int,
+        );
+        let theta = match_rule(&pat, &tgt, &[v("a")]).unwrap();
+        assert_eq!(theta.get(v("a")), Some(&Type::Int));
+    }
+
+    #[test]
+    fn context_matching_may_collapse_premises() {
+        // pattern {a, b} ⇒ a × b  target {Int} ⇒ Int × Int
+        // (the appendix ⊎ rule: both a and b map to Int).
+        let pat = RuleType::new(
+            vec![],
+            vec![tv("a").promote(), tv("b").promote()],
+            Type::prod(tv("a"), tv("b")),
+        );
+        let tgt = RuleType::new(vec![], vec![Type::Int.promote()], Type::prod(Type::Int, Type::Int));
+        assert!(match_rule(&pat, &tgt, &[v("a"), v("b")]).is_some());
+    }
+
+    #[test]
+    fn context_matching_requires_target_coverage() {
+        // pattern {Int} ⇒ Int cannot match target {Int, Bool} ⇒ Int:
+        // the Bool premise would be dropped.
+        let pat = RuleType::new(vec![], vec![Type::Int.promote()], Type::Int);
+        let tgt = RuleType::new(
+            vec![],
+            vec![Type::Int.promote(), Type::Bool.promote()],
+            Type::Int,
+        );
+        assert!(match_rule(&pat, &tgt, &[]).is_none());
+    }
+
+    #[test]
+    fn head_matches_is_the_succ_relation() {
+        // ∀a. a → Int ≻ Int → Int
+        let rho = RuleType::new(vec![v("a")], vec![], Type::arrow(tv("a"), Type::Int));
+        assert!(head_matches(&rho, &Type::arrow(Type::Int, Type::Int)).is_some());
+        assert!(head_matches(&rho, &Type::arrow(Type::Int, Type::Bool)).is_none());
+    }
+
+    #[test]
+    fn mgu_unifies_both_sides() {
+        let theta = mgu(&Type::arrow(tv("a"), Type::Int), &Type::arrow(Type::Bool, tv("b"))).unwrap();
+        assert_eq!(theta.apply_type(&tv("a")), Type::Bool);
+        assert_eq!(theta.apply_type(&tv("b")), Type::Int);
+    }
+
+    #[test]
+    fn mgu_occurs_check() {
+        assert!(mgu(&tv("a"), &Type::list(tv("a"))).is_none());
+    }
+
+    #[test]
+    fn mgu_detects_overlap_of_polymorphic_heads() {
+        // ∀a. a → Int and ∀b. Int → b overlap at Int → Int.
+        let h1 = Type::arrow(tv("a"), Type::Int);
+        let h2 = Type::arrow(Type::Int, tv("b"));
+        assert!(mgu(&h1, &h2).is_some());
+        // ∀a. a × a and Int → Int do not overlap.
+        assert!(mgu(&Type::prod(tv("a"), tv("a")), &Type::arrow(Type::Int, Type::Int)).is_none());
+    }
+
+    #[test]
+    fn mgu_solution_is_idempotent_on_examples() {
+        let l = Type::prod(tv("x"), tv("y"));
+        let r = Type::prod(tv("y"), Type::Int);
+        let theta = mgu(&l, &r).unwrap();
+        assert_eq!(theta.apply_type(&l), theta.apply_type(&r));
+        let once = theta.apply_type(&l);
+        assert_eq!(theta.apply_type(&once), once);
+    }
+}

@@ -1,0 +1,155 @@
+//! Core-level tests for the type-constructor-polymorphism extension:
+//! α-equivalence, substitution, parsing/printing, resolution and the
+//! kind checks, all over applied type variables.
+
+use implicit_core::alpha;
+use implicit_core::parse::{parse_rule_type, parse_type};
+use implicit_core::resolve::{resolve, ResolutionPolicy};
+use implicit_core::subst::TySubst;
+use implicit_core::symbol::Symbol;
+use implicit_core::syntax::{RuleType, TyCon, Type};
+use implicit_core::typeck::infer_binder_kinds;
+use implicit_core::ImplicitEnv;
+
+fn v(s: &str) -> Symbol {
+    Symbol::intern(s)
+}
+
+#[test]
+fn alpha_equivalence_covers_constructor_binders() {
+    // ∀f. {} ⇒ f Int  ≡  ∀g. {} ⇒ g Int
+    let rf = RuleType::new(vec![v("f")], vec![], Type::var_app(v("f"), vec![Type::Int]));
+    let rg = RuleType::new(vec![v("g")], vec![], Type::var_app(v("g"), vec![Type::Int]));
+    assert!(alpha::alpha_eq(&rf, &rg));
+    // …but not ≡ ∀h. {} ⇒ h Bool.
+    let rh = RuleType::new(vec![v("h")], vec![], Type::var_app(v("h"), vec![Type::Bool]));
+    assert!(!alpha::alpha_eq(&rf, &rh));
+    // Free constructor heads keep their identity.
+    let free1 = RuleType::simple(Type::var_app(v("p"), vec![Type::Int]));
+    let free2 = RuleType::simple(Type::var_app(v("q"), vec![Type::Int]));
+    assert!(!alpha::alpha_eq(&free1, &free2));
+}
+
+#[test]
+fn substitution_instantiates_constructor_heads() {
+    let f = v("sub_f");
+    let t = Type::var_app(f, vec![Type::var_app(f, vec![Type::Int])]);
+    // f ↦ List: f (f Int) becomes [[Int]].
+    let s = TySubst::single(f, Type::Ctor(TyCon::List));
+    assert_eq!(s.apply_type(&t), Type::list(Type::list(Type::Int)));
+    // f ↦ g: head renaming.
+    let s2 = TySubst::single(f, Type::Var(v("sub_g")));
+    assert_eq!(
+        s2.apply_type(&t),
+        Type::var_app(v("sub_g"), vec![Type::var_app(v("sub_g"), vec![Type::Int])])
+    );
+    // f ↦ Named interface: becomes a Con application.
+    let s3 = TySubst::single(f, Type::Ctor(TyCon::Named(v("BoxS"))));
+    assert_eq!(
+        s3.apply_type(&t),
+        Type::Con(v("BoxS"), vec![Type::Con(v("BoxS"), vec![Type::Int])])
+    );
+}
+
+#[test]
+fn substitution_respects_constructor_binders() {
+    // [f ↦ List](∀f. {} ⇒ f Int) leaves the bound f alone.
+    let f = v("sub_h");
+    let rho = RuleType::new(vec![f], vec![], Type::var_app(f, vec![Type::Int]));
+    let s = TySubst::single(f, Type::Ctor(TyCon::List));
+    assert!(alpha::alpha_eq(&s.apply_rule(&rho), &rho));
+}
+
+#[test]
+fn parsing_and_printing_roundtrip_applied_variables() {
+    let sources = [
+        "f a -> String",
+        "f (f a)",
+        "forall f a. {forall b. {b -> String} => f b -> String, a -> String} => f (f a) -> String",
+        "m Int Bool",
+    ];
+    for src in sources {
+        let r = parse_rule_type(src).unwrap_or_else(|e| panic!("{src}: {e}"));
+        let printed = r.to_string();
+        let reparsed = parse_rule_type(&printed)
+            .unwrap_or_else(|e| panic!("reparse `{printed}`: {e}"));
+        assert!(alpha::alpha_eq(&r, &reparsed), "roundtrip changed `{src}`");
+    }
+    // `List` bare is a constructor reference; applied it is the list
+    // type.
+    assert_eq!(parse_type("List").unwrap(), Type::Ctor(TyCon::List));
+    assert_eq!(parse_type("List Int").unwrap(), Type::list(Type::Int));
+}
+
+#[test]
+fn binder_kind_inference() {
+    let rho = parse_rule_type(
+        "forall f a. {forall b. {b -> String} => f b -> String, a -> String} => f (f a) -> String",
+    )
+    .unwrap();
+    let decls = implicit_core::syntax::Declarations::new();
+    let kinds = infer_binder_kinds(&decls, &rho).unwrap();
+    assert_eq!(kinds.get(&v("f")), Some(&1));
+    assert_eq!(kinds.get(&v("a")), Some(&0));
+    // Conflicting use is an error.
+    let bad = parse_rule_type("forall f. {f Int} => f * Int").unwrap();
+    assert!(infer_binder_kinds(&decls, &bad).is_err());
+}
+
+#[test]
+fn deep_constructor_nesting_resolves_linearly() {
+    // {∀b.{b→String} ⇒ f b→String, a→String} ⊢r fⁿ a → String takes
+    // n+1 steps.
+    let container = parse_rule_type("forall b. {b -> String} => f b -> String").unwrap();
+    let elem = parse_rule_type("a -> String").unwrap();
+    let env = ImplicitEnv::with_frame(vec![container, elem]);
+    for n in [1usize, 3, 8, 20] {
+        let mut t = Type::var(v("a"));
+        for _ in 0..n {
+            t = Type::var_app(v("f"), vec![t]);
+        }
+        let query = Type::arrow(t, Type::Str).promote();
+        let res = resolve(&env, &query, &ResolutionPolicy::paper().with_max_depth(256))
+            .unwrap_or_else(|e| panic!("depth {n}: {e}"));
+        assert_eq!(res.steps(), n + 1, "depth {n}");
+        assert!(implicit_core::logic::verify_derivation(&env, &res));
+    }
+}
+
+#[test]
+fn matching_keeps_head_consistency() {
+    // f a × f b against [Int] × Box Int must fail (f cannot be both
+    // List and Box).
+    let f = v("mix_f");
+    let pattern = Type::prod(
+        Type::var_app(f, vec![Type::Int]),
+        Type::var_app(f, vec![Type::Bool]),
+    );
+    let target_ok = Type::prod(Type::list(Type::Int), Type::list(Type::Bool));
+    let target_bad = Type::prod(Type::list(Type::Int), Type::Con(v("BoxM"), vec![Type::Bool]));
+    assert!(implicit_core::unify::match_type(&pattern, &target_ok, &[f]).is_some());
+    assert!(implicit_core::unify::match_type(&pattern, &target_bad, &[f]).is_none());
+}
+
+#[test]
+fn mgu_unifies_constructor_applications() {
+    // f Int ~ [a]  ⇒  f ↦ List, a ↦ Int.
+    let f = v("mgu_f");
+    let a = v("mgu_a");
+    let l = Type::var_app(f, vec![Type::Int]);
+    let r = Type::list(Type::Var(a));
+    let theta = implicit_core::unify::mgu(&l, &r).unwrap();
+    assert_eq!(theta.apply_type(&l), Type::list(Type::Int));
+    assert_eq!(theta.apply_type(&r), Type::list(Type::Int));
+}
+
+#[test]
+fn termination_checker_handles_applied_heads() {
+    // ∀b. {b → String} ⇒ f b → String terminates (premise smaller,
+    // occurrences fine).
+    let rho = parse_rule_type("forall b. {b -> String} => f b -> String").unwrap();
+    assert!(implicit_core::termination::check_rule(&rho).is_ok());
+    // ∀b. {f b → String} ⇒ b → String does not (premise larger).
+    let bad = parse_rule_type("forall b. {f b -> String} => b -> String").unwrap();
+    assert!(implicit_core::termination::check_rule(&bad).is_err());
+}

@@ -1,0 +1,581 @@
+//! # `genprog` — generators for environments, queries and programs
+//!
+//! Deterministic *workload families* (used by the benchmark harness
+//! to reproduce the scaling experiments in `EXPERIMENTS.md`) and
+//! seeded *random well-typed program* generators (used by the
+//! property-test suites to exercise type preservation, semantic
+//! agreement and resolution stability on thousands of programs).
+//!
+//! All randomness is driven by a caller-supplied [`rand::Rng`], so
+//! every workload is reproducible from its seed.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use implicit_core::env::ImplicitEnv;
+use implicit_core::resolve::{resolve, ResolutionPolicy};
+use implicit_core::subst::TySubst;
+use implicit_core::symbol::{fresh, Symbol};
+use implicit_core::syntax::{BinOp, Expr, RuleType, Type, UnOp};
+
+/// A seeded RNG for reproducible workloads.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+// ---------------------------------------------------------------
+// Deterministic workload families (benchmarks)
+// ---------------------------------------------------------------
+
+/// A pairwise-distinct family of simple types: `Tₖ = Listᵏ(Int)`.
+pub fn distinct_type(k: usize) -> Type {
+    let mut t = Type::Int;
+    for _ in 0..k {
+        t = Type::list(t);
+    }
+    t
+}
+
+/// A resolution *chain* of length `n`: rules
+/// `{T₀}⇒T₁, {T₁}⇒T₂, …` plus the base value type `T₀ = Int`, where
+/// `Tₖ = Listᵏ(Int)`. Resolving `Tₙ` performs exactly `n + 1`
+/// `TyRes` steps.
+pub fn chain_env(n: usize) -> (ImplicitEnv, RuleType) {
+    let mut frame: Vec<RuleType> = vec![Type::Int.promote()];
+    for k in 1..=n {
+        frame.push(RuleType::mono(
+            vec![distinct_type(k - 1).promote()],
+            distinct_type(k),
+        ));
+    }
+    (
+        ImplicitEnv::with_frame(frame),
+        distinct_type(n).promote(),
+    )
+}
+
+/// A single *wide* frame with `n` unrelated monomorphic rules plus
+/// the queried one at the configured position.
+///
+/// `position` is a fraction in `[0, 1]`: 0 puts the match first in
+/// the frame, 1 last (lookup scans the frame linearly, so this
+/// controls scan distance).
+pub fn wide_env(n: usize, position: f64) -> (ImplicitEnv, RuleType) {
+    let target = Type::prod(Type::Bool, Type::Bool);
+    let ix = ((n as f64) * position.clamp(0.0, 1.0)) as usize;
+    let mut frame = Vec::with_capacity(n + 1);
+    for k in 0..n {
+        frame.push(distinct_type(k + 1).promote());
+        if k + 1 == ix {
+            frame.push(target.promote());
+        }
+    }
+    if ix == 0 || ix > n {
+        frame.insert(0, target.promote());
+    }
+    (ImplicitEnv::with_frame(frame), target.promote())
+}
+
+/// A *deep stack* of `n` frames with the match in the outermost
+/// frame: lookup must descend through every scope.
+pub fn deep_stack_env(n: usize) -> (ImplicitEnv, RuleType) {
+    let mut env = ImplicitEnv::new();
+    env.push(vec![Type::Int.promote()]); // outermost: the match
+    for k in 0..n {
+        env.push(vec![distinct_type(k + 1).promote()]);
+    }
+    (env, Type::Int.promote())
+}
+
+/// `n` *polymorphic* candidate rules with distinct head shapes plus
+/// the structural pair rule; the query requires matching against all
+/// non-matching candidates in the same frame.
+pub fn poly_env(n: usize) -> (ImplicitEnv, RuleType) {
+    let mut frame = Vec::with_capacity(n + 2);
+    for k in 0..n {
+        // ∀a. [Listᵏ(a)] → Int — heads that never match a product.
+        let a = Symbol::intern("gp_a");
+        let mut head = Type::var(a);
+        for _ in 0..k {
+            head = Type::list(head);
+        }
+        frame.push(RuleType::new(
+            vec![a],
+            vec![],
+            Type::arrow(head, Type::Int),
+        ));
+    }
+    let a = Symbol::intern("gp_b");
+    frame.push(RuleType::new(
+        vec![a],
+        vec![Type::var(a).promote()],
+        Type::prod(Type::var(a), Type::var(a)),
+    ));
+    frame.push(Type::Int.promote());
+    let query = Type::prod(Type::Int, Type::Int).promote();
+    (ImplicitEnv::with_frame(frame), query)
+}
+
+/// A higher-order workload: a rule with a context of `n` premises of
+/// which `assumed` are assumed by the query (partial resolution) and
+/// the rest must be recursively resolved.
+pub fn partial_env(n: usize, assumed: usize) -> (ImplicitEnv, RuleType) {
+    assert!(assumed <= n, "cannot assume more premises than exist");
+    let premises: Vec<RuleType> = (0..n).map(|k| distinct_type(k + 1).promote()).collect();
+    let head = Type::prod(Type::Bool, Type::Bool);
+    let rule = RuleType::mono(premises.clone(), head.clone());
+    let mut frame: Vec<RuleType> = premises[assumed..].to_vec(); // resolvable premises
+    frame.push(rule);
+    let query = RuleType::mono(premises[..assumed].to_vec(), head);
+    (ImplicitEnv::with_frame(frame), query)
+}
+
+/// A higher-kinded workload: the §1-shaped container rule
+/// `∀b. {b → String} ⇒ f b → String` plus the element rule
+/// `a → String` (with `f`, `a` free skolems); the query asks for a
+/// shower of the `n`-fold nesting `fⁿ a → String`, which resolves in
+/// `n + 1` steps through constructor matching.
+pub fn hk_nested_env(n: usize) -> (ImplicitEnv, RuleType) {
+    let f = Symbol::intern("gp_hk_f");
+    let a = Symbol::intern("gp_hk_a");
+    let b = Symbol::intern("gp_hk_b");
+    let container = RuleType::new(
+        vec![b],
+        vec![Type::arrow(Type::Var(b), Type::Str).promote()],
+        Type::arrow(Type::var_app(f, vec![Type::Var(b)]), Type::Str),
+    );
+    let elem = Type::arrow(Type::Var(a), Type::Str).promote();
+    let env = ImplicitEnv::with_frame(vec![container, elem]);
+    let mut t = Type::Var(a);
+    for _ in 0..n.max(1) {
+        t = Type::var_app(f, vec![t]);
+    }
+    (env, Type::arrow(t, Type::Str).promote())
+}
+
+/// The λ⇒ *program* corresponding to [`chain_env`]: nested rule
+/// abstractions whose innermost body queries the chain's end. Useful
+/// for end-to-end (elaborate+evaluate vs. interpret) comparisons.
+pub fn chain_program(n: usize) -> Expr {
+    // implicit {0 : Int, step₁ : {T₀}⇒T₁, …} in ?Tₙ
+    let mut args: Vec<(Expr, RuleType)> = vec![(Expr::Int(0), Type::Int.promote())];
+    for k in 1..=n {
+        let prem = distinct_type(k - 1);
+        let rty = RuleType::mono(vec![prem.clone().promote()], distinct_type(k));
+        // rule({T_{k-1}} ⇒ Tₖ)( ?T_{k-1} :: nil )
+        let body = Expr::Cons(
+            Expr::query_simple(prem.clone()).into(),
+            Expr::Nil(prem).into(),
+        );
+        args.push((Expr::rule_abs(rty.clone(), body), rty));
+    }
+    Expr::implicit(
+        args,
+        Expr::query_simple(distinct_type(n)),
+        distinct_type(n),
+    )
+}
+
+// ---------------------------------------------------------------
+// Random well-typed programs (property tests)
+// ---------------------------------------------------------------
+
+/// Configuration for the random program generator.
+#[derive(Clone, Debug)]
+pub struct GenConfig {
+    /// Maximum expression depth.
+    pub max_depth: usize,
+    /// Probability of wrapping a subterm in a new `implicit` scope.
+    pub scope_prob: f64,
+    /// Probability of answering a request with a query (when
+    /// resolvable).
+    pub query_prob: f64,
+}
+
+impl Default for GenConfig {
+    fn default() -> GenConfig {
+        GenConfig {
+            max_depth: 5,
+            scope_prob: 0.3,
+            query_prob: 0.5,
+        }
+    }
+}
+
+/// A generated well-typed program.
+#[derive(Clone, Debug)]
+pub struct GenProgram {
+    /// The program.
+    pub expr: Expr,
+    /// Its type.
+    pub ty: Type,
+}
+
+/// Generates a random closed, well-typed λ⇒ program whose queries
+/// are all resolvable. Programs combine literals, arithmetic,
+/// pairs, conditionals, nested `implicit` scopes, polymorphic rules
+/// and queries.
+pub fn gen_program(rng: &mut impl Rng, config: &GenConfig) -> GenProgram {
+    let mut g = Gen {
+        rng,
+        config: config.clone(),
+        env: ImplicitEnv::new(),
+        policy: ResolutionPolicy::paper(),
+    };
+    let ty = g.gen_type(2);
+    let expr = g.gen_expr(&ty, config.max_depth);
+    GenProgram { expr, ty }
+}
+
+struct Gen<'r, R: Rng> {
+    rng: &'r mut R,
+    config: GenConfig,
+    env: ImplicitEnv,
+    policy: ResolutionPolicy,
+}
+
+impl<R: Rng> Gen<'_, R> {
+    fn gen_type(&mut self, depth: usize) -> Type {
+        if depth == 0 {
+            return match self.rng.gen_range(0..3) {
+                0 => Type::Int,
+                1 => Type::Bool,
+                _ => Type::Str,
+            };
+        }
+        match self.rng.gen_range(0..5) {
+            0 => Type::Int,
+            1 => Type::Bool,
+            2 => Type::Str,
+            3 => Type::prod(self.gen_type(depth - 1), self.gen_type(depth - 1)),
+            _ => Type::list(self.gen_type(depth - 1)),
+        }
+    }
+
+    fn resolvable(&self, ty: &Type) -> bool {
+        resolve(&self.env, &ty.promote(), &self.policy).is_ok()
+    }
+
+    fn gen_expr(&mut self, ty: &Type, depth: usize) -> Expr {
+        // Possibly wrap in a new implicit scope that provides this
+        // type (and possibly a structural pair rule).
+        if depth > 0 && self.rng.gen_bool(self.config.scope_prob) {
+            return self.gen_scope(ty, depth);
+        }
+        // Possibly answer with a query.
+        if self.rng.gen_bool(self.config.query_prob) && self.resolvable(ty) {
+            return Expr::query_simple(ty.clone());
+        }
+        self.gen_literalish(ty, depth)
+    }
+
+    fn gen_scope(&mut self, ty: &Type, depth: usize) -> Expr {
+        let mut args: Vec<(Expr, RuleType)> = Vec::new();
+        let mut frame: Vec<RuleType> = Vec::new();
+        // A base value of a random simple type.
+        let base_ty = self.gen_type(1);
+        let base = self.gen_literalish(&base_ty, 0);
+        args.push((base, base_ty.clone().promote()));
+        frame.push(base_ty.promote());
+        // Sometimes add the structural pair rule.
+        if self.rng.gen_bool(0.5) {
+            let a = fresh("g");
+            let rty = RuleType::new(
+                vec![a],
+                vec![Type::var(a).promote()],
+                Type::prod(Type::var(a), Type::var(a)),
+            );
+            let body = Expr::pair(
+                Expr::query_simple(Type::var(a)),
+                Expr::query_simple(Type::var(a)),
+            );
+            // Only add when it keeps the frame overlap-free: the pair
+            // rule overlaps a product base value.
+            if !matches!(frame[0].head(), Type::Prod(_, _)) {
+                args.push((Expr::rule_abs(rty.clone(), body), rty.clone()));
+                frame.push(rty);
+            }
+        }
+        self.env.push(frame);
+        let body = self.gen_expr(ty, depth - 1);
+        self.env.pop();
+        Expr::implicit(args, body, ty.clone())
+    }
+
+    fn gen_literalish(&mut self, ty: &Type, depth: usize) -> Expr {
+        match ty {
+            Type::Int => {
+                if depth > 0 && self.rng.gen_bool(0.5) {
+                    let a = self.gen_expr(&Type::Int, depth - 1);
+                    let b = self.gen_expr(&Type::Int, depth - 1);
+                    let op = [BinOp::Add, BinOp::Sub, BinOp::Mul][self.rng.gen_range(0..3)];
+                    Expr::binop(op, a, b)
+                } else {
+                    Expr::Int(self.rng.gen_range(-100..100))
+                }
+            }
+            Type::Bool => {
+                if depth > 0 && self.rng.gen_bool(0.4) {
+                    let a = self.gen_expr(&Type::Int, depth - 1);
+                    let b = self.gen_expr(&Type::Int, depth - 1);
+                    Expr::binop(BinOp::Lt, a, b)
+                } else {
+                    Expr::Bool(self.rng.gen_bool(0.5))
+                }
+            }
+            Type::Str => {
+                if depth > 0 && self.rng.gen_bool(0.4) {
+                    Expr::UnOp(
+                        UnOp::IntToStr,
+                        std::rc::Rc::new(self.gen_expr(&Type::Int, depth - 1)),
+                    )
+                } else {
+                    let n = self.rng.gen_range(0..100);
+                    Expr::Str(format!("s{n}"))
+                }
+            }
+            Type::Prod(a, b) => {
+                let ea = self.gen_expr(a, depth.saturating_sub(1));
+                let eb = self.gen_expr(b, depth.saturating_sub(1));
+                Expr::pair(ea, eb)
+            }
+            Type::List(el) => {
+                let n = self.rng.gen_range(0..3);
+                let items = (0..n)
+                    .map(|_| self.gen_expr(el, depth.saturating_sub(1)))
+                    .collect();
+                Expr::list((**el).clone(), items)
+            }
+            // If-wrapping keeps other types inhabitable too.
+            other => {
+                let c = self.gen_expr(&Type::Bool, depth.saturating_sub(1));
+                let t = self.gen_literalish_fallback(other);
+                let f = self.gen_literalish_fallback(other);
+                Expr::if_(c, t, f)
+            }
+        }
+    }
+
+    fn gen_literalish_fallback(&mut self, ty: &Type) -> Expr {
+        match ty {
+            Type::Int => Expr::Int(0),
+            Type::Bool => Expr::Bool(false),
+            Type::Str => Expr::Str(String::new()),
+            Type::Unit => Expr::Unit,
+            Type::Prod(a, b) => Expr::pair(
+                self.gen_literalish_fallback(a),
+                self.gen_literalish_fallback(b),
+            ),
+            Type::List(el) => Expr::Nil((**el).clone()),
+            Type::Arrow(a, b) => {
+                let x = fresh("x");
+                Expr::Lam(x, (**a).clone(), self.gen_literalish_fallback(b).into())
+            }
+            _ => Expr::Unit,
+        }
+    }
+}
+
+/// A fixed declaration prelude for data-typed random programs: a
+/// simple enum and an option-like container.
+pub fn data_prelude() -> implicit_core::syntax::Declarations {
+    let mut decls = implicit_core::syntax::Declarations::new();
+    let color = implicit_core::syntax::DataDecl::infer(
+        Symbol::intern("GpColor"),
+        vec![],
+        vec![
+            (Symbol::intern("GpRed"), vec![]),
+            (Symbol::intern("GpGreen"), vec![]),
+            (Symbol::intern("GpBlue"), vec![]),
+        ],
+    )
+    .expect("well-kinded");
+    decls.declare_data(color).expect("fresh name");
+    let opt = implicit_core::syntax::DataDecl::infer(
+        Symbol::intern("GpOpt"),
+        vec![Symbol::intern("gp_opt_a")],
+        vec![
+            (Symbol::intern("GpNone"), vec![]),
+            (
+                Symbol::intern("GpSome"),
+                vec![Type::Var(Symbol::intern("gp_opt_a"))],
+            ),
+        ],
+    )
+    .expect("well-kinded");
+    decls.declare_data(opt).expect("fresh name");
+    decls
+}
+
+/// Generates a random well-typed program over the [`data_prelude`]
+/// declarations, mixing the scalar fragment of [`gen_program`] with
+/// constructor applications and exhaustive matches.
+pub fn gen_data_program(rng: &mut impl Rng, config: &GenConfig) -> GenProgram {
+    let base = gen_program(rng, config);
+    // Wrap the generated program in data-typed scaffolding: inject it
+    // into GpOpt and match it back, and branch on a random GpColor.
+    let color = ["GpRed", "GpGreen", "GpBlue"][rng.gen_range(0..3)];
+    let scrut = Expr::Inject(Symbol::intern(color), vec![], vec![]);
+    let color_pick = Expr::Match(
+        std::rc::Rc::new(scrut),
+        vec![
+            implicit_core::syntax::MatchArm {
+                ctor: Symbol::intern("GpRed"),
+                binders: vec![],
+                body: Expr::Int(0),
+            },
+            implicit_core::syntax::MatchArm {
+                ctor: Symbol::intern("GpGreen"),
+                binders: vec![],
+                body: Expr::Int(1),
+            },
+            implicit_core::syntax::MatchArm {
+                ctor: Symbol::intern("GpBlue"),
+                binders: vec![],
+                body: Expr::Int(2),
+            },
+        ],
+    );
+    let x = fresh("gpx");
+    let wrapped = Expr::Match(
+        std::rc::Rc::new(Expr::Inject(
+            Symbol::intern("GpSome"),
+            vec![base.ty.clone()],
+            vec![base.expr],
+        )),
+        vec![
+            implicit_core::syntax::MatchArm {
+                ctor: Symbol::intern("GpNone"),
+                binders: vec![],
+                body: Expr::pair(Expr::Int(-1), gen_fallback(&base.ty)),
+            },
+            implicit_core::syntax::MatchArm {
+                ctor: Symbol::intern("GpSome"),
+                binders: vec![x],
+                body: Expr::pair(color_pick, Expr::Var(x)),
+            },
+        ],
+    );
+    GenProgram {
+        expr: wrapped,
+        ty: Type::prod(Type::Int, base.ty),
+    }
+}
+
+fn gen_fallback(ty: &Type) -> Expr {
+    match ty {
+        Type::Int => Expr::Int(0),
+        Type::Bool => Expr::Bool(false),
+        Type::Str => Expr::Str(String::new()),
+        Type::Unit => Expr::Unit,
+        Type::Prod(a, b) => Expr::pair(gen_fallback(a), gen_fallback(b)),
+        Type::List(el) => Expr::Nil((**el).clone()),
+        _ => Expr::Unit,
+    }
+}
+
+/// A random ground substitution over the given variables (used for
+/// stability properties).
+pub fn gen_subst(rng: &mut impl Rng, vars: &[Symbol]) -> TySubst {
+    let mut s = TySubst::new();
+    for &v in vars {
+        let t = match rng.gen_range(0..4) {
+            0 => Type::Int,
+            1 => Type::Bool,
+            2 => Type::Str,
+            _ => Type::prod(Type::Int, Type::Bool),
+        };
+        s.bind(v, t);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_env_resolves_in_n_plus_one_steps() {
+        for n in [0, 1, 5, 20] {
+            let (env, q) = chain_env(n);
+            let res = resolve(&env, &q, &ResolutionPolicy::paper().with_max_depth(4096)).unwrap();
+            assert_eq!(res.steps(), n + 1, "chain length {n}");
+        }
+    }
+
+    #[test]
+    fn wide_env_resolves_everywhere() {
+        for pos in [0.0, 0.5, 1.0] {
+            let (env, q) = wide_env(64, pos);
+            assert!(resolve(&env, &q, &ResolutionPolicy::paper()).is_ok());
+        }
+    }
+
+    #[test]
+    fn deep_stack_env_descends() {
+        let (env, q) = deep_stack_env(32);
+        let res = resolve(&env, &q, &ResolutionPolicy::paper()).unwrap();
+        assert_eq!(res.steps(), 1);
+        match res.rule {
+            implicit_core::resolve::RuleRef::Env { frame, .. } => assert_eq!(frame, 32),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn poly_env_resolves() {
+        let (env, q) = poly_env(16);
+        assert!(resolve(&env, &q, &ResolutionPolicy::paper()).is_ok());
+    }
+
+    #[test]
+    fn partial_env_mixes_assumed_and_derived() {
+        let (env, q) = partial_env(6, 3);
+        let res = resolve(&env, &q, &ResolutionPolicy::paper()).unwrap();
+        assert!(res.is_partial());
+        let assumed = res
+            .premises
+            .iter()
+            .filter(|p| matches!(p, implicit_core::resolve::Premise::Assumed { .. }))
+            .count();
+        assert_eq!(assumed, 3);
+    }
+
+    #[test]
+    fn chain_programs_typecheck() {
+        let decls = implicit_core::syntax::Declarations::new();
+        for n in [0, 3, 8] {
+            let e = chain_program(n);
+            implicit_core::typeck::Typechecker::new(&decls)
+                .check_closed(&e)
+                .unwrap_or_else(|err| panic!("chain {n}: {err}"));
+        }
+    }
+
+    #[test]
+    fn generated_programs_typecheck() {
+        let decls = implicit_core::syntax::Declarations::new();
+        let mut r = rng(42);
+        for i in 0..200 {
+            let p = gen_program(&mut r, &GenConfig::default());
+            let got = implicit_core::typeck::Typechecker::new(&decls)
+                .check_closed(&p.expr)
+                .unwrap_or_else(|err| panic!("program {i} ill-typed: {err}\n{}", p.expr));
+            assert!(
+                implicit_core::typeck::types_equal(&got, &p.ty),
+                "program {i}: expected {}, got {got}",
+                p.ty
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = gen_program(&mut rng(7), &GenConfig::default());
+        let b = gen_program(&mut rng(7), &GenConfig::default());
+        assert_eq!(format!("{}", a.expr), format!("{}", b.expr));
+    }
+}

@@ -1,0 +1,604 @@
+//! The big-step operational semantics (extended report, Figure
+//! "Operational Semantics").
+//!
+//! Unlike the elaboration semantics, resolution here happens **at
+//! runtime**: a query walks the runtime implicit environment Σ — a
+//! stack of rule sets `η = {ρ:v}` — matches a rule closure by type,
+//! recursively resolves the part of its context the query does not
+//! assume, and either evaluates the closure body (ground queries) or
+//! returns a *partially resolved* closure `⟨ρ, θe′, θΣ′, v̄ ∪ θη′⟩`
+//! (rule-typed queries).
+//!
+//! The runtime errors of the extended report's §"Runtime Errors and
+//! Coherence Failures" are all represented: lookup failure (no
+//! match / overlap), ambiguous instantiation, and — via fuel —
+//! non-termination.
+
+use std::rc::Rc;
+
+use implicit_core::env::OverlapPolicy;
+use implicit_core::resolve::ResolutionPolicy;
+use implicit_core::subst::{freshen_rule, TySubst};
+use implicit_core::symbol::fresh;
+use implicit_core::syntax::{BinOp, Declarations, Expr, RuleType, Type, UnOp};
+use implicit_core::unify;
+
+use crate::error::OpsemError;
+use crate::value::{Closure, ImplStack, Lookup, RuleClosure, Value, VarEnv};
+
+/// The interpreter.
+pub struct Interpreter<'d> {
+    decls: &'d Declarations,
+    policy: ResolutionPolicy,
+    fuel: u64,
+}
+
+impl<'d> Interpreter<'d> {
+    /// An interpreter with the paper's resolution policy and a
+    /// generous step budget.
+    pub fn new(decls: &'d Declarations) -> Interpreter<'d> {
+        Interpreter {
+            decls,
+            policy: ResolutionPolicy::paper(),
+            fuel: 10_000_000,
+        }
+    }
+
+    /// Overrides the resolution policy.
+    pub fn with_policy(mut self, policy: ResolutionPolicy) -> Interpreter<'d> {
+        self.policy = policy;
+        self
+    }
+
+    /// Overrides the step budget.
+    pub fn with_fuel(mut self, fuel: u64) -> Interpreter<'d> {
+        self.fuel = fuel;
+        self
+    }
+
+    /// Evaluates a closed expression.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`OpsemError`] on runtime resolution failure,
+    /// primitive failure, or fuel exhaustion.
+    pub fn eval(&mut self, e: &Expr) -> Result<Value, OpsemError> {
+        self.eval_in(&VarEnv::new(), &ImplStack::new(), e)
+    }
+
+    fn tick(&mut self) -> Result<(), OpsemError> {
+        if self.fuel == 0 {
+            return Err(OpsemError::OutOfFuel);
+        }
+        self.fuel -= 1;
+        Ok(())
+    }
+
+    /// The judgment `Σ ⊢ e ⇓ v` (with the term environment made
+    /// explicit for the host fragment).
+    pub fn eval_in(
+        &mut self,
+        venv: &VarEnv,
+        ienv: &ImplStack,
+        e: &Expr,
+    ) -> Result<Value, OpsemError> {
+        self.tick()?;
+        match e {
+            Expr::Int(n) => Ok(Value::Int(*n)),
+            Expr::Bool(b) => Ok(Value::Bool(*b)),
+            Expr::Str(s) => Ok(Value::Str(Rc::from(s.as_str()))),
+            Expr::Unit => Ok(Value::Unit),
+            Expr::Var(x) => match venv.get(*x) {
+                Some(Lookup::Done(v)) => Ok(v),
+                Some(Lookup::Rec { body, ienv, env }) => {
+                    let env2 = env.bind_rec(*x, body.clone(), ienv.clone());
+                    self.eval_in(&env2, &ienv, &body)
+                }
+                None => Err(OpsemError::UnboundVar(*x)),
+            },
+            Expr::Lam(x, _, b) => Ok(Value::Closure(Rc::new(Closure {
+                param: *x,
+                body: b.clone(),
+                venv: venv.clone(),
+                ienv: ienv.clone(),
+            }))),
+            Expr::App(f, a) => {
+                let vf = self.eval_in(venv, ienv, f)?;
+                let va = self.eval_in(venv, ienv, a)?;
+                self.apply(vf, va)
+            }
+            // OpQuery
+            Expr::Query(rho) => self.resolve_value(ienv, rho, self.policy.max_depth),
+            // OpRule: build a closure with an empty partial context.
+            Expr::RuleAbs(rho, b) => Ok(Value::Rule(Rc::new(RuleClosure {
+                rty: (**rho).clone(),
+                body: b.clone(),
+                venv: venv.clone(),
+                ienv: ienv.clone(),
+                partial: Vec::new(),
+            }))),
+            // OpInst: strip the quantifiers, substitute throughout.
+            Expr::TyApp(f, args) => {
+                let vf = self.eval_in(venv, ienv, f)?;
+                let Value::Rule(rc) = vf else {
+                    return Err(OpsemError::Stuck(format!(
+                        "type application of non-rule value {vf}"
+                    )));
+                };
+                if rc.rty.vars().len() != args.len() {
+                    return Err(OpsemError::Stuck(format!(
+                        "type application arity: rule `{}` applied to {} argument(s)",
+                        rc.rty,
+                        args.len()
+                    )));
+                }
+                let inst = instantiate(self.decls, &rc, args);
+                if inst.rty.context().is_empty() {
+                    // The instantiated type `{} ⇒ τ` is identified
+                    // with `τ` (the calculus collapses trivial rule
+                    // types), so force the body now — exactly what
+                    // the elaboration `E |τ̄|` does in System F.
+                    let inner = inst.ienv.pushed(inst.partial.clone());
+                    self.eval_in(&inst.venv, &inner, &inst.body)
+                } else {
+                    Ok(Value::Rule(Rc::new(inst)))
+                }
+            }
+            // OpRApp: supply the context and run the body under
+            // Σ′; ({ρ̄:v̄} ∪ η′).
+            Expr::RuleApp(f, args) => {
+                let vf = self.eval_in(venv, ienv, f)?;
+                let Value::Rule(rc) = vf else {
+                    return Err(OpsemError::Stuck(format!(
+                        "rule application of non-rule value {vf}"
+                    )));
+                };
+                if !rc.rty.vars().is_empty() {
+                    return Err(OpsemError::Stuck(format!(
+                        "rule application of still-polymorphic rule `{}`",
+                        rc.rty
+                    )));
+                }
+                let mut frame: Vec<(RuleType, Value)> =
+                    Vec::with_capacity(args.len() + rc.partial.len());
+                for (ae, arho) in args {
+                    let av = self.eval_in(venv, ienv, ae)?;
+                    push_distinct(&mut frame, arho.clone(), av);
+                }
+                for (r, v) in &rc.partial {
+                    push_distinct(&mut frame, r.clone(), v.clone());
+                }
+                let inner = rc.ienv.pushed(frame);
+                self.eval_in(&rc.venv, &inner, &rc.body)
+            }
+            Expr::If(c, t, f) => match self.eval_in(venv, ienv, c)? {
+                Value::Bool(true) => self.eval_in(venv, ienv, t),
+                Value::Bool(false) => self.eval_in(venv, ienv, f),
+                other => Err(OpsemError::Stuck(format!("if on {other}"))),
+            },
+            Expr::BinOp(op, a, b) => {
+                let va = self.eval_in(venv, ienv, a)?;
+                let vb = self.eval_in(venv, ienv, b)?;
+                binop(*op, va, vb)
+            }
+            Expr::UnOp(op, a) => {
+                let va = self.eval_in(venv, ienv, a)?;
+                match (op, va) {
+                    (UnOp::Not, Value::Bool(b)) => Ok(Value::Bool(!b)),
+                    (UnOp::Neg, Value::Int(n)) => Ok(Value::Int(-n)),
+                    (UnOp::IntToStr, Value::Int(n)) => {
+                        Ok(Value::Str(Rc::from(n.to_string())))
+                    }
+                    (op, v) => Err(OpsemError::Stuck(format!("{op:?} on {v}"))),
+                }
+            }
+            Expr::Pair(a, b) => Ok(Value::Pair(
+                Rc::new(self.eval_in(venv, ienv, a)?),
+                Rc::new(self.eval_in(venv, ienv, b)?),
+            )),
+            Expr::Fst(a) => match self.eval_in(venv, ienv, a)? {
+                Value::Pair(l, _) => Ok((*l).clone()),
+                other => Err(OpsemError::Stuck(format!("fst on {other}"))),
+            },
+            Expr::Snd(a) => match self.eval_in(venv, ienv, a)? {
+                Value::Pair(_, r) => Ok((*r).clone()),
+                other => Err(OpsemError::Stuck(format!("snd on {other}"))),
+            },
+            Expr::Nil(_) => Ok(Value::List(Rc::new(Vec::new()))),
+            Expr::Cons(h, t) => {
+                let vh = self.eval_in(venv, ienv, h)?;
+                match self.eval_in(venv, ienv, t)? {
+                    Value::List(xs) => {
+                        let mut out = Vec::with_capacity(xs.len() + 1);
+                        out.push(vh);
+                        out.extend(xs.iter().cloned());
+                        Ok(Value::List(Rc::new(out)))
+                    }
+                    other => Err(OpsemError::Stuck(format!("cons onto {other}"))),
+                }
+            }
+            Expr::ListCase {
+                scrut,
+                nil,
+                head,
+                tail,
+                cons,
+            } => match self.eval_in(venv, ienv, scrut)? {
+                Value::List(xs) => {
+                    if let Some((h, rest)) = xs.split_first() {
+                        let env2 = venv
+                            .bind(*head, h.clone())
+                            .bind(*tail, Value::List(Rc::new(rest.to_vec())));
+                        self.eval_in(&env2, ienv, cons)
+                    } else {
+                        self.eval_in(venv, ienv, nil)
+                    }
+                }
+                other => Err(OpsemError::Stuck(format!("case on {other}"))),
+            },
+            Expr::Fix(x, _, b) => {
+                let env2 = venv.bind_rec(*x, b.clone(), ienv.clone());
+                self.eval_in(&env2, ienv, b)
+            }
+            Expr::Make(name, _, fields) => {
+                if self.decls.lookup(*name).is_none() {
+                    return Err(OpsemError::Stuck(format!("unknown interface `{name}`")));
+                }
+                let mut out = Vec::with_capacity(fields.len());
+                for (u, fe) in fields {
+                    out.push((*u, self.eval_in(venv, ienv, fe)?));
+                }
+                Ok(Value::Record {
+                    name: *name,
+                    fields: Rc::new(out),
+                })
+            }
+            Expr::Inject(ctor, _, args) => {
+                if self.decls.lookup_ctor(*ctor).is_none() {
+                    return Err(OpsemError::Stuck(format!("unknown constructor `{ctor}`")));
+                }
+                let mut out = Vec::with_capacity(args.len());
+                for a in args {
+                    out.push(self.eval_in(venv, ienv, a)?);
+                }
+                Ok(Value::Data {
+                    ctor: *ctor,
+                    fields: Rc::new(out),
+                })
+            }
+            Expr::Match(scrut, arms) => match self.eval_in(venv, ienv, scrut)? {
+                Value::Data { ctor, fields } => {
+                    let Some(arm) = arms.iter().find(|a| a.ctor == ctor) else {
+                        return Err(OpsemError::Stuck(format!("no arm for `{ctor}`")));
+                    };
+                    if arm.binders.len() != fields.len() {
+                        return Err(OpsemError::Stuck(format!(
+                            "arm `{ctor}` binder count mismatch"
+                        )));
+                    }
+                    let mut env2 = venv.clone();
+                    for (b, v) in arm.binders.iter().zip(fields.iter()) {
+                        env2 = env2.bind(*b, v.clone());
+                    }
+                    self.eval_in(&env2, ienv, &arm.body)
+                }
+                other => Err(OpsemError::Stuck(format!("match on {other}"))),
+            },
+            Expr::Proj(rec, field) => match self.eval_in(venv, ienv, rec)? {
+                Value::Record { name, fields } => fields
+                    .iter()
+                    .find(|(u, _)| u == field)
+                    .map(|(_, v)| v.clone())
+                    .ok_or_else(|| {
+                        OpsemError::Stuck(format!("record {name} has no field {field}"))
+                    }),
+                other => Err(OpsemError::Stuck(format!("projection on {other}"))),
+            },
+        }
+    }
+
+    /// Applies a function value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OpsemError::Stuck`] when `f` is not a function.
+    pub fn apply(&mut self, f: Value, a: Value) -> Result<Value, OpsemError> {
+        match f {
+            Value::Closure(c) => {
+                let env2 = c.venv.bind(c.param, a);
+                self.eval_in(&env2, &c.ienv, &c.body)
+            }
+            other => Err(OpsemError::Stuck(format!("apply non-function {other}"))),
+        }
+    }
+
+    /// Runtime resolution `Σ ⊢r ρ ⇓ v` (rule `DynRes`).
+    pub fn resolve_value(
+        &mut self,
+        ienv: &ImplStack,
+        query: &RuleType,
+        depth: usize,
+    ) -> Result<Value, OpsemError> {
+        self.tick()?;
+        if depth == 0 {
+            return Err(OpsemError::DepthExceeded {
+                query: query.clone(),
+                max_depth: self.policy.max_depth,
+            });
+        }
+        let target = query.head();
+        let (stored_rty, matched) = lookup_runtime(ienv, target, self.policy.overlap)?;
+
+        match matched {
+            Value::Rule(rc) => {
+                // Freshen the closure's quantifiers, match the head.
+                let (fresh_rty, renaming) = freshen_rule(&rc.rty);
+                let Some(theta_f) = unify::match_type(fresh_rty.head(), target, fresh_rty.vars())
+                else {
+                    // lookup_runtime already matched; this indicates a
+                    // frame with a stale key.
+                    return Err(OpsemError::Stuck(format!(
+                        "environment entry `{stored_rty}` stopped matching `{target}`"
+                    )));
+                };
+                // Every quantifier must be determined (ambiguous
+                // instantiation check of the extended report).
+                for v in fresh_rty.vars() {
+                    if theta_f.get(*v).is_none() {
+                        return Err(OpsemError::AmbiguousInstantiation {
+                            rule: rc.rty.clone(),
+                        });
+                    }
+                }
+                let full = theta_f.compose(&renaming);
+                let inst_context = full.apply_context(rc.rty.context());
+                // θπ′ − π: resolve premises the query does not assume.
+                // Instantiation may collapse several premises onto one
+                // type (e.g. ∀a b.{Eq a, Eq b} at a = b); by coherence
+                // their evidence is identical, so collapsed premises
+                // are resolved once — a frame with two entries of the
+                // same type would be an overlap error at the next
+                // query.
+                let mut resolved: Vec<(RuleType, Value)> = Vec::new();
+                for rho_i in &inst_context {
+                    if implicit_core::alpha::context_position(query.context(), rho_i).is_some() {
+                        continue;
+                    }
+                    if resolved
+                        .iter()
+                        .any(|(r, _)| implicit_core::alpha::alpha_eq(r, rho_i))
+                    {
+                        continue;
+                    }
+                    let vi = self.resolve_value(ienv, rho_i, depth - 1)?;
+                    resolved.push((rho_i.clone(), vi));
+                }
+                let body = Rc::new(full.apply_expr(&rc.body));
+                let venv = subst_varenv(&full, &rc.venv);
+                let cenv = rc.ienv.subst(&full);
+                let mut partial: Vec<(RuleType, Value)> = resolved;
+                for (r, v) in &rc.partial {
+                    push_distinct(&mut partial, full.apply_rule(r), v.subst(&full));
+                }
+                if query.is_trivial() {
+                    // Ground query: the context is fully resolved;
+                    // run the body now.
+                    let inner = cenv.pushed(partial);
+                    self.eval_in(&venv, &inner, &body)
+                } else {
+                    // Rule-typed query: return the partially resolved
+                    // closure ⟨ρ, θe′, θΣ′, v̄ ∪ θη′⟩.
+                    Ok(Value::Rule(Rc::new(RuleClosure {
+                        rty: query.clone(),
+                        body,
+                        venv,
+                        ienv: cenv,
+                        partial,
+                    })))
+                }
+            }
+            plain => {
+                if query.is_trivial() {
+                    Ok(plain)
+                } else {
+                    // A first-order value answering a rule-typed
+                    // query: wrap it in a constant closure that
+                    // ignores the assumed context.
+                    let boxed = fresh("boxed");
+                    Ok(Value::Rule(Rc::new(RuleClosure {
+                        rty: query.clone(),
+                        body: Rc::new(Expr::Var(boxed)),
+                        venv: VarEnv::new().bind(boxed, plain),
+                        ienv: ImplStack::new(),
+                        partial: Vec::new(),
+                    })))
+                }
+            }
+        }
+    }
+}
+
+/// Pushes an entry unless an α-equal rule type is already present —
+/// substitution-collapsed duplicates carry identical evidence by
+/// coherence, and duplicated types in one rule set are lookup errors.
+fn push_distinct(frame: &mut Vec<(RuleType, Value)>, rho: RuleType, v: Value) {
+    if !frame
+        .iter()
+        .any(|(r, _)| implicit_core::alpha::alpha_eq(r, &rho))
+    {
+        frame.push((rho, v));
+    }
+}
+
+/// OpInst: `⟨∀ᾱ.π ⇒ τ, e, Σ, η⟩[τ̄] = [ᾱ↦τ̄]⟨π ⇒ τ, e, Σ, η⟩`.
+///
+/// Bare interface names supplied for arrow-kinded quantifiers are
+/// coerced to constructor references, as in the type checker.
+fn instantiate(decls: &Declarations, rc: &RuleClosure, args: &[Type]) -> RuleClosure {
+    use implicit_core::syntax::TyCon;
+    let kinds =
+        implicit_core::typeck::infer_binder_kinds(decls, &rc.rty).unwrap_or_default();
+    let args: Vec<Type> = rc
+        .rty
+        .vars()
+        .iter()
+        .zip(args)
+        .map(|(v, a)| match (kinds.get(v).copied().unwrap_or(0), a) {
+            (k, Type::Con(n, empty)) if k > 0 && empty.is_empty() => {
+                Type::Ctor(TyCon::Named(*n))
+            }
+            _ => a.clone(),
+        })
+        .collect();
+    let args = &args[..];
+    let theta = TySubst::bind_all(rc.rty.vars(), args);
+    RuleClosure {
+        rty: RuleType::new(
+            Vec::new(),
+            theta.apply_context(rc.rty.context()),
+            theta.apply_type(rc.rty.head()),
+        ),
+        body: Rc::new(theta.apply_expr(&rc.body)),
+        venv: subst_varenv(&theta, &rc.venv),
+        ienv: rc.ienv.subst(&theta),
+        partial: rc
+            .partial
+            .iter()
+            .map(|(r, v)| (theta.apply_rule(r), v.subst(&theta)))
+            .collect(),
+    }
+}
+
+fn subst_varenv(theta: &TySubst, env: &VarEnv) -> VarEnv {
+    if theta.is_empty() {
+        return env.clone();
+    }
+    // VarEnv::subst is private to the value module; route through a
+    // value wrapper.
+    crate::value::subst_varenv(theta, env)
+}
+
+/// Runtime lookup `Σ⟨τ⟩ = v`: innermost frame with at least one
+/// match decides; within a frame the match must be unique (or
+/// uniquely most specific).
+fn lookup_runtime(
+    ienv: &ImplStack,
+    target: &Type,
+    policy: OverlapPolicy,
+) -> Result<(RuleType, Value), OpsemError> {
+    for frame in ienv.frames_innermost_first() {
+        let mut matches: Vec<usize> = Vec::new();
+        for (ix, (rho, _)) in frame.iter().enumerate() {
+            let (fresh_rho, _) = freshen_rule(rho);
+            if unify::head_matches(&fresh_rho, target).is_some() {
+                matches.push(ix);
+            }
+        }
+        match matches.len() {
+            0 => continue,
+            1 => {
+                let (r, v) = &frame[matches[0]];
+                return Ok((r.clone(), v.clone()));
+            }
+            _ => {
+                // Exact evidence takes priority: when instantiation
+                // makes a supplied context entry collide with a more
+                // general rule (the `Perfect`-instance pattern:
+                // `(f a) → String` vs `∀b.{b→String} ⇒ f b → String`
+                // at `a := b`), the entry whose type *is* the queried
+                // type is the one the positional elaboration
+                // semantics used, so runtime lookup prefers it.
+                // Genuinely incomparable overlap still errors (or
+                // defers to the most-specific policy).
+                let exact: Vec<usize> = matches
+                    .iter()
+                    .copied()
+                    .filter(|&i| {
+                        let rty = &frame[i].0;
+                        rty.vars().is_empty()
+                            && rty.context().is_empty()
+                            && implicit_core::alpha::alpha_eq_type(rty.head(), target)
+                    })
+                    .collect();
+                if exact.len() == 1 {
+                    let (r, v) = &frame[exact[0]];
+                    return Ok((r.clone(), v.clone()));
+                }
+                if policy == OverlapPolicy::MostSpecific {
+                    if let Some(win) = pick_most_specific_runtime(frame, &matches) {
+                        let (r, v) = &frame[win];
+                        return Ok((r.clone(), v.clone()));
+                    }
+                }
+                return Err(OpsemError::Overlap {
+                    target: target.clone(),
+                    candidates: matches.iter().map(|&i| frame[i].0.clone()).collect(),
+                });
+            }
+        }
+    }
+    Err(OpsemError::NoMatch(target.clone()))
+}
+
+fn pick_most_specific_runtime(
+    frame: &[(RuleType, Value)],
+    matches: &[usize],
+) -> Option<usize> {
+    let specific = |i: usize, j: usize| {
+        let (fi, _) = freshen_rule(&frame[i].0);
+        let (fj, _) = freshen_rule(&frame[j].0);
+        unify::match_type(fj.head(), fi.head(), fj.vars()).is_some()
+    };
+    'outer: for &i in matches {
+        for &j in matches {
+            if i != j && !specific(i, j) {
+                continue 'outer;
+            }
+        }
+        for &j in matches {
+            if i != j
+                && specific(j, i)
+                && !implicit_core::alpha::alpha_eq(&frame[i].0, &frame[j].0)
+            {
+                return None;
+            }
+        }
+        return Some(i);
+    }
+    None
+}
+
+fn binop(op: BinOp, a: Value, b: Value) -> Result<Value, OpsemError> {
+    use BinOp::*;
+    match (op, &a, &b) {
+        (Add, Value::Int(x), Value::Int(y)) => Ok(Value::Int(x.wrapping_add(*y))),
+        (Sub, Value::Int(x), Value::Int(y)) => Ok(Value::Int(x.wrapping_sub(*y))),
+        (Mul, Value::Int(x), Value::Int(y)) => Ok(Value::Int(x.wrapping_mul(*y))),
+        (Div, Value::Int(_), Value::Int(0)) | (Mod, Value::Int(_), Value::Int(0)) => {
+            Err(OpsemError::DivisionByZero)
+        }
+        (Div, Value::Int(x), Value::Int(y)) => Ok(Value::Int(x.wrapping_div(*y))),
+        (Mod, Value::Int(x), Value::Int(y)) => Ok(Value::Int(x.wrapping_rem(*y))),
+        (Lt, Value::Int(x), Value::Int(y)) => Ok(Value::Bool(x < y)),
+        (Le, Value::Int(x), Value::Int(y)) => Ok(Value::Bool(x <= y)),
+        (And, Value::Bool(x), Value::Bool(y)) => Ok(Value::Bool(*x && *y)),
+        (Or, Value::Bool(x), Value::Bool(y)) => Ok(Value::Bool(*x || *y)),
+        (Concat, Value::Str(x), Value::Str(y)) => {
+            Ok(Value::Str(Rc::from(format!("{x}{y}").as_str())))
+        }
+        (Eq, a, b) => a
+            .try_eq(b)
+            .map(Value::Bool)
+            .ok_or_else(|| OpsemError::Stuck("equality on closures".into())),
+        (op, a, b) => Err(OpsemError::Stuck(format!("{op:?} on {a} and {b}"))),
+    }
+}
+
+/// Evaluates a closed expression with default settings.
+///
+/// # Errors
+///
+/// See [`Interpreter::eval`].
+pub fn eval(decls: &Declarations, e: &Expr) -> Result<Value, OpsemError> {
+    Interpreter::new(decls).eval(e)
+}

@@ -1,0 +1,70 @@
+//! Property tests for the operational semantics: determinism, fuel
+//! monotonicity, and agreement on the random well-typed programs
+//! from `genprog`.
+
+use genprog::{gen_program, rng, GenConfig};
+use implicit_core::syntax::Declarations;
+use implicit_opsem::{Interpreter, OpsemError};
+
+#[test]
+fn evaluation_is_deterministic_on_random_programs() {
+    let decls = Declarations::new();
+    let mut r = rng(0xA11CE);
+    for i in 0..150 {
+        let p = gen_program(&mut r, &GenConfig::default());
+        let v1 = Interpreter::new(&decls).eval(&p.expr);
+        let v2 = Interpreter::new(&decls).eval(&p.expr);
+        match (v1, v2) {
+            (Ok(a), Ok(b)) => assert_eq!(
+                a.try_eq(&b),
+                Some(true),
+                "program {i} evaluated differently"
+            ),
+            (Err(a), Err(b)) => assert_eq!(format!("{a}"), format!("{b}")),
+            (a, b) => panic!("program {i}: {a:?} vs {b:?}"),
+        }
+    }
+}
+
+#[test]
+fn fuel_exhaustion_is_monotone_on_random_programs() {
+    // If a program completes within fuel f, larger budgets yield the
+    // same value.
+    let decls = Declarations::new();
+    let mut r = rng(0xF00D);
+    for _ in 0..50 {
+        let p = gen_program(&mut r, &GenConfig::default());
+        let full = Interpreter::new(&decls).eval(&p.expr).expect("well-typed");
+        let mut succeeded_at = None;
+        for fuel in [8u64, 64, 512, 4096, 1 << 20] {
+            match Interpreter::new(&decls).with_fuel(fuel).eval(&p.expr) {
+                Ok(v) => {
+                    assert_eq!(v.try_eq(&full), Some(true));
+                    succeeded_at.get_or_insert(fuel);
+                }
+                Err(OpsemError::OutOfFuel) => {
+                    assert!(succeeded_at.is_none(), "fuel success must be monotone");
+                }
+                Err(other) => panic!("unexpected error {other}"),
+            }
+        }
+        assert!(succeeded_at.is_some());
+    }
+}
+
+#[test]
+fn value_display_is_stable_and_first_order_for_generated_programs() {
+    // Generated programs produce first-order results whose printed
+    // form is parse-stable (no closures leak out).
+    let decls = Declarations::new();
+    let mut r = rng(0x5EED);
+    for _ in 0..100 {
+        let p = gen_program(&mut r, &GenConfig::default());
+        let v = Interpreter::new(&decls).eval(&p.expr).unwrap();
+        let s = v.to_string();
+        assert!(
+            !s.contains("closure"),
+            "first-order program leaked a closure: {s}"
+        );
+    }
+}

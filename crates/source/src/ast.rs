@@ -1,0 +1,271 @@
+//! Abstract syntax of the source language (§5, Figure "Syntax of
+//! Source Language").
+//!
+//! The source language adds programmer convenience on top of λ⇒:
+//!
+//! * **interfaces** `interface I ᾱ = {u : T}` — simple nominal record
+//!   types whose field names become globally let-bound accessor
+//!   functions of type `∀ᾱ.{} ⇒ I ᾱ → T`;
+//! * annotated, polymorphic **`let`** with schemes
+//!   `σ = ∀ᾱ. σ̄ ⇒ T`;
+//! * **`implicit ū in E`** scoping of let-bound rules;
+//! * the inferred **query `?`** (no type annotation — Coq-placeholder
+//!   style);
+//! * implicit **instantiation**: using a let-bound variable fires the
+//!   type applications and context queries automatically.
+//!
+//! Types reuse the core representation ([`Type`]); schemes are core
+//! [`RuleType`]s whose quantifier order is fixed by the canonical
+//! left-to-right traversal the paper's `⟦·⟧` prescribes (see
+//! [`scheme`]). Source types never contain rule types except through
+//! schemes.
+
+use std::rc::Rc;
+
+use implicit_core::symbol::Symbol;
+use implicit_core::syntax::{BinOp, Declarations, RuleType, Type, UnOp};
+
+/// A source expression.
+#[derive(Clone, PartialEq, Debug)]
+pub enum SExpr {
+    /// Integer literal.
+    Int(i64),
+    /// Boolean literal.
+    Bool(bool),
+    /// String literal.
+    Str(String),
+    /// Unit literal.
+    Unit,
+    /// Variable — λ-bound (monomorphic) or let-bound (polymorphic);
+    /// resolved during inference.
+    Var(Symbol),
+    /// `\x. e` or `\x : T. e` (annotation optional).
+    Lam(Symbol, Option<Type>, Rc<SExpr>),
+    /// Application.
+    App(Rc<SExpr>, Rc<SExpr>),
+    /// `let u : σ = e₁ in e₂` — the scheme annotation is required,
+    /// as in the paper.
+    Let {
+        /// Bound name.
+        name: Symbol,
+        /// Annotated scheme.
+        scheme: RuleType,
+        /// Definition.
+        rhs: Rc<SExpr>,
+        /// Body.
+        body: Rc<SExpr>,
+    },
+    /// `letrec u : σ = e₁ in e₂` — like [`SExpr::Let`] but `u` is in
+    /// scope inside `e₁` at its *full scheme*, enabling polymorphic
+    /// recursion (required by non-regular types like the paper's
+    /// `Perfect`).
+    LetRec {
+        /// Bound name.
+        name: Symbol,
+        /// Annotated scheme.
+        scheme: RuleType,
+        /// Definition (may use `name`).
+        rhs: Rc<SExpr>,
+        /// Body.
+        body: Rc<SExpr>,
+    },
+    /// `let x = e₁ in e₂` — *monomorphic* let without annotation;
+    /// the type is inferred and never generalized (the optional-
+    /// annotation extension §5.2 mentions).
+    LetMono {
+        /// Bound name.
+        name: Symbol,
+        /// Definition.
+        rhs: Rc<SExpr>,
+        /// Body.
+        body: Rc<SExpr>,
+    },
+    /// `implicit u₁, …, uₙ in e` — brings the named let-bound values
+    /// into the implicit scope of `e`.
+    Implicit(Vec<Symbol>, Rc<SExpr>),
+    /// The inferred query `?`.
+    Query,
+    /// Record construction `I { u = e, … }` (type arguments
+    /// inferred).
+    Make(Symbol, Vec<(Symbol, SExpr)>),
+    /// Conditional.
+    If(Rc<SExpr>, Rc<SExpr>, Rc<SExpr>),
+    /// Pair.
+    Pair(Rc<SExpr>, Rc<SExpr>),
+    /// First projection.
+    Fst(Rc<SExpr>),
+    /// Second projection.
+    Snd(Rc<SExpr>),
+    /// Empty list (element type inferred).
+    Nil,
+    /// Cons.
+    Cons(Rc<SExpr>, Rc<SExpr>),
+    /// List elimination.
+    ListCase {
+        /// Scrutinee.
+        scrut: Rc<SExpr>,
+        /// Empty branch.
+        nil: Rc<SExpr>,
+        /// Head binder.
+        head: Symbol,
+        /// Tail binder.
+        tail: Symbol,
+        /// Cons branch.
+        cons: Rc<SExpr>,
+    },
+    /// `fix x : T. e` (annotation required).
+    Fix(Symbol, Type, Rc<SExpr>),
+    /// Primitive binary operator.
+    BinOp(BinOp, Rc<SExpr>, Rc<SExpr>),
+    /// Primitive unary operator.
+    UnOp(UnOp, Rc<SExpr>),
+    /// Type-annotated expression `e : T`.
+    Ann(Rc<SExpr>, Type),
+    /// Data elimination `match e { C x̄ -> e | … }`.
+    Match(Rc<SExpr>, Vec<SMatchArm>),
+}
+
+/// One arm of an [`SExpr::Match`].
+#[derive(Clone, PartialEq, Debug)]
+pub struct SMatchArm {
+    /// Constructor name.
+    pub ctor: Symbol,
+    /// Binders.
+    pub binders: Vec<Symbol>,
+    /// Arm body.
+    pub body: SExpr,
+}
+
+impl SExpr {
+    /// Variable.
+    pub fn var(x: impl Into<Symbol>) -> SExpr {
+        SExpr::Var(x.into())
+    }
+
+    /// Unannotated lambda.
+    pub fn lam(x: impl Into<Symbol>, body: SExpr) -> SExpr {
+        SExpr::Lam(x.into(), None, Rc::new(body))
+    }
+
+    /// Application.
+    pub fn app(f: SExpr, a: SExpr) -> SExpr {
+        SExpr::App(Rc::new(f), Rc::new(a))
+    }
+
+    /// n-ary application.
+    pub fn apps(f: SExpr, args: impl IntoIterator<Item = SExpr>) -> SExpr {
+        args.into_iter().fold(f, SExpr::app)
+    }
+}
+
+/// A source program: interface declarations plus a body expression.
+#[derive(Clone, Debug)]
+pub struct SProgram {
+    /// Declared interfaces.
+    pub decls: Declarations,
+    /// Program body.
+    pub body: SExpr,
+}
+
+/// Builds a scheme `∀ᾱ. σ̄ ⇒ T` with the paper's canonical quantifier
+/// order: the set of quantified variables is ordered by first
+/// occurrence in the left-to-right prefix traversal of the quantified
+/// type term (context first as written, then the body — matching the
+/// appearance order in `σ̄ ⇒ T`).
+///
+/// Variables listed in `vars` that never occur are kept (they will be
+/// rejected as ambiguous later); occurring order decides.
+pub fn scheme(vars: &[Symbol], context: Vec<RuleType>, body: Type) -> RuleType {
+    let var_set: std::collections::BTreeSet<Symbol> = vars.iter().copied().collect();
+    let mut ordered: Vec<Symbol> = Vec::new();
+    let mut visit = |t: &Type| {
+        collect_order(t, &var_set, &mut ordered);
+    };
+    for c in &context {
+        visit(&c.to_type());
+    }
+    visit(&body);
+    for v in vars {
+        if !ordered.contains(v) {
+            ordered.push(*v);
+        }
+    }
+    RuleType::new(ordered, context, body)
+}
+
+fn collect_order(
+    t: &Type,
+    vars: &std::collections::BTreeSet<Symbol>,
+    out: &mut Vec<Symbol>,
+) {
+    match t {
+        Type::Var(a) => {
+            if vars.contains(a) && !out.contains(a) {
+                out.push(*a);
+            }
+        }
+        Type::Int | Type::Bool | Type::Str | Type::Unit => {}
+        Type::Arrow(a, b) | Type::Prod(a, b) => {
+            collect_order(a, vars, out);
+            collect_order(b, vars, out);
+        }
+        Type::List(a) => collect_order(a, vars, out),
+        Type::Con(_, args) => args.iter().for_each(|a| collect_order(a, vars, out)),
+        Type::VarApp(f, args) => {
+            if vars.contains(f) && !out.contains(f) {
+                out.push(*f);
+            }
+            args.iter().for_each(|a| collect_order(a, vars, out));
+        }
+        Type::Ctor(_) => {}
+        Type::Rule(r) => {
+            // Bound variables of nested rule types shadow.
+            let mut inner: std::collections::BTreeSet<Symbol> = vars.clone();
+            for v in r.vars() {
+                inner.remove(v);
+            }
+            for c in r.context() {
+                collect_order(&c.to_type(), &inner, out);
+            }
+            collect_order(r.head(), &inner, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+
+    #[test]
+    fn scheme_orders_vars_by_first_occurrence() {
+        // ∀{a,b}. {} ⇒ b → a  must quantify b before a.
+        let s = scheme(
+            &[v("a"), v("b")],
+            vec![],
+            Type::arrow(Type::var(v("b")), Type::var(v("a"))),
+        );
+        assert_eq!(s.vars(), &[v("b"), v("a")]);
+    }
+
+    #[test]
+    fn scheme_context_occurrences_come_first() {
+        // ∀{a,b}. {Eq b} ⇒ a → Bool : b occurs first (in the context).
+        let ctx = vec![Type::Con(v("Eq"), vec![Type::var(v("b"))]).promote()];
+        let s = scheme(
+            &[v("a"), v("b")],
+            ctx,
+            Type::arrow(Type::var(v("a")), Type::Bool),
+        );
+        assert_eq!(s.vars(), &[v("b"), v("a")]);
+    }
+
+    #[test]
+    fn unused_quantifiers_are_kept_at_the_end() {
+        let s = scheme(&[v("z"), v("a")], vec![], Type::var(v("a")));
+        assert_eq!(s.vars(), &[v("a"), v("z")]);
+    }
+}

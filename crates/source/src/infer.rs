@@ -1,0 +1,1116 @@
+//! Type inference and the type-directed encoding into λ⇒ (§5,
+//! Figure "Type-directed Encoding of Source Language in λ⇒").
+//!
+//! The translation `G ⊢ E : T ⇝ e` is implemented as a single pass
+//! that *infers* simple types with unification metavariables while
+//! *emitting* the core term. The interesting rules:
+//!
+//! * `TyLVar` — using a let-bound `u : ∀ᾱ. σ̄ ⇒ T′` instantiates the
+//!   quantifiers with fresh metavariables and fires one query
+//!   `?⟦θσᵢ⟧` per context entry: implicit instantiation;
+//! * `TyLet` — `let u : σ = E₁ in E₂` becomes
+//!   `(λu:⟦σ⟧. e₂) (rule(⟦σ⟧)(e₁))`;
+//! * `TyImp` — `implicit ū in E` becomes
+//!   `rule({⟦σ̄⟧} ⇒ ⟦T⟧)(e) with {ū:⟦σ̄⟧}`;
+//! * `TyIVar` — the bare query `?` gets its type from inference;
+//! * `TyRec` — record construction infers the interface's type
+//!   arguments from its fields.
+//!
+//! Metavariables are encoded as reserved type variables and solved by
+//! first-order unification; after the pass, the solution is applied
+//! to the emitted core term (zonking) and any remaining metavariable
+//! is reported as an ambiguous type. Resolution itself is *not*
+//! performed here — the emitted core term carries the queries, and
+//! the core type checker / elaborator resolves them. This mirrors the
+//! paper's layering exactly.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::rc::Rc;
+
+use implicit_core::subst::TySubst;
+use implicit_core::symbol::{fresh, Symbol};
+use implicit_core::syntax::{BinOp, Declarations, Expr, RuleType, Type, UnOp};
+
+use crate::ast::{SExpr, SProgram};
+
+/// A source-language type error.
+#[derive(Clone, Debug)]
+pub enum SrcError {
+    /// Unbound variable.
+    UnboundVar(Symbol),
+    /// Two types failed to unify.
+    Unify {
+        /// First type (zonked).
+        left: Type,
+        /// Second type (zonked).
+        right: Type,
+    },
+    /// Occurs-check failure (infinite type).
+    Occurs {
+        /// The metavariable.
+        meta: Symbol,
+        /// The type containing it.
+        ty: Type,
+    },
+    /// A type could not be fully inferred; an annotation is needed.
+    Ambiguous {
+        /// Where the unsolved type appeared (description).
+        context: String,
+    },
+    /// Unknown interface.
+    UnknownInterface(Symbol),
+    /// Unknown interface field.
+    UnknownField {
+        /// Interface.
+        interface: Symbol,
+        /// Field.
+        field: Symbol,
+    },
+    /// A record literal omits or duplicates fields.
+    BadRecordLiteral {
+        /// Interface.
+        interface: Symbol,
+        /// Explanation.
+        reason: String,
+    },
+    /// `fix` requires a function type.
+    FixNotFunction(Type),
+    /// `implicit` names a variable that is not in scope.
+    ImplicitUnbound(Symbol),
+    /// Unknown data constructor in a `match`.
+    UnknownCtor(Symbol),
+    /// A `match` with no arms.
+    EmptyMatch,
+    /// A recursive `let` needs a function- or rule-typed scheme.
+    BadRecursion(Type),
+}
+
+impl fmt::Display for SrcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SrcError::UnboundVar(x) => write!(f, "unbound variable `{x}`"),
+            SrcError::Unify { left, right } => {
+                write!(f, "cannot unify `{left}` with `{right}`")
+            }
+            SrcError::Occurs { meta, ty } => {
+                write!(f, "infinite type: `{meta}` occurs in `{ty}`")
+            }
+            SrcError::Ambiguous { context } => {
+                write!(f, "ambiguous type in {context}; add an annotation")
+            }
+            SrcError::UnknownInterface(i) => write!(f, "unknown interface `{i}`"),
+            SrcError::UnknownField { interface, field } => {
+                write!(f, "interface `{interface}` has no field `{field}`")
+            }
+            SrcError::BadRecordLiteral { interface, reason } => {
+                write!(f, "bad record literal for `{interface}`: {reason}")
+            }
+            SrcError::FixNotFunction(t) => {
+                write!(f, "`fix` requires a function type, found `{t}`")
+            }
+            SrcError::ImplicitUnbound(u) => {
+                write!(f, "`implicit` names unbound variable `{u}`")
+            }
+            SrcError::UnknownCtor(c) => write!(f, "unknown data constructor `{c}`"),
+            SrcError::EmptyMatch => f.write_str("`match` needs at least one arm"),
+            SrcError::BadRecursion(t) => write!(
+                f,
+                "recursive definitions need a function or rule type, found `{t}`"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SrcError {}
+
+#[derive(Clone, Debug)]
+enum Binding {
+    Mono(Type),
+    Poly(RuleType),
+}
+
+/// The inference-and-translation engine.
+pub struct Translator<'d> {
+    decls: &'d Declarations,
+    solution: BTreeMap<Symbol, Type>,
+    metas: BTreeSet<Symbol>,
+    /// Metavariables standing for type *constructors* (arrow-kinded
+    /// scheme quantifiers instantiated at use sites), with their
+    /// arity.
+    ctor_metas: BTreeSet<Symbol>,
+}
+
+impl<'d> Translator<'d> {
+    /// Creates a translator for the given interface declarations.
+    pub fn new(decls: &'d Declarations) -> Translator<'d> {
+        Translator {
+            decls,
+            solution: BTreeMap::new(),
+            metas: BTreeSet::new(),
+            ctor_metas: BTreeSet::new(),
+        }
+    }
+
+    fn fresh_meta(&mut self) -> Type {
+        let m = fresh("_m");
+        self.metas.insert(m);
+        Type::Var(m)
+    }
+
+    /// Shallow zonk: chase top-level solved metavariables (including
+    /// solved constructor heads of applied variables).
+    fn head_zonk(&self, t: &Type) -> Type {
+        let mut t = t.clone();
+        loop {
+            match &t {
+                Type::Var(v) if self.solution.contains_key(v) => {
+                    t = self.solution[v].clone();
+                }
+                Type::VarApp(f, args) if self.solution.contains_key(f) => {
+                    t = match &self.solution[f] {
+                        Type::Var(g) => Type::VarApp(*g, args.clone()),
+                        Type::Ctor(c) => c.apply(args.clone()),
+                        Type::Con(n, a) if a.is_empty() => Type::Con(*n, args.clone()),
+                        other => panic!(
+                            "ill-kinded constructor solution `{other}` for `{f}`"
+                        ),
+                    };
+                }
+                _ => return t,
+            }
+        }
+    }
+
+    /// The solved image of an applied-variable head, if any.
+    fn head_image(&self, f: Symbol) -> Option<&Type> {
+        self.solution.get(&f)
+    }
+
+    /// Deep zonk.
+    fn zonk(&self, t: &Type) -> Type {
+        let t = self.head_zonk(t);
+        match &t {
+            Type::Var(_) | Type::Int | Type::Bool | Type::Str | Type::Unit => t,
+            Type::Arrow(a, b) => Type::arrow(self.zonk(a), self.zonk(b)),
+            Type::Prod(a, b) => Type::prod(self.zonk(a), self.zonk(b)),
+            Type::List(a) => Type::list(self.zonk(a)),
+            Type::Con(n, args) => {
+                Type::Con(*n, args.iter().map(|a| self.zonk(a)).collect())
+            }
+            Type::VarApp(f, args) => {
+                let args2: Vec<Type> = args.iter().map(|a| self.zonk(a)).collect();
+                match self.solution.get(f) {
+                    Some(Type::Var(g)) => Type::VarApp(*g, args2),
+                    Some(Type::Ctor(c)) => c.apply(args2),
+                    Some(Type::Con(n, a)) if a.is_empty() => Type::Con(*n, args2),
+                    _ => Type::VarApp(*f, args2),
+                }
+            }
+            Type::Ctor(_) => t,
+            Type::Rule(_) => t,
+        }
+    }
+
+    fn unify(&mut self, a: &Type, b: &Type) -> Result<(), SrcError> {
+        let a = self.head_zonk(a);
+        let b = self.head_zonk(b);
+        match (&a, &b) {
+            (Type::Var(x), Type::Var(y)) if x == y => Ok(()),
+            (Type::Var(m), other) | (other, Type::Var(m)) if self.metas.contains(m) => {
+                let other_z = self.zonk(other);
+                if other_z.ftv().contains(m) {
+                    return Err(SrcError::Occurs {
+                        meta: *m,
+                        ty: other_z,
+                    });
+                }
+                self.solution.insert(*m, other_z);
+                Ok(())
+            }
+            (Type::Int, Type::Int)
+            | (Type::Bool, Type::Bool)
+            | (Type::Str, Type::Str)
+            | (Type::Unit, Type::Unit) => Ok(()),
+            (Type::Arrow(a1, b1), Type::Arrow(a2, b2))
+            | (Type::Prod(a1, b1), Type::Prod(a2, b2)) => {
+                self.unify(a1, a2)?;
+                self.unify(b1, b2)
+            }
+            (Type::List(a1), Type::List(a2)) => self.unify(a1, a2),
+            (Type::Con(n1, a1), Type::Con(n2, a2)) if n1 == n2 && a1.len() == a2.len() => {
+                for (x, y) in a1.iter().zip(a2) {
+                    self.unify(x, y)?;
+                }
+                Ok(())
+            }
+            (Type::VarApp(f1, a1), Type::VarApp(f2, a2)) if a1.len() == a2.len() => {
+                // Heads: chase solved constructor metas first.
+                let h1 = self.head_image(*f1);
+                let h2 = self.head_image(*f2);
+                match (h1, h2) {
+                    (None, None) if f1 == f2 => {}
+                    (None, None) if self.ctor_metas.contains(f1) => {
+                        self.solution.insert(*f1, Type::Var(*f2));
+                    }
+                    (None, None) if self.ctor_metas.contains(f2) => {
+                        self.solution.insert(*f2, Type::Var(*f1));
+                    }
+                    (None, None) => {
+                        return Err(SrcError::Unify {
+                            left: self.zonk(&a),
+                            right: self.zonk(&b),
+                        })
+                    }
+                    _ => unreachable!("head_zonk resolves solved heads"),
+                }
+                for (x, y) in a1.iter().zip(a2) {
+                    self.unify(x, y)?;
+                }
+                Ok(())
+            }
+            (Type::VarApp(f, fa), Type::List(el)) | (Type::List(el), Type::VarApp(f, fa))
+                if fa.len() == 1 && self.ctor_metas.contains(f) =>
+            {
+                self.solution
+                    .insert(*f, Type::Ctor(implicit_core::syntax::TyCon::List));
+                self.unify(&fa[0], el)
+            }
+            (Type::VarApp(f, fa), Type::Con(n, na)) | (Type::Con(n, na), Type::VarApp(f, fa))
+                if fa.len() == na.len() && self.ctor_metas.contains(f) =>
+            {
+                self.solution.insert(
+                    *f,
+                    Type::Ctor(implicit_core::syntax::TyCon::Named(*n)),
+                );
+                for (x, y) in fa.iter().zip(na) {
+                    self.unify(x, y)?;
+                }
+                Ok(())
+            }
+            (Type::Ctor(c1), Type::Ctor(c2)) if c1 == c2 => Ok(()),
+            (Type::Ctor(implicit_core::syntax::TyCon::Named(n1)), Type::Con(n2, a2))
+            | (Type::Con(n2, a2), Type::Ctor(implicit_core::syntax::TyCon::Named(n1)))
+                if a2.is_empty() && n1 == n2 =>
+            {
+                Ok(())
+            }
+            (Type::Rule(r1), Type::Rule(r2))
+                if implicit_core::alpha::alpha_eq(r1, r2) =>
+            {
+                Ok(())
+            }
+            _ => Err(SrcError::Unify {
+                left: self.zonk(&a),
+                right: self.zonk(&b),
+            }),
+        }
+    }
+
+    fn infer(
+        &mut self,
+        env: &mut Vec<(Symbol, Binding)>,
+        e: &SExpr,
+    ) -> Result<(Type, Expr), SrcError> {
+        match e {
+            SExpr::Int(n) => Ok((Type::Int, Expr::Int(*n))),
+            SExpr::Bool(b) => Ok((Type::Bool, Expr::Bool(*b))),
+            SExpr::Str(s) => Ok((Type::Str, Expr::Str(s.clone()))),
+            SExpr::Unit => Ok((Type::Unit, Expr::Unit)),
+            SExpr::Var(x) => {
+                let binding = env
+                    .iter()
+                    .rev()
+                    .find(|(y, _)| y == x)
+                    .map(|(_, b)| b.clone())
+                    .ok_or(SrcError::UnboundVar(*x))?;
+                match binding {
+                    Binding::Mono(t) => Ok((t, Expr::Var(*x))),
+                    Binding::Poly(sigma) => self.instantiate_var(*x, &sigma),
+                }
+            }
+            SExpr::Lam(x, ann, body) => {
+                let dom = match ann {
+                    Some(t) => t.clone(),
+                    None => self.fresh_meta(),
+                };
+                env.push((*x, Binding::Mono(dom.clone())));
+                let out = self.infer(env, body);
+                env.pop();
+                let (cod, be) = out?;
+                Ok((
+                    Type::arrow(dom.clone(), cod),
+                    Expr::Lam(*x, dom, Rc::new(be)),
+                ))
+            }
+            SExpr::App(f, a) => {
+                let (tf, ef) = self.infer(env, f)?;
+                let (ta, ea) = self.infer(env, a)?;
+                let out = self.fresh_meta();
+                self.unify(&tf, &Type::arrow(ta, out.clone()))?;
+                Ok((out, Expr::app(ef, ea)))
+            }
+            SExpr::Let {
+                name,
+                scheme,
+                rhs,
+                body,
+            } => {
+                // TyLet. The scheme's variables are rigid in the rhs.
+                let (t_rhs, e_rhs) = self.infer(env, rhs)?;
+                self.unify(&t_rhs, scheme.head())?;
+                env.push((*name, Binding::Poly(scheme.clone())));
+                let out = self.infer(env, body);
+                env.pop();
+                let (t_body, e_body) = out?;
+                let bound = if scheme.is_trivial() {
+                    e_rhs
+                } else {
+                    Expr::rule_abs(scheme.clone(), e_rhs)
+                };
+                Ok((
+                    t_body,
+                    Expr::app(
+                        Expr::Lam(*name, scheme.to_type(), Rc::new(e_body)),
+                        bound,
+                    ),
+                ))
+            }
+            SExpr::LetRec {
+                name,
+                scheme,
+                rhs,
+                body,
+            } => {
+                // Polymorphic recursion: `name` carries its full
+                // scheme inside the definition, so recursive uses may
+                // instantiate it differently (the Perfect pattern).
+                env.push((*name, Binding::Poly(scheme.clone())));
+                let rhs_out = self.infer(env, rhs);
+                let (t_rhs, e_rhs) = match rhs_out {
+                    Ok(x) => x,
+                    Err(e) => {
+                        env.pop();
+                        return Err(e);
+                    }
+                };
+                if let Err(e) = self.unify(&t_rhs, scheme.head()) {
+                    env.pop();
+                    return Err(e);
+                }
+                let out = self.infer(env, body);
+                env.pop();
+                let (t_body, e_body) = out?;
+                let ty = scheme.to_type();
+                if scheme.is_trivial() && !matches!(ty, Type::Arrow(_, _)) {
+                    return Err(SrcError::BadRecursion(ty));
+                }
+                let wrapped = if scheme.is_trivial() {
+                    e_rhs
+                } else {
+                    Expr::rule_abs(scheme.clone(), e_rhs)
+                };
+                let bound = Expr::Fix(*name, ty.clone(), Rc::new(wrapped));
+                Ok((
+                    t_body,
+                    Expr::app(Expr::Lam(*name, ty, Rc::new(e_body)), bound),
+                ))
+            }
+            SExpr::Match(scrut, arms) => {
+                let (ts, es) = self.infer(env, scrut)?;
+                let first = arms.first().ok_or(SrcError::EmptyMatch)?;
+                let data = self
+                    .decls
+                    .lookup_ctor(first.ctor)
+                    .ok_or(SrcError::UnknownCtor(first.ctor))?
+                    .0
+                    .clone();
+                let targs: Vec<Type> = data
+                    .params
+                    .iter()
+                    .map(|(_, k)| {
+                        let m = self.fresh_meta();
+                        if *k > 0 {
+                            if let Type::Var(mv) = &m {
+                                self.ctor_metas.insert(*mv);
+                            }
+                        }
+                        m
+                    })
+                    .collect();
+                self.unify(&ts, &Type::Con(data.name, targs.clone()))?;
+                let mut result: Option<Type> = None;
+                let mut out_arms = Vec::with_capacity(arms.len());
+                for arm in arms {
+                    let want = data
+                        .ctor_arg_types(arm.ctor, &targs)
+                        .ok_or(SrcError::UnknownCtor(arm.ctor))?;
+                    if want.len() != arm.binders.len() {
+                        return Err(SrcError::BadRecordLiteral {
+                            interface: data.name,
+                            reason: format!(
+                                "constructor `{}` takes {} argument(s), {} bound",
+                                arm.ctor,
+                                want.len(),
+                                arm.binders.len()
+                            ),
+                        });
+                    }
+                    for (b, w) in arm.binders.iter().zip(&want) {
+                        env.push((*b, Binding::Mono(w.clone())));
+                    }
+                    let body_out = self.infer(env, &arm.body);
+                    for _ in &arm.binders {
+                        env.pop();
+                    }
+                    let (t_arm, e_arm) = body_out?;
+                    match &result {
+                        None => result = Some(t_arm),
+                        Some(prev) => self.unify(prev, &t_arm)?,
+                    }
+                    out_arms.push(implicit_core::syntax::MatchArm {
+                        ctor: arm.ctor,
+                        binders: arm.binders.clone(),
+                        body: e_arm,
+                    });
+                }
+                Ok((
+                    result.ok_or(SrcError::EmptyMatch)?,
+                    Expr::Match(Rc::new(es), out_arms),
+                ))
+            }
+            SExpr::LetMono { name, rhs, body } => {
+                // Monomorphic let: infer the definition's type; no
+                // generalization, no context.
+                let (t_rhs, e_rhs) = self.infer(env, rhs)?;
+                env.push((*name, Binding::Mono(t_rhs.clone())));
+                let out = self.infer(env, body);
+                env.pop();
+                let (t_body, e_body) = out?;
+                Ok((
+                    t_body,
+                    Expr::app(Expr::Lam(*name, t_rhs, Rc::new(e_body)), e_rhs),
+                ))
+            }
+            SExpr::Implicit(names, body) => {
+                // TyImp: rule({⟦σ̄⟧} ⇒ ⟦T⟧)(e) with {ū:⟦σ̄⟧}.
+                let mut args: Vec<(Expr, RuleType)> = Vec::with_capacity(names.len());
+                for u in names {
+                    let binding = env
+                        .iter()
+                        .rev()
+                        .find(|(y, _)| y == u)
+                        .map(|(_, b)| b.clone())
+                        .ok_or(SrcError::ImplicitUnbound(*u))?;
+                    let sigma = match binding {
+                        Binding::Poly(s) => s,
+                        Binding::Mono(t) => t.promote(),
+                    };
+                    args.push((Expr::Var(*u), sigma));
+                }
+                let (t_body, e_body) = self.infer(env, body)?;
+                Ok((
+                    t_body.clone(),
+                    Expr::implicit(args, e_body, t_body),
+                ))
+            }
+            SExpr::Query => {
+                // TyIVar: the type is inferred; emit ?τ.
+                let t = self.fresh_meta();
+                Ok((t.clone(), Expr::Query(RuleType::simple(t))))
+            }
+            SExpr::Make(name, fields) => {
+                // TyRec: infer the interface's type arguments.
+                let decl = self
+                    .decls
+                    .lookup(*name)
+                    .ok_or(SrcError::UnknownInterface(*name))?
+                    .clone();
+                if fields.len() != decl.fields.len() {
+                    return Err(SrcError::BadRecordLiteral {
+                        interface: *name,
+                        reason: format!(
+                            "expected {} field(s), found {}",
+                            decl.fields.len(),
+                            fields.len()
+                        ),
+                    });
+                }
+                let targs: Vec<Type> = decl.vars.iter().map(|_| self.fresh_meta()).collect();
+                let inst = TySubst::bind_all(&decl.vars, &targs);
+                let mut out_fields = Vec::with_capacity(fields.len());
+                for (u, fe) in fields {
+                    let Some((_, want_raw)) = decl.fields.iter().find(|(w, _)| w == u) else {
+                        return Err(SrcError::UnknownField {
+                            interface: *name,
+                            field: *u,
+                        });
+                    };
+                    let want = inst.apply_type(want_raw);
+                    let (got, ee) = self.infer(env, fe)?;
+                    self.unify(&got, &want)?;
+                    out_fields.push((*u, ee));
+                }
+                Ok((
+                    Type::Con(*name, targs.clone()),
+                    Expr::Make(*name, targs, out_fields),
+                ))
+            }
+            SExpr::If(c, t, f) => {
+                let (tc, ec) = self.infer(env, c)?;
+                self.unify(&tc, &Type::Bool)?;
+                let (tt, et) = self.infer(env, t)?;
+                let (tf, ef) = self.infer(env, f)?;
+                self.unify(&tt, &tf)?;
+                Ok((tt, Expr::If(ec.into(), et.into(), ef.into())))
+            }
+            SExpr::Pair(a, b) => {
+                let (ta, ea) = self.infer(env, a)?;
+                let (tb, eb) = self.infer(env, b)?;
+                Ok((Type::prod(ta, tb), Expr::Pair(ea.into(), eb.into())))
+            }
+            SExpr::Fst(a) => {
+                let (ta, ea) = self.infer(env, a)?;
+                let l = self.fresh_meta();
+                let r = self.fresh_meta();
+                self.unify(&ta, &Type::prod(l.clone(), r))?;
+                Ok((l, Expr::Fst(ea.into())))
+            }
+            SExpr::Snd(a) => {
+                let (ta, ea) = self.infer(env, a)?;
+                let l = self.fresh_meta();
+                let r = self.fresh_meta();
+                self.unify(&ta, &Type::prod(l, r.clone()))?;
+                Ok((r, Expr::Snd(ea.into())))
+            }
+            SExpr::Nil => {
+                let el = self.fresh_meta();
+                Ok((Type::list(el.clone()), Expr::Nil(el)))
+            }
+            SExpr::Cons(h, t) => {
+                let (th, eh) = self.infer(env, h)?;
+                let (tt, et) = self.infer(env, t)?;
+                self.unify(&tt, &Type::list(th))?;
+                Ok((tt, Expr::Cons(eh.into(), et.into())))
+            }
+            SExpr::ListCase {
+                scrut,
+                nil,
+                head,
+                tail,
+                cons,
+            } => {
+                let (ts, es) = self.infer(env, scrut)?;
+                let el = self.fresh_meta();
+                self.unify(&ts, &Type::list(el.clone()))?;
+                let (tn, en) = self.infer(env, nil)?;
+                env.push((*head, Binding::Mono(el.clone())));
+                env.push((*tail, Binding::Mono(Type::list(el))));
+                let out = self.infer(env, cons);
+                env.pop();
+                env.pop();
+                let (tc, ec) = out?;
+                self.unify(&tn, &tc)?;
+                Ok((
+                    tn,
+                    Expr::ListCase {
+                        scrut: es.into(),
+                        nil: en.into(),
+                        head: *head,
+                        tail: *tail,
+                        cons: ec.into(),
+                    },
+                ))
+            }
+            SExpr::Fix(x, t, body) => {
+                env.push((*x, Binding::Mono(t.clone())));
+                let out = self.infer(env, body);
+                env.pop();
+                let (tb, eb) = out?;
+                self.unify(&tb, t)?;
+                Ok((t.clone(), Expr::Fix(*x, t.clone(), eb.into())))
+            }
+            SExpr::BinOp(op, a, b) => {
+                let (ta, ea) = self.infer(env, a)?;
+                let (tb, eb) = self.infer(env, b)?;
+                use BinOp::*;
+                let out = match op {
+                    Add | Sub | Mul | Div | Mod => {
+                        self.unify(&ta, &Type::Int)?;
+                        self.unify(&tb, &Type::Int)?;
+                        Type::Int
+                    }
+                    Lt | Le => {
+                        self.unify(&ta, &Type::Int)?;
+                        self.unify(&tb, &Type::Int)?;
+                        Type::Bool
+                    }
+                    And | Or => {
+                        self.unify(&ta, &Type::Bool)?;
+                        self.unify(&tb, &Type::Bool)?;
+                        Type::Bool
+                    }
+                    Concat => {
+                        self.unify(&ta, &Type::Str)?;
+                        self.unify(&tb, &Type::Str)?;
+                        Type::Str
+                    }
+                    Eq => {
+                        self.unify(&ta, &tb)?;
+                        // Base-type restriction checked after zonking
+                        // by the core type checker.
+                        Type::Bool
+                    }
+                };
+                Ok((out, Expr::BinOp(*op, ea.into(), eb.into())))
+            }
+            SExpr::UnOp(op, a) => {
+                let (ta, ea) = self.infer(env, a)?;
+                let (dom, cod) = match op {
+                    UnOp::Not => (Type::Bool, Type::Bool),
+                    UnOp::Neg => (Type::Int, Type::Int),
+                    UnOp::IntToStr => (Type::Int, Type::Str),
+                };
+                self.unify(&ta, &dom)?;
+                Ok((cod, Expr::UnOp(*op, ea.into())))
+            }
+            SExpr::Ann(a, t) => {
+                let (ta, ea) = self.infer(env, a)?;
+                self.unify(&ta, t)?;
+                Ok((t.clone(), ea))
+            }
+        }
+    }
+
+    /// TyLVar: instantiate a let-bound variable's scheme, emitting
+    /// `u[⟦T̄⟧] with {?⟦θσᵢ⟧ : ⟦θσᵢ⟧, …}`.
+    fn instantiate_var(
+        &mut self,
+        u: Symbol,
+        sigma: &RuleType,
+    ) -> Result<(Type, Expr), SrcError> {
+        if sigma.is_trivial() {
+            return Ok((sigma.head().clone(), Expr::Var(u)));
+        }
+        // Fresh metas per quantifier; arrow-kinded quantifiers get
+        // *constructor* metas, solved to `List`/interface heads by
+        // unification.
+        let kinds = implicit_core::typeck::infer_binder_kinds(self.decls, sigma)
+            .map_err(|e| SrcError::Ambiguous {
+                context: format!("scheme of `{u}` ({e})"),
+            })?;
+        let targs: Vec<Type> = sigma
+            .vars()
+            .iter()
+            .map(|v| {
+                let m = self.fresh_meta();
+                if kinds.get(v).copied().unwrap_or(0) > 0 {
+                    if let Type::Var(mv) = &m {
+                        self.ctor_metas.insert(*mv);
+                    }
+                }
+                m
+            })
+            .collect();
+        let theta = TySubst::bind_all(sigma.vars(), &targs);
+        let mut out: Expr = Expr::Var(u);
+        if !sigma.vars().is_empty() {
+            out = Expr::TyApp(Rc::new(out), targs);
+        }
+        if !sigma.context().is_empty() {
+            let args: Vec<(Expr, RuleType)> = sigma
+                .context()
+                .iter()
+                .map(|si| {
+                    let inst = theta.apply_rule(si);
+                    (Expr::Query(inst.clone()), inst)
+                })
+                .collect();
+            out = Expr::with(out, args);
+        }
+        Ok((theta.apply_type(sigma.head()), out))
+    }
+
+    /// Finishes a translation: zonks the emitted term and reports any
+    /// remaining metavariables.
+    fn finish(&self, ty: Type, expr: Expr) -> Result<(Type, Expr), SrcError> {
+        let mut subst = TySubst::new();
+        for m in &self.metas {
+            if self.solution.contains_key(m) {
+                subst.bind(*m, self.zonk(&Type::Var(*m)));
+            }
+        }
+        let ty = subst.apply_type(&ty);
+        let expr = subst.apply_expr(&expr);
+        // Any meta still reachable is an ambiguity.
+        let mut remaining: BTreeSet<Symbol> = BTreeSet::new();
+        collect_metas_expr(&expr, &self.metas, &mut remaining);
+        ty.ftv()
+            .into_iter()
+            .filter(|v| self.metas.contains(v))
+            .for_each(|v| {
+                remaining.insert(v);
+            });
+        if let Some(m) = remaining.into_iter().next() {
+            return Err(SrcError::Ambiguous {
+                context: format!("inferred term (unsolved `{m}`)"),
+            });
+        }
+        Ok((ty, expr))
+    }
+}
+
+fn collect_metas_type(t: &Type, metas: &BTreeSet<Symbol>, out: &mut BTreeSet<Symbol>) {
+    for v in t.ftv() {
+        if metas.contains(&v) {
+            out.insert(v);
+        }
+    }
+}
+
+fn collect_metas_rule(r: &RuleType, metas: &BTreeSet<Symbol>, out: &mut BTreeSet<Symbol>) {
+    for v in r.ftv() {
+        if metas.contains(&v) {
+            out.insert(v);
+        }
+    }
+}
+
+fn collect_metas_expr(e: &Expr, metas: &BTreeSet<Symbol>, out: &mut BTreeSet<Symbol>) {
+    match e {
+        Expr::Int(_) | Expr::Bool(_) | Expr::Str(_) | Expr::Unit | Expr::Var(_) => {}
+        Expr::Lam(_, t, b) => {
+            collect_metas_type(t, metas, out);
+            collect_metas_expr(b, metas, out);
+        }
+        Expr::App(f, a) => {
+            collect_metas_expr(f, metas, out);
+            collect_metas_expr(a, metas, out);
+        }
+        Expr::Query(r) => collect_metas_rule(r, metas, out),
+        Expr::RuleAbs(r, b) => {
+            collect_metas_rule(r, metas, out);
+            collect_metas_expr(b, metas, out);
+        }
+        Expr::TyApp(f, ts) => {
+            collect_metas_expr(f, metas, out);
+            ts.iter().for_each(|t| collect_metas_type(t, metas, out));
+        }
+        Expr::RuleApp(f, args) => {
+            collect_metas_expr(f, metas, out);
+            for (a, r) in args {
+                collect_metas_expr(a, metas, out);
+                collect_metas_rule(r, metas, out);
+            }
+        }
+        Expr::If(a, b, c) => {
+            collect_metas_expr(a, metas, out);
+            collect_metas_expr(b, metas, out);
+            collect_metas_expr(c, metas, out);
+        }
+        Expr::BinOp(_, a, b) | Expr::Pair(a, b) | Expr::Cons(a, b) => {
+            collect_metas_expr(a, metas, out);
+            collect_metas_expr(b, metas, out);
+        }
+        Expr::UnOp(_, a) | Expr::Fst(a) | Expr::Snd(a) => collect_metas_expr(a, metas, out),
+        Expr::Nil(t) => collect_metas_type(t, metas, out),
+        Expr::ListCase {
+            scrut,
+            nil,
+            cons,
+            ..
+        } => {
+            collect_metas_expr(scrut, metas, out);
+            collect_metas_expr(nil, metas, out);
+            collect_metas_expr(cons, metas, out);
+        }
+        Expr::Fix(_, t, b) => {
+            collect_metas_type(t, metas, out);
+            collect_metas_expr(b, metas, out);
+        }
+        Expr::Make(_, ts, fields) => {
+            ts.iter().for_each(|t| collect_metas_type(t, metas, out));
+            fields
+                .iter()
+                .for_each(|(_, fe)| collect_metas_expr(fe, metas, out));
+        }
+        Expr::Proj(a, _) => collect_metas_expr(a, metas, out),
+        Expr::Inject(_, ts, args) => {
+            ts.iter().for_each(|t| collect_metas_type(t, metas, out));
+            args.iter().for_each(|a| collect_metas_expr(a, metas, out));
+        }
+        Expr::Match(scrut, arms) => {
+            collect_metas_expr(scrut, metas, out);
+            arms.iter()
+                .for_each(|arm| collect_metas_expr(&arm.body, metas, out));
+        }
+    }
+}
+
+/// Translates a bare source expression (no interface accessors in
+/// scope).
+///
+/// # Errors
+///
+/// Returns a [`SrcError`] describing the first inference failure.
+pub fn translate_expr(decls: &Declarations, e: &SExpr) -> Result<(Type, Expr), SrcError> {
+    let mut tr = Translator::new(decls);
+    let mut env = Vec::new();
+    let (t, ce) = tr.infer(&mut env, e)?;
+    tr.finish(t, ce)
+}
+
+/// The scheme of an interface field accessor: field `u : T` of
+/// `interface I ᾱ` becomes `u : ∀ᾱ.{} ⇒ I ᾱ → T` (§5: "field names
+/// are modeled as regular functions taking a record as the first
+/// argument").
+pub fn accessor_scheme(decl: &implicit_core::syntax::InterfaceDecl, field: Symbol) -> Option<RuleType> {
+    let (_, t) = decl.fields.iter().find(|(u, _)| *u == field)?;
+    let iface_ty = Type::Con(
+        decl.name,
+        decl.vars.iter().map(|v| Type::Var(*v)).collect(),
+    );
+    Some(crate::ast::scheme(
+        &decl.vars,
+        vec![],
+        Type::arrow(iface_ty, t.clone()),
+    ))
+}
+
+/// Translates a whole program: brings every interface field accessor
+/// into scope as a let-bound function, then translates the body.
+///
+/// # Errors
+///
+/// Returns a [`SrcError`] describing the first inference failure.
+pub fn translate_program(prog: &SProgram) -> Result<(Type, Expr), SrcError> {
+    let mut tr = Translator::new(&prog.decls);
+    let mut env: Vec<(Symbol, Binding)> = Vec::new();
+    // Accessor schemes for every interface field.
+    let mut accessors: Vec<(Symbol, RuleType, Expr)> = Vec::new();
+    for decl in prog.decls.iter() {
+        for (u, _) in &decl.fields {
+            let sigma = accessor_scheme(decl, *u).expect("field exists");
+            let record = fresh("r");
+            let iface_ty = Type::Con(
+                decl.name,
+                decl.vars.iter().map(|v| Type::Var(*v)).collect(),
+            );
+            let body = Expr::lam(record, iface_ty, Expr::Proj(Rc::new(Expr::Var(record)), *u));
+            accessors.push((*u, sigma.clone(), body));
+            env.push((*u, Binding::Poly(sigma)));
+        }
+    }
+    // Constructor functions for every data constructor: `C` becomes
+    // a let-bound curried function
+    // `∀p̄. {} ⇒ T₁ → … → Tₙ → D p̄` whose body injects.
+    for d in prog.decls.iter_datas() {
+        let param_vars: Vec<Symbol> = d.params.iter().map(|(v, _)| *v).collect();
+        let result_ty = Type::Con(
+            d.name,
+            param_vars.iter().map(|v| Type::Var(*v)).collect(),
+        );
+        for (c, arg_tys) in &d.ctors {
+            let sigma = RuleType::new(
+                param_vars.clone(),
+                vec![],
+                arg_tys
+                    .iter()
+                    .rev()
+                    .fold(result_ty.clone(), |acc, t| Type::arrow(t.clone(), acc)),
+            );
+            let xs: Vec<Symbol> = (0..arg_tys.len()).map(|_| fresh("cx")).collect();
+            let inject = Expr::Inject(
+                *c,
+                param_vars.iter().map(|v| Type::Var(*v)).collect(),
+                xs.iter().map(|x| Expr::Var(*x)).collect(),
+            );
+            let body = xs
+                .iter()
+                .zip(arg_tys)
+                .rev()
+                .fold(inject, |acc, (x, t)| Expr::Lam(*x, t.clone(), Rc::new(acc)));
+            accessors.push((*c, sigma.clone(), body));
+            env.push((*c, Binding::Poly(sigma)));
+        }
+    }
+    let (t, core_body) = tr.infer(&mut env, &prog.body)?;
+    let (t, core_body) = tr.finish(t, core_body)?;
+    // Wrap: (λu:⟦σ⟧. …) (rule(σ)(λr. r.u)) for each accessor,
+    // innermost-last so earlier interfaces scope over later ones.
+    let wrapped = accessors
+        .into_iter()
+        .rev()
+        .fold(core_body, |acc, (u, sigma, body)| {
+            let bound = if sigma.is_trivial() {
+                body
+            } else {
+                Expr::rule_abs(sigma.clone(), body)
+            };
+            Expr::app(Expr::Lam(u, sigma.to_type(), Rc::new(acc)), bound)
+        });
+    Ok((t, wrapped))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::scheme;
+    use implicit_core::syntax::InterfaceDecl;
+
+    fn v(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+
+    fn tv(s: &str) -> Type {
+        Type::var(v(s))
+    }
+
+    #[test]
+    fn literals_and_application_infer() {
+        let decls = Declarations::new();
+        let e = SExpr::app(SExpr::lam("x", SExpr::var("x")), SExpr::Int(42));
+        let (t, ce) = translate_expr(&decls, &e).unwrap();
+        assert_eq!(t, Type::Int);
+        // The lambda's inferred annotation must be zonked to Int.
+        match ce {
+            Expr::App(f, _) => match &*f {
+                Expr::Lam(_, t, _) => assert_eq!(*t, Type::Int),
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unsolved_metas_are_ambiguous() {
+        let decls = Declarations::new();
+        let e = SExpr::lam("x", SExpr::var("x"));
+        assert!(matches!(
+            translate_expr(&decls, &e),
+            Err(SrcError::Ambiguous { .. })
+        ));
+    }
+
+    #[test]
+    fn occurs_check_fires() {
+        let decls = Declarations::new();
+        // \x. x x
+        let e = SExpr::lam("x", SExpr::app(SExpr::var("x"), SExpr::var("x")));
+        assert!(matches!(
+            translate_expr(&decls, &e),
+            Err(SrcError::Occurs { .. })
+        ));
+    }
+
+    #[test]
+    fn let_with_scheme_emits_rule_abstraction() {
+        let decls = Declarations::new();
+        // let id : forall a. a -> a = \x. x in id 3
+        let sigma = scheme(&[v("a")], vec![], Type::arrow(tv("a"), tv("a")));
+        let e = SExpr::Let {
+            name: v("id"),
+            scheme: sigma,
+            rhs: SExpr::lam("x", SExpr::var("x")).into(),
+            body: SExpr::app(SExpr::var("id"), SExpr::Int(3)).into(),
+        };
+        let (t, ce) = translate_expr(&decls, &e).unwrap();
+        assert_eq!(t, Type::Int);
+        // id's use must be a type application at Int.
+        let printed = ce.to_string();
+        assert!(printed.contains("[Int]"), "expected instantiation in {printed}");
+    }
+
+    #[test]
+    fn let_var_context_fires_queries() {
+        // let f : {Int} => Int = ? + 1 in implicit-free use fails to
+        // resolve at core level, but the translation must fire ?Int.
+        let decls = Declarations::new();
+        let sigma = RuleType::mono(vec![Type::Int.promote()], Type::Int);
+        let e = SExpr::Let {
+            name: v("f"),
+            scheme: sigma,
+            rhs: SExpr::BinOp(BinOp::Add, SExpr::Query.into(), SExpr::Int(1).into()).into(),
+            body: SExpr::var("f").into(),
+        };
+        let (_, ce) = translate_expr(&decls, &e).unwrap();
+        let printed = ce.to_string();
+        assert!(
+            printed.contains("with {?(Int) : Int}"),
+            "expected fired query in {printed}"
+        );
+    }
+
+    #[test]
+    fn implicit_translates_to_rule_with() {
+        let decls = Declarations::new();
+        // let x : Int = 1 in implicit x in ? + 0
+        // (the `+ 0` pins the query's type; a bare `?` with no usage
+        // context is genuinely ambiguous and rejected).
+        let query_plus = SExpr::BinOp(BinOp::Add, SExpr::Query.into(), SExpr::Int(0).into());
+        let e = SExpr::Let {
+            name: v("x"),
+            scheme: RuleType::simple(Type::Int),
+            rhs: SExpr::Int(1).into(),
+            body: SExpr::Implicit(vec![v("x")], query_plus.into()).into(),
+        };
+        let (t, ce) = translate_expr(&decls, &e).unwrap();
+        assert_eq!(t, Type::Int);
+        let printed = ce.to_string();
+        assert!(printed.contains("with {x : Int}"), "got {printed}");
+    }
+
+    #[test]
+    fn records_infer_their_type_arguments() {
+        let mut decls = Declarations::new();
+        decls
+            .declare(InterfaceDecl {
+                name: v("Eq"),
+                vars: vec![v("a")],
+                fields: vec![(
+                    v("eq"),
+                    Type::arrow(tv("a"), Type::arrow(tv("a"), Type::Bool)),
+                )],
+            })
+            .unwrap();
+        // Eq { eq = \x. \y. x == y } with ints ⇒ Eq Int. The equality
+        // constrains nothing by itself, so pin one operand:
+        let lit = SExpr::Make(
+            v("Eq"),
+            vec![(
+                v("eq"),
+                SExpr::lam(
+                    "x",
+                    SExpr::lam(
+                        "y",
+                        SExpr::BinOp(
+                            BinOp::Add,
+                            SExpr::var("x").into(),
+                            SExpr::Int(0).into(),
+                        ),
+                    ),
+                ),
+            )],
+        );
+        // eq : a -> a -> Bool but our field body returns Int — must
+        // fail to unify.
+        assert!(translate_expr(&decls, &lit).is_err());
+    }
+
+    #[test]
+    fn accessor_schemes_follow_the_paper() {
+        let decl = InterfaceDecl {
+            name: v("Eq"),
+            vars: vec![v("a")],
+            fields: vec![(
+                v("eq"),
+                Type::arrow(tv("a"), Type::arrow(tv("a"), Type::Bool)),
+            )],
+        };
+        let sigma = accessor_scheme(&decl, v("eq")).unwrap();
+        assert_eq!(
+            sigma.to_string(),
+            "forall a. Eq a -> a -> a -> Bool"
+        );
+    }
+}

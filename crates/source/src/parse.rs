@@ -1,0 +1,1058 @@
+//! Parser for the source language's concrete syntax.
+//!
+//! ```text
+//! interface Eq a = { eq : a -> a -> Bool }
+//!
+//! let eqv : forall a. {Eq a} => a -> a -> Bool = \x. \y. eq ? x y in
+//! let eqInt : Eq Int = Eq { eq = \x. \y. x == y } in
+//! implicit eqInt in
+//! eqv 1 2
+//! ```
+//!
+//! Differences from the core syntax: lambda annotations are optional,
+//! `let` takes a *scheme*, `implicit` takes a comma-separated list of
+//! in-scope names (braces optional) and **no** body annotation, the
+//! query is a bare `?`, records need no explicit type arguments, and
+//! `nil` needs no element annotation. Comments run from `--` to end
+//! of line.
+
+use std::fmt;
+use std::rc::Rc;
+
+use implicit_core::symbol::Symbol;
+use implicit_core::syntax::{BinOp, Declarations, InterfaceDecl, RuleType, Type, UnOp};
+
+use crate::ast::{scheme, SExpr, SProgram};
+
+/// A parsed `data` declaration before kind inference:
+/// (name, parameters, constructors).
+type ParsedData = (Symbol, Vec<Symbol>, Vec<(Symbol, Vec<Type>)>);
+
+/// A source-language parse error.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SrcParseError {
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl fmt::Display for SrcParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "source parse error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
+    }
+}
+
+impl std::error::Error for SrcParseError {}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    Int(i64),
+    Str(String),
+    Lower(String),
+    Upper(String),
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Comma,
+    Dot,
+    Colon,
+    ColonColon,
+    FatArrow,
+    Arrow,
+    Lambda,
+    Question,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    EqEq,
+    Eq,
+    Lt,
+    Le,
+    AndAnd,
+    OrOr,
+    PlusPlus,
+    Pipe,
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Int(n) => write!(f, "{n}"),
+            Tok::Str(s) => write!(f, "{s:?}"),
+            Tok::Lower(s) | Tok::Upper(s) => write!(f, "{s}"),
+            Tok::LParen => f.write_str("("),
+            Tok::RParen => f.write_str(")"),
+            Tok::LBracket => f.write_str("["),
+            Tok::RBracket => f.write_str("]"),
+            Tok::LBrace => f.write_str("{"),
+            Tok::RBrace => f.write_str("}"),
+            Tok::Comma => f.write_str(","),
+            Tok::Dot => f.write_str("."),
+            Tok::Colon => f.write_str(":"),
+            Tok::ColonColon => f.write_str("::"),
+            Tok::FatArrow => f.write_str("=>"),
+            Tok::Arrow => f.write_str("->"),
+            Tok::Lambda => f.write_str("\\"),
+            Tok::Question => f.write_str("?"),
+            Tok::Star => f.write_str("*"),
+            Tok::Plus => f.write_str("+"),
+            Tok::Minus => f.write_str("-"),
+            Tok::Slash => f.write_str("/"),
+            Tok::Percent => f.write_str("%"),
+            Tok::EqEq => f.write_str("=="),
+            Tok::Eq => f.write_str("="),
+            Tok::Lt => f.write_str("<"),
+            Tok::Le => f.write_str("<="),
+            Tok::AndAnd => f.write_str("&&"),
+            Tok::OrOr => f.write_str("||"),
+            Tok::PlusPlus => f.write_str("++"),
+            Tok::Pipe => f.write_str("|"),
+            Tok::Eof => f.write_str("<end of input>"),
+        }
+    }
+}
+
+fn tokenize(src: &str) -> Result<Vec<(Tok, usize, usize)>, SrcParseError> {
+    let bytes = src.as_bytes();
+    let mut pos = 0usize;
+    let mut line = 1usize;
+    let mut col = 1usize;
+    let mut out = Vec::new();
+    let err = |line: usize, col: usize, m: String| SrcParseError {
+        line,
+        col,
+        message: m,
+    };
+    macro_rules! bump {
+        () => {{
+            let b = bytes[pos];
+            pos += 1;
+            if b == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            b
+        }};
+    }
+    loop {
+        // Skip whitespace and comments.
+        loop {
+            if pos < bytes.len() && bytes[pos].is_ascii_whitespace() {
+                bump!();
+            } else if pos + 1 < bytes.len() && bytes[pos] == b'-' && bytes[pos + 1] == b'-' {
+                while pos < bytes.len() && bytes[pos] != b'\n' {
+                    bump!();
+                }
+            } else {
+                break;
+            }
+        }
+        let (tl, tc) = (line, col);
+        if pos >= bytes.len() {
+            out.push((Tok::Eof, tl, tc));
+            return Ok(out);
+        }
+        let b = bytes[pos];
+        let tok = match b {
+            b'0'..=b'9' => {
+                let mut n: i64 = 0;
+                while pos < bytes.len() && bytes[pos].is_ascii_digit() {
+                    let d = bump!() - b'0';
+                    n = n
+                        .checked_mul(10)
+                        .and_then(|n| n.checked_add(i64::from(d)))
+                        .ok_or_else(|| err(tl, tc, "integer literal overflows i64".into()))?;
+                }
+                Tok::Int(n)
+            }
+            b'"' => {
+                bump!();
+                let mut s = String::new();
+                loop {
+                    if pos >= bytes.len() {
+                        return Err(err(tl, tc, "unterminated string literal".into()));
+                    }
+                    match bump!() {
+                        b'"' => break,
+                        b'\\' => {
+                            if pos >= bytes.len() {
+                                return Err(err(tl, tc, "unterminated escape".into()));
+                            }
+                            match bump!() {
+                                b'n' => s.push('\n'),
+                                b't' => s.push('\t'),
+                                b'\\' => s.push('\\'),
+                                b'"' => s.push('"'),
+                                other => {
+                                    return Err(err(
+                                        tl,
+                                        tc,
+                                        format!("invalid escape `\\{}`", char::from(other)),
+                                    ))
+                                }
+                            }
+                        }
+                        c => s.push(char::from(c)),
+                    }
+                }
+                Tok::Str(s)
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = pos;
+                while pos < bytes.len()
+                    && (bytes[pos].is_ascii_alphanumeric()
+                        || bytes[pos] == b'_'
+                        || bytes[pos] == b'\'')
+                {
+                    bump!();
+                }
+                let w = std::str::from_utf8(&bytes[start..pos]).expect("ascii").to_owned();
+                if w.as_bytes()[0].is_ascii_uppercase() {
+                    Tok::Upper(w)
+                } else {
+                    Tok::Lower(w)
+                }
+            }
+            _ => {
+                bump!();
+                match b {
+                    b'(' => Tok::LParen,
+                    b')' => Tok::RParen,
+                    b'[' => Tok::LBracket,
+                    b']' => Tok::RBracket,
+                    b'{' => Tok::LBrace,
+                    b'}' => Tok::RBrace,
+                    b',' => Tok::Comma,
+                    b'.' => Tok::Dot,
+                    b'\\' => Tok::Lambda,
+                    b'?' => Tok::Question,
+                    b'*' => Tok::Star,
+                    b'/' => Tok::Slash,
+                    b'%' => Tok::Percent,
+                    b':' => {
+                        if pos < bytes.len() && bytes[pos] == b':' {
+                            bump!();
+                            Tok::ColonColon
+                        } else {
+                            Tok::Colon
+                        }
+                    }
+                    b'=' => {
+                        if pos < bytes.len() && bytes[pos] == b'>' {
+                            bump!();
+                            Tok::FatArrow
+                        } else if pos < bytes.len() && bytes[pos] == b'=' {
+                            bump!();
+                            Tok::EqEq
+                        } else {
+                            Tok::Eq
+                        }
+                    }
+                    b'-' => {
+                        if pos < bytes.len() && bytes[pos] == b'>' {
+                            bump!();
+                            Tok::Arrow
+                        } else {
+                            Tok::Minus
+                        }
+                    }
+                    b'+' => {
+                        if pos < bytes.len() && bytes[pos] == b'+' {
+                            bump!();
+                            Tok::PlusPlus
+                        } else {
+                            Tok::Plus
+                        }
+                    }
+                    b'<' => {
+                        if pos < bytes.len() && bytes[pos] == b'=' {
+                            bump!();
+                            Tok::Le
+                        } else {
+                            Tok::Lt
+                        }
+                    }
+                    b'&' => {
+                        if pos < bytes.len() && bytes[pos] == b'&' {
+                            bump!();
+                            Tok::AndAnd
+                        } else {
+                            return Err(err(tl, tc, "expected `&&`".into()));
+                        }
+                    }
+                    b'|' => {
+                        if pos < bytes.len() && bytes[pos] == b'|' {
+                            bump!();
+                            Tok::OrOr
+                        } else {
+                            Tok::Pipe
+                        }
+                    }
+                    other => {
+                        return Err(err(
+                            tl,
+                            tc,
+                            format!("unexpected character `{}`", char::from(other)),
+                        ))
+                    }
+                }
+            }
+        };
+        out.push((tok, tl, tc));
+    }
+}
+
+fn is_keyword(w: &str) -> bool {
+    matches!(
+        w,
+        "forall"
+            | "implicit"
+            | "in"
+            | "if"
+            | "then"
+            | "else"
+            | "true"
+            | "false"
+            | "unit"
+            | "nil"
+            | "case"
+            | "of"
+            | "fix"
+            | "let"
+            | "not"
+            | "neg"
+            | "showInt"
+            | "fst"
+            | "snd"
+            | "interface"
+            | "data"
+            | "match"
+            | "letrec"
+    )
+}
+
+fn is_base_type(w: &str) -> bool {
+    matches!(w, "Int" | "Bool" | "String" | "Unit")
+}
+
+struct Parser {
+    toks: Vec<(Tok, usize, usize)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].0
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].0.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, message: impl Into<String>) -> SrcParseError {
+        let (_, line, col) = &self.toks[self.pos];
+        SrcParseError {
+            line: *line,
+            col: *col,
+            message: message.into(),
+        }
+    }
+
+    fn expect(&mut self, t: &Tok) -> Result<(), SrcParseError> {
+        if self.peek() == t {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{t}`, found `{}`", self.peek())))
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), SrcParseError> {
+        match self.peek() {
+            Tok::Lower(w) if w == kw => {
+                self.bump();
+                Ok(())
+            }
+            other => Err(self.error(format!("expected `{kw}`, found `{other}`"))),
+        }
+    }
+
+    fn at_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Lower(w) if w == kw)
+    }
+
+    fn lower_ident(&mut self) -> Result<Symbol, SrcParseError> {
+        match self.peek().clone() {
+            Tok::Lower(w) if !is_keyword(&w) => {
+                self.bump();
+                Ok(Symbol::intern(&w))
+            }
+            other => Err(self.error(format!("expected identifier, found `{other}`"))),
+        }
+    }
+
+    fn upper_ident(&mut self) -> Result<Symbol, SrcParseError> {
+        match self.peek().clone() {
+            Tok::Upper(w) if !is_base_type(&w) => {
+                self.bump();
+                Ok(Symbol::intern(&w))
+            }
+            other => Err(self.error(format!("expected interface name, found `{other}`"))),
+        }
+    }
+
+    // ---------- types and schemes ----------
+
+    /// scheme := ['forall' ident+ '.'] ['{' scheme,* '}' '=>'] type
+    fn parse_scheme(&mut self) -> Result<RuleType, SrcParseError> {
+        let mut vars = Vec::new();
+        if self.at_kw("forall") {
+            self.bump();
+            while matches!(self.peek(), Tok::Lower(w) if !is_keyword(w)) {
+                vars.push(self.lower_ident()?);
+            }
+            if vars.is_empty() {
+                return Err(self.error("`forall` needs at least one variable"));
+            }
+            self.expect(&Tok::Dot)?;
+        }
+        let mut context = Vec::new();
+        if *self.peek() == Tok::LBrace {
+            self.bump();
+            if *self.peek() != Tok::RBrace {
+                loop {
+                    context.push(self.parse_scheme()?);
+                    if *self.peek() == Tok::Comma {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            self.expect(&Tok::RBrace)?;
+            self.expect(&Tok::FatArrow)?;
+        }
+        let body = self.parse_type()?;
+        Ok(scheme(&vars, context, body))
+    }
+
+    /// type := prod ('->' type)?
+    fn parse_type(&mut self) -> Result<Type, SrcParseError> {
+        let left = self.parse_prod_type()?;
+        if *self.peek() == Tok::Arrow {
+            self.bump();
+            let right = self.parse_type()?;
+            Ok(Type::arrow(left, right))
+        } else {
+            Ok(left)
+        }
+    }
+
+    fn parse_prod_type(&mut self) -> Result<Type, SrcParseError> {
+        let mut left = self.parse_app_type()?;
+        while *self.peek() == Tok::Star {
+            self.bump();
+            let right = self.parse_app_type()?;
+            left = Type::prod(left, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_app_type(&mut self) -> Result<Type, SrcParseError> {
+        if let Tok::Upper(w) = self.peek().clone() {
+            if w == "List" {
+                self.bump();
+                if self.starts_atom_type() {
+                    let arg = self.parse_atom_type()?;
+                    return Ok(Type::list(arg));
+                }
+                return Ok(Type::Ctor(implicit_core::syntax::TyCon::List));
+            }
+            if !is_base_type(&w) {
+                let name = self.upper_ident()?;
+                let mut args = Vec::new();
+                while self.starts_atom_type() {
+                    args.push(self.parse_atom_type()?);
+                }
+                return Ok(Type::Con(name, args));
+            }
+        }
+        if let Tok::Lower(w) = self.peek().clone() {
+            if !is_keyword(&w) {
+                let head = self.lower_ident()?;
+                let mut args = Vec::new();
+                while self.starts_atom_type() {
+                    args.push(self.parse_atom_type()?);
+                }
+                return Ok(if args.is_empty() {
+                    Type::var(head)
+                } else {
+                    Type::VarApp(head, args)
+                });
+            }
+        }
+        self.parse_atom_type()
+    }
+
+    fn starts_atom_type(&self) -> bool {
+        matches!(self.peek(), Tok::Upper(_) | Tok::LParen | Tok::LBracket)
+            || matches!(self.peek(), Tok::Lower(w) if !is_keyword(w))
+    }
+
+    fn parse_atom_type(&mut self) -> Result<Type, SrcParseError> {
+        match self.peek().clone() {
+            Tok::Upper(w) => match w.as_str() {
+                "Int" => {
+                    self.bump();
+                    Ok(Type::Int)
+                }
+                "Bool" => {
+                    self.bump();
+                    Ok(Type::Bool)
+                }
+                "String" => {
+                    self.bump();
+                    Ok(Type::Str)
+                }
+                "Unit" => {
+                    self.bump();
+                    Ok(Type::Unit)
+                }
+                "List" => {
+                    self.bump();
+                    Ok(Type::Ctor(implicit_core::syntax::TyCon::List))
+                }
+                _ => {
+                    let name = self.upper_ident()?;
+                    Ok(Type::Con(name, Vec::new()))
+                }
+            },
+            Tok::Lower(w) if !is_keyword(&w) => {
+                self.bump();
+                Ok(Type::var(Symbol::intern(&w)))
+            }
+            Tok::LBracket => {
+                self.bump();
+                let t = self.parse_type()?;
+                self.expect(&Tok::RBracket)?;
+                Ok(Type::list(t))
+            }
+            Tok::LParen => {
+                self.bump();
+                // Allow parenthesized schemes inside types only as
+                // plain types; higher-order contexts live in scheme
+                // position.
+                let t = if self.at_kw("forall") || *self.peek() == Tok::LBrace {
+                    Type::rule(self.parse_scheme()?)
+                } else {
+                    self.parse_type()?
+                };
+                self.expect(&Tok::RParen)?;
+                Ok(t)
+            }
+            other => Err(self.error(format!("expected a type, found `{other}`"))),
+        }
+    }
+
+    // ---------- expressions ----------
+
+    fn parse_expr(&mut self) -> Result<SExpr, SrcParseError> {
+        match self.peek().clone() {
+            Tok::Lambda => {
+                self.bump();
+                let x = self.lower_ident()?;
+                let ann = if *self.peek() == Tok::Colon {
+                    self.bump();
+                    Some(self.parse_type()?)
+                } else {
+                    None
+                };
+                self.expect(&Tok::Dot)?;
+                let body = self.parse_expr()?;
+                Ok(SExpr::Lam(x, ann, Rc::new(body)))
+            }
+            Tok::Lower(w) if w == "letrec" => {
+                self.bump();
+                let name = self.lower_ident()?;
+                self.expect(&Tok::Colon)?;
+                let sigma = self.parse_scheme()?;
+                self.expect(&Tok::Eq)?;
+                let rhs = self.parse_expr()?;
+                self.expect_kw("in")?;
+                let body = self.parse_expr()?;
+                Ok(SExpr::LetRec {
+                    name,
+                    scheme: sigma,
+                    rhs: Rc::new(rhs),
+                    body: Rc::new(body),
+                })
+            }
+            Tok::Lower(w) if w == "match" => {
+                self.bump();
+                let scrut = self.parse_binary(2)?;
+                self.expect(&Tok::LBrace)?;
+                let mut arms = Vec::new();
+                loop {
+                    let ctor = self.upper_ident()?;
+                    let mut binders = Vec::new();
+                    while matches!(self.peek(), Tok::Lower(w) if !is_keyword(w)) {
+                        binders.push(self.lower_ident()?);
+                    }
+                    self.expect(&Tok::Arrow)?;
+                    let body = self.parse_expr()?;
+                    arms.push(crate::ast::SMatchArm { ctor, binders, body });
+                    if *self.peek() == Tok::Pipe {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.expect(&Tok::RBrace)?;
+                Ok(SExpr::Match(Rc::new(scrut), arms))
+            }
+            Tok::Lower(w) if w == "let" => {
+                self.bump();
+                let name = self.lower_ident()?;
+                if *self.peek() == Tok::Eq {
+                    // Monomorphic, annotation-free let.
+                    self.bump();
+                    let rhs = self.parse_expr()?;
+                    self.expect_kw("in")?;
+                    let body = self.parse_expr()?;
+                    return Ok(SExpr::LetMono {
+                        name,
+                        rhs: Rc::new(rhs),
+                        body: Rc::new(body),
+                    });
+                }
+                self.expect(&Tok::Colon)?;
+                let sigma = self.parse_scheme()?;
+                self.expect(&Tok::Eq)?;
+                let rhs = self.parse_expr()?;
+                self.expect_kw("in")?;
+                let body = self.parse_expr()?;
+                Ok(SExpr::Let {
+                    name,
+                    scheme: sigma,
+                    rhs: Rc::new(rhs),
+                    body: Rc::new(body),
+                })
+            }
+            Tok::Lower(w) if w == "implicit" => {
+                self.bump();
+                let braced = *self.peek() == Tok::LBrace;
+                if braced {
+                    self.bump();
+                }
+                let mut names = vec![self.lower_ident()?];
+                while *self.peek() == Tok::Comma {
+                    self.bump();
+                    names.push(self.lower_ident()?);
+                }
+                if braced {
+                    self.expect(&Tok::RBrace)?;
+                }
+                self.expect_kw("in")?;
+                let body = self.parse_expr()?;
+                Ok(SExpr::Implicit(names, Rc::new(body)))
+            }
+            Tok::Lower(w) if w == "if" => {
+                self.bump();
+                let c = self.parse_binary(2)?;
+                self.expect_kw("then")?;
+                let t = self.parse_binary(2)?;
+                self.expect_kw("else")?;
+                let f = self.parse_expr()?;
+                Ok(SExpr::If(Rc::new(c), Rc::new(t), Rc::new(f)))
+            }
+            Tok::Lower(w) if w == "case" => {
+                self.bump();
+                let scrut = self.parse_binary(2)?;
+                self.expect_kw("of")?;
+                self.expect_kw("nil")?;
+                self.expect(&Tok::Arrow)?;
+                let nil = self.parse_binary(2)?;
+                self.expect(&Tok::Pipe)?;
+                let h = self.lower_ident()?;
+                self.expect(&Tok::ColonColon)?;
+                let t = self.lower_ident()?;
+                self.expect(&Tok::Arrow)?;
+                let cons = self.parse_expr()?;
+                Ok(SExpr::ListCase {
+                    scrut: Rc::new(scrut),
+                    nil: Rc::new(nil),
+                    head: h,
+                    tail: t,
+                    cons: Rc::new(cons),
+                })
+            }
+            Tok::Lower(w) if w == "fix" => {
+                self.bump();
+                let x = self.lower_ident()?;
+                self.expect(&Tok::Colon)?;
+                let t = self.parse_type()?;
+                self.expect(&Tok::Dot)?;
+                let body = self.parse_expr()?;
+                Ok(SExpr::Fix(x, t, Rc::new(body)))
+            }
+            _ => self.parse_binary(2),
+        }
+    }
+
+    fn parse_binary(&mut self, min_level: u8) -> Result<SExpr, SrcParseError> {
+        if min_level > 7 {
+            return self.parse_app();
+        }
+        let mut left = self.parse_binary(min_level + 1)?;
+        loop {
+            let op = match (min_level, self.peek()) {
+                (2, Tok::OrOr) => Some(BinOp::Or),
+                (3, Tok::AndAnd) => Some(BinOp::And),
+                (4, Tok::EqEq) => Some(BinOp::Eq),
+                (4, Tok::Lt) => Some(BinOp::Lt),
+                (4, Tok::Le) => Some(BinOp::Le),
+                (5, Tok::PlusPlus) => Some(BinOp::Concat),
+                (6, Tok::Plus) => Some(BinOp::Add),
+                (6, Tok::Minus) => Some(BinOp::Sub),
+                (7, Tok::Star) => Some(BinOp::Mul),
+                (7, Tok::Slash) => Some(BinOp::Div),
+                (7, Tok::Percent) => Some(BinOp::Mod),
+                _ => None,
+            };
+            if let Some(op) = op {
+                self.bump();
+                let right = self.parse_binary(min_level + 1)?;
+                left = SExpr::BinOp(op, Rc::new(left), Rc::new(right));
+                continue;
+            }
+            if min_level == 5 && *self.peek() == Tok::ColonColon {
+                self.bump();
+                let right = self.parse_binary(5)?;
+                left = SExpr::Cons(Rc::new(left), Rc::new(right));
+                continue;
+            }
+            return Ok(left);
+        }
+    }
+
+    fn parse_app(&mut self) -> Result<SExpr, SrcParseError> {
+        for (kw, op) in [
+            ("not", UnOp::Not),
+            ("neg", UnOp::Neg),
+            ("showInt", UnOp::IntToStr),
+        ] {
+            if self.at_kw(kw) {
+                self.bump();
+                let e = self.parse_atom()?;
+                return Ok(SExpr::UnOp(op, Rc::new(e)));
+            }
+        }
+        if self.at_kw("fst") {
+            self.bump();
+            return Ok(SExpr::Fst(Rc::new(self.parse_atom()?)));
+        }
+        if self.at_kw("snd") {
+            self.bump();
+            return Ok(SExpr::Snd(Rc::new(self.parse_atom()?)));
+        }
+        let mut e = self.parse_atom()?;
+        while self.starts_atom() {
+            let a = self.parse_atom()?;
+            e = SExpr::app(e, a);
+        }
+        Ok(e)
+    }
+
+    fn starts_atom(&self) -> bool {
+        match self.peek() {
+            Tok::Int(_) | Tok::Str(_) | Tok::LParen | Tok::Question => true,
+            Tok::Upper(w) => !is_base_type(w),
+            Tok::Lower(w) => {
+                !is_keyword(w) || matches!(w.as_str(), "true" | "false" | "unit" | "nil")
+            }
+            _ => false,
+        }
+    }
+
+    fn parse_atom(&mut self) -> Result<SExpr, SrcParseError> {
+        match self.peek().clone() {
+            Tok::Int(n) => {
+                self.bump();
+                Ok(SExpr::Int(n))
+            }
+            Tok::Str(s) => {
+                self.bump();
+                Ok(SExpr::Str(s))
+            }
+            Tok::Question => {
+                self.bump();
+                Ok(SExpr::Query)
+            }
+            Tok::Lower(w) => match w.as_str() {
+                "true" => {
+                    self.bump();
+                    Ok(SExpr::Bool(true))
+                }
+                "false" => {
+                    self.bump();
+                    Ok(SExpr::Bool(false))
+                }
+                "unit" => {
+                    self.bump();
+                    Ok(SExpr::Unit)
+                }
+                "nil" => {
+                    self.bump();
+                    Ok(SExpr::Nil)
+                }
+                _ if !is_keyword(&w) => {
+                    self.bump();
+                    Ok(SExpr::var(Symbol::intern(&w)))
+                }
+                _ => Err(self.error(format!("unexpected keyword `{w}`"))),
+            },
+            Tok::Upper(w) if !is_base_type(&w) => {
+                let name = self.upper_ident()?;
+                if *self.peek() != Tok::LBrace {
+                    // A data-constructor (or other capitalized
+                    // let-bound) reference used as a value.
+                    return Ok(SExpr::Var(name));
+                }
+                self.expect(&Tok::LBrace)?;
+                let mut fields = Vec::new();
+                if *self.peek() != Tok::RBrace {
+                    loop {
+                        let u = self.lower_ident()?;
+                        self.expect(&Tok::Eq)?;
+                        let e = self.parse_expr()?;
+                        fields.push((u, e));
+                        if *self.peek() == Tok::Comma {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&Tok::RBrace)?;
+                Ok(SExpr::Make(name, fields))
+            }
+            Tok::LParen => {
+                self.bump();
+                let e = self.parse_expr()?;
+                if *self.peek() == Tok::Comma {
+                    self.bump();
+                    let e2 = self.parse_expr()?;
+                    self.expect(&Tok::RParen)?;
+                    Ok(SExpr::Pair(Rc::new(e), Rc::new(e2)))
+                } else if *self.peek() == Tok::Colon {
+                    self.bump();
+                    let t = self.parse_type()?;
+                    self.expect(&Tok::RParen)?;
+                    Ok(SExpr::Ann(Rc::new(e), t))
+                } else {
+                    self.expect(&Tok::RParen)?;
+                    Ok(e)
+                }
+            }
+            other => Err(self.error(format!("expected an expression, found `{other}`"))),
+        }
+    }
+
+    fn parse_data(&mut self) -> Result<ParsedData, SrcParseError> {
+        self.expect_kw("data")?;
+        let name = self.upper_ident()?;
+        let mut params = Vec::new();
+        while matches!(self.peek(), Tok::Lower(w) if !is_keyword(w)) {
+            params.push(self.lower_ident()?);
+        }
+        self.expect(&Tok::Eq)?;
+        let mut ctors = Vec::new();
+        loop {
+            let ctor = self.upper_ident()?;
+            let mut args = Vec::new();
+            while self.starts_atom_type() {
+                args.push(self.parse_atom_type()?);
+            }
+            ctors.push((ctor, args));
+            if *self.peek() == Tok::Pipe {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        Ok((name, params, ctors))
+    }
+
+    fn parse_interface(&mut self) -> Result<InterfaceDecl, SrcParseError> {
+        self.expect_kw("interface")?;
+        let name = self.upper_ident()?;
+        let mut vars = Vec::new();
+        while matches!(self.peek(), Tok::Lower(w) if !is_keyword(w)) {
+            vars.push(self.lower_ident()?);
+        }
+        self.expect(&Tok::Eq)?;
+        self.expect(&Tok::LBrace)?;
+        let mut fields = Vec::new();
+        if *self.peek() != Tok::RBrace {
+            loop {
+                let u = self.lower_ident()?;
+                self.expect(&Tok::Colon)?;
+                let t = self.parse_type()?;
+                fields.push((u, t));
+                if *self.peek() == Tok::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&Tok::RBrace)?;
+        Ok(InterfaceDecl { name, vars, fields })
+    }
+}
+
+/// Parses a source expression.
+///
+/// # Errors
+///
+/// Returns a [`SrcParseError`] with position information.
+pub fn parse_source_expr(src: &str) -> Result<SExpr, SrcParseError> {
+    let toks = tokenize(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let e = p.parse_expr()?;
+    if *p.peek() != Tok::Eof {
+        return Err(p.error(format!("unexpected trailing `{}`", p.peek())));
+    }
+    Ok(e)
+}
+
+/// Parses a source program (interface declarations + body).
+///
+/// # Errors
+///
+/// Returns a [`SrcParseError`] with position information.
+pub fn parse_source_program(src: &str) -> Result<SProgram, SrcParseError> {
+    let toks = tokenize(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let mut decls = Declarations::new();
+    while p.at_kw("interface") || p.at_kw("data") {
+        let (line, col) = {
+            let (_, l, c) = &p.toks[p.pos];
+            (*l, *c)
+        };
+        let fail = |message: String| SrcParseError { line, col, message };
+        if p.at_kw("interface") {
+            let d = p.parse_interface()?;
+            decls.declare(d).map_err(fail)?;
+        } else {
+            let (name, params, ctors) = p.parse_data()?;
+            let d = implicit_core::syntax::DataDecl::infer(name, params, ctors)
+                .map_err(fail)?;
+            decls.declare_data(d).map_err(fail)?;
+        }
+    }
+    let body = p.parse_expr()?;
+    if *p.peek() != Tok::Eof {
+        return Err(p.error(format!("unexpected trailing `{}`", p.peek())));
+    }
+    Ok(SProgram { decls, body })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_unannotated_lambdas_and_query() {
+        let e = parse_source_expr("\\x. \\y. eq ? x y").unwrap();
+        match e {
+            SExpr::Lam(_, None, _) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_let_with_scheme() {
+        let e = parse_source_expr(
+            "let eqv : forall a. {Eq a} => a -> a -> Bool = \\x. \\y. eq ? x y in eqv 1 2",
+        )
+        .unwrap();
+        match e {
+            SExpr::Let { scheme, .. } => {
+                assert_eq!(scheme.vars().len(), 1);
+                assert_eq!(scheme.context().len(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_implicit_lists() {
+        let e = parse_source_expr("implicit a, b in ?").unwrap();
+        match e {
+            SExpr::Implicit(names, _) => assert_eq!(names.len(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+        let e2 = parse_source_expr("implicit {a, b} in ?").unwrap();
+        assert!(matches!(e2, SExpr::Implicit(ns, _) if ns.len() == 2));
+    }
+
+    #[test]
+    fn parses_interfaces_and_records() {
+        let prog = parse_source_program(
+            "interface Eq a = { eq : a -> a -> Bool }\n\
+             Eq { eq = \\x. \\y. x == y }",
+        )
+        .unwrap();
+        assert!(prog.decls.lookup(Symbol::intern("Eq")).is_some());
+        assert!(matches!(prog.body, SExpr::Make(_, _)));
+    }
+
+    #[test]
+    fn parses_higher_order_scheme_contexts() {
+        // §5: o : {Int→String, {Int→String} ⇒ [Int]→String} ⇒ String
+        let e = parse_source_expr(
+            "let o : {Int -> String, {Int -> String} => [Int] -> String} => String = \
+               show (1 :: 2 :: 3 :: nil) in o",
+        )
+        .unwrap();
+        match e {
+            SExpr::Let { scheme, .. } => {
+                assert_eq!(scheme.context().len(), 2);
+                assert!(scheme.context().iter().any(|c| !c.context().is_empty()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_annotation_atoms() {
+        let e = parse_source_expr("(? : Int)").unwrap();
+        assert!(matches!(e, SExpr::Ann(_, Type::Int)));
+    }
+
+    #[test]
+    fn rejects_garbage_with_position() {
+        let err = parse_source_expr("let x :").unwrap_err();
+        assert!(err.to_string().contains("source parse error"));
+    }
+}

@@ -1,0 +1,688 @@
+//! Call-by-value big-step evaluation of System F.
+//!
+//! The paper defines the dynamic semantics of λ⇒ as elaboration into
+//! System F followed by System F's standard call-by-value reduction;
+//! this module provides that reduction as an environment-based
+//! big-step interpreter (types are erased at runtime — a type
+//! abstraction is a value, and type application forces its body).
+
+use std::fmt;
+use std::rc::Rc;
+
+use implicit_core::symbol::Symbol;
+
+use crate::syntax::{BinOp, FExpr, UnOp};
+
+/// A runtime value.
+#[derive(Clone, Debug)]
+pub enum Value {
+    /// Integer.
+    Int(i64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(Rc<str>),
+    /// Unit.
+    Unit,
+    /// Pair.
+    Pair(Rc<Value>, Rc<Value>),
+    /// List (strict).
+    List(Rc<Vec<Value>>),
+    /// Function closure.
+    Closure {
+        /// Parameter name.
+        param: Symbol,
+        /// Body.
+        body: Rc<FExpr>,
+        /// Captured environment.
+        env: Env,
+    },
+    /// Type-abstraction closure (`Λα.E` is a value).
+    TyClosure {
+        /// Body.
+        body: Rc<FExpr>,
+        /// Captured environment.
+        env: Env,
+    },
+    /// Record value.
+    Record {
+        /// Interface name.
+        name: Symbol,
+        /// Field values.
+        fields: Rc<Vec<(Symbol, Value)>>,
+    },
+    /// Data value (tagged constructor application).
+    Data {
+        /// Constructor name.
+        ctor: Symbol,
+        /// Constructor arguments.
+        fields: Rc<Vec<Value>>,
+    },
+}
+
+impl Value {
+    /// Structural equality on first-order values (`None` for values
+    /// containing closures).
+    pub fn try_eq(&self, other: &Value) -> Option<bool> {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => Some(a == b),
+            (Value::Bool(a), Value::Bool(b)) => Some(a == b),
+            (Value::Str(a), Value::Str(b)) => Some(a == b),
+            (Value::Unit, Value::Unit) => Some(true),
+            (Value::Pair(a1, b1), Value::Pair(a2, b2)) => {
+                Some(a1.try_eq(a2)? && b1.try_eq(b2)?)
+            }
+            (Value::List(xs), Value::List(ys)) => {
+                if xs.len() != ys.len() {
+                    return Some(false);
+                }
+                for (x, y) in xs.iter().zip(ys.iter()) {
+                    if !x.try_eq(y)? {
+                        return Some(false);
+                    }
+                }
+                Some(true)
+            }
+            (
+                Value::Data { ctor: c1, fields: f1 },
+                Value::Data { ctor: c2, fields: f2 },
+            ) => {
+                if c1 != c2 || f1.len() != f2.len() {
+                    return Some(false);
+                }
+                for (x, y) in f1.iter().zip(f2.iter()) {
+                    if !x.try_eq(y)? {
+                        return Some(false);
+                    }
+                }
+                Some(true)
+            }
+            (
+                Value::Record {
+                    name: n1,
+                    fields: f1,
+                },
+                Value::Record {
+                    name: n2,
+                    fields: f2,
+                },
+            ) => {
+                if n1 != n2 || f1.len() != f2.len() {
+                    return Some(false);
+                }
+                for ((u1, v1), (u2, v2)) in f1.iter().zip(f2.iter()) {
+                    if u1 != u2 {
+                        return Some(false);
+                    }
+                    if !v1.try_eq(v2)? {
+                        return Some(false);
+                    }
+                }
+                Some(true)
+            }
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(n) => write!(f, "{n}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Unit => f.write_str("()"),
+            Value::Pair(a, b) => write!(f, "({a}, {b})"),
+            Value::List(xs) => {
+                f.write_str("[")?;
+                for (i, x) in xs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Closure { .. } => f.write_str("<closure>"),
+            Value::TyClosure { .. } => f.write_str("<type-closure>"),
+            Value::Record { name, fields } => {
+                write!(f, "{name} {{ ")?;
+                for (i, (u, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{u} = {v}")?;
+                }
+                f.write_str(" }")
+            }
+            Value::Data { ctor, fields } => {
+                write!(f, "{ctor}")?;
+                for v in fields.iter() {
+                    // Parenthesize nested compound values for
+                    // readability.
+                    match v {
+                        Value::Data { fields: inner, .. } if !inner.is_empty() => {
+                            write!(f, " ({v})")?
+                        }
+                        _ => write!(f, " {v}")?,
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// A persistent evaluation environment (linked list of bindings).
+#[derive(Clone, Default, Debug)]
+pub struct Env {
+    node: Option<Rc<EnvNode>>,
+}
+
+#[derive(Debug)]
+struct EnvNode {
+    name: Symbol,
+    value: Binding,
+    next: Env,
+}
+
+#[derive(Clone, Debug)]
+enum Binding {
+    Done(Value),
+    /// A `fix x:T. e` binding: re-evaluating `e` in `env` (with `x`
+    /// bound recursively) unfolds the recursion one step.
+    Rec { body: Rc<FExpr>, env: Env },
+}
+
+impl Drop for Env {
+    fn drop(&mut self) {
+        // Environments form long linked spines; drop them
+        // iteratively so deep recursion cannot overflow the stack in
+        // the destructor.
+        let mut cur = self.node.take();
+        while let Some(rc) = cur {
+            match Rc::try_unwrap(rc) {
+                Ok(mut node) => cur = node.next.node.take(),
+                Err(_) => break,
+            }
+        }
+    }
+}
+
+impl Env {
+    /// Empty environment.
+    pub fn new() -> Env {
+        Env::default()
+    }
+
+    /// Extends with a value binding.
+    pub fn bind(&self, name: Symbol, value: Value) -> Env {
+        Env {
+            node: Some(Rc::new(EnvNode {
+                name,
+                value: Binding::Done(value),
+                next: self.clone(),
+            })),
+        }
+    }
+
+    /// Extends with a recursive binding: looking `name` up re-creates
+    /// this same environment and evaluates `body` in it, unfolding
+    /// the recursion one step per lookup (no interior mutability or
+    /// reference cycles needed).
+    fn bind_rec(&self, name: Symbol, body: Rc<FExpr>) -> Env {
+        Env {
+            node: Some(Rc::new(EnvNode {
+                name,
+                value: Binding::Rec {
+                    body,
+                    env: self.clone(),
+                },
+                next: self.clone(),
+            })),
+        }
+    }
+
+    fn get(&self, name: Symbol) -> Option<&EnvNode> {
+        let mut cur = self;
+        while let Some(node) = &cur.node {
+            if node.name == name {
+                return Some(node);
+            }
+            cur = &node.next;
+        }
+        None
+    }
+}
+
+/// A runtime error (evaluation of well-typed terms only hits these
+/// through primitive partiality or resource exhaustion).
+#[derive(Clone, Debug, PartialEq)]
+pub enum EvalError {
+    /// Unbound variable — indicates an elaboration or typing bug.
+    UnboundVar(Symbol),
+    /// A non-function was applied — indicates a typing bug.
+    NotAFunction(String),
+    /// Integer division or remainder by zero.
+    DivisionByZero,
+    /// Evaluation exceeded the step budget (diverging `fix`).
+    OutOfFuel,
+    /// A primitive was applied to a value of the wrong shape —
+    /// indicates a typing bug.
+    Stuck(String),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnboundVar(x) => write!(f, "unbound variable `{x}` at runtime"),
+            EvalError::NotAFunction(v) => write!(f, "cannot apply non-function value {v}"),
+            EvalError::DivisionByZero => f.write_str("division by zero"),
+            EvalError::OutOfFuel => f.write_str("evaluation exceeded its step budget"),
+            EvalError::Stuck(m) => write!(f, "evaluation stuck: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// The evaluator, carrying a step budget so that diverging programs
+/// return [`EvalError::OutOfFuel`] instead of hanging.
+pub struct Evaluator {
+    fuel: u64,
+}
+
+impl Default for Evaluator {
+    fn default() -> Evaluator {
+        Evaluator { fuel: 10_000_000 }
+    }
+}
+
+impl Evaluator {
+    /// An evaluator with the default step budget.
+    pub fn new() -> Evaluator {
+        Evaluator::default()
+    }
+
+    /// An evaluator with a custom step budget.
+    pub fn with_fuel(fuel: u64) -> Evaluator {
+        Evaluator { fuel }
+    }
+
+    /// Evaluates a closed expression.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EvalError`] on primitive failure (division by
+    /// zero), fuel exhaustion, or — for ill-typed input only — stuck
+    /// states.
+    pub fn eval(&mut self, e: &FExpr) -> Result<Value, EvalError> {
+        self.eval_in(&Env::new(), e)
+    }
+
+    /// Evaluates under an environment.
+    ///
+    /// # Errors
+    ///
+    /// See [`Evaluator::eval`].
+    pub fn eval_in(&mut self, env: &Env, e: &FExpr) -> Result<Value, EvalError> {
+        if self.fuel == 0 {
+            return Err(EvalError::OutOfFuel);
+        }
+        self.fuel -= 1;
+        match e {
+            FExpr::Int(n) => Ok(Value::Int(*n)),
+            FExpr::Bool(b) => Ok(Value::Bool(*b)),
+            FExpr::Str(s) => Ok(Value::Str(Rc::from(s.as_str()))),
+            FExpr::Unit => Ok(Value::Unit),
+            FExpr::Var(x) => {
+                let node = env.get(*x).ok_or(EvalError::UnboundVar(*x))?;
+                match &node.value {
+                    Binding::Done(v) => Ok(v.clone()),
+                    Binding::Rec { body, env: renv } => {
+                        // Unfold one step: evaluate the fix body with
+                        // the recursive binding visible again.
+                        let unfold_env = renv.bind_rec(*x, body.clone());
+                        self.eval_in(&unfold_env, body)
+                    }
+                }
+            }
+            FExpr::Lam(x, _, b) => Ok(Value::Closure {
+                param: *x,
+                body: b.clone(),
+                env: env.clone(),
+            }),
+            FExpr::App(f, a) => {
+                let vf = self.eval_in(env, f)?;
+                let va = self.eval_in(env, a)?;
+                self.apply(vf, va)
+            }
+            FExpr::TyAbs(_, b) => Ok(Value::TyClosure {
+                body: b.clone(),
+                env: env.clone(),
+            }),
+            FExpr::TyApp(f, _) => {
+                let vf = self.eval_in(env, f)?;
+                match vf {
+                    Value::TyClosure { body, env } => self.eval_in(&env, &body),
+                    other => Err(EvalError::Stuck(format!(
+                        "type application of non-type-abstraction {other}"
+                    ))),
+                }
+            }
+            FExpr::If(c, t, el) => match self.eval_in(env, c)? {
+                Value::Bool(true) => self.eval_in(env, t),
+                Value::Bool(false) => self.eval_in(env, el),
+                other => Err(EvalError::Stuck(format!("if on non-boolean {other}"))),
+            },
+            FExpr::BinOp(op, a, b) => {
+                let va = self.eval_in(env, a)?;
+                let vb = self.eval_in(env, b)?;
+                binop(*op, va, vb)
+            }
+            FExpr::UnOp(op, a) => {
+                let va = self.eval_in(env, a)?;
+                match (op, va) {
+                    (UnOp::Not, Value::Bool(b)) => Ok(Value::Bool(!b)),
+                    (UnOp::Neg, Value::Int(n)) => Ok(Value::Int(-n)),
+                    (UnOp::IntToStr, Value::Int(n)) => Ok(Value::Str(Rc::from(n.to_string()))),
+                    (op, v) => Err(EvalError::Stuck(format!("{op:?} on {v}"))),
+                }
+            }
+            FExpr::Pair(a, b) => Ok(Value::Pair(
+                Rc::new(self.eval_in(env, a)?),
+                Rc::new(self.eval_in(env, b)?),
+            )),
+            FExpr::Fst(a) => match self.eval_in(env, a)? {
+                Value::Pair(l, _) => Ok((*l).clone()),
+                other => Err(EvalError::Stuck(format!("fst on {other}"))),
+            },
+            FExpr::Snd(a) => match self.eval_in(env, a)? {
+                Value::Pair(_, r) => Ok((*r).clone()),
+                other => Err(EvalError::Stuck(format!("snd on {other}"))),
+            },
+            FExpr::Nil(_) => Ok(Value::List(Rc::new(Vec::new()))),
+            FExpr::Cons(h, t) => {
+                let vh = self.eval_in(env, h)?;
+                match self.eval_in(env, t)? {
+                    Value::List(xs) => {
+                        let mut out = Vec::with_capacity(xs.len() + 1);
+                        out.push(vh);
+                        out.extend(xs.iter().cloned());
+                        Ok(Value::List(Rc::new(out)))
+                    }
+                    other => Err(EvalError::Stuck(format!("cons onto {other}"))),
+                }
+            }
+            FExpr::ListCase {
+                scrut,
+                nil,
+                head,
+                tail,
+                cons,
+            } => match self.eval_in(env, scrut)? {
+                Value::List(xs) => {
+                    if let Some((h, rest)) = xs.split_first() {
+                        let env2 = env
+                            .bind(*head, h.clone())
+                            .bind(*tail, Value::List(Rc::new(rest.to_vec())));
+                        self.eval_in(&env2, cons)
+                    } else {
+                        self.eval_in(env, nil)
+                    }
+                }
+                other => Err(EvalError::Stuck(format!("case on {other}"))),
+            },
+            FExpr::Fix(x, _, b) => {
+                let env2 = env.bind_rec(*x, b.clone());
+                self.eval_in(&env2, b)
+            }
+            FExpr::Make(name, _, fields) => {
+                let mut out = Vec::with_capacity(fields.len());
+                for (u, fe) in fields {
+                    out.push((*u, self.eval_in(env, fe)?));
+                }
+                Ok(Value::Record {
+                    name: *name,
+                    fields: Rc::new(out),
+                })
+            }
+            FExpr::Inject(ctor, _, args) => {
+                let mut out = Vec::with_capacity(args.len());
+                for a in args {
+                    out.push(self.eval_in(env, a)?);
+                }
+                Ok(Value::Data {
+                    ctor: *ctor,
+                    fields: Rc::new(out),
+                })
+            }
+            FExpr::Match(scrut, arms) => match self.eval_in(env, scrut)? {
+                Value::Data { ctor, fields } => {
+                    let Some(arm) = arms.iter().find(|a| a.ctor == ctor) else {
+                        return Err(EvalError::Stuck(format!("no arm for `{ctor}`")));
+                    };
+                    if arm.binders.len() != fields.len() {
+                        return Err(EvalError::Stuck(format!(
+                            "arm `{ctor}` binder count mismatch"
+                        )));
+                    }
+                    let mut env2 = env.clone();
+                    for (b, v) in arm.binders.iter().zip(fields.iter()) {
+                        env2 = env2.bind(*b, v.clone());
+                    }
+                    self.eval_in(&env2, &arm.body)
+                }
+                other => Err(EvalError::Stuck(format!("match on {other}"))),
+            },
+            FExpr::Proj(rec, field) => match self.eval_in(env, rec)? {
+                Value::Record { name, fields } => fields
+                    .iter()
+                    .find(|(u, _)| u == field)
+                    .map(|(_, v)| v.clone())
+                    .ok_or_else(|| {
+                        EvalError::Stuck(format!("record {name} has no field {field}"))
+                    }),
+                other => Err(EvalError::Stuck(format!("projection on {other}"))),
+            },
+        }
+    }
+
+    /// Applies a function value.
+    ///
+    /// # Errors
+    ///
+    /// See [`Evaluator::eval`].
+    pub fn apply(&mut self, f: Value, a: Value) -> Result<Value, EvalError> {
+        match f {
+            Value::Closure { param, body, env } => {
+                let env2 = env.bind(param, a);
+                self.eval_in(&env2, &body)
+            }
+            other => Err(EvalError::NotAFunction(other.to_string())),
+        }
+    }
+}
+
+fn binop(op: BinOp, a: Value, b: Value) -> Result<Value, EvalError> {
+    use BinOp::*;
+    match (op, &a, &b) {
+        (Add, Value::Int(x), Value::Int(y)) => Ok(Value::Int(x.wrapping_add(*y))),
+        (Sub, Value::Int(x), Value::Int(y)) => Ok(Value::Int(x.wrapping_sub(*y))),
+        (Mul, Value::Int(x), Value::Int(y)) => Ok(Value::Int(x.wrapping_mul(*y))),
+        (Div, Value::Int(_), Value::Int(0)) | (Mod, Value::Int(_), Value::Int(0)) => {
+            Err(EvalError::DivisionByZero)
+        }
+        (Div, Value::Int(x), Value::Int(y)) => Ok(Value::Int(x.wrapping_div(*y))),
+        (Mod, Value::Int(x), Value::Int(y)) => Ok(Value::Int(x.wrapping_rem(*y))),
+        (Lt, Value::Int(x), Value::Int(y)) => Ok(Value::Bool(x < y)),
+        (Le, Value::Int(x), Value::Int(y)) => Ok(Value::Bool(x <= y)),
+        (And, Value::Bool(x), Value::Bool(y)) => Ok(Value::Bool(*x && *y)),
+        (Or, Value::Bool(x), Value::Bool(y)) => Ok(Value::Bool(*x || *y)),
+        (Concat, Value::Str(x), Value::Str(y)) => {
+            Ok(Value::Str(Rc::from(format!("{x}{y}").as_str())))
+        }
+        (Eq, a, b) => a
+            .try_eq(b)
+            .map(Value::Bool)
+            .ok_or_else(|| EvalError::Stuck("equality on closures".into())),
+        (op, a, b) => Err(EvalError::Stuck(format!("{op:?} on {a} and {b}"))),
+    }
+}
+
+/// Convenience: evaluate a closed expression with default fuel.
+///
+/// # Errors
+///
+/// See [`Evaluator::eval`].
+pub fn eval(e: &FExpr) -> Result<Value, EvalError> {
+    Evaluator::new().eval(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syntax::FType;
+
+    fn v(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+
+    #[test]
+    fn literals_and_arithmetic() {
+        let e = FExpr::BinOp(
+            BinOp::Add,
+            Rc::new(FExpr::Int(40)),
+            Rc::new(FExpr::BinOp(BinOp::Mul, Rc::new(FExpr::Int(1)), Rc::new(FExpr::Int(2)))),
+        );
+        assert!(matches!(eval(&e).unwrap(), Value::Int(42)));
+    }
+
+    #[test]
+    fn beta_reduction() {
+        let e = FExpr::app(
+            FExpr::lam("x", FType::Int, FExpr::BinOp(BinOp::Add, Rc::new(FExpr::var("x")), Rc::new(FExpr::Int(1)))),
+            FExpr::Int(41),
+        );
+        assert!(matches!(eval(&e).unwrap(), Value::Int(42)));
+    }
+
+    #[test]
+    fn type_application_forces_body() {
+        let a = v("a");
+        let id = FExpr::ty_abs([a], FExpr::lam("x", FType::Var(a), FExpr::var("x")));
+        let e = FExpr::app(
+            FExpr::TyApp(Rc::new(id), FType::Int),
+            FExpr::Int(7),
+        );
+        assert!(matches!(eval(&e).unwrap(), Value::Int(7)));
+    }
+
+    #[test]
+    fn factorial_via_fix() {
+        let fac_ty = FType::arrow(FType::Int, FType::Int);
+        let fac = FExpr::Fix(
+            v("fac"),
+            fac_ty,
+            Rc::new(FExpr::lam(
+                "n",
+                FType::Int,
+                FExpr::If(
+                    Rc::new(FExpr::BinOp(BinOp::Le, Rc::new(FExpr::var("n")), Rc::new(FExpr::Int(0)))),
+                    Rc::new(FExpr::Int(1)),
+                    Rc::new(FExpr::BinOp(
+                        BinOp::Mul,
+                        Rc::new(FExpr::var("n")),
+                        Rc::new(FExpr::app(
+                            FExpr::var("fac"),
+                            FExpr::BinOp(BinOp::Sub, Rc::new(FExpr::var("n")), Rc::new(FExpr::Int(1))),
+                        )),
+                    )),
+                ),
+            )),
+        );
+        let e = FExpr::app(fac, FExpr::Int(6));
+        assert!(matches!(eval(&e).unwrap(), Value::Int(720)));
+    }
+
+    #[test]
+    fn divergence_runs_out_of_fuel() {
+        let loop_ty = FType::arrow(FType::Int, FType::Int);
+        let looping = FExpr::Fix(
+            v("loop"),
+            loop_ty,
+            Rc::new(FExpr::lam(
+                "n",
+                FType::Int,
+                FExpr::app(FExpr::var("loop"), FExpr::var("n")),
+            )),
+        );
+        let e = FExpr::app(looping, FExpr::Int(0));
+        let mut ev = Evaluator::with_fuel(500);
+        assert_eq!(ev.eval(&e).unwrap_err(), EvalError::OutOfFuel);
+    }
+
+    #[test]
+    fn division_by_zero_is_an_error() {
+        let e = FExpr::BinOp(BinOp::Div, Rc::new(FExpr::Int(1)), Rc::new(FExpr::Int(0)));
+        assert_eq!(eval(&e).unwrap_err(), EvalError::DivisionByZero);
+    }
+
+    #[test]
+    fn lists_and_case() {
+        let xs = FExpr::Cons(
+            Rc::new(FExpr::Int(1)),
+            Rc::new(FExpr::Cons(Rc::new(FExpr::Int(2)), Rc::new(FExpr::Nil(FType::Int)))),
+        );
+        let e = FExpr::ListCase {
+            scrut: Rc::new(xs),
+            nil: Rc::new(FExpr::Int(0)),
+            head: v("h"),
+            tail: v("t"),
+            cons: Rc::new(FExpr::var("h")),
+        };
+        assert!(matches!(eval(&e).unwrap(), Value::Int(1)));
+    }
+
+    #[test]
+    fn records_project() {
+        let lit = FExpr::Make(
+            v("P"),
+            vec![],
+            vec![(v("x"), FExpr::Int(3)), (v("y"), FExpr::Int(4))],
+        );
+        let e = FExpr::Proj(Rc::new(lit), v("y"));
+        assert!(matches!(eval(&e).unwrap(), Value::Int(4)));
+    }
+
+    #[test]
+    fn string_operations() {
+        let e = FExpr::BinOp(
+            BinOp::Concat,
+            Rc::new(FExpr::Str("1,".into())),
+            Rc::new(FExpr::UnOp(UnOp::IntToStr, Rc::new(FExpr::Int(23)))),
+        );
+        match eval(&e).unwrap() {
+            Value::Str(s) => assert_eq!(&*s, "1,23"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn value_equality_on_pairs_and_lists() {
+        let a = Value::Pair(Rc::new(Value::Int(1)), Rc::new(Value::Bool(true)));
+        let b = Value::Pair(Rc::new(Value::Int(1)), Rc::new(Value::Bool(true)));
+        assert_eq!(a.try_eq(&b), Some(true));
+        let c = Value::List(Rc::new(vec![Value::Int(1)]));
+        let d = Value::List(Rc::new(vec![Value::Int(2)]));
+        assert_eq!(c.try_eq(&d), Some(false));
+    }
+
+    #[test]
+    fn mutual_shadowing_in_env() {
+        // (\x. (\x. x) 2) 1 = 2
+        let inner = FExpr::app(FExpr::lam("x", FType::Int, FExpr::var("x")), FExpr::Int(2));
+        let e = FExpr::app(FExpr::lam("x", FType::Int, inner), FExpr::Int(1));
+        assert!(matches!(eval(&e).unwrap(), Value::Int(2)));
+    }
+}

@@ -1,0 +1,193 @@
+//! Property tests for the System F substrate: type substitution
+//! lemmas, α-equivalence laws, and evaluator soundness on randomly
+//! generated *well-typed* terms.
+
+use proptest::prelude::*;
+
+use implicit_core::symbol::{fresh, Symbol};
+use systemf::eval::{EvalError, Evaluator};
+use systemf::syntax::{BinOp, FDeclarations, FExpr, FType};
+use systemf::typeck::typecheck;
+
+fn vname() -> impl Strategy<Value = Symbol> {
+    prop_oneof![Just("fa"), Just("fb"), Just("fc")].prop_map(Symbol::intern)
+}
+
+fn arb_ftype() -> impl Strategy<Value = FType> {
+    let leaf = prop_oneof![
+        Just(FType::Int),
+        Just(FType::Bool),
+        Just(FType::Str),
+        Just(FType::Unit),
+        vname().prop_map(FType::Var),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| FType::arrow(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| FType::prod(a, b)),
+            inner.clone().prop_map(FType::list),
+            (vname(), inner).prop_map(|(v, b)| FType::Forall(v, std::rc::Rc::new(b))),
+        ]
+    })
+}
+
+fn arb_ground_ftype() -> impl Strategy<Value = FType> {
+    let leaf = prop_oneof![Just(FType::Int), Just(FType::Bool), Just(FType::Str)];
+    leaf.prop_recursive(2, 8, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| FType::prod(a, b)),
+            inner.prop_map(FType::list),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn alpha_eq_is_reflexive(t in arb_ftype()) {
+        prop_assert!(t.alpha_eq(&t));
+    }
+
+    #[test]
+    fn subst_of_absent_variable_is_identity(t in arb_ftype(), u in arb_ground_ftype()) {
+        let ghost = Symbol::intern("zz_absent");
+        prop_assert!(t.subst(ghost, &u).alpha_eq(&t));
+    }
+
+    #[test]
+    fn subst_removes_the_substituted_variable(t in arb_ftype(), u in arb_ground_ftype()) {
+        let a = Symbol::intern("fa");
+        let out = t.subst(a, &u);
+        prop_assert!(!out.ftv().contains(&a));
+    }
+
+    #[test]
+    fn alpha_renaming_preserves_alpha_class(t in arb_ftype()) {
+        // Rename one binder layer freshly, compare.
+        let a = Symbol::intern("binder_x");
+        let wrapped = FType::Forall(a, std::rc::Rc::new(t.clone()));
+        let b = fresh("binder_x");
+        let renamed = FType::Forall(b, std::rc::Rc::new(t.subst(a, &FType::Var(b))));
+        prop_assert!(wrapped.alpha_eq(&renamed));
+    }
+}
+
+/// A tiny generator of *well-typed* System F programs of type Int:
+/// arithmetic over β-redexes and polymorphic identities.
+fn arb_int_expr() -> impl Strategy<Value = FExpr> {
+    let leaf = (-50i64..50).prop_map(FExpr::Int);
+    leaf.prop_recursive(4, 32, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| FExpr::BinOp(
+                BinOp::Add,
+                a.into(),
+                b.into()
+            )),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| FExpr::BinOp(
+                BinOp::Mul,
+                a.into(),
+                b.into()
+            )),
+            // (λx:Int. x + e1) e2
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| {
+                let x = fresh("px");
+                FExpr::app(
+                    FExpr::lam(
+                        x,
+                        FType::Int,
+                        FExpr::BinOp(BinOp::Add, FExpr::Var(x).into(), a.into()),
+                    ),
+                    b,
+                )
+            }),
+            // (Λα. λx:α. x) Int e
+            inner.clone().prop_map(|e| {
+                let a = fresh("pa");
+                let x = fresh("py");
+                let id = FExpr::ty_abs([a], FExpr::lam(x, FType::Var(a), FExpr::Var(x)));
+                FExpr::app(FExpr::TyApp(id.into(), FType::Int), e)
+            }),
+            // if e1 ≤ e2 then e3 else e3'
+            (inner.clone(), inner.clone(), inner.clone(), inner).prop_map(|(a, b, c, d)| {
+                FExpr::If(
+                    FExpr::BinOp(BinOp::Le, a.into(), b.into()).into(),
+                    c.into(),
+                    d.into(),
+                )
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn welltyped_int_programs_evaluate_to_ints(e in arb_int_expr()) {
+        let decls = FDeclarations::new();
+        let ty = typecheck(&decls, &e).expect("generated term is well-typed");
+        prop_assert_eq!(ty, FType::Int);
+        match Evaluator::new().eval(&e) {
+            Ok(systemf::Value::Int(_)) => {}
+            Ok(other) => prop_assert!(false, "non-Int value {}", other),
+            Err(err) => prop_assert!(false, "evaluation failed: {err}"),
+        }
+    }
+
+    #[test]
+    fn evaluation_is_deterministic(e in arb_int_expr()) {
+        let v1 = Evaluator::new().eval(&e).unwrap();
+        let v2 = Evaluator::new().eval(&e).unwrap();
+        prop_assert_eq!(v1.try_eq(&v2), Some(true));
+    }
+}
+
+#[test]
+fn fuel_is_monotone() {
+    // If evaluation succeeds with fuel f, it succeeds with any f' ≥ f
+    // and yields the same value.
+    let fac = {
+        let f = Symbol::intern("mf");
+        FExpr::app(
+            FExpr::Fix(
+                f,
+                FType::arrow(FType::Int, FType::Int),
+                std::rc::Rc::new(FExpr::lam(
+                    "n",
+                    FType::Int,
+                    FExpr::If(
+                        FExpr::BinOp(BinOp::Le, FExpr::var("n").into(), FExpr::Int(0).into())
+                            .into(),
+                        FExpr::Int(1).into(),
+                        FExpr::BinOp(
+                            BinOp::Mul,
+                            FExpr::var("n").into(),
+                            FExpr::app(
+                                FExpr::Var(f),
+                                FExpr::BinOp(
+                                    BinOp::Sub,
+                                    FExpr::var("n").into(),
+                                    FExpr::Int(1).into(),
+                                ),
+                            )
+                            .into(),
+                        )
+                        .into(),
+                    ),
+                )),
+            ),
+            FExpr::Int(10),
+        )
+    };
+    let mut needed = None;
+    for fuel in [10u64, 100, 1000, 10_000] {
+        match Evaluator::with_fuel(fuel).eval(&fac) {
+            Ok(v) => {
+                assert_eq!(v.to_string(), "3628800");
+                needed.get_or_insert(fuel);
+            }
+            Err(EvalError::OutOfFuel) => {
+                assert!(needed.is_none(), "fuel must be monotone");
+            }
+            Err(other) => panic!("unexpected error {other}"),
+        }
+    }
+    assert!(needed.is_some(), "10k fuel must suffice for 10!");
+}

@@ -1,0 +1,79 @@
+//! Type-constructor polymorphism — the §5.2 extension that §1's
+//! motivating example demands.
+//!
+//! The paper opens with the `Perfect f a` instance
+//!
+//! ```text
+//! instance (∀β. Show β ⇒ Show (f β), Show α) ⇒ Show (Perfect f α)
+//! ```
+//!
+//! whose premise is *higher-order* (it assumes a rule that itself has
+//! an assumption) **and** quantifies over a type *constructor* `f`.
+//! Haskell rejects it; the implicit calculus was designed so that
+//! such rules "arise naturally". This example runs the same shape:
+//! one rule
+//!
+//! ```text
+//! showNested : ∀f a. {∀b. {b → String} ⇒ f b → String, a → String}
+//!                ⇒ f (f a) → String
+//! ```
+//!
+//! renders *nested containers for any constructor `f`* — instantiated
+//! once with the built-in `List`, once with a user interface `Box`,
+//! by changing nothing but the implicit scope.
+//!
+//! Run with `cargo run --example higher_kinded`.
+
+const PROGRAM: &str = r#"
+interface Box a = { unbox : a }
+
+let show : forall a. {a -> String} => a -> String = ? in
+let showInt' : Int -> String = \n. showInt n in
+
+let showList : forall a. {a -> String} => [a] -> String =
+  fix go : [a] -> String. \xs.
+    case xs of
+      nil -> ""
+    | h :: t -> (case t of nil -> show h | h2 :: t2 -> show h ++ "," ++ go t)
+in
+let showBox : forall a. {a -> String} => Box a -> String =
+  \b. "Box(" ++ show (unbox b) ++ ")"
+in
+
+let showNested : forall f a. {forall b. {b -> String} => f b -> String, a -> String}
+                   => f (f a) -> String = ? in
+
+implicit showInt' in
+  ( implicit showList in showNested ((1 :: 2 :: nil) :: (3 :: nil) :: nil)
+  , implicit showBox in showNested (Box { unbox = Box { unbox = 7 } }) )
+"#;
+
+fn main() {
+    println!("source program:\n{PROGRAM}");
+
+    let compiled = implicit_source::compile(PROGRAM).expect("compiles");
+    println!("program type    : {}", compiled.ty);
+
+    // The encoding instantiates showNested's constructor quantifier
+    // explicitly — find the constructor type applications in the core
+    // term.
+    let core_text = compiled.core.to_string();
+    assert!(
+        core_text.contains("[List, Int]") || core_text.contains("[List,"),
+        "expected a List-constructor instantiation in the encoding"
+    );
+    assert!(
+        core_text.contains("[Box,") || core_text.contains("[Box, Int]"),
+        "expected a Box-constructor instantiation in the encoding"
+    );
+    println!("constructor instantiations found in the λ⇒ encoding ✓");
+
+    let out = implicit_elab::run(&compiled.decls, &compiled.core).expect("runs");
+    println!("via System F    : {}", out.value);
+    let v = implicit_opsem::eval(&compiled.decls, &compiled.core).expect("interprets");
+    println!("via opsem       : {v}");
+
+    assert_eq!(out.value.to_string(), "(\"1,2,3\", \"Box(Box(7))\")");
+    assert_eq!(v.to_string(), "(\"1,2,3\", \"Box(Box(7))\")");
+    println!("\nresult (\"1,2,3\", \"Box(Box(7))\") — one rule, two constructors ✓");
+}

@@ -1,0 +1,91 @@
+//! The paper's §1 motivating example, verbatim in shape: the
+//! non-regular datatype
+//!
+//! ```text
+//! data Perfect f a = Nil | Cons a (Perfect f (f a))
+//! ```
+//!
+//! and the instance Haskell cannot express,
+//!
+//! ```text
+//! instance (∀β. Show β ⇒ Show (f β), Show α) ⇒ Show (Perfect f α)
+//! ```
+//!
+//! whose premise is **higher-order** (it assumes a rule that itself
+//! has an assumption) and polymorphic in β. Here it is a `letrec`
+//! with a higher-kinded scheme; the recursive call
+//! `showPerfect (rest : Perfect f (f a))` is *polymorphic recursion*,
+//! and its implicit context is re-derived by resolution at every
+//! depth — the element shower for `f a` is built from the container
+//! rule applied to the shower for `a`.
+//!
+//! Run with `cargo run --example perfect_tree`.
+
+const PROGRAM: &str = r#"
+data Perfect f a = PNil | PCons a (Perfect f (f a))
+
+interface Twice a = { front : a, back : a }
+
+let show : forall a. {a -> String} => a -> String = ? in
+let showInt' : Int -> String = \n. showInt n in
+let showTwice : forall a. {a -> String} => Twice a -> String =
+  \t. "<" ++ show (front t) ++ "," ++ show (back t) ++ ">" in
+
+-- §1's instance: a higher-kinded, higher-order, recursive rule.
+letrec showPerfect : forall f a.
+    {forall b. {b -> String} => f b -> String, a -> String}
+      => Perfect f a -> String =
+  \t. match t {
+        PNil -> "Nil"
+      | PCons x rest -> show x ++ " :: " ++ showPerfect rest
+      }
+in
+
+let deep : Twice (Twice Int) =
+  Twice { front = Twice { front = 2, back = 3 },
+          back  = Twice { front = 4, back = 5 } } in
+let t : Perfect Twice Int =
+  PCons 1 (PCons (Twice { front = 6, back = 7 }) (PCons deep PNil)) in
+
+implicit showInt', showTwice in showPerfect t
+"#;
+
+fn main() {
+    println!("source program:\n{PROGRAM}");
+
+    let compiled = implicit_source::compile(PROGRAM).expect("the §1 example compiles");
+    println!("program type    : {}", compiled.ty);
+
+    let data = compiled
+        .decls
+        .lookup_data(implicit_core::Symbol::intern("Perfect"))
+        .expect("Perfect declared");
+    let kinds: Vec<String> = data
+        .params
+        .iter()
+        .map(|(v, k)| {
+            let kind = if *k == 0 {
+                "*".to_owned()
+            } else {
+                format!("{}*", "* -> ".repeat(*k))
+            };
+            format!("{v} : {kind}")
+        })
+        .collect();
+    println!("inferred kinds  : Perfect ({})", kinds.join(", "));
+
+    let out = implicit_elab::run(&compiled.decls, &compiled.core).expect("runs");
+    println!("via System F    : {}", out.value);
+    let v = implicit_opsem::eval(&compiled.decls, &compiled.core).expect("interprets");
+    println!("via opsem       : {v}");
+
+    assert_eq!(
+        out.value.to_string(),
+        "\"1 :: <6,7> :: <<2,3>,<4,5>> :: Nil\""
+    );
+    assert_eq!(v.to_string(), out.value.to_string());
+    println!(
+        "\nthe instance Haskell rejects (\"no higher-order rules\") runs here, \
+         with polymorphic recursion re-resolving the context at every depth ✓"
+    );
+}

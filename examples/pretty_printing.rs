@@ -1,0 +1,55 @@
+//! The §5 higher-order-rules example: implicit instantiation working
+//! for *any* type — plain functions model a structural pretty-printer
+//! concept, and a **higher-order rule** (`{Int → String} ⇒ [Int] →
+//! String`) is abstracted over and supplied in two different ways.
+//!
+//! The paper's expected result is `("1,2,3", "1 2 3")`: the contexts
+//! of the two calls to `o` control how the list is rendered.
+//!
+//! Run with `cargo run --example pretty_printing`.
+
+use implicit_source::compile;
+
+const PROGRAM: &str = r#"
+let show : forall a. {a -> String} => a -> String = ? in
+
+let showInt' : Int -> String = \n. showInt n in
+
+let comma : forall a. {a -> String} => [a] -> String =
+  fix go : [a] -> String. \xs.
+    case xs of
+      nil -> ""
+    | h :: t -> (case t of nil -> show h | h2 :: t2 -> show h ++ "," ++ go t)
+in
+let space : forall a. {a -> String} => [a] -> String =
+  fix go : [a] -> String. \xs.
+    case xs of
+      nil -> ""
+    | h :: t -> (case t of nil -> show h | h2 :: t2 -> show h ++ " " ++ go t)
+in
+
+let o : {Int -> String, {Int -> String} => [Int] -> String} => String =
+  show (1 :: 2 :: 3 :: nil)
+in
+
+implicit showInt' in
+  (implicit comma in o, implicit space in o)
+"#;
+
+fn main() {
+    println!("source program:\n{PROGRAM}");
+
+    let compiled = compile(PROGRAM).expect("the paper's program compiles");
+    println!("encoded λ⇒ type : {}", compiled.ty);
+
+    let out = implicit_elab::run(&compiled.decls, &compiled.core)
+        .expect("elaborates and evaluates");
+    println!("via System F    : {}", out.value);
+
+    let v = implicit_opsem::eval(&compiled.decls, &compiled.core).expect("interprets");
+    println!("via opsem       : {v}");
+
+    assert_eq!(out.value.to_string(), "(\"1,2,3\", \"1 2 3\")");
+    assert_eq!(v.to_string(), "(\"1,2,3\", \"1 2 3\")");
+    println!("\nresult (\"1,2,3\", \"1 2 3\") matches the paper ✓");
+}

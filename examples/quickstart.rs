@@ -1,0 +1,92 @@
+//! Quickstart: the implicit calculus in five minutes.
+//!
+//! Builds the paper's §2 examples through the public API, shows the
+//! resolution derivation, the System F elaboration, and evaluates the
+//! program under both semantics.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use implicit_calculus::prelude::*;
+use implicit_core::env::ImplicitEnv;
+use implicit_core::resolve::{Premise, Resolution};
+
+fn main() {
+    let decls = Declarations::new();
+
+    // ----------------------------------------------------------
+    // 1. Fetching values by type (§2).
+    // ----------------------------------------------------------
+    let e1 = parse_expr(
+        "implicit {1 : Int, true : Bool} in (?(Int) + 1, not ?(Bool)) : Int * Bool",
+    )
+    .expect("parses");
+    println!("program   : {e1}");
+
+    let ty = Typechecker::new(&decls).check_closed(&e1).expect("types");
+    println!("type      : {ty}");
+
+    let out = implicit_elab::run(&decls, &e1).expect("runs");
+    println!("elaborated: {}", out.target);
+    println!("value     : {}\n", out.value);
+
+    // ----------------------------------------------------------
+    // 2. Recursive resolution with a polymorphic rule (§3.2).
+    // ----------------------------------------------------------
+    let mut env = ImplicitEnv::new();
+    env.push(vec![parse_rule_type("Int").unwrap()]);
+    env.push(vec![parse_rule_type("forall a. {a} => a * a").unwrap()]);
+    let query = parse_rule_type("(Int * Int) * (Int * Int)").unwrap();
+    let derivation = resolve(&env, &query, &ResolutionPolicy::paper()).expect("resolves");
+    println!("query     : {query}");
+    println!("derivation ({} steps):", derivation.steps());
+    print_derivation(&derivation, 1);
+
+    // ----------------------------------------------------------
+    // 3. Partial resolution (§3.2, Example 3).
+    // ----------------------------------------------------------
+    let mut env2 = ImplicitEnv::new();
+    env2.push(vec![parse_rule_type("Bool").unwrap()]);
+    env2.push(vec![parse_rule_type("forall a. {Bool, a} => a * a").unwrap()]);
+    let ho_query = parse_rule_type("{Int} => Int * Int").unwrap();
+    let partial = resolve(&env2, &ho_query, &ResolutionPolicy::paper()).expect("resolves");
+    println!("\nhigher-order query : {ho_query}");
+    println!("partial resolution : {}", partial.is_partial());
+    print_derivation(&partial, 1);
+
+    // ----------------------------------------------------------
+    // 4. Both semantics agree.
+    // ----------------------------------------------------------
+    let e2 = parse_expr(
+        "implicit {3 : Int, rule (forall a. {a} => a * a) ((?(a), ?(a))) : forall a. {a} => a * a} \
+         in ?((Int * Int) * (Int * Int)) : (Int * Int) * (Int * Int)",
+    )
+    .expect("parses");
+    let via_elab = implicit_elab::run(&decls, &e2).expect("elaborates");
+    let via_opsem = implicit_opsem::eval(&decls, &e2).expect("interprets");
+    println!("\nelaboration semantics : {}", via_elab.value);
+    println!("operational semantics : {via_opsem}");
+    assert_eq!(via_elab.value.to_string(), via_opsem.to_string());
+    println!("semantics agree ✓");
+}
+
+fn print_derivation(res: &Resolution, indent: usize) {
+    let pad = "  ".repeat(indent);
+    println!(
+        "{pad}{} resolved by {:?} (type args: [{}])",
+        res.query,
+        res.rule,
+        res.type_args
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    for p in &res.premises {
+        match p {
+            Premise::Assumed { rho, .. } => {
+                println!("{pad}  premise {rho} — assumed (partial resolution)");
+            }
+            Premise::Derived(inner) => print_derivation(inner, indent + 1),
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! An interactive REPL for both languages.
+//!
+//! ```text
+//! cargo run --example repl            # core λ⇒ syntax
+//! cargo run --example repl -- source  # §5 source language
+//! ```
+//!
+//! Each input line is parsed, type-checked (resolving all queries),
+//! elaborated to System F, evaluated under both semantics, and the
+//! results are printed. Commands:
+//!
+//! * `:type EXPR` — show the type only;
+//! * `:elab EXPR` — show the System F elaboration;
+//! * `:quit` — exit.
+
+use std::io::{BufRead, Write};
+
+use implicit_calculus::prelude::*;
+
+fn main() {
+    let mode_source = std::env::args().any(|a| a == "source");
+    println!(
+        "implicit-calculus REPL ({} syntax). :type e, :elab e, :quit.",
+        if mode_source { "source" } else { "core λ⇒" }
+    );
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    loop {
+        print!("λ⇒> ");
+        let _ = out.flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("input error: {e}");
+                break;
+            }
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == ":quit" || line == ":q" {
+            break;
+        }
+        let (cmd, src) = if let Some(rest) = line.strip_prefix(":type ") {
+            ("type", rest)
+        } else if let Some(rest) = line.strip_prefix(":elab ") {
+            ("elab", rest)
+        } else {
+            ("eval", line)
+        };
+        if mode_source {
+            run_source(cmd, src);
+        } else {
+            run_core(cmd, src);
+        }
+    }
+}
+
+fn run_core(cmd: &str, src: &str) {
+    let (decls, expr) = match parse_program(src) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return;
+        }
+    };
+    dispatch(cmd, &decls, &expr);
+}
+
+fn run_source(cmd: &str, src: &str) {
+    match implicit_source::compile(src) {
+        Ok(compiled) => dispatch(cmd, &compiled.decls, &compiled.core),
+        Err(e) => eprintln!("{e}"),
+    }
+}
+
+fn dispatch(cmd: &str, decls: &Declarations, expr: &implicit_core::syntax::Expr) {
+    match cmd {
+        "type" => match Typechecker::new(decls).check_closed(expr) {
+            Ok(t) => println!(" : {t}"),
+            Err(e) => eprintln!("type error: {e}"),
+        },
+        "elab" => match elaborate(decls, expr) {
+            Ok((t, fe)) => println!(" : {t}\n = {fe}"),
+            Err(e) => eprintln!("elaboration error: {e}"),
+        },
+        _ => match implicit_elab::run(decls, expr) {
+            Ok(out) => {
+                let opsem = implicit_opsem::eval(decls, expr)
+                    .map(|v| v.to_string())
+                    .unwrap_or_else(|e| format!("opsem error: {e}"));
+                println!(" : {}", out.source_type);
+                println!(" = {}   (opsem: {opsem})", out.value);
+            }
+            Err(e) => eprintln!("error: {e}"),
+        },
+    }
+}

@@ -1,0 +1,349 @@
+//! `implicitc` — a compiler driver for the implicit calculus.
+//!
+//! ```text
+//! implicitc [OPTIONS] <FILE>
+//! implicitc [OPTIONS] -e "<PROGRAM>"
+//!
+//! Options:
+//!   --lang core|source     input language (default: by extension —
+//!                          .imp/.lc = core λ⇒, .si = source; else core)
+//!   --emit value|type|core|systemf|explain
+//!                          what to print (default: value)
+//!   --semantics elab|opsem|both
+//!                          evaluation route (default: both, compared)
+//!   --policy paper|most-specific|env-extension
+//!   --strict               enable strict static checks (termination,
+//!                          coherence)
+//! ```
+//!
+//! Exit status 0 on success, 1 on any error (reported to stderr).
+
+use std::process::ExitCode;
+
+use implicit_core::resolve::ResolutionPolicy;
+use implicit_core::syntax::{Declarations, Expr};
+use implicit_core::typeck::Typechecker;
+
+struct Options {
+    lang: Lang,
+    emit: Emit,
+    semantics: Semantics,
+    policy: ResolutionPolicy,
+    strict: bool,
+    input: Input,
+}
+
+#[derive(PartialEq, Clone, Copy)]
+enum Lang {
+    Core,
+    Source,
+    Auto,
+}
+
+#[derive(PartialEq, Clone, Copy)]
+enum Emit {
+    Value,
+    Type,
+    Core,
+    SystemF,
+    Explain,
+}
+
+#[derive(PartialEq, Clone, Copy)]
+enum Semantics {
+    Elab,
+    Opsem,
+    Both,
+}
+
+enum Input {
+    File(String),
+    Inline(String),
+}
+
+fn usage() -> String {
+    "usage: implicitc [--lang core|source] [--emit value|type|core|systemf|explain] \
+     [--semantics elab|opsem|both] [--policy paper|most-specific|env-extension] [--strict] \
+     (<file> | -e <program>)"
+        .to_owned()
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        lang: Lang::Auto,
+        emit: Emit::Value,
+        semantics: Semantics::Both,
+        policy: ResolutionPolicy::paper(),
+        strict: false,
+        input: Input::Inline(String::new()),
+    };
+    let mut input: Option<Input> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--lang" => {
+                opts.lang = match it.next().map(String::as_str) {
+                    Some("core") => Lang::Core,
+                    Some("source") => Lang::Source,
+                    other => return Err(format!("--lang: expected core|source, got {other:?}")),
+                }
+            }
+            "--emit" => {
+                opts.emit = match it.next().map(String::as_str) {
+                    Some("value") => Emit::Value,
+                    Some("type") => Emit::Type,
+                    Some("core") => Emit::Core,
+                    Some("systemf") => Emit::SystemF,
+                    Some("explain") => Emit::Explain,
+                    other => {
+                        return Err(format!(
+                            "--emit: expected value|type|core|systemf|explain, got {other:?}"
+                        ))
+                    }
+                }
+            }
+            "--semantics" => {
+                opts.semantics = match it.next().map(String::as_str) {
+                    Some("elab") => Semantics::Elab,
+                    Some("opsem") => Semantics::Opsem,
+                    Some("both") => Semantics::Both,
+                    other => {
+                        return Err(format!("--semantics: expected elab|opsem|both, got {other:?}"))
+                    }
+                }
+            }
+            "--policy" => {
+                opts.policy = match it.next().map(String::as_str) {
+                    Some("paper") => ResolutionPolicy::paper(),
+                    Some("most-specific") => ResolutionPolicy::paper().with_most_specific(),
+                    Some("env-extension") => ResolutionPolicy::paper().with_env_extension(),
+                    other => {
+                        return Err(format!(
+                            "--policy: expected paper|most-specific|env-extension, got {other:?}"
+                        ))
+                    }
+                }
+            }
+            "--strict" => opts.strict = true,
+            "-e" => {
+                let prog = it
+                    .next()
+                    .ok_or_else(|| "-e needs a program argument".to_owned())?;
+                input = Some(Input::Inline(prog.clone()));
+            }
+            "--help" | "-h" => return Err(usage()),
+            other if !other.starts_with('-') => input = Some(Input::File(other.to_owned())),
+            other => return Err(format!("unknown option `{other}`\n{}", usage())),
+        }
+    }
+    opts.input = input.ok_or_else(usage)?;
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("implicitc: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(opts: &Options) -> Result<(), String> {
+    let (src, lang) = match &opts.input {
+        Input::File(path) => {
+            let src = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+            let lang = match opts.lang {
+                Lang::Auto if path.ends_with(".si") => Lang::Source,
+                Lang::Auto => Lang::Core,
+                other => other,
+            };
+            (src, lang)
+        }
+        Input::Inline(src) => {
+            let lang = if opts.lang == Lang::Auto {
+                Lang::Core
+            } else {
+                opts.lang
+            };
+            (src.clone(), lang)
+        }
+    };
+
+    // Front end: obtain declarations and a core expression.
+    let (decls, core): (Declarations, Expr) = match lang {
+        Lang::Source => {
+            let compiled = implicit_source::compile(&src).map_err(|e| e.to_string())?;
+            (compiled.decls, compiled.core)
+        }
+        _ => implicit_core::parse::parse_program(&src).map_err(|e| e.to_string())?,
+    };
+
+    // Type checking (with the chosen policy and strictness).
+    let checker = Typechecker::with_policy(&decls, opts.policy.clone());
+    let checker = if opts.strict { checker.strict() } else { checker };
+    let ty = checker.check_closed(&core).map_err(|e| e.to_string())?;
+
+    match opts.emit {
+        Emit::Type => {
+            println!("{ty}");
+            return Ok(());
+        }
+        Emit::Core => {
+            println!("{core}");
+            return Ok(());
+        }
+        Emit::Explain => {
+            explain_queries(&core)?;
+            return Ok(());
+        }
+        Emit::SystemF => {
+            let (_, fe) =
+                implicit_elab::elaborate(&decls, &core).map_err(|e| e.to_string())?;
+            println!("{fe}");
+            return Ok(());
+        }
+        Emit::Value => {}
+    }
+
+    let elab_value = if opts.semantics != Semantics::Opsem {
+        Some(
+            implicit_elab::run_with(&decls, &core, &opts.policy)
+                .map_err(|e| e.to_string())?
+                .value
+                .to_string(),
+        )
+    } else {
+        None
+    };
+    let opsem_value = if opts.semantics != Semantics::Elab {
+        Some(
+            implicit_opsem::Interpreter::new(&decls)
+                .with_policy(opts.policy.clone())
+                .eval(&core)
+                .map_err(|e| e.to_string())?
+                .to_string(),
+        )
+    } else {
+        None
+    };
+    match (elab_value, opsem_value) {
+        (Some(a), Some(b)) => {
+            if a != b {
+                return Err(format!("semantics disagree: elaboration {a} vs opsem {b}"));
+            }
+            println!("{a} : {ty}");
+        }
+        (Some(a), None) | (None, Some(a)) => println!("{a} : {ty}"),
+        (None, None) => unreachable!("one semantics is always selected"),
+    }
+    Ok(())
+}
+
+/// Prints a resolution explanation for every top-level query the
+/// program's type checking performed, by re-resolving the queries in
+/// an empty environment context (only meaningful for the outermost
+/// scope) — for scoped queries, the explanations are produced during
+/// a dedicated traversal.
+fn explain_queries(core: &Expr) -> Result<(), String> {
+    // Walk the term, maintaining the implicit environment exactly as
+    // the type checker does, and print a derivation per query.
+    use implicit_core::env::ImplicitEnv;
+    fn walk(env: &mut ImplicitEnv, e: &Expr, out: &mut Vec<String>) {
+        match e {
+            Expr::Query(rho) => {
+                match implicit_core::resolve::resolve(env, rho, &ResolutionPolicy::paper()) {
+                    Ok(res) => {
+                        let stats = res.stats(env);
+                        out.push(format!(
+                            "{}steps: {}, rules tried: {}, assumed: {}\n",
+                            res.explain(),
+                            stats.steps,
+                            stats.rules_tried,
+                            stats.assumed
+                        ));
+                    }
+                    Err(err) => out.push(format!("?({rho}) — unresolved: {err}\n")),
+                }
+            }
+            Expr::RuleAbs(rho, body) => {
+                env.push(rho.context().to_vec());
+                walk(env, body, out);
+                env.pop();
+            }
+            Expr::Lam(_, _, b) | Expr::UnOp(_, b) | Expr::Fst(b) | Expr::Snd(b) => {
+                walk(env, b, out)
+            }
+            Expr::App(a, b)
+            | Expr::BinOp(_, a, b)
+            | Expr::Pair(a, b)
+            | Expr::Cons(a, b) => {
+                walk(env, a, out);
+                walk(env, b, out);
+            }
+            Expr::TyApp(a, _) => walk(env, a, out),
+            Expr::RuleApp(f, args) => {
+                walk(env, f, out);
+                for (a, _) in args {
+                    walk(env, a, out);
+                }
+            }
+            Expr::If(a, b, c) => {
+                walk(env, a, out);
+                walk(env, b, out);
+                walk(env, c, out);
+            }
+            Expr::ListCase {
+                scrut, nil, cons, ..
+            } => {
+                walk(env, scrut, out);
+                walk(env, nil, out);
+                walk(env, cons, out);
+            }
+            Expr::Fix(_, _, b) => walk(env, b, out),
+            Expr::Make(_, _, fields) => {
+                for (_, fe) in fields {
+                    walk(env, fe, out);
+                }
+            }
+            Expr::Proj(a, _) => walk(env, a, out),
+            Expr::Inject(_, _, args) => {
+                for a in args {
+                    walk(env, a, out);
+                }
+            }
+            Expr::Match(scrut, arms) => {
+                walk(env, scrut, out);
+                for arm in arms {
+                    walk(env, &arm.body, out);
+                }
+            }
+            Expr::Int(_)
+            | Expr::Bool(_)
+            | Expr::Str(_)
+            | Expr::Unit
+            | Expr::Var(_)
+            | Expr::Nil(_) => {}
+        }
+    }
+    let mut env = ImplicitEnv::new();
+    let mut out = Vec::new();
+    walk(&mut env, core, &mut out);
+    if out.is_empty() {
+        println!("(no queries)");
+    }
+    for block in out {
+        println!("{block}");
+    }
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! # `implicit-calculus` — a Rust reproduction of "The Implicit
+//! Calculus: A New Foundation for Generic Programming" (PLDI 2012)
+//!
+//! This facade crate re-exports the whole system:
+//!
+//! * [`core`](implicit_core) — the calculus λ⇒: syntax, type system,
+//!   scoped implicit environments, and the type-directed resolution
+//!   judgment with polymorphic, higher-order and partial resolution;
+//! * [`systemf`] — the System F elaboration target (type checker and
+//!   call-by-value evaluator);
+//! * [`elab`](implicit_elab) — the type-directed translation of λ⇒
+//!   into System F (the paper's dynamic semantics), with executable
+//!   type-preservation checking;
+//! * [`opsem`](implicit_opsem) — the direct big-step operational
+//!   semantics with runtime resolution and partially resolved rule
+//!   closures (extended report);
+//! * [`source`](implicit_source) — a small source language with
+//!   interfaces, `implicit` scoping and implicit instantiation via
+//!   type inference, encoded into λ⇒ (§5).
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the paper-to-code map,
+//! and `EXPERIMENTS.md` for the reproduction ledger.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use implicit_calculus::prelude::*;
+//!
+//! // §2 of the paper: fetch implicit values by type.
+//! let e = parse_expr(
+//!     "implicit {1 : Int, true : Bool} in (?(Int) + 1, not ?(Bool)) : Int * Bool",
+//! ).unwrap();
+//! let decls = Declarations::new();
+//! let out = implicit_elab::run(&decls, &e).unwrap();
+//! assert_eq!(out.value.to_string(), "(2, false)");
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use implicit_core;
+pub use implicit_elab;
+pub use implicit_opsem;
+pub use implicit_source;
+pub use systemf;
+
+/// Commonly used items, re-exported for examples and quick scripts.
+pub mod prelude {
+    pub use implicit_core::env::{ImplicitEnv, OverlapPolicy};
+    pub use implicit_core::parse::{parse_expr, parse_program, parse_rule_type, parse_type};
+    pub use implicit_core::resolve::{resolve, Resolution, ResolutionPolicy};
+    pub use implicit_core::symbol::Symbol;
+    pub use implicit_core::syntax::{Declarations, Expr, RuleType, Type};
+    pub use implicit_core::typeck::Typechecker;
+    pub use implicit_elab::{check_preservation, elaborate, run};
+}

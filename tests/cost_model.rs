@@ -1,0 +1,92 @@
+//! Machine-checked cost-model assertions backing the EXPERIMENTS.md
+//! benchmark narratives: the *counts* behind B1–B4/B10 (steps, rules
+//! tried, frames scanned) must follow the predicted shapes exactly,
+//! independent of wall-clock noise.
+
+use genprog::{chain_env, deep_stack_env, hk_nested_env, partial_env, wide_env};
+use implicit_core::resolve::{resolve, ResolutionPolicy};
+
+fn policy() -> ResolutionPolicy {
+    ResolutionPolicy::paper().with_max_depth(4096)
+}
+
+#[test]
+fn b1_chain_steps_are_linear() {
+    for n in [0usize, 1, 4, 16, 64] {
+        let (env, q) = chain_env(n);
+        let res = resolve(&env, &q, &policy()).unwrap();
+        let stats = res.stats(&env);
+        assert_eq!(stats.steps, n + 1, "chain {n}");
+        // Each step scans the single frame once.
+        assert_eq!(stats.frames_scanned, n + 1, "chain {n}");
+        // Each lookup match-tests the whole frame (n+1 rules).
+        assert_eq!(stats.rules_tried, (n + 1) * (n + 1), "chain {n}");
+    }
+}
+
+#[test]
+fn b2_wide_frames_scan_every_rule_once() {
+    for n in [8usize, 64, 256] {
+        let (env, q) = wide_env(n, 1.0);
+        let res = resolve(&env, &q, &policy()).unwrap();
+        let stats = res.stats(&env);
+        assert_eq!(stats.steps, 1);
+        assert_eq!(stats.frames_scanned, 1);
+        assert_eq!(stats.rules_tried, n + 1, "wide {n}");
+    }
+}
+
+#[test]
+fn b2_deep_stacks_descend_every_frame() {
+    for n in [8usize, 64, 256] {
+        let (env, q) = deep_stack_env(n);
+        let res = resolve(&env, &q, &policy()).unwrap();
+        let stats = res.stats(&env);
+        assert_eq!(stats.steps, 1);
+        assert_eq!(stats.max_frame_reached, n, "deep {n}");
+        assert_eq!(stats.frames_scanned, n + 1, "deep {n}");
+        // One rule per frame.
+        assert_eq!(stats.rules_tried, n + 1, "deep {n}");
+    }
+}
+
+#[test]
+fn b4_partial_resolution_work_scales_with_derived_premises_only() {
+    let n = 12usize;
+    let mut derived_steps = Vec::new();
+    for assumed in [0usize, 4, 8, 12] {
+        let (env, q) = partial_env(n, assumed);
+        let res = resolve(&env, &q, &policy()).unwrap();
+        let stats = res.stats(&env);
+        assert_eq!(stats.assumed, assumed, "assumed {assumed}");
+        // One step for the rule plus one per derived premise.
+        assert_eq!(stats.steps, 1 + (n - assumed), "assumed {assumed}");
+        derived_steps.push(stats.steps);
+    }
+    assert!(
+        derived_steps.windows(2).all(|w| w[0] > w[1]),
+        "more assumptions must mean strictly fewer steps: {derived_steps:?}"
+    );
+}
+
+#[test]
+fn b10_higher_kinded_nesting_is_linear_in_steps() {
+    for n in [1usize, 4, 16, 64] {
+        let (env, q) = hk_nested_env(n);
+        let res = resolve(&env, &q, &policy()).unwrap();
+        let stats = res.stats(&env);
+        assert_eq!(stats.steps, n + 1, "hk {n}");
+        assert_eq!(stats.rules_tried, 2 * (n + 1), "hk {n}");
+    }
+}
+
+#[test]
+fn assumed_premises_save_exactly_their_resolution_subtrees() {
+    // Same environment, same head; the query context grows: every
+    // newly assumed premise removes its whole derivation subtree.
+    let (env, q_full) = partial_env(6, 0);
+    let full = resolve(&env, &q_full, &policy()).unwrap().stats(&env);
+    let (env2, q_half) = partial_env(6, 3);
+    let half = resolve(&env2, &q_half, &policy()).unwrap().stats(&env2);
+    assert_eq!(full.steps - half.steps, 3);
+}

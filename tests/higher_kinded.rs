@@ -1,0 +1,180 @@
+//! Type-constructor polymorphism (the §5.2 extension; §1's
+//! motivating `Perfect f a` instance is exactly this shape): rules
+//! may quantify over type *constructors* `f`, with higher-order
+//! premises polymorphic in the element type — `∀b. {Show b} ⇒ Show
+//! (f b)` — and instantiation supplies `List` or an interface
+//! constructor.
+
+use implicit_core::parse::{parse_expr, parse_rule_type};
+use implicit_core::resolve::{resolve, ResolutionPolicy};
+use implicit_core::syntax::{Declarations, TyCon, Type};
+use implicit_core::typeck::{TypeError, Typechecker};
+use implicit_core::ImplicitEnv;
+
+/// The §1-style source program: one higher-kinded, higher-order rule
+/// renders *nested containers* `f (f a)` for any `f` — used with both
+/// the built-in `List` and a user interface `Box`.
+const NESTED_SHOW: &str = r#"
+interface Box a = { unbox : a }
+
+let show : forall a. {a -> String} => a -> String = ? in
+let showInt' : Int -> String = \n. showInt n in
+
+let showList : forall a. {a -> String} => [a] -> String =
+  fix go : [a] -> String. \xs.
+    case xs of
+      nil -> ""
+    | h :: t -> (case t of nil -> show h | h2 :: t2 -> show h ++ "," ++ go t)
+in
+let showBox : forall a. {a -> String} => Box a -> String =
+  \b. "Box(" ++ show (unbox b) ++ ")"
+in
+
+-- The higher-kinded, higher-order rule: f is a type constructor.
+let showNested : forall f a. {forall b. {b -> String} => f b -> String, a -> String}
+                   => f (f a) -> String = ? in
+
+implicit showInt' in
+  ( implicit showList in showNested ((1 :: 2 :: nil) :: (3 :: nil) :: nil)
+  , implicit showBox in showNested (Box { unbox = Box { unbox = 7 } }) )
+"#;
+
+fn run_source(src: &str) -> String {
+    let compiled = implicit_source::compile(src)
+        .unwrap_or_else(|err| panic!("compile failed: {err}\n{src}"));
+    implicit_elab::check_preservation(&compiled.decls, &compiled.core)
+        .unwrap_or_else(|err| panic!("preservation: {err}"));
+    let elab = implicit_elab::run(&compiled.decls, &compiled.core)
+        .unwrap_or_else(|err| panic!("elab run failed: {err}"));
+    let ops = implicit_opsem::eval(&compiled.decls, &compiled.core)
+        .unwrap_or_else(|err| panic!("opsem run failed: {err}"));
+    assert_eq!(elab.value.to_string(), ops.to_string(), "semantics disagree");
+    elab.value.to_string()
+}
+
+#[test]
+fn nested_containers_through_one_higher_kinded_rule() {
+    assert_eq!(
+        run_source(NESTED_SHOW),
+        "(\"1,2,3\", \"Box(Box(7))\")"
+    );
+}
+
+#[test]
+fn higher_kinded_resolution_at_core_level() {
+    // Δ = {∀b. {b→String} ⇒ f b → String, a→String} (f, a free
+    // skolems) ⊢r f (f a) → String — two recursive uses of the
+    // polymorphic container rule, exactly the Perfect-instance shape.
+    let container = parse_rule_type("forall b. {b -> String} => f b -> String").unwrap();
+    let elem = parse_rule_type("a -> String").unwrap();
+    let env = ImplicitEnv::with_frame(vec![container, elem]);
+    let query = parse_rule_type("f (f a) -> String").unwrap();
+    let res = resolve(&env, &query, &ResolutionPolicy::paper()).unwrap();
+    assert_eq!(res.steps(), 3, "container twice, element once");
+    assert!(implicit_core::logic::verify_derivation(&env, &res));
+}
+
+#[test]
+fn constructor_instantiation_in_core_programs() {
+    // rule(∀f a. {∀b.{b} ⇒ f b, a} ⇒ f (f a))(?(f (f a))) [List, Int]
+    // with {pure-ish rules} — instantiating f with the built-in List.
+    let src = "rule (forall f a. {forall b. {b} => f b, a} => f (f a)) (?(f (f a))) \
+               [List, Int] \
+               with {rule (forall b. {b} => [b]) (?(b) :: nil [b]) : forall b. {b} => [b], \
+                     9 : Int}";
+    let e = parse_expr(src).unwrap();
+    let decls = Declarations::new();
+    let ty = Typechecker::new(&decls).check_closed(&e).unwrap();
+    assert_eq!(ty, Type::list(Type::list(Type::Int)));
+    let out = implicit_elab::run(&decls, &e).unwrap();
+    assert_eq!(out.value.to_string(), "[[9]]");
+    let v = implicit_opsem::eval(&decls, &e).unwrap();
+    assert_eq!(v.to_string(), "[[9]]");
+}
+
+#[test]
+fn kind_errors_are_rejected() {
+    let decls = Declarations::new();
+    // f used both bare and applied: kind mismatch.
+    let bad = parse_expr(
+        "rule (forall f. {f, f Int} => f * f Int) ((?(f), ?(f Int)))",
+    )
+    .unwrap();
+    let err = Typechecker::new(&decls).check_closed(&bad).unwrap_err();
+    assert!(matches!(err, TypeError::KindMismatch { .. }), "got {err:?}");
+
+    // A plain type where a constructor is demanded.
+    let bad2 = parse_expr(
+        "rule (forall f a. {forall b. {b} => f b, a} => f (f a)) (?(f (f a))) [Int, Int] \
+         with {9 : Int}",
+    )
+    .unwrap();
+    let err2 = Typechecker::new(&decls).check_closed(&bad2).unwrap_err();
+    assert!(
+        matches!(
+            err2,
+            TypeError::NotAConstructor { .. } | TypeError::ContextMismatch { .. }
+        ),
+        "got {err2:?}"
+    );
+
+    // A constructor where a plain type is demanded.
+    let bad3 = parse_expr(
+        "rule (forall a. a -> a) ((\\x : a. x)) [List] 1",
+    )
+    .unwrap();
+    let err3 = Typechecker::new(&decls).check_closed(&bad3).unwrap_err();
+    assert!(
+        matches!(err3, TypeError::NotAConstructor { arity: 0, .. }),
+        "got {err3:?}"
+    );
+}
+
+#[test]
+fn constructor_matching_binds_heads() {
+    // match f b against [Int]: f ↦ List, b ↦ Int.
+    let f = implicit_core::Symbol::intern("hk_f");
+    let b = implicit_core::Symbol::intern("hk_b");
+    let pattern = Type::arrow(
+        Type::var_app(f, vec![Type::Var(b)]),
+        Type::Str,
+    );
+    let target = Type::arrow(Type::list(Type::Int), Type::Str);
+    let theta = implicit_core::unify::match_type(&pattern, &target, &[f, b]).unwrap();
+    assert_eq!(theta.get(f), Some(&Type::Ctor(TyCon::List)));
+    assert_eq!(theta.get(b), Some(&Type::Int));
+    assert_eq!(theta.apply_type(&pattern), target);
+}
+
+#[test]
+fn interface_constructors_match_too() {
+    let mut decls = Declarations::new();
+    decls
+        .declare(implicit_core::syntax::InterfaceDecl {
+            name: implicit_core::Symbol::intern("BoxHK"),
+            vars: vec![implicit_core::Symbol::intern("a")],
+            fields: vec![(
+                implicit_core::Symbol::intern("unbox"),
+                Type::var(implicit_core::Symbol::intern("a")),
+            )],
+        })
+        .unwrap();
+    let f = implicit_core::Symbol::intern("hk_g");
+    let pattern = Type::var_app(f, vec![Type::Bool]);
+    let target = Type::Con(implicit_core::Symbol::intern("BoxHK"), vec![Type::Bool]);
+    let theta = implicit_core::unify::match_type(&pattern, &target, &[f]).unwrap();
+    assert_eq!(
+        theta.get(f),
+        Some(&Type::Ctor(TyCon::Named(implicit_core::Symbol::intern("BoxHK"))))
+    );
+    assert_eq!(theta.apply_type(&pattern), target);
+}
+
+#[test]
+fn strict_mode_accepts_the_nested_show_program() {
+    let compiled = implicit_source::compile(NESTED_SHOW).unwrap();
+    Typechecker::new(&compiled.decls)
+        .strict()
+        .check_closed(&compiled.core)
+        .unwrap_or_else(|e| panic!("strict mode rejected the program: {e}"));
+}

@@ -1,0 +1,186 @@
+//! The paper's §1 motivating example, end to end: the non-regular
+//! datatype `Perfect f a` and its `Show`-style instance
+//!
+//! ```text
+//! instance (∀β. Show β ⇒ Show (f β), Show α) ⇒ Show (Perfect f α)
+//! ```
+//!
+//! which Haskell rejects ("it restricts instances to be first-order")
+//! and which motivated higher-order rules. Here the instance is a
+//! `letrec` with a higher-kinded, higher-order scheme; showing the
+//! tail `Perfect f (f a)` is a *polymorphically recursive* use whose
+//! implicit context is re-derived by resolution at every depth.
+
+use implicit_core::typeck::Typechecker;
+use implicit_source::compile;
+
+const PRELUDE: &str = r#"
+data Perfect f a = PNil | PCons a (Perfect f (f a))
+
+interface Twice a = { front : a, back : a }
+
+let show : forall a. {a -> String} => a -> String = ? in
+
+let showInt' : Int -> String = \n. showInt n in
+let showTwice : forall a. {a -> String} => Twice a -> String =
+  \t. "<" ++ show (front t) ++ "," ++ show (back t) ++ ">" in
+let showList : forall a. {a -> String} => [a] -> String =
+  fix go : [a] -> String. \xs.
+    case xs of
+      nil -> "[]"
+    | h :: t -> (case t of nil -> "[" ++ show h ++ "]"
+                         | h2 :: t2 -> "[" ++ show h ++ "|" ++ go t ++ "]")
+in
+
+-- §1's instance, as a higher-kinded + higher-order recursive rule.
+letrec showPerfect : forall f a.
+    {forall b. {b -> String} => f b -> String, a -> String}
+      => Perfect f a -> String =
+  \t. match t {
+        PNil -> "Nil"
+      | PCons x rest -> show x ++ " :: " ++ showPerfect rest
+      }
+in
+"#;
+
+fn run_source(src: &str) -> String {
+    let compiled = compile(src).unwrap_or_else(|err| panic!("compile failed: {err}\n{src}"));
+    implicit_elab::check_preservation(&compiled.decls, &compiled.core)
+        .unwrap_or_else(|err| panic!("preservation: {err}"));
+    let elab = implicit_elab::run(&compiled.decls, &compiled.core)
+        .unwrap_or_else(|err| panic!("elab run failed: {err}"));
+    let ops = implicit_opsem::eval(&compiled.decls, &compiled.core)
+        .unwrap_or_else(|err| panic!("opsem run failed: {err}"));
+    assert_eq!(elab.value.to_string(), ops.to_string(), "semantics disagree");
+    elab.value.to_string()
+}
+
+#[test]
+fn perfect_tree_with_twice_functor() {
+    // Cons 1 (Cons ⟨2,3⟩ Nil) : Perfect Twice Int — depth-2 perfect
+    // tree; the recursive call shows a `Twice Int`.
+    let src = format!(
+        "{PRELUDE}
+        let t : Perfect Twice Int =
+          PCons 1 (PCons (Twice {{ front = 2, back = 3 }}) PNil) in
+        implicit showInt', showTwice in showPerfect t"
+    );
+    assert_eq!(run_source(&src), "\"1 :: <2,3> :: Nil\"");
+}
+
+#[test]
+fn perfect_tree_depth_three_doubles_again() {
+    // Depth 3: the innermost element is Twice (Twice Int) — the
+    // instance's premise is used at two different instantiations in
+    // one run (polymorphic recursion).
+    let src = format!(
+        "{PRELUDE}
+        let inner : Twice (Twice Int) =
+          Twice {{ front = Twice {{ front = 2, back = 3 }},
+                   back  = Twice {{ front = 4, back = 5 }} }} in
+        let t : Perfect Twice Int =
+          PCons 1 (PCons (Twice {{ front = 6, back = 7 }}) (PCons inner PNil)) in
+        implicit showInt', showTwice in showPerfect t"
+    );
+    assert_eq!(run_source(&src), "\"1 :: <6,7> :: <<2,3>,<4,5>> :: Nil\"");
+}
+
+#[test]
+fn perfect_tree_with_list_functor() {
+    // The same instance works for f = List without any new code —
+    // the decoupling of resolution from a fixed concept type.
+    let src = format!(
+        "{PRELUDE}
+        let t : Perfect List Int =
+          PCons 1 (PCons (2 :: 3 :: nil) PNil) in
+        implicit showInt', showList in showPerfect t"
+    );
+    assert_eq!(run_source(&src), "\"1 :: [2|[3]] :: Nil\"");
+}
+
+#[test]
+fn perfect_kinds_are_inferred_from_the_declaration() {
+    let compiled = compile(&format!("{PRELUDE} 0")).unwrap();
+    let data = compiled
+        .decls
+        .lookup_data(implicit_core::Symbol::intern("Perfect"))
+        .expect("Perfect declared");
+    let kinds: Vec<usize> = data.params.iter().map(|(_, k)| *k).collect();
+    assert_eq!(kinds, vec![1, 0], "f : * → *, a : *");
+}
+
+#[test]
+fn strict_mode_documents_the_notes_known_restriction() {
+    // The companion note admits its naive uniqueness condition
+    // over-rejects exactly this shape: "Assume we have the most
+    // general pretty printer … and [a] polymorphic pretty printer
+    // for lists which takes a pretty printer for an element type
+    // implicitly. A program having such pretty printers is natural
+    // but it will be rejected by naive restriction." Our strict mode
+    // implements that (deliberately) naive condition, so it rejects
+    // the Perfect instance at the recursive `with` site — while the
+    // default checker and both semantics accept and run it.
+    let src = format!(
+        "{PRELUDE}
+        let t : Perfect Twice Int = PCons 1 (PCons (Twice {{ front = 2, back = 3 }}) PNil) in
+        implicit showInt', showTwice in showPerfect t"
+    );
+    let compiled = compile(&src).unwrap();
+    assert!(Typechecker::new(&compiled.decls)
+        .check_closed(&compiled.core)
+        .is_ok());
+    let err = Typechecker::new(&compiled.decls)
+        .strict()
+        .check_closed(&compiled.core)
+        .unwrap_err();
+    assert!(
+        matches!(err, implicit_core::TypeError::Coherence(_)),
+        "got {err:?}"
+    );
+}
+
+#[test]
+fn core_level_data_and_match() {
+    // data + con + match in the core concrete syntax.
+    let src = r#"
+        data Shape = Circle Int | Square Int Int
+        match con Square (3, 4) {
+          Circle r -> r * r
+        | Square w h -> w * h
+        }
+    "#;
+    let (decls, e) = implicit_core::parse::parse_program(src).unwrap();
+    let ty = Typechecker::new(&decls).check_closed(&e).unwrap();
+    assert_eq!(ty, implicit_core::Type::Int);
+    let out = implicit_elab::run(&decls, &e).unwrap();
+    assert_eq!(out.value.to_string(), "12");
+    let v = implicit_opsem::eval(&decls, &e).unwrap();
+    assert_eq!(v.to_string(), "12");
+}
+
+#[test]
+fn non_exhaustive_matches_are_rejected() {
+    let src = r#"
+        data Shape = Circle Int | Square Int Int
+        match con Circle (5) { Circle r -> r }
+    "#;
+    let (decls, e) = implicit_core::parse::parse_program(src).unwrap();
+    let err = Typechecker::new(&decls).check_closed(&e).unwrap_err();
+    assert!(
+        matches!(err, implicit_core::TypeError::BadMatch { .. }),
+        "got {err:?}"
+    );
+}
+
+#[test]
+fn data_values_print_constructor_applications() {
+    let src = r#"
+        data Tree = Leaf | Node Tree Int Tree
+        con Node (con Node (con Leaf (), 1, con Leaf ()), 2, con Leaf ())
+    "#;
+    let (decls, e) = implicit_core::parse::parse_program(src).unwrap();
+    let out = implicit_elab::run(&decls, &e).unwrap();
+    assert_eq!(out.value.to_string(), "Node (Node Leaf 1 Leaf) 2 Leaf");
+    let v = implicit_opsem::eval(&decls, &e).unwrap();
+    assert_eq!(v.to_string(), "Node (Node Leaf 1 Leaf) 2 Leaf");
+}

@@ -1,0 +1,133 @@
+//! Differential tests across resolution policies (the §3.2 and
+//! companion-note design space): the paper's `TyRes` vs. the
+//! environment-extension variant vs. most-specific overlap handling,
+//! and both vs. the backtracking semantic entailment.
+
+use genprog::{chain_env, gen_program, partial_env, rng, GenConfig};
+use implicit_core::env::ImplicitEnv;
+use implicit_core::logic;
+use implicit_core::parse::parse_rule_type;
+use implicit_core::resolve::{resolve, ResolutionPolicy};
+use implicit_core::syntax::Declarations;
+use implicit_core::typeck::Typechecker;
+
+#[test]
+fn extension_policy_subsumes_paper_policy() {
+    // Every query the paper rule resolves, the extension variant
+    // resolves too (it only *adds* assumption frames to consult), and
+    // with the same derivation whenever no extension frame is used.
+    let paper = ResolutionPolicy::paper().with_max_depth(1024);
+    let ext = paper.clone().with_env_extension();
+    let cases: Vec<(ImplicitEnv, implicit_core::syntax::RuleType)> = vec![
+        chain_env(6),
+        partial_env(5, 2),
+        partial_env(5, 0),
+        chain_env(0),
+    ];
+    for (env, q) in cases {
+        let r_paper = resolve(&env, &q, &paper);
+        let r_ext = resolve(&env, &q, &ext);
+        match (r_paper, r_ext) {
+            (Ok(a), Ok(b)) => {
+                assert!(!a.uses_extension());
+                if !b.uses_extension() {
+                    assert_eq!(a, b, "derivations must coincide without extension use");
+                }
+            }
+            (Err(_), _) => {} // extension may or may not succeed
+            (Ok(a), Err(e)) => panic!("extension lost a paper-resolvable query {}: {e}", a.query),
+        }
+    }
+}
+
+#[test]
+fn most_specific_agrees_with_paper_when_paper_succeeds() {
+    // On overlap-free environments, both policies produce identical
+    // derivations for every generated program's queries; check at the
+    // whole-program level via the type checker.
+    let decls = Declarations::new();
+    let mut r = rng(0x90C1);
+    let paper = Typechecker::new(&decls);
+    for i in 0..100 {
+        let p = gen_program(&mut r, &GenConfig::default());
+        let t1 = paper.check_closed(&p.expr).unwrap_or_else(|e| panic!("{i}: {e}"));
+        let ms = Typechecker::with_policy(
+            &decls,
+            ResolutionPolicy::paper().with_most_specific(),
+        );
+        let t2 = ms.check_closed(&p.expr).unwrap_or_else(|e| panic!("{i}: {e}"));
+        assert!(implicit_core::typeck::types_equal(&t1, &t2));
+    }
+}
+
+#[test]
+fn resolution_is_sound_wrt_backtracking_entailment() {
+    // ⊢r ⊆ ⊨ on the workload families (Theorem 1's other half: ⊨ can
+    // be strictly larger).
+    for (env, q) in [chain_env(4), partial_env(4, 2), partial_env(3, 3)] {
+        if resolve(&env, &q, &ResolutionPolicy::paper()).is_ok() {
+            assert!(logic::entails(&env, &q, 64));
+        }
+    }
+}
+
+#[test]
+fn nearest_commitment_is_the_price_of_no_backtracking() {
+    // The §3.2 gap: a nearer non-viable rule blocks resolution while
+    // entailment (with backtracking) succeeds. The most-specific
+    // policy does NOT help — it only changes intra-frame choice.
+    let mut env = ImplicitEnv::new();
+    env.push(vec![parse_rule_type("String").unwrap()]);
+    env.push(vec![parse_rule_type("{String} => Int").unwrap()]);
+    env.push(vec![parse_rule_type("{Bool} => Int").unwrap()]);
+    let q = parse_rule_type("Int").unwrap();
+    assert!(resolve(&env, &q, &ResolutionPolicy::paper()).is_err());
+    assert!(resolve(&env, &q, &ResolutionPolicy::paper().with_most_specific()).is_err());
+    assert!(resolve(&env, &q, &ResolutionPolicy::paper().with_env_extension()).is_err());
+    assert!(logic::entails(&env, &q, 32));
+}
+
+#[test]
+fn strict_mode_accepts_all_generated_programs() {
+    // The generator only emits coherent, terminating scopes, so the
+    // strict checker (termination + coherence conditions) must accept
+    // everything it produces.
+    let decls = Declarations::new();
+    let mut r = rng(0x57121C7);
+    for i in 0..100 {
+        let p = gen_program(&mut r, &GenConfig::default());
+        Typechecker::new(&decls)
+            .strict()
+            .check_closed(&p.expr)
+            .unwrap_or_else(|e| panic!("strict rejected generated program {i}: {e}\n{}", p.expr));
+    }
+}
+
+#[test]
+fn opsem_respects_policy_choice() {
+    let decls = Declarations::new();
+    // Exact evidence outranks a general rule even under the default
+    // runtime policy (it is what positional elaboration would use):
+    let src = "implicit {rule (forall a. a -> a) ((\\x : a. x)) : forall a. a -> a, \
+                         (\\n : Int. n + 1) : Int -> Int} \
+               in ?(Int -> Int) 1 : Int";
+    let e = implicit_core::parse::parse_expr(src).unwrap();
+    let v = implicit_opsem::eval(&decls, &e).unwrap();
+    assert_eq!(v.to_string(), "2");
+    // …while the *static* checker still rejects the overlapping set.
+    assert!(Typechecker::new(&decls).check_closed(&e).is_err());
+
+    // Genuinely incomparable overlap (no exact entry) errors under
+    // the paper policy and stays an error even under most-specific.
+    let src2 = "implicit {rule (forall a. a -> Int) ((\\x : a. 1)) : forall a. a -> Int, \
+                          rule (forall a. Int -> a) ((\\x : Int. ?(a))) : forall a. Int -> a} \
+                in ?(Int -> Int) 0 : Int";
+    let e2 = implicit_core::parse::parse_expr(src2).unwrap();
+    let err = implicit_opsem::eval(&decls, &e2).unwrap_err();
+    assert!(matches!(err, implicit_opsem::OpsemError::Overlap { .. }));
+    let err2 = implicit_opsem::Interpreter::new(&decls)
+        .with_policy(ResolutionPolicy::paper().with_most_specific())
+        .eval(&e2)
+        .unwrap_err();
+    assert!(matches!(err2, implicit_opsem::OpsemError::Overlap { .. }));
+}

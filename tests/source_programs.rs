@@ -1,0 +1,170 @@
+//! Full-pipeline tests of the §5 source language (P3/P5, E13, E14,
+//! E18 in `DESIGN.md`): parse → infer → encode into λ⇒ → type-check
+//! (resolving all implicits) → elaborate to System F → evaluate, plus
+//! the direct interpreter for agreement.
+
+use implicit_source::compile;
+
+fn run_source(src: &str) -> String {
+    let compiled = compile(src).unwrap_or_else(|err| panic!("compile failed: {err}\n{src}"));
+    implicit_elab::check_preservation(&compiled.decls, &compiled.core)
+        .unwrap_or_else(|err| panic!("preservation: {err}"));
+    let elab = implicit_elab::run(&compiled.decls, &compiled.core)
+        .unwrap_or_else(|err| panic!("elab run failed: {err}"));
+    let ops = implicit_opsem::eval(&compiled.decls, &compiled.core)
+        .unwrap_or_else(|err| panic!("opsem run failed: {err}"));
+    assert_eq!(elab.value.to_string(), ops.to_string(), "semantics disagree");
+    elab.value.to_string()
+}
+
+const EQ_PROGRAM: &str = r#"
+interface Eq a = { eq : a -> a -> Bool }
+
+let eqv : forall a. {Eq a} => a -> a -> Bool = eq ? in
+let isEven : Int -> Bool = \x. x % 2 == 0 in
+
+let eqInt1 : Eq Int  = Eq { eq = \x. \y. x == y } in
+let eqInt2 : Eq Int  = Eq { eq = \x. \y. isEven x && isEven y } in
+let eqBool : Eq Bool = Eq { eq = \x. \y. x == y } in
+let eqPair : forall a b. {Eq a, Eq b} => Eq (a * b) =
+  Eq { eq = \x. \y. eqv (fst x) (fst y) && eqv (snd x) (snd y) } in
+
+let p1 : Int * Bool = (4, true) in
+let p2 : Int * Bool = (8, true) in
+
+implicit eqInt1, eqBool, eqPair in
+  (eqv p1 p2, implicit eqInt2 in eqv p1 p2)
+"#;
+
+#[test]
+fn e13_figure_eq_typeclass_returns_false_true() {
+    assert_eq!(run_source(EQ_PROGRAM), "(false, true)");
+}
+
+#[test]
+fn e14_higher_order_show_returns_both_renderings() {
+    let src = r#"
+        let show : forall a. {a -> String} => a -> String = ? in
+        let showInt' : Int -> String = \n. showInt n in
+        let comma : forall a. {a -> String} => [a] -> String =
+          fix go : [a] -> String. \xs.
+            case xs of
+              nil -> ""
+            | h :: t -> (case t of nil -> show h | h2 :: t2 -> show h ++ "," ++ go t)
+        in
+        let space : forall a. {a -> String} => [a] -> String =
+          fix go : [a] -> String. \xs.
+            case xs of
+              nil -> ""
+            | h :: t -> (case t of nil -> show h | h2 :: t2 -> show h ++ " " ++ go t)
+        in
+        let o : {Int -> String, {Int -> String} => [Int] -> String} => String =
+          show (1 :: 2 :: 3 :: nil)
+        in
+        implicit showInt' in
+          (implicit comma in o, implicit space in o)
+    "#;
+    assert_eq!(run_source(src), "(\"1,2,3\", \"1 2 3\")");
+}
+
+#[test]
+fn e18_placeholder_query_like_coq() {
+    // §5: `eq ? p₁ p₂` uses the query as a Coq-style placeholder.
+    let src = r#"
+        interface Eq a = { eq : a -> a -> Bool }
+        let eqInt : Eq Int = Eq { eq = \x. \y. x == y } in
+        implicit eqInt in eq ? 4 8
+    "#;
+    assert_eq!(run_source(src), "false");
+}
+
+#[test]
+fn nested_instance_override_is_local() {
+    // The inner scope's instance must not leak out.
+    let src = r#"
+        interface Eq a = { eq : a -> a -> Bool }
+        let eqv : forall a. {Eq a} => a -> a -> Bool = eq ? in
+        let eqInt1 : Eq Int = Eq { eq = \x. \y. x == y } in
+        let eqInt2 : Eq Int = Eq { eq = \x. \y. true } in
+        implicit eqInt1 in
+          ((implicit eqInt2 in eqv 1 2), eqv 1 2)
+    "#;
+    assert_eq!(run_source(src), "(true, false)");
+}
+
+#[test]
+fn recursive_instances_compose_deeply() {
+    // Eq over nested pairs exercises recursive resolution depth 3.
+    let src = r#"
+        interface Eq a = { eq : a -> a -> Bool }
+        let eqv : forall a. {Eq a} => a -> a -> Bool = eq ? in
+        let eqInt : Eq Int = Eq { eq = \x. \y. x == y } in
+        let eqPair : forall a b. {Eq a, Eq b} => Eq (a * b) =
+          Eq { eq = \x. \y. eqv (fst x) (fst y) && eqv (snd x) (snd y) } in
+        implicit eqInt, eqPair in
+          eqv ((1, (2, 3)), 4) ((1, (2, 3)), 4)
+    "#;
+    assert_eq!(run_source(src), "true");
+}
+
+#[test]
+fn structural_concepts_with_plain_functions() {
+    // §5's point that resolution works for any type: a plain function
+    // type models the concept.
+    let src = r#"
+        let show : forall a. {a -> String} => a -> String = ? in
+        let showBool : Bool -> String = \b. if b then "yes" else "no" in
+        implicit showBool in show true
+    "#;
+    assert_eq!(run_source(src), "\"yes\"");
+}
+
+#[test]
+fn ord_style_interface_with_superclass_like_usage() {
+    // A second interface, used side by side with Eq, to check that
+    // multiple interfaces coexist.
+    let src = r#"
+        interface Eq a  = { eq : a -> a -> Bool }
+        interface Ord a = { lte : a -> a -> Bool }
+        let eqInt : Eq Int = Eq { eq = \x. \y. x == y } in
+        let ordInt : Ord Int = Ord { lte = \x. \y. x <= y } in
+        implicit eqInt, ordInt in
+          (eq ? 3 3, lte ? 3 4)
+    "#;
+    assert_eq!(run_source(src), "(true, true)");
+}
+
+#[test]
+fn local_functions_and_recursion() {
+    let src = r#"
+        let sum : [Int] -> Int =
+          fix go : [Int] -> Int. \xs.
+            case xs of nil -> 0 | h :: t -> h + go t
+        in sum (1 :: 2 :: 3 :: 4 :: nil)
+    "#;
+    assert_eq!(run_source(src), "10");
+}
+
+#[test]
+fn compile_reports_unresolvable_contexts() {
+    let src = r#"
+        interface Eq a = { eq : a -> a -> Bool }
+        let eqv : forall a. {Eq a} => a -> a -> Bool = eq ? in
+        eqv 1 2
+    "#;
+    let err = compile(src).unwrap_err();
+    assert!(
+        matches!(err, implicit_source::CompileError::Core(_)),
+        "expected a resolution failure, got {err:?}"
+    );
+}
+
+#[test]
+fn compile_reports_ambiguous_queries() {
+    // A query with no constraining context cannot be inferred.
+    let err = compile("let x : Int = 1 in implicit x in ?").unwrap_err();
+    assert!(
+        matches!(err, implicit_source::CompileError::Infer(_)),
+        "expected an inference failure, got {err:?}"
+    );
+}
