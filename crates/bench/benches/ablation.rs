@@ -21,7 +21,11 @@ fn ablation_policies(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_policies");
     for n in [4usize, 16, 64] {
         let (env, query) = chain_env(n);
-        let paper = ResolutionPolicy::paper().with_max_depth(4096);
+        // Cache off: B7 compares the per-resolution cost of the
+        // policies themselves (B12 measures the derivation cache).
+        let paper = ResolutionPolicy::paper()
+            .with_max_depth(4096)
+            .without_cache();
         let ext = paper.clone().with_env_extension();
         let most_specific = paper.clone().with_most_specific();
         g.bench_with_input(BenchmarkId::new("paper", n), &n, |b, _| {
@@ -36,9 +40,11 @@ fn ablation_policies(c: &mut Criterion) {
         // The semantic prover with full backtracking — the road not
         // taken (§3.2 rejects it for predictability and cost).
         if n <= 16 {
-            g.bench_with_input(BenchmarkId::new("backtracking_entailment", n), &n, |b, _| {
-                b.iter(|| black_box(logic::entails(black_box(&env), &query, 4096)))
-            });
+            g.bench_with_input(
+                BenchmarkId::new("backtracking_entailment", n),
+                &n,
+                |b, _| b.iter(|| black_box(logic::entails(black_box(&env), &query, 4096))),
+            );
         }
     }
     g.finish();

@@ -13,8 +13,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use implicit_bench::{
-    chain_program, distinct_type, eq_source_program, perfect_source_program,
-    show_source_program,
+    chain_program, distinct_type, eq_source_program, perfect_source_program, show_source_program,
 };
 use implicit_core::syntax::Declarations;
 use implicit_core::unify;
@@ -60,9 +59,11 @@ fn source_pipeline(c: &mut Criterion) {
     // resolution + polymorphic recursion through the whole pipeline.
     for depth in [1usize, 2, 3, 4] {
         let src = perfect_source_program(depth);
-        g.bench_with_input(BenchmarkId::new("perfect_compile", depth), &depth, |b, _| {
-            b.iter(|| black_box(implicit_source::compile(black_box(&src)).unwrap()))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("perfect_compile", depth),
+            &depth,
+            |b, _| b.iter(|| black_box(implicit_source::compile(black_box(&src)).unwrap())),
+        );
         let compiled = implicit_source::compile(&src).unwrap();
         g.bench_with_input(BenchmarkId::new("perfect_run", depth), &depth, |b, _| {
             b.iter(|| {
@@ -107,10 +108,8 @@ fn unification(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("match", size), &size, |b, _| {
             b.iter(|| black_box(unify::match_type(&pattern, black_box(&target), &[a]).unwrap()))
         });
-        let mismatch = implicit_core::syntax::Type::prod(
-            distinct_type(size),
-            distinct_type(size + 1),
-        );
+        let mismatch =
+            implicit_core::syntax::Type::prod(distinct_type(size), distinct_type(size + 1));
         g.bench_with_input(BenchmarkId::new("match_fail", size), &size, |b, _| {
             b.iter(|| black_box(unify::match_type(&pattern, black_box(&mismatch), &[a])))
         });

@@ -9,18 +9,27 @@
 //!   polymorphic candidates.
 //! * B4 `partial_resolution` — higher-order queries: how the split
 //!   between assumed and recursively resolved premises affects cost.
+//! * B12 `cached_resolution` — repeated queries with the derivation
+//!   cache on vs. off.
+//!
+//! B1–B4 and B10 disable the derivation cache: they measure how raw
+//! resolution cost scales, and with the cache on every iteration
+//! after the first would be a constant-time hit. B12 measures the
+//! cache itself.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
-use implicit_bench::{chain_env, deep_stack_env, partial_env, poly_env, wide_env};
+use implicit_bench::{chain_env, deep_stack_env, partial_env, poly_env, poly_wide_env, wide_env};
 use implicit_core::resolve::{resolve, ResolutionPolicy};
 
 fn resolution_depth(c: &mut Criterion) {
     let mut g = c.benchmark_group("resolution_depth");
     for n in [1usize, 4, 16, 64, 256] {
         let (env, query) = chain_env(n);
-        let policy = ResolutionPolicy::paper().with_max_depth(4096);
+        let policy = ResolutionPolicy::paper()
+            .with_max_depth(4096)
+            .without_cache();
         g.throughput(Throughput::Elements(n as u64));
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
@@ -36,14 +45,14 @@ fn environment_size(c: &mut Criterion) {
     let mut g = c.benchmark_group("environment_size");
     for n in [8usize, 32, 128, 512] {
         let (env, query) = wide_env(n, 1.0);
-        let policy = ResolutionPolicy::paper();
+        let policy = ResolutionPolicy::paper().without_cache();
         g.bench_with_input(BenchmarkId::new("wide_frame", n), &n, |b, _| {
             b.iter(|| black_box(resolve(black_box(&env), black_box(&query), &policy).unwrap()))
         });
     }
     for n in [8usize, 32, 128, 512] {
         let (env, query) = deep_stack_env(n);
-        let policy = ResolutionPolicy::paper();
+        let policy = ResolutionPolicy::paper().without_cache();
         g.bench_with_input(BenchmarkId::new("deep_stack", n), &n, |b, _| {
             b.iter(|| black_box(resolve(black_box(&env), black_box(&query), &policy).unwrap()))
         });
@@ -55,7 +64,7 @@ fn polymorphic_matching(c: &mut Criterion) {
     let mut g = c.benchmark_group("polymorphic_matching");
     for n in [4usize, 16, 64, 256] {
         let (env, query) = poly_env(n);
-        let policy = ResolutionPolicy::paper();
+        let policy = ResolutionPolicy::paper().without_cache();
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| black_box(resolve(black_box(&env), black_box(&query), &policy).unwrap()))
         });
@@ -68,14 +77,12 @@ fn partial_resolution(c: &mut Criterion) {
     let n = 12usize;
     for assumed in [0usize, 4, 8, 12] {
         let (env, query) = partial_env(n, assumed);
-        let policy = ResolutionPolicy::paper();
+        let policy = ResolutionPolicy::paper().without_cache();
         g.bench_with_input(
             BenchmarkId::new(format!("assumed_of_{n}"), assumed),
             &assumed,
             |b, _| {
-                b.iter(|| {
-                    black_box(resolve(black_box(&env), black_box(&query), &policy).unwrap())
-                })
+                b.iter(|| black_box(resolve(black_box(&env), black_box(&query), &policy).unwrap()))
             },
         );
     }
@@ -88,12 +95,65 @@ fn higher_kinded_depth(c: &mut Criterion) {
     let mut g = c.benchmark_group("higher_kinded_depth");
     for n in [1usize, 4, 16, 64] {
         let (env, query) = genprog::hk_nested_env(n);
-        let policy = ResolutionPolicy::paper().with_max_depth(4096);
+        let policy = ResolutionPolicy::paper()
+            .with_max_depth(4096)
+            .without_cache();
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
                 let r = resolve(black_box(&env), black_box(&query), &policy).unwrap();
                 black_box(r.steps())
             })
+        });
+    }
+    g.finish();
+}
+
+fn cached_resolution(c: &mut Criterion) {
+    // B12: the same query resolved repeatedly against an unchanged
+    // environment — after the first resolution the derivation cache
+    // answers from the memo, so the cached series should sit far
+    // below the uncached one and stay flat in `n`.
+    let mut g = c.benchmark_group("cached_resolution");
+    for n in [16usize, 64, 256] {
+        let (env, query) = chain_env(n);
+        let cached = ResolutionPolicy::paper().with_max_depth(4096);
+        let uncached = cached.clone().without_cache();
+        g.bench_with_input(BenchmarkId::new("chain_cached", n), &n, |b, _| {
+            resolve(&env, &query, &cached).unwrap(); // warm the cache
+            b.iter(|| black_box(resolve(black_box(&env), black_box(&query), &cached).unwrap()))
+        });
+        g.bench_with_input(BenchmarkId::new("chain_uncached", n), &n, |b, _| {
+            b.iter(|| black_box(resolve(black_box(&env), black_box(&query), &uncached).unwrap()))
+        });
+    }
+    // Plain wide_env: the head index already filters every decoy, so
+    // uncached lookup is O(1) and the cache's margin is small — kept
+    // as a control series.
+    for n in [32usize, 128, 512] {
+        let (env, query) = wide_env(n, 1.0);
+        let cached = ResolutionPolicy::paper();
+        let uncached = cached.clone().without_cache();
+        g.bench_with_input(BenchmarkId::new("wide_cached", n), &n, |b, _| {
+            resolve(&env, &query, &cached).unwrap(); // warm the cache
+            b.iter(|| black_box(resolve(black_box(&env), black_box(&query), &cached).unwrap()))
+        });
+        g.bench_with_input(BenchmarkId::new("wide_uncached", n), &n, |b, _| {
+            b.iter(|| black_box(resolve(black_box(&env), black_box(&query), &uncached).unwrap()))
+        });
+    }
+    // poly_wide_env: every decoy shares the query's head constructor,
+    // so the index admits all of them and only the cache can make
+    // repeated lookups sublinear.
+    for n in [32usize, 128, 512] {
+        let (env, query) = poly_wide_env(n);
+        let cached = ResolutionPolicy::paper();
+        let uncached = cached.clone().without_cache();
+        g.bench_with_input(BenchmarkId::new("poly_wide_cached", n), &n, |b, _| {
+            resolve(&env, &query, &cached).unwrap(); // warm the cache
+            b.iter(|| black_box(resolve(black_box(&env), black_box(&query), &cached).unwrap()))
+        });
+        g.bench_with_input(BenchmarkId::new("poly_wide_uncached", n), &n, |b, _| {
+            b.iter(|| black_box(resolve(black_box(&env), black_box(&query), &uncached).unwrap()))
         });
     }
     g.finish();
@@ -105,6 +165,7 @@ criterion_group!(
     environment_size,
     polymorphic_matching,
     partial_resolution,
-    higher_kinded_depth
+    higher_kinded_depth,
+    cached_resolution
 );
 criterion_main!(benches);

@@ -12,7 +12,8 @@
 #![forbid(unsafe_code)]
 
 pub use genprog::{
-    chain_env, chain_program, deep_stack_env, distinct_type, partial_env, poly_env, wide_env,
+    chain_env, chain_program, deep_stack_env, distinct_type, partial_env, poly_env, poly_wide_env,
+    wide_env,
 };
 
 /// The Figure-"Encoding the Equality Type Class" program (§5),
@@ -111,8 +112,7 @@ mod tests {
     fn eq_programs_compile_and_run_at_every_depth() {
         for d in [0, 1, 3] {
             let src = eq_source_program(d);
-            let c = implicit_source::compile(&src)
-                .unwrap_or_else(|e| panic!("depth {d}: {e}"));
+            let c = implicit_source::compile(&src).unwrap_or_else(|e| panic!("depth {d}: {e}"));
             let out = implicit_elab::run(&c.decls, &c.core).unwrap();
             assert_eq!(out.value.to_string(), "true", "depth {d}");
         }

@@ -192,8 +192,16 @@ mod tests {
 
     #[test]
     fn bound_variable_names_do_not_matter() {
-        let ra = RuleType::new(vec![v("a")], vec![tv("a").promote()], Type::prod(tv("a"), tv("a")));
-        let rb = RuleType::new(vec![v("b")], vec![tv("b").promote()], Type::prod(tv("b"), tv("b")));
+        let ra = RuleType::new(
+            vec![v("a")],
+            vec![tv("a").promote()],
+            Type::prod(tv("a"), tv("a")),
+        );
+        let rb = RuleType::new(
+            vec![v("b")],
+            vec![tv("b").promote()],
+            Type::prod(tv("b"), tv("b")),
+        );
         assert!(alpha_eq(&ra, &rb));
     }
 

@@ -230,8 +230,7 @@ pub fn exists_deferred(context: &[RuleType]) -> Result<(), CoherenceError> {
                 // are shared program variables); its quantifiers are
                 // fresh and untouched.
                 let head = sigma.apply_type(fr.head());
-                let head_flex: std::collections::BTreeSet<_> =
-                    fr.vars().iter().copied().collect();
+                let head_flex: std::collections::BTreeSet<_> = fr.vars().iter().copied().collect();
                 pattern_variants(&head, &head_flex, &meet, &meet_flex)
             });
             if !covered {
@@ -573,17 +572,18 @@ mod tests {
         let policy = ResolutionPolicy::paper();
         // Rival in a nearer frame: unstable.
         let mut env = ImplicitEnv::new();
-        env.push(vec![RuleType::new(vec![v("a")], vec![], Type::arrow(tv("a"), tv("a")))]);
+        env.push(vec![RuleType::new(
+            vec![v("a")],
+            vec![],
+            Type::arrow(tv("a"), tv("a")),
+        )]);
         env.push(vec![Type::arrow(Type::Int, Type::Int).promote()]);
         assert!(matches!(
             query_stability(&env, &query, &policy),
             Err(CoherenceError::UnstableQuery { .. })
         ));
         // Same-frame siblings are deferred to `with`-site checks.
-        let env2 = ImplicitEnv::with_frame(vec![
-            tv("x").promote(),
-            tv("y").promote(),
-        ]);
+        let env2 = ImplicitEnv::with_frame(vec![tv("x").promote(), tv("y").promote()]);
         let q2 = tv("x").promote();
         assert!(query_stability(&env2, &q2, &policy).is_ok());
         // Ground queries are always stable.

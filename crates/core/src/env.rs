@@ -10,15 +10,37 @@
 //! *most-specific* overlap policy from the companion note on
 //! overlapping rules is selected, in which case a unique most specific
 //! match is chosen.
+//!
+//! # Fast paths
+//!
+//! Lookup is the inner loop of resolution, so frames carry a
+//! *head-constructor index* ([`crate::intern::HeadKey`]): rules are
+//! bucketed by the outermost constructor of their head when the frame
+//! is pushed, and a lookup consults only the bucket matching the
+//! target's head plus the bucket of variable-headed (wildcard) rules.
+//! Matching itself short-circuits for quantifier-free rules with
+//! ground heads via the hash-consing arena ([`crate::intern`]).
+//!
+//! The environment additionally owns a **memoized derivation cache**
+//! for full resolutions (consulted by [`crate::resolve`] when
+//! [`crate::resolve::ResolutionPolicy::cache`] is on). Entries are
+//! invalidated *scope-aware*: pushing a frame drops exactly the
+//! entries whose derivations looked up a head the new frame could
+//! shadow, and popping drops exactly the entries whose derivations
+//! used a rule from a popped frame.
 
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 
+use crate::intern::{self, GroundCheck, HeadKey, RuleId};
+use crate::resolve::Resolution;
 use crate::subst::{freshen_rule, TySubst};
 use crate::syntax::{RuleType, Type};
 use crate::unify;
 
 /// How lookup treats several matching rules within one frame.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
 pub enum OverlapPolicy {
     /// The paper's `no_overlap` condition: more than one match within
     /// a frame is an error (default).
@@ -93,6 +115,151 @@ impl fmt::Display for LookupError {
 
 impl std::error::Error for LookupError {}
 
+/// One environment frame: the stored rules plus a head-constructor
+/// index built when the frame is pushed.
+///
+/// `buckets[k]` holds the (ascending) indices of rules whose head has
+/// the non-wildcard key `k`; `wildcard` holds the indices of
+/// variable-headed rules, which can match any target.
+#[derive(Clone, Debug)]
+struct Frame {
+    rules: Vec<RuleType>,
+    buckets: HashMap<HeadKey, Vec<usize>>,
+    wildcard: Vec<usize>,
+}
+
+impl Frame {
+    fn new(rules: Vec<RuleType>) -> Frame {
+        let mut buckets: HashMap<HeadKey, Vec<usize>> = HashMap::new();
+        let mut wildcard = Vec::new();
+        for (ix, rule) in rules.iter().enumerate() {
+            match intern::head_key(rule.head()) {
+                HeadKey::Wildcard => wildcard.push(ix),
+                key => buckets.entry(key).or_default().push(ix),
+            }
+        }
+        Frame {
+            rules,
+            buckets,
+            wildcard,
+        }
+    }
+
+    fn specific(&self, target_key: HeadKey) -> &[usize] {
+        if target_key == HeadKey::Wildcard {
+            // A variable-headed target is matched only by
+            // variable-headed rules.
+            &[]
+        } else {
+            self.buckets
+                .get(&target_key)
+                .map(Vec::as_slice)
+                .unwrap_or(&[])
+        }
+    }
+
+    /// Indices of the rules whose head could match a target with the
+    /// given key, in frame order.
+    fn candidate_indices(&self, target_key: HeadKey) -> Vec<usize> {
+        merge_sorted(self.specific(target_key), &self.wildcard)
+    }
+
+    /// How many rules the index admits for the given target key (the
+    /// per-frame work a lookup performs).
+    fn candidate_count(&self, target_key: HeadKey) -> usize {
+        self.specific(target_key).len() + self.wildcard.len()
+    }
+}
+
+/// Merges two ascending index lists into one ascending list.
+fn merge_sorted(a: &[usize], b: &[usize]) -> Vec<usize> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i] < b[j] {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// Default bound on the number of memoized derivations (FIFO
+/// eviction past it).
+pub const DEFAULT_CACHE_CAPACITY: usize = 1024;
+
+/// Cumulative derivation-cache counters for one environment.
+#[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
+pub struct CacheCounters {
+    /// Successful cache consultations.
+    pub hits: u64,
+    /// Consultations that found no entry.
+    pub misses: u64,
+    /// Entries dropped to make room (not invalidations).
+    pub evictions: u64,
+}
+
+/// One memoized derivation plus the facts its invalidation needs.
+#[derive(Clone, Debug)]
+struct CacheEntry {
+    resolution: Resolution,
+    /// Environment depth at insertion time; hits at a different depth
+    /// shift the derivation's innermost-first frame indices by the
+    /// difference.
+    cached_depth: usize,
+    /// Head keys of every type the derivation looked up (dedup'd): a
+    /// pushed frame invalidates the entry iff it contains a rule that
+    /// could match one of these.
+    target_keys: Vec<HeadKey>,
+    /// Largest *absolute* frame position (0 = outermost) of any rule
+    /// the derivation used: popping to a depth ≤ this position
+    /// removes a used rule, invalidating the entry.
+    max_abs_frame: usize,
+}
+
+#[derive(Clone, Debug)]
+struct DerivationCache {
+    entries: HashMap<(RuleId, OverlapPolicy), CacheEntry>,
+    /// Insertion order for FIFO eviction; may contain keys whose
+    /// entry was invalidated (skipped, not counted, when evicting).
+    order: VecDeque<(RuleId, OverlapPolicy)>,
+    capacity: usize,
+    generation: u64,
+    counters: CacheCounters,
+}
+
+impl Default for DerivationCache {
+    fn default() -> DerivationCache {
+        DerivationCache {
+            entries: HashMap::new(),
+            order: VecDeque::new(),
+            capacity: DEFAULT_CACHE_CAPACITY,
+            generation: 0,
+            counters: CacheCounters::default(),
+        }
+    }
+}
+
+impl DerivationCache {
+    /// Evicts FIFO-oldest entries until at most `room_for` slots are
+    /// occupied, skipping order keys whose entry is already gone.
+    fn evict_to(&mut self, room_for: usize) {
+        while self.entries.len() > room_for {
+            let Some(old) = self.order.pop_front() else {
+                break;
+            };
+            if self.entries.remove(&old).is_some() {
+                self.counters.evictions += 1;
+            }
+        }
+    }
+}
+
 /// The implicit environment Δ: a stack of contexts.
 ///
 /// # Examples
@@ -109,7 +276,10 @@ impl std::error::Error for LookupError {}
 #[derive(Clone, Default, Debug)]
 pub struct ImplicitEnv {
     /// Outermost first; `frames.last()` is the nearest scope.
-    frames: Vec<Vec<RuleType>>,
+    frames: Vec<Frame>,
+    /// Memoized derivations (interior mutability: resolution works on
+    /// `&ImplicitEnv`).
+    cache: RefCell<DerivationCache>,
 }
 
 impl ImplicitEnv {
@@ -126,13 +296,45 @@ impl ImplicitEnv {
     }
 
     /// Pushes a context as the new nearest frame.
+    ///
+    /// Cached derivations that looked up a head the new frame could
+    /// shadow are invalidated; the rest stay valid (the new frame
+    /// cannot change what they resolved).
     pub fn push(&mut self, frame: Vec<RuleType>) {
+        let frame = Frame::new(frame);
+        {
+            let mut cache = self.cache.borrow_mut();
+            cache.generation += 1;
+            if !cache.entries.is_empty() {
+                if frame.wildcard.is_empty() {
+                    let keys: Vec<HeadKey> = frame.buckets.keys().copied().collect();
+                    cache.entries.retain(|_, e| {
+                        !e.target_keys
+                            .iter()
+                            .any(|t| keys.iter().any(|c| c.admits(*t)))
+                    });
+                } else {
+                    // A variable-headed rule can match any target.
+                    cache.entries.clear();
+                }
+            }
+        }
         self.frames.push(frame);
     }
 
     /// Pops the nearest frame.
+    ///
+    /// Cached derivations that used a rule from the popped frame (or
+    /// from frames already gone) are invalidated; derivations that
+    /// only used surviving frames stay valid.
     pub fn pop(&mut self) -> Option<Vec<RuleType>> {
-        self.frames.pop()
+        let frame = self.frames.pop()?;
+        let new_depth = self.frames.len();
+        let mut cache = self.cache.borrow_mut();
+        cache.generation += 1;
+        cache.entries.retain(|_, e| e.max_abs_frame < new_depth);
+        drop(cache);
+        Some(frame.rules)
     }
 
     /// Number of frames.
@@ -143,14 +345,18 @@ impl ImplicitEnv {
     /// Iterates frames from the *innermost* outwards, paired with
     /// their innermost-first index.
     pub fn frames_innermost_first(&self) -> impl Iterator<Item = (usize, &Vec<RuleType>)> {
-        self.frames.iter().rev().enumerate()
+        self.frames
+            .iter()
+            .rev()
+            .enumerate()
+            .map(|(i, f)| (i, &f.rules))
     }
 
     /// Free type variables of every rule in the environment.
     pub fn ftv(&self) -> std::collections::BTreeSet<crate::syntax::TyVar> {
         let mut acc = std::collections::BTreeSet::new();
         for f in &self.frames {
-            for r in f {
+            for r in &f.rules {
                 r.ftv_into(&mut acc);
             }
         }
@@ -162,7 +368,8 @@ impl ImplicitEnv {
     /// Searches frames innermost-first; the first frame with at least
     /// one match decides. Within that frame the match must be unique
     /// (or uniquely most specific under
-    /// [`OverlapPolicy::MostSpecific`]).
+    /// [`OverlapPolicy::MostSpecific`]). Each frame consults only the
+    /// rules its head index admits for the target.
     ///
     /// # Errors
     ///
@@ -171,8 +378,10 @@ impl ImplicitEnv {
     /// * [`LookupError::AmbiguousInstantiation`] if matching leaves a
     ///   rule quantifier undetermined.
     pub fn lookup(&self, target: &Type, policy: OverlapPolicy) -> Result<LookupHit, LookupError> {
-        for (frame_ix, frame) in self.frames_innermost_first() {
-            match lookup_in_frame(frame, target, policy)? {
+        let target_key = intern::head_key(target);
+        for (frame_ix, frame) in self.frames.iter().rev().enumerate() {
+            let candidates = frame.candidate_indices(target_key);
+            match lookup_among(&frame.rules, &candidates, target, policy)? {
                 Some((index, hit_rule, type_args, context)) => {
                     return Ok(LookupHit {
                         frame: frame_ix,
@@ -187,6 +396,119 @@ impl ImplicitEnv {
         }
         Err(LookupError::NoMatch(target.clone()))
     }
+
+    /// How many rules the head index admits for `target` in the frame
+    /// at innermost-first position `frame` (0 when out of range).
+    /// This is the number of match attempts a lookup reaching that
+    /// frame performs there.
+    pub fn frame_candidate_count(&self, frame: usize, target: &Type) -> usize {
+        let key = intern::head_key(target);
+        self.frames
+            .iter()
+            .rev()
+            .nth(frame)
+            .map(|f| f.candidate_count(key))
+            .unwrap_or(0)
+    }
+
+    /// Consults the derivation cache for `query` under `policy`.
+    ///
+    /// On a hit the memoized derivation is replayed with its
+    /// innermost-first frame indices shifted by the difference
+    /// between the current depth and the depth at insertion, so rule
+    /// coordinates keep naming the same absolute frames.
+    pub(crate) fn cache_lookup(
+        &self,
+        query: &RuleType,
+        policy: OverlapPolicy,
+    ) -> Option<Resolution> {
+        let key = (intern::rule_id(query), policy);
+        let depth = self.frames.len();
+        let mut cache = self.cache.borrow_mut();
+        match cache.entries.get(&key) {
+            Some(entry) => {
+                let delta = depth as isize - entry.cached_depth as isize;
+                let mut res = entry.resolution.clone();
+                if delta != 0 {
+                    crate::resolve::shift_env_frames(&mut res, delta);
+                }
+                cache.counters.hits += 1;
+                Some(res)
+            }
+            None => {
+                cache.counters.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Memoizes a successful derivation of `query` at the current
+    /// depth. Skipped (silently) for derivations that reference
+    /// assumption-extension frames, whose coordinates are not
+    /// environment-stable.
+    pub(crate) fn cache_insert(&self, query: &RuleType, policy: OverlapPolicy, res: &Resolution) {
+        let depth = self.frames.len();
+        let Some((target_keys, max_abs_frame)) = crate::resolve::derivation_cache_facts(res, depth)
+        else {
+            return;
+        };
+        let key = (intern::rule_id(query), policy);
+        let mut cache = self.cache.borrow_mut();
+        if cache.capacity == 0 {
+            return;
+        }
+        // Drop queue keys whose entry was invalidated meanwhile.
+        while let Some(front) = cache.order.front() {
+            if cache.entries.contains_key(front) {
+                break;
+            }
+            cache.order.pop_front();
+        }
+        if !cache.entries.contains_key(&key) {
+            let room = cache.capacity - 1;
+            cache.evict_to(room);
+            cache.order.push_back(key);
+        }
+        cache.entries.insert(
+            key,
+            CacheEntry {
+                resolution: res.clone(),
+                cached_depth: depth,
+                target_keys,
+                max_abs_frame,
+            },
+        );
+    }
+
+    /// Cumulative hit/miss/eviction counters of the derivation cache.
+    pub fn cache_counters(&self) -> CacheCounters {
+        self.cache.borrow().counters
+    }
+
+    /// Number of currently memoized derivations.
+    pub fn cache_len(&self) -> usize {
+        self.cache.borrow().entries.len()
+    }
+
+    /// Generation stamp: bumped by every push and pop, so two
+    /// observations with the same stamp saw the same frame stack.
+    pub fn cache_generation(&self) -> u64 {
+        self.cache.borrow().generation
+    }
+
+    /// Rebounds the derivation cache (default
+    /// [`DEFAULT_CACHE_CAPACITY`]), evicting FIFO-oldest entries if
+    /// the new capacity is smaller than the current population.
+    /// Capacity 0 disables memoization for this environment.
+    pub fn set_cache_capacity(&mut self, capacity: usize) {
+        let mut cache = self.cache.borrow_mut();
+        cache.capacity = capacity;
+        cache.evict_to(capacity);
+        if capacity == 0 {
+            cache.entries.clear();
+            cache.order.clear();
+        }
+    }
 }
 
 type FrameHit = (usize, RuleType, Vec<Type>, Vec<RuleType>);
@@ -195,64 +517,110 @@ type FrameHit = (usize, RuleType, Vec<Type>, Vec<RuleType>);
 ///
 /// Returns `Ok(None)` when the frame has no match (so the caller
 /// descends), `Ok(Some(hit))` on a unique (or uniquely most specific)
-/// match.
+/// match. Used for contexts that have no prebuilt index (assumption
+/// frames of the env-extension variant); candidates are pre-filtered
+/// by head key here instead.
 pub(crate) fn lookup_in_frame(
     frame: &[RuleType],
     target: &Type,
     policy: OverlapPolicy,
 ) -> Result<Option<FrameHit>, LookupError> {
-    // Collect all matches: (index, freshened rule, θ).
-    let mut matches: Vec<(usize, RuleType, TySubst)> = Vec::new();
-    for (ix, rule) in frame.iter().enumerate() {
-        // Rename quantifiers apart so they cannot clash with
-        // variables of the target (the paper's footnote).
-        let (fresh, _) = freshen_rule(rule);
-        if let Some(theta) = unify::head_matches(&fresh, target) {
-            matches.push((ix, fresh, theta));
+    let target_key = intern::head_key(target);
+    let candidates: Vec<usize> = frame
+        .iter()
+        .enumerate()
+        .filter(|(_, rule)| intern::head_key(rule.head()).admits(target_key))
+        .map(|(ix, _)| ix)
+        .collect();
+    lookup_among(frame, &candidates, target, policy)
+}
+
+/// The shared match-and-choose core of lookup: tries only the given
+/// candidate rules, freshening lazily (quantifier-free rules need no
+/// freshening and an empty θ; ground heads are decided by the
+/// interning arena without walking) and cloning rules only for the
+/// winner or an error report.
+fn lookup_among(
+    rules: &[RuleType],
+    candidates: &[usize],
+    target: &Type,
+    policy: OverlapPolicy,
+) -> Result<Option<FrameHit>, LookupError> {
+    // (index, freshened copy + θ); `None` for quantifier-free rules.
+    let mut matches: Vec<(usize, Option<(RuleType, TySubst)>)> = Vec::new();
+    for &ix in candidates {
+        let rule = &rules[ix];
+        if rule.vars().is_empty() {
+            // No quantifiers: freshening is the identity and θ = ∅.
+            let hit = match intern::ground_head_check(rule.head(), target) {
+                GroundCheck::Match => true,
+                GroundCheck::NoMatch if intern::is_ground(rule.head()) => false,
+                _ => unify::head_matches(rule, target).is_some(),
+            };
+            if hit {
+                matches.push((ix, None));
+            }
+        } else {
+            // Rename quantifiers apart so they cannot clash with
+            // variables of the target (the paper's footnote).
+            let (fresh, _) = freshen_rule(rule);
+            if let Some(theta) = unify::head_matches(&fresh, target) {
+                matches.push((ix, Some((fresh, theta))));
+            }
         }
     }
-    let chosen = match matches.len() {
+    let (index, instance) = match matches.len() {
         0 => return Ok(None),
         1 => matches.pop().expect("len checked"),
         _ => match policy {
-            OverlapPolicy::Forbid => {
-                return Err(LookupError::Overlap {
-                    target: target.clone(),
-                    candidates: matches.into_iter().map(|(ix, ..)| frame[ix].clone()).collect(),
-                })
-            }
-            OverlapPolicy::MostSpecific => {
-                match pick_most_specific(&matches) {
-                    Some(winner_pos) => matches.swap_remove(winner_pos),
+            OverlapPolicy::Forbid => return Err(overlap_error(rules, &matches, target)),
+            OverlapPolicy::MostSpecific => match pick_most_specific(rules, &matches) {
+                Some(winner_pos) => matches.swap_remove(winner_pos),
+                None => return Err(overlap_error(rules, &matches, target)),
+            },
+        },
+    };
+    match instance {
+        None => {
+            let rule = &rules[index];
+            Ok(Some((
+                index,
+                rule.clone(),
+                Vec::new(),
+                rule.context().to_vec(),
+            )))
+        }
+        Some((fresh, theta)) => {
+            // Every quantifier must be determined by the match,
+            // otherwise the instantiation is ambiguous.
+            let mut type_args = Vec::with_capacity(fresh.vars().len());
+            for v in fresh.vars() {
+                match theta.get(*v) {
+                    Some(t) => type_args.push(t.clone()),
                     None => {
-                        return Err(LookupError::Overlap {
-                            target: target.clone(),
-                            candidates: matches
-                                .into_iter()
-                                .map(|(ix, ..)| frame[ix].clone())
-                                .collect(),
+                        return Err(LookupError::AmbiguousInstantiation {
+                            rule: rules[index].clone(),
                         })
                     }
                 }
             }
-        },
-    };
-    let (index, fresh, theta) = chosen;
-    // Every quantifier must be determined by the match, otherwise the
-    // instantiation is ambiguous.
-    let mut type_args = Vec::with_capacity(fresh.vars().len());
-    for v in fresh.vars() {
-        match theta.get(*v) {
-            Some(t) => type_args.push(t.clone()),
-            None => {
-                return Err(LookupError::AmbiguousInstantiation {
-                    rule: frame[index].clone(),
-                })
-            }
+            let context = theta.apply_context(fresh.context());
+            Ok(Some((index, rules[index].clone(), type_args, context)))
         }
     }
-    let context = theta.apply_context(fresh.context());
-    Ok(Some((index, frame[index].clone(), type_args, context)))
+}
+
+/// Builds the overlap error, cloning the competing rules only now
+/// that the error is certain.
+fn overlap_error(
+    rules: &[RuleType],
+    matches: &[(usize, Option<(RuleType, TySubst)>)],
+    target: &Type,
+) -> LookupError {
+    LookupError::Overlap {
+        target: target.clone(),
+        candidates: matches.iter().map(|(ix, _)| rules[*ix].clone()).collect(),
+    }
 }
 
 /// `ρ₁` is at least as specific as `ρ₂` when `ρ₂`'s head matches
@@ -263,11 +631,17 @@ fn at_least_as_specific(r1: &RuleType, r2: &RuleType) -> bool {
     unify::match_type(f2.head(), f1.head(), f2.vars()).is_some()
 }
 
-/// Index (within `matches`) of the unique most specific rule, if any.
-fn pick_most_specific(matches: &[(usize, RuleType, TySubst)]) -> Option<usize> {
-    'outer: for (i, (_, ri, _)) in matches.iter().enumerate() {
-        for (j, (_, rj, _)) in matches.iter().enumerate() {
-            if i != j && !at_least_as_specific(ri, rj) {
+/// Position (within `matches`) of the unique most specific rule, if
+/// any. Specificity is judged on the stored rules (it is invariant
+/// under freshening).
+fn pick_most_specific(
+    rules: &[RuleType],
+    matches: &[(usize, Option<(RuleType, TySubst)>)],
+) -> Option<usize> {
+    'outer: for (i, (ixi, _)) in matches.iter().enumerate() {
+        let ri = &rules[*ixi];
+        for (j, (ixj, _)) in matches.iter().enumerate() {
+            if i != j && !at_least_as_specific(ri, &rules[*ixj]) {
                 continue 'outer;
             }
         }
@@ -275,11 +649,9 @@ fn pick_most_specific(matches: &[(usize, RuleType, TySubst)]) -> Option<usize> {
         // least the distinct ones to be *the* most specific: it must
         // not be tied with a non-α-equivalent rival that is also as
         // specific as everything.
-        for (j, (_, rj, _)) in matches.iter().enumerate() {
-            if i != j
-                && at_least_as_specific(rj, ri)
-                && !crate::alpha::alpha_eq(ri, rj)
-            {
+        for (j, (ixj, _)) in matches.iter().enumerate() {
+            let rj = &rules[*ixj];
+            if i != j && at_least_as_specific(rj, ri) && !crate::alpha::alpha_eq(ri, rj) {
                 return None; // tie between genuinely different rules
             }
         }
@@ -378,12 +750,18 @@ mod tests {
         let specific = Type::arrow(Type::Int, Type::Int).promote();
         let env = ImplicitEnv::with_frame(vec![generic.clone(), specific.clone()]);
         let hit = env
-            .lookup(&Type::arrow(Type::Int, Type::Int), OverlapPolicy::MostSpecific)
+            .lookup(
+                &Type::arrow(Type::Int, Type::Int),
+                OverlapPolicy::MostSpecific,
+            )
             .unwrap();
         assert!(crate::alpha::alpha_eq(&hit.rule, &specific));
         // A query only the generic rule matches still resolves to it.
         let hit2 = env
-            .lookup(&Type::arrow(Type::Bool, Type::Bool), OverlapPolicy::MostSpecific)
+            .lookup(
+                &Type::arrow(Type::Bool, Type::Bool),
+                OverlapPolicy::MostSpecific,
+            )
             .unwrap();
         assert!(crate::alpha::alpha_eq(&hit2.rule, &generic));
         // Under the paper policy the overlapping query is an error.
@@ -399,7 +777,10 @@ mod tests {
         let r2 = RuleType::new(vec![v("a")], vec![], Type::arrow(Type::Int, tv("a")));
         let env = ImplicitEnv::with_frame(vec![r1, r2]);
         let err = env
-            .lookup(&Type::arrow(Type::Int, Type::Int), OverlapPolicy::MostSpecific)
+            .lookup(
+                &Type::arrow(Type::Int, Type::Int),
+                OverlapPolicy::MostSpecific,
+            )
             .unwrap_err();
         assert!(matches!(err, LookupError::Overlap { .. }));
     }
@@ -451,5 +832,53 @@ mod tests {
         let env = ImplicitEnv::with_frame(vec![producer]);
         let hit = env.lookup(&produced, OverlapPolicy::Forbid).unwrap();
         assert_eq!(hit.context, vec![Type::Bool.promote()]);
+    }
+
+    #[test]
+    fn head_index_admits_only_matching_candidates() {
+        // A frame of list-headed rules plus one wildcard rule: a Prod
+        // target must try only the wildcard; a List target tries all
+        // list rules plus the wildcard.
+        let wild = RuleType::new(vec![v("a")], vec![], tv("a"));
+        let frame = vec![
+            Type::list(Type::Int).promote(),
+            Type::list(Type::Bool).promote(),
+            wild,
+        ];
+        let env = ImplicitEnv::with_frame(frame);
+        assert_eq!(env.frame_candidate_count(0, &int_pair()), 1);
+        assert_eq!(env.frame_candidate_count(0, &Type::list(Type::Int)), 3);
+        assert_eq!(env.frame_candidate_count(0, &tv("zq")), 1);
+        // Out-of-range frames admit nothing.
+        assert_eq!(env.frame_candidate_count(7, &Type::Int), 0);
+    }
+
+    #[test]
+    fn indexed_lookup_agrees_with_slice_lookup() {
+        let rules = vec![
+            Type::list(Type::Int).promote(),
+            RuleType::new(vec![v("a")], vec![], Type::prod(tv("a"), tv("a"))),
+            Type::Bool.promote(),
+        ];
+        let env = ImplicitEnv::with_frame(rules.clone());
+        for target in [
+            Type::list(Type::Int),
+            Type::prod(Type::Str, Type::Str),
+            Type::Bool,
+            Type::Int,
+        ] {
+            let via_env = env.lookup(&target, OverlapPolicy::Forbid);
+            let via_slice = lookup_in_frame(&rules, &target, OverlapPolicy::Forbid);
+            match (via_env, via_slice) {
+                (Ok(hit), Ok(Some((index, rule, type_args, context)))) => {
+                    assert_eq!(hit.index, index);
+                    assert_eq!(hit.rule, rule);
+                    assert_eq!(hit.type_args, type_args);
+                    assert_eq!(hit.context, context);
+                }
+                (Err(LookupError::NoMatch(_)), Ok(None)) => {}
+                (e, s) => panic!("disagreement on {target}: {e:?} vs {s:?}"),
+            }
+        }
     }
 }

@@ -17,6 +17,7 @@
 //! | [`subst`] | Appendix "Substitutions" |
 //! | [`unify`] | Appendix "Unification" (one-way matching) |
 //! | [`env`](mod@env) | implicit environments Δ and lookup `Δ⟨τ⟩` |
+//! | [`intern`](mod@intern) | hash-consed types (performance layer, no paper counterpart) |
 //! | [`resolve`](mod@resolve) | the resolution judgment `Δ ⊢r ρ` (rule `TyRes`) |
 //! | [`typeck`] | Figure "Type System" |
 //! | [`termination`] | Appendix A termination conditions |
@@ -56,6 +57,7 @@
 pub mod alpha;
 pub mod coherence;
 pub mod env;
+pub mod intern;
 pub mod logic;
 pub mod parse;
 pub mod pretty;

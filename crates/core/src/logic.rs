@@ -49,7 +49,11 @@ pub fn verify_derivation(env: &ImplicitEnv, res: &Resolution) -> bool {
     verify_at(env, res, &mut Vec::new())
 }
 
-fn verify_at(env: &ImplicitEnv, res: &Resolution, assumption_stack: &mut Vec<Vec<RuleType>>) -> bool {
+fn verify_at(
+    env: &ImplicitEnv,
+    res: &Resolution,
+    assumption_stack: &mut Vec<Vec<RuleType>>,
+) -> bool {
     // 1. The referenced rule must exist and match the recorded one.
     let stored: Option<RuleType> = match res.rule {
         RuleRef::Env { frame, index } => env
@@ -87,12 +91,10 @@ fn verify_at(env: &ImplicitEnv, res: &Resolution, assumption_stack: &mut Vec<Vec
             return false;
         }
         match premise {
-            Premise::Assumed { index, rho } => {
-                match res.query.context().get(*index) {
-                    Some(q) if alpha::alpha_eq(q, rho) => {}
-                    _ => return false,
-                }
-            }
+            Premise::Assumed { index, rho } => match res.query.context().get(*index) {
+                Some(q) if alpha::alpha_eq(q, rho) => {}
+                _ => return false,
+            },
             Premise::Derived(inner) => {
                 assumption_stack.push(res.query.context().to_vec());
                 let ok = verify_at(env, inner, assumption_stack);
@@ -145,10 +147,7 @@ fn prove_atom(rules: &[RuleType], goal: &Type, depth: usize) -> bool {
         let (fresh, _) = freshen_rule(rule);
         if let Some(theta) = unify::match_type(fresh.head(), goal, fresh.vars()) {
             let premises = theta.apply_context(fresh.context());
-            if premises
-                .iter()
-                .all(|p| prove_rule(rules, p, depth - 1))
-            {
+            if premises.iter().all(|p| prove_rule(rules, p, depth - 1)) {
                 return true;
             }
         }
@@ -254,10 +253,8 @@ mod tests {
     #[test]
     fn hypothetical_goals_extend_assumptions() {
         // ⊨ {Char} ⇒ Int from {Char ⇒ Int}: assume Char, use rule.
-        let env = ImplicitEnv::with_frame(vec![RuleType::mono(
-            vec![Type::Str.promote()],
-            Type::Int,
-        )]);
+        let env =
+            ImplicitEnv::with_frame(vec![RuleType::mono(vec![Type::Str.promote()], Type::Int)]);
         let goal = RuleType::mono(vec![Type::Str.promote()], Type::Int);
         assert!(entails(&env, &goal, 16));
         // But the bare Int is not entailed (no Char available).

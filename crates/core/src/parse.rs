@@ -33,9 +33,7 @@ use std::fmt;
 use std::rc::Rc;
 
 use crate::symbol::Symbol;
-use crate::syntax::{
-    BinOp, Declarations, Expr, InterfaceDecl, RuleType, Type, UnOp,
-};
+use crate::syntax::{BinOp, Declarations, Expr, InterfaceDecl, RuleType, Type, UnOp};
 
 /// A parsed `data` declaration before kind inference:
 /// (name, parameters, constructors).
@@ -54,7 +52,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "parse error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -337,10 +339,9 @@ impl<'s> Lexer<'s> {
                         }
                     }
                     other => {
-                        return Err(self.error(format!(
-                            "unexpected character `{}`",
-                            char::from(other)
-                        )))
+                        return Err(
+                            self.error(format!("unexpected character `{}`", char::from(other)))
+                        )
                     }
                 }
             }
@@ -685,9 +686,9 @@ impl Parser {
     /// arguments must be parenthesized there.
     fn parse_arg_expr(&mut self) -> Result<Expr, ParseError> {
         if self.at_kw("implicit") {
-            return Err(self.error(
-                "parenthesize an `implicit` expression used as a `with` argument",
-            ));
+            return Err(
+                self.error("parenthesize an `implicit` expression used as a `with` argument")
+            );
         }
         self.parse_expr()
     }
@@ -880,7 +881,9 @@ impl Parser {
                     let body = self.parse_expr()?;
                     self.expect(&Tok::RParen)?;
                     if r.is_trivial() {
-                        return Err(self.error("trivial rule abstraction (empty quantifier and context)"));
+                        return Err(
+                            self.error("trivial rule abstraction (empty quantifier and context)")
+                        );
                     }
                     Ok(Expr::rule_abs(r, body))
                 }
@@ -932,7 +935,11 @@ impl Parser {
                         }
                         self.expect(&Tok::Arrow)?;
                         let body = self.parse_expr()?;
-                        arms.push(crate::syntax::MatchArm { ctor, binders, body });
+                        arms.push(crate::syntax::MatchArm {
+                            ctor,
+                            binders,
+                            body,
+                        });
                         if *self.peek() == Tok::Pipe {
                             self.bump();
                         } else {
@@ -1213,10 +1220,9 @@ mod tests {
 
     #[test]
     fn parses_paper_example_e1() {
-        let e = parse_expr(
-            "implicit {1 : Int, true : Bool} in (?(Int) + 1, not ?(Bool)) : Int * Bool",
-        )
-        .unwrap();
+        let e =
+            parse_expr("implicit {1 : Int, true : Bool} in (?(Int) + 1, not ?(Bool)) : Int * Bool")
+                .unwrap();
         assert!(matches!(e, Expr::RuleApp(_, _)));
     }
 
@@ -1241,10 +1247,8 @@ mod tests {
 
     #[test]
     fn parses_type_application_and_with() {
-        let e = parse_expr(
-            "rule (forall a. {a} => a * a) ((?(a), ?(a))) [Int] with {3 : Int}",
-        )
-        .unwrap();
+        let e = parse_expr("rule (forall a. {a} => a * a) ((?(a), ?(a))) [Int] with {3 : Int}")
+            .unwrap();
         assert!(matches!(e, Expr::RuleApp(_, _)));
     }
 
@@ -1319,10 +1323,8 @@ mod tests {
 
     #[test]
     fn duplicate_interfaces_error_at_position() {
-        let err = parse_program(
-            "interface A = { x : Int }\ninterface A = { y : Int }\n1",
-        )
-        .unwrap_err();
+        let err =
+            parse_program("interface A = { x : Int }\ninterface A = { y : Int }\n1").unwrap_err();
         assert_eq!(err.line, 2);
     }
 

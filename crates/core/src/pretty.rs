@@ -348,7 +348,10 @@ mod tests {
 
     #[test]
     fn types_print_with_expected_precedence() {
-        assert_eq!(Type::arrow(Type::Int, Type::Bool).to_string(), "Int -> Bool");
+        assert_eq!(
+            Type::arrow(Type::Int, Type::Bool).to_string(),
+            "Int -> Bool"
+        );
         assert_eq!(
             Type::arrow(Type::arrow(Type::Int, Type::Int), Type::Bool).to_string(),
             "(Int -> Int) -> Bool"
@@ -386,11 +389,7 @@ mod tests {
 
     #[test]
     fn expressions_print_readably() {
-        let e = Expr::binop(
-            BinOp::Add,
-            Expr::query_simple(Type::Int),
-            Expr::Int(1),
-        );
+        let e = Expr::binop(BinOp::Add, Expr::query_simple(Type::Int), Expr::Int(1));
         assert_eq!(e.to_string(), "?(Int) + 1");
         let lam = Expr::lam("x", Type::Int, Expr::var("x"));
         assert_eq!(lam.to_string(), "\\x : Int. x");

@@ -48,6 +48,15 @@ pub struct ResolutionPolicy {
     /// non-termination of unchecked environments (e.g. the
     /// `{Char}⇒Int, {Int}⇒Char` loop) into an error.
     pub max_depth: usize,
+    /// Consults the environment's memoized derivation cache
+    /// (on by default). Resolution is deterministic, so a cache hit
+    /// returns a derivation identical to the one a fresh search would
+    /// build — modulo one observable: a hit does not re-consume
+    /// recursion fuel, so a derivation cached under ample fuel can be
+    /// replayed under a tighter [`max_depth`](Self::max_depth).
+    /// Ignored (off) under the environment-extension variant, whose
+    /// assumption frames are not environment-stable.
+    pub cache: bool,
 }
 
 impl Default for ResolutionPolicy {
@@ -56,6 +65,7 @@ impl Default for ResolutionPolicy {
             overlap: OverlapPolicy::Forbid,
             env_extension: false,
             max_depth: 512,
+            cache: true,
         }
     }
 }
@@ -81,6 +91,13 @@ impl ResolutionPolicy {
     /// Overrides the recursion fuel.
     pub fn with_max_depth(mut self, depth: usize) -> ResolutionPolicy {
         self.max_depth = depth;
+        self
+    }
+
+    /// Disables the memoized derivation cache (e.g. to measure raw
+    /// resolution cost, or to rule the cache out while debugging).
+    pub fn without_cache(mut self) -> ResolutionPolicy {
+        self.cache = false;
         self
     }
 }
@@ -170,7 +187,10 @@ impl Resolution {
     /// `true` if any step was *partial* (kept an assumed premise while
     /// recursively resolving others).
     pub fn is_partial(&self) -> bool {
-        let here = self.premises.iter().any(|p| matches!(p, Premise::Assumed { .. }))
+        let here = self
+            .premises
+            .iter()
+            .any(|p| matches!(p, Premise::Assumed { .. }))
             && self
                 .premises
                 .iter()
@@ -229,33 +249,37 @@ impl Resolution {
 
     /// Aggregate work counters for this derivation against `env`
     /// (post-hoc; resolution itself is not instrumented). Lookup
-    /// scans every frame nearer than the hit completely, plus the
-    /// whole hit frame (for the `no_overlap` check), so `rules_tried`
-    /// reflects the matching work the derivation caused.
+    /// consults, in every frame up to and including the hit frame,
+    /// only the rules the frame's head-constructor index admits for
+    /// the queried head (the hit frame is consulted completely among
+    /// those, for the `no_overlap` check), so `rules_tried` reflects
+    /// the matching work the derivation caused. The `cache_*` fields
+    /// mirror `env`'s cumulative derivation-cache counters at the
+    /// time of the call.
     pub fn stats(&self, env: &crate::env::ImplicitEnv) -> ResolutionStats {
-        let frame_sizes: Vec<usize> = env
-            .frames_innermost_first()
-            .map(|(_, f)| f.len())
-            .collect();
         let mut stats = ResolutionStats::default();
-        fn go(res: &Resolution, sizes: &[usize], stats: &mut ResolutionStats) {
+        fn go(res: &Resolution, env: &crate::env::ImplicitEnv, stats: &mut ResolutionStats) {
             stats.steps += 1;
             if let RuleRef::Env { frame, .. } = res.rule {
                 stats.frames_scanned += frame + 1;
-                stats.rules_tried += sizes
-                    .iter()
-                    .take(frame + 1)
+                let target = res.query.head();
+                stats.rules_tried += (0..=frame)
+                    .map(|f| env.frame_candidate_count(f, target))
                     .sum::<usize>();
                 stats.max_frame_reached = stats.max_frame_reached.max(frame);
             }
             for p in &res.premises {
                 match p {
                     Premise::Assumed { .. } => stats.assumed += 1,
-                    Premise::Derived(inner) => go(inner, sizes, stats),
+                    Premise::Derived(inner) => go(inner, env, stats),
                 }
             }
         }
-        go(self, &frame_sizes, &mut stats);
+        go(self, env, &mut stats);
+        let counters = env.cache_counters();
+        stats.cache_hits = counters.hits;
+        stats.cache_misses = counters.misses;
+        stats.cache_evictions = counters.evictions;
         stats
     }
 
@@ -284,6 +308,12 @@ pub struct ResolutionStats {
     pub assumed: usize,
     /// Deepest frame index any lookup descended to.
     pub max_frame_reached: usize,
+    /// Derivation-cache hits of the environment (cumulative).
+    pub cache_hits: u64,
+    /// Derivation-cache misses of the environment (cumulative).
+    pub cache_misses: u64,
+    /// Derivation-cache evictions of the environment (cumulative).
+    pub cache_evictions: u64,
 }
 
 /// Resolution failure.
@@ -374,6 +404,19 @@ fn resolve_rec(
             max_depth: policy.max_depth,
         });
     }
+
+    // Memoization: resolution is deterministic and — without the
+    // extension variant — never changes the environment mid-search,
+    // so every (query, overlap policy) pair resolves the same way
+    // until a push/pop invalidates it. Sub-queries hit this path too,
+    // so a cached derivation short-circuits whole subtrees.
+    let use_cache = policy.cache && !policy.env_extension;
+    if use_cache {
+        if let Some(res) = env.cache_lookup(query, policy.overlap) {
+            return Ok(res);
+        }
+    }
+
     let target = query.head();
 
     // Under the environment-extension policy, assumption frames are
@@ -410,13 +453,78 @@ fn resolve_rec(
         }
     }
 
-    Ok(Resolution {
+    let res = Resolution {
         query: query.clone(),
         rule: rule_ref,
         rule_type,
         type_args,
         premises,
-    })
+    };
+    if use_cache {
+        env.cache_insert(query, policy.overlap, &res);
+    }
+    Ok(res)
+}
+
+/// Shifts every innermost-first frame index of the derivation's
+/// [`RuleRef::Env`] references by `delta`: a derivation cached at
+/// depth `d` and replayed at depth `d + delta` keeps naming the same
+/// absolute frames. Extension references are depth-independent (and
+/// never cached anyway).
+pub(crate) fn shift_env_frames(res: &mut Resolution, delta: isize) {
+    if let RuleRef::Env { frame, .. } = &mut res.rule {
+        *frame = (*frame as isize + delta) as usize;
+    }
+    for p in &mut res.premises {
+        if let Premise::Derived(inner) = p {
+            shift_env_frames(inner, delta);
+        }
+    }
+}
+
+/// The facts the derivation cache needs to invalidate an entry:
+/// the head key of every type the derivation looked up (a pushed
+/// frame kills the entry iff it holds a rule admitting one of them)
+/// and the largest *absolute* frame position — 0 = outermost — of
+/// any rule used (a pop below it kills the entry). Returns `None`
+/// for derivations that are not environment-stable: those using an
+/// assumption-frame rule of the extension variant, or referencing a
+/// frame deeper than the current environment.
+pub(crate) fn derivation_cache_facts(
+    res: &Resolution,
+    depth: usize,
+) -> Option<(Vec<crate::intern::HeadKey>, usize)> {
+    fn go(
+        res: &Resolution,
+        depth: usize,
+        keys: &mut Vec<crate::intern::HeadKey>,
+        max_abs: &mut usize,
+    ) -> bool {
+        match res.rule {
+            RuleRef::Env { frame, .. } => {
+                if frame >= depth {
+                    return false;
+                }
+                let key = crate::intern::head_key(res.query.head());
+                if !keys.contains(&key) {
+                    keys.push(key);
+                }
+                *max_abs = (*max_abs).max(depth - 1 - frame);
+            }
+            RuleRef::Extension { .. } => return false,
+        }
+        res.premises.iter().all(|p| match p {
+            Premise::Assumed { .. } => true,
+            Premise::Derived(inner) => go(inner, depth, keys, max_abs),
+        })
+    }
+    let mut keys = Vec::new();
+    let mut max_abs = 0;
+    if go(res, depth, &mut keys, &mut max_abs) {
+        Some((keys, max_abs))
+    } else {
+        None
+    }
 }
 
 type RawHit = (RuleRef, RuleType, Vec<Type>, Vec<RuleType>);
@@ -668,10 +776,11 @@ mod tests {
         assert_eq!(stats.steps, 2);
         assert_eq!(stats.assumed, 0);
         assert_eq!(stats.max_frame_reached, 1);
-        // Pair rule: scans frame 0 (1 rule). Int: scans frames 0 and
-        // 1 (2 rules).
+        // Pair rule: scans frame 0 (1 admitted rule). Int: scans
+        // frames 0 and 1, but frame 0's head index admits nothing for
+        // Int (its one rule is Prod-headed), so only 1 rule is tried.
         assert_eq!(stats.frames_scanned, 1 + 2);
-        assert_eq!(stats.rules_tried, 1 + 2);
+        assert_eq!(stats.rules_tried, 2);
     }
 
     #[test]

@@ -14,7 +14,6 @@ use std::rc::Rc;
 use crate::symbol::{fresh, Symbol};
 use crate::syntax::{Expr, RuleType, TyVar, Type};
 
-
 /// A finite map from type variables to types.
 #[derive(Clone, Default, PartialEq, Debug)]
 pub struct TySubst {
@@ -86,7 +85,10 @@ impl TySubst {
         out
     }
 
-    /// Applies the substitution to a type.
+    /// Applies the substitution to a type. Variable-free (`ground`)
+    /// `Rc`-shared subtrees are shared with the input rather than
+    /// rebuilt — the interning arena decides groundness in O(1)
+    /// amortized per pointer (see [`crate::intern`]).
     pub fn apply_type(&self, ty: &Type) -> Type {
         if self.is_empty() {
             return ty.clone();
@@ -94,9 +96,9 @@ impl TySubst {
         match ty {
             Type::Var(a) => self.map.get(a).cloned().unwrap_or_else(|| ty.clone()),
             Type::Int | Type::Bool | Type::Str | Type::Unit => ty.clone(),
-            Type::Arrow(a, b) => Type::arrow(self.apply_type(a), self.apply_type(b)),
-            Type::Prod(a, b) => Type::prod(self.apply_type(a), self.apply_type(b)),
-            Type::List(a) => Type::list(self.apply_type(a)),
+            Type::Arrow(a, b) => Type::Arrow(self.apply_shared(a), self.apply_shared(b)),
+            Type::Prod(a, b) => Type::Prod(self.apply_shared(a), self.apply_shared(b)),
+            Type::List(a) => Type::List(self.apply_shared(a)),
             Type::Con(name, args) => {
                 Type::Con(*name, args.iter().map(|t| self.apply_type(t)).collect())
             }
@@ -115,7 +117,23 @@ impl TySubst {
                 }
             }
             Type::Ctor(_) => ty.clone(),
-            Type::Rule(r) => Type::rule(self.apply_rule(r)),
+            Type::Rule(r) => {
+                if crate::intern::rule_is_ground_rc(r) {
+                    Type::Rule(Rc::clone(r))
+                } else {
+                    Type::rule(self.apply_rule(r))
+                }
+            }
+        }
+    }
+
+    /// [`apply_type`](Self::apply_type) for an `Rc`-held subtree:
+    /// ground subtrees are shared, others rebuilt.
+    fn apply_shared(&self, ty: &Rc<Type>) -> Rc<Type> {
+        if crate::intern::is_ground_rc(ty) {
+            Rc::clone(ty)
+        } else {
+            Rc::new(self.apply_type(ty))
         }
     }
 
@@ -125,7 +143,7 @@ impl TySubst {
     /// quantified variables that would capture a variable free in the
     /// substitution's range are renamed fresh first.
     pub fn apply_rule(&self, rho: &RuleType) -> RuleType {
-        if self.is_empty() {
+        if self.is_empty() || crate::intern::rule_is_ground(rho) {
             return rho.clone();
         }
         // Restrict to the bindings relevant under this binder.
@@ -211,9 +229,11 @@ impl TySubst {
                 Rc::new(self.apply_expr(t)),
                 Rc::new(self.apply_expr(f)),
             ),
-            Expr::BinOp(op, a, b) => {
-                Expr::BinOp(*op, Rc::new(self.apply_expr(a)), Rc::new(self.apply_expr(b)))
-            }
+            Expr::BinOp(op, a, b) => Expr::BinOp(
+                *op,
+                Rc::new(self.apply_expr(a)),
+                Rc::new(self.apply_expr(b)),
+            ),
             Expr::UnOp(op, a) => Expr::UnOp(*op, Rc::new(self.apply_expr(a))),
             Expr::Pair(a, b) => {
                 Expr::Pair(Rc::new(self.apply_expr(a)), Rc::new(self.apply_expr(b)))
@@ -389,7 +409,11 @@ mod tests {
         // [b ↦ a] rule(∀a. {} ⇒ b → a)(λx:a. ?b…)
         // After capture-avoidance the body's `a` annotations must be
         // the *renamed* binder.
-        let rho = RuleType::new(vec![v("a")], vec![tv("b").promote()], Type::arrow(tv("b"), tv("a")));
+        let rho = RuleType::new(
+            vec![v("a")],
+            vec![tv("b").promote()],
+            Type::arrow(tv("b"), tv("a")),
+        );
         let body = Expr::lam("x", tv("a"), Expr::var("x"));
         let e = Expr::rule_abs(rho, body);
         let s = TySubst::single(v("b"), tv("a"));

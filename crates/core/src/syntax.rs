@@ -687,7 +687,10 @@ impl Declarations {
         let mut seen = BTreeSet::new();
         for (u, _) in &decl.fields {
             if !seen.insert(*u) {
-                return Err(format!("duplicate field `{}` in interface `{}`", u, decl.name));
+                return Err(format!(
+                    "duplicate field `{}` in interface `{}`",
+                    u, decl.name
+                ));
             }
         }
         let mut vs = BTreeSet::new();
@@ -826,19 +829,15 @@ impl DataDecl {
         // pin a parameter's arity directly; occurrences as arguments
         // to the type being declared inherit the (current guess of)
         // the corresponding parameter kind.
-        let mut kinds: std::collections::BTreeMap<TyVar, usize> =
-            std::collections::BTreeMap::new();
+        let mut kinds: std::collections::BTreeMap<TyVar, usize> = std::collections::BTreeMap::new();
         let param_set: BTreeSet<TyVar> = params.iter().copied().collect();
         for _round in 0..8 {
             let before = kinds.clone();
             for (_, args) in &ctors {
                 for t in args {
-                    scan_kinds(t, name, &params, &param_set, &mut kinds)
-                        .map_err(|(v, a, b)| {
-                            format!(
-                                "parameter `{v}` of `{name}` used at arities {a} and {b}"
-                            )
-                        })?;
+                    scan_kinds(t, name, &params, &param_set, &mut kinds).map_err(|(v, a, b)| {
+                        format!("parameter `{v}` of `{name}` used at arities {a} and {b}")
+                    })?;
                 }
             }
             if kinds == before {
@@ -1001,7 +1000,11 @@ mod tests {
     #[test]
     fn context_dedups_alpha_equivalent_entries() {
         let b = Symbol::intern("b");
-        let ra = RuleType::new(vec![a()], vec![], Type::arrow(Type::var(a()), Type::var(a())));
+        let ra = RuleType::new(
+            vec![a()],
+            vec![],
+            Type::arrow(Type::var(a()), Type::var(a())),
+        );
         let rb = RuleType::new(vec![b], vec![], Type::arrow(Type::var(b), Type::var(b)));
         let r = RuleType::new(vec![], vec![ra, rb], Type::Int);
         assert_eq!(r.context().len(), 1);
@@ -1066,7 +1069,10 @@ mod tests {
         decls.declare(decl).unwrap();
         let d = decls.lookup(eq).unwrap();
         let ty = d.field_type(field, &[Type::Int]).unwrap();
-        assert_eq!(ty, Type::arrow(Type::Int, Type::arrow(Type::Int, Type::Bool)));
+        assert_eq!(
+            ty,
+            Type::arrow(Type::Int, Type::arrow(Type::Int, Type::Bool))
+        );
     }
 
     #[test]
@@ -1085,7 +1091,10 @@ mod tests {
     fn type_size_counts_constructors() {
         assert_eq!(Type::Int.size(), 1);
         assert_eq!(Type::arrow(Type::Int, Type::Bool).size(), 3);
-        assert_eq!(Type::prod(Type::Int, Type::prod(Type::Int, Type::Int)).size(), 5);
+        assert_eq!(
+            Type::prod(Type::Int, Type::prod(Type::Int, Type::Int)).size(),
+            5
+        );
     }
 
     #[test]

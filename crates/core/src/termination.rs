@@ -232,7 +232,10 @@ mod tests {
         // {Int} ⇒ Bool : premise size == head size.
         let bad = RuleType::mono(vec![Type::Int.promote()], Type::Bool);
         let err = check_rule(&bad).unwrap_err();
-        assert!(matches!(err, TerminationViolation::PremiseNotSmaller { .. }));
+        assert!(matches!(
+            err,
+            TerminationViolation::PremiseNotSmaller { .. }
+        ));
     }
 
     #[test]

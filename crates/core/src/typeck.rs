@@ -148,12 +148,18 @@ impl fmt::Display for TypeError {
                 what,
                 expected,
                 found,
-            } => write!(f, "{what}: expected {expected} type argument(s), found {found}"),
+            } => write!(
+                f,
+                "{what}: expected {expected} type argument(s), found {found}"
+            ),
             TypeError::Mismatch {
                 expected,
                 found,
                 context,
-            } => write!(f, "type mismatch in {context}: expected `{expected}`, found `{found}`"),
+            } => write!(
+                f,
+                "type mismatch in {context}: expected `{expected}`, found `{found}`"
+            ),
             TypeError::NotAFunction(t) => write!(f, "cannot apply a value of type `{t}`"),
             TypeError::NotAPair(t) => write!(f, "cannot project a value of type `{t}`"),
             TypeError::NotAList(t) => write!(f, "cannot match a value of type `{t}` as a list"),
@@ -194,7 +200,10 @@ impl fmt::Display for TypeError {
             ),
             TypeError::NotAConstructor { found, arity } => {
                 if *arity == 0 {
-                    write!(f, "expected a plain type argument, found constructor `{found}`")
+                    write!(
+                        f,
+                        "expected a plain type argument, found constructor `{found}`"
+                    )
                 } else {
                     write!(
                         f,
@@ -697,10 +706,11 @@ impl<'d> Typechecker<'d> {
                     .decls
                     .lookup(name)
                     .ok_or(TypeError::UnknownInterface(name))?;
-                decl.field_type(*field, &args).ok_or(TypeError::UnknownField {
-                    interface: name,
-                    field: *field,
-                })
+                decl.field_type(*field, &args)
+                    .ok_or(TypeError::UnknownField {
+                        interface: name,
+                        field: *field,
+                    })
             }
             Expr::Inject(ctor, targs, args) => self.check_inject(st, *ctor, targs, args),
             Expr::Match(scrut, arms) => self.check_match(st, scrut, arms),
@@ -717,57 +727,53 @@ impl<'d> Typechecker<'d> {
         targs: &[Type],
         args: &[Expr],
     ) -> Result<Type, TypeError> {
-
-                let (data, _) = self
-                    .decls
-                    .lookup_ctor(ctor)
-                    .ok_or(TypeError::UnknownCtor(ctor))?;
-                let data = data.clone();
-                if data.params.len() != targs.len() {
-                    return Err(TypeError::ArityMismatch {
-                        what: format!("data type `{}`", data.name),
-                        expected: data.params.len(),
-                        found: targs.len(),
-                    });
-                }
-                // Kind-check (and coerce) the type arguments.
-                let mut fixed = Vec::with_capacity(targs.len());
-                for ((_, k), t) in data.params.iter().zip(targs) {
-                    if *k == 0 {
-                        self.check_wf(st, t)?;
-                        fixed.push(t.clone());
-                    } else {
-                        self.check_wf_at_kind(st, t, *k)?;
-                        fixed.push(match t {
-                            Type::Con(n, a) if a.is_empty() => {
-                                Type::Ctor(crate::syntax::TyCon::Named(*n))
-                            }
-                            other => other.clone(),
-                        });
-                    }
-                }
-                let want = data
-                    .ctor_arg_types(ctor, &fixed)
-                    .expect("ctor just looked up");
-                if want.len() != args.len() {
-                    return Err(TypeError::ArityMismatch {
-                        what: format!("constructor `{ctor}`"),
-                        expected: want.len(),
-                        found: args.len(),
-                    });
-                }
-                for (w, a) in want.iter().zip(args) {
-                    let got = self.check(st, a)?;
-                    if !types_equal(&got, w) {
-                        return Err(TypeError::Mismatch {
-                            expected: w.clone(),
-                            found: got,
-                            context: format!("argument of constructor `{ctor}`"),
-                        });
-                    }
-                }
-                Ok(Type::Con(data.name, fixed))
-            
+        let (data, _) = self
+            .decls
+            .lookup_ctor(ctor)
+            .ok_or(TypeError::UnknownCtor(ctor))?;
+        let data = data.clone();
+        if data.params.len() != targs.len() {
+            return Err(TypeError::ArityMismatch {
+                what: format!("data type `{}`", data.name),
+                expected: data.params.len(),
+                found: targs.len(),
+            });
+        }
+        // Kind-check (and coerce) the type arguments.
+        let mut fixed = Vec::with_capacity(targs.len());
+        for ((_, k), t) in data.params.iter().zip(targs) {
+            if *k == 0 {
+                self.check_wf(st, t)?;
+                fixed.push(t.clone());
+            } else {
+                self.check_wf_at_kind(st, t, *k)?;
+                fixed.push(match t {
+                    Type::Con(n, a) if a.is_empty() => Type::Ctor(crate::syntax::TyCon::Named(*n)),
+                    other => other.clone(),
+                });
+            }
+        }
+        let want = data
+            .ctor_arg_types(ctor, &fixed)
+            .expect("ctor just looked up");
+        if want.len() != args.len() {
+            return Err(TypeError::ArityMismatch {
+                what: format!("constructor `{ctor}`"),
+                expected: want.len(),
+                found: args.len(),
+            });
+        }
+        for (w, a) in want.iter().zip(args) {
+            let got = self.check(st, a)?;
+            if !types_equal(&got, w) {
+                return Err(TypeError::Mismatch {
+                    expected: w.clone(),
+                    found: got,
+                    context: format!("argument of constructor `{ctor}`"),
+                });
+            }
+        }
+        Ok(Type::Con(data.name, fixed))
     }
 
     /// `Expr::Match` checking, out of line to keep the recursive
@@ -779,81 +785,78 @@ impl<'d> Typechecker<'d> {
         scrut: &Expr,
         arms: &[crate::syntax::MatchArm],
     ) -> Result<Type, TypeError> {
-
-                let ts = self.check(st, scrut)?;
-                let Type::Con(name, targs) = &ts else {
-                    return Err(TypeError::NotAData(ts));
-                };
-                let Some(data) = self.decls.lookup_data(*name).cloned() else {
-                    return Err(TypeError::NotAData(ts.clone()));
-                };
-                // Arms must cover the constructors exactly, each once.
-                let mut remaining: Vec<Symbol> =
-                    data.ctors.iter().map(|(c, _)| *c).collect();
-                let mut result: Option<Type> = None;
-                for arm in arms {
-                    let Some(pos) = remaining.iter().position(|c| *c == arm.ctor) else {
-                        return Err(TypeError::BadMatch {
-                            data: *name,
-                            reason: format!(
-                                "constructor `{}` is not a (remaining) constructor",
-                                arm.ctor
-                            ),
-                        });
-                    };
-                    remaining.remove(pos);
-                    let want = data
-                        .ctor_arg_types(arm.ctor, targs)
-                        .expect("arm ctor exists");
-                    if want.len() != arm.binders.len() {
-                        return Err(TypeError::BadMatch {
-                            data: *name,
-                            reason: format!(
-                                "constructor `{}` has {} argument(s), {} binder(s) given",
-                                arm.ctor,
-                                want.len(),
-                                arm.binders.len()
-                            ),
-                        });
-                    }
-                    for (b, w) in arm.binders.iter().zip(&want) {
-                        st.gamma.push((*b, w.clone()));
-                    }
-                    let got = self.check(st, &arm.body);
-                    for _ in &arm.binders {
-                        st.gamma.pop();
-                    }
-                    let got = got?;
-                    match &result {
-                        None => result = Some(got),
-                        Some(prev) if types_equal(prev, &got) => {}
-                        Some(prev) => {
-                            return Err(TypeError::Mismatch {
-                                expected: prev.clone(),
-                                found: got,
-                                context: "match arms".into(),
-                            })
-                        }
-                    }
-                }
-                if !remaining.is_empty() {
-                    return Err(TypeError::BadMatch {
-                        data: *name,
-                        reason: format!(
-                            "non-exhaustive match; missing {}",
-                            remaining
-                                .iter()
-                                .map(|c| format!("`{c}`"))
-                                .collect::<Vec<_>>()
-                                .join(", ")
-                        ),
-                    });
-                }
-                result.ok_or(TypeError::BadMatch {
+        let ts = self.check(st, scrut)?;
+        let Type::Con(name, targs) = &ts else {
+            return Err(TypeError::NotAData(ts));
+        };
+        let Some(data) = self.decls.lookup_data(*name).cloned() else {
+            return Err(TypeError::NotAData(ts.clone()));
+        };
+        // Arms must cover the constructors exactly, each once.
+        let mut remaining: Vec<Symbol> = data.ctors.iter().map(|(c, _)| *c).collect();
+        let mut result: Option<Type> = None;
+        for arm in arms {
+            let Some(pos) = remaining.iter().position(|c| *c == arm.ctor) else {
+                return Err(TypeError::BadMatch {
                     data: *name,
-                    reason: "empty match".into(),
-                })
-            
+                    reason: format!(
+                        "constructor `{}` is not a (remaining) constructor",
+                        arm.ctor
+                    ),
+                });
+            };
+            remaining.remove(pos);
+            let want = data
+                .ctor_arg_types(arm.ctor, targs)
+                .expect("arm ctor exists");
+            if want.len() != arm.binders.len() {
+                return Err(TypeError::BadMatch {
+                    data: *name,
+                    reason: format!(
+                        "constructor `{}` has {} argument(s), {} binder(s) given",
+                        arm.ctor,
+                        want.len(),
+                        arm.binders.len()
+                    ),
+                });
+            }
+            for (b, w) in arm.binders.iter().zip(&want) {
+                st.gamma.push((*b, w.clone()));
+            }
+            let got = self.check(st, &arm.body);
+            for _ in &arm.binders {
+                st.gamma.pop();
+            }
+            let got = got?;
+            match &result {
+                None => result = Some(got),
+                Some(prev) if types_equal(prev, &got) => {}
+                Some(prev) => {
+                    return Err(TypeError::Mismatch {
+                        expected: prev.clone(),
+                        found: got,
+                        context: "match arms".into(),
+                    })
+                }
+            }
+        }
+        if !remaining.is_empty() {
+            return Err(TypeError::BadMatch {
+                data: *name,
+                reason: format!(
+                    "non-exhaustive match; missing {}",
+                    remaining
+                        .iter()
+                        .map(|c| format!("`{c}`"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+            });
+        }
+        result.ok_or(TypeError::BadMatch {
+            data: *name,
+            reason: "empty match".into(),
+        })
     }
 
     fn check_binop(&self, op: BinOp, ta: Type, tb: Type) -> Result<Type, TypeError> {
@@ -921,12 +924,7 @@ impl<'d> Typechecker<'d> {
     /// application against the quantifier's kind `k`: plain types for
     /// `k = 0`, constructor references for `k > 0` (a bare interface
     /// name `I` is coerced from `Con(I, [])` to a constructor).
-    fn check_type_argument(
-        &self,
-        st: &State,
-        arg: &Type,
-        k: usize,
-    ) -> Result<Type, TypeError> {
+    fn check_type_argument(&self, st: &State, arg: &Type, k: usize) -> Result<Type, TypeError> {
         use crate::syntax::TyCon;
         if k == 0 {
             if matches!(arg, Type::Ctor(_)) {
@@ -1074,10 +1072,12 @@ impl<'d> Typechecker<'d> {
         }
         match ty {
             Type::Ctor(c) => {
-                let arity = c.arity(self.decls).ok_or(TypeError::UnknownInterface(match c {
-                    TyCon::Named(n) => *n,
-                    TyCon::List => Symbol::intern("List"),
-                }))?;
+                let arity = c
+                    .arity(self.decls)
+                    .ok_or(TypeError::UnknownInterface(match c {
+                        TyCon::Named(n) => *n,
+                        TyCon::List => Symbol::intern("List"),
+                    }))?;
                 if arity != k {
                     return Err(TypeError::ArityMismatch {
                         what: format!("constructor `{c}`"),
@@ -1383,12 +1383,19 @@ mod tests {
         let rho = RuleType::mono(vec![Type::Int.promote(), Type::Bool.promote()], Type::Int);
         let abs = Expr::rule_abs(rho, Expr::query_simple(Type::Int));
         let app = Expr::with(abs, vec![(Expr::Int(1), Type::Int.promote())]);
-        assert!(matches!(check(&app), Err(TypeError::ContextMismatch { .. })));
+        assert!(matches!(
+            check(&app),
+            Err(TypeError::ContextMismatch { .. })
+        ));
     }
 
     #[test]
     fn rule_application_to_polymorphic_rule_rejected() {
-        let rho = RuleType::new(vec![v("a")], vec![tv("a").promote()], Type::prod(tv("a"), tv("a")));
+        let rho = RuleType::new(
+            vec![v("a")],
+            vec![tv("a").promote()],
+            Type::prod(tv("a"), tv("a")),
+        );
         let abs = Expr::rule_abs(
             rho,
             Expr::pair(Expr::query_simple(tv("a")), Expr::query_simple(tv("a"))),
@@ -1502,7 +1509,11 @@ mod tests {
                 Expr::lam(
                     "x",
                     Type::Int,
-                    Expr::lam("y", Type::Int, Expr::binop(BinOp::Eq, Expr::var("x"), Expr::var("y"))),
+                    Expr::lam(
+                        "y",
+                        Type::Int,
+                        Expr::binop(BinOp::Eq, Expr::var("x"), Expr::var("y")),
+                    ),
                 ),
             )],
         );
@@ -1544,15 +1555,21 @@ mod tests {
             ],
             Type::prod(Type::prod(Type::Int, Type::Int), Type::Int),
         );
-        let e = Expr::rule_abs(looping, Expr::pair(
-            Expr::pair(Expr::query_simple(Type::Int), Expr::Int(0)),
-            Expr::Int(0),
-        ));
+        let e = Expr::rule_abs(
+            looping,
+            Expr::pair(
+                Expr::pair(Expr::query_simple(Type::Int), Expr::Int(0)),
+                Expr::Int(0),
+            ),
+        );
         let decls = Declarations::new();
         // Lenient mode accepts the definition (resolution inside is
         // cut by fuel only if actually queried to a loop)…
         // …but strict mode rejects the context outright.
-        let err = Typechecker::new(&decls).strict().check_closed(&e).unwrap_err();
+        let err = Typechecker::new(&decls)
+            .strict()
+            .check_closed(&e)
+            .unwrap_err();
         assert!(matches!(err, TypeError::Termination(_)), "got {err:?}");
     }
 
@@ -1579,7 +1596,10 @@ mod tests {
         );
         let decls = Declarations::new();
         assert_eq!(
-            Typechecker::new(&decls).strict().check_closed(&app).unwrap(),
+            Typechecker::new(&decls)
+                .strict()
+                .check_closed(&app)
+                .unwrap(),
             Type::prod(Type::Int, Type::Bool)
         );
     }
@@ -1614,7 +1634,10 @@ mod tests {
         // Lenient mode accepts g…
         assert!(Typechecker::new(&decls).check_closed(&g).is_ok());
         // …strict mode rejects it at the `with` site.
-        let err = Typechecker::new(&decls).strict().check_closed(&g).unwrap_err();
+        let err = Typechecker::new(&decls)
+            .strict()
+            .check_closed(&g)
+            .unwrap_err();
         assert!(matches!(err, TypeError::Coherence(_)), "got {err:?}");
     }
 
@@ -1626,7 +1649,11 @@ mod tests {
         let outer_ty = RuleType::new(vec![v("b")], vec![], Type::arrow(tv("b"), tv("b")));
         let id_poly_ty = RuleType::new(vec![v("c")], vec![], Type::arrow(tv("c"), tv("c")));
         let id_poly = Expr::rule_abs(id_poly_ty.clone(), Expr::lam("x", tv("c"), Expr::var("x")));
-        let inc = Expr::lam("n", Type::Int, Expr::binop(BinOp::Add, Expr::var("n"), Expr::Int(1)));
+        let inc = Expr::lam(
+            "n",
+            Type::Int,
+            Expr::binop(BinOp::Add, Expr::var("n"), Expr::Int(1)),
+        );
         // implicit {id_poly} in implicit {inc} in ?(b → b)
         let inner = Expr::implicit(
             vec![(inc, Type::arrow(Type::Int, Type::Int).promote())],
@@ -1668,7 +1695,10 @@ mod tests {
             Type::arrow(tv("b"), tv("b")),
         );
         let coherent = Expr::rule_abs(outer_ty, coherent_body);
-        assert!(Typechecker::new(&decls).strict().check_closed(&coherent).is_ok());
+        assert!(Typechecker::new(&decls)
+            .strict()
+            .check_closed(&coherent)
+            .is_ok());
     }
 
     #[test]

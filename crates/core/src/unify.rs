@@ -252,6 +252,17 @@ impl Matcher {
 /// assert_eq!(theta.apply_type(&pattern), target);
 /// ```
 pub fn match_type(pattern: &Type, target: &Type, vars: &[TyVar]) -> Option<TySubst> {
+    // A ground pattern has no variables to instantiate, so the match
+    // is decided by (hash-consed, O(1)-amortized) identity — except
+    // around first-class constructor references, whose nullary
+    // `Con`/`Ctor` identification needs the full matcher.
+    if crate::intern::is_ground(pattern) {
+        match crate::intern::ground_head_check(pattern, target) {
+            crate::intern::GroundCheck::Match => return Some(TySubst::new()),
+            crate::intern::GroundCheck::NoMatch => return None,
+            crate::intern::GroundCheck::Unknown => {}
+        }
+    }
     let mut m = Matcher::new(vars);
     if m.match_type(pattern, target, &Vec::new()) {
         Some(m.into_subst())
@@ -281,7 +292,12 @@ pub fn match_rule(pattern: &RuleType, target: &RuleType, vars: &[TyVar]) -> Opti
 /// failures).
 pub fn mgu(left: &Type, right: &Type) -> Option<TySubst> {
     let mut subst = TySubst::new();
-    if unify_types(&subst.apply_type(left), &subst.apply_type(right), &mut subst, &Vec::new()) {
+    if unify_types(
+        &subst.apply_type(left),
+        &subst.apply_type(right),
+        &mut subst,
+        &Vec::new(),
+    ) {
         Some(subst)
     } else {
         None
@@ -442,8 +458,12 @@ mod tests {
 
     #[test]
     fn matches_instantiate_flexible_vars() {
-        let theta = match_type(&Type::arrow(tv("a"), tv("b")), &Type::arrow(Type::Int, Type::Bool), &[v("a"), v("b")])
-            .unwrap();
+        let theta = match_type(
+            &Type::arrow(tv("a"), tv("b")),
+            &Type::arrow(Type::Int, Type::Bool),
+            &[v("a"), v("b")],
+        )
+        .unwrap();
         assert_eq!(theta.get(v("a")), Some(&Type::Int));
         assert_eq!(theta.get(v("b")), Some(&Type::Bool));
     }
@@ -515,7 +535,11 @@ mod tests {
             vec![tv("a").promote(), tv("b").promote()],
             Type::prod(tv("a"), tv("b")),
         );
-        let tgt = RuleType::new(vec![], vec![Type::Int.promote()], Type::prod(Type::Int, Type::Int));
+        let tgt = RuleType::new(
+            vec![],
+            vec![Type::Int.promote()],
+            Type::prod(Type::Int, Type::Int),
+        );
         assert!(match_rule(&pat, &tgt, &[v("a"), v("b")]).is_some());
     }
 
@@ -542,7 +566,11 @@ mod tests {
 
     #[test]
     fn mgu_unifies_both_sides() {
-        let theta = mgu(&Type::arrow(tv("a"), Type::Int), &Type::arrow(Type::Bool, tv("b"))).unwrap();
+        let theta = mgu(
+            &Type::arrow(tv("a"), Type::Int),
+            &Type::arrow(Type::Bool, tv("b")),
+        )
+        .unwrap();
         assert_eq!(theta.apply_type(&tv("a")), Type::Bool);
         assert_eq!(theta.apply_type(&tv("b")), Type::Int);
     }
@@ -559,7 +587,11 @@ mod tests {
         let h2 = Type::arrow(Type::Int, tv("b"));
         assert!(mgu(&h1, &h2).is_some());
         // ∀a. a × a and Int → Int do not overlap.
-        assert!(mgu(&Type::prod(tv("a"), tv("a")), &Type::arrow(Type::Int, Type::Int)).is_none());
+        assert!(mgu(
+            &Type::prod(tv("a"), tv("a")),
+            &Type::arrow(Type::Int, Type::Int)
+        )
+        .is_none());
     }
 
     #[test]

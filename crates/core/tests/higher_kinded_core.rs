@@ -22,7 +22,11 @@ fn alpha_equivalence_covers_constructor_binders() {
     let rg = RuleType::new(vec![v("g")], vec![], Type::var_app(v("g"), vec![Type::Int]));
     assert!(alpha::alpha_eq(&rf, &rg));
     // …but not ≡ ∀h. {} ⇒ h Bool.
-    let rh = RuleType::new(vec![v("h")], vec![], Type::var_app(v("h"), vec![Type::Bool]));
+    let rh = RuleType::new(
+        vec![v("h")],
+        vec![],
+        Type::var_app(v("h"), vec![Type::Bool]),
+    );
     assert!(!alpha::alpha_eq(&rf, &rh));
     // Free constructor heads keep their identity.
     let free1 = RuleType::simple(Type::var_app(v("p"), vec![Type::Int]));
@@ -71,8 +75,8 @@ fn parsing_and_printing_roundtrip_applied_variables() {
     for src in sources {
         let r = parse_rule_type(src).unwrap_or_else(|e| panic!("{src}: {e}"));
         let printed = r.to_string();
-        let reparsed = parse_rule_type(&printed)
-            .unwrap_or_else(|e| panic!("reparse `{printed}`: {e}"));
+        let reparsed =
+            parse_rule_type(&printed).unwrap_or_else(|e| panic!("reparse `{printed}`: {e}"));
         assert!(alpha::alpha_eq(&r, &reparsed), "roundtrip changed `{src}`");
     }
     // `List` bare is a constructor reference; applied it is the list
@@ -126,7 +130,10 @@ fn matching_keeps_head_consistency() {
         Type::var_app(f, vec![Type::Bool]),
     );
     let target_ok = Type::prod(Type::list(Type::Int), Type::list(Type::Bool));
-    let target_bad = Type::prod(Type::list(Type::Int), Type::Con(v("BoxM"), vec![Type::Bool]));
+    let target_bad = Type::prod(
+        Type::list(Type::Int),
+        Type::Con(v("BoxM"), vec![Type::Bool]),
+    );
     assert!(implicit_core::unify::match_type(&pattern, &target_ok, &[f]).is_some());
     assert!(implicit_core::unify::match_type(&pattern, &target_bad, &[f]).is_none());
 }

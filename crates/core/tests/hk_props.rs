@@ -43,13 +43,17 @@ fn arb_ctor() -> impl Strategy<Value = Type> {
 }
 
 fn arb_ground() -> impl Strategy<Value = Type> {
-    prop_oneof![Just(Type::Int), Just(Type::Bool), Just(Type::Str)]
-        .prop_recursive(2, 8, 2, |inner| {
+    prop_oneof![Just(Type::Int), Just(Type::Bool), Just(Type::Str)].prop_recursive(
+        2,
+        8,
+        2,
+        |inner| {
             prop_oneof![
                 inner.clone().prop_map(Type::list),
                 (inner.clone(), inner).prop_map(|(a, b)| Type::prod(a, b)),
             ]
-        })
+        },
+    )
 }
 
 proptest! {

@@ -58,16 +58,19 @@ fn arb_ground_type() -> impl Strategy<Value = Type> {
 
 /// Arbitrary rule types: quantify over the variables that occur.
 fn arb_rule_type() -> impl Strategy<Value = RuleType> {
-    (arb_type(), proptest::collection::vec(arb_type(), 0..3), any::<bool>()).prop_map(
-        |(head, ctx, quantify)| {
+    (
+        arb_type(),
+        proptest::collection::vec(arb_type(), 0..3),
+        any::<bool>(),
+    )
+        .prop_map(|(head, ctx, quantify)| {
             let vars: Vec<Symbol> = if quantify {
                 head.ftv().into_iter().collect()
             } else {
                 Vec::new()
             };
             RuleType::new(vars, ctx.into_iter().map(|t| t.promote()).collect(), head)
-        },
-    )
+        })
 }
 
 /// Arbitrary ground substitutions over the fixed variable pool.

@@ -295,10 +295,8 @@ impl<'d> Elaborator<'d> {
                     return Err(TypeError::Ambiguous(rho.clone()).into());
                 }
                 // TrRule: Λᾱ. λ(x̄:|ρ̄|). E
-                let ev_vars: Vec<Symbol> =
-                    rho.context().iter().map(|_| fresh("ev")).collect();
-                let binder_kinds =
-                    implicit_core::typeck::infer_binder_kinds(self.decls, &rho)?;
+                let ev_vars: Vec<Symbol> = rho.context().iter().map(|_| fresh("ev")).collect();
+                let binder_kinds = implicit_core::typeck::infer_binder_kinds(self.decls, &rho)?;
                 for v in rho.vars() {
                     st.tyvars.insert(*v);
                     st.kinds
@@ -599,10 +597,12 @@ impl<'d> Elaborator<'d> {
                     .decls
                     .lookup(name)
                     .ok_or(TypeError::UnknownInterface(name))?;
-                let t = decl.field_type(*field, &targs).ok_or(TypeError::UnknownField {
-                    interface: name,
-                    field: *field,
-                })?;
+                let t = decl
+                    .field_type(*field, &targs)
+                    .ok_or(TypeError::UnknownField {
+                        interface: name,
+                        field: *field,
+                    })?;
                 Ok((t, FExpr::Proj(er.into(), *field)))
             }
             Expr::Inject(ctor, targs, args) => self.elab_inject(st, *ctor, targs, args),
@@ -620,61 +620,59 @@ impl<'d> Elaborator<'d> {
         targs: &[Type],
         args: &[Expr],
     ) -> Result<(Type, FExpr), ElabError> {
-
-                let (data, _) = self
-                    .decls
-                    .lookup_ctor(ctor)
-                    .ok_or(TypeError::UnknownCtor(ctor))?;
-                let data = data.clone();
-                if data.params.len() != targs.len() {
-                    return Err(TypeError::ArityMismatch {
-                        what: format!("data type `{}`", data.name),
-                        expected: data.params.len(),
-                        found: targs.len(),
-                    }
-                    .into());
+        let (data, _) = self
+            .decls
+            .lookup_ctor(ctor)
+            .ok_or(TypeError::UnknownCtor(ctor))?;
+        let data = data.clone();
+        if data.params.len() != targs.len() {
+            return Err(TypeError::ArityMismatch {
+                what: format!("data type `{}`", data.name),
+                expected: data.params.len(),
+                found: targs.len(),
+            }
+            .into());
+        }
+        // Coerce constructor-kind arguments (mirrors typeck).
+        let fixed: Vec<Type> = data
+            .params
+            .iter()
+            .zip(targs)
+            .map(|((_, k), t)| match t {
+                Type::Con(n, a) if *k > 0 && a.is_empty() => {
+                    Type::Ctor(implicit_core::syntax::TyCon::Named(*n))
                 }
-                // Coerce constructor-kind arguments (mirrors typeck).
-                let fixed: Vec<Type> = data
-                    .params
-                    .iter()
-                    .zip(targs)
-                    .map(|((_, k), t)| match t {
-                        Type::Con(n, a) if *k > 0 && a.is_empty() => {
-                            Type::Ctor(implicit_core::syntax::TyCon::Named(*n))
-                        }
-                        other => other.clone(),
-                    })
-                    .collect();
-                let want = data
-                    .ctor_arg_types(ctor, &fixed)
-                    .expect("ctor just looked up");
-                if want.len() != args.len() {
-                    return Err(TypeError::ArityMismatch {
-                        what: format!("constructor `{ctor}`"),
-                        expected: want.len(),
-                        found: args.len(),
-                    }
-                    .into());
+                other => other.clone(),
+            })
+            .collect();
+        let want = data
+            .ctor_arg_types(ctor, &fixed)
+            .expect("ctor just looked up");
+        if want.len() != args.len() {
+            return Err(TypeError::ArityMismatch {
+                what: format!("constructor `{ctor}`"),
+                expected: want.len(),
+                found: args.len(),
+            }
+            .into());
+        }
+        let mut f_args = Vec::with_capacity(args.len());
+        for (w, a) in want.iter().zip(args) {
+            let (got, ea) = self.elab(st, a)?;
+            if !types_equal(&got, w) {
+                return Err(TypeError::Mismatch {
+                    expected: w.clone(),
+                    found: got,
+                    context: format!("argument of constructor `{ctor}`"),
                 }
-                let mut f_args = Vec::with_capacity(args.len());
-                for (w, a) in want.iter().zip(args) {
-                    let (got, ea) = self.elab(st, a)?;
-                    if !types_equal(&got, w) {
-                        return Err(TypeError::Mismatch {
-                            expected: w.clone(),
-                            found: got,
-                            context: format!("argument of constructor `{ctor}`"),
-                        }
-                        .into());
-                    }
-                    f_args.push(ea);
-                }
-                Ok((
-                    Type::Con(data.name, fixed.clone()),
-                    FExpr::Inject(ctor, fixed.iter().map(translate_type).collect(), f_args),
-                ))
-            
+                .into());
+            }
+            f_args.push(ea);
+        }
+        Ok((
+            Type::Con(data.name, fixed.clone()),
+            FExpr::Inject(ctor, fixed.iter().map(translate_type).collect(), f_args),
+        ))
     }
 
     /// `Expr::Match` elaboration, out of line to keep the recursive
@@ -686,76 +684,73 @@ impl<'d> Elaborator<'d> {
         scrut: &Expr,
         arms: &[implicit_core::syntax::MatchArm],
     ) -> Result<(Type, FExpr), ElabError> {
-
-                let (ts, es) = self.elab(st, scrut)?;
-                let Type::Con(name, targs) = &ts else {
-                    return Err(TypeError::NotAData(ts).into());
-                };
-                let Some(data) = self.decls.lookup_data(*name).cloned() else {
-                    return Err(TypeError::NotAData(ts.clone()).into());
-                };
-                let mut remaining: Vec<Symbol> =
-                    data.ctors.iter().map(|(c, _)| *c).collect();
-                let mut result: Option<Type> = None;
-                let mut f_arms = Vec::with_capacity(arms.len());
-                for arm in arms {
-                    let Some(pos) = remaining.iter().position(|c| *c == arm.ctor) else {
-                        return Err(TypeError::BadMatch {
-                            data: *name,
-                            reason: format!("unexpected arm `{}`", arm.ctor),
-                        }
-                        .into());
-                    };
-                    remaining.remove(pos);
-                    let want = data
-                        .ctor_arg_types(arm.ctor, targs)
-                        .expect("arm ctor exists");
-                    if want.len() != arm.binders.len() {
-                        return Err(TypeError::BadMatch {
-                            data: *name,
-                            reason: format!("binder count for `{}`", arm.ctor),
-                        }
-                        .into());
-                    }
-                    for (b, w) in arm.binders.iter().zip(&want) {
-                        st.gamma.push((*b, w.clone()));
-                    }
-                    let out = self.elab(st, &arm.body);
-                    for _ in &arm.binders {
-                        st.gamma.pop();
-                    }
-                    let (got, eb) = out?;
-                    match &result {
-                        None => result = Some(got),
-                        Some(prev) if types_equal(prev, &got) => {}
-                        Some(prev) => {
-                            return Err(TypeError::Mismatch {
-                                expected: prev.clone(),
-                                found: got,
-                                context: "match arms".into(),
-                            }
-                            .into())
-                        }
-                    }
-                    f_arms.push(systemf::syntax::FMatchArm {
-                        ctor: arm.ctor,
-                        binders: arm.binders.clone(),
-                        body: eb,
-                    });
-                }
-                if !remaining.is_empty() {
-                    return Err(TypeError::BadMatch {
-                        data: *name,
-                        reason: "non-exhaustive match".into(),
-                    }
-                    .into());
-                }
-                let result = result.ok_or(TypeError::BadMatch {
+        let (ts, es) = self.elab(st, scrut)?;
+        let Type::Con(name, targs) = &ts else {
+            return Err(TypeError::NotAData(ts).into());
+        };
+        let Some(data) = self.decls.lookup_data(*name).cloned() else {
+            return Err(TypeError::NotAData(ts.clone()).into());
+        };
+        let mut remaining: Vec<Symbol> = data.ctors.iter().map(|(c, _)| *c).collect();
+        let mut result: Option<Type> = None;
+        let mut f_arms = Vec::with_capacity(arms.len());
+        for arm in arms {
+            let Some(pos) = remaining.iter().position(|c| *c == arm.ctor) else {
+                return Err(TypeError::BadMatch {
                     data: *name,
-                    reason: "empty match".into(),
-                })?;
-                Ok((result, FExpr::Match(es.into(), f_arms)))
-            
+                    reason: format!("unexpected arm `{}`", arm.ctor),
+                }
+                .into());
+            };
+            remaining.remove(pos);
+            let want = data
+                .ctor_arg_types(arm.ctor, targs)
+                .expect("arm ctor exists");
+            if want.len() != arm.binders.len() {
+                return Err(TypeError::BadMatch {
+                    data: *name,
+                    reason: format!("binder count for `{}`", arm.ctor),
+                }
+                .into());
+            }
+            for (b, w) in arm.binders.iter().zip(&want) {
+                st.gamma.push((*b, w.clone()));
+            }
+            let out = self.elab(st, &arm.body);
+            for _ in &arm.binders {
+                st.gamma.pop();
+            }
+            let (got, eb) = out?;
+            match &result {
+                None => result = Some(got),
+                Some(prev) if types_equal(prev, &got) => {}
+                Some(prev) => {
+                    return Err(TypeError::Mismatch {
+                        expected: prev.clone(),
+                        found: got,
+                        context: "match arms".into(),
+                    }
+                    .into())
+                }
+            }
+            f_arms.push(systemf::syntax::FMatchArm {
+                ctor: arm.ctor,
+                binders: arm.binders.clone(),
+                body: eb,
+            });
+        }
+        if !remaining.is_empty() {
+            return Err(TypeError::BadMatch {
+                data: *name,
+                reason: "non-exhaustive match".into(),
+            }
+            .into());
+        }
+        let result = result.ok_or(TypeError::BadMatch {
+            data: *name,
+            reason: "empty match".into(),
+        })?;
+        Ok((result, FExpr::Match(es.into(), f_arms)))
     }
 
     /// Rule `TrRes`: turns a resolution derivation into System F
@@ -820,9 +815,7 @@ fn coerce_type_arguments(
         let fixed = match (k, arg) {
             (0, _) => arg.clone(),
             (_, Type::Con(n, a)) if a.is_empty() => {
-                let decl = decls
-                    .lookup(*n)
-                    .ok_or(TypeError::UnknownInterface(*n))?;
+                let decl = decls.lookup(*n).ok_or(TypeError::UnknownInterface(*n))?;
                 if decl.vars.len() != k {
                     return Err(TypeError::ArityMismatch {
                         what: format!("constructor `{n}`"),
@@ -839,11 +832,7 @@ fn coerce_type_arguments(
     Ok(out)
 }
 
-fn check_binop(
-    op: implicit_core::syntax::BinOp,
-    ta: Type,
-    tb: Type,
-) -> Result<Type, TypeError> {
+fn check_binop(op: implicit_core::syntax::BinOp, ta: Type, tb: Type) -> Result<Type, TypeError> {
     use implicit_core::syntax::BinOp::*;
     let err = |expected: Type, found: Type| TypeError::Mismatch {
         expected,
@@ -1026,9 +1015,7 @@ mod tests {
 
     #[test]
     fn e1_returns_2_false() {
-        let out = run0(
-            "implicit {1 : Int, true : Bool} in (?(Int) + 1, not ?(Bool)) : Int * Bool",
-        );
+        let out = run0("implicit {1 : Int, true : Bool} in (?(Int) + 1, not ?(Bool)) : Int * Bool");
         assert_eq!(out.value.to_string(), "(2, false)");
         assert_eq!(out.target_type, FType::prod(FType::Int, FType::Bool));
     }
@@ -1097,7 +1084,10 @@ mod tests {
         );
         let e = Expr::rule_abs(
             rho,
-            Expr::pair(Expr::query_simple(tv("alpha")), Expr::query_simple(tv("alpha"))),
+            Expr::pair(
+                Expr::query_simple(tv("alpha")),
+                Expr::query_simple(tv("alpha")),
+            ),
         );
         let (_, fe) = elaborate(&Declarations::new(), &e).unwrap();
         match fe {
@@ -1129,7 +1119,10 @@ mod tests {
         // The evidence appears as an application of the rule evidence
         // variable to the type argument and the Int evidence.
         let printed = out.target.to_string();
-        assert!(printed.contains("[Int]"), "no type application in {printed}");
+        assert!(
+            printed.contains("[Int]"),
+            "no type application in {printed}"
+        );
     }
 
     #[test]

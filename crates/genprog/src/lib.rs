@@ -51,10 +51,7 @@ pub fn chain_env(n: usize) -> (ImplicitEnv, RuleType) {
             distinct_type(k),
         ));
     }
-    (
-        ImplicitEnv::with_frame(frame),
-        distinct_type(n).promote(),
-    )
+    (ImplicitEnv::with_frame(frame), distinct_type(n).promote())
 }
 
 /// A single *wide* frame with `n` unrelated monomorphic rules plus
@@ -90,6 +87,31 @@ pub fn deep_stack_env(n: usize) -> (ImplicitEnv, RuleType) {
     (env, Type::Int.promote())
 }
 
+/// A *wide* frame whose `n` decoys all share the query's head
+/// constructor and are polymorphic, so a head-constructor index
+/// cannot rule them out: each lookup must attempt unification with
+/// every decoy (`∀a. a * Listᵏ⁺¹(a)` never matches `Bool * Bool`
+/// because the second component disagrees). This is the regime where
+/// only derivation caching — not indexing — can amortize lookup.
+pub fn poly_wide_env(n: usize) -> (ImplicitEnv, RuleType) {
+    let target = Type::prod(Type::Bool, Type::Bool);
+    let mut frame = Vec::with_capacity(n + 1);
+    for k in 0..n {
+        let a = Symbol::intern("gw_a");
+        let mut second = Type::var(a);
+        for _ in 0..=k {
+            second = Type::list(second);
+        }
+        frame.push(RuleType::new(
+            vec![a],
+            vec![],
+            Type::prod(Type::var(a), second),
+        ));
+    }
+    frame.push(target.promote());
+    (ImplicitEnv::with_frame(frame), target.promote())
+}
+
 /// `n` *polymorphic* candidate rules with distinct head shapes plus
 /// the structural pair rule; the query requires matching against all
 /// non-matching candidates in the same frame.
@@ -102,11 +124,7 @@ pub fn poly_env(n: usize) -> (ImplicitEnv, RuleType) {
         for _ in 0..k {
             head = Type::list(head);
         }
-        frame.push(RuleType::new(
-            vec![a],
-            vec![],
-            Type::arrow(head, Type::Int),
-        ));
+        frame.push(RuleType::new(vec![a], vec![], Type::arrow(head, Type::Int)));
     }
     let a = Symbol::intern("gp_b");
     frame.push(RuleType::new(
@@ -172,11 +190,7 @@ pub fn chain_program(n: usize) -> Expr {
         );
         args.push((Expr::rule_abs(rty.clone(), body), rty));
     }
-    Expr::implicit(
-        args,
-        Expr::query_simple(distinct_type(n)),
-        distinct_type(n),
-    )
+    Expr::implicit(args, Expr::query_simple(distinct_type(n)), distinct_type(n))
 }
 
 // ---------------------------------------------------------------
@@ -311,7 +325,7 @@ impl<R: Rng> Gen<'_, R> {
                 if depth > 0 && self.rng.gen_bool(0.5) {
                     let a = self.gen_expr(&Type::Int, depth - 1);
                     let b = self.gen_expr(&Type::Int, depth - 1);
-                    let op = [BinOp::Add, BinOp::Sub, BinOp::Mul][self.rng.gen_range(0..3)];
+                    let op = [BinOp::Add, BinOp::Sub, BinOp::Mul][self.rng.gen_range(0..3usize)];
                     Expr::binop(op, a, b)
                 } else {
                     Expr::Int(self.rng.gen_range(-100..100))
@@ -417,7 +431,7 @@ pub fn gen_data_program(rng: &mut impl Rng, config: &GenConfig) -> GenProgram {
     let base = gen_program(rng, config);
     // Wrap the generated program in data-typed scaffolding: inject it
     // into GpOpt and match it back, and branch on a random GpColor.
-    let color = ["GpRed", "GpGreen", "GpBlue"][rng.gen_range(0..3)];
+    let color = ["GpRed", "GpGreen", "GpBlue"][rng.gen_range(0..3usize)];
     let scrut = Expr::Inject(Symbol::intern(color), vec![], vec![]);
     let color_pick = Expr::Match(
         std::rc::Rc::new(scrut),

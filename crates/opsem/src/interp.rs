@@ -14,9 +14,11 @@
 //! match / overlap), ambiguous instantiation, and — via fuel —
 //! non-termination.
 
+use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 
 use implicit_core::env::OverlapPolicy;
+use implicit_core::intern;
 use implicit_core::resolve::ResolutionPolicy;
 use implicit_core::subst::{freshen_rule, TySubst};
 use implicit_core::symbol::fresh;
@@ -31,6 +33,78 @@ pub struct Interpreter<'d> {
     decls: &'d Declarations,
     policy: ResolutionPolicy,
     fuel: u64,
+    memo: RuntimeMemo,
+}
+
+/// Memo key: the identity of every frame in the runtime stack
+/// (innermost first) plus the interned query. Frames are persistent
+/// `Rc` cells that are never mutated, so pointer equality of the whole
+/// chain identifies the environment exactly; the entry pins a clone of
+/// the stack so no frame address can be reused while the entry lives.
+type MemoKey = (Vec<usize>, intern::RuleId);
+
+/// A memo of runtime resolutions `Σ ⊢r ρ ⇓ v`, keyed by exact stack
+/// identity — the runtime analogue of the core derivation cache.
+/// Persistent stacks make invalidation unnecessary: pushing a frame
+/// yields a new outer `Rc` and hence a new key.
+struct RuntimeMemo {
+    entries: HashMap<MemoKey, (Value, ImplStack)>,
+    order: VecDeque<MemoKey>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl RuntimeMemo {
+    fn new() -> RuntimeMemo {
+        RuntimeMemo {
+            entries: HashMap::new(),
+            order: VecDeque::new(),
+            capacity: implicit_core::env::DEFAULT_CACHE_CAPACITY,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn key(ienv: &ImplStack, query: &RuleType) -> MemoKey {
+        let frames = ienv
+            .frames_innermost_first()
+            .map(|rc| Rc::as_ptr(rc) as *const () as usize)
+            .collect();
+        (frames, intern::rule_id(query))
+    }
+
+    fn lookup(&mut self, key: &MemoKey) -> Option<Value> {
+        match self.entries.get(key) {
+            Some((v, _)) => {
+                self.hits += 1;
+                Some(v.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn insert(&mut self, key: MemoKey, pin: ImplStack, v: Value) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.entries.insert(key.clone(), (v, pin)).is_some() {
+            // Overwrote an existing entry; its `order` slot stands.
+            return;
+        }
+        self.order.push_back(key);
+        while self.entries.len() > self.capacity {
+            match self.order.pop_front() {
+                Some(old) => {
+                    self.entries.remove(&old);
+                }
+                None => break,
+            }
+        }
+    }
 }
 
 impl<'d> Interpreter<'d> {
@@ -41,7 +115,14 @@ impl<'d> Interpreter<'d> {
             decls,
             policy: ResolutionPolicy::paper(),
             fuel: 10_000_000,
+            memo: RuntimeMemo::new(),
         }
+    }
+
+    /// `(hits, misses)` of the runtime resolution memo, cumulative
+    /// over this interpreter's lifetime.
+    pub fn memo_counters(&self) -> (u64, u64) {
+        (self.memo.hits, self.memo.misses)
     }
 
     /// Overrides the resolution policy.
@@ -186,9 +267,7 @@ impl<'d> Interpreter<'d> {
                 match (op, va) {
                     (UnOp::Not, Value::Bool(b)) => Ok(Value::Bool(!b)),
                     (UnOp::Neg, Value::Int(n)) => Ok(Value::Int(-n)),
-                    (UnOp::IntToStr, Value::Int(n)) => {
-                        Ok(Value::Str(Rc::from(n.to_string())))
-                    }
+                    (UnOp::IntToStr, Value::Int(n)) => Ok(Value::Str(Rc::from(n.to_string()))),
                     (op, v) => Err(OpsemError::Stuck(format!("{op:?} on {v}"))),
                 }
             }
@@ -313,6 +392,13 @@ impl<'d> Interpreter<'d> {
     }
 
     /// Runtime resolution `Σ ⊢r ρ ⇓ v` (rule `DynRes`).
+    ///
+    /// When [`ResolutionPolicy::cache`] is on (the default), successful
+    /// resolutions are memoized per `(stack identity, query)`; a memo
+    /// hit returns the shared value without re-running lookup or the
+    /// closure body, so it consumes one tick rather than the full
+    /// evaluation's budget (fuel is an engineering backstop, not an
+    /// observable of the semantics).
     pub fn resolve_value(
         &mut self,
         ienv: &ImplStack,
@@ -326,6 +412,24 @@ impl<'d> Interpreter<'d> {
                 max_depth: self.policy.max_depth,
             });
         }
+        if !self.policy.cache {
+            return self.resolve_value_uncached(ienv, query, depth);
+        }
+        let key = RuntimeMemo::key(ienv, query);
+        if let Some(v) = self.memo.lookup(&key) {
+            return Ok(v);
+        }
+        let v = self.resolve_value_uncached(ienv, query, depth)?;
+        self.memo.insert(key, ienv.clone(), v.clone());
+        Ok(v)
+    }
+
+    fn resolve_value_uncached(
+        &mut self,
+        ienv: &ImplStack,
+        query: &RuleType,
+        depth: usize,
+    ) -> Result<Value, OpsemError> {
         let target = query.head();
         let (stored_rty, matched) = lookup_runtime(ienv, target, self.policy.overlap)?;
 
@@ -436,17 +540,14 @@ fn push_distinct(frame: &mut Vec<(RuleType, Value)>, rho: RuleType, v: Value) {
 /// coerced to constructor references, as in the type checker.
 fn instantiate(decls: &Declarations, rc: &RuleClosure, args: &[Type]) -> RuleClosure {
     use implicit_core::syntax::TyCon;
-    let kinds =
-        implicit_core::typeck::infer_binder_kinds(decls, &rc.rty).unwrap_or_default();
+    let kinds = implicit_core::typeck::infer_binder_kinds(decls, &rc.rty).unwrap_or_default();
     let args: Vec<Type> = rc
         .rty
         .vars()
         .iter()
         .zip(args)
         .map(|(v, a)| match (kinds.get(v).copied().unwrap_or(0), a) {
-            (k, Type::Con(n, empty)) if k > 0 && empty.is_empty() => {
-                Type::Ctor(TyCon::Named(*n))
-            }
+            (k, Type::Con(n, empty)) if k > 0 && empty.is_empty() => Type::Ctor(TyCon::Named(*n)),
             _ => a.clone(),
         })
         .collect();
@@ -486,11 +587,25 @@ fn lookup_runtime(
     target: &Type,
     policy: OverlapPolicy,
 ) -> Result<(RuleType, Value), OpsemError> {
+    let target_key = intern::head_key(target);
     for frame in ienv.frames_innermost_first() {
         let mut matches: Vec<usize> = Vec::new();
         for (ix, (rho, _)) in frame.iter().enumerate() {
-            let (fresh_rho, _) = freshen_rule(rho);
-            if unify::head_matches(&fresh_rho, target).is_some() {
+            // Head-constructor pre-filter: a rule whose head key does
+            // not admit the target's key cannot match.
+            if !intern::head_key(rho.head()).admits(target_key) {
+                continue;
+            }
+            let hit = if rho.vars().is_empty() {
+                // Freshening is the identity for var-less rules, so
+                // match the stored rule directly (the matcher short-
+                // circuits ground heads by interned id).
+                unify::head_matches(rho, target).is_some()
+            } else {
+                let (fresh_rho, _) = freshen_rule(rho);
+                unify::head_matches(&fresh_rho, target).is_some()
+            };
+            if hit {
                 matches.push(ix);
             }
         }
@@ -540,10 +655,7 @@ fn lookup_runtime(
     Err(OpsemError::NoMatch(target.clone()))
 }
 
-fn pick_most_specific_runtime(
-    frame: &[(RuleType, Value)],
-    matches: &[usize],
-) -> Option<usize> {
+fn pick_most_specific_runtime(frame: &[(RuleType, Value)], matches: &[usize]) -> Option<usize> {
     let specific = |i: usize, j: usize| {
         let (fi, _) = freshen_rule(&frame[i].0);
         let (fj, _) = freshen_rule(&frame[j].0);
@@ -556,9 +668,7 @@ fn pick_most_specific_runtime(
             }
         }
         for &j in matches {
-            if i != j
-                && specific(j, i)
-                && !implicit_core::alpha::alpha_eq(&frame[i].0, &frame[j].0)
+            if i != j && specific(j, i) && !implicit_core::alpha::alpha_eq(&frame[i].0, &frame[j].0)
             {
                 return None;
             }

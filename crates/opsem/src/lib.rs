@@ -54,9 +54,7 @@ mod tests {
 
     #[test]
     fn e1_runtime_resolution() {
-        let v = eval0(
-            "implicit {1 : Int, true : Bool} in (?(Int) + 1, not ?(Bool)) : Int * Bool",
-        );
+        let v = eval0("implicit {1 : Int, true : Bool} in (?(Int) + 1, not ?(Bool)) : Int * Bool");
         assert_eq!(v.to_string(), "(2, false)");
     }
 
@@ -204,7 +202,10 @@ mod tests {
             .with_policy(ResolutionPolicy::paper().with_max_depth(32))
             .eval(&e)
             .unwrap_err();
-        assert!(matches!(err, OpsemError::DepthExceeded { .. }), "got {err:?}");
+        assert!(
+            matches!(err, OpsemError::DepthExceeded { .. }),
+            "got {err:?}"
+        );
     }
 
     #[test]
@@ -233,7 +234,8 @@ mod tests {
     #[test]
     fn polymorphic_query_result_instantiates() {
         // ?(∀a.{a}⇒a×a) then [Int] with {9 : Int}.
-        let src = "implicit {rule (forall a. {a} => a * a) ((?(a), ?(a))) : forall a. {a} => a * a} \
+        let src =
+            "implicit {rule (forall a. {a} => a * a) ((?(a), ?(a))) : forall a. {a} => a * a} \
                    in (?(forall a. {a} => a * a) [Int] with {9 : Int}) : Int * Int";
         assert_eq!(eval0(src).to_string(), "(9, 9)");
     }

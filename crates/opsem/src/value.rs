@@ -88,9 +88,7 @@ impl Value {
             (Value::Bool(a), Value::Bool(b)) => Some(a == b),
             (Value::Str(a), Value::Str(b)) => Some(a == b),
             (Value::Unit, Value::Unit) => Some(true),
-            (Value::Pair(a1, b1), Value::Pair(a2, b2)) => {
-                Some(a1.try_eq(a2)? && b1.try_eq(b2)?)
-            }
+            (Value::Pair(a1, b1), Value::Pair(a2, b2)) => Some(a1.try_eq(a2)? && b1.try_eq(b2)?),
             (Value::List(xs), Value::List(ys)) => {
                 if xs.len() != ys.len() {
                     return Some(false);
@@ -103,8 +101,14 @@ impl Value {
                 Some(true)
             }
             (
-                Value::Data { ctor: c1, fields: f1 },
-                Value::Data { ctor: c2, fields: f2 },
+                Value::Data {
+                    ctor: c1,
+                    fields: f1,
+                },
+                Value::Data {
+                    ctor: c2,
+                    fields: f2,
+                },
             ) => {
                 if c1 != c2 || f1.len() != f2.len() {
                     return Some(false);
@@ -117,8 +121,14 @@ impl Value {
                 Some(true)
             }
             (
-                Value::Record { name: n1, fields: f1 },
-                Value::Record { name: n2, fields: f2 },
+                Value::Record {
+                    name: n1,
+                    fields: f1,
+                },
+                Value::Record {
+                    name: n2,
+                    fields: f2,
+                },
             ) => {
                 if n1 != n2 || f1.len() != f2.len() {
                     return Some(false);
@@ -144,9 +154,7 @@ impl Value {
         match self {
             Value::Int(_) | Value::Bool(_) | Value::Str(_) | Value::Unit => self.clone(),
             Value::Pair(a, b) => Value::Pair(Rc::new(a.subst(theta)), Rc::new(b.subst(theta))),
-            Value::List(xs) => {
-                Value::List(Rc::new(xs.iter().map(|v| v.subst(theta)).collect()))
-            }
+            Value::List(xs) => Value::List(Rc::new(xs.iter().map(|v| v.subst(theta)).collect())),
             Value::Closure(c) => Value::Closure(Rc::new(Closure {
                 param: c.param,
                 body: Rc::new(theta.apply_expr(&c.body)),
@@ -156,12 +164,7 @@ impl Value {
             Value::Rule(rc) => Value::Rule(Rc::new(rc.subst(theta))),
             Value::Record { name, fields } => Value::Record {
                 name: *name,
-                fields: Rc::new(
-                    fields
-                        .iter()
-                        .map(|(u, v)| (*u, v.subst(theta)))
-                        .collect(),
-                ),
+                fields: Rc::new(fields.iter().map(|(u, v)| (*u, v.subst(theta))).collect()),
             },
             Value::Data { ctor, fields } => Value::Data {
                 ctor: *ctor,
@@ -260,7 +263,11 @@ struct VarNode {
 #[derive(Clone, Debug)]
 enum VarBinding {
     Done(Value),
-    Rec { body: Rc<Expr>, ienv: ImplStack, next_is_env: VarEnv },
+    Rec {
+        body: Rc<Expr>,
+        ienv: ImplStack,
+        next_is_env: VarEnv,
+    },
 }
 
 impl Drop for VarEnv {
@@ -344,11 +351,9 @@ impl VarEnv {
         for (name, binding) in entries.into_iter().rev() {
             out = match binding {
                 VarBinding::Done(v) => out.bind(name, v.subst(theta)),
-                VarBinding::Rec { body, ienv, .. } => out.bind_rec(
-                    name,
-                    Rc::new(theta.apply_expr(&body)),
-                    ienv.subst(theta),
-                ),
+                VarBinding::Rec { body, ienv, .. } => {
+                    out.bind_rec(name, Rc::new(theta.apply_expr(&body)), ienv.subst(theta))
+                }
             };
         }
         out
@@ -399,9 +404,7 @@ impl ImplStack {
     }
 
     /// Iterates frames innermost-first.
-    pub fn frames_innermost_first(
-        &self,
-    ) -> impl Iterator<Item = &Rc<Vec<(RuleType, Value)>>> {
+    pub fn frames_innermost_first(&self) -> impl Iterator<Item = &Rc<Vec<(RuleType, Value)>>> {
         self.frames.iter().rev()
     }
 
@@ -442,7 +445,9 @@ mod tests {
 
     #[test]
     fn var_env_shadowing() {
-        let env = VarEnv::new().bind(v("x"), Value::Int(1)).bind(v("x"), Value::Int(2));
+        let env = VarEnv::new()
+            .bind(v("x"), Value::Int(1))
+            .bind(v("x"), Value::Int(2));
         match env.get(v("x")) {
             Some(Lookup::Done(Value::Int(2))) => {}
             _ => panic!("expected shadowed binding"),
@@ -499,15 +504,15 @@ mod tests {
     #[test]
     fn display_shows_rule_closure_types() {
         let rc = RuleClosure {
-            rty: implicit_core::syntax::RuleType::mono(
-                vec![Type::Int.promote()],
-                Type::Int,
-            ),
+            rty: implicit_core::syntax::RuleType::mono(vec![Type::Int.promote()], Type::Int),
             body: Rc::new(Expr::Int(1)),
             venv: VarEnv::new(),
             ienv: ImplStack::new(),
             partial: vec![],
         };
-        assert_eq!(Value::Rule(Rc::new(rc)).to_string(), "<rule-closure : {Int} => Int>");
+        assert_eq!(
+            Value::Rule(Rc::new(rc)).to_string(),
+            "<rule-closure : {Int} => Int>"
+        );
     }
 }

@@ -3,6 +3,8 @@
 //! from `genprog`.
 
 use genprog::{gen_program, rng, GenConfig};
+use implicit_core::parse::parse_expr;
+use implicit_core::resolve::ResolutionPolicy;
 use implicit_core::syntax::Declarations;
 use implicit_opsem::{Interpreter, OpsemError};
 
@@ -50,6 +52,64 @@ fn fuel_exhaustion_is_monotone_on_random_programs() {
         }
         assert!(succeeded_at.is_some());
     }
+}
+
+#[test]
+fn runtime_memo_agrees_with_uncached_evaluation_on_random_programs() {
+    // The resolution memo is an optimization, not a semantics change:
+    // every generated program evaluates identically with it disabled.
+    let decls = Declarations::new();
+    let mut r = rng(0xCAC4E);
+    for i in 0..150 {
+        let p = gen_program(&mut r, &GenConfig::default());
+        let cached = Interpreter::new(&decls).eval(&p.expr);
+        let uncached = Interpreter::new(&decls)
+            .with_policy(ResolutionPolicy::paper().without_cache())
+            .eval(&p.expr);
+        match (cached, uncached) {
+            (Ok(a), Ok(b)) => assert_eq!(
+                a.try_eq(&b),
+                Some(true),
+                "program {i} evaluated differently with the memo off"
+            ),
+            (Err(a), Err(b)) => assert_eq!(format!("{a}"), format!("{b}")),
+            (a, b) => panic!("program {i}: {a:?} vs {b:?}"),
+        }
+    }
+}
+
+#[test]
+fn runtime_memo_serves_repeated_queries_from_one_resolution() {
+    // Three queries against the same stack: the first misses, the
+    // other two are memo hits.
+    let decls = Declarations::new();
+    let e = parse_expr("implicit {21 : Int} in ?(Int) + ?(Int) + ?(Int) : Int").unwrap();
+    let mut interp = Interpreter::new(&decls);
+    let v = interp.eval(&e).unwrap();
+    assert_eq!(v.try_eq(&implicit_opsem::Value::Int(63)), Some(true));
+    let (hits, misses) = interp.memo_counters();
+    assert_eq!(misses, 1, "only the first ?(Int) resolves from scratch");
+    assert_eq!(hits, 2, "the remaining queries are memo hits");
+
+    // With the cache disabled the counters never move.
+    let mut interp =
+        Interpreter::new(&decls).with_policy(ResolutionPolicy::paper().without_cache());
+    interp.eval(&e).unwrap();
+    assert_eq!(interp.memo_counters(), (0, 0));
+}
+
+#[test]
+fn runtime_memo_distinguishes_shadowing_scopes() {
+    // The same query under different stacks must not share entries:
+    // an inner `implicit` frame shadows the outer binding.
+    let decls = Declarations::new();
+    let e = parse_expr(
+        "implicit {1 : Int} in ?(Int) + (implicit {10 : Int} in ?(Int) : Int) + ?(Int) : Int",
+    )
+    .unwrap();
+    let mut interp = Interpreter::new(&decls);
+    let v = interp.eval(&e).unwrap();
+    assert_eq!(v.try_eq(&implicit_opsem::Value::Int(12)), Some(true));
 }
 
 #[test]

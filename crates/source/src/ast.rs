@@ -193,11 +193,7 @@ pub fn scheme(vars: &[Symbol], context: Vec<RuleType>, body: Type) -> RuleType {
     RuleType::new(ordered, context, body)
 }
 
-fn collect_order(
-    t: &Type,
-    vars: &std::collections::BTreeSet<Symbol>,
-    out: &mut Vec<Symbol>,
-) {
+fn collect_order(t: &Type, vars: &std::collections::BTreeSet<Symbol>, out: &mut Vec<Symbol>) {
     match t {
         Type::Var(a) => {
             if vars.contains(a) && !out.contains(a) {

@@ -172,9 +172,7 @@ impl<'d> Translator<'d> {
                         Type::Var(g) => Type::VarApp(*g, args.clone()),
                         Type::Ctor(c) => c.apply(args.clone()),
                         Type::Con(n, a) if a.is_empty() => Type::Con(*n, args.clone()),
-                        other => panic!(
-                            "ill-kinded constructor solution `{other}` for `{f}`"
-                        ),
+                        other => panic!("ill-kinded constructor solution `{other}` for `{f}`"),
                     };
                 }
                 _ => return t,
@@ -195,9 +193,7 @@ impl<'d> Translator<'d> {
             Type::Arrow(a, b) => Type::arrow(self.zonk(a), self.zonk(b)),
             Type::Prod(a, b) => Type::prod(self.zonk(a), self.zonk(b)),
             Type::List(a) => Type::list(self.zonk(a)),
-            Type::Con(n, args) => {
-                Type::Con(*n, args.iter().map(|a| self.zonk(a)).collect())
-            }
+            Type::Con(n, args) => Type::Con(*n, args.iter().map(|a| self.zonk(a)).collect()),
             Type::VarApp(f, args) => {
                 let args2: Vec<Type> = args.iter().map(|a| self.zonk(a)).collect();
                 match self.solution.get(f) {
@@ -279,10 +275,8 @@ impl<'d> Translator<'d> {
             (Type::VarApp(f, fa), Type::Con(n, na)) | (Type::Con(n, na), Type::VarApp(f, fa))
                 if fa.len() == na.len() && self.ctor_metas.contains(f) =>
             {
-                self.solution.insert(
-                    *f,
-                    Type::Ctor(implicit_core::syntax::TyCon::Named(*n)),
-                );
+                self.solution
+                    .insert(*f, Type::Ctor(implicit_core::syntax::TyCon::Named(*n)));
                 for (x, y) in fa.iter().zip(na) {
                     self.unify(x, y)?;
                 }
@@ -295,11 +289,7 @@ impl<'d> Translator<'d> {
             {
                 Ok(())
             }
-            (Type::Rule(r1), Type::Rule(r2))
-                if implicit_core::alpha::alpha_eq(r1, r2) =>
-            {
-                Ok(())
-            }
+            (Type::Rule(r1), Type::Rule(r2)) if implicit_core::alpha::alpha_eq(r1, r2) => Ok(()),
             _ => Err(SrcError::Unify {
                 left: self.zonk(&a),
                 right: self.zonk(&b),
@@ -370,10 +360,7 @@ impl<'d> Translator<'d> {
                 };
                 Ok((
                     t_body,
-                    Expr::app(
-                        Expr::Lam(*name, scheme.to_type(), Rc::new(e_body)),
-                        bound,
-                    ),
+                    Expr::app(Expr::Lam(*name, scheme.to_type(), Rc::new(e_body)), bound),
                 ))
             }
             SExpr::LetRec {
@@ -509,10 +496,7 @@ impl<'d> Translator<'d> {
                     args.push((Expr::Var(*u), sigma));
                 }
                 let (t_body, e_body) = self.infer(env, body)?;
-                Ok((
-                    t_body.clone(),
-                    Expr::implicit(args, e_body, t_body),
-                ))
+                Ok((t_body.clone(), Expr::implicit(args, e_body, t_body)))
             }
             SExpr::Query => {
                 // TyIVar: the type is inferred; emit ?τ.
@@ -684,21 +668,18 @@ impl<'d> Translator<'d> {
 
     /// TyLVar: instantiate a let-bound variable's scheme, emitting
     /// `u[⟦T̄⟧] with {?⟦θσᵢ⟧ : ⟦θσᵢ⟧, …}`.
-    fn instantiate_var(
-        &mut self,
-        u: Symbol,
-        sigma: &RuleType,
-    ) -> Result<(Type, Expr), SrcError> {
+    fn instantiate_var(&mut self, u: Symbol, sigma: &RuleType) -> Result<(Type, Expr), SrcError> {
         if sigma.is_trivial() {
             return Ok((sigma.head().clone(), Expr::Var(u)));
         }
         // Fresh metas per quantifier; arrow-kinded quantifiers get
         // *constructor* metas, solved to `List`/interface heads by
         // unification.
-        let kinds = implicit_core::typeck::infer_binder_kinds(self.decls, sigma)
-            .map_err(|e| SrcError::Ambiguous {
+        let kinds = implicit_core::typeck::infer_binder_kinds(self.decls, sigma).map_err(|e| {
+            SrcError::Ambiguous {
                 context: format!("scheme of `{u}` ({e})"),
-            })?;
+            }
+        })?;
         let targs: Vec<Type> = sigma
             .vars()
             .iter()
@@ -815,10 +796,7 @@ fn collect_metas_expr(e: &Expr, metas: &BTreeSet<Symbol>, out: &mut BTreeSet<Sym
         Expr::UnOp(_, a) | Expr::Fst(a) | Expr::Snd(a) => collect_metas_expr(a, metas, out),
         Expr::Nil(t) => collect_metas_type(t, metas, out),
         Expr::ListCase {
-            scrut,
-            nil,
-            cons,
-            ..
+            scrut, nil, cons, ..
         } => {
             collect_metas_expr(scrut, metas, out);
             collect_metas_expr(nil, metas, out);
@@ -864,12 +842,12 @@ pub fn translate_expr(decls: &Declarations, e: &SExpr) -> Result<(Type, Expr), S
 /// `interface I ᾱ` becomes `u : ∀ᾱ.{} ⇒ I ᾱ → T` (§5: "field names
 /// are modeled as regular functions taking a record as the first
 /// argument").
-pub fn accessor_scheme(decl: &implicit_core::syntax::InterfaceDecl, field: Symbol) -> Option<RuleType> {
+pub fn accessor_scheme(
+    decl: &implicit_core::syntax::InterfaceDecl,
+    field: Symbol,
+) -> Option<RuleType> {
     let (_, t) = decl.fields.iter().find(|(u, _)| *u == field)?;
-    let iface_ty = Type::Con(
-        decl.name,
-        decl.vars.iter().map(|v| Type::Var(*v)).collect(),
-    );
+    let iface_ty = Type::Con(decl.name, decl.vars.iter().map(|v| Type::Var(*v)).collect());
     Some(crate::ast::scheme(
         &decl.vars,
         vec![],
@@ -892,10 +870,7 @@ pub fn translate_program(prog: &SProgram) -> Result<(Type, Expr), SrcError> {
         for (u, _) in &decl.fields {
             let sigma = accessor_scheme(decl, *u).expect("field exists");
             let record = fresh("r");
-            let iface_ty = Type::Con(
-                decl.name,
-                decl.vars.iter().map(|v| Type::Var(*v)).collect(),
-            );
+            let iface_ty = Type::Con(decl.name, decl.vars.iter().map(|v| Type::Var(*v)).collect());
             let body = Expr::lam(record, iface_ty, Expr::Proj(Rc::new(Expr::Var(record)), *u));
             accessors.push((*u, sigma.clone(), body));
             env.push((*u, Binding::Poly(sigma)));
@@ -906,10 +881,7 @@ pub fn translate_program(prog: &SProgram) -> Result<(Type, Expr), SrcError> {
     // `∀p̄. {} ⇒ T₁ → … → Tₙ → D p̄` whose body injects.
     for d in prog.decls.iter_datas() {
         let param_vars: Vec<Symbol> = d.params.iter().map(|(v, _)| *v).collect();
-        let result_ty = Type::Con(
-            d.name,
-            param_vars.iter().map(|v| Type::Var(*v)).collect(),
-        );
+        let result_ty = Type::Con(d.name, param_vars.iter().map(|v| Type::Var(*v)).collect());
         for (c, arg_tys) in &d.ctors {
             let sigma = RuleType::new(
                 param_vars.clone(),
@@ -1018,7 +990,10 @@ mod tests {
         assert_eq!(t, Type::Int);
         // id's use must be a type application at Int.
         let printed = ce.to_string();
-        assert!(printed.contains("[Int]"), "expected instantiation in {printed}");
+        assert!(
+            printed.contains("[Int]"),
+            "expected instantiation in {printed}"
+        );
     }
 
     #[test]
@@ -1083,11 +1058,7 @@ mod tests {
                     "x",
                     SExpr::lam(
                         "y",
-                        SExpr::BinOp(
-                            BinOp::Add,
-                            SExpr::var("x").into(),
-                            SExpr::Int(0).into(),
-                        ),
+                        SExpr::BinOp(BinOp::Add, SExpr::var("x").into(), SExpr::Int(0).into()),
                     ),
                 ),
             )],
@@ -1108,9 +1079,6 @@ mod tests {
             )],
         };
         let sigma = accessor_scheme(&decl, v("eq")).unwrap();
-        assert_eq!(
-            sigma.to_string(),
-            "forall a. Eq a -> a -> a -> Bool"
-        );
+        assert_eq!(sigma.to_string(), "forall a. Eq a -> a -> a -> Bool");
     }
 }

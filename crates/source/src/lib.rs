@@ -231,9 +231,6 @@ mod tests {
 
     #[test]
     fn inference_errors_are_reported() {
-        assert!(matches!(
-            compile("1 + true"),
-            Err(CompileError::Infer(_))
-        ));
+        assert!(matches!(compile("1 + true"), Err(CompileError::Infer(_))));
     }
 }

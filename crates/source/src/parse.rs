@@ -221,7 +221,9 @@ fn tokenize(src: &str) -> Result<Vec<(Tok, usize, usize)>, SrcParseError> {
                 {
                     bump!();
                 }
-                let w = std::str::from_utf8(&bytes[start..pos]).expect("ascii").to_owned();
+                let w = std::str::from_utf8(&bytes[start..pos])
+                    .expect("ascii")
+                    .to_owned();
                 if w.as_bytes()[0].is_ascii_uppercase() {
                     Tok::Upper(w)
                 } else {
@@ -619,7 +621,11 @@ impl Parser {
                     }
                     self.expect(&Tok::Arrow)?;
                     let body = self.parse_expr()?;
-                    arms.push(crate::ast::SMatchArm { ctor, binders, body });
+                    arms.push(crate::ast::SMatchArm {
+                        ctor,
+                        binders,
+                        body,
+                    });
                     if *self.peek() == Tok::Pipe {
                         self.bump();
                     } else {
@@ -965,8 +971,7 @@ pub fn parse_source_program(src: &str) -> Result<SProgram, SrcParseError> {
             decls.declare(d).map_err(fail)?;
         } else {
             let (name, params, ctors) = p.parse_data()?;
-            let d = implicit_core::syntax::DataDecl::infer(name, params, ctors)
-                .map_err(fail)?;
+            let d = implicit_core::syntax::DataDecl::infer(name, params, ctors).map_err(fail)?;
             decls.declare_data(d).map_err(fail)?;
         }
     }

@@ -69,9 +69,7 @@ impl Value {
             (Value::Bool(a), Value::Bool(b)) => Some(a == b),
             (Value::Str(a), Value::Str(b)) => Some(a == b),
             (Value::Unit, Value::Unit) => Some(true),
-            (Value::Pair(a1, b1), Value::Pair(a2, b2)) => {
-                Some(a1.try_eq(a2)? && b1.try_eq(b2)?)
-            }
+            (Value::Pair(a1, b1), Value::Pair(a2, b2)) => Some(a1.try_eq(a2)? && b1.try_eq(b2)?),
             (Value::List(xs), Value::List(ys)) => {
                 if xs.len() != ys.len() {
                     return Some(false);
@@ -84,8 +82,14 @@ impl Value {
                 Some(true)
             }
             (
-                Value::Data { ctor: c1, fields: f1 },
-                Value::Data { ctor: c2, fields: f2 },
+                Value::Data {
+                    ctor: c1,
+                    fields: f1,
+                },
+                Value::Data {
+                    ctor: c2,
+                    fields: f2,
+                },
             ) => {
                 if c1 != c2 || f1.len() != f2.len() {
                     return Some(false);
@@ -191,7 +195,10 @@ enum Binding {
     Done(Value),
     /// A `fix x:T. e` binding: re-evaluating `e` in `env` (with `x`
     /// bound recursively) unfolds the recursion one step.
-    Rec { body: Rc<FExpr>, env: Env },
+    Rec {
+        body: Rc<FExpr>,
+        env: Env,
+    },
 }
 
 impl Drop for Env {
@@ -480,9 +487,7 @@ impl Evaluator {
                     .iter()
                     .find(|(u, _)| u == field)
                     .map(|(_, v)| v.clone())
-                    .ok_or_else(|| {
-                        EvalError::Stuck(format!("record {name} has no field {field}"))
-                    }),
+                    .ok_or_else(|| EvalError::Stuck(format!("record {name} has no field {field}"))),
                 other => Err(EvalError::Stuck(format!("projection on {other}"))),
             },
         }
@@ -553,7 +558,11 @@ mod tests {
         let e = FExpr::BinOp(
             BinOp::Add,
             Rc::new(FExpr::Int(40)),
-            Rc::new(FExpr::BinOp(BinOp::Mul, Rc::new(FExpr::Int(1)), Rc::new(FExpr::Int(2)))),
+            Rc::new(FExpr::BinOp(
+                BinOp::Mul,
+                Rc::new(FExpr::Int(1)),
+                Rc::new(FExpr::Int(2)),
+            )),
         );
         assert!(matches!(eval(&e).unwrap(), Value::Int(42)));
     }
@@ -561,7 +570,11 @@ mod tests {
     #[test]
     fn beta_reduction() {
         let e = FExpr::app(
-            FExpr::lam("x", FType::Int, FExpr::BinOp(BinOp::Add, Rc::new(FExpr::var("x")), Rc::new(FExpr::Int(1)))),
+            FExpr::lam(
+                "x",
+                FType::Int,
+                FExpr::BinOp(BinOp::Add, Rc::new(FExpr::var("x")), Rc::new(FExpr::Int(1))),
+            ),
             FExpr::Int(41),
         );
         assert!(matches!(eval(&e).unwrap(), Value::Int(42)));
@@ -571,10 +584,7 @@ mod tests {
     fn type_application_forces_body() {
         let a = v("a");
         let id = FExpr::ty_abs([a], FExpr::lam("x", FType::Var(a), FExpr::var("x")));
-        let e = FExpr::app(
-            FExpr::TyApp(Rc::new(id), FType::Int),
-            FExpr::Int(7),
-        );
+        let e = FExpr::app(FExpr::TyApp(Rc::new(id), FType::Int), FExpr::Int(7));
         assert!(matches!(eval(&e).unwrap(), Value::Int(7)));
     }
 
@@ -588,14 +598,22 @@ mod tests {
                 "n",
                 FType::Int,
                 FExpr::If(
-                    Rc::new(FExpr::BinOp(BinOp::Le, Rc::new(FExpr::var("n")), Rc::new(FExpr::Int(0)))),
+                    Rc::new(FExpr::BinOp(
+                        BinOp::Le,
+                        Rc::new(FExpr::var("n")),
+                        Rc::new(FExpr::Int(0)),
+                    )),
                     Rc::new(FExpr::Int(1)),
                     Rc::new(FExpr::BinOp(
                         BinOp::Mul,
                         Rc::new(FExpr::var("n")),
                         Rc::new(FExpr::app(
                             FExpr::var("fac"),
-                            FExpr::BinOp(BinOp::Sub, Rc::new(FExpr::var("n")), Rc::new(FExpr::Int(1))),
+                            FExpr::BinOp(
+                                BinOp::Sub,
+                                Rc::new(FExpr::var("n")),
+                                Rc::new(FExpr::Int(1)),
+                            ),
                         )),
                     )),
                 ),
@@ -632,7 +650,10 @@ mod tests {
     fn lists_and_case() {
         let xs = FExpr::Cons(
             Rc::new(FExpr::Int(1)),
-            Rc::new(FExpr::Cons(Rc::new(FExpr::Int(2)), Rc::new(FExpr::Nil(FType::Int)))),
+            Rc::new(FExpr::Cons(
+                Rc::new(FExpr::Int(2)),
+                Rc::new(FExpr::Nil(FType::Int)),
+            )),
         );
         let e = FExpr::ListCase {
             scrut: Rc::new(xs),

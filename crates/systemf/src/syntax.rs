@@ -13,8 +13,8 @@ use std::collections::BTreeSet;
 use std::fmt;
 use std::rc::Rc;
 
-pub use implicit_core::syntax::{BinOp, UnOp};
 use implicit_core::symbol::{base_name, fresh, Symbol};
+pub use implicit_core::syntax::{BinOp, UnOp};
 
 /// A System F type.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
@@ -74,7 +74,9 @@ impl FType {
     /// Curried arrow `T₁ → … → Tₙ → R`.
     pub fn arrows(args: impl IntoIterator<Item = FType>, ret: FType) -> FType {
         let args: Vec<FType> = args.into_iter().collect();
-        args.into_iter().rev().fold(ret, |acc, a| FType::arrow(a, acc))
+        args.into_iter()
+            .rev()
+            .fold(ret, |acc, a| FType::arrow(a, acc))
     }
 
     /// Free type variables.
@@ -118,9 +120,7 @@ impl FType {
             FType::Arrow(l, r) => FType::arrow(l.subst(a, ty), r.subst(a, ty)),
             FType::Prod(l, r) => FType::prod(l.subst(a, ty), r.subst(a, ty)),
             FType::List(l) => FType::list(l.subst(a, ty)),
-            FType::Con(n, args) => {
-                FType::Con(*n, args.iter().map(|t| t.subst(a, ty)).collect())
-            }
+            FType::Con(n, args) => FType::Con(*n, args.iter().map(|t| t.subst(a, ty)).collect()),
             FType::VarApp(f, args) => {
                 let args2: Vec<FType> = args.iter().map(|t| t.subst(a, ty)).collect();
                 if *f == a {
@@ -173,9 +173,7 @@ impl FType {
                 | (FType::Str, FType::Str)
                 | (FType::Unit, FType::Unit) => true,
                 (FType::Arrow(a1, b1), FType::Arrow(a2, b2))
-                | (FType::Prod(a1, b1), FType::Prod(a2, b2)) => {
-                    go(a1, a2, env) && go(b1, b2, env)
-                }
+                | (FType::Prod(a1, b1), FType::Prod(a2, b2)) => go(a1, a2, env) && go(b1, b2, env),
                 (FType::List(a1), FType::List(a2)) => go(a1, a2, env),
                 (FType::Con(n1, a1), FType::Con(n2, a2)) => {
                     n1 == n2
@@ -187,19 +185,15 @@ impl FType {
                         Some((l, r)) => l == f1 && r == f2,
                         None => f1 == f2,
                     };
-                    heads
-                        && a1.len() == a2.len()
-                        && a1.iter().zip(a2).all(|(x, y)| go(x, y, env))
+                    heads && a1.len() == a2.len() && a1.iter().zip(a2).all(|(x, y)| go(x, y, env))
                 }
                 (FType::Ctor(c1), FType::Ctor(c2)) => c1 == c2,
-                (
-                    FType::Ctor(implicit_core::syntax::TyCon::Named(a)),
-                    FType::Con(b, bs),
-                )
-                | (
-                    FType::Con(b, bs),
-                    FType::Ctor(implicit_core::syntax::TyCon::Named(a)),
-                ) if bs.is_empty() => a == b,
+                (FType::Ctor(implicit_core::syntax::TyCon::Named(a)), FType::Con(b, bs))
+                | (FType::Con(b, bs), FType::Ctor(implicit_core::syntax::TyCon::Named(a)))
+                    if bs.is_empty() =>
+                {
+                    a == b
+                }
                 (FType::Forall(v1, b1), FType::Forall(v2, b2)) => {
                     env.push((*v1, *v2));
                     let r = go(b1, b2, env);
@@ -312,7 +306,8 @@ impl FExpr {
 
     /// n-ary type application.
     pub fn ty_apps(f: FExpr, tys: impl IntoIterator<Item = FType>) -> FExpr {
-        tys.into_iter().fold(f, |acc, t| FExpr::TyApp(Rc::new(acc), t))
+        tys.into_iter()
+            .fold(f, |acc, t| FExpr::TyApp(Rc::new(acc), t))
     }
 
     /// Term variable.
@@ -662,8 +657,14 @@ mod tests {
 
     #[test]
     fn alpha_eq_distinguishes_quantifier_structure() {
-        let t1 = FType::forall([v("a"), v("b")], FType::arrow(FType::Var(v("a")), FType::Var(v("b"))));
-        let t2 = FType::forall([v("a"), v("b")], FType::arrow(FType::Var(v("b")), FType::Var(v("a"))));
+        let t1 = FType::forall(
+            [v("a"), v("b")],
+            FType::arrow(FType::Var(v("a")), FType::Var(v("b"))),
+        );
+        let t2 = FType::forall(
+            [v("a"), v("b")],
+            FType::arrow(FType::Var(v("b")), FType::Var(v("a"))),
+        );
         assert!(!t1.alpha_eq(&t2));
     }
 
@@ -692,7 +693,10 @@ mod tests {
             FType::arrow(FType::Var(v("a")), FType::Var(v("a"))),
         );
         assert_eq!(t.to_string(), "forall a. a -> a");
-        let e = FExpr::ty_abs([v("a")], FExpr::lam("x", FType::Var(v("a")), FExpr::var("x")));
+        let e = FExpr::ty_abs(
+            [v("a")],
+            FExpr::lam("x", FType::Var(v("a")), FExpr::var("x")),
+        );
         assert_eq!(e.to_string(), "(/\\a. (\\(x:a). x))");
     }
 }

@@ -262,7 +262,10 @@ fn check(
             eq(&dom, &ta, "unary operand")?;
             Ok(cod)
         }
-        FExpr::Pair(a, b) => Ok(FType::prod(check(decls, gamma, a)?, check(decls, gamma, b)?)),
+        FExpr::Pair(a, b) => Ok(FType::prod(
+            check(decls, gamma, a)?,
+            check(decls, gamma, b)?,
+        )),
         FExpr::Fst(a) => match check(decls, gamma, a)? {
             FType::Prod(l, _) => Ok((*l).clone()),
             other => Err(FTypeError::NotAPair(other)),
@@ -375,34 +378,32 @@ fn check_inject(
     targs: &[FType],
     args: &[FExpr],
 ) -> Result<FType, FTypeError> {
-
-            let data = decls
-                .lookup_ctor(ctor)
-                .ok_or(FTypeError::UnknownCtor(ctor))?
-                .clone();
-            if data.params.len() != targs.len() {
-                return Err(FTypeError::ArityMismatch {
-                    interface: data.name,
-                    expected: data.params.len(),
-                    found: targs.len(),
-                });
-            }
-            let want = data
-                .ctor_arg_types(ctor, targs)
-                .expect("ctor just looked up");
-            if want.len() != args.len() {
-                return Err(FTypeError::ArityMismatch {
-                    interface: ctor,
-                    expected: want.len(),
-                    found: args.len(),
-                });
-            }
-            for (w, a) in want.iter().zip(args) {
-                let got = check(decls, gamma, a)?;
-                eq(w, &got, &format!("constructor `{ctor}`"))?;
-            }
-            Ok(FType::Con(data.name, targs.to_vec()))
-        
+    let data = decls
+        .lookup_ctor(ctor)
+        .ok_or(FTypeError::UnknownCtor(ctor))?
+        .clone();
+    if data.params.len() != targs.len() {
+        return Err(FTypeError::ArityMismatch {
+            interface: data.name,
+            expected: data.params.len(),
+            found: targs.len(),
+        });
+    }
+    let want = data
+        .ctor_arg_types(ctor, targs)
+        .expect("ctor just looked up");
+    if want.len() != args.len() {
+        return Err(FTypeError::ArityMismatch {
+            interface: ctor,
+            expected: want.len(),
+            found: args.len(),
+        });
+    }
+    for (w, a) in want.iter().zip(args) {
+        let got = check(decls, gamma, a)?;
+        eq(w, &got, &format!("constructor `{ctor}`"))?;
+    }
+    Ok(FType::Con(data.name, targs.to_vec()))
 }
 
 /// `FExpr::Match` checking, out of line to keep the recursive
@@ -414,58 +415,56 @@ fn check_match(
     scrut: &FExpr,
     arms: &[crate::syntax::FMatchArm],
 ) -> Result<FType, FTypeError> {
-
-            let ts = check(decls, gamma, scrut)?;
-            let FType::Con(name, targs) = &ts else {
-                return Err(FTypeError::NotAData(ts));
-            };
-            let data = decls
-                .lookup_data(*name)
-                .ok_or(FTypeError::NotAData(ts.clone()))?
-                .clone();
-            let mut remaining: Vec<Symbol> = data.ctors.iter().map(|(c, _)| *c).collect();
-            let mut result: Option<FType> = None;
-            for arm in arms {
-                let Some(pos) = remaining.iter().position(|c| *c == arm.ctor) else {
-                    return Err(FTypeError::BadMatch {
-                        data: *name,
-                        reason: format!("unexpected arm `{}`", arm.ctor),
-                    });
-                };
-                remaining.remove(pos);
-                let want = data
-                    .ctor_arg_types(arm.ctor, targs)
-                    .expect("arm ctor exists");
-                if want.len() != arm.binders.len() {
-                    return Err(FTypeError::BadMatch {
-                        data: *name,
-                        reason: format!("binder count for `{}`", arm.ctor),
-                    });
-                }
-                for (b, w) in arm.binders.iter().zip(&want) {
-                    gamma.push((*b, w.clone()));
-                }
-                let got = check(decls, gamma, &arm.body);
-                for _ in &arm.binders {
-                    gamma.pop();
-                }
-                let got = got?;
-                match &result {
-                    None => result = Some(got),
-                    Some(prev) => eq(prev, &got, "match arms")?,
-                }
-            }
-            if !remaining.is_empty() {
-                return Err(FTypeError::BadMatch {
-                    data: *name,
-                    reason: "non-exhaustive match".into(),
-                });
-            }
-            result.ok_or(FTypeError::BadMatch {
+    let ts = check(decls, gamma, scrut)?;
+    let FType::Con(name, targs) = &ts else {
+        return Err(FTypeError::NotAData(ts));
+    };
+    let data = decls
+        .lookup_data(*name)
+        .ok_or(FTypeError::NotAData(ts.clone()))?
+        .clone();
+    let mut remaining: Vec<Symbol> = data.ctors.iter().map(|(c, _)| *c).collect();
+    let mut result: Option<FType> = None;
+    for arm in arms {
+        let Some(pos) = remaining.iter().position(|c| *c == arm.ctor) else {
+            return Err(FTypeError::BadMatch {
                 data: *name,
-                reason: "empty match".into(),
-            })
-        
+                reason: format!("unexpected arm `{}`", arm.ctor),
+            });
+        };
+        remaining.remove(pos);
+        let want = data
+            .ctor_arg_types(arm.ctor, targs)
+            .expect("arm ctor exists");
+        if want.len() != arm.binders.len() {
+            return Err(FTypeError::BadMatch {
+                data: *name,
+                reason: format!("binder count for `{}`", arm.ctor),
+            });
+        }
+        for (b, w) in arm.binders.iter().zip(&want) {
+            gamma.push((*b, w.clone()));
+        }
+        let got = check(decls, gamma, &arm.body);
+        for _ in &arm.binders {
+            gamma.pop();
+        }
+        let got = got?;
+        match &result {
+            None => result = Some(got),
+            Some(prev) => eq(prev, &got, "match arms")?,
+        }
+    }
+    if !remaining.is_empty() {
+        return Err(FTypeError::BadMatch {
+            data: *name,
+            reason: "non-exhaustive match".into(),
+        });
+    }
+    result.ok_or(FTypeError::BadMatch {
+        data: *name,
+        reason: "empty match".into(),
+    })
 }
 
 #[cfg(test)]
@@ -552,7 +551,11 @@ mod tests {
             vec![FType::Int],
             vec![(
                 v("show"),
-                FExpr::lam("n", FType::Int, FExpr::UnOp(UnOp::IntToStr, std::rc::Rc::new(FExpr::var("n")))),
+                FExpr::lam(
+                    "n",
+                    FType::Int,
+                    FExpr::UnOp(UnOp::IntToStr, std::rc::Rc::new(FExpr::var("n"))),
+                ),
             )],
         );
         assert_eq!(

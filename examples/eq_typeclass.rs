@@ -40,8 +40,8 @@ fn main() {
     println!("encoded λ⇒ type : {}", compiled.ty);
 
     // Evaluate via the elaboration semantics…
-    let out = implicit_elab::run(&compiled.decls, &compiled.core)
-        .expect("elaborates and evaluates");
+    let out =
+        implicit_elab::run(&compiled.decls, &compiled.core).expect("elaborates and evaluates");
     println!("via System F    : {}", out.value);
 
     // …and via the direct operational semantics.

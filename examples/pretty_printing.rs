@@ -42,8 +42,8 @@ fn main() {
     let compiled = compile(PROGRAM).expect("the paper's program compiles");
     println!("encoded λ⇒ type : {}", compiled.ty);
 
-    let out = implicit_elab::run(&compiled.decls, &compiled.core)
-        .expect("elaborates and evaluates");
+    let out =
+        implicit_elab::run(&compiled.decls, &compiled.core).expect("elaborates and evaluates");
     println!("via System F    : {}", out.value);
 
     let v = implicit_opsem::eval(&compiled.decls, &compiled.core).expect("interprets");

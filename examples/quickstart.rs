@@ -16,10 +16,9 @@ fn main() {
     // ----------------------------------------------------------
     // 1. Fetching values by type (§2).
     // ----------------------------------------------------------
-    let e1 = parse_expr(
-        "implicit {1 : Int, true : Bool} in (?(Int) + 1, not ?(Bool)) : Int * Bool",
-    )
-    .expect("parses");
+    let e1 =
+        parse_expr("implicit {1 : Int, true : Bool} in (?(Int) + 1, not ?(Bool)) : Int * Bool")
+            .expect("parses");
     println!("program   : {e1}");
 
     let ty = Typechecker::new(&decls).check_closed(&e1).expect("types");
@@ -46,7 +45,9 @@ fn main() {
     // ----------------------------------------------------------
     let mut env2 = ImplicitEnv::new();
     env2.push(vec![parse_rule_type("Bool").unwrap()]);
-    env2.push(vec![parse_rule_type("forall a. {Bool, a} => a * a").unwrap()]);
+    env2.push(vec![
+        parse_rule_type("forall a. {Bool, a} => a * a").unwrap()
+    ]);
     let ho_query = parse_rule_type("{Int} => Int * Int").unwrap();
     let partial = resolve(&env2, &ho_query, &ResolutionPolicy::paper()).expect("resolves");
     println!("\nhigher-order query : {ho_query}");

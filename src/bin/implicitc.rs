@@ -108,7 +108,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     Some("opsem") => Semantics::Opsem,
                     Some("both") => Semantics::Both,
                     other => {
-                        return Err(format!("--semantics: expected elab|opsem|both, got {other:?}"))
+                        return Err(format!(
+                            "--semantics: expected elab|opsem|both, got {other:?}"
+                        ))
                     }
                 }
             }
@@ -161,8 +163,8 @@ fn main() -> ExitCode {
 fn run(opts: &Options) -> Result<(), String> {
     let (src, lang) = match &opts.input {
         Input::File(path) => {
-            let src = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+            let src =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
             let lang = match opts.lang {
                 Lang::Auto if path.ends_with(".si") => Lang::Source,
                 Lang::Auto => Lang::Core,
@@ -191,7 +193,11 @@ fn run(opts: &Options) -> Result<(), String> {
 
     // Type checking (with the chosen policy and strictness).
     let checker = Typechecker::with_policy(&decls, opts.policy.clone());
-    let checker = if opts.strict { checker.strict() } else { checker };
+    let checker = if opts.strict {
+        checker.strict()
+    } else {
+        checker
+    };
     let ty = checker.check_closed(&core).map_err(|e| e.to_string())?;
 
     match opts.emit {
@@ -208,8 +214,7 @@ fn run(opts: &Options) -> Result<(), String> {
             return Ok(());
         }
         Emit::SystemF => {
-            let (_, fe) =
-                implicit_elab::elaborate(&decls, &core).map_err(|e| e.to_string())?;
+            let (_, fe) = implicit_elab::elaborate(&decls, &core).map_err(|e| e.to_string())?;
             println!("{fe}");
             return Ok(());
         }
@@ -284,10 +289,7 @@ fn explain_queries(core: &Expr) -> Result<(), String> {
             Expr::Lam(_, _, b) | Expr::UnOp(_, b) | Expr::Fst(b) | Expr::Snd(b) => {
                 walk(env, b, out)
             }
-            Expr::App(a, b)
-            | Expr::BinOp(_, a, b)
-            | Expr::Pair(a, b)
-            | Expr::Cons(a, b) => {
+            Expr::App(a, b) | Expr::BinOp(_, a, b) | Expr::Pair(a, b) | Expr::Cons(a, b) => {
                 walk(env, a, out);
                 walk(env, b, out);
             }

@@ -40,24 +40,25 @@ implicit showInt' in
 "#;
 
 fn run_source(src: &str) -> String {
-    let compiled = implicit_source::compile(src)
-        .unwrap_or_else(|err| panic!("compile failed: {err}\n{src}"));
+    let compiled =
+        implicit_source::compile(src).unwrap_or_else(|err| panic!("compile failed: {err}\n{src}"));
     implicit_elab::check_preservation(&compiled.decls, &compiled.core)
         .unwrap_or_else(|err| panic!("preservation: {err}"));
     let elab = implicit_elab::run(&compiled.decls, &compiled.core)
         .unwrap_or_else(|err| panic!("elab run failed: {err}"));
     let ops = implicit_opsem::eval(&compiled.decls, &compiled.core)
         .unwrap_or_else(|err| panic!("opsem run failed: {err}"));
-    assert_eq!(elab.value.to_string(), ops.to_string(), "semantics disagree");
+    assert_eq!(
+        elab.value.to_string(),
+        ops.to_string(),
+        "semantics disagree"
+    );
     elab.value.to_string()
 }
 
 #[test]
 fn nested_containers_through_one_higher_kinded_rule() {
-    assert_eq!(
-        run_source(NESTED_SHOW),
-        "(\"1,2,3\", \"Box(Box(7))\")"
-    );
+    assert_eq!(run_source(NESTED_SHOW), "(\"1,2,3\", \"Box(Box(7))\")");
 }
 
 #[test]
@@ -96,10 +97,7 @@ fn constructor_instantiation_in_core_programs() {
 fn kind_errors_are_rejected() {
     let decls = Declarations::new();
     // f used both bare and applied: kind mismatch.
-    let bad = parse_expr(
-        "rule (forall f. {f, f Int} => f * f Int) ((?(f), ?(f Int)))",
-    )
-    .unwrap();
+    let bad = parse_expr("rule (forall f. {f, f Int} => f * f Int) ((?(f), ?(f Int)))").unwrap();
     let err = Typechecker::new(&decls).check_closed(&bad).unwrap_err();
     assert!(matches!(err, TypeError::KindMismatch { .. }), "got {err:?}");
 
@@ -119,10 +117,7 @@ fn kind_errors_are_rejected() {
     );
 
     // A constructor where a plain type is demanded.
-    let bad3 = parse_expr(
-        "rule (forall a. a -> a) ((\\x : a. x)) [List] 1",
-    )
-    .unwrap();
+    let bad3 = parse_expr("rule (forall a. a -> a) ((\\x : a. x)) [List] 1").unwrap();
     let err3 = Typechecker::new(&decls).check_closed(&bad3).unwrap_err();
     assert!(
         matches!(err3, TypeError::NotAConstructor { arity: 0, .. }),
@@ -135,10 +130,7 @@ fn constructor_matching_binds_heads() {
     // match f b against [Int]: f ↦ List, b ↦ Int.
     let f = implicit_core::Symbol::intern("hk_f");
     let b = implicit_core::Symbol::intern("hk_b");
-    let pattern = Type::arrow(
-        Type::var_app(f, vec![Type::Var(b)]),
-        Type::Str,
-    );
+    let pattern = Type::arrow(Type::var_app(f, vec![Type::Var(b)]), Type::Str);
     let target = Type::arrow(Type::list(Type::Int), Type::Str);
     let theta = implicit_core::unify::match_type(&pattern, &target, &[f, b]).unwrap();
     assert_eq!(theta.get(f), Some(&Type::Ctor(TyCon::List)));
@@ -165,7 +157,9 @@ fn interface_constructors_match_too() {
     let theta = implicit_core::unify::match_type(&pattern, &target, &[f]).unwrap();
     assert_eq!(
         theta.get(f),
-        Some(&Type::Ctor(TyCon::Named(implicit_core::Symbol::intern("BoxHK"))))
+        Some(&Type::Ctor(TyCon::Named(implicit_core::Symbol::intern(
+            "BoxHK"
+        ))))
     );
     assert_eq!(theta.apply_type(&pattern), target);
 }

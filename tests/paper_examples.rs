@@ -32,9 +32,7 @@ fn run_both(src: &str) -> String {
 #[test]
 fn e1_fetching_values_by_type() {
     // §2: implicit {1, true} in (?Int + 1, ¬?Bool) = (2, false)
-    let v = run_both(
-        "implicit {1 : Int, true : Bool} in (?(Int) + 1, not ?(Bool)) : Int * Bool",
-    );
+    let v = run_both("implicit {1 : Int, true : Bool} in (?(Int) + 1, not ?(Bool)) : Int * Bool");
     assert_eq!(v, "(2, false)");
 }
 
@@ -141,7 +139,9 @@ fn e10_partial_resolution() {
     // §3.2 Example 3.
     let mut env = ImplicitEnv::new();
     env.push(vec![parse_rule_type("Bool").unwrap()]);
-    env.push(vec![parse_rule_type("forall a. {Bool, a} => a * a").unwrap()]);
+    env.push(vec![
+        parse_rule_type("forall a. {Bool, a} => a * a").unwrap()
+    ]);
     let res = resolve(
         &env,
         &parse_rule_type("{Int} => Int * Int").unwrap(),
@@ -215,10 +215,8 @@ fn e17_runtime_error_catalogue() {
     ));
     assert!(implicit_opsem::eval(&decls, &e).is_err());
     // (b) missing recursive premise.
-    let e2 = parse_expr(
-        "implicit {rule ({Bool} => Int) (1) : {Bool} => Int} in ?(Int) : Int",
-    )
-    .unwrap();
+    let e2 =
+        parse_expr("implicit {rule ({Bool} => Int) (1) : {Bool} => Int} in ?(Int) : Int").unwrap();
     assert!(Typechecker::new(&decls).check_closed(&e2).is_err());
     assert!(implicit_opsem::eval(&decls, &e2).is_err());
     // (c) overlapping matches (∀α.α→Int vs ∀α.Int→α at Int→Int).

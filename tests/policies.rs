@@ -50,12 +50,13 @@ fn most_specific_agrees_with_paper_when_paper_succeeds() {
     let paper = Typechecker::new(&decls);
     for i in 0..100 {
         let p = gen_program(&mut r, &GenConfig::default());
-        let t1 = paper.check_closed(&p.expr).unwrap_or_else(|e| panic!("{i}: {e}"));
-        let ms = Typechecker::with_policy(
-            &decls,
-            ResolutionPolicy::paper().with_most_specific(),
-        );
-        let t2 = ms.check_closed(&p.expr).unwrap_or_else(|e| panic!("{i}: {e}"));
+        let t1 = paper
+            .check_closed(&p.expr)
+            .unwrap_or_else(|e| panic!("{i}: {e}"));
+        let ms = Typechecker::with_policy(&decls, ResolutionPolicy::paper().with_most_specific());
+        let t2 = ms
+            .check_closed(&p.expr)
+            .unwrap_or_else(|e| panic!("{i}: {e}"));
         assert!(implicit_core::typeck::types_equal(&t1, &t2));
     }
 }

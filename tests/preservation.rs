@@ -40,8 +40,7 @@ fn preservation_on_paper_programs() {
     let decls = Declarations::new();
     for src in PAPER_PROGRAMS {
         let e = parse_expr(src).unwrap();
-        implicit_elab::check_preservation(&decls, &e)
-            .unwrap_or_else(|err| panic!("{src}: {err}"));
+        implicit_elab::check_preservation(&decls, &e).unwrap_or_else(|err| panic!("{src}: {err}"));
     }
 }
 
@@ -133,8 +132,14 @@ fn theorem1_resolution_is_sound_for_entailment() {
     for (n, assumed) in [(3usize, 0usize), (3, 2), (5, 5)] {
         let (env, q) = genprog::partial_env(n, assumed);
         let res = resolve(&env, &q, &ResolutionPolicy::paper()).unwrap();
-        assert!(logic::verify_derivation(&env, &res), "partial {n}/{assumed}");
-        assert!(logic::entails(&env, &q, 64), "partial {n}/{assumed} entailment");
+        assert!(
+            logic::verify_derivation(&env, &res),
+            "partial {n}/{assumed}"
+        );
+        assert!(
+            logic::entails(&env, &q, 64),
+            "partial {n}/{assumed} entailment"
+        );
     }
 }
 

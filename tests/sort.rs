@@ -33,7 +33,11 @@ fn run_source(src: &str) -> String {
         .unwrap_or_else(|err| panic!("elab run failed: {err}"));
     let ops = implicit_opsem::eval(&compiled.decls, &compiled.core)
         .unwrap_or_else(|err| panic!("opsem run failed: {err}"));
-    assert_eq!(elab.value.to_string(), ops.to_string(), "semantics disagree");
+    assert_eq!(
+        elab.value.to_string(),
+        ops.to_string(),
+        "semantics disagree"
+    );
     elab.value.to_string()
 }
 

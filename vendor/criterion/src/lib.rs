@@ -1,0 +1,317 @@
+//! Offline stand-in for the subset of the [`criterion`] API this
+//! workspace's bench targets use: `Criterion::benchmark_group`,
+//! `BenchmarkGroup::{throughput, bench_with_input, bench_function,
+//! finish}`, `Bencher::iter`, `BenchmarkId`, `Throughput`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! The build environment has no network access to crates.io, so the
+//! real crate cannot be fetched. This stand-in performs a real (if
+//! simplified) measurement: per benchmark it calibrates an iteration
+//! batch to a minimum sample duration, collects a fixed number of
+//! samples, and reports the **median** ns/iter on stdout in a stable
+//! `group/function/param ... median <t>` format that the experiment
+//! ledger (`EXPERIMENTS.md`) records. There is no statistical
+//! analysis, HTML report, or baseline store.
+//!
+//! Environment knobs: `CRITERION_SAMPLES` (default 15) and
+//! `CRITERION_SAMPLE_MS` (default 2) trade precision for run time.
+//!
+//! [`criterion`]: https://docs.rs/criterion/0.5
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box` (same implementation as
+/// `std::hint::black_box`).
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    samples: usize,
+    min_sample: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let samples = std::env::var("CRITERION_SAMPLES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .filter(|&n: &usize| n >= 3)
+            .unwrap_or(15);
+        let sample_ms = std::env::var("CRITERION_SAMPLE_MS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .filter(|&n: &u64| n >= 1)
+            .unwrap_or(2);
+        Criterion {
+            samples,
+            min_sample: Duration::from_millis(sample_ms),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("benchmark group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            throughput: None,
+        }
+    }
+}
+
+/// A named benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// Function name + parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            function: Some(function.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// Parameter value only.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            function: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+}
+
+/// Units-of-work declaration used to derive throughput lines.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            samples: self.criterion.samples,
+            min_sample: self.criterion.min_sample,
+            median_ns: None,
+        };
+        f(&mut bencher, input);
+        self.report(&id, &bencher);
+        self
+    }
+
+    /// Runs an unparameterized benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_benchmark_id();
+        let mut bencher = Bencher {
+            samples: self.criterion.samples,
+            min_sample: self.criterion.min_sample,
+            median_ns: None,
+        };
+        f(&mut bencher);
+        self.report(&id, &bencher);
+        self
+    }
+
+    /// Finishes the group (reports are printed eagerly; this is a
+    /// no-op kept for API compatibility).
+    pub fn finish(self) {}
+
+    fn report(&self, id: &BenchmarkId, bencher: &Bencher) {
+        let mut label = self.name.clone();
+        if let Some(f) = &id.function {
+            label.push('/');
+            label.push_str(f);
+        }
+        if let Some(p) = &id.parameter {
+            label.push('/');
+            label.push_str(p);
+        }
+        let Some(median) = bencher.median_ns else {
+            println!("  {label:<58} (no measurement)");
+            return;
+        };
+        let mut line = format!("  {label:<58} median {:>12}/iter", fmt_ns(median));
+        if let Some(t) = self.throughput {
+            let (count, unit) = match t {
+                Throughput::Elements(n) => (n, "elem"),
+                Throughput::Bytes(n) => (n, "B"),
+            };
+            if median > 0.0 {
+                let rate = count as f64 / (median * 1e-9);
+                line.push_str(&format!("  ({rate:.3e} {unit}/s)"));
+            }
+        }
+        println!("{line}");
+    }
+}
+
+/// Conversion into [`BenchmarkId`], so `bench_function` accepts both
+/// plain strings and explicit ids.
+pub trait IntoBenchmarkId {
+    /// Performs the conversion.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            function: Some(self.to_string()),
+            parameter: None,
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            function: Some(self),
+            parameter: None,
+        }
+    }
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    min_sample: Duration,
+    median_ns: Option<f64>,
+}
+
+impl Bencher {
+    /// Measures `routine`: calibrates a batch size whose run time
+    /// exceeds the minimum sample duration, collects samples, and
+    /// stores the median ns/iter.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up + calibration: grow the batch until one batch takes
+        // at least `min_sample`.
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.min_sample || batch >= 1 << 30 {
+                break;
+            }
+            // Aim slightly past the threshold to limit re-calibration.
+            let grow = if elapsed.as_nanos() == 0 {
+                16
+            } else {
+                ((self.min_sample.as_nanos() * 2 / elapsed.as_nanos()) as u64).clamp(2, 16)
+            };
+            batch = batch.saturating_mul(grow);
+        }
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            per_iter.push(start.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let mid = per_iter.len() / 2;
+        let median = if per_iter.len() % 2 == 1 {
+            per_iter[mid]
+        } else {
+            (per_iter[mid - 1] + per_iter[mid]) / 2.0
+        };
+        self.median_ns = Some(median);
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Bundles benchmark functions into a single runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench-target `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurement_produces_a_positive_median() {
+        let mut c = Criterion {
+            samples: 5,
+            min_sample: Duration::from_micros(50),
+        };
+        let mut g = c.benchmark_group("selftest");
+        g.throughput(Throughput::Elements(10));
+        g.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.bench_function("plain", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+    }
+}

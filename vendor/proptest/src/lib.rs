@@ -1,0 +1,544 @@
+//! Offline stand-in for the subset of the [`proptest`] API this
+//! workspace uses: `Strategy` with `prop_map`/`prop_recursive`,
+//! `Just`, `any::<bool>()`, tuple and integer-range strategies,
+//! `proptest::collection::vec`, and the `proptest!` /
+//! `prop_assert!` / `prop_assert_eq!` / `prop_oneof!` macros.
+//!
+//! The build environment has no network access to crates.io, so the
+//! real crate cannot be fetched. This stand-in keeps the same calling
+//! conventions but simplifies the engine: each `proptest!` test runs
+//! a fixed number of cases ([`NUM_CASES`]) from a deterministic
+//! per-test seed, and there is no shrinking — a failing case reports
+//! its case index and message directly.
+//!
+//! [`proptest`]: https://docs.rs/proptest/1
+
+/// Number of generated cases per `proptest!` test.
+pub const NUM_CASES: u32 = 64;
+
+pub mod test_runner {
+    //! Deterministic case generation and failure reporting.
+
+    use std::fmt;
+
+    /// SplitMix64 generator seeded from the test's full path, so each
+    /// test sees a stable case sequence across runs.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates a generator whose seed is derived from `tag`
+        /// (typically `module_path!() + test name`).
+        pub fn deterministic(tag: &str) -> TestRng {
+            // FNV-1a over the tag.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in tag.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Next random word.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw in `0..n` (`n > 0`).
+        pub fn below(&mut self, n: u64) -> u64 {
+            assert!(n > 0);
+            self.next_u64() % n
+        }
+    }
+
+    /// A failed property case.
+    #[derive(Debug)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// Wraps a failure message.
+        pub fn fail(msg: String) -> TestCaseError {
+            TestCaseError(msg)
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRng;
+    use std::rc::Rc;
+
+    /// Generates values of an associated type from a [`TestRng`].
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Builds a bounded-depth recursive strategy: `recurse`
+        /// receives the strategy for the previous depth and wraps one
+        /// more level of structure around it. (`_desired_size` and
+        /// `_expected_branch` are accepted for API compatibility.)
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let mut strat = self.boxed();
+            for _ in 0..depth {
+                let deeper = recurse(strat.clone()).boxed();
+                // Mix shallower values back in so depths 0..=depth all
+                // occur, weighted toward recursion as in real proptest.
+                strat = Union::new_weighted(vec![(1, strat), (2, deeper)]).boxed();
+            }
+            strat
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+    }
+
+    /// A reference-counted, type-erased strategy.
+    pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            self.0.gen_value(rng)
+        }
+    }
+
+    /// Always generates a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn gen_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Maps another strategy's values through a function.
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn gen_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.gen_value(rng))
+        }
+    }
+
+    /// Weighted choice between strategies of a common value type.
+    pub struct Union<T> {
+        options: Vec<(u32, BoxedStrategy<T>)>,
+        total: u64,
+    }
+
+    impl<T> Clone for Union<T> {
+        fn clone(&self) -> Self {
+            Union {
+                options: self.options.clone(),
+                total: self.total,
+            }
+        }
+    }
+
+    impl<T> Union<T> {
+        /// Uniform choice.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+            Union::new_weighted(options.into_iter().map(|s| (1, s)).collect())
+        }
+
+        /// Weighted choice.
+        pub fn new_weighted(options: Vec<(u32, BoxedStrategy<T>)>) -> Union<T> {
+            assert!(!options.is_empty(), "prop_oneof! of zero strategies");
+            let total = options.iter().map(|(w, _)| *w as u64).sum();
+            assert!(total > 0, "prop_oneof! weights sum to zero");
+            Union { options, total }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.below(self.total);
+            for (w, s) in &self.options {
+                if pick < *w as u64 {
+                    return s.gen_value(rng);
+                }
+                pick -= *w as u64;
+            }
+            unreachable!("weighted pick out of range")
+        }
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128).wrapping_sub(self.start as i128) as u128;
+                    let offset = (rng.next_u64() as u128) % span;
+                    ((self.start as i128) + offset as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end as i128).wrapping_sub(start as i128) as u128 + 1;
+                    let offset = (rng.next_u64() as u128) % span;
+                    ((start as i128) + offset as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident),+))+) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                #[allow(non_snake_case)]
+                fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($s,)+) = self;
+                    ($($s.gen_value(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    impl_tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, G)
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` for the handful of primitive types the workspace
+    //! asks for.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical strategy.
+    pub trait Arbitrary: Sized {
+        /// Generates an arbitrary value.
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Clone, Debug)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_value(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary_value(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),* $(,)?) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// A length range for generated collections.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                min: *r.start(),
+                max_exclusive: *r.end() + 1,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange {
+                min: n,
+                max_exclusive: n + 1,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from a range.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors of values from `element`, with a length in
+    /// `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max_exclusive - self.size.min) as u64;
+            let len = self.size.min + rng.below(span.max(1)) as usize;
+            (0..len).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop import, mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...)` body
+/// runs [`NUM_CASES`] times over deterministically generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __rng = $crate::test_runner::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                let __strats = ($($strat,)+);
+                for __case in 0..$crate::NUM_CASES {
+                    let ($($arg,)+) = {
+                        #[allow(non_snake_case)]
+                        let ($(ref $arg,)+) = __strats;
+                        ($($crate::strategy::Strategy::gen_value($arg, &mut __rng),)+)
+                    };
+                    let __outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || {
+                            $body
+                            ::core::result::Result::Ok(())
+                        })();
+                    if let ::core::result::Result::Err(e) = __outcome {
+                        panic!(
+                            "proptest {} failed at case {}/{}: {}",
+                            stringify!($name),
+                            __case,
+                            $crate::NUM_CASES,
+                            e
+                        );
+                    }
+                }
+            }
+        )+
+    };
+}
+
+/// `assert!` for property bodies: fails the current case instead of
+/// panicking outright.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` for property bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {:?} != {:?}", __l, __r),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {:?} != {:?}: {}", __l, __r, format!($($fmt)+)),
+            ));
+        }
+    }};
+}
+
+/// Choice between strategies of a common value type, optionally
+/// weighted (`w => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_unions_generate_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::deterministic("self-test");
+        let strat = prop_oneof![Just(1usize), Just(2usize)];
+        for _ in 0..100 {
+            let v = strat.gen_value(&mut rng);
+            assert!(v == 1 || v == 2);
+            let n = (3usize..7).gen_value(&mut rng);
+            assert!((3..7).contains(&n));
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_are_depth_bounded() {
+        #[derive(Clone, Debug)]
+        enum T {
+            Leaf,
+            Node(Box<T>),
+        }
+        fn depth(t: &T) -> u32 {
+            match t {
+                T::Leaf => 0,
+                T::Node(i) => 1 + depth(i),
+            }
+        }
+        let strat = Just(T::Leaf)
+            .prop_recursive(4, 16, 1, |inner| inner.prop_map(|t| T::Node(Box::new(t))));
+        let mut rng = crate::test_runner::TestRng::deterministic("rec-test");
+        let mut seen_deep = false;
+        for _ in 0..200 {
+            let t = strat.gen_value(&mut rng);
+            assert!(depth(&t) <= 4);
+            seen_deep |= depth(&t) > 0;
+        }
+        assert!(seen_deep, "recursion must sometimes fire");
+    }
+
+    proptest! {
+        #[test]
+        fn the_macro_itself_works(x in 0u64..100, b in any::<bool>()) {
+            prop_assert!(x < 100);
+            prop_assert_eq!(b as u64 * 2 % 2, 0);
+        }
+
+        #[test]
+        fn vectors_respect_length_bounds(xs in crate::collection::vec(0i32..10, 0..4)) {
+            prop_assert!(xs.len() < 4);
+            prop_assert!(xs.iter().all(|x| (0..10).contains(x)));
+        }
+    }
+}
