@@ -1,0 +1,37 @@
+//! Parallel differential conformance harness for the implicit
+//! calculus.
+//!
+//! The repo carries three independent executable readings of the
+//! paper's semantics — elaboration to System F (§4), a direct
+//! big-step operational semantics, and the resolution engine with its
+//! policy/caching variants. The theorems of the paper (coherence,
+//! preservation, the equivalence of the cached and uncached
+//! resolution) say these must all agree; this crate checks that they
+//! do, at scale:
+//!
+//! * [`oracle`] — the three-way semantic oracle run per seed,
+//! * [`shrink`] — a delta-debugging minimizer for reproducers,
+//! * [`runner`] — the sharded multi-threaded sweep driver and the
+//!   replayable divergence corpus,
+//! * [`report`] — the machine-readable JSON run report.
+//!
+//! The `conformance` binary drives a sweep:
+//!
+//! ```text
+//! conformance --shards 4 --seeds 0..10000 --report report.json \
+//!             --corpus corpus/ --fail-on-divergence
+//! ```
+//!
+//! Every seed is self-contained: `--shards` changes only the
+//! partition, never the per-seed behavior, so a CI failure at seed
+//! `s` replays locally with `--shards 1 --seeds s..s+1`.
+
+pub mod oracle;
+pub mod report;
+pub mod runner;
+pub mod shrink;
+
+pub use oracle::{run_program_oracle, run_resolution_oracle, Divergence, DivergenceKind};
+pub use report::{DivergenceRecord, RunReport, ShardReport};
+pub use runner::{replay, run, RunnerConfig};
+pub use shrink::{node_count, shrink};

@@ -1,0 +1,450 @@
+//! The three-way semantic oracle.
+//!
+//! Every seed is pushed through three independent implementations of
+//! the paper's semantics, which must agree:
+//!
+//! * **(a) Elaboration** — elaborate to System F, type-check the
+//!   output (the §4 preservation theorem, checked dynamically), and
+//!   evaluate call-by-value — under the paper policy with the
+//!   derivation cache on, off, and under the most-specific overlap
+//!   policy (generated programs are overlap-free, so all three must
+//!   produce the same value and type).
+//! * **(b) Direct operational semantics** — the runtime-resolution
+//!   interpreter, with its runtime memo on and off.
+//! * **(c) Resolution** — a seed-derived environment/query workload
+//!   resolved under each [`ResolutionPolicy`] with the derivation
+//!   cache on and off; the full [`Resolution`] derivations and their
+//!   [`ResolutionStats`]-visible work counters must be identical.
+//!
+//! Any disagreement or crash is a [`Divergence`], categorized for
+//! triage and for the shrinker's "still diverges the same way"
+//! predicate.
+
+use std::fmt;
+
+use implicit_core::resolve::{resolve, Resolution, ResolutionPolicy};
+use implicit_core::syntax::{Declarations, Expr, RuleType, Type};
+use implicit_core::typeck::{types_equal, Typechecker};
+use implicit_opsem::Interpreter;
+
+/// Divergence categories (stable labels; the shrinker preserves the
+/// category while minimizing).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DivergenceKind {
+    /// The generator emitted an ill-typed program.
+    IllTyped,
+    /// The checker's type differs from the generator's declared type.
+    TypeDrift,
+    /// Elaboration failed on a well-typed program.
+    ElabFailed,
+    /// The elaborated term was ill-typed in System F (§4 preservation
+    /// theorem violated).
+    PreservationViolated,
+    /// System F evaluation of the elaborated term failed (type-safety
+    /// violation).
+    ElabEvalFailed,
+    /// The direct operational semantics failed where elaboration
+    /// succeeded.
+    OpsemFailed,
+    /// Elaboration and the operational semantics computed different
+    /// values (coherence violation).
+    ValueMismatch,
+    /// Cache/memo on vs. off changed an observable result.
+    CacheMismatch,
+    /// A resolution-policy variant changed the result on an
+    /// overlap-free program.
+    PolicyMismatch,
+    /// The env-level resolution oracle saw differing derivations or
+    /// work counters.
+    ResolutionMismatch,
+}
+
+impl DivergenceKind {
+    /// The stable machine-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            DivergenceKind::IllTyped => "ill_typed",
+            DivergenceKind::TypeDrift => "type_drift",
+            DivergenceKind::ElabFailed => "elab_failed",
+            DivergenceKind::PreservationViolated => "preservation_violated",
+            DivergenceKind::ElabEvalFailed => "elab_eval_failed",
+            DivergenceKind::OpsemFailed => "opsem_failed",
+            DivergenceKind::ValueMismatch => "value_mismatch",
+            DivergenceKind::CacheMismatch => "cache_mismatch",
+            DivergenceKind::PolicyMismatch => "policy_mismatch",
+            DivergenceKind::ResolutionMismatch => "resolution_mismatch",
+        }
+    }
+}
+
+impl fmt::Display for DivergenceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A detected divergence.
+#[derive(Clone, Debug)]
+pub struct Divergence {
+    /// Category.
+    pub kind: DivergenceKind,
+    /// Human-readable description of the disagreement.
+    pub detail: String,
+}
+
+impl Divergence {
+    fn new(kind: DivergenceKind, detail: impl Into<String>) -> Divergence {
+        Divergence {
+            kind,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.kind, self.detail)
+    }
+}
+
+/// What the program oracle observed when all legs agreed.
+#[derive(Clone, Debug)]
+pub struct ProgramVerdict {
+    /// The agreed value (printed form).
+    pub value: String,
+    /// The agreed λ⇒ type (printed form).
+    pub ty: String,
+    /// Runtime memo counters `(hits, misses)` of the memo-on opsem
+    /// leg.
+    pub memo: (u64, u64),
+}
+
+/// Runs the program legs of the oracle: elaboration (cache on / off /
+/// most-specific) vs. the direct operational semantics (memo on /
+/// off), plus the §4 preservation check.
+///
+/// # Errors
+///
+/// Returns the first [`Divergence`] found.
+pub fn run_program_oracle(
+    decls: &Declarations,
+    expr: &Expr,
+    declared_ty: &Type,
+) -> Result<ProgramVerdict, Divergence> {
+    // Leg 0: the λ⇒ type system accepts the program at the declared
+    // type.
+    let checked = Typechecker::new(decls)
+        .check_closed(expr)
+        .map_err(|e| Divergence::new(DivergenceKind::IllTyped, e.to_string()))?;
+    if !types_equal(&checked, declared_ty) {
+        return Err(Divergence::new(
+            DivergenceKind::TypeDrift,
+            format!("declared `{declared_ty}`, checked `{checked}`"),
+        ));
+    }
+
+    // Leg (a): elaboration under three policies. `run_with` already
+    // type-checks the System F output (preservation) before
+    // evaluating.
+    let policies: [(&str, ResolutionPolicy); 3] = [
+        ("paper+cache", ResolutionPolicy::paper()),
+        ("paper-nocache", ResolutionPolicy::paper().without_cache()),
+        (
+            "most-specific",
+            ResolutionPolicy::paper().with_most_specific(),
+        ),
+    ];
+    let mut elab_value: Option<String> = None;
+    let mut elab_ty: Option<String> = None;
+    for (name, policy) in &policies {
+        let out = implicit_elab::run_with(decls, expr, policy).map_err(|e| {
+            let kind = match &e {
+                implicit_elab::RunError::Elab(_) => DivergenceKind::ElabFailed,
+                implicit_elab::RunError::PreservationViolated(_) => {
+                    DivergenceKind::PreservationViolated
+                }
+                implicit_elab::RunError::Eval(_) => DivergenceKind::ElabEvalFailed,
+            };
+            Divergence::new(kind, format!("[{name}] {e}"))
+        })?;
+        let v = out.value.to_string();
+        let t = out.source_type.to_string();
+        match (&elab_value, &elab_ty) {
+            (None, _) => {
+                elab_value = Some(v);
+                elab_ty = Some(t);
+            }
+            (Some(v0), Some(t0)) => {
+                if *v0 != v || *t0 != t {
+                    let kind = if *name == "most-specific" {
+                        DivergenceKind::PolicyMismatch
+                    } else {
+                        DivergenceKind::CacheMismatch
+                    };
+                    return Err(Divergence::new(
+                        kind,
+                        format!("[{name}] value `{v}` type `{t}` vs baseline `{v0}` `{t0}`"),
+                    ));
+                }
+            }
+            _ => unreachable!("value and type are set together"),
+        }
+    }
+    let value = elab_value.expect("at least one policy ran");
+
+    // Leg (b): the direct operational semantics, memo on and off.
+    let mut memo_on = Interpreter::new(decls);
+    let v_on = memo_on
+        .eval(expr)
+        .map_err(|e| Divergence::new(DivergenceKind::OpsemFailed, format!("[memo-on] {e}")))?;
+    let memo = memo_on.memo_counters();
+    if v_on.to_string() != value {
+        return Err(Divergence::new(
+            DivergenceKind::ValueMismatch,
+            format!("opsem `{v_on}` vs elaboration `{value}`"),
+        ));
+    }
+    let mut memo_off =
+        Interpreter::new(decls).with_policy(ResolutionPolicy::paper().without_cache());
+    let v_off = memo_off
+        .eval(expr)
+        .map_err(|e| Divergence::new(DivergenceKind::OpsemFailed, format!("[memo-off] {e}")))?;
+    if v_off.to_string() != v_on.to_string() {
+        return Err(Divergence::new(
+            DivergenceKind::CacheMismatch,
+            format!("opsem memo-off `{v_off}` vs memo-on `{v_on}`"),
+        ));
+    }
+
+    Ok(ProgramVerdict {
+        value,
+        ty: checked.to_string(),
+        memo,
+    })
+}
+
+/// What the resolution oracle observed when all legs agreed.
+#[derive(Clone, Debug)]
+pub struct ResolutionVerdict {
+    /// The workload family used.
+    pub family: &'static str,
+    /// `TyRes` steps of the agreed derivation.
+    pub steps: usize,
+}
+
+/// Builds the seed's environment/query workload. Families rotate by
+/// seed so a sweep covers chains, wide frames, deep stacks,
+/// polymorphic decoys, partial resolution and higher-kinded
+/// (`VarApp`) constructor matching.
+pub fn resolution_workload(seed: u64) -> (&'static str, implicit_core::ImplicitEnv, RuleType) {
+    let n = 1 + (seed / 7) as usize % 24;
+    match seed % 7 {
+        0 => {
+            let (env, q) = genprog::chain_env(n);
+            ("chain", env, q)
+        }
+        1 => {
+            let (env, q) = genprog::wide_env(n * 4, (seed % 5) as f64 / 4.0);
+            ("wide", env, q)
+        }
+        2 => {
+            let (env, q) = genprog::deep_stack_env(n * 2);
+            ("deep_stack", env, q)
+        }
+        3 => {
+            let (env, q) = genprog::poly_env(n);
+            ("poly", env, q)
+        }
+        4 => {
+            let (env, q) = genprog::poly_wide_env(n);
+            ("poly_wide", env, q)
+        }
+        5 => {
+            let (env, q) = genprog::partial_env(n.min(12), n.min(12) / 2);
+            ("partial", env, q)
+        }
+        _ => {
+            let (env, q) = genprog::hk_nested_env(n.min(12));
+            ("hk_nested", env, q)
+        }
+    }
+}
+
+/// Runs the env-level resolution leg: the seed's workload resolved
+/// under each policy with the derivation cache off, on (cold), and on
+/// (warm, replayed from cache). Derivations must be structurally
+/// identical and their stats must agree on every cache-independent
+/// counter.
+///
+/// # Errors
+///
+/// Returns a [`Divergence`] of kind
+/// [`DivergenceKind::ResolutionMismatch`] on any disagreement.
+pub fn run_resolution_oracle(seed: u64) -> Result<ResolutionVerdict, Divergence> {
+    let (family, env, query) = resolution_workload(seed);
+    let depth = 4096;
+    let mismatch = |detail: String| Divergence::new(DivergenceKind::ResolutionMismatch, detail);
+
+    let mut agreed_steps = 0;
+    for (pname, policy) in [
+        ("paper", ResolutionPolicy::paper().with_max_depth(depth)),
+        (
+            "most-specific",
+            ResolutionPolicy::paper()
+                .with_most_specific()
+                .with_max_depth(depth),
+        ),
+    ] {
+        let off = resolve(&env, &query, &policy.clone().without_cache())
+            .map_err(|e| mismatch(format!("[{family}/{pname}] cache-off failed: {e}")))?;
+        let cold = resolve(&env, &query, &policy)
+            .map_err(|e| mismatch(format!("[{family}/{pname}] cache-cold failed: {e}")))?;
+        let warm = resolve(&env, &query, &policy)
+            .map_err(|e| mismatch(format!("[{family}/{pname}] cache-warm failed: {e}")))?;
+        check_derivations_agree(family, pname, &env, &off, &cold)
+            .and_then(|_| check_derivations_agree(family, pname, &env, &off, &warm))?;
+        agreed_steps = off.steps();
+    }
+
+    // The §3.2 environment-extension variant is strictly more
+    // permissive: it must succeed wherever the paper rule does, and
+    // when its derivation uses no assumption-frame rule it must be the
+    // very same derivation.
+    let ext_policy = ResolutionPolicy::paper()
+        .with_env_extension()
+        .with_max_depth(depth);
+    let paper = resolve(
+        &env,
+        &query,
+        &ResolutionPolicy::paper().with_max_depth(depth),
+    );
+    let ext = resolve(&env, &query, &ext_policy);
+    match (paper, ext) {
+        (Ok(p), Ok(e)) => {
+            if !e.uses_extension() && p != e {
+                return Err(mismatch(format!(
+                    "[{family}/env-extension] non-extension derivation differs:\n{}\nvs\n{}",
+                    p.explain(),
+                    e.explain()
+                )));
+            }
+        }
+        (Ok(p), Err(e)) => {
+            return Err(mismatch(format!(
+                "[{family}/env-extension] paper resolves ({} steps) but extension fails: {e}",
+                p.steps()
+            )));
+        }
+        // Extension-only successes and double failures are consistent.
+        (Err(_), _) => {}
+    }
+
+    Ok(ResolutionVerdict {
+        family,
+        steps: agreed_steps,
+    })
+}
+
+fn check_derivations_agree(
+    family: &str,
+    pname: &str,
+    env: &implicit_core::ImplicitEnv,
+    a: &Resolution,
+    b: &Resolution,
+) -> Result<(), Divergence> {
+    if a != b {
+        return Err(Divergence::new(
+            DivergenceKind::ResolutionMismatch,
+            format!(
+                "[{family}/{pname}] derivations differ:\n{}\nvs\n{}",
+                a.explain(),
+                b.explain()
+            ),
+        ));
+    }
+    let sa = a.stats(env);
+    let sb = b.stats(env);
+    // Compare every cache-independent counter; the cache_* fields are
+    // cumulative environment state and legitimately differ between
+    // cold and warm runs.
+    let fields = [
+        ("steps", sa.steps, sb.steps),
+        ("frames_scanned", sa.frames_scanned, sb.frames_scanned),
+        ("rules_tried", sa.rules_tried, sb.rules_tried),
+        ("assumed", sa.assumed, sb.assumed),
+        (
+            "max_frame_reached",
+            sa.max_frame_reached,
+            sb.max_frame_reached,
+        ),
+    ];
+    for (name, x, y) in fields {
+        if x != y {
+            return Err(Divergence::new(
+                DivergenceKind::ResolutionMismatch,
+                format!("[{family}/{pname}] stats.{name} differ: {x} vs {y}"),
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genprog::{gen_program_with, rng, GenConfig};
+
+    #[test]
+    fn oracle_agrees_on_paper_examples() {
+        let decls = Declarations::new();
+        for src in [
+            "implicit {1 : Int, true : Bool} in (?(Int) + 1, not ?(Bool)) : Int * Bool",
+            "implicit {3 : Int, rule (forall a. {a} => a * a) ((?(a), ?(a))) : forall a. {a} => a * a} \
+             in ?((Int * Int) * (Int * Int)) : (Int * Int) * (Int * Int)",
+        ] {
+            let e = implicit_core::parse::parse_expr(src).unwrap();
+            let ty = Typechecker::new(&decls).check_closed(&e).unwrap();
+            let v = run_program_oracle(&decls, &e, &ty).unwrap_or_else(|d| panic!("{src}: {d}"));
+            assert!(!v.value.is_empty());
+        }
+    }
+
+    #[test]
+    fn oracle_flags_type_drift() {
+        let decls = Declarations::new();
+        let e = Expr::Int(1);
+        let d = run_program_oracle(&decls, &e, &Type::Bool).unwrap_err();
+        assert_eq!(d.kind, DivergenceKind::TypeDrift);
+    }
+
+    #[test]
+    fn oracle_flags_ill_typed() {
+        let decls = Declarations::new();
+        let e = Expr::binop(
+            implicit_core::syntax::BinOp::Add,
+            Expr::Int(1),
+            Expr::Bool(true),
+        );
+        let d = run_program_oracle(&decls, &e, &Type::Int).unwrap_err();
+        assert_eq!(d.kind, DivergenceKind::IllTyped);
+    }
+
+    #[test]
+    fn oracle_agrees_on_generated_programs() {
+        let decls = genprog::data_prelude();
+        let mut r = rng(0x5EED);
+        for i in 0..150 {
+            let p = gen_program_with(&mut r, &GenConfig::default(), &decls);
+            run_program_oracle(&decls, &p.expr, &p.ty)
+                .unwrap_or_else(|d| panic!("program {i} diverged: {d}\n{}", p.expr));
+        }
+    }
+
+    #[test]
+    fn resolution_oracle_agrees_across_families() {
+        for seed in 0..100 {
+            let v = run_resolution_oracle(seed).unwrap_or_else(|d| panic!("seed {seed}: {d}"));
+            assert!(v.steps > 0, "seed {seed} family {}", v.family);
+        }
+    }
+}

@@ -1,0 +1,319 @@
+//! Machine-readable run reports.
+//!
+//! The harness emits a single JSON document per sweep: per-shard
+//! throughput (so future perf PRs can regress-check programs/sec),
+//! the generator coverage histogram, and every divergence with its
+//! minimized reproducer. The encoder is a ~60-line hand-rolled JSON
+//! writer — the build environment has no registry access, and the
+//! report shape is small and fixed.
+
+use std::fmt::Write as _;
+
+/// A JSON value (the subset the report needs).
+#[derive(Clone, Debug)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// An integer (all report counters are unsigned or small).
+    Int(i64),
+    /// A float, rendered with limited precision.
+    Num(f64),
+    /// A string, escaped on render.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for object fields.
+    pub fn obj(fields: Vec<(&str, Json)>) -> Json {
+        Json::Obj(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+    }
+
+    /// Renders the value as compact JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Num(x) => {
+                if x.is_finite() {
+                    let _ = write!(out, "{x:.3}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Json::Str(k.clone()).render_into(out);
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Per-shard throughput numbers.
+#[derive(Clone, Debug)]
+pub struct ShardReport {
+    /// Shard index.
+    pub shard: usize,
+    /// Seeds this shard processed.
+    pub seeds: u64,
+    /// Oracle runs (one program + one resolution workload per seed).
+    pub programs: u64,
+    /// Wall time spent inside the shard's worker thread.
+    pub duration_ms: u64,
+    /// Divergences this shard found.
+    pub divergences: u64,
+}
+
+impl ShardReport {
+    /// Programs per second, guarding the division.
+    pub fn programs_per_sec(&self) -> f64 {
+        if self.duration_ms == 0 {
+            self.programs as f64 * 1000.0
+        } else {
+            self.programs as f64 * 1000.0 / self.duration_ms as f64
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("shard", Json::Int(self.shard as i64)),
+            ("seeds", Json::Int(self.seeds as i64)),
+            ("programs", Json::Int(self.programs as i64)),
+            ("duration_ms", Json::Int(self.duration_ms as i64)),
+            ("programs_per_sec", Json::Num(self.programs_per_sec())),
+            ("divergences", Json::Int(self.divergences as i64)),
+        ])
+    }
+}
+
+/// A persisted divergence: everything needed to replay and triage.
+#[derive(Clone, Debug)]
+pub struct DivergenceRecord {
+    /// Corpus id (also the corpus file stem).
+    pub id: String,
+    /// The generating seed.
+    pub seed: u64,
+    /// The shard that found it.
+    pub shard: usize,
+    /// Divergence category (stable machine-readable label).
+    pub kind: String,
+    /// Human-readable oracle verdicts.
+    pub detail: String,
+    /// The original program, pretty-printed.
+    pub program: String,
+    /// The minimized program, pretty-printed.
+    pub minimized: String,
+    /// AST node count before shrinking.
+    pub original_nodes: usize,
+    /// AST node count after shrinking.
+    pub minimized_nodes: usize,
+    /// Whether the pretty-printed program parses back identically
+    /// (replayable via `conformance --replay`).
+    pub replayable: bool,
+}
+
+impl DivergenceRecord {
+    /// The record's JSON metadata (the corpus `.json` side file).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("id", Json::Str(self.id.clone())),
+            ("seed", Json::Int(self.seed as i64)),
+            ("shard", Json::Int(self.shard as i64)),
+            ("kind", Json::Str(self.kind.clone())),
+            ("detail", Json::Str(self.detail.clone())),
+            ("program", Json::Str(self.program.clone())),
+            ("minimized", Json::Str(self.minimized.clone())),
+            ("original_nodes", Json::Int(self.original_nodes as i64)),
+            ("minimized_nodes", Json::Int(self.minimized_nodes as i64)),
+            ("replayable", Json::Bool(self.replayable)),
+        ])
+    }
+}
+
+/// The whole-run report.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// First seed (inclusive).
+    pub seed_lo: u64,
+    /// Last seed (exclusive).
+    pub seed_hi: u64,
+    /// Worker thread count.
+    pub shards: usize,
+    /// Wall time of the whole sweep (max over shards + join).
+    pub wall_ms: u64,
+    /// Per-shard numbers.
+    pub shard_reports: Vec<ShardReport>,
+    /// Generator coverage histogram (construct → emission count).
+    pub coverage: Vec<(&'static str, u64)>,
+    /// All divergences, shrunk.
+    pub divergences: Vec<DivergenceRecord>,
+}
+
+impl RunReport {
+    /// Total oracle runs across shards.
+    pub fn total_programs(&self) -> u64 {
+        self.shard_reports.iter().map(|s| s.programs).sum()
+    }
+
+    /// Sum of per-shard worker durations (the "serial cost"); the
+    /// ratio against `wall_ms` is the observed shard speedup.
+    pub fn cpu_ms(&self) -> u64 {
+        self.shard_reports.iter().map(|s| s.duration_ms).sum()
+    }
+
+    /// Observed speedup: serial cost over wall time (≈ shard count
+    /// when scaling is near-linear).
+    pub fn speedup(&self) -> f64 {
+        if self.wall_ms == 0 {
+            self.shards as f64
+        } else {
+            self.cpu_ms() as f64 / self.wall_ms as f64
+        }
+    }
+
+    /// Aggregate throughput over wall time.
+    pub fn programs_per_sec(&self) -> f64 {
+        if self.wall_ms == 0 {
+            self.total_programs() as f64 * 1000.0
+        } else {
+            self.total_programs() as f64 * 1000.0 / self.wall_ms as f64
+        }
+    }
+
+    /// Renders the report as a JSON document.
+    pub fn to_json(&self) -> String {
+        Json::obj(vec![
+            ("seed_lo", Json::Int(self.seed_lo as i64)),
+            ("seed_hi", Json::Int(self.seed_hi as i64)),
+            ("shards", Json::Int(self.shards as i64)),
+            ("wall_ms", Json::Int(self.wall_ms as i64)),
+            ("cpu_ms", Json::Int(self.cpu_ms() as i64)),
+            ("speedup", Json::Num(self.speedup())),
+            ("total_programs", Json::Int(self.total_programs() as i64)),
+            ("programs_per_sec", Json::Num(self.programs_per_sec())),
+            ("divergence_count", Json::Int(self.divergences.len() as i64)),
+            (
+                "coverage",
+                Json::Obj(
+                    self.coverage
+                        .iter()
+                        .map(|(k, v)| ((*k).to_owned(), Json::Int(*v as i64)))
+                        .collect(),
+                ),
+            ),
+            (
+                "shards_detail",
+                Json::Arr(self.shard_reports.iter().map(|s| s.to_json()).collect()),
+            ),
+            (
+                "divergences",
+                Json::Arr(self.divergences.iter().map(|d| d.to_json()).collect()),
+            ),
+        ])
+        .render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_and_renders() {
+        let j = Json::obj(vec![
+            ("s", Json::Str("a\"b\\c\nd".into())),
+            ("n", Json::Int(-3)),
+            ("x", Json::Num(1.5)),
+            ("b", Json::Bool(true)),
+            ("z", Json::Null),
+            ("a", Json::Arr(vec![Json::Int(1), Json::Int(2)])),
+        ]);
+        assert_eq!(
+            j.render(),
+            r#"{"s":"a\"b\\c\nd","n":-3,"x":1.500,"b":true,"z":null,"a":[1,2]}"#
+        );
+    }
+
+    #[test]
+    fn report_aggregates() {
+        let report = RunReport {
+            seed_lo: 0,
+            seed_hi: 100,
+            shards: 2,
+            wall_ms: 50,
+            shard_reports: vec![
+                ShardReport {
+                    shard: 0,
+                    seeds: 50,
+                    programs: 50,
+                    duration_ms: 40,
+                    divergences: 0,
+                },
+                ShardReport {
+                    shard: 1,
+                    seeds: 50,
+                    programs: 50,
+                    duration_ms: 45,
+                    divergences: 0,
+                },
+            ],
+            coverage: vec![("int_lit", 7)],
+            divergences: vec![],
+        };
+        assert_eq!(report.total_programs(), 100);
+        assert_eq!(report.cpu_ms(), 85);
+        assert!(report.speedup() > 1.0);
+        let json = report.to_json();
+        assert!(json.contains("\"total_programs\":100"), "got {json}");
+        assert!(json.contains("\"int_lit\":7"), "got {json}");
+    }
+}

@@ -1,0 +1,282 @@
+//! The sharded sweep driver.
+//!
+//! Seeds are partitioned round-robin across worker threads
+//! (`shard(s) = (s − seed_lo) mod shards`), so any divergence is
+//! replayable from its seed alone, independent of the shard count.
+//! [`Expr`]s are `Rc`-based and not `Send`, so each worker owns its
+//! whole pipeline — generation, oracle, shrinking, pretty-printing —
+//! and hands back only strings and counters; the `Symbol` interner is
+//! the sole shared state and is thread-safe.
+
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use genprog::{gen_program_with, rng, GenConfig, GenCounters};
+use implicit_core::syntax::{Declarations, Expr};
+
+use crate::oracle::{run_program_oracle, run_resolution_oracle, Divergence, DivergenceKind};
+use crate::report::{DivergenceRecord, RunReport, ShardReport};
+use crate::shrink::{node_count, shrink};
+
+/// Sweep configuration.
+#[derive(Clone, Debug)]
+pub struct RunnerConfig {
+    /// First seed (inclusive).
+    pub seed_lo: u64,
+    /// Last seed (exclusive).
+    pub seed_hi: u64,
+    /// Worker thread count (clamped to ≥ 1).
+    pub shards: usize,
+    /// Where to persist divergence reproducers (`<id>.imp` +
+    /// `<id>.json`); `None` disables corpus writes.
+    pub corpus_dir: Option<PathBuf>,
+    /// Program generator knobs.
+    pub gen: GenConfig,
+}
+
+impl Default for RunnerConfig {
+    fn default() -> RunnerConfig {
+        RunnerConfig {
+            seed_lo: 0,
+            seed_hi: 1000,
+            shards: 1,
+            corpus_dir: None,
+            gen: GenConfig::default(),
+        }
+    }
+}
+
+/// One shard's results, in `Send`-safe form.
+struct ShardOutcome {
+    report: ShardReport,
+    counters: GenCounters,
+    divergences: Vec<DivergenceRecord>,
+}
+
+/// Runs one seed's program leg end to end — generate, oracle, and on
+/// divergence shrink to a minimal reproducer with the same
+/// [`DivergenceKind`]. The resolution leg runs unconditionally
+/// afterwards so every seed exercises both.
+fn run_seed(decls: &Declarations, gen: &GenConfig, seed: u64, shard: usize) -> SeedOutcome {
+    let mut r = rng(seed);
+    let program = gen_program_with(&mut r, gen, decls);
+    let mut divergence = None;
+
+    if let Err(d) = run_program_oracle(decls, &program.expr, &program.ty) {
+        divergence = Some(minimize(decls, &program.expr, &program.ty, d, seed, shard));
+    } else if let Err(d) = run_resolution_oracle(seed) {
+        // Env-level workloads are derived from the seed, not the
+        // program: nothing to shrink, but the record replays by seed.
+        divergence = Some(DivergenceRecord {
+            id: format!("s{seed}-{}", d.kind.label()),
+            seed,
+            shard,
+            kind: d.kind.label().to_owned(),
+            detail: d.detail,
+            program: String::new(),
+            minimized: String::new(),
+            original_nodes: 0,
+            minimized_nodes: 0,
+            replayable: false,
+        });
+    }
+
+    SeedOutcome {
+        counters: program.counters,
+        divergence,
+    }
+}
+
+struct SeedOutcome {
+    counters: GenCounters,
+    divergence: Option<DivergenceRecord>,
+}
+
+/// Shrinks a diverging program while the oracle keeps reporting the
+/// same divergence kind, then packages the reproducer.
+fn minimize(
+    decls: &Declarations,
+    expr: &Expr,
+    ty: &implicit_core::Type,
+    d: Divergence,
+    seed: u64,
+    shard: usize,
+) -> DivergenceRecord {
+    let kind = d.kind;
+    let property = |cand: &Expr| {
+        run_program_oracle(decls, cand, ty)
+            .err()
+            .is_some_and(|d2| d2.kind == kind)
+    };
+    let minimized = if kind == DivergenceKind::IllTyped || kind == DivergenceKind::TypeDrift {
+        // Generator bugs: the declared type itself is suspect, so a
+        // structural shrink against it is meaningless. Keep as-is.
+        expr.clone()
+    } else {
+        shrink(expr, &property)
+    };
+    let printed = minimized.to_string();
+    let replayable = implicit_core::parse::parse_expr(&printed)
+        .map(|p| p == minimized)
+        .unwrap_or(false);
+    DivergenceRecord {
+        id: format!("s{seed}-{}", kind.label()),
+        seed,
+        shard,
+        kind: kind.label().to_owned(),
+        detail: d.detail,
+        program: expr.to_string(),
+        minimized: printed,
+        original_nodes: node_count(expr),
+        minimized_nodes: node_count(&minimized),
+        replayable,
+    }
+}
+
+/// Runs the sweep: fans the seed range across `shards` worker
+/// threads, merges counters and divergences, and (optionally) writes
+/// the corpus.
+pub fn run(config: &RunnerConfig) -> std::io::Result<RunReport> {
+    let shards = config.shards.max(1);
+    let lo = config.seed_lo;
+    let hi = config.seed_hi.max(lo);
+    let wall = Instant::now();
+
+    let outcomes: Vec<ShardOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..shards)
+            .map(|shard| {
+                let gen = config.gen.clone();
+                scope.spawn(move || {
+                    let t0 = Instant::now();
+                    // Per-worker declarations: the hash-consing arena
+                    // is thread-local, so each worker builds its own.
+                    let decls = genprog::data_prelude();
+                    let mut counters = GenCounters::default();
+                    let mut divergences = Vec::new();
+                    let mut seeds = 0u64;
+                    for seed in (lo..hi).filter(|s| ((s - lo) as usize) % shards == shard) {
+                        let out = run_seed(&decls, &gen, seed, shard);
+                        counters.merge(&out.counters);
+                        divergences.extend(out.divergence);
+                        seeds += 1;
+                    }
+                    ShardOutcome {
+                        report: ShardReport {
+                            shard,
+                            seeds,
+                            programs: seeds,
+                            duration_ms: t0.elapsed().as_millis() as u64,
+                            divergences: divergences.len() as u64,
+                        },
+                        counters,
+                        divergences,
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("conformance worker panicked"))
+            .collect()
+    });
+
+    let wall_ms = wall.elapsed().as_millis() as u64;
+    let mut counters = GenCounters::default();
+    let mut divergences = Vec::new();
+    let mut shard_reports = Vec::with_capacity(outcomes.len());
+    for o in outcomes {
+        counters.merge(&o.counters);
+        divergences.extend(o.divergences);
+        shard_reports.push(o.report);
+    }
+    // Deterministic report order regardless of thread scheduling.
+    divergences.sort_by_key(|d| d.seed);
+
+    if let Some(dir) = &config.corpus_dir {
+        if !divergences.is_empty() {
+            std::fs::create_dir_all(dir)?;
+            for d in &divergences {
+                std::fs::write(dir.join(format!("{}.imp", d.id)), &d.minimized)?;
+                std::fs::write(dir.join(format!("{}.json", d.id)), d.to_json().render())?;
+            }
+        }
+    }
+
+    Ok(RunReport {
+        seed_lo: lo,
+        seed_hi: hi,
+        shards,
+        wall_ms,
+        shard_reports,
+        coverage: counters.as_pairs(),
+        divergences,
+    })
+}
+
+/// Replays a corpus entry (`.imp` source file): parses it and runs
+/// the full program oracle against the generator's prelude
+/// declarations.
+///
+/// # Errors
+///
+/// Returns a description of the parse failure or the (still
+/// reproducing) divergence.
+pub fn replay(path: &Path) -> Result<String, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let expr = implicit_core::parse::parse_expr(&src).map_err(|e| format!("parse error: {e}"))?;
+    let decls = genprog::data_prelude();
+    let ty = implicit_core::Typechecker::new(&decls)
+        .check_closed(&expr)
+        .map_err(|e| format!("ill-typed reproducer: {e}"))?;
+    match run_program_oracle(&decls, &expr, &ty) {
+        Ok(v) => Ok(format!("oracle agrees: value {} : {}", v.value, v.ty)),
+        Err(d) => Err(format!("divergence reproduced — {d}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_is_divergence_free_and_deterministic() {
+        let config = RunnerConfig {
+            seed_lo: 0,
+            seed_hi: 120,
+            shards: 3,
+            corpus_dir: None,
+            gen: GenConfig::default(),
+        };
+        let r1 = run(&config).unwrap();
+        assert_eq!(r1.total_programs(), 120);
+        assert!(
+            r1.divergences.is_empty(),
+            "unexpected divergences: {:?}",
+            r1.divergences
+                .iter()
+                .map(|d| format!("{}: {}", d.id, d.detail))
+                .collect::<Vec<_>>()
+        );
+        // Coverage histogram is shard-count independent.
+        let r2 = run(&RunnerConfig {
+            shards: 1,
+            ..config
+        })
+        .unwrap();
+        assert_eq!(r1.coverage, r2.coverage);
+    }
+
+    #[test]
+    fn shard_partition_covers_every_seed_once() {
+        let lo = 5u64;
+        let hi = 47u64;
+        let shards = 4usize;
+        let mut seen = vec![0u32; (hi - lo) as usize];
+        for shard in 0..shards {
+            for seed in (lo..hi).filter(|s| ((s - lo) as usize) % shards == shard) {
+                seen[(seed - lo) as usize] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+}

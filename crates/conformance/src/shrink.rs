@@ -1,0 +1,498 @@
+//! A delta-debugging shrinker for divergence reproducers.
+//!
+//! Greedy first-improvement search: generate structurally smaller
+//! candidate programs (branch selection, operand promotion, context
+//! pruning, literal collapse), keep any candidate on which the
+//! caller's property still holds, repeat until no candidate is
+//! accepted. The property is typically "the oracle still reports the
+//! same [`DivergenceKind`](crate::oracle::DivergenceKind)", which
+//! subsumes well-typedness — ill-typed candidates simply fail the
+//! property, so the candidate generator is free to propose
+//! type-breaking reductions.
+
+use std::rc::Rc;
+
+use implicit_core::syntax::{BinOp, Expr, MatchArm, RuleType, Type, UnOp};
+
+/// Counts expression AST nodes (types and rule-type annotations are
+/// not counted — the minimization target is the term).
+pub fn node_count(e: &Expr) -> usize {
+    1 + match e {
+        Expr::Int(_)
+        | Expr::Bool(_)
+        | Expr::Str(_)
+        | Expr::Unit
+        | Expr::Var(_)
+        | Expr::Query(_)
+        | Expr::Nil(_) => 0,
+        Expr::Lam(_, _, b) | Expr::UnOp(_, b) | Expr::Fix(_, _, b) | Expr::Proj(b, _) => {
+            node_count(b)
+        }
+        Expr::TyApp(b, _) => node_count(b),
+        Expr::App(a, b) | Expr::BinOp(_, a, b) | Expr::Pair(a, b) | Expr::Cons(a, b) => {
+            node_count(a) + node_count(b)
+        }
+        Expr::Fst(a) | Expr::Snd(a) => node_count(a),
+        Expr::RuleAbs(_, b) => node_count(b),
+        Expr::RuleApp(f, args) => {
+            node_count(f) + args.iter().map(|(a, _)| node_count(a)).sum::<usize>()
+        }
+        Expr::If(c, t, e) => node_count(c) + node_count(t) + node_count(e),
+        Expr::ListCase {
+            scrut, nil, cons, ..
+        } => node_count(scrut) + node_count(nil) + node_count(cons),
+        Expr::Make(_, _, fields) => fields.iter().map(|(_, e)| node_count(e)).sum(),
+        Expr::Inject(_, _, args) => args.iter().map(node_count).sum(),
+        Expr::Match(s, arms) => {
+            node_count(s) + arms.iter().map(|a| node_count(&a.body)).sum::<usize>()
+        }
+    }
+}
+
+/// Literal stand-ins tried when collapsing a subtree wholesale. The
+/// property predicate filters out the type-incorrect ones.
+fn literal_pool() -> [Expr; 4] {
+    [
+        Expr::Int(0),
+        Expr::Bool(false),
+        Expr::Str(String::new()),
+        Expr::Unit,
+    ]
+}
+
+/// All single-step shrink candidates of `e`: top-level reductions
+/// plus every rebuild of `e` with exactly one child shrunk.
+pub fn candidates(e: &Expr) -> Vec<Expr> {
+    let mut out: Vec<Expr> = Vec::new();
+
+    // Wholesale literal collapse (skip when already a leaf literal).
+    if node_count(e) > 1 {
+        out.extend(literal_pool());
+    }
+
+    // Top-level structural reductions.
+    match e {
+        Expr::If(c, t, el) => {
+            out.push((**t).clone());
+            out.push((**el).clone());
+            out.push((**c).clone());
+        }
+        Expr::BinOp(op, a, b) => {
+            match op {
+                // Same-typed operands: either side can stand in.
+                BinOp::Add
+                | BinOp::Sub
+                | BinOp::Mul
+                | BinOp::Div
+                | BinOp::Mod
+                | BinOp::And
+                | BinOp::Or
+                | BinOp::Concat => {
+                    out.push((**a).clone());
+                    out.push((**b).clone());
+                }
+                // Comparisons produce Bool; collapse to a literal.
+                BinOp::Eq | BinOp::Lt | BinOp::Le => {
+                    out.push(Expr::Bool(false));
+                    out.push(Expr::Bool(true));
+                }
+            }
+        }
+        Expr::UnOp(op, a) => match op {
+            UnOp::Neg => out.push((**a).clone()),
+            UnOp::Not => out.push(Expr::Bool(false)),
+            UnOp::IntToStr => out.push(Expr::Str(String::new())),
+        },
+        Expr::App(f, a) => {
+            out.push((**f).clone());
+            out.push((**a).clone());
+        }
+        Expr::Pair(a, b) => {
+            out.push((**a).clone());
+            out.push((**b).clone());
+        }
+        Expr::Fst(a) | Expr::Snd(a) => out.push((**a).clone()),
+        Expr::Cons(_, t) => out.push((**t).clone()),
+        Expr::ListCase { scrut, nil, .. } => {
+            out.push((**nil).clone());
+            out.push((**scrut).clone());
+        }
+        Expr::Fix(_, _, b) | Expr::Lam(_, _, b) | Expr::RuleAbs(_, b) => {
+            // Usually leaves an open variable — the property filter
+            // rejects those — but unblocks shrinks where the binder
+            // is dead.
+            out.push((**b).clone());
+        }
+        Expr::TyApp(b, _) => out.push((**b).clone()),
+        Expr::Proj(b, _) => out.push((**b).clone()),
+        Expr::Query(rho) => out.extend(query_stub(rho)),
+        Expr::Match(s, arms) => {
+            out.push((**s).clone());
+            for arm in arms {
+                if arm.binders.is_empty() {
+                    out.push(arm.body.clone());
+                }
+            }
+        }
+        Expr::Inject(_, tys, args) => {
+            // `GpSome(e) → GpNone`-style: same data type, nullary
+            // sibling constructors are tried by dropping all args.
+            for a in args {
+                out.push(a.clone());
+            }
+            if !args.is_empty() {
+                out.push(Expr::Inject(
+                    implicit_core::Symbol::intern("GpNone"),
+                    tys.clone(),
+                    Vec::new(),
+                ));
+            }
+        }
+        Expr::RuleApp(f, args) => {
+            // Drop argument `i` together with its context premise
+            // when the rule abstraction is literal (`implicit` sugar).
+            if let Expr::RuleAbs(rho, body) = &**f {
+                out.push((**body).clone());
+                if rho.vars().is_empty() && rho.context().len() == args.len() {
+                    for i in 0..args.len() {
+                        let mut ctx: Vec<RuleType> = rho.context().to_vec();
+                        let keep = ctx.remove(i);
+                        let mut rest = args.clone();
+                        // Canonical context order matches the
+                        // argument order only when the generator
+                        // built them together; guard on agreement.
+                        if rest[i].1 == keep {
+                            rest.remove(i);
+                            if ctx.is_empty() {
+                                out.push((**body).clone());
+                            } else {
+                                out.push(Expr::with(
+                                    Expr::rule_abs(
+                                        RuleType::mono(ctx, rho.head().clone()),
+                                        (**body).clone(),
+                                    ),
+                                    rest,
+                                ));
+                            }
+                        }
+                    }
+                }
+            } else {
+                out.push((**f).clone());
+            }
+            for (a, _) in args {
+                out.push(a.clone());
+            }
+        }
+        Expr::Make(_, _, fields) => {
+            for (_, a) in fields {
+                out.push(a.clone());
+            }
+        }
+        _ => {}
+    }
+
+    // One-child rewrites (recursive).
+    out.extend(child_rewrites(e));
+    out
+}
+
+/// A small literal of the query's head type, used to discharge
+/// trivial queries.
+fn query_stub(rho: &RuleType) -> Vec<Expr> {
+    if !rho.is_trivial() {
+        return Vec::new();
+    }
+    match rho.head() {
+        Type::Int => vec![Expr::Int(0)],
+        Type::Bool => vec![Expr::Bool(false)],
+        Type::Str => vec![Expr::Str(String::new())],
+        Type::Unit => vec![Expr::Unit],
+        _ => Vec::new(),
+    }
+}
+
+fn child_rewrites(e: &Expr) -> Vec<Expr> {
+    let mut out = Vec::new();
+    match e {
+        Expr::Lam(x, ty, b) => {
+            for c in candidates(b) {
+                out.push(Expr::Lam(*x, ty.clone(), Rc::new(c)));
+            }
+        }
+        Expr::App(f, a) => {
+            for c in candidates(f) {
+                out.push(Expr::App(Rc::new(c), a.clone()));
+            }
+            for c in candidates(a) {
+                out.push(Expr::App(f.clone(), Rc::new(c)));
+            }
+        }
+        Expr::RuleAbs(rho, b) => {
+            for c in candidates(b) {
+                out.push(Expr::RuleAbs(rho.clone(), Rc::new(c)));
+            }
+        }
+        Expr::TyApp(b, tys) => {
+            for c in candidates(b) {
+                out.push(Expr::TyApp(Rc::new(c), tys.clone()));
+            }
+        }
+        Expr::RuleApp(f, args) => {
+            for c in candidates(f) {
+                out.push(Expr::RuleApp(Rc::new(c), args.clone()));
+            }
+            for i in 0..args.len() {
+                for c in candidates(&args[i].0) {
+                    let mut rest = args.clone();
+                    rest[i].0 = c;
+                    out.push(Expr::RuleApp(f.clone(), rest));
+                }
+            }
+        }
+        Expr::If(cnd, t, el) => {
+            for c in candidates(cnd) {
+                out.push(Expr::If(Rc::new(c), t.clone(), el.clone()));
+            }
+            for c in candidates(t) {
+                out.push(Expr::If(cnd.clone(), Rc::new(c), el.clone()));
+            }
+            for c in candidates(el) {
+                out.push(Expr::If(cnd.clone(), t.clone(), Rc::new(c)));
+            }
+        }
+        Expr::BinOp(op, a, b) => {
+            for c in candidates(a) {
+                out.push(Expr::BinOp(*op, Rc::new(c), b.clone()));
+            }
+            for c in candidates(b) {
+                out.push(Expr::BinOp(*op, a.clone(), Rc::new(c)));
+            }
+        }
+        Expr::UnOp(op, a) => {
+            for c in candidates(a) {
+                out.push(Expr::UnOp(*op, Rc::new(c)));
+            }
+        }
+        Expr::Pair(a, b) => {
+            for c in candidates(a) {
+                out.push(Expr::Pair(Rc::new(c), b.clone()));
+            }
+            for c in candidates(b) {
+                out.push(Expr::Pair(a.clone(), Rc::new(c)));
+            }
+        }
+        Expr::Fst(a) => {
+            for c in candidates(a) {
+                out.push(Expr::Fst(Rc::new(c)));
+            }
+        }
+        Expr::Snd(a) => {
+            for c in candidates(a) {
+                out.push(Expr::Snd(Rc::new(c)));
+            }
+        }
+        Expr::Cons(h, t) => {
+            for c in candidates(h) {
+                out.push(Expr::Cons(Rc::new(c), t.clone()));
+            }
+            for c in candidates(t) {
+                out.push(Expr::Cons(h.clone(), Rc::new(c)));
+            }
+        }
+        Expr::ListCase {
+            scrut,
+            nil,
+            head,
+            tail,
+            cons,
+        } => {
+            for c in candidates(scrut) {
+                out.push(Expr::ListCase {
+                    scrut: Rc::new(c),
+                    nil: nil.clone(),
+                    head: *head,
+                    tail: *tail,
+                    cons: cons.clone(),
+                });
+            }
+            for c in candidates(nil) {
+                out.push(Expr::ListCase {
+                    scrut: scrut.clone(),
+                    nil: Rc::new(c),
+                    head: *head,
+                    tail: *tail,
+                    cons: cons.clone(),
+                });
+            }
+            for c in candidates(cons) {
+                out.push(Expr::ListCase {
+                    scrut: scrut.clone(),
+                    nil: nil.clone(),
+                    head: *head,
+                    tail: *tail,
+                    cons: Rc::new(c),
+                });
+            }
+        }
+        Expr::Fix(x, ty, b) => {
+            for c in candidates(b) {
+                out.push(Expr::Fix(*x, ty.clone(), Rc::new(c)));
+            }
+        }
+        Expr::Proj(b, u) => {
+            for c in candidates(b) {
+                out.push(Expr::Proj(Rc::new(c), *u));
+            }
+        }
+        Expr::Make(name, tys, fields) => {
+            for i in 0..fields.len() {
+                for c in candidates(&fields[i].1) {
+                    let mut rest = fields.clone();
+                    rest[i].1 = c;
+                    out.push(Expr::Make(*name, tys.clone(), rest));
+                }
+            }
+        }
+        Expr::Inject(ctor, tys, args) => {
+            for i in 0..args.len() {
+                for c in candidates(&args[i]) {
+                    let mut rest = args.clone();
+                    rest[i] = c;
+                    out.push(Expr::Inject(*ctor, tys.clone(), rest));
+                }
+            }
+        }
+        Expr::Match(s, arms) => {
+            for c in candidates(s) {
+                out.push(Expr::Match(Rc::new(c), arms.clone()));
+            }
+            for i in 0..arms.len() {
+                for c in candidates(&arms[i].body) {
+                    let mut rest = arms.clone();
+                    rest[i] = MatchArm {
+                        ctor: arms[i].ctor,
+                        binders: arms[i].binders.clone(),
+                        body: c,
+                    };
+                    out.push(Expr::Match(s.clone(), rest));
+                }
+            }
+        }
+        _ => {}
+    }
+    out
+}
+
+/// Greedily minimizes `e` while `property` holds: each round picks
+/// the smallest accepted candidate and restarts from it; stops at a
+/// local minimum (or after `max_rounds` as a safety valve).
+///
+/// The caller's property MUST hold on the input; the result is the
+/// smallest expression found on which it still holds.
+pub fn shrink(e: &Expr, property: &dyn Fn(&Expr) -> bool) -> Expr {
+    let mut current = e.clone();
+    let mut current_size = node_count(&current);
+    let max_rounds = 10_000;
+    for _ in 0..max_rounds {
+        let mut cands = candidates(&current);
+        cands.sort_by_key(node_count);
+        let mut improved = false;
+        for cand in cands {
+            let size = node_count(&cand);
+            if size >= current_size {
+                // Sorted ascending: nothing smaller remains.
+                break;
+            }
+            if property(&cand) {
+                current = cand;
+                current_size = size;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use implicit_core::syntax::Declarations;
+    use implicit_core::typeck::{types_equal, Typechecker};
+
+    fn contains_mul(e: &Expr) -> bool {
+        if let Expr::BinOp(BinOp::Mul, _, _) = e {
+            return true;
+        }
+        match e {
+            Expr::Lam(_, _, b)
+            | Expr::UnOp(_, b)
+            | Expr::Fix(_, _, b)
+            | Expr::Proj(b, _)
+            | Expr::TyApp(b, _)
+            | Expr::RuleAbs(_, b)
+            | Expr::Fst(b)
+            | Expr::Snd(b) => contains_mul(b),
+            Expr::App(a, b) | Expr::BinOp(_, a, b) | Expr::Pair(a, b) | Expr::Cons(a, b) => {
+                contains_mul(a) || contains_mul(b)
+            }
+            Expr::If(c, t, e2) => contains_mul(c) || contains_mul(t) || contains_mul(e2),
+            Expr::RuleApp(f, args) => contains_mul(f) || args.iter().any(|(a, _)| contains_mul(a)),
+            Expr::ListCase {
+                scrut, nil, cons, ..
+            } => contains_mul(scrut) || contains_mul(nil) || contains_mul(cons),
+            Expr::Make(_, _, fields) => fields.iter().any(|(_, e2)| contains_mul(e2)),
+            Expr::Inject(_, _, args) => args.iter().any(contains_mul),
+            Expr::Match(s, arms) => contains_mul(s) || arms.iter().any(|a| contains_mul(&a.body)),
+            _ => false,
+        }
+    }
+
+    #[test]
+    fn node_count_counts_terms() {
+        let e = Expr::binop(BinOp::Add, Expr::Int(1), Expr::Int(2));
+        assert_eq!(node_count(&e), 3);
+    }
+
+    #[test]
+    fn shrink_finds_minimal_mul_preserving_type() {
+        // A deliberately bloated well-typed Int program containing a
+        // single `*`; the property mimics the harness's: same type,
+        // still "diverges" (here: still contains `*`).
+        let decls = Declarations::new();
+        let e = implicit_core::parse::parse_expr(
+            "implicit {3 : Int, true : Bool} in \
+             (if ?(Bool) then ?(Int) + (2 * (?(Int) - 1)) else 0 - ?(Int)) : Int",
+        )
+        .unwrap();
+        let tc = Typechecker::new(&decls);
+        let ty = tc.check_closed(&e).unwrap();
+        let property = |cand: &Expr| {
+            contains_mul(cand)
+                && tc
+                    .check_closed(cand)
+                    .map(|t| types_equal(&t, &ty))
+                    .unwrap_or(false)
+        };
+        assert!(property(&e));
+        let small = shrink(&e, &property);
+        assert!(property(&small));
+        assert!(
+            node_count(&small) <= 10,
+            "shrunk to {} nodes: {small}",
+            node_count(&small)
+        );
+        assert!(node_count(&small) < node_count(&e));
+    }
+
+    #[test]
+    fn shrink_is_identity_at_local_minimum() {
+        let e = Expr::Int(7);
+        let out = shrink(&e, &|c| matches!(c, Expr::Int(7)));
+        assert_eq!(out, e);
+    }
+}

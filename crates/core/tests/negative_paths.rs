@@ -1,0 +1,179 @@
+//! Negative-path coverage for the static side conditions: each test
+//! asserts the *specific* error variant and its payload, not just
+//! `is_err()` — a regression that changes which condition fires (or
+//! what it reports) must fail loudly.
+
+use implicit_core::coherence::{
+    exists_most_specific, query_stability, unique_instances, CoherenceError,
+};
+use implicit_core::resolve::ResolutionPolicy;
+use implicit_core::syntax::{RuleType, Type};
+use implicit_core::termination::{check_env, check_rule, TerminationViolation};
+use implicit_core::{ImplicitEnv, Symbol};
+
+fn tv(name: &str) -> Symbol {
+    Symbol::intern(name)
+}
+
+// ---------------------------------------------------------------
+// Termination (Appendix A)
+// ---------------------------------------------------------------
+
+#[test]
+fn premise_as_large_as_head_reports_sizes() {
+    // {Int × Int} ⇒ Int: premise head size 3 vs head size 1.
+    let rule = RuleType::mono(vec![Type::prod(Type::Int, Type::Int).promote()], Type::Int);
+    match check_rule(&rule) {
+        Err(TerminationViolation::PremiseNotSmaller {
+            rule: r,
+            premise,
+            premise_size,
+            head_size,
+        }) => {
+            assert_eq!(r, rule);
+            assert_eq!(premise, Type::prod(Type::Int, Type::Int).promote());
+            assert_eq!(premise_size, 3);
+            assert_eq!(head_size, 1);
+        }
+        other => panic!("expected PremiseNotSmaller, got {other:?}"),
+    }
+}
+
+#[test]
+fn equal_sized_premise_is_not_strictly_smaller() {
+    // {String} ⇒ Int: sizes are equal (1 vs 1) — "strictly smaller"
+    // must reject ties.
+    let rule = RuleType::mono(vec![Type::Str.promote()], Type::Int);
+    match check_rule(&rule) {
+        Err(TerminationViolation::PremiseNotSmaller {
+            premise_size,
+            head_size,
+            ..
+        }) => {
+            assert_eq!((premise_size, head_size), (1, 1));
+        }
+        other => panic!("expected PremiseNotSmaller, got {other:?}"),
+    }
+}
+
+#[test]
+fn growing_variable_is_named() {
+    // ∀a. {a × a} ⇒ (a × Int) × Int: the premise head (size 3) is
+    // strictly smaller than the rule head (size 5), but `a` occurs
+    // twice in the premise and once in the head — condition 2 fires
+    // and must name the variable.
+    let a = tv("neg_a");
+    let rule = RuleType::new(
+        vec![a],
+        vec![Type::prod(Type::var(a), Type::var(a)).promote()],
+        Type::prod(Type::prod(Type::var(a), Type::Int), Type::Int),
+    );
+    match check_rule(&rule) {
+        Err(TerminationViolation::VariableGrows {
+            rule: r,
+            premise,
+            var,
+        }) => {
+            assert_eq!(r, rule);
+            assert_eq!(premise, Type::prod(Type::var(a), Type::var(a)).promote());
+            assert_eq!(var, a);
+        }
+        other => panic!("expected VariableGrows, got {other:?}"),
+    }
+}
+
+#[test]
+fn env_check_pinpoints_the_offending_rule() {
+    // A well-behaved inner frame must not mask a violating outer one.
+    let bad = RuleType::mono(vec![Type::Str.promote()], Type::Int);
+    let mut env = ImplicitEnv::new();
+    env.push(vec![bad.clone()]);
+    env.push(vec![Type::Bool.promote()]); // innermost, fine
+    match check_env(&env) {
+        Err(TerminationViolation::PremiseNotSmaller { rule, .. }) => assert_eq!(rule, bad),
+        other => panic!("expected PremiseNotSmaller, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------
+// Coherence (§6)
+// ---------------------------------------------------------------
+
+#[test]
+fn overlapping_instances_carry_a_witness() {
+    // ∀a. a → Int and ∀a. Int → a unify at Int → Int.
+    let a = tv("neg_b");
+    let left = RuleType::new(vec![a], vec![], Type::arrow(Type::var(a), Type::Int));
+    let right = RuleType::new(vec![a], vec![], Type::arrow(Type::Int, Type::var(a)));
+    match unique_instances(&[left.clone(), right.clone()]) {
+        Err(CoherenceError::OverlappingInstances {
+            left: l,
+            right: r,
+            witness,
+        }) => {
+            assert_eq!(l, left);
+            assert_eq!(r, right);
+            assert_eq!(witness, Type::arrow(Type::Int, Type::Int));
+        }
+        other => panic!("expected OverlappingInstances, got {other:?}"),
+    }
+}
+
+#[test]
+fn missing_meet_reports_the_most_general_common_instance() {
+    // ∀a. a × Int and ∀a. Int × a overlap at Int × Int, and no rule
+    // in the set matches that meet exactly.
+    let a = tv("neg_c");
+    let left = RuleType::new(vec![a], vec![], Type::prod(Type::var(a), Type::Int));
+    let right = RuleType::new(vec![a], vec![], Type::prod(Type::Int, Type::var(a)));
+    match exists_most_specific(&[left.clone(), right.clone()]) {
+        Err(CoherenceError::NoMostSpecific {
+            left: l,
+            right: r,
+            meet,
+        }) => {
+            assert_eq!(l, left);
+            assert_eq!(r, right);
+            assert_eq!(meet, Type::prod(Type::Int, Type::Int));
+        }
+        other => panic!("expected NoMostSpecific, got {other:?}"),
+    }
+    // Adding the meet as its own rule repairs the set.
+    assert_eq!(
+        exists_most_specific(&[left, right, Type::prod(Type::Int, Type::Int).promote()]),
+        Ok(())
+    );
+}
+
+#[test]
+fn unstable_query_names_winner_and_rival() {
+    // The query head `a × Int` (free `a`) statically resolves to the
+    // outer ∀b. b × Int, but the *nearer* ground rule Int × Int could
+    // steal the match once `a` is instantiated to Int.
+    let a = tv("neg_d");
+    let b = tv("neg_e");
+    let winner = RuleType::new(vec![b], vec![], Type::prod(Type::var(b), Type::Int));
+    let rival = Type::prod(Type::Int, Type::Int).promote();
+    let mut env = ImplicitEnv::new();
+    env.push(vec![winner.clone()]); // outer
+    env.push(vec![rival.clone()]); // inner (nearer)
+    let query = Type::prod(Type::var(a), Type::Int).promote();
+    match query_stability(&env, &query, &ResolutionPolicy::paper()) {
+        Err(CoherenceError::UnstableQuery {
+            query: q,
+            winner: w,
+            rival: r,
+        }) => {
+            assert_eq!(q, query);
+            assert_eq!(w, winner);
+            assert_eq!(r, rival);
+        }
+        other => panic!("expected UnstableQuery, got {other:?}"),
+    }
+    // A ground query in the same environment is stable.
+    let ground = Type::prod(Type::Bool, Type::Int).promote();
+    assert_eq!(
+        query_stability(&env, &ground, &ResolutionPolicy::paper()),
+        Ok(())
+    );
+}

@@ -207,6 +207,18 @@ pub struct GenConfig {
     /// Probability of answering a request with a query (when
     /// resolvable).
     pub query_prob: f64,
+    /// Probability of data-typed constructs (`con`/`match`, applied
+    /// type constructors) at eligible positions. Only effective when
+    /// generating against declarations containing the
+    /// [`data_prelude`] types; ignored otherwise.
+    pub data_prob: f64,
+    /// Probability of emitting a (guaranteed-terminating) `fix`
+    /// recursion at `Int` positions — a countdown loop or a length
+    /// fold over a list at a random element type.
+    pub fix_prob: f64,
+    /// Maximum nesting depth of `implicit` scopes. Bounds the frame
+    /// stack that resolution (and the derivation cache) must handle.
+    pub max_scope_depth: usize,
 }
 
 impl Default for GenConfig {
@@ -215,7 +227,109 @@ impl Default for GenConfig {
             max_depth: 5,
             scope_prob: 0.3,
             query_prob: 0.5,
+            data_prob: 0.3,
+            fix_prob: 0.15,
+            max_scope_depth: 4,
         }
+    }
+}
+
+/// Per-construct emission counters, accumulated while generating.
+///
+/// The conformance harness aggregates these across a sweep to prove
+/// that the generator actually exercises every syntax construct it
+/// claims to cover (the "generator coverage histogram" of the run
+/// report).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[allow(missing_docs)] // field names are the histogram labels
+pub struct GenCounters {
+    pub int_lit: u64,
+    pub bool_lit: u64,
+    pub str_lit: u64,
+    pub binop: u64,
+    pub if_then_else: u64,
+    pub pair: u64,
+    pub list: u64,
+    pub query: u64,
+    pub implicit_scope: u64,
+    pub poly_rule: u64,
+    pub hk_rule: u64,
+    pub hk_query: u64,
+    pub inject: u64,
+    pub match_arms: u64,
+    pub fix_rec: u64,
+    pub list_case: u64,
+    pub applied_ctor_type: u64,
+    /// Deepest implicit-scope nesting reached (a max, not a sum).
+    pub max_scope_depth: u64,
+}
+
+impl GenCounters {
+    /// Accumulates `other` into `self` (sums counts, maxes depths).
+    pub fn merge(&mut self, other: &GenCounters) {
+        let GenCounters {
+            int_lit,
+            bool_lit,
+            str_lit,
+            binop,
+            if_then_else,
+            pair,
+            list,
+            query,
+            implicit_scope,
+            poly_rule,
+            hk_rule,
+            hk_query,
+            inject,
+            match_arms,
+            fix_rec,
+            list_case,
+            applied_ctor_type,
+            max_scope_depth,
+        } = other;
+        self.int_lit += int_lit;
+        self.bool_lit += bool_lit;
+        self.str_lit += str_lit;
+        self.binop += binop;
+        self.if_then_else += if_then_else;
+        self.pair += pair;
+        self.list += list;
+        self.query += query;
+        self.implicit_scope += implicit_scope;
+        self.poly_rule += poly_rule;
+        self.hk_rule += hk_rule;
+        self.hk_query += hk_query;
+        self.inject += inject;
+        self.match_arms += match_arms;
+        self.fix_rec += fix_rec;
+        self.list_case += list_case;
+        self.applied_ctor_type += applied_ctor_type;
+        self.max_scope_depth = self.max_scope_depth.max(*max_scope_depth);
+    }
+
+    /// The counters as labelled pairs, in a stable order (the
+    /// conformance report's histogram rows).
+    pub fn as_pairs(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("int_lit", self.int_lit),
+            ("bool_lit", self.bool_lit),
+            ("str_lit", self.str_lit),
+            ("binop", self.binop),
+            ("if_then_else", self.if_then_else),
+            ("pair", self.pair),
+            ("list", self.list),
+            ("query", self.query),
+            ("implicit_scope", self.implicit_scope),
+            ("poly_rule", self.poly_rule),
+            ("hk_rule", self.hk_rule),
+            ("hk_query", self.hk_query),
+            ("inject", self.inject),
+            ("match_arms", self.match_arms),
+            ("fix_rec", self.fix_rec),
+            ("list_case", self.list_case),
+            ("applied_ctor_type", self.applied_ctor_type),
+            ("max_scope_depth", self.max_scope_depth),
+        ]
     }
 }
 
@@ -226,22 +340,50 @@ pub struct GenProgram {
     pub expr: Expr,
     /// Its type.
     pub ty: Type,
+    /// What the generator emitted while building it.
+    pub counters: GenCounters,
 }
 
 /// Generates a random closed, well-typed λ⇒ program whose queries
 /// are all resolvable. Programs combine literals, arithmetic,
-/// pairs, conditionals, nested `implicit` scopes, polymorphic rules
-/// and queries.
+/// pairs, conditionals, nested `implicit` scopes, polymorphic rules,
+/// recursion and queries. Data-typed constructs are disabled (no
+/// declarations are in scope); use [`gen_program_with`] with the
+/// [`data_prelude`] for the full construct set.
 pub fn gen_program(rng: &mut impl Rng, config: &GenConfig) -> GenProgram {
+    let decls = implicit_core::syntax::Declarations::new();
+    gen_program_with(rng, config, &decls)
+}
+
+/// Generates a random closed, well-typed λ⇒ program against the
+/// given declarations. When `decls` contains the [`data_prelude`]
+/// types, the generator additionally emits applied type constructors
+/// (`GpOpt(τ)`), `con`/`match`, and a higher-kinded container rule
+/// (`∀b. {b → String} ⇒ GpOpt(b) → String`) with queries that
+/// exercise it — the S20/S23 feature set.
+pub fn gen_program_with(
+    rng: &mut impl Rng,
+    config: &GenConfig,
+    decls: &implicit_core::syntax::Declarations,
+) -> GenProgram {
+    let has_data = decls.lookup_data(Symbol::intern("GpOpt")).is_some()
+        && decls.lookup_data(Symbol::intern("GpColor")).is_some();
     let mut g = Gen {
         rng,
         config: config.clone(),
         env: ImplicitEnv::new(),
         policy: ResolutionPolicy::paper(),
+        counters: GenCounters::default(),
+        scope_depth: 0,
+        has_data,
     };
     let ty = g.gen_type(2);
     let expr = g.gen_expr(&ty, config.max_depth);
-    GenProgram { expr, ty }
+    GenProgram {
+        expr,
+        ty,
+        counters: g.counters,
+    }
 }
 
 struct Gen<'r, R: Rng> {
@@ -249,6 +391,17 @@ struct Gen<'r, R: Rng> {
     config: GenConfig,
     env: ImplicitEnv,
     policy: ResolutionPolicy,
+    counters: GenCounters,
+    scope_depth: usize,
+    has_data: bool,
+}
+
+fn gp_opt(elem: Type) -> Type {
+    Type::Con(Symbol::intern("GpOpt"), vec![elem])
+}
+
+fn gp_color() -> Type {
+    Type::Con(Symbol::intern("GpColor"), vec![])
 }
 
 impl<R: Rng> Gen<'_, R> {
@@ -260,12 +413,21 @@ impl<R: Rng> Gen<'_, R> {
                 _ => Type::Str,
             };
         }
-        match self.rng.gen_range(0..5) {
+        let data = self.has_data && self.rng.gen_bool(self.config.data_prob);
+        match self.rng.gen_range(0..if data { 7 } else { 5 }) {
             0 => Type::Int,
             1 => Type::Bool,
             2 => Type::Str,
             3 => Type::prod(self.gen_type(depth - 1), self.gen_type(depth - 1)),
-            _ => Type::list(self.gen_type(depth - 1)),
+            4 => Type::list(self.gen_type(depth - 1)),
+            5 => {
+                self.counters.applied_ctor_type += 1;
+                gp_opt(self.gen_type(depth - 1))
+            }
+            _ => {
+                self.counters.applied_ctor_type += 1;
+                gp_color()
+            }
         }
     }
 
@@ -275,13 +437,50 @@ impl<R: Rng> Gen<'_, R> {
 
     fn gen_expr(&mut self, ty: &Type, depth: usize) -> Expr {
         // Possibly wrap in a new implicit scope that provides this
-        // type (and possibly a structural pair rule).
-        if depth > 0 && self.rng.gen_bool(self.config.scope_prob) {
+        // type (and possibly structural / higher-kinded rules).
+        if depth > 0
+            && self.scope_depth < self.config.max_scope_depth
+            && self.rng.gen_bool(self.config.scope_prob)
+        {
             return self.gen_scope(ty, depth);
         }
         // Possibly answer with a query.
         if self.rng.gen_bool(self.config.query_prob) && self.resolvable(ty) {
+            self.counters.query += 1;
             return Expr::query_simple(ty.clone());
+        }
+        // Possibly route the answer through an exhaustive match on a
+        // data scrutinee (any target type can be matched *into*).
+        if depth > 1 && self.has_data && self.rng.gen_bool(self.config.data_prob) {
+            return self.gen_match_wrap(ty, depth);
+        }
+        // Possibly compute an Int by guaranteed-terminating recursion.
+        if depth > 1 && *ty == Type::Int && self.rng.gen_bool(self.config.fix_prob) {
+            return self.gen_fix_int(depth);
+        }
+        // Possibly branch on a generated condition.
+        if depth > 1 && self.rng.gen_bool(0.15) {
+            self.counters.if_then_else += 1;
+            let c = self.gen_expr(&Type::Bool, depth - 1);
+            let t = self.gen_expr(ty, depth - 1);
+            let f = self.gen_expr(ty, depth - 1);
+            return Expr::if_(c, t, f);
+        }
+        // A String can be rendered through the higher-kinded container
+        // rule when one is in scope: ?(GpOpt(Int) → String) applied to
+        // a freshly injected option.
+        if depth > 1
+            && *ty == Type::Str
+            && self.has_data
+            && self.rng.gen_bool(self.config.data_prob)
+        {
+            let shower = Type::arrow(gp_opt(Type::Int), Type::Str);
+            if self.resolvable(&shower) {
+                self.counters.hk_query += 1;
+                self.counters.query += 1;
+                let arg = self.gen_literalish(&gp_opt(Type::Int), depth.saturating_sub(2));
+                return Expr::app(Expr::query_simple(shower), arg);
+            }
         }
         self.gen_literalish(ty, depth)
     }
@@ -309,34 +508,214 @@ impl<R: Rng> Gen<'_, R> {
             // Only add when it keeps the frame overlap-free: the pair
             // rule overlaps a product base value.
             if !matches!(frame[0].head(), Type::Prod(_, _)) {
+                self.counters.poly_rule += 1;
                 args.push((Expr::rule_abs(rty.clone(), body), rty.clone()));
                 frame.push(rty);
             }
         }
+        // Sometimes add the §1-shaped container rule over an applied
+        // type constructor — ∀b. {b → String} ⇒ GpOpt(b) → String —
+        // together with the Int element shower it recursively needs.
+        if self.has_data && self.rng.gen_bool(self.config.data_prob) {
+            let (elem_e, elem_r, hk_e, hk_r) = self.container_rule_pair();
+            self.counters.hk_rule += 1;
+            args.push((elem_e, elem_r.clone()));
+            frame.push(elem_r);
+            args.push((hk_e, hk_r.clone()));
+            frame.push(hk_r);
+        }
         self.env.push(frame);
+        self.scope_depth += 1;
+        self.counters.implicit_scope += 1;
+        self.counters.max_scope_depth = self.counters.max_scope_depth.max(self.scope_depth as u64);
         let body = self.gen_expr(ty, depth - 1);
+        self.scope_depth -= 1;
         self.env.pop();
         Expr::implicit(args, body, ty.clone())
+    }
+
+    /// The element shower `λn:Int. intToStr n : Int → String` and the
+    /// higher-kinded container rule
+    /// `rule(∀b. {b → String} ⇒ GpOpt(b) → String)(λo. match o …)`.
+    fn container_rule_pair(&mut self) -> (Expr, RuleType, Expr, RuleType) {
+        let n = fresh("gn");
+        let elem_r = Type::arrow(Type::Int, Type::Str).promote();
+        let elem_e = Expr::lam(
+            n,
+            Type::Int,
+            Expr::UnOp(UnOp::IntToStr, std::rc::Rc::new(Expr::Var(n))),
+        );
+        let b = fresh("gb");
+        let hk_r = RuleType::new(
+            vec![b],
+            vec![Type::arrow(Type::var(b), Type::Str).promote()],
+            Type::arrow(gp_opt(Type::var(b)), Type::Str),
+        );
+        let o = fresh("go");
+        let x = fresh("gx");
+        self.counters.query += 1;
+        let hk_body = Expr::lam(
+            o,
+            gp_opt(Type::var(b)),
+            Expr::Match(
+                std::rc::Rc::new(Expr::Var(o)),
+                vec![
+                    implicit_core::syntax::MatchArm {
+                        ctor: Symbol::intern("GpNone"),
+                        binders: vec![],
+                        body: Expr::Str("none".into()),
+                    },
+                    implicit_core::syntax::MatchArm {
+                        ctor: Symbol::intern("GpSome"),
+                        binders: vec![x],
+                        body: Expr::app(
+                            Expr::query_simple(Type::arrow(Type::var(b), Type::Str)),
+                            Expr::Var(x),
+                        ),
+                    },
+                ],
+            ),
+        );
+        self.counters.match_arms += 2;
+        let hk_e = Expr::rule_abs(hk_r.clone(), hk_body);
+        (elem_e, elem_r, hk_e, hk_r)
+    }
+
+    /// Routes a value of type `ty` through an exhaustive match on a
+    /// random data scrutinee.
+    fn gen_match_wrap(&mut self, ty: &Type, depth: usize) -> Expr {
+        if self.rng.gen_bool(0.5) {
+            // match on GpColor: three arms of the target type.
+            let color = ["GpRed", "GpGreen", "GpBlue"][self.rng.gen_range(0..3usize)];
+            self.counters.inject += 1;
+            self.counters.match_arms += 3;
+            let scrut = Expr::Inject(Symbol::intern(color), vec![], vec![]);
+            let arms = ["GpRed", "GpGreen", "GpBlue"]
+                .iter()
+                .map(|c| implicit_core::syntax::MatchArm {
+                    ctor: Symbol::intern(c),
+                    binders: vec![],
+                    body: self.gen_expr(ty, depth - 1),
+                })
+                .collect();
+            Expr::Match(std::rc::Rc::new(scrut), arms)
+        } else {
+            // match on GpOpt(τ): the Some arm can use the payload when
+            // the element type is the target type itself.
+            let elem = if self.rng.gen_bool(0.5) {
+                ty.clone()
+            } else {
+                self.gen_type(1)
+            };
+            let scrut = self.gen_literalish(&gp_opt(elem.clone()), depth.saturating_sub(1));
+            let x = fresh("gm");
+            let some_body = if elem == *ty && self.rng.gen_bool(0.8) {
+                Expr::Var(x)
+            } else {
+                self.gen_expr(ty, depth - 1)
+            };
+            self.counters.match_arms += 2;
+            Expr::Match(
+                std::rc::Rc::new(scrut),
+                vec![
+                    implicit_core::syntax::MatchArm {
+                        ctor: Symbol::intern("GpNone"),
+                        binders: vec![],
+                        body: self.gen_expr(ty, depth - 1),
+                    },
+                    implicit_core::syntax::MatchArm {
+                        ctor: Symbol::intern("GpSome"),
+                        binders: vec![x],
+                        body: some_body,
+                    },
+                ],
+            )
+        }
+    }
+
+    /// A guaranteed-terminating `Int` recursion: either a countdown
+    /// loop or a length fold over a freshly generated list (recursion
+    /// over a polymorphic container, instantiated at a random element
+    /// type per program).
+    fn gen_fix_int(&mut self, depth: usize) -> Expr {
+        self.counters.fix_rec += 1;
+        if self.rng.gen_bool(0.5) {
+            // (fix f : Int → Int. λn. if n ≤ 0 then base else step + f (n−1)) k
+            self.counters.if_then_else += 1;
+            let f = fresh("gf");
+            let n = fresh("gn");
+            let base = self.gen_literalish(&Type::Int, depth.saturating_sub(2));
+            let step = self.gen_literalish(&Type::Int, depth.saturating_sub(2));
+            let fty = Type::arrow(Type::Int, Type::Int);
+            let body = Expr::lam(
+                n,
+                Type::Int,
+                Expr::if_(
+                    Expr::binop(BinOp::Le, Expr::Var(n), Expr::Int(0)),
+                    base,
+                    Expr::binop(
+                        BinOp::Add,
+                        step,
+                        Expr::app(
+                            Expr::Var(f),
+                            Expr::binop(BinOp::Sub, Expr::Var(n), Expr::Int(1)),
+                        ),
+                    ),
+                ),
+            );
+            let k = self.rng.gen_range(0..5);
+            Expr::app(Expr::Fix(f, fty, std::rc::Rc::new(body)), Expr::Int(k))
+        } else {
+            // (fix len : [τ] → Int. λxs. case xs of nil → 0 | h::t → 1 + len t) list
+            self.counters.list_case += 1;
+            let elem = self.gen_type(1);
+            let len = fresh("gl");
+            let xs = fresh("gxs");
+            let h = fresh("gh");
+            let t = fresh("gt");
+            let fty = Type::arrow(Type::list(elem.clone()), Type::Int);
+            let body = Expr::lam(
+                xs,
+                Type::list(elem.clone()),
+                Expr::ListCase {
+                    scrut: std::rc::Rc::new(Expr::Var(xs)),
+                    nil: std::rc::Rc::new(Expr::Int(0)),
+                    head: h,
+                    tail: t,
+                    cons: std::rc::Rc::new(Expr::binop(
+                        BinOp::Add,
+                        Expr::Int(1),
+                        Expr::app(Expr::Var(len), Expr::Var(t)),
+                    )),
+                },
+            );
+            let list = self.gen_literalish(&Type::list(elem), depth.saturating_sub(2));
+            Expr::app(Expr::Fix(len, fty, std::rc::Rc::new(body)), list)
+        }
     }
 
     fn gen_literalish(&mut self, ty: &Type, depth: usize) -> Expr {
         match ty {
             Type::Int => {
                 if depth > 0 && self.rng.gen_bool(0.5) {
+                    self.counters.binop += 1;
                     let a = self.gen_expr(&Type::Int, depth - 1);
                     let b = self.gen_expr(&Type::Int, depth - 1);
                     let op = [BinOp::Add, BinOp::Sub, BinOp::Mul][self.rng.gen_range(0..3usize)];
                     Expr::binop(op, a, b)
                 } else {
+                    self.counters.int_lit += 1;
                     Expr::Int(self.rng.gen_range(-100..100))
                 }
             }
             Type::Bool => {
                 if depth > 0 && self.rng.gen_bool(0.4) {
+                    self.counters.binop += 1;
                     let a = self.gen_expr(&Type::Int, depth - 1);
                     let b = self.gen_expr(&Type::Int, depth - 1);
                     Expr::binop(BinOp::Lt, a, b)
                 } else {
+                    self.counters.bool_lit += 1;
                     Expr::Bool(self.rng.gen_bool(0.5))
                 }
             }
@@ -347,24 +726,44 @@ impl<R: Rng> Gen<'_, R> {
                         std::rc::Rc::new(self.gen_expr(&Type::Int, depth - 1)),
                     )
                 } else {
+                    self.counters.str_lit += 1;
                     let n = self.rng.gen_range(0..100);
                     Expr::Str(format!("s{n}"))
                 }
             }
             Type::Prod(a, b) => {
+                self.counters.pair += 1;
                 let ea = self.gen_expr(a, depth.saturating_sub(1));
                 let eb = self.gen_expr(b, depth.saturating_sub(1));
                 Expr::pair(ea, eb)
             }
             Type::List(el) => {
+                self.counters.list += 1;
                 let n = self.rng.gen_range(0..3);
                 let items = (0..n)
                     .map(|_| self.gen_expr(el, depth.saturating_sub(1)))
                     .collect();
                 Expr::list((**el).clone(), items)
             }
+            Type::Con(name, targs) if self.has_data => {
+                self.counters.inject += 1;
+                if name.as_str() == "GpColor" {
+                    let color = ["GpRed", "GpGreen", "GpBlue"][self.rng.gen_range(0..3usize)];
+                    Expr::Inject(Symbol::intern(color), vec![], vec![])
+                } else if name.as_str() == "GpOpt" && targs.len() == 1 {
+                    if depth > 0 && self.rng.gen_bool(0.7) {
+                        let payload = self.gen_expr(&targs[0], depth - 1);
+                        Expr::Inject(Symbol::intern("GpSome"), targs.clone(), vec![payload])
+                    } else {
+                        Expr::Inject(Symbol::intern("GpNone"), targs.clone(), vec![])
+                    }
+                } else {
+                    self.gen_literalish_fallback(ty)
+                }
+            }
             // If-wrapping keeps other types inhabitable too.
             other => {
+                self.counters.if_then_else += 1;
                 let c = self.gen_expr(&Type::Bool, depth.saturating_sub(1));
                 let t = self.gen_literalish_fallback(other);
                 let f = self.gen_literalish_fallback(other);
@@ -387,6 +786,12 @@ impl<R: Rng> Gen<'_, R> {
             Type::Arrow(a, b) => {
                 let x = fresh("x");
                 Expr::Lam(x, (**a).clone(), self.gen_literalish_fallback(b).into())
+            }
+            Type::Con(name, targs) if name.as_str() == "GpOpt" && targs.len() == 1 => {
+                Expr::Inject(Symbol::intern("GpNone"), targs.clone(), vec![])
+            }
+            Type::Con(name, targs) if name.as_str() == "GpColor" && targs.is_empty() => {
+                Expr::Inject(Symbol::intern("GpRed"), vec![], vec![])
             }
             _ => Expr::Unit,
         }
@@ -425,10 +830,14 @@ pub fn data_prelude() -> implicit_core::syntax::Declarations {
 }
 
 /// Generates a random well-typed program over the [`data_prelude`]
-/// declarations, mixing the scalar fragment of [`gen_program`] with
-/// constructor applications and exhaustive matches.
+/// declarations, mixing the full construct set of
+/// [`gen_program_with`] with a guaranteed `con`/`match` wrapper (so
+/// every data program exercises `Inject` and `Match` at least once).
 pub fn gen_data_program(rng: &mut impl Rng, config: &GenConfig) -> GenProgram {
-    let base = gen_program(rng, config);
+    let decls = data_prelude();
+    let mut base = gen_program_with(rng, config, &decls);
+    base.counters.inject += 2;
+    base.counters.match_arms += 5;
     // Wrap the generated program in data-typed scaffolding: inject it
     // into GpOpt and match it back, and branch on a random GpColor.
     let color = ["GpRed", "GpGreen", "GpBlue"][rng.gen_range(0..3usize)];
@@ -476,6 +885,7 @@ pub fn gen_data_program(rng: &mut impl Rng, config: &GenConfig) -> GenProgram {
     GenProgram {
         expr: wrapped,
         ty: Type::prod(Type::Int, base.ty),
+        counters: base.counters,
     }
 }
 
@@ -487,6 +897,12 @@ fn gen_fallback(ty: &Type) -> Expr {
         Type::Unit => Expr::Unit,
         Type::Prod(a, b) => Expr::pair(gen_fallback(a), gen_fallback(b)),
         Type::List(el) => Expr::Nil((**el).clone()),
+        Type::Con(name, targs) if name.as_str() == "GpOpt" && targs.len() == 1 => {
+            Expr::Inject(Symbol::intern("GpNone"), targs.clone(), vec![])
+        }
+        Type::Con(name, _) if name.as_str() == "GpColor" => {
+            Expr::Inject(Symbol::intern("GpRed"), vec![], vec![])
+        }
         _ => Expr::Unit,
     }
 }
@@ -591,5 +1007,67 @@ mod tests {
         let a = gen_program(&mut rng(7), &GenConfig::default());
         let b = gen_program(&mut rng(7), &GenConfig::default());
         assert_eq!(format!("{}", a.expr), format!("{}", b.expr));
+        assert_eq!(a.counters, b.counters);
+    }
+
+    #[test]
+    fn data_aware_programs_typecheck_with_full_construct_set() {
+        let decls = data_prelude();
+        let mut r = rng(2024);
+        let mut total = GenCounters::default();
+        for i in 0..300 {
+            let p = gen_program_with(&mut r, &GenConfig::default(), &decls);
+            let got = implicit_core::typeck::Typechecker::new(&decls)
+                .check_closed(&p.expr)
+                .unwrap_or_else(|err| panic!("program {i} ill-typed: {err}\n{}", p.expr));
+            assert!(
+                implicit_core::typeck::types_equal(&got, &p.ty),
+                "program {i}: expected {}, got {got}",
+                p.ty
+            );
+            total.merge(&p.counters);
+        }
+        // The v2 construct set is actually exercised across a sweep.
+        assert!(total.inject > 0, "no constructor applications emitted");
+        assert!(total.match_arms > 0, "no matches emitted");
+        assert!(total.fix_rec > 0, "no recursion emitted");
+        assert!(total.hk_rule > 0, "no higher-kinded rules emitted");
+        assert!(total.applied_ctor_type > 0, "no applied constructors");
+        assert!(total.query > 0 && total.implicit_scope > 0);
+    }
+
+    #[test]
+    fn scope_depth_knob_bounds_nesting() {
+        let cfg = GenConfig {
+            scope_prob: 0.95,
+            max_depth: 8,
+            max_scope_depth: 2,
+            ..GenConfig::default()
+        };
+        let mut r = rng(11);
+        for _ in 0..100 {
+            let p = gen_program(&mut r, &cfg);
+            assert!(p.counters.max_scope_depth <= 2);
+        }
+    }
+
+    #[test]
+    fn counters_merge_sums_and_maxes() {
+        let mut a = GenCounters {
+            int_lit: 3,
+            max_scope_depth: 1,
+            ..GenCounters::default()
+        };
+        let b = GenCounters {
+            int_lit: 4,
+            query: 2,
+            max_scope_depth: 5,
+            ..GenCounters::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.int_lit, 7);
+        assert_eq!(a.query, 2);
+        assert_eq!(a.max_scope_depth, 5);
+        assert_eq!(a.as_pairs().len(), 18);
     }
 }
