@@ -1,0 +1,33 @@
+//! B13 `batch_throughput` — the warm-session batch engine
+//! (`EXPERIMENTS.md` §6).
+//!
+//! One batch = 256 programs against a 48-deep chain prelude. The
+//! `cold` series desugars each program to its standalone equivalent
+//! and re-runs the whole pipeline per program; the `warm` series
+//! builds one [`implicit_pipeline::Session`] per worker and runs
+//! every program as a copy-on-write extension, at 1/2/4/8 worker
+//! threads through the work-stealing driver.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use implicit_bench::{run_batch_cold, run_batch_warm};
+
+const DEPTH: usize = 48;
+const PROGRAMS: usize = 256;
+
+fn batch_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("batch_throughput");
+    g.bench_with_input(BenchmarkId::new("cold", 1), &1usize, |b, _| {
+        b.iter(|| black_box(run_batch_cold(DEPTH, PROGRAMS, 1)))
+    });
+    for m in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("warm", m), &m, |b, &m| {
+            b.iter(|| black_box(run_batch_warm(DEPTH, PROGRAMS, m)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, batch_throughput);
+criterion_main!(benches);

@@ -3,7 +3,9 @@
 //!
 //! * B5 `elaborate_vs_opsem` — the paper's two semantics compared:
 //!   static resolution + System F evaluation vs. the direct
-//!   interpreter with runtime resolution.
+//!   interpreter with runtime resolution; plus the warm-session rows
+//!   (one program against a prelude compiled once per session vs. the
+//!   same program re-wrapped and recompiled cold each run).
 //! * B6 `source_pipeline` — the §5 front end: parse → infer → encode
 //!   → type-check → elaborate → evaluate on the Figure-3 `Eq`
 //!   program and the higher-order `show` program.
@@ -13,10 +15,13 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use implicit_bench::{
-    chain_program, distinct_type, eq_source_program, perfect_source_program, show_source_program,
+    batch_program, chain_program, distinct_type, eq_source_program, perfect_source_program,
+    show_source_program,
 };
-use implicit_core::syntax::Declarations;
+use implicit_core::resolve::ResolutionPolicy;
+use implicit_core::syntax::{Declarations, Type};
 use implicit_core::unify;
+use implicit_pipeline::{Prelude, Session};
 
 fn elaborate_vs_opsem(c: &mut Criterion) {
     let mut g = c.benchmark_group("elaborate_vs_opsem");
@@ -32,6 +37,29 @@ fn elaborate_vs_opsem(c: &mut Criterion) {
         // Elaboration alone (the "compile-time" part).
         g.bench_with_input(BenchmarkId::new("elaborate_only", n), &n, |b, _| {
             b.iter(|| black_box(implicit_elab::elaborate(&decls, black_box(&prog)).unwrap()))
+        });
+        // Warm session: the chain lives in a session prelude compiled
+        // once; each iteration runs one program as a copy-on-write
+        // extension of the warm state.
+        g.bench_with_input(BenchmarkId::new("warm_session_eval", n), &n, |b, &n| {
+            let prelude = Prelude::chain(n);
+            let mut session = Session::new(&decls, ResolutionPolicy::paper(), &prelude).unwrap();
+            let query = batch_program(n, 1);
+            b.iter(|| black_box(session.run(black_box(&query)).unwrap().value))
+        });
+        // The same program desugared to its standalone equivalent and
+        // recompiled cold each iteration — the warm row's baseline.
+        g.bench_with_input(BenchmarkId::new("wrapped_cold_eval", n), &n, |b, &n| {
+            let prelude = Prelude::chain(n);
+            let policy = ResolutionPolicy::paper();
+            let wrapped = prelude.wrap(batch_program(n, 1), Type::Int);
+            b.iter(|| {
+                black_box(
+                    implicit_elab::run_with(&decls, black_box(&wrapped), &policy)
+                        .unwrap()
+                        .value,
+                )
+            })
         });
     }
     g.finish();

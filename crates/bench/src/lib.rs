@@ -16,6 +16,76 @@ pub use genprog::{
     wide_env,
 };
 
+use implicit_core::resolve::ResolutionPolicy;
+use implicit_core::syntax::{BinOp, Declarations, Expr, Type};
+use implicit_pipeline::{run_batch_scoped, Prelude, Session};
+
+/// One B13 batch program: `snd(?T_depth) + j`, where `T_depth` is the
+/// head of [`Prelude::chain`]. Resolving the query is a `depth`-deep
+/// recursive derivation; the program evaluates to `depth + j`.
+pub fn batch_program(depth: usize, j: i64) -> Expr {
+    Expr::binop(
+        BinOp::Add,
+        Expr::Snd(Expr::query_simple(Prelude::chain_head(depth)).into()),
+        Expr::Int(j),
+    )
+}
+
+/// Runs the B13 batch **cold**: every program is desugared to its
+/// standalone equivalent (`prelude.wrap`) and pushed through a fresh
+/// one-shot pipeline, re-elaborating and re-evaluating the prelude
+/// each time. Returns the checksum of all program values.
+pub fn run_batch_cold(depth: usize, programs: usize, workers: usize) -> i64 {
+    let jobs: Vec<i64> = (0..programs as i64).collect();
+    run_batch_scoped(jobs, workers, |_, source| {
+        let decls = Declarations::new();
+        let prelude = Prelude::chain(depth);
+        let policy = ResolutionPolicy::paper();
+        let mut sum = 0i64;
+        for (_, j) in source {
+            let wrapped = prelude.wrap(batch_program(depth, j), Type::Int);
+            let out = implicit_elab::run_with(&decls, &wrapped, &policy).expect("cold batch run");
+            sum += out.value.to_string().parse::<i64>().expect("int value");
+        }
+        sum
+    })
+    .into_iter()
+    .sum()
+}
+
+/// Runs the B13 batch **warm**: each worker builds one
+/// [`Session`] (prelude typechecked, elaborated, and evaluated once;
+/// interner snapshotted; caches warm) and runs every program as a
+/// copy-on-write extension of it. Returns the checksum of all
+/// program values — identical to [`run_batch_cold`]'s by the
+/// session-equivalence property.
+pub fn run_batch_warm(depth: usize, programs: usize, workers: usize) -> i64 {
+    let jobs: Vec<i64> = (0..programs as i64).collect();
+    run_batch_scoped(jobs, workers, |_, source| {
+        let decls = Declarations::new();
+        let prelude = Prelude::chain(depth);
+        let mut session = Session::new(&decls, ResolutionPolicy::paper(), &prelude)
+            .expect("chain prelude is valid");
+        let mut sum = 0i64;
+        for (_, j) in source {
+            let out = session
+                .run(&batch_program(depth, j))
+                .expect("warm batch run");
+            sum += out.value.to_string().parse::<i64>().expect("int value");
+        }
+        sum
+    })
+    .into_iter()
+    .sum()
+}
+
+/// The checksum both batch runners must produce for a
+/// `depth`/`programs` configuration: program `j` evaluates to
+/// `depth + j`.
+pub fn batch_checksum(depth: usize, programs: usize) -> i64 {
+    (0..programs as i64).map(|j| depth as i64 + j).sum()
+}
+
 /// The Figure-"Encoding the Equality Type Class" program (§5),
 /// parameterized by how deeply the compared pairs nest: depth 0
 /// compares `Int`s, depth `d` compares `d`-times-nested pairs —
@@ -132,5 +202,16 @@ mod tests {
         let c = implicit_source::compile(&src).unwrap();
         let out = implicit_elab::run(&c.decls, &c.core).unwrap();
         assert_eq!(out.value.to_string(), "\"1,2,3,4\"");
+    }
+
+    #[test]
+    fn batch_runners_agree_on_the_checksum() {
+        // Small depth so the debug-build sanity check stays quick; the
+        // real B13 series runs in release via `benches/batch.rs`.
+        let (depth, programs) = (6, 24);
+        let expect = batch_checksum(depth, programs);
+        assert_eq!(run_batch_cold(depth, programs, 1), expect);
+        assert_eq!(run_batch_warm(depth, programs, 1), expect);
+        assert_eq!(run_batch_warm(depth, programs, 4), expect);
     }
 }

@@ -1,0 +1,64 @@
+//! The B13 speedup table, measured directly (not via Criterion) so a
+//! single release run prints the exact markdown recorded in
+//! `EXPERIMENTS.md` §6:
+//!
+//! ```text
+//! cargo test -p implicit-bench --release --test batch_table -- --ignored --nocapture
+//! ```
+
+use std::time::Instant;
+
+use implicit_bench::{batch_checksum, run_batch_cold, run_batch_warm};
+
+const DEPTH: usize = 48;
+const PROGRAMS: usize = 256;
+const REPS: u32 = 3;
+
+/// Times `f` (seconds per batch, best of [`REPS`] after one warmup),
+/// asserting the checksum on every run.
+fn time(f: impl Fn() -> i64, expect: i64) -> f64 {
+    assert_eq!(f(), expect);
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        assert_eq!(f(), expect);
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+#[test]
+#[ignore = "B13 measurement; run in release with --ignored --nocapture"]
+fn batch_speedup_table() {
+    let expect = batch_checksum(DEPTH, PROGRAMS);
+    let cold = time(|| run_batch_cold(DEPTH, PROGRAMS, 1), expect);
+    println!();
+    println!("B13: {PROGRAMS} programs, chain depth {DEPTH}, best of {REPS}");
+    println!();
+    println!("| series | workers | time/batch | speedup vs cold |");
+    println!("|---|---|---|---|");
+    println!("| cold one-shot | 1 | {:.1} ms | 1.00x |", cold * 1e3);
+    let mut warm_at = Vec::new();
+    for m in [1usize, 2, 4, 8] {
+        let t = time(|| run_batch_warm(DEPTH, PROGRAMS, m), expect);
+        warm_at.push((m, t));
+        println!(
+            "| warm session | {m} | {:.1} ms | {:.2}x |",
+            t * 1e3,
+            cold / t
+        );
+    }
+    println!();
+    let warm1 = warm_at[0].1;
+    let warm4 = warm_at[2].1;
+    assert!(
+        cold / warm1 >= 2.0,
+        "warm single-thread speedup {:.2}x is below the 2x acceptance bar",
+        cold / warm1
+    );
+    assert!(
+        cold / warm4 >= 3.0,
+        "warm 4-thread speedup {:.2}x is below the 3x acceptance bar",
+        cold / warm4
+    );
+}

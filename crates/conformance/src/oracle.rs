@@ -57,6 +57,9 @@ pub enum DivergenceKind {
     /// The env-level resolution oracle saw differing derivations or
     /// work counters.
     ResolutionMismatch,
+    /// A warm [`implicit_pipeline::Session`] run disagreed with the
+    /// cold one-shot pipeline on the sugared equivalent program.
+    WarmColdMismatch,
 }
 
 impl DivergenceKind {
@@ -73,6 +76,7 @@ impl DivergenceKind {
             DivergenceKind::CacheMismatch => "cache_mismatch",
             DivergenceKind::PolicyMismatch => "policy_mismatch",
             DivergenceKind::ResolutionMismatch => "resolution_mismatch",
+            DivergenceKind::WarmColdMismatch => "warm_cold_mismatch",
         }
     }
 }
@@ -221,6 +225,102 @@ pub fn run_program_oracle(
         ty: checked.to_string(),
         memo,
     })
+}
+
+/// Strips decimal digits so gensym suffixes (`ev17`, `a42`) compare
+/// equal across warm and cold runs, whose gensym counters differ.
+fn normalize(s: &str) -> String {
+    s.chars().filter(|c| !c.is_ascii_digit()).collect()
+}
+
+/// The warm-session leg: runs the program through a long-lived
+/// [`implicit_pipeline::Session`] (shared interner, warm derivation
+/// cache, persistent runtime memo) and demands agreement — in both
+/// the elaboration and the operational semantics — with a cold
+/// one-shot run of the sugared equivalent `prelude.wrap(expr, τ)`.
+///
+/// # Errors
+///
+/// Returns a [`DivergenceKind::WarmColdMismatch`] divergence on any
+/// disagreement.
+pub fn run_session_oracle(
+    decls: &Declarations,
+    session: &mut implicit_pipeline::Session<'_>,
+    prelude: &implicit_pipeline::Prelude,
+    expr: &Expr,
+    declared_ty: &Type,
+) -> Result<(), Divergence> {
+    let wrapped = prelude.wrap(expr.clone(), declared_ty.clone());
+    let policy = session.policy().clone();
+
+    let warm = session.run(expr);
+    let cold = implicit_elab::run_with(decls, &wrapped, &policy);
+    match (&warm, &cold) {
+        (Ok(w), Ok(c)) => {
+            if w.value.to_string() != c.value.to_string() {
+                return Err(Divergence::new(
+                    DivergenceKind::WarmColdMismatch,
+                    format!("warm value `{}` vs cold `{}`", w.value, c.value),
+                ));
+            }
+            if w.source_type.to_string() != c.source_type.to_string() {
+                return Err(Divergence::new(
+                    DivergenceKind::WarmColdMismatch,
+                    format!("warm type `{}` vs cold `{}`", w.source_type, c.source_type),
+                ));
+            }
+        }
+        (Err(we), Err(ce)) => {
+            if normalize(&we.to_string()) != normalize(&ce.to_string()) {
+                return Err(Divergence::new(
+                    DivergenceKind::WarmColdMismatch,
+                    format!("warm error `{we}` vs cold `{ce}`"),
+                ));
+            }
+        }
+        (w, c) => {
+            return Err(Divergence::new(
+                DivergenceKind::WarmColdMismatch,
+                format!(
+                    "warm {} vs cold {}",
+                    if w.is_ok() { "succeeded" } else { "failed" },
+                    if c.is_ok() { "succeeded" } else { "failed" }
+                ),
+            ));
+        }
+    }
+
+    let warm_op = session.run_opsem(expr);
+    let cold_op = Interpreter::new(decls).with_policy(policy).eval(&wrapped);
+    match (&warm_op, &cold_op) {
+        (Ok(w), Ok(c)) => {
+            if w.to_string() != c.to_string() {
+                return Err(Divergence::new(
+                    DivergenceKind::WarmColdMismatch,
+                    format!("warm opsem `{w}` vs cold `{c}`"),
+                ));
+            }
+        }
+        (Err(we), Err(ce)) => {
+            if normalize(&we.to_string()) != normalize(&ce.to_string()) {
+                return Err(Divergence::new(
+                    DivergenceKind::WarmColdMismatch,
+                    format!("warm opsem error `{we}` vs cold `{ce}`"),
+                ));
+            }
+        }
+        (w, c) => {
+            return Err(Divergence::new(
+                DivergenceKind::WarmColdMismatch,
+                format!(
+                    "warm opsem {} vs cold {}",
+                    if w.is_ok() { "succeeded" } else { "failed" },
+                    if c.is_ok() { "succeeded" } else { "failed" }
+                ),
+            ));
+        }
+    }
+    Ok(())
 }
 
 /// What the resolution oracle observed when all legs agreed.

@@ -111,6 +111,11 @@ pub struct ShardReport {
     pub duration_ms: u64,
     /// Divergences this shard found.
     pub divergences: u64,
+    /// Seeds this worker stole from a sibling's local deque.
+    pub steals: u64,
+    /// Warm-session derivation-cache hits accumulated by this
+    /// worker's [`implicit_pipeline::Session`] across its seeds.
+    pub warm_cache_hits: u64,
 }
 
 impl ShardReport {
@@ -131,6 +136,8 @@ impl ShardReport {
             ("duration_ms", Json::Int(self.duration_ms as i64)),
             ("programs_per_sec", Json::Num(self.programs_per_sec())),
             ("divergences", Json::Int(self.divergences as i64)),
+            ("steals", Json::Int(self.steals as i64)),
+            ("warm_cache_hits", Json::Int(self.warm_cache_hits as i64)),
         ])
     }
 }
@@ -297,6 +304,8 @@ mod tests {
                     programs: 50,
                     duration_ms: 40,
                     divergences: 0,
+                    steals: 3,
+                    warm_cache_hits: 120,
                 },
                 ShardReport {
                     shard: 1,
@@ -304,6 +313,8 @@ mod tests {
                     programs: 50,
                     duration_ms: 45,
                     divergences: 0,
+                    steals: 0,
+                    warm_cache_hits: 118,
                 },
             ],
             coverage: vec![("int_lit", 7)],

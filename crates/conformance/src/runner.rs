@@ -1,22 +1,41 @@
-//! The sharded sweep driver.
+//! The sharded sweep driver, built on the work-stealing batch driver
+//! of [`implicit_pipeline::driver`].
 //!
-//! Seeds are partitioned round-robin across worker threads
-//! (`shard(s) = (s − seed_lo) mod shards`), so any divergence is
-//! replayable from its seed alone, independent of the shard count.
-//! [`Expr`]s are `Rc`-based and not `Send`, so each worker owns its
-//! whole pipeline — generation, oracle, shrinking, pretty-printing —
-//! and hands back only strings and counters; the `Symbol` interner is
-//! the sole shared state and is thread-safe.
+//! Seeds enter a shared injector deque; workers drain it and steal
+//! from each other's local deques, so a skewed seed (one that
+//! triggers shrinking, say) no longer stalls a fixed round-robin
+//! partition. Divergences are replayable from their seed alone,
+//! independent of worker count or scheduling. [`Expr`]s are
+//! `Rc`-based and not `Send`, so each worker owns its whole pipeline
+//! — generation, a warm [`Session`], oracle, shrinking,
+//! pretty-printing — and hands back only strings and counters; the
+//! `Symbol` interner is the sole shared state and is thread-safe.
+//!
+//! Every seed additionally runs the warm/cold session oracle: a
+//! long-lived [`Session`] (warm derivation cache, persistent runtime
+//! memo, shared interner) must agree with a cold one-shot run of the
+//! sugared equivalent program.
 
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 use genprog::{gen_program_with, rng, GenConfig, GenCounters};
+use implicit_core::resolve::ResolutionPolicy;
 use implicit_core::syntax::{Declarations, Expr};
+use implicit_pipeline::{run_batch_scoped, Prelude, Session};
 
-use crate::oracle::{run_program_oracle, run_resolution_oracle, Divergence, DivergenceKind};
+use crate::oracle::{
+    run_program_oracle, run_resolution_oracle, run_session_oracle, Divergence, DivergenceKind,
+};
 use crate::report::{DivergenceRecord, RunReport, ShardReport};
 use crate::shrink::{node_count, shrink};
+
+/// The prelude every sweep worker warms its [`Session`] with: a
+/// 6-deep chain of pair rules, so prelude-level resolutions exercise
+/// multi-frame scanning and cross-program cache reuse on every seed.
+fn session_prelude() -> Prelude {
+    Prelude::chain(6)
+}
 
 /// Sweep configuration.
 #[derive(Clone, Debug)]
@@ -55,15 +74,37 @@ struct ShardOutcome {
 
 /// Runs one seed's program leg end to end — generate, oracle, and on
 /// divergence shrink to a minimal reproducer with the same
-/// [`DivergenceKind`]. The resolution leg runs unconditionally
-/// afterwards so every seed exercises both.
-fn run_seed(decls: &Declarations, gen: &GenConfig, seed: u64, shard: usize) -> SeedOutcome {
+/// [`DivergenceKind`]. The warm-session and resolution legs run
+/// afterwards so every seed exercises all three.
+fn run_seed(
+    decls: &Declarations,
+    session: &mut Session<'_>,
+    prelude: &Prelude,
+    gen: &GenConfig,
+    seed: u64,
+    shard: usize,
+) -> SeedOutcome {
     let mut r = rng(seed);
     let program = gen_program_with(&mut r, gen, decls);
     let mut divergence = None;
 
     if let Err(d) = run_program_oracle(decls, &program.expr, &program.ty) {
         divergence = Some(minimize(decls, &program.expr, &program.ty, d, seed, shard));
+    } else if let Err(d) = run_session_oracle(decls, session, prelude, &program.expr, &program.ty) {
+        // Warm/cold disagreements depend on session state, which the
+        // shrinker cannot replay in isolation; record unshrunken.
+        divergence = Some(DivergenceRecord {
+            id: format!("s{seed}-{}", d.kind.label()),
+            seed,
+            shard,
+            kind: d.kind.label().to_owned(),
+            detail: d.detail,
+            program: program.expr.to_string(),
+            minimized: String::new(),
+            original_nodes: node_count(&program.expr),
+            minimized_nodes: 0,
+            replayable: false,
+        });
     } else if let Err(d) = run_resolution_oracle(seed) {
         // Env-level workloads are derived from the seed, not the
         // program: nothing to shrink, but the record replays by seed.
@@ -133,51 +174,50 @@ fn minimize(
     }
 }
 
-/// Runs the sweep: fans the seed range across `shards` worker
-/// threads, merges counters and divergences, and (optionally) writes
-/// the corpus.
+/// Runs the sweep: feeds the seed range through the work-stealing
+/// batch driver (each worker holding a per-thread declaration set and
+/// warm [`Session`]), merges counters and divergences, and
+/// (optionally) writes the corpus.
 pub fn run(config: &RunnerConfig) -> std::io::Result<RunReport> {
     let shards = config.shards.max(1);
     let lo = config.seed_lo;
     let hi = config.seed_hi.max(lo);
     let wall = Instant::now();
 
-    let outcomes: Vec<ShardOutcome> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..shards)
-            .map(|shard| {
-                let gen = config.gen.clone();
-                scope.spawn(move || {
-                    let t0 = Instant::now();
-                    // Per-worker declarations: the hash-consing arena
-                    // is thread-local, so each worker builds its own.
-                    let decls = genprog::data_prelude();
-                    let mut counters = GenCounters::default();
-                    let mut divergences = Vec::new();
-                    let mut seeds = 0u64;
-                    for seed in (lo..hi).filter(|s| ((s - lo) as usize) % shards == shard) {
-                        let out = run_seed(&decls, &gen, seed, shard);
-                        counters.merge(&out.counters);
-                        divergences.extend(out.divergence);
-                        seeds += 1;
-                    }
-                    ShardOutcome {
-                        report: ShardReport {
-                            shard,
-                            seeds,
-                            programs: seeds,
-                            duration_ms: t0.elapsed().as_millis() as u64,
-                            divergences: divergences.len() as u64,
-                        },
-                        counters,
-                        divergences,
-                    }
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("conformance worker panicked"))
-            .collect()
+    let gen = &config.gen;
+    let seeds: Vec<u64> = (lo..hi).collect();
+    let outcomes: Vec<ShardOutcome> = run_batch_scoped(seeds, shards, |shard, source| {
+        let t0 = Instant::now();
+        // Per-worker declarations and warm session: the hash-consing
+        // arena is thread-local and evidence values are `Rc`-based,
+        // so each worker builds its own from the shared recipe.
+        let decls = genprog::data_prelude();
+        let prelude = session_prelude();
+        let mut session = Session::new(&decls, ResolutionPolicy::paper(), &prelude)
+            .expect("the sweep session prelude is valid");
+        let mut counters = GenCounters::default();
+        let mut divergences = Vec::new();
+        let mut seeds = 0u64;
+        for (_, seed) in source.by_ref() {
+            let out = run_seed(&decls, &mut session, &prelude, gen, seed, shard);
+            counters.merge(&out.counters);
+            divergences.extend(out.divergence);
+            seeds += 1;
+        }
+        let warm = session.cache_counters();
+        ShardOutcome {
+            report: ShardReport {
+                shard,
+                seeds,
+                programs: seeds,
+                duration_ms: t0.elapsed().as_millis() as u64,
+                divergences: divergences.len() as u64,
+                steals: source.steals as u64,
+                warm_cache_hits: warm.hits,
+            },
+            counters,
+            divergences,
+        }
     });
 
     let wall_ms = wall.elapsed().as_millis() as u64;
@@ -267,16 +307,17 @@ mod tests {
     }
 
     #[test]
-    fn shard_partition_covers_every_seed_once() {
-        let lo = 5u64;
-        let hi = 47u64;
-        let shards = 4usize;
-        let mut seen = vec![0u32; (hi - lo) as usize];
-        for shard in 0..shards {
-            for seed in (lo..hi).filter(|s| ((s - lo) as usize) % shards == shard) {
-                seen[(seed - lo) as usize] += 1;
-            }
-        }
-        assert!(seen.iter().all(|&c| c == 1));
+    fn work_stealing_sweep_covers_every_seed_exactly_once() {
+        let config = RunnerConfig {
+            seed_lo: 5,
+            seed_hi: 47,
+            shards: 4,
+            corpus_dir: None,
+            gen: GenConfig::default(),
+        };
+        let r = run(&config).unwrap();
+        let total: u64 = r.shard_reports.iter().map(|s| s.seeds).sum();
+        assert_eq!(total, 42, "reports: {:?}", r.shard_reports);
+        assert_eq!(r.total_programs(), 42);
     }
 }

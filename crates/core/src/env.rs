@@ -509,6 +509,49 @@ impl ImplicitEnv {
             cache.order.clear();
         }
     }
+
+    /// Keeps only the memoized derivations whose query id satisfies
+    /// `keep`. Not an invalidation — counters and generation are
+    /// untouched.
+    ///
+    /// This is the hook a session uses before rolling the interning
+    /// arena back to an [`crate::intern::InternSnapshot`]: entries
+    /// keyed by an id the truncation would orphan must go first (pass
+    /// `|id| snap.covers_rule(id)`).
+    pub fn retain_cache(&self, keep: impl Fn(RuleId) -> bool) {
+        let mut cache = self.cache.borrow_mut();
+        cache.entries.retain(|(id, _), _| keep(*id));
+        cache.order.retain(|(id, _)| keep(*id));
+    }
+
+    /// Takes a watermark of the frame stack (see
+    /// [`ImplicitEnv::restore`]).
+    pub fn snapshot(&self) -> EnvSnapshot {
+        EnvSnapshot {
+            depth: self.frames.len(),
+        }
+    }
+
+    /// Pops frames until the stack is back at `snap`'s depth, running
+    /// the usual scope-aware cache invalidation per pop. A snapshot
+    /// deeper than the current stack is a no-op (the frames it
+    /// described are already gone).
+    ///
+    /// Balanced callers (every push matched by a pop, as in
+    /// elaboration) never need this; it is the safety net a long-lived
+    /// session runs between programs so one misbehaving program
+    /// cannot skew every later one.
+    pub fn restore(&mut self, snap: &EnvSnapshot) {
+        while self.frames.len() > snap.depth {
+            self.pop();
+        }
+    }
+}
+
+/// A frame-stack watermark, taken with [`ImplicitEnv::snapshot`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct EnvSnapshot {
+    depth: usize,
 }
 
 type FrameHit = (usize, RuleType, Vec<Type>, Vec<RuleType>);
@@ -851,6 +894,52 @@ mod tests {
         assert_eq!(env.frame_candidate_count(0, &tv("zq")), 1);
         // Out-of-range frames admit nothing.
         assert_eq!(env.frame_candidate_count(7, &Type::Int), 0);
+    }
+
+    #[test]
+    fn retain_cache_purges_by_query_id() {
+        use crate::resolve::{resolve, ResolutionPolicy};
+
+        let mut env = ImplicitEnv::new();
+        env.push(vec![
+            Type::Int.promote(),
+            RuleType::mono(vec![Type::Int.promote()], int_pair()),
+        ]);
+        let policy = ResolutionPolicy::paper();
+        resolve(&env, &Type::Int.promote(), &policy).unwrap();
+        resolve(&env, &int_pair().promote(), &policy).unwrap();
+        assert_eq!(env.cache_len(), 2);
+
+        let keep = intern::rule_id(&Type::Int.promote());
+        env.retain_cache(|id| id == keep);
+        assert_eq!(env.cache_len(), 1);
+        let before = env.cache_counters();
+        resolve(&env, &Type::Int.promote(), &policy).unwrap();
+        assert_eq!(env.cache_counters().hits, before.hits + 1);
+
+        env.retain_cache(|_| false);
+        assert_eq!(env.cache_len(), 0);
+    }
+
+    #[test]
+    fn restore_pops_back_to_the_snapshot_depth() {
+        let mut env = ImplicitEnv::new();
+        env.push(vec![Type::Int.promote()]);
+        let snap = env.snapshot();
+        env.push(vec![Type::Bool.promote()]);
+        env.push(vec![Type::Str.promote()]);
+        env.restore(&snap);
+        assert_eq!(env.depth(), 1);
+        assert_eq!(
+            env.lookup(&Type::Int, OverlapPolicy::Forbid).unwrap().frame,
+            0
+        );
+        assert!(env.lookup(&Type::Bool, OverlapPolicy::Forbid).is_err());
+        // Restoring to a deeper-than-current snapshot is a no-op.
+        let deep = snap;
+        env.pop();
+        env.restore(&deep);
+        assert_eq!(env.depth(), 0);
     }
 
     #[test]

@@ -162,10 +162,10 @@ struct Arena {
     rule_table: HashMap<RuleNode, RuleId>,
     rule_ground: Vec<bool>,
     rule_has_ctor: Vec<bool>,
-    type_ptr_memo: HashMap<usize, TypeId>,
-    type_pins: Vec<Rc<Type>>,
-    rule_ptr_memo: HashMap<usize, RuleId>,
-    rule_pins: Vec<Rc<RuleType>>,
+    /// Keyed by `Rc` address; the stored clone pins the allocation so
+    /// the address cannot be reused while the entry lives.
+    type_ptr_memo: HashMap<usize, (TypeId, Rc<Type>)>,
+    rule_ptr_memo: HashMap<usize, (RuleId, Rc<RuleType>)>,
 }
 
 impl Arena {
@@ -193,31 +193,27 @@ impl Arena {
 
     fn intern_type_rc(&mut self, ty: &Rc<Type>) -> TypeId {
         let key = Rc::as_ptr(ty) as usize;
-        if let Some(&id) = self.type_ptr_memo.get(&key) {
+        if let Some(&(id, _)) = self.type_ptr_memo.get(&key) {
             return id;
         }
         let id = self.intern_type(ty);
         if self.type_ptr_memo.len() >= PTR_MEMO_CAP {
             self.type_ptr_memo.clear();
-            self.type_pins.clear();
         }
-        self.type_ptr_memo.insert(key, id);
-        self.type_pins.push(Rc::clone(ty));
+        self.type_ptr_memo.insert(key, (id, Rc::clone(ty)));
         id
     }
 
     fn intern_rule_rc(&mut self, rho: &Rc<RuleType>) -> RuleId {
         let key = Rc::as_ptr(rho) as usize;
-        if let Some(&id) = self.rule_ptr_memo.get(&key) {
+        if let Some(&(id, _)) = self.rule_ptr_memo.get(&key) {
             return id;
         }
         let id = self.intern_rule(rho);
         if self.rule_ptr_memo.len() >= PTR_MEMO_CAP {
             self.rule_ptr_memo.clear();
-            self.rule_pins.clear();
         }
-        self.rule_ptr_memo.insert(key, id);
-        self.rule_pins.push(Rc::clone(rho));
+        self.rule_ptr_memo.insert(key, (id, Rc::clone(rho)));
         id
     }
 
@@ -430,6 +426,97 @@ pub fn ground_head_check(pattern: &Type, target: &Type) -> GroundCheck {
     })
 }
 
+/// A watermark over the thread-local arena, taken with [`snapshot`].
+///
+/// Ids are assigned sequentially and children are always interned
+/// before their parents, so every id below the watermark describes a
+/// term whose entire subterm closure is also below it. That makes a
+/// snapshot a coherent *prefix* of the arena: [`truncate_to`] can
+/// discard everything interned after it without dangling child ids,
+/// and callers holding caches keyed by [`TypeId`] / [`RuleId`] can
+/// use [`InternSnapshot::covers_type`] / [`covers_rule`] to decide
+/// which entries survive the truncation.
+///
+/// Like the ids themselves, a snapshot is only meaningful on the
+/// thread that took it.
+///
+/// [`covers_rule`]: InternSnapshot::covers_rule
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct InternSnapshot {
+    types: u32,
+    rules: u32,
+}
+
+impl InternSnapshot {
+    /// `true` when `id` was interned at or before the snapshot (so it
+    /// survives a [`truncate_to`] back to it).
+    pub fn covers_type(&self, id: TypeId) -> bool {
+        id.0 < self.types
+    }
+
+    /// `true` when `id` was interned at or before the snapshot.
+    pub fn covers_rule(&self, id: RuleId) -> bool {
+        id.0 < self.rules
+    }
+
+    /// Number of type entries the snapshot covers.
+    pub fn type_count(&self) -> usize {
+        self.types as usize
+    }
+
+    /// Number of rule entries the snapshot covers.
+    pub fn rule_count(&self) -> usize {
+        self.rules as usize
+    }
+}
+
+/// Takes a watermark of the current thread's arena.
+pub fn snapshot() -> InternSnapshot {
+    ARENA.with(|a| {
+        let a = a.borrow();
+        InternSnapshot {
+            types: a.type_ground.len() as u32,
+            rules: a.rule_ground.len() as u32,
+        }
+    })
+}
+
+/// Current arena sizes `(types, rules)` — the growth since a
+/// [`snapshot`] is the usual trim heuristic for long-lived sessions.
+pub fn arena_len() -> (usize, usize) {
+    ARENA.with(|a| {
+        let a = a.borrow();
+        (a.type_ground.len(), a.rule_ground.len())
+    })
+}
+
+/// Rolls the arena back to `snap`: every id interned after the
+/// snapshot is forgotten (its structural-table entry, metadata, and
+/// pointer-memo pins are dropped) and the id space is reused by
+/// subsequent interning.
+///
+/// Ids below the watermark remain valid and stable. Ids above it
+/// become dangling — callers must drop or purge any cache keyed by a
+/// non-covered id *before* truncating (see
+/// [`InternSnapshot::covers_type`] / [`InternSnapshot::covers_rule`]);
+/// the derivation cache and the opsem runtime memo both expose
+/// retain-hooks for exactly this.
+pub fn truncate_to(snap: &InternSnapshot) {
+    ARENA.with(|a| {
+        let mut a = a.borrow_mut();
+        a.type_table.retain(|_, id| id.0 < snap.types);
+        a.type_ground.truncate(snap.types as usize);
+        a.type_has_ctor.truncate(snap.types as usize);
+        a.rule_table.retain(|_, id| id.0 < snap.rules);
+        a.rule_ground.truncate(snap.rules as usize);
+        a.rule_has_ctor.truncate(snap.rules as usize);
+        // Pointer memos may alias ids past the watermark through any
+        // shared subtree; keep only entries whose id survives.
+        a.type_ptr_memo.retain(|_, (id, _)| id.0 < snap.types);
+        a.rule_ptr_memo.retain(|_, (id, _)| id.0 < snap.rules);
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -523,6 +610,43 @@ mod tests {
             ground_head_check(&Type::Con(eq, vec![]), &Type::Ctor(TyCon::Named(eq))),
             GroundCheck::Unknown
         );
+    }
+
+    #[test]
+    fn truncation_preserves_covered_ids_and_reuses_the_rest() {
+        let base = Type::list(Type::Int);
+        let base_id = type_id(&base);
+        let snap = snapshot();
+        assert!(snap.covers_type(base_id));
+
+        let tall = Type::prod(Type::list(Type::list(Type::Int)), Type::Bool);
+        let tall_id = type_id(&tall);
+        let rho = RuleType::mono(vec![base.promote()], tall.clone());
+        let rho_id = rule_id(&rho);
+        assert!(!snap.covers_type(tall_id));
+        assert!(!snap.covers_rule(rho_id));
+
+        truncate_to(&snap);
+        assert_eq!(arena_len(), (snap.type_count(), snap.rule_count()));
+        // Covered ids are stable across the rollback.
+        assert_eq!(type_id(&base), base_id);
+        // Pruned terms re-intern coherently: equal terms still get
+        // equal ids, and the arena grows back to the same size.
+        let tall_id2 = type_id(&tall);
+        assert_eq!(type_id(&tall.clone()), tall_id2);
+        assert_eq!(rule_id(&rho), rule_id(&rho.clone()));
+        assert!(!snap.covers_type(tall_id2));
+        assert!(is_ground(&tall));
+        assert_eq!(ground_head_check(&tall, &tall.clone()), GroundCheck::Match);
+    }
+
+    #[test]
+    fn truncation_to_a_stale_longer_snapshot_is_a_no_op() {
+        let t = Type::list(Type::list(Type::Str));
+        let id = type_id(&t);
+        let snap = snapshot();
+        truncate_to(&snap);
+        assert_eq!(type_id(&t), id);
     }
 
     #[test]

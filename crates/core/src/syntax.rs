@@ -673,6 +673,12 @@ impl Declarations {
         Declarations::default()
     }
 
+    /// Whether the table declares nothing (no interfaces, no data
+    /// types).
+    pub fn is_empty(&self) -> bool {
+        self.interfaces.is_empty() && self.datas.is_empty()
+    }
+
     /// Adds an interface declaration.
     ///
     /// # Errors

@@ -196,14 +196,55 @@ impl<'d> Elaborator<'d> {
     /// cannot be resolved; [`ElabError::ExtensionNotElaborable`] when
     /// the policy's environment extension was used.
     pub fn elaborate(&self, e: &Expr) -> Result<(Type, FExpr), ElabError> {
+        let mut delta = ImplicitEnv::new();
+        self.elaborate_with_env(&mut delta, &[], &[], e)
+    }
+
+    /// Elaborates `e` under a caller-owned implicit environment and
+    /// term context — the warm-session entry point.
+    ///
+    /// `delta` is borrowed for the duration of the call and handed
+    /// back with whatever its derivation cache learned, so a
+    /// long-lived session reuses prelude-level derivations across
+    /// programs (elaboration pushes and pops frames in a balanced
+    /// way, and the cache's scope-aware invalidation keeps entries
+    /// that only used surviving frames). `evidence` must be
+    /// frame-aligned with `delta` (outermost first, entries in each
+    /// frame's stored canonical context order): it supplies the
+    /// System F evidence variable for every rule already in scope.
+    /// `gamma` provides the types of free term variables (a prelude's
+    /// `let` bindings).
+    ///
+    /// # Errors
+    ///
+    /// See [`Elaborator::elaborate`].
+    ///
+    /// # Panics
+    ///
+    /// Debug builds assert that `delta` and `evidence` have the same
+    /// number of frames.
+    pub fn elaborate_with_env(
+        &self,
+        delta: &mut ImplicitEnv,
+        evidence: &[Vec<Symbol>],
+        gamma: &[(Symbol, Type)],
+        e: &Expr,
+    ) -> Result<(Type, FExpr), ElabError> {
+        debug_assert_eq!(
+            delta.depth(),
+            evidence.len(),
+            "evidence frames must align with the implicit environment"
+        );
         let mut st = State {
-            gamma: Vec::new(),
-            delta: ImplicitEnv::new(),
-            evidence: Vec::new(),
+            gamma: gamma.to_vec(),
+            delta: std::mem::take(delta),
+            evidence: evidence.to_vec(),
             tyvars: BTreeSet::new(),
             kinds: std::collections::BTreeMap::new(),
         };
-        self.elab(&mut st, e)
+        let out = self.elab(&mut st, e);
+        *delta = st.delta;
+        out
     }
 
     fn elab(&self, st: &mut State, e: &Expr) -> Result<(Type, FExpr), ElabError> {

@@ -28,6 +28,10 @@ use implicit_core::unify;
 use crate::error::OpsemError;
 use crate::value::{Closure, ImplStack, Lookup, RuleClosure, Value, VarEnv};
 
+/// The step budget a fresh [`Interpreter`] starts with; sessions
+/// [`Interpreter::refuel`] to this between programs.
+pub const DEFAULT_FUEL: u64 = 10_000_000;
+
 /// The interpreter.
 pub struct Interpreter<'d> {
     decls: &'d Declarations,
@@ -114,7 +118,7 @@ impl<'d> Interpreter<'d> {
         Interpreter {
             decls,
             policy: ResolutionPolicy::paper(),
-            fuel: 10_000_000,
+            fuel: DEFAULT_FUEL,
             memo: RuntimeMemo::new(),
         }
     }
@@ -135,6 +139,26 @@ impl<'d> Interpreter<'d> {
     pub fn with_fuel(mut self, fuel: u64) -> Interpreter<'d> {
         self.fuel = fuel;
         self
+    }
+
+    /// Resets the remaining step budget in place. A long-lived
+    /// session calls this between programs so each one gets the full
+    /// budget while the runtime memo (and its cross-program hits)
+    /// survives.
+    pub fn refuel(&mut self, fuel: u64) {
+        self.fuel = fuel;
+    }
+
+    /// Keeps only the memoized resolutions whose query id satisfies
+    /// `keep`. Counters are untouched.
+    ///
+    /// Required before rolling the interning arena back to an
+    /// [`intern::InternSnapshot`]: memo keys embed [`intern::RuleId`]s,
+    /// and an id the truncation orphans could be reassigned to a
+    /// different query later (pass `|id| snap.covers_rule(id)`).
+    pub fn retain_memo(&mut self, keep: impl Fn(intern::RuleId) -> bool) {
+        self.memo.entries.retain(|k, _| keep(k.1));
+        self.memo.order.retain(|k| keep(k.1));
     }
 
     /// Evaluates a closed expression.
@@ -275,24 +299,34 @@ impl<'d> Interpreter<'d> {
                 Rc::new(self.eval_in(venv, ienv, a)?),
                 Rc::new(self.eval_in(venv, ienv, b)?),
             )),
+            // Elimination forms take their payload by move when the
+            // scrutinee value is uniquely owned (the common case for
+            // freshly built intermediates), falling back to a clone
+            // only for shared values.
             Expr::Fst(a) => match self.eval_in(venv, ienv, a)? {
-                Value::Pair(l, _) => Ok((*l).clone()),
+                Value::Pair(l, _) => Ok(Rc::try_unwrap(l).unwrap_or_else(|rc| (*rc).clone())),
                 other => Err(OpsemError::Stuck(format!("fst on {other}"))),
             },
             Expr::Snd(a) => match self.eval_in(venv, ienv, a)? {
-                Value::Pair(_, r) => Ok((*r).clone()),
+                Value::Pair(_, r) => Ok(Rc::try_unwrap(r).unwrap_or_else(|rc| (*rc).clone())),
                 other => Err(OpsemError::Stuck(format!("snd on {other}"))),
             },
             Expr::Nil(_) => Ok(Value::List(Rc::new(Vec::new()))),
             Expr::Cons(h, t) => {
                 let vh = self.eval_in(venv, ienv, h)?;
                 match self.eval_in(venv, ienv, t)? {
-                    Value::List(xs) => {
-                        let mut out = Vec::with_capacity(xs.len() + 1);
-                        out.push(vh);
-                        out.extend(xs.iter().cloned());
-                        Ok(Value::List(Rc::new(out)))
-                    }
+                    Value::List(xs) => match Rc::try_unwrap(xs) {
+                        Ok(mut owned) => {
+                            owned.insert(0, vh);
+                            Ok(Value::List(Rc::new(owned)))
+                        }
+                        Err(shared) => {
+                            let mut out = Vec::with_capacity(shared.len() + 1);
+                            out.push(vh);
+                            out.extend(shared.iter().cloned());
+                            Ok(Value::List(Rc::new(out)))
+                        }
+                    },
                     other => Err(OpsemError::Stuck(format!("cons onto {other}"))),
                 }
             }
@@ -303,16 +337,27 @@ impl<'d> Interpreter<'d> {
                 tail,
                 cons,
             } => match self.eval_in(venv, ienv, scrut)? {
-                Value::List(xs) => {
-                    if let Some((h, rest)) = xs.split_first() {
-                        let env2 = venv
-                            .bind(*head, h.clone())
-                            .bind(*tail, Value::List(Rc::new(rest.to_vec())));
-                        self.eval_in(&env2, ienv, cons)
-                    } else {
-                        self.eval_in(venv, ienv, nil)
+                Value::List(xs) => match Rc::try_unwrap(xs) {
+                    Ok(mut owned) => {
+                        if owned.is_empty() {
+                            self.eval_in(venv, ienv, nil)
+                        } else {
+                            let h = owned.remove(0);
+                            let env2 = venv.bind(*head, h).bind(*tail, Value::List(Rc::new(owned)));
+                            self.eval_in(&env2, ienv, cons)
+                        }
                     }
-                }
+                    Err(shared) => {
+                        if let Some((h, rest)) = shared.split_first() {
+                            let env2 = venv
+                                .bind(*head, h.clone())
+                                .bind(*tail, Value::List(Rc::new(rest.to_vec())));
+                            self.eval_in(&env2, ienv, cons)
+                        } else {
+                            self.eval_in(venv, ienv, nil)
+                        }
+                    }
+                },
                 other => Err(OpsemError::Stuck(format!("case on {other}"))),
             },
             Expr::Fix(x, _, b) => {
@@ -356,21 +401,34 @@ impl<'d> Interpreter<'d> {
                         )));
                     }
                     let mut env2 = venv.clone();
-                    for (b, v) in arm.binders.iter().zip(fields.iter()) {
-                        env2 = env2.bind(*b, v.clone());
+                    match Rc::try_unwrap(fields) {
+                        Ok(owned) => {
+                            for (b, v) in arm.binders.iter().zip(owned) {
+                                env2 = env2.bind(*b, v);
+                            }
+                        }
+                        Err(shared) => {
+                            for (b, v) in arm.binders.iter().zip(shared.iter()) {
+                                env2 = env2.bind(*b, v.clone());
+                            }
+                        }
                     }
                     self.eval_in(&env2, ienv, &arm.body)
                 }
                 other => Err(OpsemError::Stuck(format!("match on {other}"))),
             },
             Expr::Proj(rec, field) => match self.eval_in(venv, ienv, rec)? {
-                Value::Record { name, fields } => fields
-                    .iter()
-                    .find(|(u, _)| u == field)
-                    .map(|(_, v)| v.clone())
-                    .ok_or_else(|| {
-                        OpsemError::Stuck(format!("record {name} has no field {field}"))
-                    }),
+                Value::Record { name, fields } => {
+                    let Some(pos) = fields.iter().position(|(u, _)| u == field) else {
+                        return Err(OpsemError::Stuck(format!(
+                            "record {name} has no field {field}"
+                        )));
+                    };
+                    Ok(match Rc::try_unwrap(fields) {
+                        Ok(mut owned) => owned.swap_remove(pos).1,
+                        Err(shared) => shared[pos].1.clone(),
+                    })
+                }
                 other => Err(OpsemError::Stuck(format!("projection on {other}"))),
             },
         }

@@ -32,7 +32,7 @@ pub mod interp;
 pub mod value;
 
 pub use error::OpsemError;
-pub use interp::{eval, Interpreter};
+pub use interp::{eval, Interpreter, DEFAULT_FUEL};
 pub use value::{ImplStack, RuleClosure, Value, VarEnv};
 
 #[cfg(test)]

@@ -1,0 +1,754 @@
+//! Warm-session batch engine.
+//!
+//! A [`Session`] typechecks and elaborates a *prelude* — implicit rule
+//! bindings plus ordinary `let` bindings — exactly once, snapshots the
+//! interning arena and the implicit environment, and then runs each
+//! subsequent program as a cheap copy-on-write extension of that
+//! snapshot:
+//!
+//! * the prelude's [`ImplicitEnv`] frame and its **derivation cache**
+//!   survive across programs (scope-aware invalidation only discards
+//!   entries that depended on the program's own, deeper frames), so
+//!   prelude-level queries are cache hits from the second program on;
+//! * the elaborated prelude evidence is evaluated once and re-bound
+//!   from a persistent System F environment instead of re-elaborated
+//!   and re-evaluated per program;
+//! * the operational-semantics leg keeps one [`Interpreter`] whose
+//!   runtime resolution memo is keyed by persistent-stack identity —
+//!   the prelude frame is the *same* `Rc` for every program, so
+//!   runtime resolutions memoize across programs too;
+//! * between programs the session can roll the thread-local interning
+//!   arena back to its prelude watermark ([`Session::trim`]), purging
+//!   cache/memo entries whose ids the rollback would orphan.
+//!
+//! Semantically a warm run of `e` is equivalent to the cold one-shot
+//! pipeline on the sugared program `let x̄ = ē in implicit {ē′:ρ̄} in e`
+//! (see [`Prelude::wrap`]); the conformance harness and the
+//! `warm_cold_equivalence` property test check value-for-value
+//! agreement under every resolution policy.
+//!
+//! [`driver`] adds a std-only work-stealing batch driver that runs N
+//! programs across M worker threads, each worker holding its own
+//! `Session` built from the same (Send-safe) prelude recipe.
+
+// Error values carry full expressions/types for diagnostics; they are
+// cold-path, so precision wins over `Result` size (same policy as the
+// core and elab crates).
+#![allow(clippy::result_large_err)]
+
+pub mod driver;
+
+use implicit_core::env::{CacheCounters, EnvSnapshot, ImplicitEnv};
+use implicit_core::intern::{self, InternSnapshot};
+use implicit_core::resolve::ResolutionPolicy;
+use implicit_core::symbol::fresh;
+use implicit_core::syntax::{Declarations, Expr, RuleType, Type};
+use implicit_elab::{translate_decls, translate_rule_type, translate_type, Elaborator};
+use implicit_elab::{ElabError, RunError, RunOutput};
+use implicit_opsem::{ImplStack, Interpreter, OpsemError, VarEnv};
+use systemf::eval::Env as FEnv;
+use systemf::{Evaluator, FDeclarations, FExpr, FType};
+
+pub use driver::{run_batch, run_batch_scoped, JobSource, WorkerMeta};
+
+use implicit_core::symbol::Symbol;
+
+/// How many *new* interned nodes a program may leave behind before
+/// [`Session::maybe_trim`] rolls the arena back to the prelude
+/// watermark.
+const TRIM_THRESHOLD: usize = 1 << 15;
+
+/// A batch prelude: ordinary `let` bindings (evaluated once, in
+/// order, each visible to the later ones) plus implicit rule bindings
+/// brought into scope for every program.
+///
+/// Each implicit binding opens its own scope nested inside the
+/// previous ones — binding `k` may query the types of bindings
+/// `0..k`, and a later α-equal binding shadows an earlier one —
+/// exactly the cold sugar
+/// `implicit {e₀:ρ₀} in implicit {e₁:ρ₁} in … in body`.
+#[derive(Clone, Debug, Default)]
+pub struct Prelude {
+    /// `let x : τ = e` bindings, outermost first.
+    pub lets: Vec<(Symbol, Type, Expr)>,
+    /// `implicit {e : ρ}` bindings, outermost first.
+    pub implicits: Vec<(Expr, RuleType)>,
+}
+
+impl Prelude {
+    /// The empty prelude (a warm session over it degenerates to the
+    /// cold pipeline plus a persistent interner).
+    pub fn new() -> Prelude {
+        Prelude::default()
+    }
+
+    /// A prelude of implicit bindings only.
+    pub fn implicits(implicits: Vec<(Expr, RuleType)>) -> Prelude {
+        Prelude {
+            lets: Vec::new(),
+            implicits,
+        }
+    }
+
+    /// The cold one-shot program equivalent to running `body : τ`
+    /// inside this prelude:
+    /// `let x̄ = ē in implicit {e₀:ρ₀} in … in implicit {eₙ:ρₙ} in body`.
+    pub fn wrap(&self, body: Expr, body_ty: Type) -> Expr {
+        let mut e = body;
+        for (arg, arho) in self.implicits.iter().rev() {
+            e = Expr::implicit(vec![(arg.clone(), arho.clone())], e, body_ty.clone());
+        }
+        for (x, ty, bound) in self.lets.iter().rev() {
+            e = Expr::let_(*x, ty.clone(), bound.clone(), e);
+        }
+        e
+    }
+
+    /// Deconstructs the sugared form produced by [`Prelude::wrap`]
+    /// back into a prelude — the on-disk `prelude.imp` convention for
+    /// batch compilation: outer `let x : τ = e in …` wrappers, then
+    /// single-binding `implicit {e : ρ} in …` wrappers, terminated by
+    /// the unit literal (`unit` in the concrete syntax).
+    ///
+    /// Multi-binding `implicit a, b in …` wrappers are rejected: a
+    /// flat frame elaborates every binding in the *outer* scope,
+    /// which a session (one nested scope per binding) cannot
+    /// represent faithfully.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first wrapper that does not fit
+    /// the convention.
+    pub fn from_wrapped(e: &Expr) -> Result<Prelude, String> {
+        let mut lets = Vec::new();
+        let mut cur = e;
+        while let Expr::App(f, bound) = cur {
+            match &**f {
+                Expr::Lam(x, ty, body) => {
+                    lets.push((*x, ty.clone(), (**bound).clone()));
+                    cur = body;
+                }
+                _ => {
+                    return Err("prelude: expected `let`/`implicit` wrappers around `()`, \
+                         found a plain application"
+                        .to_owned())
+                }
+            }
+        }
+        let mut implicits = Vec::new();
+        loop {
+            match cur {
+                Expr::RuleApp(f, args) => match &**f {
+                    Expr::RuleAbs(_, body) => {
+                        if args.len() != 1 {
+                            return Err(format!(
+                                "prelude: `implicit` wrappers must bind one value each \
+                                 (found {}); split `implicit a, b in …` into nested \
+                                 single-binding wrappers",
+                                args.len()
+                            ));
+                        }
+                        let (a, r) = &args[0];
+                        implicits.push((a.clone(), r.clone()));
+                        cur = body;
+                    }
+                    _ => {
+                        return Err("prelude: expected `implicit {e : ρ} in …` wrappers, \
+                             found a rule application"
+                            .to_owned())
+                    }
+                },
+                Expr::Unit => {
+                    return Ok(Prelude { lets, implicits });
+                }
+                other => {
+                    return Err(format!(
+                        "prelude: body must be the unit literal \
+                         (the prelude only *binds*; programs supply the bodies), found `{other}`"
+                    ))
+                }
+            }
+        }
+    }
+
+    /// The B13 chain-workload prelude: `T₀ = Int`, `Tₖ = T₍ₖ₋₁₎ × Int`,
+    /// with an `Int` binding for `T₀` and a *rule* binding
+    /// `{T₍ₖ₋₁₎} ⇒ Tₖ` (evidence `(?T₍ₖ₋₁₎, k)`) for every `k ≥ 1` —
+    /// so resolving `?Tₙ` is an `n`-deep recursive derivation that a
+    /// warm session caches (and runtime-memoizes) across programs.
+    pub fn chain(n: usize) -> Prelude {
+        let mut implicits = Vec::with_capacity(n + 1);
+        let mut ty = Type::Int;
+        implicits.push((Expr::Int(0), ty.clone().promote()));
+        for k in 1..=n {
+            let prev = ty.clone();
+            ty = Type::prod(prev.clone(), Type::Int);
+            let rho = RuleType::mono(vec![prev.promote()], ty.clone());
+            let body = Expr::pair(Expr::query_simple(prev.clone()), Expr::Int(k as i64));
+            implicits.push((Expr::rule_abs(rho.clone(), body), rho));
+        }
+        Prelude {
+            lets: Vec::new(),
+            implicits,
+        }
+    }
+
+    /// The head type of the deepest [`Prelude::chain`] binding.
+    pub fn chain_head(n: usize) -> Type {
+        let mut ty = Type::Int;
+        for _ in 0..n {
+            ty = Type::prod(ty, Type::Int);
+        }
+        ty
+    }
+}
+
+/// An error constructing a [`Session`] — the prelude itself failed to
+/// elaborate, typecheck, or evaluate.
+#[derive(Debug)]
+#[allow(clippy::large_enum_variant)] // cold path; precision over size
+pub enum SessionError {
+    /// A prelude binding was rejected (declared-type mismatch,
+    /// runtime failure while computing its evidence, …).
+    Prelude(String),
+    /// A prelude binding failed one of the pipeline stages.
+    Run(RunError),
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::Prelude(msg) => write!(f, "prelude rejected: {msg}"),
+            SessionError::Run(e) => write!(f, "prelude failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<RunError> for SessionError {
+    fn from(e: RunError) -> SessionError {
+        SessionError::Run(e)
+    }
+}
+
+/// Cumulative statistics for one session.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SessionStats {
+    /// Programs run through the elaboration leg.
+    pub programs: u64,
+    /// Programs run through the operational-semantics leg.
+    pub opsem_programs: u64,
+    /// Arena rollbacks performed by [`Session::maybe_trim`].
+    pub trims: u64,
+}
+
+/// A warm compilation session over a fixed declaration set, policy,
+/// and [`Prelude`]. See the module docs for what is shared between
+/// programs.
+///
+/// Sessions are single-threaded (the interning arena is thread-local
+/// and evidence values are `Rc`-based); [`driver::run_batch`] builds
+/// one per worker from a shared recipe.
+pub struct Session<'d> {
+    decls: &'d Declarations,
+    policy: ResolutionPolicy,
+    elab: Elaborator<'d>,
+    fdecls: FDeclarations,
+    /// Prelude frame (if any) + warm derivation cache.
+    env: ImplicitEnv,
+    /// Evidence variable frames aligned with `env`'s frames.
+    evidence: Vec<Vec<Symbol>>,
+    /// Prelude `let` bindings, in scope for every program.
+    gamma: Vec<(Symbol, Type)>,
+    /// The prelude's implicit context in canonical (binder) order.
+    context: Vec<RuleType>,
+    /// System F environment binding `gamma` names and evidence vars.
+    fenv: FEnv,
+    /// Operational-semantics leg: one interpreter whose memo persists.
+    interp: Interpreter<'d>,
+    venv: VarEnv,
+    istack: ImplStack,
+    intern_base: InternSnapshot,
+    env_base: EnvSnapshot,
+    stats: SessionStats,
+}
+
+impl<'d> Session<'d> {
+    /// Builds a warm session: elaborates, typechecks, and evaluates
+    /// every prelude binding once (through both the elaboration and
+    /// the operational-semantics pipelines), pushes the prelude frame,
+    /// and records the interner/environment watermarks.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SessionError`] if any prelude binding is rejected
+    /// or fails a pipeline stage.
+    pub fn new(
+        decls: &'d Declarations,
+        policy: ResolutionPolicy,
+        prelude: &Prelude,
+    ) -> Result<Session<'d>, SessionError> {
+        let elab = Elaborator::with_policy(decls, policy.clone());
+        let fdecls = translate_decls(decls);
+        let mut interp = Interpreter::new(decls).with_policy(policy.clone());
+
+        // `let` bindings: each elaborates under the earlier ones and
+        // is evaluated once in both semantics.
+        let mut gamma: Vec<(Symbol, Type)> = Vec::with_capacity(prelude.lets.len());
+        let mut fenv = FEnv::new();
+        let mut venv = VarEnv::new();
+        for (x, ty, bound) in &prelude.lets {
+            let mut scratch = ImplicitEnv::new();
+            let (got, fb) = elab
+                .elaborate_with_env(&mut scratch, &[], &gamma, bound)
+                .map_err(|e| SessionError::Run(RunError::Elab(e)))?;
+            if !intern::types_equal(&got, ty) {
+                return Err(SessionError::Prelude(format!(
+                    "let `{x}` declared `{ty}` but its binding has type `{got}`"
+                )));
+            }
+            check_closed(&fdecls, &gamma, &[], &fb)?;
+            let v = Evaluator::new()
+                .eval_in(&fenv, &fb)
+                .map_err(|e| SessionError::Run(RunError::Eval(e)))?;
+            fenv = fenv.bind(*x, v);
+            let vo = interp
+                .eval_in(&venv, &ImplStack::new(), bound)
+                .map_err(|e| SessionError::Prelude(format!("let `{x}` diverged in opsem: {e}")))?;
+            venv = venv.bind(*x, vo);
+            gamma.push((*x, ty.clone()));
+        }
+
+        // Implicit bindings: each opens its own nested scope, so
+        // binding `k` elaborates and evaluates under the frames of
+        // bindings `0..k` — as the cold nested `implicit … in` sugar
+        // does. Evidence is computed exactly once per binding.
+        let mut env = ImplicitEnv::new();
+        let mut evidence: Vec<Vec<Symbol>> = Vec::new();
+        let mut context: Vec<RuleType> = Vec::new();
+        let mut istack = ImplStack::new();
+        for (arg, arho) in &prelude.implicits {
+            let (got, ea) = elab
+                .elaborate_with_env(&mut env, &evidence, &gamma, arg)
+                .map_err(|e| SessionError::Run(RunError::Elab(e)))?;
+            let want = arho.to_type();
+            if !intern::types_equal(&got, &want) {
+                return Err(SessionError::Prelude(format!(
+                    "implicit binding declared `{arho}` but has type `{got}`"
+                )));
+            }
+            let outer: Vec<(Symbol, RuleType)> = evidence
+                .iter()
+                .flat_map(|syms| syms.iter())
+                .copied()
+                .zip(context.iter().cloned())
+                .collect();
+            check_closed(&fdecls, &gamma, &outer, &ea)?;
+            let v = Evaluator::new()
+                .eval_in(&fenv, &ea)
+                .map_err(|e| SessionError::Run(RunError::Eval(e)))?;
+            let sym = fresh("ev");
+            fenv = fenv.bind(sym, v);
+            let av = interp.eval_in(&venv, &istack, arg).map_err(|e| {
+                SessionError::Prelude(format!("implicit binding `{arho}` in opsem: {e}"))
+            })?;
+            istack = istack.pushed(vec![(arho.clone(), av)]);
+            env.push(vec![arho.clone()]);
+            evidence.push(vec![sym]);
+            context.push(arho.clone());
+        }
+
+        let intern_base = intern::snapshot();
+        let env_base = env.snapshot();
+        Ok(Session {
+            decls,
+            policy,
+            elab,
+            fdecls,
+            env,
+            evidence,
+            gamma,
+            context,
+            fenv,
+            interp,
+            venv,
+            istack,
+            intern_base,
+            env_base,
+            stats: SessionStats::default(),
+        })
+    }
+
+    /// The declarations this session compiles against.
+    pub fn decls(&self) -> &'d Declarations {
+        self.decls
+    }
+
+    /// The resolution policy in force.
+    pub fn policy(&self) -> &ResolutionPolicy {
+        &self.policy
+    }
+
+    /// The warm implicit environment (prelude frame + derivation
+    /// cache) — read-only access for stats and derivation replay.
+    pub fn env(&self) -> &ImplicitEnv {
+        &self.env
+    }
+
+    /// The prelude's implicit context, canonical order.
+    pub fn context(&self) -> &[RuleType] {
+        &self.context
+    }
+
+    /// Derivation-cache counters of the warm environment. On the
+    /// second and later programs, prelude-level queries show up here
+    /// as hits.
+    pub fn cache_counters(&self) -> CacheCounters {
+        self.env.cache_counters()
+    }
+
+    /// `(hits, misses)` of the opsem leg's runtime resolution memo.
+    pub fn memo_counters(&self) -> (u64, u64) {
+        self.interp.memo_counters()
+    }
+
+    /// Cumulative session statistics.
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// Runs one program through elaborate → preservation-check →
+    /// evaluate, reusing every warm structure. Equivalent to
+    /// `implicit_elab::run_with(decls, &prelude.wrap(e, τ), policy)`
+    /// up to evidence-variable naming.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same [`RunError`] stages as the cold pipeline.
+    pub fn run(&mut self, e: &Expr) -> Result<RunOutput, RunError> {
+        let out = self.run_inner(e);
+        // Elaboration pushes/pops its own frames even on error, but be
+        // defensive: never let a failed program leak frames into the
+        // warm environment.
+        let base = self.env_base;
+        self.env.restore(&base);
+        self.stats.programs += 1;
+        self.maybe_trim();
+        out
+    }
+
+    fn run_inner(&mut self, e: &Expr) -> Result<RunOutput, RunError> {
+        let (source_type, target) = self
+            .elab
+            .elaborate_with_env(&mut self.env, &self.evidence, &self.gamma, e)
+            .map_err(RunError::Elab)?;
+        // `target` has the prelude's evidence and `let` variables
+        // free; preservation is checked on the closed wrapper.
+        let mut closed = target.clone();
+        let binders: Vec<(Symbol, FType)> = self
+            .gamma
+            .iter()
+            .map(|(x, ty)| (*x, translate_type(ty)))
+            .chain(
+                self.evidence
+                    .iter()
+                    .flat_map(|syms| syms.iter())
+                    .copied()
+                    .zip(self.context.iter().map(translate_rule_type)),
+            )
+            .collect();
+        for (x, fty) in binders.iter().rev() {
+            closed = FExpr::Lam(*x, fty.clone(), closed.into());
+        }
+        let mut target_type =
+            systemf::typecheck(&self.fdecls, &closed).map_err(RunError::PreservationViolated)?;
+        for _ in 0..binders.len() {
+            let FType::Arrow(_, r) = target_type else {
+                unreachable!("wrapper type mirrors the wrapper lambdas");
+            };
+            target_type = (*r).clone();
+        }
+        let value = Evaluator::new()
+            .eval_in(&self.fenv, &target)
+            .map_err(RunError::Eval)?;
+        Ok(RunOutput {
+            source_type,
+            target,
+            target_type,
+            value,
+        })
+    }
+
+    /// Runs one program through the runtime-resolution semantics,
+    /// with a full fuel budget but the session's persistent memo.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`OpsemError`] exactly as a cold interpreter would.
+    pub fn run_opsem(&mut self, e: &Expr) -> Result<implicit_opsem::Value, OpsemError> {
+        self.interp.refuel(implicit_opsem::DEFAULT_FUEL);
+        self.stats.opsem_programs += 1;
+        let out = self.interp.eval_in(&self.venv, &self.istack, e);
+        self.maybe_trim();
+        out
+    }
+
+    /// Rolls the interning arena back to the prelude watermark if the
+    /// last program(s) left more than [`TRIM_THRESHOLD`] nodes behind,
+    /// first purging every cache/memo entry whose interned id the
+    /// rollback would orphan.
+    pub fn maybe_trim(&mut self) {
+        let (types, rules) = intern::arena_len();
+        if types > self.intern_base.type_count() + TRIM_THRESHOLD
+            || rules > self.intern_base.rule_count() + TRIM_THRESHOLD
+        {
+            self.trim();
+        }
+    }
+
+    /// Unconditional arena rollback; see [`Session::maybe_trim`].
+    pub fn trim(&mut self) {
+        let base = self.intern_base;
+        self.env.retain_cache(|id| base.covers_rule(id));
+        self.interp.retain_memo(|id| base.covers_rule(id));
+        intern::truncate_to(&base);
+        self.stats.trims += 1;
+    }
+}
+
+/// Preservation check for a prelude binding: closes `fe` over the
+/// `let` and evidence binders in scope and typechecks it.
+fn check_closed(
+    fdecls: &FDeclarations,
+    gamma: &[(Symbol, Type)],
+    evidence: &[(Symbol, RuleType)],
+    fe: &FExpr,
+) -> Result<(), SessionError> {
+    let mut closed = fe.clone();
+    let binders = gamma
+        .iter()
+        .map(|(x, ty)| (*x, translate_type(ty)))
+        .chain(evidence.iter().map(|(x, r)| (*x, translate_rule_type(r))))
+        .collect::<Vec<_>>();
+    for (x, fty) in binders.iter().rev() {
+        closed = FExpr::Lam(*x, fty.clone(), closed.into());
+    }
+    systemf::typecheck(fdecls, &closed)
+        .map(|_| ())
+        .map_err(|e| SessionError::Run(RunError::PreservationViolated(e)))
+}
+
+/// A convenience error type unifying both legs for batch reporting.
+#[derive(Debug)]
+pub enum BatchError {
+    /// The elaboration leg failed.
+    Run(RunError),
+    /// The operational-semantics leg failed.
+    Opsem(OpsemError),
+}
+
+impl std::fmt::Display for BatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BatchError::Run(e) => write!(f, "{e}"),
+            BatchError::Opsem(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for BatchError {}
+
+/// Re-exported so downstream crates name one `ElabError` type.
+pub type Elab = ElabError;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use implicit_core::syntax::BinOp;
+
+    /// Chain preludes drive derivations a dozen-plus recursion levels
+    /// deep through resolve/elaborate/eval; debug-build frames for
+    /// that interleaving overflow the default test-thread stack.
+    fn with_big_stack(f: impl FnOnce() + Send + 'static) {
+        std::thread::Builder::new()
+            .stack_size(64 << 20)
+            .spawn(f)
+            .unwrap()
+            .join()
+            .unwrap();
+    }
+
+    fn chain_query_program(n: usize, j: i64) -> Expr {
+        // snd(?T_n) + j — resolving ?T_n walks the whole chain.
+        Expr::binop(
+            BinOp::Add,
+            Expr::Snd(Expr::query_simple(Prelude::chain_head(n)).into()),
+            Expr::Int(j),
+        )
+    }
+
+    #[test]
+    fn warm_session_matches_cold_pipeline_on_the_chain_workload() {
+        with_big_stack(|| {
+            let decls = Declarations::default();
+            let prelude = Prelude::chain(12);
+            let mut sess = Session::new(&decls, ResolutionPolicy::paper(), &prelude).unwrap();
+            for j in 0..8 {
+                let e = chain_query_program(12, j);
+                let warm = sess.run(&e).unwrap();
+                let cold = implicit_elab::run_with(
+                    &decls,
+                    &prelude.wrap(e.clone(), Type::Int),
+                    &ResolutionPolicy::paper(),
+                )
+                .unwrap();
+                assert_eq!(warm.value.to_string(), cold.value.to_string());
+                assert_eq!(warm.source_type.to_string(), cold.source_type.to_string());
+                assert_eq!(
+                    warm.target_type.to_string(),
+                    cold.target_type.to_string(),
+                    "stripped wrapper type must match the cold elaboration type"
+                );
+                let vo = sess.run_opsem(&e).unwrap();
+                assert_eq!(vo.to_string(), warm.value.to_string());
+            }
+        });
+    }
+
+    #[test]
+    fn second_program_hits_the_warm_derivation_cache() {
+        with_big_stack(|| {
+            let decls = Declarations::default();
+            let prelude = Prelude::chain(10);
+            let mut sess = Session::new(&decls, ResolutionPolicy::paper(), &prelude).unwrap();
+            sess.run(&chain_query_program(10, 0)).unwrap();
+            let after_first = sess.cache_counters();
+            sess.run(&chain_query_program(10, 1)).unwrap();
+            let after_second = sess.cache_counters();
+            assert!(
+                after_second.hits > after_first.hits,
+                "prelude-level queries must be cache hits on the 2nd program \
+                 (first {after_first:?}, second {after_second:?})"
+            );
+        });
+    }
+
+    #[test]
+    fn second_program_hits_the_runtime_memo() {
+        with_big_stack(|| {
+            let decls = Declarations::default();
+            let prelude = Prelude::chain(10);
+            let mut sess = Session::new(&decls, ResolutionPolicy::paper(), &prelude).unwrap();
+            sess.run_opsem(&chain_query_program(10, 0)).unwrap();
+            let (h1, _) = sess.memo_counters();
+            sess.run_opsem(&chain_query_program(10, 1)).unwrap();
+            let (h2, _) = sess.memo_counters();
+            assert!(
+                h2 > h1,
+                "runtime resolutions must memoize across programs ({h1} → {h2})"
+            );
+        });
+    }
+
+    #[test]
+    fn lets_are_in_scope_and_evaluated_once() {
+        let decls = Declarations::default();
+        let prelude = Prelude {
+            lets: vec![(
+                Symbol::from("base"),
+                Type::Int,
+                Expr::binop(BinOp::Mul, Expr::Int(6), Expr::Int(7)),
+            )],
+            implicits: vec![(Expr::var("base"), Type::Int.promote())],
+        };
+        let mut sess = Session::new(&decls, ResolutionPolicy::paper(), &prelude).unwrap();
+        let e = Expr::binop(BinOp::Add, Expr::var("base"), Expr::query_simple(Type::Int));
+        let warm = sess.run(&e).unwrap();
+        assert_eq!(warm.value.to_string(), "84");
+        let cold = implicit_elab::run(&decls, &prelude.wrap(e.clone(), Type::Int)).unwrap();
+        assert_eq!(cold.value.to_string(), "84");
+        assert_eq!(sess.run_opsem(&e).unwrap().to_string(), "84");
+    }
+
+    #[test]
+    fn later_alpha_equal_bindings_shadow_earlier_ones() {
+        let decls = Declarations::default();
+        let prelude = Prelude::implicits(vec![
+            (Expr::Int(1), Type::Int.promote()),
+            (Expr::Int(2), Type::Int.promote()),
+        ]);
+        let mut sess = Session::new(&decls, ResolutionPolicy::paper(), &prelude).unwrap();
+        let e = Expr::query_simple(Type::Int);
+        let warm = sess.run(&e).unwrap();
+        let cold = implicit_elab::run(&decls, &prelude.wrap(e.clone(), Type::Int)).unwrap();
+        assert_eq!(warm.value.to_string(), "2", "inner scope wins");
+        assert_eq!(cold.value.to_string(), "2");
+        assert_eq!(sess.run_opsem(&e).unwrap().to_string(), "2");
+    }
+
+    #[test]
+    fn trim_rolls_the_arena_back_and_keeps_results_correct() {
+        with_big_stack(|| {
+            let decls = Declarations::default();
+            let prelude = Prelude::chain(8);
+            let mut sess = Session::new(&decls, ResolutionPolicy::paper(), &prelude).unwrap();
+            let (base_types, _) = intern::arena_len();
+            for j in 0..4 {
+                sess.run(&chain_query_program(8, j)).unwrap();
+            }
+            // Force growth past the prelude watermark, then trim.
+            for k in 0..64 {
+                let mut t = Type::Str;
+                for _ in 0..k {
+                    t = Type::prod(t, Type::Bool);
+                }
+                intern::type_id(&t);
+            }
+            sess.trim();
+            let (types_after, _) = intern::arena_len();
+            assert!(
+                types_after <= base_types,
+                "trim must roll the arena back to the prelude watermark \
+                 ({base_types} → {types_after})"
+            );
+            // And the session still answers correctly afterwards.
+            let warm = sess.run(&chain_query_program(8, 5)).unwrap();
+            let cold =
+                implicit_elab::run(&decls, &prelude.wrap(chain_query_program(8, 5), Type::Int))
+                    .unwrap();
+            assert_eq!(warm.value.to_string(), cold.value.to_string());
+            assert!(sess.stats().trims >= 1);
+        });
+    }
+
+    #[test]
+    fn from_wrapped_round_trips_the_prelude_convention() {
+        let mut prelude = Prelude::chain(3);
+        prelude
+            .lets
+            .push((Symbol::from("b"), Type::Int, Expr::Int(7)));
+        let wrapped = prelude.wrap(Expr::Unit, Type::Unit);
+        let back = Prelude::from_wrapped(&wrapped).unwrap();
+        assert_eq!(back.lets.len(), 1);
+        assert_eq!(back.implicits.len(), prelude.implicits.len());
+        assert_eq!(back.wrap(Expr::Unit, Type::Unit), wrapped);
+        // Non-unit terminal bodies are rejected: the prelude binds,
+        // programs supply the bodies.
+        assert!(Prelude::from_wrapped(&prelude.wrap(Expr::Int(1), Type::Int)).is_err());
+    }
+
+    #[test]
+    fn elaboration_errors_leave_the_session_reusable() {
+        let decls = Declarations::default();
+        let prelude = Prelude::chain(4);
+        let mut sess = Session::new(&decls, ResolutionPolicy::paper(), &prelude).unwrap();
+        // Unresolvable query: Str is not in the prelude.
+        let bad = Expr::query_simple(Type::Str);
+        assert!(sess.run(&bad).is_err());
+        let good = chain_query_program(4, 3);
+        let warm = sess.run(&good).unwrap();
+        let cold = implicit_elab::run(&decls, &prelude.wrap(good.clone(), Type::Int)).unwrap();
+        assert_eq!(warm.value.to_string(), cold.value.to_string());
+    }
+}

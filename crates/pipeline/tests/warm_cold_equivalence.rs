@@ -1,0 +1,171 @@
+//! Warm/cold equivalence property: a warm [`Session`] must produce
+//! the same values, types, errors, and resolution derivations as a
+//! cold per-program pipeline run of the sugared equivalent
+//! `let x̄ = ē in implicit {…} in program`, under every resolution
+//! policy.
+//!
+//! Gensym counters advance differently warm vs cold (the warm session
+//! elaborates the prelude once, the cold run re-elaborates it per
+//! program), so evidence-variable *names* differ; values print
+//! name-free and errors are compared with digits stripped.
+
+use genprog::{data_prelude, gen_program_with, rng, GenConfig};
+use implicit_core::resolve::{resolve, ResolutionPolicy};
+use implicit_core::syntax::Expr;
+use implicit_core::ImplicitEnv;
+use implicit_opsem::Interpreter;
+use implicit_pipeline::{Prelude, Session};
+
+/// Strips decimal digits so gensym suffixes (`ev17`, `a42`) compare
+/// equal across warm and cold runs.
+fn normalize(s: &str) -> String {
+    s.chars().filter(|c| !c.is_ascii_digit()).collect()
+}
+
+fn policies() -> Vec<(&'static str, ResolutionPolicy)> {
+    vec![
+        ("paper", ResolutionPolicy::paper()),
+        ("no-cache", ResolutionPolicy::paper().without_cache()),
+        (
+            "most-specific",
+            ResolutionPolicy::paper().with_most_specific(),
+        ),
+        (
+            "env-extension",
+            ResolutionPolicy::paper().with_env_extension(),
+        ),
+    ]
+}
+
+const SEEDS_PER_POLICY: u64 = 250;
+const CHAIN: usize = 6;
+
+#[test]
+fn warm_session_is_observationally_equal_to_cold_runs() {
+    let decls = data_prelude();
+    let config = GenConfig::default();
+    let prelude = Prelude::chain(CHAIN);
+    let mut checked = 0u64;
+
+    for (pname, policy) in policies() {
+        let mut sess = Session::new(&decls, policy.clone(), &prelude)
+            .unwrap_or_else(|e| panic!("[{pname}] prelude failed: {e}"));
+        for seed in 0..SEEDS_PER_POLICY {
+            let mut r = rng(0xC0FFEE ^ seed);
+            let prog = gen_program_with(&mut r, &config, &decls);
+            let wrapped = prelude.wrap(prog.expr.clone(), prog.ty.clone());
+
+            // Elaboration pipeline: warm vs cold.
+            let warm = sess.run(&prog.expr);
+            let cold = implicit_elab::run_with(&decls, &wrapped, &policy);
+            match (&warm, &cold) {
+                (Ok(w), Ok(c)) => {
+                    assert_eq!(
+                        w.value.to_string(),
+                        c.value.to_string(),
+                        "[{pname}/{seed}] value mismatch on {}",
+                        prog.expr
+                    );
+                    assert_eq!(
+                        w.source_type.to_string(),
+                        c.source_type.to_string(),
+                        "[{pname}/{seed}] source type mismatch"
+                    );
+                    assert_eq!(
+                        w.target_type.to_string(),
+                        c.target_type.to_string(),
+                        "[{pname}/{seed}] target type mismatch"
+                    );
+                }
+                (Err(we), Err(ce)) => {
+                    assert_eq!(
+                        normalize(&we.to_string()),
+                        normalize(&ce.to_string()),
+                        "[{pname}/{seed}] error mismatch on {}",
+                        prog.expr
+                    );
+                }
+                (w, c) => panic!(
+                    "[{pname}/{seed}] warm {:?} vs cold {:?} on {}",
+                    w.as_ref().map(|o| o.value.to_string()),
+                    c.as_ref().map(|o| o.value.to_string()),
+                    prog.expr
+                ),
+            }
+
+            // Operational-semantics leg: warm session interpreter
+            // (persistent memo) vs a cold interpreter on the sugared
+            // program.
+            let warm_op = sess.run_opsem(&prog.expr);
+            let cold_op = Interpreter::new(&decls)
+                .with_policy(policy.clone())
+                .eval(&wrapped);
+            match (&warm_op, &cold_op) {
+                (Ok(w), Ok(c)) => assert_eq!(
+                    w.to_string(),
+                    c.to_string(),
+                    "[{pname}/{seed}] opsem value mismatch on {}",
+                    prog.expr
+                ),
+                (Err(we), Err(ce)) => assert_eq!(
+                    normalize(&we.to_string()),
+                    normalize(&ce.to_string()),
+                    "[{pname}/{seed}] opsem error mismatch on {}",
+                    prog.expr
+                ),
+                (w, c) => panic!(
+                    "[{pname}/{seed}] opsem warm {:?} vs cold {:?} on {}",
+                    w.as_ref().map(|v| v.to_string()),
+                    c.as_ref().map(|v| v.to_string()),
+                    prog.expr
+                ),
+            }
+            checked += 1;
+        }
+
+        // Derivation leg: ground prelude queries resolved against the
+        // warm environment (cache and all) must produce exactly the
+        // derivation a freshly built environment produces.
+        let mut cold_env = ImplicitEnv::new();
+        for rho in sess.context() {
+            cold_env.push(vec![rho.clone()]);
+        }
+        for depth in 0..=CHAIN {
+            let q = Prelude::chain_head(depth).promote();
+            let warm_d = resolve(sess.env(), &q, &policy);
+            let cold_d = resolve(&cold_env, &q, &policy);
+            match (&warm_d, &cold_d) {
+                (Ok(w), Ok(c)) => assert_eq!(
+                    w,
+                    c,
+                    "[{pname}] derivation for ?{} differs warm vs cold",
+                    Prelude::chain_head(depth)
+                ),
+                (Err(_), Err(_)) => {}
+                _ => panic!("[{pname}] derivation outcome differs for depth {depth}"),
+            }
+        }
+    }
+
+    assert!(
+        checked >= 1000,
+        "property must cover at least 1000 programs, covered {checked}"
+    );
+
+    // The warm sessions must actually have been warm: re-running a
+    // prelude query in a fresh session shows cross-program cache hits.
+    let mut sess = Session::new(&decls, ResolutionPolicy::paper(), &prelude).unwrap();
+    let q = Expr::binop(
+        implicit_core::syntax::BinOp::Add,
+        Expr::Snd(Expr::query_simple(Prelude::chain_head(CHAIN)).into()),
+        Expr::Int(1),
+    );
+    sess.run(&q).unwrap();
+    let first = sess.cache_counters();
+    sess.run(&q).unwrap();
+    let second = sess.cache_counters();
+    assert!(
+        second.hits > first.hits,
+        "prelude-level queries must hit the warm cache on the 2nd program"
+    );
+}

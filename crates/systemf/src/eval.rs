@@ -400,24 +400,34 @@ impl Evaluator {
                 Rc::new(self.eval_in(env, a)?),
                 Rc::new(self.eval_in(env, b)?),
             )),
+            // Elimination forms take their payload by move when the
+            // scrutinee value is uniquely owned (the common case for
+            // freshly built intermediates), falling back to a clone
+            // only for shared values.
             FExpr::Fst(a) => match self.eval_in(env, a)? {
-                Value::Pair(l, _) => Ok((*l).clone()),
+                Value::Pair(l, _) => Ok(Rc::try_unwrap(l).unwrap_or_else(|rc| (*rc).clone())),
                 other => Err(EvalError::Stuck(format!("fst on {other}"))),
             },
             FExpr::Snd(a) => match self.eval_in(env, a)? {
-                Value::Pair(_, r) => Ok((*r).clone()),
+                Value::Pair(_, r) => Ok(Rc::try_unwrap(r).unwrap_or_else(|rc| (*rc).clone())),
                 other => Err(EvalError::Stuck(format!("snd on {other}"))),
             },
             FExpr::Nil(_) => Ok(Value::List(Rc::new(Vec::new()))),
             FExpr::Cons(h, t) => {
                 let vh = self.eval_in(env, h)?;
                 match self.eval_in(env, t)? {
-                    Value::List(xs) => {
-                        let mut out = Vec::with_capacity(xs.len() + 1);
-                        out.push(vh);
-                        out.extend(xs.iter().cloned());
-                        Ok(Value::List(Rc::new(out)))
-                    }
+                    Value::List(xs) => match Rc::try_unwrap(xs) {
+                        Ok(mut owned) => {
+                            owned.insert(0, vh);
+                            Ok(Value::List(Rc::new(owned)))
+                        }
+                        Err(shared) => {
+                            let mut out = Vec::with_capacity(shared.len() + 1);
+                            out.push(vh);
+                            out.extend(shared.iter().cloned());
+                            Ok(Value::List(Rc::new(out)))
+                        }
+                    },
                     other => Err(EvalError::Stuck(format!("cons onto {other}"))),
                 }
             }
@@ -428,16 +438,27 @@ impl Evaluator {
                 tail,
                 cons,
             } => match self.eval_in(env, scrut)? {
-                Value::List(xs) => {
-                    if let Some((h, rest)) = xs.split_first() {
-                        let env2 = env
-                            .bind(*head, h.clone())
-                            .bind(*tail, Value::List(Rc::new(rest.to_vec())));
-                        self.eval_in(&env2, cons)
-                    } else {
-                        self.eval_in(env, nil)
+                Value::List(xs) => match Rc::try_unwrap(xs) {
+                    Ok(mut owned) => {
+                        if owned.is_empty() {
+                            self.eval_in(env, nil)
+                        } else {
+                            let h = owned.remove(0);
+                            let env2 = env.bind(*head, h).bind(*tail, Value::List(Rc::new(owned)));
+                            self.eval_in(&env2, cons)
+                        }
                     }
-                }
+                    Err(shared) => {
+                        if let Some((h, rest)) = shared.split_first() {
+                            let env2 = env
+                                .bind(*head, h.clone())
+                                .bind(*tail, Value::List(Rc::new(rest.to_vec())));
+                            self.eval_in(&env2, cons)
+                        } else {
+                            self.eval_in(env, nil)
+                        }
+                    }
+                },
                 other => Err(EvalError::Stuck(format!("case on {other}"))),
             },
             FExpr::Fix(x, _, b) => {
@@ -475,19 +496,34 @@ impl Evaluator {
                         )));
                     }
                     let mut env2 = env.clone();
-                    for (b, v) in arm.binders.iter().zip(fields.iter()) {
-                        env2 = env2.bind(*b, v.clone());
+                    match Rc::try_unwrap(fields) {
+                        Ok(owned) => {
+                            for (b, v) in arm.binders.iter().zip(owned) {
+                                env2 = env2.bind(*b, v);
+                            }
+                        }
+                        Err(shared) => {
+                            for (b, v) in arm.binders.iter().zip(shared.iter()) {
+                                env2 = env2.bind(*b, v.clone());
+                            }
+                        }
                     }
                     self.eval_in(&env2, &arm.body)
                 }
                 other => Err(EvalError::Stuck(format!("match on {other}"))),
             },
             FExpr::Proj(rec, field) => match self.eval_in(env, rec)? {
-                Value::Record { name, fields } => fields
-                    .iter()
-                    .find(|(u, _)| u == field)
-                    .map(|(_, v)| v.clone())
-                    .ok_or_else(|| EvalError::Stuck(format!("record {name} has no field {field}"))),
+                Value::Record { name, fields } => {
+                    let Some(pos) = fields.iter().position(|(u, _)| u == field) else {
+                        return Err(EvalError::Stuck(format!(
+                            "record {name} has no field {field}"
+                        )));
+                    };
+                    Ok(match Rc::try_unwrap(fields) {
+                        Ok(mut owned) => owned.swap_remove(pos).1,
+                        Err(shared) => shared[pos].1.clone(),
+                    })
+                }
                 other => Err(EvalError::Stuck(format!("projection on {other}"))),
             },
         }

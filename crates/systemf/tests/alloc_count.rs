@@ -1,0 +1,201 @@
+//! Allocation budget for the eval hot path.
+//!
+//! A counting global allocator measures heap allocations (count and
+//! bytes) for representative batch-eval workloads: building lists
+//! with `Cons`, folding them with `ListCase` + `Fst`/`Snd`, and a
+//! `Match`/`Proj` recursion. The budgets below pin the post-PR-3
+//! numbers (uniquely-owned `Rc` payloads are moved, not re-copied);
+//! the before/after counts are recorded in EXPERIMENTS.md §6.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use systemf::eval::{Evaluator, Value};
+use systemf::syntax::{BinOp, FExpr, FMatchArm, FType};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs_during(f: impl FnOnce() -> Value) -> (Value, u64, u64) {
+    let allocs0 = ALLOCS.load(Ordering::Relaxed);
+    let bytes0 = BYTES.load(Ordering::Relaxed);
+    let v = f();
+    (
+        v,
+        ALLOCS.load(Ordering::Relaxed) - allocs0,
+        BYTES.load(Ordering::Relaxed) - bytes0,
+    )
+}
+
+/// `sum (list of (i, 2i) for i in 0..n)` via `fix` + `ListCase`,
+/// reading both components with `Fst`/`Snd`. The list is a `Cons`
+/// literal, so each tail is uniquely owned during construction.
+fn pair_list_fold(n: i64) -> FExpr {
+    let pair_ty = FType::Prod(FType::Int.into(), FType::Int.into());
+    let list_ty = FType::List(std::rc::Rc::new(pair_ty.clone()));
+    let mut list = FExpr::Nil(pair_ty);
+    for i in (0..n).rev() {
+        list = FExpr::Cons(
+            FExpr::Pair(FExpr::Int(i).into(), FExpr::Int(2 * i).into()).into(),
+            list.into(),
+        );
+    }
+    let body = FExpr::ListCase {
+        scrut: FExpr::var("xs").into(),
+        nil: FExpr::Int(0).into(),
+        head: "h".into(),
+        tail: "t".into(),
+        cons: FExpr::BinOp(
+            BinOp::Add,
+            FExpr::BinOp(
+                BinOp::Add,
+                FExpr::Fst(FExpr::var("h").into()).into(),
+                FExpr::Snd(FExpr::var("h").into()).into(),
+            )
+            .into(),
+            FExpr::app(FExpr::var("sum"), FExpr::var("t")).into(),
+        )
+        .into(),
+    };
+    let sum = FExpr::Fix(
+        "sum".into(),
+        FType::arrow(list_ty.clone(), FType::Int),
+        FExpr::lam("xs", list_ty, body).into(),
+    );
+    FExpr::app(sum, list)
+}
+
+/// `build n = n :: build (n-1)` — every `Cons` tail comes straight
+/// out of the recursive call, uniquely owned. The cold evaluator
+/// copies the whole accumulated list per step (O(n²) bytes).
+fn cons_build(n: i64) -> FExpr {
+    let list_ty = FType::List(std::rc::Rc::new(FType::Int));
+    let body = FExpr::If(
+        FExpr::BinOp(BinOp::Lt, FExpr::var("k").into(), FExpr::Int(1).into()).into(),
+        FExpr::Nil(FType::Int).into(),
+        FExpr::Cons(
+            FExpr::var("k").into(),
+            FExpr::app(
+                FExpr::var("build"),
+                FExpr::BinOp(BinOp::Sub, FExpr::var("k").into(), FExpr::Int(1).into()),
+            )
+            .into(),
+        )
+        .into(),
+    );
+    let build = FExpr::Fix(
+        "build".into(),
+        FType::arrow(FType::Int, list_ty),
+        FExpr::lam("k", FType::Int, body).into(),
+    );
+    FExpr::app(build, FExpr::Int(n))
+}
+
+/// Counts down from `n` through a `Match` on a freshly injected
+/// constructor, adding a record `Proj` each step.
+fn match_proj_loop(n: i64) -> FExpr {
+    let step = FExpr::Match(
+        FExpr::Inject(
+            "MkStep".into(),
+            Vec::new(),
+            vec![FExpr::BinOp(
+                BinOp::Sub,
+                FExpr::var("n").into(),
+                FExpr::Int(1).into(),
+            )],
+        )
+        .into(),
+        vec![FMatchArm {
+            ctor: "MkStep".into(),
+            binders: vec!["m".into()],
+            body: FExpr::BinOp(
+                BinOp::Add,
+                FExpr::app(FExpr::var("loop"), FExpr::var("m")).into(),
+                FExpr::Proj(
+                    FExpr::Make("R".into(), Vec::new(), vec![("v".into(), FExpr::Int(1))]).into(),
+                    "v".into(),
+                )
+                .into(),
+            ),
+        }],
+    );
+    let body = FExpr::If(
+        FExpr::BinOp(BinOp::Lt, FExpr::var("n").into(), FExpr::Int(1).into()).into(),
+        FExpr::Int(0).into(),
+        step.into(),
+    );
+    let f = FExpr::Fix(
+        "loop".into(),
+        FType::arrow(FType::Int, FType::Int),
+        FExpr::lam("n", FType::Int, body).into(),
+    );
+    FExpr::app(f, FExpr::Int(n))
+}
+
+#[test]
+fn eval_hot_path_allocation_budget() {
+    // The tree-walking evaluator recurses per list element; give the
+    // debug build a roomy stack.
+    std::thread::Builder::new()
+        .stack_size(64 << 20)
+        .spawn(budget_body)
+        .unwrap()
+        .join()
+        .unwrap();
+}
+
+fn budget_body() {
+    let fold = pair_list_fold(200);
+    let build = cons_build(500);
+    let matches = match_proj_loop(200);
+
+    let (v1, a1, b1) = allocs_during(|| Evaluator::new().eval(&fold).unwrap());
+    assert_eq!(v1.to_string(), (3 * 200 * 199 / 2).to_string());
+
+    let (v2, a2, b2) = allocs_during(|| Evaluator::new().eval(&build).unwrap());
+    match &v2 {
+        Value::List(xs) => assert_eq!(xs.len(), 500),
+        other => panic!("expected list, got {other}"),
+    }
+
+    let (v3, a3, b3) = allocs_during(|| Evaluator::new().eval(&matches).unwrap());
+    assert_eq!(v3.to_string(), "200");
+
+    eprintln!("alloc_count: pair_list_fold(200)  = {a1} allocs / {b1} bytes");
+    eprintln!("alloc_count: cons_build(500)      = {a2} allocs / {b2} bytes");
+    eprintln!("alloc_count: match_proj_loop(200) = {a3} allocs / {b3} bytes");
+
+    // Budgets pin the post-fix numbers with ~30% headroom so
+    // unrelated churn doesn't flake (see EXPERIMENTS.md §6 for the
+    // measured before/after table).
+    assert!(a1 < 2_600, "pair_list_fold regressed: {a1} allocs");
+    assert!(a2 < 2_100, "cons_build regressed: {a2} allocs");
+    assert!(
+        b2 < 200_000,
+        "cons_build byte traffic regressed: {b2} bytes"
+    );
+    assert!(a3 < 1_900, "match_proj_loop regressed: {a3} allocs");
+}

@@ -3,6 +3,7 @@
 //! ```text
 //! implicitc [OPTIONS] <FILE>
 //! implicitc [OPTIONS] -e "<PROGRAM>"
+//! implicitc [OPTIONS] --batch <DIR> [--jobs <M>]
 //!
 //! Options:
 //!   --lang core|source     input language (default: by extension —
@@ -14,6 +15,15 @@
 //!   --policy paper|most-specific|env-extension
 //!   --strict               enable strict static checks (termination,
 //!                          coherence)
+//!   --batch <DIR>          compile every core program (*.imp, *.lc)
+//!                          in DIR through one warm session per
+//!                          worker; DIR/prelude.imp (optional) holds
+//!                          shared declarations plus `let`/`implicit`
+//!                          bindings wrapped around `unit`, compiled
+//!                          once per worker instead of once per
+//!                          program
+//!   --jobs <M>             batch worker threads (default 1), fed by
+//!                          a work-stealing deque
 //! ```
 //!
 //! Exit status 0 on success, 1 on any error (reported to stderr).
@@ -30,7 +40,9 @@ struct Options {
     semantics: Semantics,
     policy: ResolutionPolicy,
     strict: bool,
-    input: Input,
+    input: Option<Input>,
+    batch: Option<String>,
+    jobs: usize,
 }
 
 #[derive(PartialEq, Clone, Copy)]
@@ -64,7 +76,7 @@ enum Input {
 fn usage() -> String {
     "usage: implicitc [--lang core|source] [--emit value|type|core|systemf|explain] \
      [--semantics elab|opsem|both] [--policy paper|most-specific|env-extension] [--strict] \
-     (<file> | -e <program>)"
+     (<file> | -e <program> | --batch <dir> [--jobs <m>])"
         .to_owned()
 }
 
@@ -75,7 +87,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         semantics: Semantics::Both,
         policy: ResolutionPolicy::paper(),
         strict: false,
-        input: Input::Inline(String::new()),
+        input: None,
+        batch: None,
+        jobs: 1,
     };
     let mut input: Option<Input> = None;
     let mut it = args.iter();
@@ -127,6 +141,21 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 }
             }
             "--strict" => opts.strict = true,
+            "--batch" => {
+                let dir = it
+                    .next()
+                    .ok_or_else(|| "--batch needs a directory argument".to_owned())?;
+                opts.batch = Some(dir.clone());
+            }
+            "--jobs" => {
+                let arg = it
+                    .next()
+                    .ok_or_else(|| "--jobs needs a thread count".to_owned())?;
+                opts.jobs = match arg.parse::<usize>() {
+                    Ok(m) if m >= 1 => m,
+                    _ => return Err(format!("--jobs: expected a count ≥ 1, got `{arg}`")),
+                }
+            }
             "-e" => {
                 let prog = it
                     .next()
@@ -138,7 +167,21 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             other => return Err(format!("unknown option `{other}`\n{}", usage())),
         }
     }
-    opts.input = input.ok_or_else(usage)?;
+    if opts.batch.is_some() {
+        if input.is_some() {
+            return Err("--batch takes its programs from the directory; \
+                 drop the <file> / -e argument"
+                .to_owned());
+        }
+        if opts.emit != Emit::Value {
+            return Err("--batch only supports --emit value".to_owned());
+        }
+        if opts.lang == Lang::Source {
+            return Err("--batch compiles core programs (*.imp, *.lc) only".to_owned());
+        }
+    } else {
+        opts.input = Some(input.ok_or_else(usage)?);
+    }
     Ok(opts)
 }
 
@@ -151,7 +194,11 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match run(&opts) {
+    let outcome = match &opts.batch {
+        Some(dir) => run_batch_mode(&opts, dir),
+        None => run(&opts),
+    };
+    match outcome {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("implicitc: {e}");
@@ -161,7 +208,8 @@ fn main() -> ExitCode {
 }
 
 fn run(opts: &Options) -> Result<(), String> {
-    let (src, lang) = match &opts.input {
+    let input = opts.input.as_ref().expect("single-program mode has input");
+    let (src, lang) = match input {
         Input::File(path) => {
             let src =
                 std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
@@ -251,6 +299,151 @@ fn run(opts: &Options) -> Result<(), String> {
         }
         (Some(a), None) | (None, Some(a)) => println!("{a} : {ty}"),
         (None, None) => unreachable!("one semantics is always selected"),
+    }
+    Ok(())
+}
+
+/// Parses a batch prelude source into the shared declarations and
+/// the session prelude ([`implicit_pipeline::Prelude::from_wrapped`]
+/// convention: `let`/`implicit` wrappers around `unit`). `None`
+/// means an empty prelude.
+fn parse_batch_prelude(
+    src: Option<&str>,
+) -> Result<(Declarations, implicit_pipeline::Prelude), String> {
+    match src {
+        None => Ok((Declarations::new(), implicit_pipeline::Prelude::new())),
+        Some(src) => {
+            let (decls, expr) =
+                implicit_core::parse::parse_program(src).map_err(|e| format!("prelude: {e}"))?;
+            let prelude = implicit_pipeline::Prelude::from_wrapped(&expr)?;
+            Ok((decls, prelude))
+        }
+    }
+}
+
+/// Runs one batch program against a worker's warm session, honoring
+/// `--semantics`. Returns the printable result line body.
+fn run_batch_program(
+    session: &mut implicit_pipeline::Session<'_>,
+    semantics: Semantics,
+    src: &str,
+) -> Result<String, String> {
+    let (pdecls, expr) = implicit_core::parse::parse_program(src).map_err(|e| e.to_string())?;
+    if !pdecls.is_empty() {
+        return Err(
+            "batch programs must not declare types; declare them in prelude.imp".to_owned(),
+        );
+    }
+    let elab = if semantics != Semantics::Opsem {
+        Some(session.run(&expr).map_err(|e| e.to_string())?)
+    } else {
+        None
+    };
+    let opsem = if semantics != Semantics::Elab {
+        Some(
+            session
+                .run_opsem(&expr)
+                .map_err(|e| e.to_string())?
+                .to_string(),
+        )
+    } else {
+        None
+    };
+    match (elab, opsem) {
+        (Some(o), Some(v)) => {
+            let ev = o.value.to_string();
+            if ev != v {
+                return Err(format!("semantics disagree: elaboration {ev} vs opsem {v}"));
+            }
+            Ok(format!("{ev} : {}", o.source_type))
+        }
+        (Some(o), None) => Ok(format!("{} : {}", o.value, o.source_type)),
+        (None, Some(v)) => Ok(v),
+        (None, None) => unreachable!("one semantics is always selected"),
+    }
+}
+
+/// `--batch` mode: compiles every core program in the directory
+/// through warm sessions — one [`implicit_pipeline::Session`] per
+/// worker thread, fed from a work-stealing deque — and prints one
+/// result line per program in file order.
+fn run_batch_mode(opts: &Options, dir: &str) -> Result<(), String> {
+    let mut programs: Vec<(String, String)> = Vec::new();
+    let mut prelude_src: Option<String> = None;
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read directory `{dir}`: {e}"))?;
+    for entry in entries {
+        let path = entry.map_err(|e| e.to_string())?.path();
+        let name = match path.file_name().and_then(|n| n.to_str()) {
+            Some(n) => n.to_owned(),
+            None => continue,
+        };
+        let is_core = name.ends_with(".imp") || name.ends_with(".lc");
+        if !is_core {
+            continue;
+        }
+        let src = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read `{}`: {e}", path.display()))?;
+        if name == "prelude.imp" || name == "prelude.lc" {
+            prelude_src = Some(src);
+        } else {
+            programs.push((name, src));
+        }
+    }
+    if programs.is_empty() {
+        return Err(format!("no core programs (*.imp, *.lc) in `{dir}`"));
+    }
+    programs.sort_by(|a, b| a.0.cmp(&b.0));
+
+    // Validate the prelude once up front for a single clean error;
+    // workers then rebuild it infallibly (declarations and session
+    // values are `Rc`-based and cannot cross threads).
+    let (decls, prelude) = parse_batch_prelude(prelude_src.as_deref())?;
+    implicit_pipeline::Session::new(&decls, opts.policy.clone(), &prelude)
+        .map_err(|e| format!("prelude: {e}"))?;
+    drop((decls, prelude));
+
+    let total = programs.len();
+    let semantics = opts.semantics;
+    let policy = &opts.policy;
+    let prelude_src = prelude_src.as_deref();
+    let outcomes = implicit_pipeline::run_batch_scoped(programs, opts.jobs, |_, source| {
+        let (decls, prelude) =
+            parse_batch_prelude(prelude_src).expect("prelude validated before dispatch");
+        let mut session = implicit_pipeline::Session::new(&decls, policy.clone(), &prelude)
+            .expect("prelude validated before dispatch");
+        let mut out: Vec<(usize, String, Result<String, String>)> = Vec::new();
+        for (ix, (name, src)) in source {
+            let r = run_batch_program(&mut session, semantics, &src);
+            out.push((ix, name, r));
+        }
+        out
+    });
+
+    let mut lines: Vec<Option<(String, Result<String, String>)>> =
+        (0..total).map(|_| None).collect();
+    for worker in outcomes {
+        for (ix, name, r) in worker {
+            lines[ix] = Some((name, r));
+        }
+    }
+    let mut failures = 0usize;
+    for slot in lines {
+        let (name, r) = slot.expect("every program compiled exactly once");
+        match r {
+            Ok(line) => println!("{name}: {line}"),
+            Err(e) => {
+                failures += 1;
+                println!("{name}: error: {e}");
+            }
+        }
+    }
+    println!(
+        "batch: {total} programs, {failures} failed (jobs={})",
+        opts.jobs
+    );
+    if failures > 0 {
+        return Err(format!("{failures} of {total} programs failed"));
     }
     Ok(())
 }
