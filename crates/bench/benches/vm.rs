@@ -1,0 +1,41 @@
+//! B14 `vm_throughput` — the compiled System F backend
+//! (`EXPERIMENTS.md` §7).
+//!
+//! One batch = 96 programs, each a 20k-iteration `fix` loop ending
+//! in a chain-prelude query, against a 16-deep chain prelude.
+//! Resolution work is identical across series; the variable is the
+//! System F evaluator — the `Rc`-cloning tree-walker vs. the
+//! closure-converted bytecode VM — and, for the VM, whether the
+//! compiled prelude is reused (`warm`) or rebuilt per program
+//! (`cold`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use implicit_bench::{run_vm_batch_cold, run_vm_batch_warm};
+use implicit_pipeline::Backend;
+
+const DEPTH: usize = 16;
+const ITERS: i64 = 20_000;
+const PROGRAMS: usize = 96;
+
+fn vm_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vm_throughput");
+    for m in [1usize, 4] {
+        g.bench_with_input(BenchmarkId::new("tree_warm", m), &m, |b, &m| {
+            b.iter(|| black_box(run_vm_batch_warm(DEPTH, ITERS, PROGRAMS, m, Backend::Tree)))
+        });
+    }
+    g.bench_with_input(BenchmarkId::new("vm_cold", 1), &1usize, |b, _| {
+        b.iter(|| black_box(run_vm_batch_cold(DEPTH, ITERS, PROGRAMS, 1, Backend::Vm)))
+    });
+    for m in [1usize, 4] {
+        g.bench_with_input(BenchmarkId::new("vm_warm", m), &m, |b, &m| {
+            b.iter(|| black_box(run_vm_batch_warm(DEPTH, ITERS, PROGRAMS, m, Backend::Vm)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, vm_throughput);
+criterion_main!(benches);

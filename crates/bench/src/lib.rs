@@ -16,9 +16,11 @@ pub use genprog::{
     wide_env,
 };
 
+use std::rc::Rc;
+
 use implicit_core::resolve::ResolutionPolicy;
 use implicit_core::syntax::{BinOp, Declarations, Expr, Type};
-use implicit_pipeline::{run_batch_scoped, Prelude, Session};
+use implicit_pipeline::{run_batch_scoped, Backend, Prelude, Session};
 
 /// One B13 batch program: `snd(?T_depth) + j`, where `T_depth` is the
 /// head of [`Prelude::chain`]. Resolving the query is a `depth`-deep
@@ -84,6 +86,97 @@ pub fn run_batch_warm(depth: usize, programs: usize, workers: usize) -> i64 {
 /// `depth + j`.
 pub fn batch_checksum(depth: usize, programs: usize) -> i64 {
     (0..programs as i64).map(|j| depth as i64 + j).sum()
+}
+
+/// One B14 program: a unary `fix` countdown that makes `iters`
+/// recursive calls before returning [`batch_program`]'s
+/// `snd(?T_depth) + j`:
+///
+/// ```text
+/// (fix go : Int -> Int. \n. if n <= 0 then snd(?T_depth) + j
+///                           else go (n - 1)) iters
+/// ```
+///
+/// Resolution and elaboration cost are the same as B13's program, but
+/// evaluation is dominated by the loop — so timing this batch under
+/// [`Backend::Tree`] vs [`Backend::Vm`] compares the System F
+/// evaluators themselves. Evaluates to `depth + j`, like
+/// [`batch_program`].
+pub fn vm_batch_program(depth: usize, iters: i64, j: i64) -> Expr {
+    let go = implicit_core::symbol::Symbol::intern("go");
+    let n = implicit_core::symbol::Symbol::intern("n");
+    let int_to_int = Type::arrow(Type::Int, Type::Int);
+    let body = Expr::if_(
+        Expr::binop(BinOp::Le, Expr::var(n), Expr::Int(0)),
+        batch_program(depth, j),
+        Expr::app(
+            Expr::var(go),
+            Expr::binop(BinOp::Sub, Expr::var(n), Expr::Int(1)),
+        ),
+    );
+    let looped = Expr::Fix(go, int_to_int, Rc::new(Expr::lam(n, Type::Int, body)));
+    Expr::app(looped, Expr::Int(iters))
+}
+
+/// Runs the B14 batch **cold** under the chosen backend: every
+/// program rebuilds its [`Session`] from scratch, so the prelude is
+/// re-elaborated, re-evaluated and (for [`Backend::Vm`]) re-compiled
+/// each time. Returns the checksum of all program values.
+pub fn run_vm_batch_cold(
+    depth: usize,
+    iters: i64,
+    programs: usize,
+    workers: usize,
+    backend: Backend,
+) -> i64 {
+    let jobs: Vec<i64> = (0..programs as i64).collect();
+    run_batch_scoped(jobs, workers, |_, source| {
+        let decls = Declarations::new();
+        let prelude = Prelude::chain(depth);
+        let mut sum = 0i64;
+        for (_, j) in source {
+            let mut session = Session::new(&decls, ResolutionPolicy::paper(), &prelude)
+                .expect("chain prelude is valid");
+            let out = session
+                .run_with_backend(&vm_batch_program(depth, iters, j), backend)
+                .expect("cold vm batch run");
+            sum += out.value.to_string().parse::<i64>().expect("int value");
+        }
+        sum
+    })
+    .into_iter()
+    .sum()
+}
+
+/// Runs the B14 batch **warm** under the chosen backend: one
+/// [`Session`] per worker (prelude compiled once for [`Backend::Vm`],
+/// with per-program code rolled back after each run). Returns the
+/// checksum of all program values — identical to
+/// [`run_vm_batch_cold`]'s.
+pub fn run_vm_batch_warm(
+    depth: usize,
+    iters: i64,
+    programs: usize,
+    workers: usize,
+    backend: Backend,
+) -> i64 {
+    let jobs: Vec<i64> = (0..programs as i64).collect();
+    run_batch_scoped(jobs, workers, |_, source| {
+        let decls = Declarations::new();
+        let prelude = Prelude::chain(depth);
+        let mut session = Session::new(&decls, ResolutionPolicy::paper(), &prelude)
+            .expect("chain prelude is valid");
+        let mut sum = 0i64;
+        for (_, j) in source {
+            let out = session
+                .run_with_backend(&vm_batch_program(depth, iters, j), backend)
+                .expect("warm vm batch run");
+            sum += out.value.to_string().parse::<i64>().expect("int value");
+        }
+        sum
+    })
+    .into_iter()
+    .sum()
 }
 
 /// The Figure-"Encoding the Equality Type Class" program (§5),
@@ -202,6 +295,32 @@ mod tests {
         let c = implicit_source::compile(&src).unwrap();
         let out = implicit_elab::run(&c.decls, &c.core).unwrap();
         assert_eq!(out.value.to_string(), "\"1,2,3,4\"");
+    }
+
+    #[test]
+    fn vm_batch_runners_agree_on_the_checksum_under_both_backends() {
+        // Small so the debug-build sanity check stays quick; the real
+        // B14 series runs in release via `benches/vm.rs` and
+        // `tests/vm_table.rs`.
+        let (depth, iters, programs) = (6, 50, 12);
+        let expect = batch_checksum(depth, programs);
+        for backend in [Backend::Tree, Backend::Vm] {
+            assert_eq!(
+                run_vm_batch_cold(depth, iters, programs, 1, backend),
+                expect,
+                "cold {backend}"
+            );
+            assert_eq!(
+                run_vm_batch_warm(depth, iters, programs, 1, backend),
+                expect,
+                "warm {backend}"
+            );
+            assert_eq!(
+                run_vm_batch_warm(depth, iters, programs, 4, backend),
+                expect,
+                "warm {backend} x4"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,91 @@
+//! The B14 speedup table, measured directly (not via Criterion) so a
+//! single release run prints the exact markdown recorded in
+//! `EXPERIMENTS.md` §7:
+//!
+//! ```text
+//! cargo test -p implicit-bench --release --test vm_table -- --ignored --nocapture
+//! ```
+
+use std::time::Instant;
+
+use implicit_bench::{batch_checksum, run_vm_batch_cold, run_vm_batch_warm};
+use implicit_pipeline::Backend;
+
+const DEPTH: usize = 16;
+const ITERS: i64 = 20_000;
+const PROGRAMS: usize = 96;
+const REPS: u32 = 3;
+
+/// Times `f` (seconds per batch, best of [`REPS`] after one warmup),
+/// asserting the checksum on every run.
+fn time(f: impl Fn() -> i64, expect: i64) -> f64 {
+    assert_eq!(f(), expect);
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        assert_eq!(f(), expect);
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+#[test]
+#[ignore = "B14 measurement; run in release with --ignored --nocapture"]
+fn vm_speedup_table() {
+    let expect = batch_checksum(DEPTH, PROGRAMS);
+    let tree1 = time(
+        || run_vm_batch_warm(DEPTH, ITERS, PROGRAMS, 1, Backend::Tree),
+        expect,
+    );
+    println!();
+    println!(
+        "B14: {PROGRAMS} programs, {ITERS}-iteration fix loop, \
+         chain depth {DEPTH}, best of {REPS}"
+    );
+    println!();
+    println!("| series | workers | time/batch | speedup vs warm tree |");
+    println!("|---|---|---|---|");
+    println!("| tree-walk, warm | 1 | {:.1} ms | 1.00x |", tree1 * 1e3);
+    let tree4 = time(
+        || run_vm_batch_warm(DEPTH, ITERS, PROGRAMS, 4, Backend::Tree),
+        expect,
+    );
+    println!(
+        "| tree-walk, warm | 4 | {:.1} ms | {:.2}x |",
+        tree4 * 1e3,
+        tree1 / tree4
+    );
+    let vm_cold = time(
+        || run_vm_batch_cold(DEPTH, ITERS, PROGRAMS, 1, Backend::Vm),
+        expect,
+    );
+    println!(
+        "| vm, cold (prelude recompiled per program) | 1 | {:.1} ms | {:.2}x |",
+        vm_cold * 1e3,
+        tree1 / vm_cold
+    );
+    let vm1 = time(
+        || run_vm_batch_warm(DEPTH, ITERS, PROGRAMS, 1, Backend::Vm),
+        expect,
+    );
+    println!(
+        "| vm, warm-compiled | 1 | {:.1} ms | {:.2}x |",
+        vm1 * 1e3,
+        tree1 / vm1
+    );
+    let vm4 = time(
+        || run_vm_batch_warm(DEPTH, ITERS, PROGRAMS, 4, Backend::Vm),
+        expect,
+    );
+    println!(
+        "| vm, warm-compiled | 4 | {:.1} ms | {:.2}x |",
+        vm4 * 1e3,
+        tree1 / vm4
+    );
+    println!();
+    assert!(
+        tree1 / vm1 >= 2.0,
+        "warm-compiled VM speedup {:.2}x over the tree-walker is below the 2x acceptance bar",
+        tree1 / vm1
+    );
+}

@@ -11,6 +11,10 @@
 //!   produce the same value and type).
 //! * **(b) Direct operational semantics** — the runtime-resolution
 //!   interpreter, with its runtime memo on and off.
+//! * **(b′) Compiled backend** — the elaborated System F term is also
+//!   closure-converted to bytecode and run on the [`systemf::vm`]
+//!   virtual machine, which must print the same value as the
+//!   tree-walking evaluator.
 //! * **(c) Resolution** — a seed-derived environment/query workload
 //!   resolved under each [`ResolutionPolicy`] with the derivation
 //!   cache on and off; the full [`Resolution`] derivations and their
@@ -60,6 +64,9 @@ pub enum DivergenceKind {
     /// A warm [`implicit_pipeline::Session`] run disagreed with the
     /// cold one-shot pipeline on the sugared equivalent program.
     WarmColdMismatch,
+    /// The bytecode VM disagreed with (or failed where) the
+    /// tree-walking System F evaluator (succeeded).
+    VmMismatch,
 }
 
 impl DivergenceKind {
@@ -77,6 +84,7 @@ impl DivergenceKind {
             DivergenceKind::PolicyMismatch => "policy_mismatch",
             DivergenceKind::ResolutionMismatch => "resolution_mismatch",
             DivergenceKind::WarmColdMismatch => "warm_cold_mismatch",
+            DivergenceKind::VmMismatch => "vm_mismatch",
         }
     }
 }
@@ -160,6 +168,7 @@ pub fn run_program_oracle(
     ];
     let mut elab_value: Option<String> = None;
     let mut elab_ty: Option<String> = None;
+    let mut elab_target: Option<systemf::FExpr> = None;
     for (name, policy) in &policies {
         let out = implicit_elab::run_with(decls, expr, policy).map_err(|e| {
             let kind = match &e {
@@ -177,6 +186,7 @@ pub fn run_program_oracle(
             (None, _) => {
                 elab_value = Some(v);
                 elab_ty = Some(t);
+                elab_target = Some(out.target);
             }
             (Some(v0), Some(t0)) => {
                 if *v0 != v || *t0 != t {
@@ -195,6 +205,29 @@ pub fn run_program_oracle(
         }
     }
     let value = elab_value.expect("at least one policy ran");
+
+    // Leg (b′): the same elaborated term, closure-converted to
+    // bytecode and run on the VM. The tree-walker already evaluated
+    // it, so a compile or run failure here is as much a divergence as
+    // a differing value.
+    let target = elab_target.expect("target kept alongside the baseline value");
+    match systemf::compile_and_run(&target) {
+        Ok(vm_value) => {
+            let vm_value = vm_value.to_string();
+            if vm_value != value {
+                return Err(Divergence::new(
+                    DivergenceKind::VmMismatch,
+                    format!("vm `{vm_value}` vs tree-walk `{value}`"),
+                ));
+            }
+        }
+        Err(e) => {
+            return Err(Divergence::new(
+                DivergenceKind::VmMismatch,
+                format!("vm failed where tree-walk succeeded: {e}"),
+            ));
+        }
+    }
 
     // Leg (b): the direct operational semantics, memo on and off.
     let mut memo_on = Interpreter::new(decls);

@@ -45,6 +45,15 @@ fn grab_size(total: usize, workers: usize) -> usize {
 /// evaluators recurse once per derivation level, and chain-style
 /// preludes make derivations tens of levels deep — debug-build frames
 /// for those interleaved calls overflow the 2 MiB spawn default.
+///
+/// The *tree-walking* System F evaluator is the other reason this is
+/// 64 MiB rather than the 8 MiB main-thread default: it recurses on
+/// the host stack once per `fix` unfold, so a 100k-iteration
+/// recursive program needs tens of megabytes of frames. The bytecode
+/// VM ([`systemf::vm`], `Session::run_compiled`) heap-allocates its
+/// frames and runs the same programs in constant host stack — see
+/// `systemf/tests/vm_deep.rs`, which executes a 100k-step fold on a
+/// deliberately small thread.
 const WORKER_STACK: usize = 64 << 20;
 
 /// Shared queue state for one batch run.

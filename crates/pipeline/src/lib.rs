@@ -46,8 +46,9 @@ use implicit_core::syntax::{Declarations, Expr, RuleType, Type};
 use implicit_elab::{translate_decls, translate_rule_type, translate_type, Elaborator};
 use implicit_elab::{ElabError, RunError, RunOutput};
 use implicit_opsem::{ImplStack, Interpreter, OpsemError, VarEnv};
+use systemf::compile::CodeSnapshot;
 use systemf::eval::Env as FEnv;
-use systemf::{Evaluator, FDeclarations, FExpr, FType};
+use systemf::{CompileError, Compiler, Evaluator, FDeclarations, FExpr, FType, Vm};
 
 pub use driver::{run_batch, run_batch_scoped, JobSource, WorkerMeta};
 
@@ -239,8 +240,41 @@ pub struct SessionStats {
     pub programs: u64,
     /// Programs run through the operational-semantics leg.
     pub opsem_programs: u64,
+    /// Programs evaluated by the bytecode VM ([`Session::run_compiled`]).
+    pub compiled_programs: u64,
     /// Arena rollbacks performed by [`Session::maybe_trim`].
     pub trims: u64,
+}
+
+/// Which System F evaluator a session (or the CLI) should use.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Backend {
+    /// The `Rc`-cloning tree-walking evaluator ([`systemf::eval`]).
+    #[default]
+    Tree,
+    /// The closure-converted bytecode VM ([`systemf::vm`]) — compiled
+    /// prelude cached per session, constant host stack.
+    Vm,
+}
+
+impl Backend {
+    /// Parses a `--backend` flag value.
+    pub fn parse(s: &str) -> Option<Backend> {
+        match s {
+            "tree" => Some(Backend::Tree),
+            "vm" => Some(Backend::Vm),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Backend::Tree => f.write_str("tree"),
+            Backend::Vm => f.write_str("vm"),
+        }
+    }
 }
 
 /// A warm compilation session over a fixed declaration set, policy,
@@ -265,6 +299,12 @@ pub struct Session<'d> {
     context: Vec<RuleType>,
     /// System F environment binding `gamma` names and evidence vars.
     fenv: FEnv,
+    /// Compiled backend: prelude bindings compiled once, their values
+    /// in `vm_globals` (parallel to the compiler's global table);
+    /// per-program code is an extension rolled back to `code_base`.
+    compiler: Compiler,
+    vm_globals: Vec<systemf::Value>,
+    code_base: CodeSnapshot,
     /// Operational-semantics leg: one interpreter whose memo persists.
     interp: Interpreter<'d>,
     venv: VarEnv,
@@ -298,6 +338,8 @@ impl<'d> Session<'d> {
         let mut gamma: Vec<(Symbol, Type)> = Vec::with_capacity(prelude.lets.len());
         let mut fenv = FEnv::new();
         let mut venv = VarEnv::new();
+        let mut compiler = Compiler::new();
+        let mut vm_globals: Vec<systemf::Value> = Vec::new();
         for (x, ty, bound) in &prelude.lets {
             let mut scratch = ImplicitEnv::new();
             let (got, fb) = elab
@@ -313,6 +355,11 @@ impl<'d> Session<'d> {
                 .eval_in(&fenv, &fb)
                 .map_err(|e| SessionError::Run(RunError::Eval(e)))?;
             fenv = fenv.bind(*x, v);
+            // Compiled backend: evaluate the same elaborated binding
+            // through the VM and register it as a global.
+            let gv = compile_eval(&mut compiler, &vm_globals, &fb)?;
+            compiler.add_global(*x);
+            vm_globals.push(gv);
             let vo = interp
                 .eval_in(&venv, &ImplStack::new(), bound)
                 .map_err(|e| SessionError::Prelude(format!("let `{x}` diverged in opsem: {e}")))?;
@@ -350,6 +397,9 @@ impl<'d> Session<'d> {
                 .map_err(|e| SessionError::Run(RunError::Eval(e)))?;
             let sym = fresh("ev");
             fenv = fenv.bind(sym, v);
+            let gv = compile_eval(&mut compiler, &vm_globals, &ea)?;
+            compiler.add_global(sym);
+            vm_globals.push(gv);
             let av = interp.eval_in(&venv, &istack, arg).map_err(|e| {
                 SessionError::Prelude(format!("implicit binding `{arho}` in opsem: {e}"))
             })?;
@@ -361,6 +411,7 @@ impl<'d> Session<'d> {
 
         let intern_base = intern::snapshot();
         let env_base = env.snapshot();
+        let code_base = compiler.snapshot();
         Ok(Session {
             decls,
             policy,
@@ -371,6 +422,9 @@ impl<'d> Session<'d> {
             gamma,
             context,
             fenv,
+            compiler,
+            vm_globals,
+            code_base,
             interp,
             venv,
             istack,
@@ -439,6 +493,22 @@ impl<'d> Session<'d> {
     }
 
     fn run_inner(&mut self, e: &Expr) -> Result<RunOutput, RunError> {
+        let (source_type, target, target_type) = self.elaborate_and_check(e)?;
+        let value = Evaluator::new()
+            .eval_in(&self.fenv, &target)
+            .map_err(RunError::Eval)?;
+        Ok(RunOutput {
+            source_type,
+            target,
+            target_type,
+            value,
+        })
+    }
+
+    /// Elaborates `e` under the warm environment and typechecks the
+    /// closed wrapper (preservation), returning the source type, the
+    /// open target term, and its type.
+    fn elaborate_and_check(&mut self, e: &Expr) -> Result<(Type, FExpr, FType), RunError> {
         let (source_type, target) = self
             .elab
             .elaborate_with_env(&mut self.env, &self.evidence, &self.gamma, e)
@@ -469,8 +539,41 @@ impl<'d> Session<'d> {
             };
             target_type = (*r).clone();
         }
-        let value = Evaluator::new()
-            .eval_in(&self.fenv, &target)
+        Ok((source_type, target, target_type))
+    }
+
+    /// Runs one program like [`Session::run`], but evaluates the
+    /// elaborated term on the bytecode VM against the session's
+    /// compiled prelude: the program compiles as an extension of the
+    /// warm code object (prelude bindings are [`Instr::Global`] loads
+    /// of already-computed values) and the extension is rolled back
+    /// afterwards, mirroring the interner's watermark discipline.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same [`RunError`] stages as [`Session::run`].
+    ///
+    /// [`Instr::Global`]: systemf::compile::Instr::Global
+    pub fn run_compiled(&mut self, e: &Expr) -> Result<RunOutput, RunError> {
+        let out = self.run_compiled_inner(e);
+        let base = self.env_base;
+        self.env.restore(&base);
+        let code_base = self.code_base;
+        self.compiler.rollback(&code_base);
+        self.stats.programs += 1;
+        self.stats.compiled_programs += 1;
+        self.maybe_trim();
+        out
+    }
+
+    fn run_compiled_inner(&mut self, e: &Expr) -> Result<RunOutput, RunError> {
+        let (source_type, target, target_type) = self.elaborate_and_check(e)?;
+        let main = self
+            .compiler
+            .compile(&target)
+            .map_err(|err| RunError::Eval(compile_error_to_eval(err)))?;
+        let value = Vm::new()
+            .run(self.compiler.code(), main, &self.vm_globals)
             .map_err(RunError::Eval)?;
         Ok(RunOutput {
             source_type,
@@ -478,6 +581,18 @@ impl<'d> Session<'d> {
             target_type,
             value,
         })
+    }
+
+    /// Runs one program on the chosen [`Backend`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Session::run`].
+    pub fn run_with_backend(&mut self, e: &Expr, backend: Backend) -> Result<RunOutput, RunError> {
+        match backend {
+            Backend::Tree => self.run(e),
+            Backend::Vm => self.run_compiled(e),
+        }
     }
 
     /// Runs one program through the runtime-resolution semantics,
@@ -514,6 +629,30 @@ impl<'d> Session<'d> {
         self.interp.retain_memo(|id| base.covers_rule(id));
         intern::truncate_to(&base);
         self.stats.trims += 1;
+    }
+}
+
+/// Compiles an elaborated prelude binding and evaluates it on the VM
+/// against the globals registered so far.
+fn compile_eval(
+    compiler: &mut Compiler,
+    globals: &[systemf::Value],
+    fe: &FExpr,
+) -> Result<systemf::Value, SessionError> {
+    let main = compiler
+        .compile(fe)
+        .map_err(|e| SessionError::Run(RunError::Eval(compile_error_to_eval(e))))?;
+    Vm::new()
+        .run(compiler.code(), main, globals)
+        .map_err(|e| SessionError::Run(RunError::Eval(e)))
+}
+
+/// A compile error on elaborated input can only be an unbound
+/// variable, which the tree-walker would also report (just later, at
+/// evaluation time).
+fn compile_error_to_eval(e: CompileError) -> systemf::EvalError {
+    match e {
+        CompileError::Unbound(x) => systemf::EvalError::UnboundVar(x),
     }
 }
 
@@ -720,6 +859,45 @@ mod tests {
             assert_eq!(warm.value.to_string(), cold.value.to_string());
             assert!(sess.stats().trims >= 1);
         });
+    }
+
+    #[test]
+    fn compiled_backend_matches_the_tree_walker_and_rolls_back() {
+        with_big_stack(|| {
+            let decls = Declarations::default();
+            let prelude = Prelude::chain(8);
+            let mut sess = Session::new(&decls, ResolutionPolicy::paper(), &prelude).unwrap();
+            let funcs_base = sess.compiler.code().funcs.len();
+            for j in 0..6 {
+                let e = chain_query_program(8, j);
+                let vm = sess.run_compiled(&e).unwrap();
+                let tree = sess.run(&e).unwrap();
+                assert_eq!(vm.value.to_string(), tree.value.to_string());
+                assert_eq!(vm.source_type.to_string(), tree.source_type.to_string());
+                assert_eq!(vm.target_type.to_string(), tree.target_type.to_string());
+                assert_eq!(
+                    sess.compiler.code().funcs.len(),
+                    funcs_base,
+                    "per-program code must be rolled back to the prelude watermark"
+                );
+            }
+            assert_eq!(sess.stats().compiled_programs, 6);
+        });
+    }
+
+    #[test]
+    fn run_with_backend_dispatches() {
+        let decls = Declarations::default();
+        let prelude = Prelude::implicits(vec![(Expr::Int(5), Type::Int.promote())]);
+        let mut sess = Session::new(&decls, ResolutionPolicy::paper(), &prelude).unwrap();
+        let e = Expr::binop(BinOp::Add, Expr::query_simple(Type::Int), Expr::Int(2));
+        let t = sess.run_with_backend(&e, Backend::Tree).unwrap();
+        let v = sess.run_with_backend(&e, Backend::Vm).unwrap();
+        assert_eq!(t.value.to_string(), "7");
+        assert_eq!(v.value.to_string(), "7");
+        assert_eq!(Backend::parse("vm"), Some(Backend::Vm));
+        assert_eq!(Backend::parse("tree"), Some(Backend::Tree));
+        assert_eq!(Backend::parse("jit"), None);
     }
 
     #[test]

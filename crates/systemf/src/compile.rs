@@ -1,0 +1,648 @@
+//! Closure conversion and bytecode compilation for elaborated
+//! System F terms.
+//!
+//! After the type checker has accepted a term, its types are dead
+//! weight at runtime: the compiler erases them, resolves every
+//! variable to a frame slot, a capture index, or a global, and
+//! flattens the tree into a linear instruction stream executed by
+//! [`crate::vm::Vm`] in constant host stack. Type abstraction is
+//! *not* fully erased — `Λα.E` must remain a value (the tree-walker
+//! prints it as `<type-closure>` and type application delays
+//! evaluation of `E`), so it compiles to a nullary closure forced by
+//! [`Instr::Force`].
+//!
+//! Closures are *flat*: each function lists, as [`CapSrc`]
+//! directives, how its creator materializes the captured values at
+//! closure-creation time. Recursion (`fix x:T. E`) mirrors the
+//! tree-walker's unfold-one-step semantics: the recursive
+//! self-reference is a [`crate::eval::Value::CompiledRec`] sentinel
+//! that re-enters the fix body when loaded, so no reference cycles or
+//! interior mutability are needed.
+//!
+//! The compiler is incremental: [`Compiler::snapshot`] /
+//! [`Compiler::rollback`] let a warm session compile its prelude
+//! once, then compile each batch program as an extension that is
+//! discarded afterwards — the same watermark discipline the
+//! hash-consing interner uses.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use implicit_core::symbol::Symbol;
+
+use crate::eval::Value;
+use crate::syntax::{BinOp, FExpr, UnOp};
+
+/// How the *creating* frame materializes one captured value when it
+/// executes a [`Instr::Closure`] / [`Instr::TyClosure`] /
+/// [`Instr::EnterFix`] instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CapSrc {
+    /// Copy the creator's local slot.
+    Local(u16),
+    /// Copy the creator's own capture (raw — a `CompiledRec`
+    /// sentinel is propagated, not unfolded).
+    Capture(u16),
+    /// The creator's recursive self-reference, stored as a
+    /// `CompiledRec` sentinel.
+    Rec,
+}
+
+/// What kind of source binder a compiled function came from (for
+/// diagnostics and tests; the VM treats all kinds uniformly).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FuncKind {
+    /// `λ(x:T).E` — one parameter in slot 0.
+    Lambda,
+    /// `Λα.E` erased to a nullary thunk.
+    TyAbs,
+    /// The body of `fix x:T. E`; entering it unfolds the recursion
+    /// one step.
+    FixBody,
+    /// A top-level expression compiled by [`Compiler::compile`].
+    Main,
+}
+
+/// One compiled function.
+#[derive(Clone, Debug)]
+pub struct FuncCode {
+    /// Source binder kind.
+    pub kind: FuncKind,
+    /// Frame size: the high-water mark of local slots (parameter,
+    /// `case`/`match` binders).
+    pub nslots: u16,
+    /// Capture directives, executed by the creator in order.
+    pub captures: Vec<CapSrc>,
+    /// The instruction stream; every path ends in [`Instr::Ret`] or
+    /// [`Instr::TailCall`].
+    pub code: Vec<Instr>,
+}
+
+/// A bytecode instruction. Jump targets are absolute indices into
+/// the owning function's `code`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Instr {
+    /// Push constant-pool entry.
+    Const(u32),
+    /// Push local slot (relative to the frame's locals base).
+    Local(u16),
+    /// Push capture; a `CompiledRec` sentinel unfolds (enters the fix
+    /// body) instead of being pushed.
+    Capture(u16),
+    /// Push a session global.
+    Global(u32),
+    /// Unfold the current frame's recursive self-reference.
+    Rec,
+    /// Build a function closure and push it.
+    Closure(u32),
+    /// Build a nullary type-abstraction thunk and push it.
+    TyClosure(u32),
+    /// Build the closure for a fix body and immediately enter it.
+    EnterFix(u32),
+    /// Pop argument then function; enter the function.
+    Call,
+    /// Pop argument then function; *replace* the current frame with
+    /// the function's (emitted for calls in tail position, so
+    /// tail-recursive loops run in constant frames and locals).
+    TailCall,
+    /// Pop a type-abstraction thunk; enter it.
+    Force,
+    /// Pop the result, discard the frame, resume the caller.
+    Ret,
+    /// Unconditional jump.
+    Jump(u32),
+    /// Pop a boolean; jump when false.
+    JumpIfFalse(u32),
+    /// Pop right then left operand; apply a primitive operator.
+    Bin(BinOp),
+    /// Pop the operand; apply a unary operator.
+    Un(UnOp),
+    /// Pop right then left; push a pair.
+    MakePair,
+    /// Pop a pair; push its first component.
+    Fst,
+    /// Pop a pair; push its second component.
+    Snd,
+    /// Push the empty list.
+    PushNil,
+    /// Pop tail then head; push the extended list.
+    ConsList,
+    /// Pop a list. Empty: jump to `nil_target`. Non-empty: store the
+    /// head and tail into the named slots and fall through.
+    CaseList {
+        /// Slot receiving the head.
+        head: u16,
+        /// Slot receiving the tail list.
+        tail: u16,
+        /// Branch target for the empty list.
+        nil_target: u32,
+    },
+    /// Pop the field values (pushed in declaration order); push a
+    /// record. The payload indexes [`CodeObject::field_lists`].
+    MakeRecord {
+        /// Interface name.
+        name: Symbol,
+        /// Index into the field-name pool.
+        fields: u32,
+    },
+    /// Pop a record; push the named field.
+    Project(Symbol),
+    /// Pop `argc` constructor arguments; push a data value.
+    Inject {
+        /// Constructor name.
+        ctor: Symbol,
+        /// Argument count.
+        argc: u16,
+    },
+    /// Pop a data value; select the arm from the indexed
+    /// [`MatchTable`], bind its fields, and jump to the arm body.
+    Match(u32),
+}
+
+/// The dispatch table of one `match` expression.
+#[derive(Clone, Debug, Default)]
+pub struct MatchTable {
+    /// Arms in source order (first match by constructor wins, as in
+    /// the tree-walker).
+    pub arms: Vec<MatchArmCode>,
+}
+
+/// One compiled `match` arm.
+#[derive(Clone, Debug)]
+pub struct MatchArmCode {
+    /// Constructor name.
+    pub ctor: Symbol,
+    /// First local slot of the arm's binders (consecutive).
+    pub binder_base: u16,
+    /// Binder count (must equal the scrutinee's field count).
+    pub binders: u16,
+    /// Jump target of the arm body.
+    pub target: u32,
+}
+
+/// A compiled program: functions plus the pools they reference.
+#[derive(Clone, Debug, Default)]
+pub struct CodeObject {
+    /// Compiled functions, indexed by [`Instr::Closure`] etc.
+    pub funcs: Vec<FuncCode>,
+    /// Constant pool (ints, strings, booleans, unit — deduplicated).
+    pub consts: Vec<Value>,
+    /// Field-name lists for [`Instr::MakeRecord`].
+    pub field_lists: Vec<Rc<[Symbol]>>,
+    /// Dispatch tables for [`Instr::Match`].
+    pub match_tables: Vec<MatchTable>,
+}
+
+/// A compile-time error. Well-typed closed terms (optionally closed
+/// up to registered globals) never produce one.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CompileError {
+    /// A variable is neither bound, captured, recursive, nor a
+    /// registered global.
+    Unbound(Symbol),
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::Unbound(x) => write!(f, "unbound variable `{x}` at compile time"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Watermarks for rolling a [`Compiler`] back to a previous state
+/// (see [`Compiler::snapshot`]).
+#[derive(Clone, Copy, Debug)]
+pub struct CodeSnapshot {
+    funcs: usize,
+    consts: usize,
+    field_lists: usize,
+    match_tables: usize,
+    globals: usize,
+}
+
+/// One function mid-compilation.
+struct FnCtx {
+    kind: FuncKind,
+    /// Binders currently in scope, innermost last.
+    scope: Vec<(Symbol, u16)>,
+    /// For fix bodies: the fix's own name.
+    rec_name: Option<Symbol>,
+    cap_names: Vec<Symbol>,
+    cap_srcs: Vec<CapSrc>,
+    next_slot: u16,
+    nslots: u16,
+    code: Vec<Instr>,
+}
+
+impl FnCtx {
+    fn new(kind: FuncKind, param: Option<Symbol>, rec_name: Option<Symbol>) -> FnCtx {
+        let mut ctx = FnCtx {
+            kind,
+            scope: Vec::new(),
+            rec_name,
+            cap_names: Vec::new(),
+            cap_srcs: Vec::new(),
+            next_slot: 0,
+            nslots: 0,
+            code: Vec::new(),
+        };
+        if let Some(p) = param {
+            let slot = ctx.alloc_slot();
+            ctx.scope.push((p, slot));
+        }
+        ctx
+    }
+
+    fn alloc_slot(&mut self) -> u16 {
+        let s = self.next_slot;
+        self.next_slot += 1;
+        self.nslots = self.nslots.max(self.next_slot);
+        s
+    }
+
+    fn emit(&mut self, i: Instr) -> usize {
+        self.code.push(i);
+        self.code.len() - 1
+    }
+
+    fn here(&self) -> u32 {
+        self.code.len() as u32
+    }
+
+    fn patch(&mut self, at: usize, target: u32) {
+        match &mut self.code[at] {
+            Instr::Jump(t) | Instr::JumpIfFalse(t) | Instr::CaseList { nil_target: t, .. } => {
+                *t = target;
+            }
+            other => unreachable!("patching non-jump instruction {other:?}"),
+        }
+    }
+}
+
+/// The incremental bytecode compiler.
+///
+/// A session-scoped instance accumulates functions, pools, and
+/// globals across many [`Compiler::compile`] calls; the produced
+/// [`CodeObject`] is shared by all of them, so a warm session's
+/// prelude functions stay compiled while per-program extensions are
+/// rolled back via [`Compiler::rollback`].
+#[derive(Default)]
+pub struct Compiler {
+    code: CodeObject,
+    int_pool: HashMap<i64, u32>,
+    str_pool: HashMap<String, u32>,
+    misc_pool: HashMap<u8, u32>,
+    globals: Vec<Symbol>,
+    global_map: HashMap<Symbol, u32>,
+}
+
+impl Compiler {
+    /// An empty compiler.
+    pub fn new() -> Compiler {
+        Compiler::default()
+    }
+
+    /// The accumulated code object.
+    pub fn code(&self) -> &CodeObject {
+        &self.code
+    }
+
+    /// The registered global names, in slot order (the VM's `globals`
+    /// argument must be parallel to this).
+    pub fn globals(&self) -> &[Symbol] {
+        &self.globals
+    }
+
+    /// Registers `name` as a global, returning its slot. Idempotent.
+    pub fn add_global(&mut self, name: Symbol) -> u32 {
+        if let Some(&i) = self.global_map.get(&name) {
+            return i;
+        }
+        let i = self.globals.len() as u32;
+        self.globals.push(name);
+        self.global_map.insert(name, i);
+        i
+    }
+
+    /// Captures the current pool/function/global watermarks.
+    pub fn snapshot(&self) -> CodeSnapshot {
+        CodeSnapshot {
+            funcs: self.code.funcs.len(),
+            consts: self.code.consts.len(),
+            field_lists: self.code.field_lists.len(),
+            match_tables: self.code.match_tables.len(),
+            globals: self.globals.len(),
+        }
+    }
+
+    /// Rolls back to `snap`, discarding everything compiled since.
+    pub fn rollback(&mut self, snap: &CodeSnapshot) {
+        self.code.funcs.truncate(snap.funcs);
+        self.code.consts.truncate(snap.consts);
+        self.code.field_lists.truncate(snap.field_lists);
+        self.code.match_tables.truncate(snap.match_tables);
+        let consts = snap.consts as u32;
+        self.int_pool.retain(|_, i| *i < consts);
+        self.str_pool.retain(|_, i| *i < consts);
+        self.misc_pool.retain(|_, i| *i < consts);
+        let globals = snap.globals as u32;
+        self.globals.truncate(snap.globals);
+        self.global_map.retain(|_, i| *i < globals);
+    }
+
+    /// Compiles a term (closed up to the registered globals) into a
+    /// new entry-point function and returns its index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::Unbound`] when a free variable is not
+    /// a registered global — for elaborated, typechecked input this
+    /// indicates an elaboration bug.
+    pub fn compile(&mut self, e: &FExpr) -> Result<u32, CompileError> {
+        let mut fns = vec![FnCtx::new(FuncKind::Main, None, None)];
+        self.compile_expr(&mut fns, e, true)?;
+        let ctx = fns.pop().expect("main context");
+        debug_assert!(fns.is_empty(), "unbalanced function contexts");
+        debug_assert!(ctx.cap_srcs.is_empty(), "main function cannot capture");
+        Ok(self.finish(ctx))
+    }
+
+    fn finish(&mut self, mut ctx: FnCtx) -> u32 {
+        ctx.emit(Instr::Ret);
+        let idx = self.code.funcs.len() as u32;
+        self.code.funcs.push(FuncCode {
+            kind: ctx.kind,
+            nslots: ctx.nslots,
+            captures: ctx.cap_srcs,
+            code: ctx.code,
+        });
+        idx
+    }
+
+    fn pool_const(&mut self, v: Value, key: PoolKey) -> u32 {
+        let consts = &mut self.code.consts;
+        let mut insert = |v: Value| {
+            let i = consts.len() as u32;
+            consts.push(v);
+            i
+        };
+        match key {
+            PoolKey::Int(n) => *self.int_pool.entry(n).or_insert_with(|| insert(v)),
+            PoolKey::Str(s) => *self.str_pool.entry(s).or_insert_with(|| insert(v)),
+            PoolKey::Misc(k) => *self.misc_pool.entry(k).or_insert_with(|| insert(v)),
+        }
+    }
+
+    /// Compiles one expression. `tail` marks tail position: a call
+    /// there becomes [`Instr::TailCall`], reusing the current frame.
+    /// Fix bodies reset it to `false` so their [`Instr::Ret`] always
+    /// runs (the VM's unfold cache is written there).
+    fn compile_expr(
+        &mut self,
+        fns: &mut Vec<FnCtx>,
+        e: &FExpr,
+        tail: bool,
+    ) -> Result<(), CompileError> {
+        match e {
+            FExpr::Int(n) => {
+                let i = self.pool_const(Value::Int(*n), PoolKey::Int(*n));
+                fns.last_mut().expect("fn ctx").emit(Instr::Const(i));
+            }
+            FExpr::Bool(b) => {
+                let i = self.pool_const(Value::Bool(*b), PoolKey::Misc(u8::from(*b)));
+                fns.last_mut().expect("fn ctx").emit(Instr::Const(i));
+            }
+            FExpr::Str(s) => {
+                let i = self.pool_const(Value::Str(Rc::from(s.as_str())), PoolKey::Str(s.clone()));
+                fns.last_mut().expect("fn ctx").emit(Instr::Const(i));
+            }
+            FExpr::Unit => {
+                let i = self.pool_const(Value::Unit, PoolKey::Misc(2));
+                fns.last_mut().expect("fn ctx").emit(Instr::Const(i));
+            }
+            FExpr::Var(x) => {
+                let load = match resolve_var(fns, *x) {
+                    Some(CapSrc::Local(s)) => Instr::Local(s),
+                    Some(CapSrc::Capture(i)) => Instr::Capture(i),
+                    Some(CapSrc::Rec) => Instr::Rec,
+                    None => match self.global_map.get(x) {
+                        Some(&g) => Instr::Global(g),
+                        None => return Err(CompileError::Unbound(*x)),
+                    },
+                };
+                fns.last_mut().expect("fn ctx").emit(load);
+            }
+            FExpr::Lam(x, _, b) => {
+                fns.push(FnCtx::new(FuncKind::Lambda, Some(*x), None));
+                self.compile_expr(fns, b, true)?;
+                let ctx = fns.pop().expect("lambda context");
+                let idx = self.finish(ctx);
+                fns.last_mut().expect("fn ctx").emit(Instr::Closure(idx));
+            }
+            FExpr::App(f, a) => {
+                self.compile_expr(fns, f, false)?;
+                self.compile_expr(fns, a, false)?;
+                let call = if tail { Instr::TailCall } else { Instr::Call };
+                fns.last_mut().expect("fn ctx").emit(call);
+            }
+            FExpr::TyAbs(_, b) => {
+                fns.push(FnCtx::new(FuncKind::TyAbs, None, None));
+                self.compile_expr(fns, b, true)?;
+                let ctx = fns.pop().expect("tyabs context");
+                let idx = self.finish(ctx);
+                fns.last_mut().expect("fn ctx").emit(Instr::TyClosure(idx));
+            }
+            FExpr::TyApp(f, _) => {
+                self.compile_expr(fns, f, false)?;
+                fns.last_mut().expect("fn ctx").emit(Instr::Force);
+            }
+            FExpr::If(c, t, el) => {
+                self.compile_expr(fns, c, false)?;
+                let to_else = fns.last_mut().expect("fn ctx").emit(Instr::JumpIfFalse(0));
+                self.compile_expr(fns, t, tail)?;
+                let to_end = fns.last_mut().expect("fn ctx").emit(Instr::Jump(0));
+                let ctx = fns.last_mut().expect("fn ctx");
+                let else_at = ctx.here();
+                ctx.patch(to_else, else_at);
+                self.compile_expr(fns, el, tail)?;
+                let ctx = fns.last_mut().expect("fn ctx");
+                let end = ctx.here();
+                ctx.patch(to_end, end);
+            }
+            FExpr::BinOp(op, a, b) => {
+                self.compile_expr(fns, a, false)?;
+                self.compile_expr(fns, b, false)?;
+                fns.last_mut().expect("fn ctx").emit(Instr::Bin(*op));
+            }
+            FExpr::UnOp(op, a) => {
+                self.compile_expr(fns, a, false)?;
+                fns.last_mut().expect("fn ctx").emit(Instr::Un(*op));
+            }
+            FExpr::Pair(a, b) => {
+                self.compile_expr(fns, a, false)?;
+                self.compile_expr(fns, b, false)?;
+                fns.last_mut().expect("fn ctx").emit(Instr::MakePair);
+            }
+            FExpr::Fst(a) => {
+                self.compile_expr(fns, a, false)?;
+                fns.last_mut().expect("fn ctx").emit(Instr::Fst);
+            }
+            FExpr::Snd(a) => {
+                self.compile_expr(fns, a, false)?;
+                fns.last_mut().expect("fn ctx").emit(Instr::Snd);
+            }
+            FExpr::Nil(_) => {
+                fns.last_mut().expect("fn ctx").emit(Instr::PushNil);
+            }
+            FExpr::Cons(h, t) => {
+                self.compile_expr(fns, h, false)?;
+                self.compile_expr(fns, t, false)?;
+                fns.last_mut().expect("fn ctx").emit(Instr::ConsList);
+            }
+            FExpr::ListCase {
+                scrut,
+                nil,
+                head,
+                tail: tail_name,
+                cons,
+            } => {
+                self.compile_expr(fns, scrut, false)?;
+                let ctx = fns.last_mut().expect("fn ctx");
+                let saved_scope = ctx.scope.len();
+                let saved_slot = ctx.next_slot;
+                let hslot = ctx.alloc_slot();
+                let tslot = ctx.alloc_slot();
+                let case_at = ctx.emit(Instr::CaseList {
+                    head: hslot,
+                    tail: tslot,
+                    nil_target: 0,
+                });
+                ctx.scope.push((*head, hslot));
+                ctx.scope.push((*tail_name, tslot));
+                self.compile_expr(fns, cons, tail)?;
+                let ctx = fns.last_mut().expect("fn ctx");
+                ctx.scope.truncate(saved_scope);
+                ctx.next_slot = saved_slot;
+                let to_end = ctx.emit(Instr::Jump(0));
+                let nil_at = ctx.here();
+                ctx.patch(case_at, nil_at);
+                self.compile_expr(fns, nil, tail)?;
+                let ctx = fns.last_mut().expect("fn ctx");
+                let end = ctx.here();
+                ctx.patch(to_end, end);
+            }
+            FExpr::Fix(x, _, b) => {
+                // Not tail position: the fix body's `Ret` must run so
+                // the VM can cache the one-step unfolding.
+                fns.push(FnCtx::new(FuncKind::FixBody, None, Some(*x)));
+                self.compile_expr(fns, b, false)?;
+                let ctx = fns.pop().expect("fix context");
+                let idx = self.finish(ctx);
+                fns.last_mut().expect("fn ctx").emit(Instr::EnterFix(idx));
+            }
+            FExpr::Make(name, _, fields) => {
+                for (_, fe) in fields {
+                    self.compile_expr(fns, fe, false)?;
+                }
+                let syms: Rc<[Symbol]> = fields.iter().map(|(u, _)| *u).collect();
+                let fl = self.code.field_lists.len() as u32;
+                self.code.field_lists.push(syms);
+                fns.last_mut().expect("fn ctx").emit(Instr::MakeRecord {
+                    name: *name,
+                    fields: fl,
+                });
+            }
+            FExpr::Proj(rec, field) => {
+                self.compile_expr(fns, rec, false)?;
+                fns.last_mut().expect("fn ctx").emit(Instr::Project(*field));
+            }
+            FExpr::Inject(ctor, _, args) => {
+                for a in args {
+                    self.compile_expr(fns, a, false)?;
+                }
+                fns.last_mut().expect("fn ctx").emit(Instr::Inject {
+                    ctor: *ctor,
+                    argc: args.len() as u16,
+                });
+            }
+            FExpr::Match(scrut, arms) => {
+                self.compile_expr(fns, scrut, false)?;
+                let tbl = self.code.match_tables.len() as u32;
+                self.code.match_tables.push(MatchTable::default());
+                fns.last_mut().expect("fn ctx").emit(Instr::Match(tbl));
+                let mut compiled_arms = Vec::with_capacity(arms.len());
+                let mut end_jumps = Vec::with_capacity(arms.len());
+                for arm in arms {
+                    let ctx = fns.last_mut().expect("fn ctx");
+                    let target = ctx.here();
+                    let saved_scope = ctx.scope.len();
+                    let saved_slot = ctx.next_slot;
+                    let binder_base = ctx.next_slot;
+                    for b in &arm.binders {
+                        let s = ctx.alloc_slot();
+                        ctx.scope.push((*b, s));
+                    }
+                    self.compile_expr(fns, &arm.body, tail)?;
+                    let ctx = fns.last_mut().expect("fn ctx");
+                    ctx.scope.truncate(saved_scope);
+                    ctx.next_slot = saved_slot;
+                    end_jumps.push(ctx.emit(Instr::Jump(0)));
+                    compiled_arms.push(MatchArmCode {
+                        ctor: arm.ctor,
+                        binder_base,
+                        binders: arm.binders.len() as u16,
+                        target,
+                    });
+                }
+                let ctx = fns.last_mut().expect("fn ctx");
+                let end = ctx.here();
+                for j in end_jumps {
+                    ctx.patch(j, end);
+                }
+                self.code.match_tables[tbl as usize].arms = compiled_arms;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Keys for constant-pool deduplication.
+enum PoolKey {
+    Int(i64),
+    Str(String),
+    /// `0`/`1` for the booleans, `2` for unit.
+    Misc(u8),
+}
+
+/// Resolves a variable against the in-progress function stack,
+/// threading captures through intermediate functions. Returns how
+/// the *innermost* function loads the value, or `None` for a free
+/// variable (candidate global).
+fn resolve_var(fns: &mut [FnCtx], name: Symbol) -> Option<CapSrc> {
+    fn go(fns: &mut [FnCtx], level: usize, name: Symbol) -> Option<CapSrc> {
+        let ctx = &fns[level];
+        if let Some((_, slot)) = ctx.scope.iter().rev().find(|(n, _)| *n == name) {
+            return Some(CapSrc::Local(*slot));
+        }
+        if ctx.rec_name == Some(name) {
+            return Some(CapSrc::Rec);
+        }
+        if let Some(i) = ctx.cap_names.iter().position(|n| *n == name) {
+            return Some(CapSrc::Capture(i as u16));
+        }
+        if level == 0 {
+            return None;
+        }
+        // The parent's scope is frozen while this function compiles,
+        // so capture-by-name deduplication is sound.
+        let parent_src = go(fns, level - 1, name)?;
+        let ctx = &mut fns[level];
+        ctx.cap_names.push(name);
+        ctx.cap_srcs.push(parent_src);
+        Some(CapSrc::Capture((ctx.cap_names.len() - 1) as u16))
+    }
+    go(fns, fns.len() - 1, name)
+}

@@ -58,6 +58,16 @@ pub enum Value {
         /// Constructor arguments.
         fields: Rc<Vec<Value>>,
     },
+    /// A compiled-backend function closure (code index + flat
+    /// captures; see [`crate::vm`]).
+    CompiledClosure(Rc<crate::vm::VmClosure>),
+    /// A compiled-backend type-abstraction thunk (`Λα.E` erased to a
+    /// nullary closure so type application still delays evaluation).
+    CompiledTyClosure(Rc<crate::vm::VmClosure>),
+    /// A compiled-backend `fix` self-reference. Loading it from a
+    /// frame slot or capture unfolds the recursion one step; it is
+    /// never observable as a program result.
+    CompiledRec(Rc<crate::vm::VmClosure>),
 }
 
 impl Value {
@@ -147,8 +157,9 @@ impl fmt::Display for Value {
                 }
                 f.write_str("]")
             }
-            Value::Closure { .. } => f.write_str("<closure>"),
-            Value::TyClosure { .. } => f.write_str("<type-closure>"),
+            Value::Closure { .. } | Value::CompiledClosure(_) => f.write_str("<closure>"),
+            Value::TyClosure { .. } | Value::CompiledTyClosure(_) => f.write_str("<type-closure>"),
+            Value::CompiledRec(_) => f.write_str("<fix>"),
             Value::Record { name, fields } => {
                 write!(f, "{name} {{ ")?;
                 for (i, (u, v)) in fields.iter().enumerate() {
@@ -545,7 +556,7 @@ impl Evaluator {
     }
 }
 
-fn binop(op: BinOp, a: Value, b: Value) -> Result<Value, EvalError> {
+pub(crate) fn binop(op: BinOp, a: Value, b: Value) -> Result<Value, EvalError> {
     use BinOp::*;
     match (op, &a, &b) {
         (Add, Value::Int(x), Value::Int(y)) => Ok(Value::Int(x.wrapping_add(*y))),

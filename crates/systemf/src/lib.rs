@@ -28,10 +28,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod compile;
 pub mod eval;
 pub mod syntax;
 pub mod typeck;
+pub mod vm;
 
+pub use compile::{CodeObject, CodeSnapshot, CompileError, Compiler};
 pub use eval::{eval, EvalError, Evaluator, Value};
 pub use syntax::{FDeclarations, FExpr, FInterfaceDecl, FType};
 pub use typeck::{typecheck, FTypeError};
+pub use vm::{compile_and_run, Vm};

@@ -1,0 +1,899 @@
+//! A bytecode virtual machine for compiled System F (see
+//! [`crate::compile`]).
+//!
+//! The VM executes the flat instruction stream produced by
+//! [`Compiler`] with heap-allocated value/locals/frame stacks and a
+//! single dispatch loop — no host-stack recursion, so arbitrarily
+//! deep programs run in constant host stack (the tree-walking
+//! [`crate::eval::Evaluator`] needs the 64 MB worker stacks of
+//! `implicit_pipeline::driver` for the same programs).
+//!
+//! Semantics mirror the tree-walker exactly: call-by-value, eager
+//! (non-short-circuit) `&&`/`||`, unfold-one-step `fix`, and the same
+//! [`EvalError`] kinds and messages, so a differential oracle can
+//! compare the two backends verbatim. Fuel is decremented once per
+//! *frame entry* (call, force, fix unfold) rather than per node;
+//! since every frame entry corresponds to at least one tree-walker
+//! node visit, a program that finishes under the tree-walker's budget
+//! always finishes under the same VM budget.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use implicit_core::symbol::Symbol;
+
+use crate::compile::{CapSrc, CodeObject, CompileError, Compiler, Instr};
+use crate::eval::{binop, EvalError, Value};
+use crate::syntax::{FExpr, UnOp};
+
+/// A flat compiled closure: a function index plus the captured
+/// values, materialized at creation time.
+#[derive(Debug)]
+pub struct VmClosure {
+    /// Index into [`CodeObject::funcs`].
+    pub func: u32,
+    /// Captured values, parallel to the function's capture
+    /// directives. A `fix` self-reference is stored as the
+    /// [`Value::CompiledRec`] sentinel.
+    pub captures: Vec<Value>,
+    /// One-step unfolding cache, used only when this closure is a
+    /// `fix` body: the language is pure, so re-running the body
+    /// always yields the same value, and a recursive loop would
+    /// otherwise re-enter it (and re-allocate its result closure) on
+    /// every iteration. Caching only ever *reduces* fuel charged, so
+    /// the tree-walker-comparability invariant is preserved.
+    unfolded: RefCell<Option<Value>>,
+}
+
+impl VmClosure {
+    fn new(func: u32, captures: Vec<Value>) -> VmClosure {
+        VmClosure {
+            func,
+            captures,
+            unfolded: RefCell::new(None),
+        }
+    }
+}
+
+/// One activation record. `stack_base`/`locals_base` delimit the
+/// frame's slices of the shared operand and locals stacks.
+struct Frame {
+    func: u32,
+    ip: usize,
+    stack_base: usize,
+    locals_base: usize,
+    clo: Option<Rc<VmClosure>>,
+    rec: Option<Rc<VmClosure>>,
+}
+
+/// The virtual machine, carrying the same kind of step budget as the
+/// tree-walker (counted per frame entry).
+pub struct Vm {
+    fuel: u64,
+}
+
+impl Default for Vm {
+    fn default() -> Vm {
+        Vm { fuel: 10_000_000 }
+    }
+}
+
+impl Vm {
+    /// A VM with the default budget (matching
+    /// [`crate::eval::Evaluator`]'s).
+    pub fn new() -> Vm {
+        Vm::default()
+    }
+
+    /// A VM with a custom budget.
+    pub fn with_fuel(fuel: u64) -> Vm {
+        Vm { fuel }
+    }
+
+    /// Runs function `main` of `code` to completion. `globals` must
+    /// be parallel to the owning [`Compiler`]'s global table.
+    ///
+    /// # Errors
+    ///
+    /// The same conditions as [`crate::eval::Evaluator::eval`]:
+    /// primitive failures, fuel exhaustion, and — for code compiled
+    /// from ill-typed terms only — stuck states.
+    pub fn run(
+        &mut self,
+        code: &CodeObject,
+        main: u32,
+        globals: &[Value],
+    ) -> Result<Value, EvalError> {
+        let mut stack: Vec<Value> = Vec::new();
+        let mut locals: Vec<Value> = Vec::new();
+        let mut frames: Vec<Frame> = Vec::new();
+        self.enter(code, &mut frames, &mut locals, 0, main, None, None, None)?;
+        // Dispatch registers: the hot loop reads these instead of
+        // chasing `frames.last()` and double-indexing `code.funcs` on
+        // every instruction. They are written back to the `Frame` on
+        // a call (so `Ret` can resume the caller) and reloaded on
+        // every frame push/pop.
+        let mut ip: usize = 0;
+        let mut locals_base: usize = 0;
+        let mut fcode: &[Instr] = &code.funcs[main as usize].code;
+        macro_rules! reload {
+            () => {{
+                let fr = frames.last().expect("active frame");
+                ip = fr.ip;
+                locals_base = fr.locals_base;
+                fcode = &code.funcs[fr.func as usize].code;
+            }};
+        }
+        macro_rules! save_ip {
+            () => {
+                frames.last_mut().expect("active frame").ip = ip
+            };
+        }
+        loop {
+            let instr = fcode[ip];
+            ip += 1;
+            match instr {
+                Instr::Const(i) => stack.push(code.consts[i as usize].clone()),
+                Instr::Local(s) => stack.push(locals[locals_base + s as usize].clone()),
+                Instr::Capture(i) => {
+                    let cap = frames
+                        .last()
+                        .expect("running frame")
+                        .clo
+                        .as_ref()
+                        .expect("capture load in captureless frame")
+                        .captures[i as usize]
+                        .clone();
+                    match cap {
+                        // Unfold one recursion step: re-enter the fix
+                        // body (or reuse its cached result); the
+                        // unfolding replaces the load.
+                        Value::CompiledRec(rc) => {
+                            let cached = rc.unfolded.borrow().clone();
+                            match cached {
+                                Some(v) => stack.push(v),
+                                None => {
+                                    save_ip!();
+                                    self.enter(
+                                        code,
+                                        &mut frames,
+                                        &mut locals,
+                                        stack.len(),
+                                        rc.func,
+                                        None,
+                                        Some(rc.clone()),
+                                        Some(rc),
+                                    )?;
+                                    reload!();
+                                }
+                            }
+                        }
+                        v => stack.push(v),
+                    }
+                }
+                Instr::Global(i) => stack.push(globals[i as usize].clone()),
+                Instr::Rec => {
+                    let rc = frames
+                        .last()
+                        .expect("running frame")
+                        .rec
+                        .clone()
+                        .expect("rec load outside fix body");
+                    let cached = rc.unfolded.borrow().clone();
+                    match cached {
+                        Some(v) => stack.push(v),
+                        None => {
+                            save_ip!();
+                            self.enter(
+                                code,
+                                &mut frames,
+                                &mut locals,
+                                stack.len(),
+                                rc.func,
+                                None,
+                                Some(rc.clone()),
+                                Some(rc),
+                            )?;
+                            reload!();
+                        }
+                    }
+                }
+                Instr::Closure(f) => {
+                    let captures = materialize_captures(code, f, &frames, &locals);
+                    stack.push(Value::CompiledClosure(Rc::new(VmClosure::new(f, captures))));
+                }
+                Instr::TyClosure(f) => {
+                    let captures = materialize_captures(code, f, &frames, &locals);
+                    stack.push(Value::CompiledTyClosure(Rc::new(VmClosure::new(
+                        f, captures,
+                    ))));
+                }
+                Instr::EnterFix(f) => {
+                    let captures = materialize_captures(code, f, &frames, &locals);
+                    let rc = Rc::new(VmClosure::new(f, captures));
+                    save_ip!();
+                    self.enter(
+                        code,
+                        &mut frames,
+                        &mut locals,
+                        stack.len(),
+                        f,
+                        None,
+                        Some(rc.clone()),
+                        Some(rc),
+                    )?;
+                    reload!();
+                }
+                Instr::Call => {
+                    let arg = stack.pop().expect("call argument");
+                    let callee = stack.pop().expect("call function");
+                    match callee {
+                        Value::CompiledClosure(rc) => {
+                            save_ip!();
+                            self.enter(
+                                code,
+                                &mut frames,
+                                &mut locals,
+                                stack.len(),
+                                rc.func,
+                                Some(arg),
+                                Some(rc),
+                                None,
+                            )?;
+                            reload!();
+                        }
+                        other => return Err(EvalError::NotAFunction(other.to_string())),
+                    }
+                }
+                Instr::TailCall => {
+                    let arg = stack.pop().expect("call argument");
+                    let callee = stack.pop().expect("call function");
+                    match callee {
+                        Value::CompiledClosure(rc) => {
+                            // Replace the current frame in place: same
+                            // bases, new function. Charged like a
+                            // call, so the fuel comparability
+                            // invariant is unchanged.
+                            if self.fuel == 0 {
+                                return Err(EvalError::OutOfFuel);
+                            }
+                            self.fuel -= 1;
+                            let frame = frames.last_mut().expect("active frame");
+                            stack.truncate(frame.stack_base);
+                            locals.truncate(frame.locals_base);
+                            let nslots = code.funcs[rc.func as usize].nslots;
+                            locals.push(arg);
+                            for _ in 1..nslots {
+                                locals.push(Value::Unit);
+                            }
+                            frame.func = rc.func;
+                            frame.ip = 0;
+                            frame.rec = None;
+                            fcode = &code.funcs[rc.func as usize].code;
+                            frame.clo = Some(rc);
+                            ip = 0;
+                        }
+                        other => return Err(EvalError::NotAFunction(other.to_string())),
+                    }
+                }
+                Instr::Force => match stack.pop().expect("force operand") {
+                    Value::CompiledTyClosure(rc) => {
+                        save_ip!();
+                        self.enter(
+                            code,
+                            &mut frames,
+                            &mut locals,
+                            stack.len(),
+                            rc.func,
+                            None,
+                            Some(rc),
+                            None,
+                        )?;
+                        reload!();
+                    }
+                    other => {
+                        return Err(EvalError::Stuck(format!(
+                            "type application of non-type-abstraction {other}"
+                        )))
+                    }
+                },
+                Instr::Ret => {
+                    let result = stack.pop().expect("return value");
+                    let frame = frames.pop().expect("returning frame");
+                    stack.truncate(frame.stack_base);
+                    locals.truncate(frame.locals_base);
+                    // A frame with a `rec` handle is a fix-body
+                    // unfolding; remember its result so later unfolds
+                    // of the same fix skip the re-entry.
+                    if let Some(rc) = &frame.rec {
+                        *rc.unfolded.borrow_mut() = Some(result.clone());
+                    }
+                    if frames.is_empty() {
+                        return Ok(result);
+                    }
+                    stack.push(result);
+                    reload!();
+                }
+                Instr::Jump(t) => ip = t as usize,
+                Instr::JumpIfFalse(t) => match stack.pop().expect("branch condition") {
+                    Value::Bool(true) => {}
+                    Value::Bool(false) => ip = t as usize,
+                    other => return Err(EvalError::Stuck(format!("if on non-boolean {other}"))),
+                },
+                Instr::Bin(op) => {
+                    let b = stack.pop().expect("right operand");
+                    let a = stack.pop().expect("left operand");
+                    stack.push(binop(op, a, b)?);
+                }
+                Instr::Un(op) => {
+                    let v = stack.pop().expect("unary operand");
+                    stack.push(match (op, v) {
+                        (UnOp::Not, Value::Bool(b)) => Value::Bool(!b),
+                        (UnOp::Neg, Value::Int(n)) => Value::Int(-n),
+                        (UnOp::IntToStr, Value::Int(n)) => Value::Str(Rc::from(n.to_string())),
+                        (op, v) => return Err(EvalError::Stuck(format!("{op:?} on {v}"))),
+                    });
+                }
+                Instr::MakePair => {
+                    let b = stack.pop().expect("pair right");
+                    let a = stack.pop().expect("pair left");
+                    stack.push(Value::Pair(Rc::new(a), Rc::new(b)));
+                }
+                Instr::Fst => match stack.pop().expect("fst operand") {
+                    Value::Pair(l, _) => {
+                        stack.push(Rc::try_unwrap(l).unwrap_or_else(|rc| (*rc).clone()));
+                    }
+                    other => return Err(EvalError::Stuck(format!("fst on {other}"))),
+                },
+                Instr::Snd => match stack.pop().expect("snd operand") {
+                    Value::Pair(_, r) => {
+                        stack.push(Rc::try_unwrap(r).unwrap_or_else(|rc| (*rc).clone()));
+                    }
+                    other => return Err(EvalError::Stuck(format!("snd on {other}"))),
+                },
+                Instr::PushNil => stack.push(Value::List(Rc::new(Vec::new()))),
+                Instr::ConsList => {
+                    let t = stack.pop().expect("cons tail");
+                    let h = stack.pop().expect("cons head");
+                    match t {
+                        Value::List(xs) => match Rc::try_unwrap(xs) {
+                            Ok(mut owned) => {
+                                owned.insert(0, h);
+                                stack.push(Value::List(Rc::new(owned)));
+                            }
+                            Err(shared) => {
+                                let mut out = Vec::with_capacity(shared.len() + 1);
+                                out.push(h);
+                                out.extend(shared.iter().cloned());
+                                stack.push(Value::List(Rc::new(out)));
+                            }
+                        },
+                        other => return Err(EvalError::Stuck(format!("cons onto {other}"))),
+                    }
+                }
+                Instr::CaseList {
+                    head,
+                    tail,
+                    nil_target,
+                } => match stack.pop().expect("case scrutinee") {
+                    Value::List(xs) => {
+                        let (hv, tv) = match Rc::try_unwrap(xs) {
+                            Ok(mut owned) => {
+                                if owned.is_empty() {
+                                    ip = nil_target as usize;
+                                    continue;
+                                }
+                                let h = owned.remove(0);
+                                (h, Value::List(Rc::new(owned)))
+                            }
+                            Err(shared) => match shared.split_first() {
+                                Some((h, rest)) => (h.clone(), Value::List(Rc::new(rest.to_vec()))),
+                                None => {
+                                    ip = nil_target as usize;
+                                    continue;
+                                }
+                            },
+                        };
+                        locals[locals_base + head as usize] = hv;
+                        locals[locals_base + tail as usize] = tv;
+                    }
+                    other => return Err(EvalError::Stuck(format!("case on {other}"))),
+                },
+                Instr::MakeRecord { name, fields } => {
+                    let syms = &code.field_lists[fields as usize];
+                    let vals = stack.split_off(stack.len() - syms.len());
+                    let out: Vec<(Symbol, Value)> = syms.iter().copied().zip(vals).collect();
+                    stack.push(Value::Record {
+                        name,
+                        fields: Rc::new(out),
+                    });
+                }
+                Instr::Project(field) => match stack.pop().expect("projection operand") {
+                    Value::Record { name, fields } => {
+                        let Some(pos) = fields.iter().position(|(u, _)| *u == field) else {
+                            return Err(EvalError::Stuck(format!(
+                                "record {name} has no field {field}"
+                            )));
+                        };
+                        stack.push(match Rc::try_unwrap(fields) {
+                            Ok(mut owned) => owned.swap_remove(pos).1,
+                            Err(shared) => shared[pos].1.clone(),
+                        });
+                    }
+                    other => return Err(EvalError::Stuck(format!("projection on {other}"))),
+                },
+                Instr::Inject { ctor, argc } => {
+                    let vals = stack.split_off(stack.len() - argc as usize);
+                    stack.push(Value::Data {
+                        ctor,
+                        fields: Rc::new(vals),
+                    });
+                }
+                Instr::Match(tbl) => match stack.pop().expect("match scrutinee") {
+                    Value::Data { ctor, fields } => {
+                        let table = &code.match_tables[tbl as usize];
+                        let Some(arm) = table.arms.iter().find(|a| a.ctor == ctor) else {
+                            return Err(EvalError::Stuck(format!("no arm for `{ctor}`")));
+                        };
+                        if arm.binders as usize != fields.len() {
+                            return Err(EvalError::Stuck(format!(
+                                "arm `{ctor}` binder count mismatch"
+                            )));
+                        }
+                        let base = locals_base + arm.binder_base as usize;
+                        match Rc::try_unwrap(fields) {
+                            Ok(owned) => {
+                                for (i, v) in owned.into_iter().enumerate() {
+                                    locals[base + i] = v;
+                                }
+                            }
+                            Err(shared) => {
+                                for (i, v) in shared.iter().enumerate() {
+                                    locals[base + i] = v.clone();
+                                }
+                            }
+                        }
+                        ip = arm.target as usize;
+                    }
+                    other => return Err(EvalError::Stuck(format!("match on {other}"))),
+                },
+            }
+        }
+    }
+
+    /// Pushes a new activation record, charging one fuel unit.
+    #[allow(clippy::too_many_arguments)]
+    fn enter(
+        &mut self,
+        code: &CodeObject,
+        frames: &mut Vec<Frame>,
+        locals: &mut Vec<Value>,
+        stack_base: usize,
+        func: u32,
+        arg: Option<Value>,
+        clo: Option<Rc<VmClosure>>,
+        rec: Option<Rc<VmClosure>>,
+    ) -> Result<(), EvalError> {
+        if self.fuel == 0 {
+            return Err(EvalError::OutOfFuel);
+        }
+        self.fuel -= 1;
+        let f = &code.funcs[func as usize];
+        let locals_base = locals.len();
+        let mut filled = 0;
+        if let Some(a) = arg {
+            locals.push(a);
+            filled = 1;
+        }
+        for _ in filled..f.nslots {
+            locals.push(Value::Unit);
+        }
+        frames.push(Frame {
+            func,
+            ip: 0,
+            stack_base,
+            locals_base,
+            clo,
+            rec,
+        });
+        Ok(())
+    }
+}
+
+/// Executes a function's capture directives against the creating
+/// frame (see [`CapSrc`]). `CompiledRec` sentinels are propagated
+/// raw — they unfold only on operand loads.
+fn materialize_captures(
+    code: &CodeObject,
+    func: u32,
+    frames: &[Frame],
+    locals: &[Value],
+) -> Vec<Value> {
+    let frame = frames.last().expect("creating frame");
+    code.funcs[func as usize]
+        .captures
+        .iter()
+        .map(|src| match src {
+            CapSrc::Local(s) => locals[frame.locals_base + *s as usize].clone(),
+            CapSrc::Capture(i) => {
+                frame.clo.as_ref().expect("transitive capture").captures[*i as usize].clone()
+            }
+            CapSrc::Rec => Value::CompiledRec(frame.rec.clone().expect("rec capture outside fix")),
+        })
+        .collect()
+}
+
+/// Convenience: compiles a closed term and runs it with the default
+/// budget (the compiled-backend analogue of [`crate::eval::eval`]).
+///
+/// # Errors
+///
+/// An unbound variable surfaces as [`EvalError::UnboundVar`] (the
+/// tree-walker reports the same term the same way, just later);
+/// otherwise see [`Vm::run`].
+pub fn compile_and_run(e: &FExpr) -> Result<Value, EvalError> {
+    let mut compiler = Compiler::new();
+    let main = compiler.compile(e).map_err(|err| match err {
+        CompileError::Unbound(x) => EvalError::UnboundVar(x),
+    })?;
+    Vm::new().run(compiler.code(), main, &[])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{eval, Evaluator};
+    use crate::syntax::{BinOp, FMatchArm, FType};
+
+    fn v(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+
+    /// Both backends must agree on the printed result.
+    fn agree(e: &FExpr) -> String {
+        let tree = eval(e).expect("tree-walk");
+        let vm = compile_and_run(e).expect("vm");
+        assert_eq!(tree.to_string(), vm.to_string(), "backends disagree on {e}");
+        vm.to_string()
+    }
+
+    #[test]
+    fn literals_and_arithmetic() {
+        let e = FExpr::BinOp(
+            BinOp::Add,
+            Rc::new(FExpr::Int(40)),
+            Rc::new(FExpr::BinOp(
+                BinOp::Mul,
+                Rc::new(FExpr::Int(1)),
+                Rc::new(FExpr::Int(2)),
+            )),
+        );
+        assert_eq!(agree(&e), "42");
+    }
+
+    #[test]
+    fn beta_reduction_and_shadowing() {
+        let inner = FExpr::app(FExpr::lam("x", FType::Int, FExpr::var("x")), FExpr::Int(2));
+        let e = FExpr::app(FExpr::lam("x", FType::Int, inner), FExpr::Int(1));
+        assert_eq!(agree(&e), "2");
+    }
+
+    #[test]
+    fn closures_capture_transitively() {
+        // (\x. (\y. (\z. x + (y + z)) 3) 2) 1 — z's function captures
+        // x and y through two levels.
+        let body = FExpr::BinOp(
+            BinOp::Add,
+            Rc::new(FExpr::var("x")),
+            Rc::new(FExpr::BinOp(
+                BinOp::Add,
+                Rc::new(FExpr::var("y")),
+                Rc::new(FExpr::var("z")),
+            )),
+        );
+        let e = FExpr::app(
+            FExpr::lam(
+                "x",
+                FType::Int,
+                FExpr::app(
+                    FExpr::lam(
+                        "y",
+                        FType::Int,
+                        FExpr::app(FExpr::lam("z", FType::Int, body), FExpr::Int(3)),
+                    ),
+                    FExpr::Int(2),
+                ),
+            ),
+            FExpr::Int(1),
+        );
+        assert_eq!(agree(&e), "6");
+    }
+
+    #[test]
+    fn type_application_forces_body() {
+        let a = v("a");
+        let id = FExpr::ty_abs([a], FExpr::lam("x", FType::Var(a), FExpr::var("x")));
+        let e = FExpr::app(FExpr::TyApp(Rc::new(id), FType::Int), FExpr::Int(7));
+        assert_eq!(agree(&e), "7");
+    }
+
+    #[test]
+    fn tyabs_is_a_value_with_matching_rendering() {
+        let a = v("a");
+        let e = FExpr::ty_abs([a], FExpr::Int(1));
+        assert_eq!(agree(&e), "<type-closure>");
+        let lam = FExpr::lam("x", FType::Int, FExpr::var("x"));
+        assert_eq!(agree(&lam), "<closure>");
+    }
+
+    fn fac_expr() -> FExpr {
+        FExpr::Fix(
+            v("fac"),
+            FType::arrow(FType::Int, FType::Int),
+            Rc::new(FExpr::lam(
+                "n",
+                FType::Int,
+                FExpr::If(
+                    Rc::new(FExpr::BinOp(
+                        BinOp::Le,
+                        Rc::new(FExpr::var("n")),
+                        Rc::new(FExpr::Int(0)),
+                    )),
+                    Rc::new(FExpr::Int(1)),
+                    Rc::new(FExpr::BinOp(
+                        BinOp::Mul,
+                        Rc::new(FExpr::var("n")),
+                        Rc::new(FExpr::app(
+                            FExpr::var("fac"),
+                            FExpr::BinOp(
+                                BinOp::Sub,
+                                Rc::new(FExpr::var("n")),
+                                Rc::new(FExpr::Int(1)),
+                            ),
+                        )),
+                    )),
+                ),
+            )),
+        )
+    }
+
+    #[test]
+    fn factorial_via_fix() {
+        let e = FExpr::app(fac_expr(), FExpr::Int(6));
+        assert_eq!(agree(&e), "720");
+    }
+
+    #[test]
+    fn fix_self_reference_survives_closure_capture() {
+        // fix go: Int -> Int. \n. if n <= 0 then 0
+        //   else (\unused. go (n - 1)) () — the recursive call sits
+        // inside a nested lambda, so `go` travels as a CompiledRec
+        // capture and unfolds on load.
+        let call = FExpr::app(
+            FExpr::var("go"),
+            FExpr::BinOp(BinOp::Sub, Rc::new(FExpr::var("n")), Rc::new(FExpr::Int(1))),
+        );
+        let wrapped = FExpr::app(FExpr::lam("unused", FType::Unit, call), FExpr::Unit);
+        let e = FExpr::app(
+            FExpr::Fix(
+                v("go"),
+                FType::arrow(FType::Int, FType::Int),
+                Rc::new(FExpr::lam(
+                    "n",
+                    FType::Int,
+                    FExpr::If(
+                        Rc::new(FExpr::BinOp(
+                            BinOp::Le,
+                            Rc::new(FExpr::var("n")),
+                            Rc::new(FExpr::Int(0)),
+                        )),
+                        Rc::new(FExpr::Int(0)),
+                        Rc::new(wrapped),
+                    ),
+                )),
+            ),
+            FExpr::Int(25),
+        );
+        assert_eq!(agree(&e), "0");
+    }
+
+    #[test]
+    fn divergence_runs_out_of_fuel() {
+        let looping = FExpr::Fix(
+            v("loop"),
+            FType::arrow(FType::Int, FType::Int),
+            Rc::new(FExpr::lam(
+                "n",
+                FType::Int,
+                FExpr::app(FExpr::var("loop"), FExpr::var("n")),
+            )),
+        );
+        let e = FExpr::app(looping, FExpr::Int(0));
+        let mut compiler = Compiler::new();
+        let main = compiler.compile(&e).unwrap();
+        let err = Vm::with_fuel(500)
+            .run(compiler.code(), main, &[])
+            .unwrap_err();
+        assert_eq!(err, EvalError::OutOfFuel);
+    }
+
+    #[test]
+    fn vm_fuel_never_exceeds_tree_fuel() {
+        // The comparability invariant: on a call-heavy program the VM
+        // charges no more fuel than the tree-walker, so a shared
+        // budget cannot fail only on the VM side.
+        let e = FExpr::app(fac_expr(), FExpr::Int(12));
+        let mut tree_fuel = None;
+        for budget in 0..10_000 {
+            if Evaluator::with_fuel(budget).eval(&e).is_ok() {
+                tree_fuel = Some(budget);
+                break;
+            }
+        }
+        let tree_fuel = tree_fuel.expect("tree-walk terminates");
+        let mut compiler = Compiler::new();
+        let main = compiler.compile(&e).unwrap();
+        assert!(
+            Vm::with_fuel(tree_fuel)
+                .run(compiler.code(), main, &[])
+                .is_ok(),
+            "VM needs more fuel than the tree-walker"
+        );
+    }
+
+    #[test]
+    fn division_by_zero_matches() {
+        let e = FExpr::BinOp(BinOp::Div, Rc::new(FExpr::Int(1)), Rc::new(FExpr::Int(0)));
+        assert_eq!(compile_and_run(&e).unwrap_err(), EvalError::DivisionByZero);
+        assert_eq!(eval(&e).unwrap_err(), EvalError::DivisionByZero);
+    }
+
+    #[test]
+    fn lists_case_and_strings() {
+        let xs = FExpr::Cons(
+            Rc::new(FExpr::Int(1)),
+            Rc::new(FExpr::Cons(
+                Rc::new(FExpr::Int(2)),
+                Rc::new(FExpr::Nil(FType::Int)),
+            )),
+        );
+        let e = FExpr::ListCase {
+            scrut: Rc::new(xs.clone()),
+            nil: Rc::new(FExpr::Int(0)),
+            head: v("h"),
+            tail: v("t"),
+            cons: Rc::new(FExpr::BinOp(
+                BinOp::Add,
+                Rc::new(FExpr::var("h")),
+                Rc::new(FExpr::ListCase {
+                    scrut: Rc::new(FExpr::var("t")),
+                    nil: Rc::new(FExpr::Int(100)),
+                    head: v("h"),
+                    tail: v("t"),
+                    cons: Rc::new(FExpr::var("h")),
+                }),
+            )),
+        };
+        assert_eq!(agree(&e), "3");
+        assert_eq!(agree(&xs), "[1, 2]");
+        let s = FExpr::BinOp(
+            BinOp::Concat,
+            Rc::new(FExpr::Str("1,".into())),
+            Rc::new(FExpr::UnOp(UnOp::IntToStr, Rc::new(FExpr::Int(23)))),
+        );
+        assert_eq!(agree(&s), "\"1,23\"");
+    }
+
+    #[test]
+    fn records_and_data() {
+        let lit = FExpr::Make(
+            v("P"),
+            vec![],
+            vec![(v("x"), FExpr::Int(3)), (v("y"), FExpr::Int(4))],
+        );
+        assert_eq!(agree(&FExpr::Proj(Rc::new(lit.clone()), v("y"))), "4");
+        assert_eq!(agree(&lit), "P { x = 3, y = 4 }");
+
+        let scrut = FExpr::Inject(v("Cons2"), vec![], vec![FExpr::Int(7), FExpr::Int(8)]);
+        let m = FExpr::Match(
+            Rc::new(scrut),
+            vec![
+                FMatchArm {
+                    ctor: v("Nil2"),
+                    binders: vec![],
+                    body: FExpr::Int(0),
+                },
+                FMatchArm {
+                    ctor: v("Cons2"),
+                    binders: vec![v("a"), v("b")],
+                    body: FExpr::BinOp(
+                        BinOp::Mul,
+                        Rc::new(FExpr::var("a")),
+                        Rc::new(FExpr::var("b")),
+                    ),
+                },
+            ],
+        );
+        assert_eq!(agree(&m), "56");
+    }
+
+    #[test]
+    fn globals_resolve_and_roll_back() {
+        let mut compiler = Compiler::new();
+        let g = v("forty");
+        compiler.add_global(g);
+        let snap = compiler.snapshot();
+        let e = FExpr::BinOp(BinOp::Add, Rc::new(FExpr::Var(g)), Rc::new(FExpr::Int(2)));
+        let main = compiler.compile(&e).unwrap();
+        let out = Vm::new()
+            .run(compiler.code(), main, &[Value::Int(40)])
+            .unwrap();
+        assert_eq!(out.to_string(), "42");
+        compiler.rollback(&snap);
+        assert!(compiler.code().funcs.is_empty());
+        // Recompiling after rollback reuses the same indices, and the
+        // constant pool repopulates without drift.
+        let main2 = compiler.compile(&e).unwrap();
+        assert_eq!(main2, main);
+        let out2 = Vm::new()
+            .run(compiler.code(), main2, &[Value::Int(40)])
+            .unwrap();
+        assert_eq!(out2.to_string(), "42");
+    }
+
+    #[test]
+    fn unbound_variables_error_like_the_tree_walker() {
+        let e = FExpr::var("nope");
+        assert_eq!(
+            compile_and_run(&e).unwrap_err(),
+            EvalError::UnboundVar(v("nope"))
+        );
+        assert_eq!(eval(&e).unwrap_err(), EvalError::UnboundVar(v("nope")));
+    }
+
+    #[test]
+    fn deep_recursion_runs_in_constant_host_stack() {
+        // 50k non-tail-recursive calls: the tree-walker would need a
+        // large host stack for this; the VM must not. Run it on a
+        // deliberately small 512 KB thread to prove the point
+        // (`FExpr` is `Rc`-based and not `Send`, so the program is
+        // built inside the thread).
+        let handle = std::thread::Builder::new()
+            .stack_size(512 * 1024)
+            .spawn(|| {
+                let sum = FExpr::Fix(
+                    v("sum"),
+                    FType::arrow(FType::Int, FType::Int),
+                    Rc::new(FExpr::lam(
+                        "n",
+                        FType::Int,
+                        FExpr::If(
+                            Rc::new(FExpr::BinOp(
+                                BinOp::Le,
+                                Rc::new(FExpr::var("n")),
+                                Rc::new(FExpr::Int(0)),
+                            )),
+                            Rc::new(FExpr::Int(0)),
+                            Rc::new(FExpr::BinOp(
+                                BinOp::Add,
+                                Rc::new(FExpr::var("n")),
+                                Rc::new(FExpr::app(
+                                    FExpr::var("sum"),
+                                    FExpr::BinOp(
+                                        BinOp::Sub,
+                                        Rc::new(FExpr::var("n")),
+                                        Rc::new(FExpr::Int(1)),
+                                    ),
+                                )),
+                            )),
+                        ),
+                    )),
+                );
+                let e = FExpr::app(sum, FExpr::Int(50_000));
+                compile_and_run(&e).map(|value| value.to_string())
+            })
+            .expect("spawn");
+        let out = handle.join().expect("no stack overflow");
+        assert_eq!(out.unwrap(), (50_000i64 * 50_001 / 2).to_string());
+    }
+}

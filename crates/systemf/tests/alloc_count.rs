@@ -6,6 +6,11 @@
 //! `Match`/`Proj` recursion. The budgets below pin the post-PR-3
 //! numbers (uniquely-owned `Rc` payloads are moved, not re-copied);
 //! the before/after counts are recorded in EXPERIMENTS.md §6.
+//!
+//! The same workloads also run through the bytecode backend, with
+//! separate budgets for compilation (instruction buffers, constant
+//! pool, capture lists) and execution (value heap only — frames and
+//! operand stacks amortize to a handful of `Vec` growths).
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -198,4 +203,60 @@ fn budget_body() {
         "cons_build byte traffic regressed: {b2} bytes"
     );
     assert!(a3 < 1_900, "match_proj_loop regressed: {a3} allocs");
+}
+
+/// Compiles `e`, then measures compile and run allocations
+/// separately (the warm pipeline pays the former once per program and
+/// the latter per evaluation).
+fn vm_allocs(e: &FExpr) -> (Value, (u64, u64), (u64, u64)) {
+    use systemf::{Compiler, Vm};
+    let mut compiler = Compiler::new();
+    let mut main = 0;
+    let (_, ca, cb) = allocs_during(|| {
+        main = compiler.compile(e).unwrap();
+        Value::Unit
+    });
+    let (v, ra, rb) = allocs_during(|| Vm::new().run(compiler.code(), main, &[]).unwrap());
+    (v, (ca, cb), (ra, rb))
+}
+
+#[test]
+fn vm_path_allocation_budget() {
+    let fold = pair_list_fold(200);
+    let build = cons_build(500);
+    let matches = match_proj_loop(200);
+
+    let (v1, c1, r1) = vm_allocs(&fold);
+    assert_eq!(v1.to_string(), (3 * 200 * 199 / 2).to_string());
+
+    let (v2, c2, r2) = vm_allocs(&build);
+    match &v2 {
+        Value::List(xs) => assert_eq!(xs.len(), 500),
+        other => panic!("expected list, got {other}"),
+    }
+
+    let (v3, c3, r3) = vm_allocs(&matches);
+    assert_eq!(v3.to_string(), "200");
+
+    eprintln!("alloc_count[vm]: pair_list_fold(200)  compile {c1:?}, run {r1:?} (allocs, bytes)");
+    eprintln!("alloc_count[vm]: cons_build(500)      compile {c2:?}, run {r2:?}");
+    eprintln!("alloc_count[vm]: match_proj_loop(200) compile {c3:?}, run {r3:?}");
+
+    // Compile cost is a handful of `Vec` growths: instruction buffers
+    // double amortized, and the 200 `Cons` literals in pair_list_fold
+    // land in one flat instruction stream, not 200 nodes.
+    assert!(c1.0 < 100, "pair_list_fold compile regressed: {c1:?}");
+    assert!(c2.0 < 50, "cons_build compile regressed: {c2:?}");
+    assert!(c3.0 < 50, "match_proj_loop compile regressed: {c3:?}");
+
+    // Run cost is value heap only; the fix-unfold cache means the
+    // recursive closure is built once, not per iteration, so every
+    // workload runs under its tree-walk allocation count.
+    assert!(r1.0 < 1_400, "pair_list_fold run regressed: {r1:?}");
+    assert!(r2.0 < 750, "cons_build run regressed: {r2:?}");
+    assert!(
+        r2.1 < 200_000,
+        "cons_build run byte traffic regressed: {r2:?}"
+    );
+    assert!(r3.0 < 1_400, "match_proj_loop run regressed: {r3:?}");
 }

@@ -13,6 +13,10 @@
 //!   --semantics elab|opsem|both
 //!                          evaluation route (default: both, compared)
 //!   --policy paper|most-specific|env-extension
+//!   --backend tree|vm      how the elaborated System F term is
+//!                          evaluated: the tree-walking evaluator
+//!                          (default) or the closure-converted
+//!                          bytecode VM
 //!   --strict               enable strict static checks (termination,
 //!                          coherence)
 //!   --batch <DIR>          compile every core program (*.imp, *.lc)
@@ -33,12 +37,14 @@ use std::process::ExitCode;
 use implicit_core::resolve::ResolutionPolicy;
 use implicit_core::syntax::{Declarations, Expr};
 use implicit_core::typeck::Typechecker;
+use implicit_pipeline::Backend;
 
 struct Options {
     lang: Lang,
     emit: Emit,
     semantics: Semantics,
     policy: ResolutionPolicy,
+    backend: Backend,
     strict: bool,
     input: Option<Input>,
     batch: Option<String>,
@@ -75,7 +81,8 @@ enum Input {
 
 fn usage() -> String {
     "usage: implicitc [--lang core|source] [--emit value|type|core|systemf|explain] \
-     [--semantics elab|opsem|both] [--policy paper|most-specific|env-extension] [--strict] \
+     [--semantics elab|opsem|both] [--policy paper|most-specific|env-extension] \
+     [--backend tree|vm] [--strict] \
      (<file> | -e <program> | --batch <dir> [--jobs <m>])"
         .to_owned()
 }
@@ -86,6 +93,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         emit: Emit::Value,
         semantics: Semantics::Both,
         policy: ResolutionPolicy::paper(),
+        backend: Backend::Tree,
         strict: false,
         input: None,
         batch: None,
@@ -138,6 +146,12 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                             "--policy: expected paper|most-specific|env-extension, got {other:?}"
                         ))
                     }
+                }
+            }
+            "--backend" => {
+                opts.backend = match it.next().map(String::as_str).and_then(Backend::parse) {
+                    Some(b) => b,
+                    None => return Err("--backend: expected tree|vm".to_owned()),
                 }
             }
             "--strict" => opts.strict = true,
@@ -270,12 +284,28 @@ fn run(opts: &Options) -> Result<(), String> {
     }
 
     let elab_value = if opts.semantics != Semantics::Opsem {
-        Some(
-            implicit_elab::run_with(&decls, &core, &opts.policy)
+        let v = match opts.backend {
+            Backend::Tree => implicit_elab::run_with(&decls, &core, &opts.policy)
                 .map_err(|e| e.to_string())?
                 .value
                 .to_string(),
-        )
+            // The VM evaluates instead of (not after) the
+            // tree-walker, so deep recursion never touches the host
+            // stack; preservation is still checked before erasure.
+            Backend::Vm => {
+                let (_, target) =
+                    implicit_elab::Elaborator::with_policy(&decls, opts.policy.clone())
+                        .elaborate(&core)
+                        .map_err(|e| e.to_string())?;
+                let fdecls = implicit_elab::translate_decls(&decls);
+                systemf::typecheck(&fdecls, &target)
+                    .map_err(|e| format!("type preservation violated: {e}"))?;
+                systemf::compile_and_run(&target)
+                    .map_err(|e| format!("vm: {e}"))?
+                    .to_string()
+            }
+        };
+        Some(v)
     } else {
         None
     };
@@ -326,6 +356,7 @@ fn parse_batch_prelude(
 fn run_batch_program(
     session: &mut implicit_pipeline::Session<'_>,
     semantics: Semantics,
+    backend: Backend,
     src: &str,
 ) -> Result<String, String> {
     let (pdecls, expr) = implicit_core::parse::parse_program(src).map_err(|e| e.to_string())?;
@@ -335,7 +366,11 @@ fn run_batch_program(
         );
     }
     let elab = if semantics != Semantics::Opsem {
-        Some(session.run(&expr).map_err(|e| e.to_string())?)
+        Some(
+            session
+                .run_with_backend(&expr, backend)
+                .map_err(|e| e.to_string())?,
+        )
     } else {
         None
     };
@@ -405,6 +440,7 @@ fn run_batch_mode(opts: &Options, dir: &str) -> Result<(), String> {
 
     let total = programs.len();
     let semantics = opts.semantics;
+    let backend = opts.backend;
     let policy = &opts.policy;
     let prelude_src = prelude_src.as_deref();
     let outcomes = implicit_pipeline::run_batch_scoped(programs, opts.jobs, |_, source| {
@@ -414,7 +450,7 @@ fn run_batch_mode(opts: &Options, dir: &str) -> Result<(), String> {
             .expect("prelude validated before dispatch");
         let mut out: Vec<(usize, String, Result<String, String>)> = Vec::new();
         for (ix, (name, src)) in source {
-            let r = run_batch_program(&mut session, semantics, &src);
+            let r = run_batch_program(&mut session, semantics, backend, &src);
             out.push((ix, name, r));
         }
         out
