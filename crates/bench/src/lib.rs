@@ -88,6 +88,36 @@ pub fn batch_checksum(depth: usize, programs: usize) -> i64 {
     (0..programs as i64).map(|j| depth as i64 + j).sum()
 }
 
+/// Runs one warm single-worker batch with a metrics sink installed
+/// and returns the unified snapshot — the per-series metrics row
+/// source for the B13/B14 tables. The checksum is asserted inside.
+pub fn batch_metrics(
+    depth: usize,
+    iters: Option<i64>,
+    programs: usize,
+    backend: Backend,
+) -> implicit_core::trace::MetricsRegistry {
+    use implicit_core::trace::{MetricsSink, SharedSink};
+    let decls = Declarations::new();
+    let prelude = Prelude::chain(depth);
+    let mut session =
+        Session::new(&decls, ResolutionPolicy::paper(), &prelude).expect("chain prelude is valid");
+    session.set_trace(Some(SharedSink::new(MetricsSink::new())));
+    let mut sum = 0i64;
+    for j in 0..programs as i64 {
+        let program = match iters {
+            Some(iters) => vm_batch_program(depth, iters, j),
+            None => batch_program(depth, j),
+        };
+        let out = session
+            .run_with_backend(&program, backend)
+            .expect("metrics batch run");
+        sum += out.value.to_string().parse::<i64>().expect("int value");
+    }
+    assert_eq!(sum, batch_checksum(depth, programs));
+    session.metrics()
+}
+
 /// One B14 program: a unary `fix` countdown that makes `iters`
 /// recursive calls before returning [`batch_program`]'s
 /// `snd(?T_depth) + j`:

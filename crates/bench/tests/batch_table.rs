@@ -8,7 +8,8 @@
 
 use std::time::Instant;
 
-use implicit_bench::{batch_checksum, run_batch_cold, run_batch_warm};
+use implicit_bench::{batch_checksum, batch_metrics, run_batch_cold, run_batch_warm};
+use implicit_pipeline::Backend;
 
 const DEPTH: usize = 48;
 const PROGRAMS: usize = 256;
@@ -49,6 +50,21 @@ fn batch_speedup_table() {
         );
     }
     println!();
+    // Per-series resolution metrics for the warm single-worker run
+    // (the unified `MetricsRegistry` snapshot; see DESIGN.md S28).
+    let m = batch_metrics(DEPTH, None, PROGRAMS, Backend::Tree);
+    println!("warm session metrics (1 worker):");
+    println!();
+    print!("{}", m.render_table());
+    println!();
+    assert_eq!(m.programs, PROGRAMS as u64);
+    assert!(
+        m.cache_hits > m.cache_misses,
+        "warm batch should answer most queries from the derivation cache \
+         ({} hits / {} misses)",
+        m.cache_hits,
+        m.cache_misses
+    );
     let warm1 = warm_at[0].1;
     let warm4 = warm_at[2].1;
     assert!(

@@ -1,0 +1,205 @@
+//! NullSink-is-free: the resolution engine's `TraceSink` parameter
+//! must cost nothing when tracing is off.
+//!
+//! Two layers of evidence:
+//!
+//! - deterministic (always-run) tests assert the instrumented entry
+//!   points do *identical work* — same derivations, same statistics,
+//!   zero events — whether called through the plain [`resolve`]
+//!   facade, an explicit [`NullSink`], or a disabled dynamic sink;
+//! - an `#[ignore]`d release measuring test times the B2/B12
+//!   workloads through the static `NullSink` path against a
+//!   `&mut dyn TraceSink` disabled sink and asserts the ratio stays
+//!   within 3%, printing the absolute numbers next to the PR 4
+//!   baselines recorded in `EXPERIMENTS.md` (§2 B2, §5 B12, §6 B13):
+//!
+//! ```text
+//! cargo test -p implicit-bench --release --test trace_overhead -- --ignored --nocapture
+//! ```
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use implicit_bench::{batch_checksum, chain_env, run_batch_warm, wide_env};
+use implicit_core::resolve::{resolve, resolve_with, ResolutionPolicy};
+use implicit_core::trace::{CollectSink, NullSink, TraceEvent, TraceSink};
+
+/// An enabled-false sink behind a vtable: the strongest "disabled"
+/// configuration that still goes through dynamic dispatch, i.e. what
+/// a host embedding pays when it threads a sink it has switched off.
+struct DisabledSink;
+
+impl TraceSink for DisabledSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn event(&mut self, _ev: TraceEvent) {
+        panic!("disabled sink must never receive events");
+    }
+}
+
+#[test]
+fn null_and_disabled_sinks_do_identical_work() {
+    for (name, env, query) in [
+        ("chain16", chain_env(16).0, chain_env(16).1),
+        ("wide512", wide_env(512, 0.5).0, wide_env(512, 0.5).1),
+    ] {
+        for policy in [
+            ResolutionPolicy::paper(),
+            ResolutionPolicy::paper().without_cache(),
+        ] {
+            let plain = resolve(&env, &query, &policy).expect("resolves");
+            let null = resolve_with(&env, &query, &policy, &mut NullSink).expect("resolves");
+            let mut disabled: Box<dyn TraceSink> = Box::new(DisabledSink);
+            let dynd = resolve_with(&env, &query, &policy, disabled.as_mut()).expect("resolves");
+            assert_eq!(plain, null, "[{name}] NullSink changed the derivation");
+            assert_eq!(
+                plain, dynd,
+                "[{name}] disabled dyn sink changed the derivation"
+            );
+            let s1 = plain.stats(&env);
+            let s2 = dynd.stats(&env);
+            assert_eq!(s1.steps, s2.steps, "[{name}] stats diverged");
+            assert_eq!(s1.rules_tried, s2.rules_tried, "[{name}] stats diverged");
+        }
+    }
+}
+
+#[test]
+fn enabled_tracing_counts_match_resolution_stats() {
+    // The trace stream is an event-grained view of the same search
+    // the statistics summarize: admitted candidates equal steps, and
+    // each query closes exactly once.
+    let (env, query) = chain_env(16);
+    let policy = ResolutionPolicy::paper().without_cache();
+    let mut sink = CollectSink::new();
+    let res = resolve_with(&env, &query, &policy, &mut sink).expect("resolves");
+    let admitted = sink
+        .events
+        .iter()
+        .filter(|ev| matches!(ev, TraceEvent::CandidateAdmitted { .. }))
+        .count();
+    let entered = sink
+        .events
+        .iter()
+        .filter(|ev| matches!(ev, TraceEvent::QueryEnter { .. }))
+        .count();
+    let resolved = sink
+        .events
+        .iter()
+        .filter(|ev| matches!(ev, TraceEvent::QueryResolved { .. }))
+        .count();
+    assert_eq!(admitted, res.steps(), "one admission per derivation step");
+    assert_eq!(entered, resolved, "every query closes");
+    assert_eq!(entered, res.steps(), "uncached: one sub-query per step");
+}
+
+/// Nanoseconds per call, best of `REPS` batches of `iters`.
+fn bench_ns(iters: u32, reps: u32, mut f: impl FnMut()) -> f64 {
+    // Warmup batch.
+    for _ in 0..iters {
+        f();
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(t0.elapsed().as_secs_f64() * 1e9 / iters as f64);
+    }
+    best
+}
+
+#[test]
+#[ignore = "overhead measurement; run in release with --ignored --nocapture"]
+fn nullsink_overhead_stays_within_budget() {
+    const REPS: u32 = 5;
+    // (label, EXPERIMENTS.md baseline ns, iterations, env, query, policy)
+    let wide = wide_env(512, 0.5);
+    let chain = chain_env(64);
+    let workloads: Vec<(&str, f64, u32, _, _, ResolutionPolicy)> = vec![
+        (
+            "B2 wide n=512, cached",
+            271.0,
+            20_000,
+            wide.0.clone(),
+            wide.1.clone(),
+            ResolutionPolicy::paper(),
+        ),
+        (
+            "B12 chain n=64, cached",
+            9_210.0,
+            2_000,
+            chain.0.clone(),
+            chain.1.clone(),
+            ResolutionPolicy::paper(),
+        ),
+        (
+            "B12 chain n=64, uncached",
+            523_000.0,
+            40,
+            chain.0,
+            chain.1,
+            ResolutionPolicy::paper().without_cache(),
+        ),
+    ];
+
+    println!();
+    println!("NullSink overhead (static monomorphized vs disabled dyn sink, best of {REPS}):");
+    println!();
+    println!("| workload | static | dyn-disabled | ratio | EXPERIMENTS.md baseline |");
+    println!("|---|---|---|---|---|");
+    for (label, baseline, iters, env, query, policy) in workloads {
+        let stat = bench_ns(iters, REPS, || {
+            black_box(resolve(black_box(&env), black_box(&query), &policy).unwrap());
+        });
+        let mut sink: Box<dyn TraceSink> = Box::new(DisabledSink);
+        let dynd = bench_ns(iters, REPS, || {
+            black_box(
+                resolve_with(black_box(&env), black_box(&query), &policy, sink.as_mut()).unwrap(),
+            );
+        });
+        let ratio = dynd / stat;
+        println!("| {label} | {stat:.0} ns | {dynd:.0} ns | {ratio:.3}x | {baseline:.0} ns |");
+        // The zero-cost claim proper: a vtable-dispatched disabled
+        // sink costs within 3% of the statically-erased NullSink on
+        // workloads big enough to measure (≥ 1 µs per call); the
+        // sub-µs B2 row is dominated by timer noise, so it gets a
+        // looser sanity bar.
+        let bar = if stat >= 1_000.0 { 1.03 } else { 1.25 };
+        assert!(
+            ratio <= bar,
+            "{label}: disabled-sink overhead {ratio:.3}x exceeds {bar}x"
+        );
+    }
+
+    // B13 batch-level check: the warm batch (whose inner loop is the
+    // instrumented resolve with NullSink) still meets the recorded
+    // 122.7 ms / ≥2x-vs-cold envelope; assert a generous absolute
+    // bar so container variance doesn't flake, and print the number
+    // for the EXPERIMENTS.md comparison.
+    const DEPTH: usize = 48;
+    const PROGRAMS: usize = 256;
+    let expect = batch_checksum(DEPTH, PROGRAMS);
+    assert_eq!(run_batch_warm(DEPTH, PROGRAMS, 1), expect);
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        assert_eq!(run_batch_warm(DEPTH, PROGRAMS, 1), expect);
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    println!();
+    println!(
+        "| B13 warm batch, 1 worker | {:.1} ms | — | — | 122.7 ms |",
+        best * 1e3
+    );
+    println!();
+    assert!(
+        best < 0.35,
+        "warm batch took {:.1} ms — more than ~3x the recorded 122.7 ms baseline, \
+         instrumentation likely leaked onto the hot path",
+        best * 1e3
+    );
+}

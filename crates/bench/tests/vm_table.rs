@@ -8,7 +8,7 @@
 
 use std::time::Instant;
 
-use implicit_bench::{batch_checksum, run_vm_batch_cold, run_vm_batch_warm};
+use implicit_bench::{batch_checksum, batch_metrics, run_vm_batch_cold, run_vm_batch_warm};
 use implicit_pipeline::Backend;
 
 const DEPTH: usize = 16;
@@ -83,6 +83,30 @@ fn vm_speedup_table() {
         tree1 / vm4
     );
     println!();
+    // Per-series evaluator metrics: the same warm batch once per
+    // backend, through the unified `MetricsRegistry` snapshot. The
+    // VM's charged fuel stays under the tree-walker's (tail calls
+    // reuse frames, the unfold cache kills fix re-unfolding) — the
+    // discrete shape behind the speedup column above.
+    let tree_m = batch_metrics(DEPTH, Some(ITERS), PROGRAMS, Backend::Tree);
+    let vm_m = batch_metrics(DEPTH, Some(ITERS), PROGRAMS, Backend::Vm);
+    println!("warm tree metrics (1 worker):");
+    println!();
+    print!("{}", tree_m.render_table());
+    println!();
+    println!("warm vm metrics (1 worker):");
+    println!();
+    print!("{}", vm_m.render_table());
+    println!();
+    assert_eq!(tree_m.tree_runs, PROGRAMS as u64);
+    assert_eq!(vm_m.vm_runs, PROGRAMS as u64);
+    assert!(
+        vm_m.vm_fuel <= tree_m.tree_fuel,
+        "vm charged {} fuel, tree {} — the VM must not do more steps",
+        vm_m.vm_fuel,
+        tree_m.tree_fuel
+    );
+    assert!(vm_m.vm_tail_calls > 0, "the fix loop runs via TailCall");
     assert!(
         tree1 / vm1 >= 2.0,
         "warm-compiled VM speedup {:.2}x over the tree-walker is below the 2x acceptance bar",

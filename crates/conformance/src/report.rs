@@ -9,6 +9,8 @@
 
 use std::fmt::Write as _;
 
+use implicit_core::trace::MetricsRegistry;
+
 /// A JSON value (the subset the report needs).
 #[derive(Clone, Debug)]
 pub enum Json {
@@ -116,6 +118,9 @@ pub struct ShardReport {
     /// Warm-session derivation-cache hits accumulated by this
     /// worker's [`implicit_pipeline::Session`] across its seeds.
     pub warm_cache_hits: u64,
+    /// The worker session's unified counter snapshot (resolution,
+    /// cache, memo, evaluator, and session counters; DESIGN.md S28).
+    pub metrics: MetricsRegistry,
 }
 
 impl ShardReport {
@@ -138,8 +143,19 @@ impl ShardReport {
             ("divergences", Json::Int(self.divergences as i64)),
             ("steals", Json::Int(self.steals as i64)),
             ("warm_cache_hits", Json::Int(self.warm_cache_hits as i64)),
+            ("metrics", metrics_json(&self.metrics)),
         ])
     }
+}
+
+/// Renders a [`MetricsRegistry`] as a flat JSON object.
+fn metrics_json(m: &MetricsRegistry) -> Json {
+    Json::Obj(
+        m.as_pairs()
+            .into_iter()
+            .map(|(k, v)| (k.to_owned(), Json::Int(v as i64)))
+            .collect(),
+    )
 }
 
 /// A persisted divergence: everything needed to replay and triage.
@@ -211,6 +227,16 @@ impl RunReport {
         self.shard_reports.iter().map(|s| s.programs).sum()
     }
 
+    /// The per-shard metric snapshots merged into one sweep-wide
+    /// registry.
+    pub fn total_metrics(&self) -> MetricsRegistry {
+        let mut total = MetricsRegistry::new();
+        for s in &self.shard_reports {
+            total.merge(&s.metrics);
+        }
+        total
+    }
+
     /// Sum of per-shard worker durations (the "serial cost"); the
     /// ratio against `wall_ms` is the observed shard speedup.
     pub fn cpu_ms(&self) -> u64 {
@@ -248,6 +274,7 @@ impl RunReport {
             ("total_programs", Json::Int(self.total_programs() as i64)),
             ("programs_per_sec", Json::Num(self.programs_per_sec())),
             ("divergence_count", Json::Int(self.divergences.len() as i64)),
+            ("metrics", metrics_json(&self.total_metrics())),
             (
                 "coverage",
                 Json::Obj(
@@ -306,6 +333,11 @@ mod tests {
                     divergences: 0,
                     steals: 3,
                     warm_cache_hits: 120,
+                    metrics: MetricsRegistry {
+                        queries: 10,
+                        queries_resolved: 10,
+                        ..MetricsRegistry::new()
+                    },
                 },
                 ShardReport {
                     shard: 1,
@@ -315,6 +347,11 @@ mod tests {
                     divergences: 0,
                     steals: 0,
                     warm_cache_hits: 118,
+                    metrics: MetricsRegistry {
+                        queries: 12,
+                        queries_resolved: 12,
+                        ..MetricsRegistry::new()
+                    },
                 },
             ],
             coverage: vec![("int_lit", 7)],
@@ -323,8 +360,13 @@ mod tests {
         assert_eq!(report.total_programs(), 100);
         assert_eq!(report.cpu_ms(), 85);
         assert!(report.speedup() > 1.0);
+        assert_eq!(report.total_metrics().queries, 22);
         let json = report.to_json();
         assert!(json.contains("\"total_programs\":100"), "got {json}");
         assert!(json.contains("\"int_lit\":7"), "got {json}");
+        // Sweep-wide metrics merge, and every shard carries its own.
+        assert!(json.contains("\"queries\":22"), "got {json}");
+        assert!(json.contains("\"queries\":10"), "got {json}");
+        assert!(json.contains("\"queries\":12"), "got {json}");
     }
 }

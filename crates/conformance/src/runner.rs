@@ -22,6 +22,7 @@ use std::time::Instant;
 use genprog::{gen_program_with, rng, GenConfig, GenCounters};
 use implicit_core::resolve::ResolutionPolicy;
 use implicit_core::syntax::{Declarations, Expr};
+use implicit_core::trace::{MetricsSink, SharedSink};
 use implicit_pipeline::{run_batch_scoped, Prelude, Session};
 
 use crate::oracle::{
@@ -195,6 +196,11 @@ pub fn run(config: &RunnerConfig) -> std::io::Result<RunReport> {
         let prelude = session_prelude();
         let mut session = Session::new(&decls, ResolutionPolicy::paper(), &prelude)
             .expect("the sweep session prelude is valid");
+        // A metrics-grade sink: turns on resolution/evaluator event
+        // emission so the per-shard report carries the unified
+        // counter snapshot (the session folds events into its own
+        // registry; this sink just enables the instrumented paths).
+        session.set_trace(Some(SharedSink::new(MetricsSink::new())));
         let mut counters = GenCounters::default();
         let mut divergences = Vec::new();
         let mut seeds = 0u64;
@@ -205,6 +211,7 @@ pub fn run(config: &RunnerConfig) -> std::io::Result<RunReport> {
             seeds += 1;
         }
         let warm = session.cache_counters();
+        let metrics = session.metrics();
         ShardOutcome {
             report: ShardReport {
                 shard,
@@ -214,6 +221,7 @@ pub fn run(config: &RunnerConfig) -> std::io::Result<RunReport> {
                 divergences: divergences.len() as u64,
                 steals: source.steals as u64,
                 warm_cache_hits: warm.hits,
+                metrics,
             },
             counters,
             divergences,
@@ -319,5 +327,15 @@ mod tests {
         let total: u64 = r.shard_reports.iter().map(|s| s.seeds).sum();
         assert_eq!(total, 42, "reports: {:?}", r.shard_reports);
         assert_eq!(r.total_programs(), 42);
+        // Each shard's session carried the unified metrics snapshot:
+        // the warm/cold oracle resolves implicit queries every seed.
+        let m = r.total_metrics();
+        assert!(m.queries > 0, "no resolution metrics: {m:?}");
+        assert_eq!(
+            m.queries,
+            m.queries_resolved + m.queries_failed,
+            "unbalanced query spans: {m:?}"
+        );
+        assert!(m.tree_runs > 0, "no evaluator metrics: {m:?}");
     }
 }

@@ -411,6 +411,31 @@ impl ImplicitEnv {
             .unwrap_or(0)
     }
 
+    /// The rule positions the head index admits for `target` in the
+    /// frame at innermost-first position `frame`, in frame order —
+    /// exactly the candidates a lookup reaching that frame
+    /// match-tests. Empty when out of range. Used to reconstruct
+    /// deterministic candidate trace events (see [`crate::trace`]).
+    pub fn frame_candidate_indices(&self, frame: usize, target: &Type) -> Vec<usize> {
+        let key = intern::head_key(target);
+        self.frames
+            .iter()
+            .rev()
+            .nth(frame)
+            .map(|f| f.candidate_indices(key))
+            .unwrap_or_default()
+    }
+
+    /// The stored rule at innermost-first frame position `frame`,
+    /// index `index` (`None` when out of range).
+    pub fn frame_rule(&self, frame: usize, index: usize) -> Option<&RuleType> {
+        self.frames
+            .iter()
+            .rev()
+            .nth(frame)
+            .and_then(|f| f.rules.get(index))
+    }
+
     /// Consults the derivation cache for `query` under `policy`.
     ///
     /// On a hit the memoized derivation is replayed with its

@@ -24,6 +24,7 @@
 //! | [`coherence`] | companion note on overlapping rules |
 //! | [`logic`] | §3.2 logical interpretation, Theorem 1 |
 //! | [`parse`] / [`pretty`] | concrete syntax |
+//! | [`trace`](mod@trace) | structured tracing/metrics (observability layer, no paper counterpart) |
 //!
 //! ## Quick example
 //!
@@ -66,11 +67,16 @@ pub mod subst;
 pub mod symbol;
 pub mod syntax;
 pub mod termination;
+pub mod trace;
 pub mod typeck;
 pub mod unify;
 
 pub use env::{ImplicitEnv, OverlapPolicy};
-pub use resolve::{resolve, Resolution, ResolutionPolicy};
+pub use resolve::{resolve, resolve_with, Resolution, ResolutionPolicy};
 pub use symbol::Symbol;
 pub use syntax::{Declarations, Expr, RuleType, Type};
+pub use trace::{
+    chrome_trace_json, ChromeSink, CollectSink, FanSink, MetricsRegistry, MetricsSink, NullSink,
+    Phase, SharedSink, TeeSink, TraceEvent, TraceSink,
+};
 pub use typeck::{TypeError, Typechecker};

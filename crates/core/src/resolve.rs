@@ -32,6 +32,7 @@ use std::fmt;
 use crate::alpha;
 use crate::env::{ImplicitEnv, LookupError, OverlapPolicy};
 use crate::syntax::{RuleType, Type};
+use crate::trace::{NullSink, TraceEvent, TraceSink};
 
 /// Resolution configuration.
 #[derive(Clone, Debug)]
@@ -387,22 +388,62 @@ pub fn resolve(
     query: &RuleType,
     policy: &ResolutionPolicy,
 ) -> Result<Resolution, ResolveError> {
-    let mut assumptions: Vec<Vec<RuleType>> = Vec::new();
-    resolve_rec(env, query, policy, policy.max_depth, &mut assumptions)
+    resolve_with(env, query, policy, &mut NullSink)
 }
 
-fn resolve_rec(
+/// [`resolve`], reporting the search as structured
+/// [`TraceEvent`]s through `sink`.
+///
+/// The recursion is generic over the sink so that the default
+/// [`NullSink`] path ([`resolve`]) monomorphizes every
+/// `if sink.enabled()` guard away; enabled tracing typically passes
+/// `&mut dyn TraceSink`. A derivation-cache hit emits
+/// [`TraceEvent::CacheHit`] and then *replays* the cached derivation
+/// through the same emission helpers a fresh search uses, so traces
+/// differ between cache-off and cache-warm runs only in the
+/// `CacheHit`/`CacheMiss` markers.
+///
+/// # Errors
+///
+/// As for [`resolve`].
+pub fn resolve_with<S: TraceSink + ?Sized>(
+    env: &ImplicitEnv,
+    query: &RuleType,
+    policy: &ResolutionPolicy,
+    sink: &mut S,
+) -> Result<Resolution, ResolveError> {
+    let mut assumptions: Vec<Vec<RuleType>> = Vec::new();
+    resolve_rec(env, query, policy, policy.max_depth, &mut assumptions, sink)
+}
+
+fn resolve_rec<S: TraceSink + ?Sized>(
     env: &ImplicitEnv,
     query: &RuleType,
     policy: &ResolutionPolicy,
     fuel: usize,
     assumptions: &mut Vec<Vec<RuleType>>,
+    sink: &mut S,
 ) -> Result<Resolution, ResolveError> {
+    let depth = policy.max_depth - fuel;
+    if sink.enabled() {
+        sink.event(TraceEvent::QueryEnter {
+            query: query.to_string(),
+            depth,
+            measure: query.head().size(),
+        });
+    }
     if fuel == 0 {
-        return Err(ResolveError::DepthExceeded {
+        let err = ResolveError::DepthExceeded {
             query: query.clone(),
             max_depth: policy.max_depth,
-        });
+        };
+        if sink.enabled() {
+            sink.event(TraceEvent::QueryFailed {
+                query: query.to_string(),
+                error: err.to_string(),
+            });
+        }
+        return Err(err);
     }
 
     // Memoization: resolution is deterministic and — without the
@@ -413,7 +454,18 @@ fn resolve_rec(
     let use_cache = policy.cache && !policy.env_extension;
     if use_cache {
         if let Some(res) = env.cache_lookup(query, policy.overlap) {
+            if sink.enabled() {
+                sink.event(TraceEvent::CacheHit {
+                    query: query.to_string(),
+                });
+                replay_events(env, &res, depth, sink, false);
+            }
             return Ok(res);
+        }
+        if sink.enabled() {
+            sink.event(TraceEvent::CacheMiss {
+                query: query.to_string(),
+            });
         }
     }
 
@@ -421,33 +473,68 @@ fn resolve_rec(
 
     // Under the environment-extension policy, assumption frames are
     // nearer than the environment (the variant rule reads Δ,π̄).
-    let hit = lookup_with_assumptions(env, target, policy, assumptions).map_err(|error| {
-        ResolveError::Lookup {
-            query: query.clone(),
-            error,
+    let hit = match lookup_with_assumptions(env, target, policy, assumptions) {
+        Ok(hit) => hit,
+        Err(error) => {
+            let err = ResolveError::Lookup {
+                query: query.clone(),
+                error,
+            };
+            if sink.enabled() {
+                sink.event(TraceEvent::QueryFailed {
+                    query: query.to_string(),
+                    error: err.to_string(),
+                });
+            }
+            return Err(err);
         }
-    })?;
+    };
 
     let (rule_ref, rule_type, type_args, inst_context) = hit;
+    if sink.enabled() {
+        emit_lookup_events(env, query, &rule_ref, &rule_type, sink);
+    }
 
     // Partial resolution: premises α-present in the queried context
     // stay abstract; the rest are resolved recursively.
     let mut premises = Vec::with_capacity(inst_context.len());
     for rho in &inst_context {
         match alpha::context_position(query.context(), rho) {
-            Some(index) => premises.push(Premise::Assumed {
-                index,
-                rho: rho.clone(),
-            }),
+            Some(index) => {
+                if sink.enabled() {
+                    sink.event(TraceEvent::PremiseAssumed {
+                        index,
+                        rho: rho.to_string(),
+                    });
+                }
+                premises.push(Premise::Assumed {
+                    index,
+                    rho: rho.clone(),
+                });
+            }
             None => {
-                if policy.env_extension {
+                let r = if policy.env_extension {
                     assumptions.push(query.context().to_vec());
-                    let r = resolve_rec(env, rho, policy, fuel - 1, assumptions);
+                    let r = resolve_rec(env, rho, policy, fuel - 1, assumptions, sink);
                     assumptions.pop();
-                    premises.push(Premise::Derived(Box::new(r?)));
+                    r
                 } else {
-                    let r = resolve_rec(env, rho, policy, fuel - 1, assumptions)?;
-                    premises.push(Premise::Derived(Box::new(r)));
+                    resolve_rec(env, rho, policy, fuel - 1, assumptions, sink)
+                };
+                match r {
+                    Ok(inner) => premises.push(Premise::Derived(Box::new(inner))),
+                    Err(err) => {
+                        // Close this query's span too: every
+                        // QueryEnter is matched by QueryResolved or
+                        // QueryFailed, even through propagation.
+                        if sink.enabled() {
+                            sink.event(TraceEvent::QueryFailed {
+                                query: query.to_string(),
+                                error: err.to_string(),
+                            });
+                        }
+                        return Err(err);
+                    }
                 }
             }
         }
@@ -463,7 +550,100 @@ fn resolve_rec(
     if use_cache {
         env.cache_insert(query, policy.overlap, &res);
     }
+    if sink.enabled() {
+        sink.event(TraceEvent::QueryResolved {
+            query: query.to_string(),
+            steps: res.steps(),
+        });
+    }
     Ok(res)
+}
+
+/// Emits the candidate-scan events a successful lookup performed:
+/// in every frame up to and including the hit frame, each rule the
+/// head index admits for the query head — the committed one as
+/// [`TraceEvent::CandidateAdmitted`], the rest as
+/// [`TraceEvent::CandidateRejected`] (no match, or lost the
+/// most-specific comparison). Reconstructed from the environment
+/// post-hoc (the same enumeration [`Resolution::stats`] counts), so
+/// the fresh-search path and the cache-replay path emit identical
+/// streams by construction.
+fn emit_lookup_events<S: TraceSink + ?Sized>(
+    env: &ImplicitEnv,
+    query: &RuleType,
+    rule: &RuleRef,
+    rule_type: &RuleType,
+    sink: &mut S,
+) {
+    let target = query.head();
+    match *rule {
+        RuleRef::Env { frame, index } => {
+            for f in 0..=frame {
+                for ix in env.frame_candidate_indices(f, target) {
+                    if f == frame && ix == index {
+                        sink.event(TraceEvent::CandidateAdmitted {
+                            frame: f,
+                            index: ix,
+                            rule: rule_type.to_string(),
+                        });
+                    } else {
+                        let r = env
+                            .frame_rule(f, ix)
+                            .map(|r| r.to_string())
+                            .unwrap_or_default();
+                        sink.event(TraceEvent::CandidateRejected {
+                            frame: f,
+                            index: ix,
+                            rule: r,
+                        });
+                    }
+                }
+            }
+        }
+        RuleRef::Extension { level, index } => {
+            sink.event(TraceEvent::AssumptionUsed {
+                level,
+                index,
+                rule: rule_type.to_string(),
+            });
+        }
+    }
+}
+
+/// Replays a (cached) derivation as the event stream a fresh search
+/// would have produced, minus the cache markers: candidate scans,
+/// assumed premises, recursive sub-queries, and the final
+/// `QueryResolved`. `enter` controls whether the node's own
+/// `QueryEnter` is emitted (the cache-hit site has already emitted
+/// it before consulting the cache).
+fn replay_events<S: TraceSink + ?Sized>(
+    env: &ImplicitEnv,
+    res: &Resolution,
+    depth: usize,
+    sink: &mut S,
+    enter: bool,
+) {
+    if enter {
+        sink.event(TraceEvent::QueryEnter {
+            query: res.query.to_string(),
+            depth,
+            measure: res.query.head().size(),
+        });
+    }
+    emit_lookup_events(env, &res.query, &res.rule, &res.rule_type, sink);
+    for p in &res.premises {
+        match p {
+            Premise::Assumed { index, rho } => sink.event(TraceEvent::PremiseAssumed {
+                index: *index,
+                rho: rho.to_string(),
+            }),
+            Premise::Derived(inner) => replay_events(env, inner, depth + 1, sink, true),
+        }
+    }
+    sink.event(TraceEvent::QueryResolved {
+        query: res.query.to_string(),
+        steps: res.steps(),
+    });
 }
 
 /// Shifts every innermost-first frame index of the derivation's

@@ -265,6 +265,7 @@ pub struct Typechecker<'d> {
     decls: &'d Declarations,
     policy: ResolutionPolicy,
     strict: bool,
+    trace: Option<crate::trace::SharedSink>,
 }
 
 impl<'d> Typechecker<'d> {
@@ -274,6 +275,7 @@ impl<'d> Typechecker<'d> {
             decls,
             policy: ResolutionPolicy::paper(),
             strict: false,
+            trace: None,
         }
     }
 
@@ -283,7 +285,15 @@ impl<'d> Typechecker<'d> {
             decls,
             policy,
             strict: false,
+            trace: None,
         }
+    }
+
+    /// Reports every resolution this checker performs as structured
+    /// trace events through `sink` (see [`crate::trace`]).
+    pub fn with_trace(mut self, sink: crate::trace::SharedSink) -> Typechecker<'d> {
+        self.trace = Some(sink);
+        self
     }
 
     /// Enables *strict mode*, which additionally enforces the static
@@ -396,7 +406,13 @@ impl<'d> Typechecker<'d> {
                 if !rho.is_unambiguous() {
                     return Err(TypeError::Ambiguous(rho.clone()));
                 }
-                let res = resolve(&st.delta, rho, &self.policy)?;
+                let res = match &self.trace {
+                    Some(sink) => {
+                        let mut sink = sink.clone();
+                        crate::resolve::resolve_with(&st.delta, rho, &self.policy, &mut sink)?
+                    }
+                    None => resolve(&st.delta, rho, &self.policy)?,
+                };
                 if self.strict {
                     crate::coherence::query_stability(&st.delta, rho, &self.policy)
                         .map_err(TypeError::Coherence)?;

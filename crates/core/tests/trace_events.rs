@@ -1,0 +1,274 @@
+//! Trace-conformance suite: pins the exact event streams the
+//! resolution engine emits for the paper's §3.2 examples, and the
+//! invariants the rest of the observability layer builds on — cache
+//! transparency (warm streams equal cold streams modulo cache
+//! markers) and the inertness of [`NullSink`].
+
+use implicit_core::env::ImplicitEnv;
+use implicit_core::resolve::{resolve, resolve_with, ResolutionPolicy};
+use implicit_core::symbol::Symbol;
+use implicit_core::syntax::{RuleType, Type};
+use implicit_core::trace::{chrome_trace_json, ChromeSink, CollectSink, NullSink, TraceEvent};
+
+fn v(s: &str) -> Symbol {
+    Symbol::intern(s)
+}
+
+fn tv(s: &str) -> Type {
+    Type::var(v(s))
+}
+
+/// ∀a. {a} ⇒ a × a — the paper's running pair rule.
+fn pair_rule() -> RuleType {
+    RuleType::new(
+        vec![v("a")],
+        vec![tv("a").promote()],
+        Type::prod(tv("a"), tv("a")),
+    )
+}
+
+fn p() -> ResolutionPolicy {
+    ResolutionPolicy::paper()
+}
+
+/// Runs one query against a fresh copy of the environment and returns
+/// the collected stream.
+fn trace_of(env: &ImplicitEnv, query: &RuleType, policy: &ResolutionPolicy) -> Vec<TraceEvent> {
+    let mut sink = CollectSink::new();
+    resolve_with(env, query, policy, &mut sink).expect("query resolves");
+    sink.events
+}
+
+#[test]
+fn example_1_recursive_resolution_stream() {
+    // §3.2 Example 1: Int; ∀a.{a}⇒a×a ⊢r Int×Int. The engine enters
+    // the product query, misses the cache, admits the pair rule from
+    // the innermost frame, recursively resolves the Int premise from
+    // the outer frame, and closes both queries.
+    let mut env = ImplicitEnv::new();
+    env.push(vec![Type::Int.promote()]);
+    env.push(vec![pair_rule()]);
+    let query = Type::prod(Type::Int, Type::Int).promote();
+
+    let q = query.to_string();
+    let int = Type::Int.promote().to_string();
+    assert_eq!(
+        trace_of(&env, &query, &p()),
+        vec![
+            TraceEvent::QueryEnter {
+                query: q.clone(),
+                depth: 0,
+                measure: query.head().size(),
+            },
+            TraceEvent::CacheMiss { query: q.clone() },
+            TraceEvent::CandidateAdmitted {
+                frame: 0,
+                index: 0,
+                rule: pair_rule().to_string(),
+            },
+            TraceEvent::QueryEnter {
+                query: int.clone(),
+                depth: 1,
+                measure: 1,
+            },
+            TraceEvent::CacheMiss { query: int.clone() },
+            TraceEvent::CandidateAdmitted {
+                frame: 1,
+                index: 0,
+                rule: int.clone(),
+            },
+            TraceEvent::QueryResolved {
+                query: int,
+                steps: 1,
+            },
+            TraceEvent::QueryResolved { query: q, steps: 2 },
+        ]
+    );
+}
+
+#[test]
+fn example_2_rule_query_assumes_its_context() {
+    // §3.2 Example 2: ?({Int} ⇒ Int × Int) matches the pair rule
+    // wholesale — the Int premise is discharged from the query's own
+    // context (partial resolution), not recursively resolved.
+    let mut env = ImplicitEnv::new();
+    env.push(vec![Type::Int.promote()]);
+    env.push(vec![pair_rule()]);
+    let query = RuleType::mono(vec![Type::Int.promote()], Type::prod(Type::Int, Type::Int));
+
+    let q = query.to_string();
+    assert_eq!(
+        trace_of(&env, &query, &p()),
+        vec![
+            TraceEvent::QueryEnter {
+                query: q.clone(),
+                depth: 0,
+                measure: query.head().size(),
+            },
+            TraceEvent::CacheMiss { query: q.clone() },
+            TraceEvent::CandidateAdmitted {
+                frame: 0,
+                index: 0,
+                rule: pair_rule().to_string(),
+            },
+            TraceEvent::PremiseAssumed {
+                index: 0,
+                rho: Type::Int.promote().to_string(),
+            },
+            TraceEvent::QueryResolved { query: q, steps: 1 },
+        ]
+    );
+}
+
+#[test]
+fn example_3_partial_resolution_mixes_derived_and_assumed() {
+    // §3.2 Example 3: Bool; ∀a.{Bool,a}⇒a×a ⊢r {Int} ⇒ Int×Int —
+    // the Bool premise resolves against the outer frame while Int
+    // stays assumed from the query's context. The rule's context is
+    // stored as {a, Bool}, so the assumed premise lands first.
+    let rule = RuleType::new(
+        vec![v("a")],
+        vec![Type::Bool.promote(), tv("a").promote()],
+        Type::prod(tv("a"), tv("a")),
+    );
+    let mut env = ImplicitEnv::new();
+    env.push(vec![Type::Bool.promote()]);
+    env.push(vec![rule.clone()]);
+    let query = RuleType::mono(vec![Type::Int.promote()], Type::prod(Type::Int, Type::Int));
+
+    let q = query.to_string();
+    let boolean = Type::Bool.promote().to_string();
+    assert_eq!(
+        trace_of(&env, &query, &p()),
+        vec![
+            TraceEvent::QueryEnter {
+                query: q.clone(),
+                depth: 0,
+                measure: query.head().size(),
+            },
+            TraceEvent::CacheMiss { query: q.clone() },
+            TraceEvent::CandidateAdmitted {
+                frame: 0,
+                index: 0,
+                rule: rule.to_string(),
+            },
+            TraceEvent::PremiseAssumed {
+                index: 0,
+                rho: Type::Int.promote().to_string(),
+            },
+            TraceEvent::QueryEnter {
+                query: boolean.clone(),
+                depth: 1,
+                measure: 1,
+            },
+            TraceEvent::CacheMiss {
+                query: boolean.clone(),
+            },
+            TraceEvent::CandidateAdmitted {
+                frame: 1,
+                index: 0,
+                rule: boolean.clone(),
+            },
+            TraceEvent::QueryResolved {
+                query: boolean,
+                steps: 1,
+            },
+            TraceEvent::QueryResolved { query: q, steps: 2 },
+        ]
+    );
+}
+
+#[test]
+fn failed_queries_emit_enter_then_failed() {
+    // §3.2 "semantic resolution" counterexample: resolution commits
+    // to the nearest Int rule (Bool⇒Int) and gets stuck on Bool.
+    let mut env = ImplicitEnv::new();
+    env.push(vec![Type::Str.promote()]);
+    env.push(vec![RuleType::mono(vec![Type::Str.promote()], Type::Int)]);
+    env.push(vec![RuleType::mono(vec![Type::Bool.promote()], Type::Int)]);
+    let query = Type::Int.promote();
+
+    let mut sink = CollectSink::new();
+    resolve_with(&env, &query, &p(), &mut sink).expect_err("stuck on Bool");
+    let names: Vec<&str> = sink.events.iter().map(TraceEvent::name).collect();
+    assert_eq!(
+        names,
+        vec![
+            "query_enter",        // Int
+            "cache_miss",         // Int
+            "candidate_admitted", // Bool ⇒ Int from the nearest frame
+            "query_enter",        // Bool premise
+            "cache_miss",         // Bool
+            "query_failed",       // Bool has no rule
+            "query_failed",       // Int propagates the failure
+        ]
+    );
+    // Failures are never cached, so a retry replays the same stream.
+    let mut again = CollectSink::new();
+    resolve_with(&env, &query, &p(), &mut again).expect_err("still stuck");
+    assert_eq!(sink.events, again.events);
+}
+
+#[test]
+fn cache_hits_replay_the_cold_stream() {
+    // Cache transparency: the warm stream equals the cold stream
+    // modulo CacheHit/CacheMiss markers — a consumer that filters the
+    // markers cannot tell whether the cache was on.
+    let mut env = ImplicitEnv::new();
+    env.push(vec![Type::Int.promote()]);
+    env.push(vec![pair_rule()]);
+    let query = Type::prod(Type::Int, Type::Int).promote();
+
+    let mut cold = CollectSink::new();
+    resolve_with(&env, &query, &p(), &mut cold).expect("cold run resolves");
+    let mut warm = CollectSink::new();
+    resolve_with(&env, &query, &p(), &mut warm).expect("warm run resolves");
+
+    assert!(
+        warm.events
+            .iter()
+            .any(|ev| matches!(ev, TraceEvent::CacheHit { .. })),
+        "second resolution of the same query must hit the derivation cache"
+    );
+    assert_eq!(
+        cold.without_cache_markers(),
+        warm.without_cache_markers(),
+        "cache must be observationally transparent in the trace"
+    );
+}
+
+#[test]
+fn null_sink_observes_nothing_and_changes_nothing() {
+    let mut env = ImplicitEnv::new();
+    env.push(vec![Type::Int.promote()]);
+    env.push(vec![pair_rule()]);
+    let query = Type::prod(Type::Int, Type::Int).promote();
+
+    let via_plain = resolve(&env, &query, &p()).expect("resolves");
+    let via_null = resolve_with(&env, &query, &p(), &mut NullSink).expect("resolves");
+    assert_eq!(via_plain.steps(), via_null.steps());
+    assert_eq!(via_plain.rule, via_null.rule);
+    assert!(!implicit_core::trace::TraceSink::enabled(&NullSink));
+}
+
+#[test]
+fn resolution_stream_exports_as_chrome_trace() {
+    // End to end: resolve through a Chrome recorder and validate the
+    // JSON shape — one instant event per resolution event, tagged
+    // with the resolution category.
+    let mut env = ImplicitEnv::new();
+    env.push(vec![Type::Int.promote()]);
+    env.push(vec![pair_rule()]);
+    let query = Type::prod(Type::Int, Type::Int).promote();
+
+    let mut chrome = ChromeSink::new();
+    resolve_with(&env, &query, &p(), &mut chrome).expect("resolves");
+    let rows = chrome.into_rows();
+    assert_eq!(rows.len(), 8, "same cardinality as the CollectSink stream");
+    let json = chrome_trace_json(&rows);
+    assert!(json.starts_with("{\"traceEvents\":["));
+    assert!(json.contains("\"name\":\"query_enter\""));
+    assert!(json.contains("\"cat\":\"resolution\""));
+    assert!(json.contains("\"ph\":\"i\""));
+    assert!(json.contains("\"steps\":2"));
+}

@@ -149,6 +149,7 @@ pub fn translate_decls(decls: &Declarations) -> FDeclarations {
 pub struct Elaborator<'d> {
     decls: &'d Declarations,
     policy: ResolutionPolicy,
+    trace: Option<implicit_core::trace::SharedSink>,
 }
 
 struct State {
@@ -179,12 +180,31 @@ impl<'d> Elaborator<'d> {
         Elaborator {
             decls,
             policy: ResolutionPolicy::paper(),
+            trace: None,
         }
     }
 
     /// An elaborator with a custom resolution policy.
     pub fn with_policy(decls: &'d Declarations, policy: ResolutionPolicy) -> Elaborator<'d> {
-        Elaborator { decls, policy }
+        Elaborator {
+            decls,
+            policy,
+            trace: None,
+        }
+    }
+
+    /// Reports every resolution this elaborator performs as
+    /// structured trace events through `sink` (see
+    /// [`implicit_core::trace`]).
+    pub fn with_trace(mut self, sink: implicit_core::trace::SharedSink) -> Elaborator<'d> {
+        self.trace = Some(sink);
+        self
+    }
+
+    /// Installs or clears the trace sink on an existing elaborator
+    /// (the warm-session entry point).
+    pub fn set_trace(&mut self, sink: Option<implicit_core::trace::SharedSink>) {
+        self.trace = sink;
     }
 
     /// Elaborates a closed expression, returning its λ⇒ type and its
@@ -295,7 +315,19 @@ impl<'d> Elaborator<'d> {
                 if !rho.is_unambiguous() {
                     return Err(TypeError::Ambiguous(rho.clone()).into());
                 }
-                let res = resolve(&st.delta, rho, &self.policy).map_err(TypeError::from)?;
+                let res = match &self.trace {
+                    Some(sink) => {
+                        let mut sink = sink.clone();
+                        implicit_core::resolve::resolve_with(
+                            &st.delta,
+                            rho,
+                            &self.policy,
+                            &mut sink,
+                        )
+                        .map_err(TypeError::from)?
+                    }
+                    None => resolve(&st.delta, rho, &self.policy).map_err(TypeError::from)?,
+                };
                 let ev = self.evidence_of(st, &res)?;
                 Ok((rho.to_type(), ev))
             }

@@ -38,6 +38,7 @@ pub struct Interpreter<'d> {
     policy: ResolutionPolicy,
     fuel: u64,
     memo: RuntimeMemo,
+    trace: Option<implicit_core::trace::SharedSink>,
 }
 
 /// Memo key: the identity of every frame in the runtime stack
@@ -120,7 +121,14 @@ impl<'d> Interpreter<'d> {
             policy: ResolutionPolicy::paper(),
             fuel: DEFAULT_FUEL,
             memo: RuntimeMemo::new(),
+            trace: None,
         }
+    }
+
+    /// Reports runtime-memo activity as structured trace events
+    /// through `sink` (see [`implicit_core::trace`]); `None` clears.
+    pub fn set_trace(&mut self, sink: Option<implicit_core::trace::SharedSink>) {
+        self.trace = sink;
     }
 
     /// `(hits, misses)` of the runtime resolution memo, cumulative
@@ -475,11 +483,29 @@ impl<'d> Interpreter<'d> {
         }
         let key = RuntimeMemo::key(ienv, query);
         if let Some(v) = self.memo.lookup(&key) {
+            self.emit_memo(query, true);
             return Ok(v);
         }
+        self.emit_memo(query, false);
         let v = self.resolve_value_uncached(ienv, query, depth)?;
         self.memo.insert(key, ienv.clone(), v.clone());
         Ok(v)
+    }
+
+    /// Emits a memo hit/miss event when a trace sink is installed.
+    fn emit_memo(&mut self, query: &RuleType, hit: bool) {
+        use implicit_core::trace::{TraceEvent, TraceSink};
+        if let Some(sink) = &self.trace {
+            let mut sink = sink.clone();
+            if sink.enabled() {
+                let query = query.to_string();
+                sink.event(if hit {
+                    TraceEvent::MemoHit { query }
+                } else {
+                    TraceEvent::MemoMiss { query }
+                });
+            }
+        }
     }
 
     fn resolve_value_uncached(

@@ -38,11 +38,17 @@
 
 pub mod driver;
 
+use std::cell::RefCell;
+use std::rc::Rc;
+
 use implicit_core::env::{CacheCounters, EnvSnapshot, ImplicitEnv};
 use implicit_core::intern::{self, InternSnapshot};
 use implicit_core::resolve::ResolutionPolicy;
 use implicit_core::symbol::fresh;
 use implicit_core::syntax::{Declarations, Expr, RuleType, Type};
+use implicit_core::trace::{
+    FanSink, MetricsRegistry, MetricsSink, Phase, SharedSink, TraceEvent, TraceSink,
+};
 use implicit_elab::{translate_decls, translate_rule_type, translate_type, Elaborator};
 use implicit_elab::{ElabError, RunError, RunOutput};
 use implicit_opsem::{ImplStack, Interpreter, OpsemError, VarEnv};
@@ -312,6 +318,12 @@ pub struct Session<'d> {
     intern_base: InternSnapshot,
     env_base: EnvSnapshot,
     stats: SessionStats,
+    /// Session-internal metrics accumulator. Phase and evaluator
+    /// events are always folded in; resolution-grain events join when
+    /// a trace sink is installed (they are only emitted then).
+    metrics: Rc<RefCell<MetricsSink>>,
+    /// The caller's sink, if any (see [`Session::set_trace`]).
+    trace: Option<SharedSink>,
 }
 
 impl<'d> Session<'d> {
@@ -431,7 +443,62 @@ impl<'d> Session<'d> {
             intern_base,
             env_base,
             stats: SessionStats::default(),
+            metrics: Rc::new(RefCell::new(MetricsSink::new())),
+            trace: None,
         })
+    }
+
+    /// Installs (or clears, with `None`) a trace sink: pipeline phase
+    /// spans, evaluator events, resolution events from the
+    /// elaboration leg, and runtime-memo events from the opsem leg
+    /// all flow to `sink`. Resolution and memo events are also folded
+    /// into the session's own [`Session::metrics`] snapshot while a
+    /// sink is installed.
+    pub fn set_trace(&mut self, sink: Option<SharedSink>) {
+        match &sink {
+            Some(user) => {
+                let fan = FanSink {
+                    sinks: vec![SharedSink::from_rc(self.metrics.clone()), user.clone()],
+                };
+                let fan = SharedSink::new(fan);
+                self.elab.set_trace(Some(fan.clone()));
+                self.interp.set_trace(Some(fan));
+            }
+            None => {
+                self.elab.set_trace(None);
+                self.interp.set_trace(None);
+            }
+        }
+        self.trace = sink;
+    }
+
+    /// The unified [`MetricsRegistry`] snapshot for this session:
+    /// cache and memo counters, session program/trim counts, and
+    /// evaluator fuel are always live; resolution-grain counters
+    /// (queries, candidates) fill in while a trace sink is installed.
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut m = self.metrics.borrow().metrics;
+        m.set_cache_counters(self.env.cache_counters());
+        let (memo_hits, memo_misses) = self.interp.memo_counters();
+        m.memo_hits = memo_hits;
+        m.memo_misses = memo_misses;
+        m.programs = self.stats.programs;
+        m.opsem_programs = self.stats.opsem_programs;
+        m.compiled_programs = self.stats.compiled_programs;
+        m.trims = self.stats.trims;
+        m
+    }
+
+    /// Folds an event into the session metrics and forwards it to the
+    /// installed sink, if any.
+    fn emit(&mut self, ev: TraceEvent) {
+        self.metrics.borrow_mut().metrics.record(&ev);
+        if let Some(sink) = &self.trace {
+            let mut sink = sink.clone();
+            if sink.enabled() {
+                sink.event(ev);
+            }
+        }
     }
 
     /// The declarations this session compiles against.
@@ -494,9 +561,14 @@ impl<'d> Session<'d> {
 
     fn run_inner(&mut self, e: &Expr) -> Result<RunOutput, RunError> {
         let (source_type, target, target_type) = self.elaborate_and_check(e)?;
-        let value = Evaluator::new()
-            .eval_in(&self.fenv, &target)
-            .map_err(RunError::Eval)?;
+        self.emit(TraceEvent::PhaseStart { phase: Phase::Eval });
+        let mut ev = Evaluator::new();
+        let value = ev.eval_in(&self.fenv, &target);
+        self.emit(TraceEvent::TreeEval {
+            fuel: ev.fuel_used(),
+        });
+        self.emit(TraceEvent::PhaseEnd { phase: Phase::Eval });
+        let value = value.map_err(RunError::Eval)?;
         Ok(RunOutput {
             source_type,
             target,
@@ -509,10 +581,16 @@ impl<'d> Session<'d> {
     /// closed wrapper (preservation), returning the source type, the
     /// open target term, and its type.
     fn elaborate_and_check(&mut self, e: &Expr) -> Result<(Type, FExpr, FType), RunError> {
-        let (source_type, target) = self
-            .elab
-            .elaborate_with_env(&mut self.env, &self.evidence, &self.gamma, e)
-            .map_err(RunError::Elab)?;
+        self.emit(TraceEvent::PhaseStart {
+            phase: Phase::Elaborate,
+        });
+        let elaborated =
+            self.elab
+                .elaborate_with_env(&mut self.env, &self.evidence, &self.gamma, e);
+        self.emit(TraceEvent::PhaseEnd {
+            phase: Phase::Elaborate,
+        });
+        let (source_type, target) = elaborated.map_err(RunError::Elab)?;
         // `target` has the prelude's evidence and `let` variables
         // free; preservation is checked on the closed wrapper.
         let mut closed = target.clone();
@@ -531,8 +609,14 @@ impl<'d> Session<'d> {
         for (x, fty) in binders.iter().rev() {
             closed = FExpr::Lam(*x, fty.clone(), closed.into());
         }
-        let mut target_type =
-            systemf::typecheck(&self.fdecls, &closed).map_err(RunError::PreservationViolated)?;
+        self.emit(TraceEvent::PhaseStart {
+            phase: Phase::Preservation,
+        });
+        let checked = systemf::typecheck(&self.fdecls, &closed);
+        self.emit(TraceEvent::PhaseEnd {
+            phase: Phase::Preservation,
+        });
+        let mut target_type = checked.map_err(RunError::PreservationViolated)?;
         for _ in 0..binders.len() {
             let FType::Arrow(_, r) = target_type else {
                 unreachable!("wrapper type mirrors the wrapper lambdas");
@@ -568,13 +652,25 @@ impl<'d> Session<'d> {
 
     fn run_compiled_inner(&mut self, e: &Expr) -> Result<RunOutput, RunError> {
         let (source_type, target, target_type) = self.elaborate_and_check(e)?;
-        let main = self
-            .compiler
-            .compile(&target)
-            .map_err(|err| RunError::Eval(compile_error_to_eval(err)))?;
-        let value = Vm::new()
-            .run(self.compiler.code(), main, &self.vm_globals)
-            .map_err(RunError::Eval)?;
+        self.emit(TraceEvent::PhaseStart {
+            phase: Phase::Compile,
+        });
+        let compiled = self.compiler.compile(&target);
+        self.emit(TraceEvent::PhaseEnd {
+            phase: Phase::Compile,
+        });
+        let main = compiled.map_err(|err| RunError::Eval(compile_error_to_eval(err)))?;
+        self.emit(TraceEvent::PhaseStart { phase: Phase::Vm });
+        let mut vm = Vm::new();
+        let value = vm.run(self.compiler.code(), main, &self.vm_globals);
+        let stats = vm.stats();
+        self.emit(TraceEvent::VmRun {
+            fuel: stats.fuel_used,
+            tail_calls: stats.tail_calls,
+            fix_unfolds: stats.fix_unfolds,
+        });
+        self.emit(TraceEvent::PhaseEnd { phase: Phase::Vm });
+        let value = value.map_err(RunError::Eval)?;
         Ok(RunOutput {
             source_type,
             target,
@@ -604,7 +700,13 @@ impl<'d> Session<'d> {
     pub fn run_opsem(&mut self, e: &Expr) -> Result<implicit_opsem::Value, OpsemError> {
         self.interp.refuel(implicit_opsem::DEFAULT_FUEL);
         self.stats.opsem_programs += 1;
+        self.emit(TraceEvent::PhaseStart {
+            phase: Phase::Opsem,
+        });
         let out = self.interp.eval_in(&self.venv, &self.istack, e);
+        self.emit(TraceEvent::PhaseEnd {
+            phase: Phase::Opsem,
+        });
         self.maybe_trim();
         out
     }

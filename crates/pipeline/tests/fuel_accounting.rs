@@ -1,0 +1,73 @@
+//! Fuel-accounting property, driven entirely by trace events: for
+//! every generated program that both backends complete, the bytecode
+//! VM's charged fuel never exceeds the tree-walker's — compilation
+//! flattens the term, tail calls reuse frames, and the per-closure
+//! unfold cache short-circuits `fix` re-unfolding, so the instruction
+//! count is bounded by the tree evaluator's node visits.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use genprog::{data_prelude, gen_program_with, rng, GenConfig};
+use implicit_core::resolve::ResolutionPolicy;
+use implicit_core::trace::{CollectSink, SharedSink, TraceEvent};
+use implicit_pipeline::{Backend, Prelude, Session};
+
+const SEEDS: u64 = 200;
+const CHAIN: usize = 6;
+
+#[test]
+fn vm_fuel_is_bounded_by_tree_fuel() {
+    let decls = data_prelude();
+    let config = GenConfig::default();
+    let prelude = Prelude::chain(CHAIN);
+    let mut sess =
+        Session::new(&decls, ResolutionPolicy::paper(), &prelude).expect("chain prelude compiles");
+    let sink = Rc::new(RefCell::new(CollectSink::new()));
+    sess.set_trace(Some(SharedSink::from_rc(sink.clone())));
+
+    let mut compared = 0u64;
+    for seed in 0..SEEDS {
+        let mut r = rng(0xF0E1 ^ seed);
+        let prog = gen_program_with(&mut r, &config, &decls);
+
+        let tree = sess.run_with_backend(&prog.expr, Backend::Tree);
+        let tree_events = std::mem::take(&mut sink.borrow_mut().events);
+        let vm = sess.run_with_backend(&prog.expr, Backend::Vm);
+        let vm_events = std::mem::take(&mut sink.borrow_mut().events);
+        if tree.is_err() || vm.is_err() {
+            continue;
+        }
+
+        let tree_fuel = tree_events
+            .iter()
+            .find_map(|ev| match ev {
+                TraceEvent::TreeEval { fuel } => Some(*fuel),
+                _ => None,
+            })
+            .expect("successful tree run emits TreeEval");
+        let (vm_fuel, tail_calls, fix_unfolds) = vm_events
+            .iter()
+            .find_map(|ev| match ev {
+                TraceEvent::VmRun {
+                    fuel,
+                    tail_calls,
+                    fix_unfolds,
+                } => Some((*fuel, *tail_calls, *fix_unfolds)),
+                _ => None,
+            })
+            .expect("successful vm run emits VmRun");
+
+        assert!(
+            vm_fuel <= tree_fuel,
+            "[{seed}] vm fuel {vm_fuel} exceeds tree fuel {tree_fuel} \
+             (tail_calls {tail_calls}, fix_unfolds {fix_unfolds}) on {}",
+            prog.expr
+        );
+        compared += 1;
+    }
+    assert!(
+        compared > SEEDS / 2,
+        "suite degenerate: only {compared}/{SEEDS} programs ran on both backends"
+    );
+}

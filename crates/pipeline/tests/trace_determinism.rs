@@ -1,0 +1,125 @@
+//! Trace-determinism properties over generated programs:
+//!
+//! 1. the event stream of a pipeline run is a pure function of the
+//!    program and policy — two runs produce identical streams;
+//! 2. the derivation cache is observationally transparent — streams
+//!    with the cache on and off agree modulo `CacheHit`/`CacheMiss`
+//!    markers, both cold and against a warm session's reused cache.
+//!
+//! Events carry no wall-clock times and no interner ids, so equality
+//! here is exact structural equality on the event values.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use genprog::{data_prelude, gen_program_with, rng, GenConfig};
+use implicit_core::resolve::ResolutionPolicy;
+use implicit_core::syntax::{Declarations, Expr};
+use implicit_core::trace::{CollectSink, SharedSink, TraceEvent};
+use implicit_elab::Elaborator;
+use implicit_pipeline::{Prelude, Session};
+
+const SEEDS: u64 = 500;
+const WARM_SEEDS: u64 = 120;
+const CHAIN: usize = 6;
+
+/// Elaborates `e` cold under `policy`, returning the trace stream
+/// (the elaboration outcome itself may be an error — failed programs
+/// must trace deterministically too).
+fn cold_stream(decls: &Declarations, policy: &ResolutionPolicy, e: &Expr) -> Vec<TraceEvent> {
+    let sink = Rc::new(RefCell::new(CollectSink::new()));
+    let mut elab = Elaborator::with_policy(decls, policy.clone());
+    elab.set_trace(Some(SharedSink::from_rc(sink.clone())));
+    let _ = elab.elaborate(e);
+    let events = std::mem::take(&mut sink.borrow_mut().events);
+    events
+}
+
+fn without_cache_markers(events: &[TraceEvent]) -> Vec<TraceEvent> {
+    events
+        .iter()
+        .filter(|ev| !ev.is_cache_marker())
+        .cloned()
+        .collect()
+}
+
+#[test]
+fn cold_traces_are_deterministic_and_cache_transparent() {
+    let decls = data_prelude();
+    let config = GenConfig::default();
+    let policy = ResolutionPolicy::paper();
+    let uncached = policy.clone().without_cache();
+    let mut traced = 0u64;
+
+    for seed in 0..SEEDS {
+        let mut r = rng(0x7ACE ^ seed);
+        let prog = gen_program_with(&mut r, &config, &decls);
+
+        let first = cold_stream(&decls, &policy, &prog.expr);
+        let second = cold_stream(&decls, &policy, &prog.expr);
+        assert_eq!(
+            first, second,
+            "[{seed}] two runs traced differently on {}",
+            prog.expr
+        );
+
+        let cache_off = cold_stream(&decls, &uncached, &prog.expr);
+        assert!(
+            cache_off.iter().all(|ev| !ev.is_cache_marker()),
+            "[{seed}] cache-off run emitted cache markers"
+        );
+        assert_eq!(
+            without_cache_markers(&first),
+            cache_off,
+            "[{seed}] cache must be trace-transparent on {}",
+            prog.expr
+        );
+        if !first.is_empty() {
+            traced += 1;
+        }
+    }
+    assert!(
+        traced > SEEDS / 2,
+        "suite degenerate: only {traced}/{SEEDS} programs produced events"
+    );
+}
+
+#[test]
+fn warm_session_reruns_trace_identically_modulo_cache_markers() {
+    // A warm session's second run of the same program may answer
+    // queries from the cache the first run populated; the cache-hit
+    // replay must reproduce the original stream event for event.
+    let decls = data_prelude();
+    let config = GenConfig::default();
+    let prelude = Prelude::chain(CHAIN);
+    let mut sess =
+        Session::new(&decls, ResolutionPolicy::paper(), &prelude).expect("chain prelude compiles");
+    let sink = Rc::new(RefCell::new(CollectSink::new()));
+    sess.set_trace(Some(SharedSink::from_rc(sink.clone())));
+    let mut cache_hits_seen = 0u64;
+
+    for seed in 0..WARM_SEEDS {
+        let mut r = rng(0x5EED ^ seed);
+        let prog = gen_program_with(&mut r, &config, &decls);
+
+        let _ = sess.run(&prog.expr);
+        let first = std::mem::take(&mut sink.borrow_mut().events);
+        let _ = sess.run(&prog.expr);
+        let second = std::mem::take(&mut sink.borrow_mut().events);
+
+        cache_hits_seen += second
+            .iter()
+            .filter(|ev| matches!(ev, TraceEvent::CacheHit { .. }))
+            .count() as u64;
+        assert_eq!(
+            without_cache_markers(&first),
+            without_cache_markers(&second),
+            "[{seed}] warm rerun traced differently on {}",
+            prog.expr
+        );
+    }
+    assert!(
+        cache_hits_seen > 0,
+        "suite degenerate: warm reruns never hit the derivation cache"
+    );
+}

@@ -308,11 +308,12 @@ impl std::error::Error for EvalError {}
 /// return [`EvalError::OutOfFuel`] instead of hanging.
 pub struct Evaluator {
     fuel: u64,
+    initial_fuel: u64,
 }
 
 impl Default for Evaluator {
     fn default() -> Evaluator {
-        Evaluator { fuel: 10_000_000 }
+        Evaluator::with_fuel(10_000_000)
     }
 }
 
@@ -324,7 +325,20 @@ impl Evaluator {
 
     /// An evaluator with a custom step budget.
     pub fn with_fuel(fuel: u64) -> Evaluator {
-        Evaluator { fuel }
+        Evaluator {
+            fuel,
+            initial_fuel: fuel,
+        }
+    }
+
+    /// Fuel still available.
+    pub fn fuel_remaining(&self) -> u64 {
+        self.fuel
+    }
+
+    /// Fuel charged so far (evaluation steps performed).
+    pub fn fuel_used(&self) -> u64 {
+        self.initial_fuel - self.fuel
     }
 
     /// Evaluates a closed expression.

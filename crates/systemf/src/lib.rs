@@ -38,4 +38,4 @@ pub use compile::{CodeObject, CodeSnapshot, CompileError, Compiler};
 pub use eval::{eval, EvalError, Evaluator, Value};
 pub use syntax::{FDeclarations, FExpr, FInterfaceDecl, FType};
 pub use typeck::{typecheck, FTypeError};
-pub use vm::{compile_and_run, Vm};
+pub use vm::{compile_and_run, Vm, VmStats};

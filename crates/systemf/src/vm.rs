@@ -70,11 +70,26 @@ struct Frame {
 /// tree-walker (counted per frame entry).
 pub struct Vm {
     fuel: u64,
+    initial_fuel: u64,
+    tail_calls: u64,
+    fix_unfolds: u64,
+}
+
+/// Execution counters of one [`Vm`], cumulative over its lifetime
+/// (feeds the `vm_run` trace event and the metrics registry).
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct VmStats {
+    /// Fuel charged (frame pushes + tail calls).
+    pub fuel_used: u64,
+    /// Tail calls that reused the running frame.
+    pub tail_calls: u64,
+    /// `fix` unfolds answered by the per-closure unfold cache.
+    pub fix_unfolds: u64,
 }
 
 impl Default for Vm {
     fn default() -> Vm {
-        Vm { fuel: 10_000_000 }
+        Vm::with_fuel(10_000_000)
     }
 }
 
@@ -87,7 +102,26 @@ impl Vm {
 
     /// A VM with a custom budget.
     pub fn with_fuel(fuel: u64) -> Vm {
-        Vm { fuel }
+        Vm {
+            fuel,
+            initial_fuel: fuel,
+            tail_calls: 0,
+            fix_unfolds: 0,
+        }
+    }
+
+    /// Fuel still available.
+    pub fn fuel_remaining(&self) -> u64 {
+        self.fuel
+    }
+
+    /// The cumulative execution counters.
+    pub fn stats(&self) -> VmStats {
+        VmStats {
+            fuel_used: self.initial_fuel - self.fuel,
+            tail_calls: self.tail_calls,
+            fix_unfolds: self.fix_unfolds,
+        }
     }
 
     /// Runs function `main` of `code` to completion. `globals` must
@@ -151,7 +185,10 @@ impl Vm {
                         Value::CompiledRec(rc) => {
                             let cached = rc.unfolded.borrow().clone();
                             match cached {
-                                Some(v) => stack.push(v),
+                                Some(v) => {
+                                    self.fix_unfolds += 1;
+                                    stack.push(v);
+                                }
                                 None => {
                                     save_ip!();
                                     self.enter(
@@ -181,7 +218,10 @@ impl Vm {
                         .expect("rec load outside fix body");
                     let cached = rc.unfolded.borrow().clone();
                     match cached {
-                        Some(v) => stack.push(v),
+                        Some(v) => {
+                            self.fix_unfolds += 1;
+                            stack.push(v);
+                        }
                         None => {
                             save_ip!();
                             self.enter(
@@ -258,6 +298,7 @@ impl Vm {
                                 return Err(EvalError::OutOfFuel);
                             }
                             self.fuel -= 1;
+                            self.tail_calls += 1;
                             let frame = frames.last_mut().expect("active frame");
                             stack.truncate(frame.stack_base);
                             locals.truncate(frame.locals_base);

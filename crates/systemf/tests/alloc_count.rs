@@ -205,6 +205,50 @@ fn budget_body() {
     assert!(a3 < 1_900, "match_proj_loop regressed: {a3} allocs");
 }
 
+#[test]
+fn tracing_disabled_allocates_nothing_extra() {
+    // The resolution engine is instrumented with a `TraceSink`
+    // parameter; with the default `NullSink` every emission guard is
+    // statically false, so no event — and in particular no
+    // pretty-printed query string — may ever be built. Pin the
+    // resolution allocation count and check the public `resolve`
+    // entry point (which routes through `resolve_with` + `NullSink`)
+    // against the explicit-NullSink call, allocation for allocation.
+    use implicit_core::resolve::{resolve, resolve_with, ResolutionPolicy};
+    use implicit_core::trace::NullSink;
+
+    let (env, query) = genprog::chain_env(24);
+    let policy = ResolutionPolicy::paper().without_cache();
+    // Warm up interning and any lazy statics once.
+    resolve(&env, &query, &policy).unwrap();
+
+    let (_, a_plain, b_plain) = allocs_during(|| {
+        resolve(&env, &query, &policy).unwrap();
+        Value::Unit
+    });
+    let (_, a_null, b_null) = allocs_during(|| {
+        resolve_with(&env, &query, &policy, &mut NullSink).unwrap();
+        Value::Unit
+    });
+    eprintln!("alloc_count[trace]: resolve chain(24) plain = {a_plain} allocs / {b_plain} bytes");
+    eprintln!("alloc_count[trace]: resolve chain(24) null  = {a_null} allocs / {b_null} bytes");
+
+    assert_eq!(
+        (a_plain, b_plain),
+        (a_null, b_null),
+        "NullSink resolution must allocate exactly like the plain entry point"
+    );
+    // Absolute budget: a 24-deep derivation chain measures 244
+    // allocations (~10 per sub-query). If tracing ever allocates on
+    // the disabled path (e.g. an event string built outside the
+    // `enabled()` guard), that adds several allocations per event —
+    // five-plus events per query — and lands far above this bar.
+    assert!(
+        a_null < 300,
+        "disabled-tracing resolution allocation budget exceeded: {a_null} allocs"
+    );
+}
+
 /// Compiles `e`, then measures compile and run allocations
 /// separately (the warm pipeline pays the former once per program and
 /// the latter per evaluation).

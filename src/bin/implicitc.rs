@@ -28,14 +28,29 @@
 //!                          program
 //!   --jobs <M>             batch worker threads (default 1), fed by
 //!                          a work-stealing deque
+//!   --trace <FILE>         write a Chrome trace-event JSON file
+//!                          (open in about:tracing or Perfetto):
+//!                          phase spans, per-query resolution events,
+//!                          cache/memo traffic, VM counters, and — in
+//!                          batch mode — per-worker job lanes
+//!   --metrics              print the unified metrics table (queries,
+//!                          candidates, cache/memo hit rates, fuel)
+//!                          after the result
 //! ```
 //!
 //! Exit status 0 on success, 1 on any error (reported to stderr).
 
+use std::cell::RefCell;
 use std::process::ExitCode;
+use std::rc::Rc;
+use std::time::Instant;
 
 use implicit_core::resolve::ResolutionPolicy;
 use implicit_core::syntax::{Declarations, Expr};
+use implicit_core::trace::{
+    chrome_trace_json, ChromeRow, ChromeSink, FanSink, MetricsRegistry, MetricsSink, Phase,
+    SharedSink, TraceEvent, TraceSink,
+};
 use implicit_core::typeck::Typechecker;
 use implicit_pipeline::Backend;
 
@@ -49,6 +64,8 @@ struct Options {
     input: Option<Input>,
     batch: Option<String>,
     jobs: usize,
+    trace: Option<String>,
+    metrics: bool,
 }
 
 #[derive(PartialEq, Clone, Copy)]
@@ -82,7 +99,7 @@ enum Input {
 fn usage() -> String {
     "usage: implicitc [--lang core|source] [--emit value|type|core|systemf|explain] \
      [--semantics elab|opsem|both] [--policy paper|most-specific|env-extension] \
-     [--backend tree|vm] [--strict] \
+     [--backend tree|vm] [--strict] [--trace <file.json>] [--metrics] \
      (<file> | -e <program> | --batch <dir> [--jobs <m>])"
         .to_owned()
 }
@@ -98,6 +115,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         input: None,
         batch: None,
         jobs: 1,
+        trace: None,
+        metrics: false,
     };
     let mut input: Option<Input> = None;
     let mut it = args.iter();
@@ -170,6 +189,13 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     _ => return Err(format!("--jobs: expected a count ≥ 1, got `{arg}`")),
                 }
             }
+            "--trace" => {
+                let path = it
+                    .next()
+                    .ok_or_else(|| "--trace needs an output file argument".to_owned())?;
+                opts.trace = Some(path.clone());
+            }
+            "--metrics" => opts.metrics = true,
             "-e" => {
                 let prog = it
                     .next()
@@ -221,6 +247,74 @@ fn main() -> ExitCode {
     }
 }
 
+/// Observability plumbing for single-program mode: an always-present
+/// metrics accumulator plus an optional Chrome-trace recorder, fanned
+/// into one shared sink that every pipeline stage writes through. The
+/// sink is `None` (and every `emit` a no-op) unless `--trace` or
+/// `--metrics` was given.
+struct Tracer {
+    sink: Option<SharedSink>,
+    chrome: Option<Rc<RefCell<ChromeSink>>>,
+    metrics: Rc<RefCell<MetricsSink>>,
+}
+
+impl Tracer {
+    fn new(opts: &Options) -> Tracer {
+        let metrics = Rc::new(RefCell::new(MetricsSink::new()));
+        if opts.trace.is_none() && !opts.metrics {
+            return Tracer {
+                sink: None,
+                chrome: None,
+                metrics,
+            };
+        }
+        let mut sinks = vec![SharedSink::from_rc(metrics.clone())];
+        let chrome = opts
+            .trace
+            .as_ref()
+            .map(|_| Rc::new(RefCell::new(ChromeSink::new())));
+        if let Some(c) = &chrome {
+            sinks.push(SharedSink::from_rc(c.clone()));
+        }
+        Tracer {
+            sink: Some(SharedSink::new(FanSink { sinks })),
+            chrome,
+            metrics,
+        }
+    }
+
+    fn emit(&self, ev: TraceEvent) {
+        if let Some(sink) = &self.sink {
+            let mut sink = sink.clone();
+            sink.event(ev);
+        }
+    }
+
+    /// Brackets `f` in a `PhaseStart`/`PhaseEnd` pair (balanced even
+    /// when `f`'s result is an error the caller then propagates).
+    fn span<T>(&self, phase: Phase, f: impl FnOnce() -> T) -> T {
+        self.emit(TraceEvent::PhaseStart { phase });
+        let out = f();
+        self.emit(TraceEvent::PhaseEnd { phase });
+        out
+    }
+
+    /// Writes the Chrome trace and/or prints the metrics table, as
+    /// requested on the command line.
+    fn finish(&self, opts: &Options) -> Result<(), String> {
+        if let Some(path) = &opts.trace {
+            let chrome = self.chrome.as_ref().expect("--trace allocates a recorder");
+            let rows = std::mem::replace(&mut *chrome.borrow_mut(), ChromeSink::new()).into_rows();
+            std::fs::write(path, chrome_trace_json(&rows))
+                .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        }
+        if opts.metrics {
+            print!("{}", self.metrics.borrow().metrics.render_table());
+        }
+        Ok(())
+    }
+}
+
 fn run(opts: &Options) -> Result<(), String> {
     let input = opts.input.as_ref().expect("single-program mode has input");
     let (src, lang) = match input {
@@ -244,14 +338,16 @@ fn run(opts: &Options) -> Result<(), String> {
         }
     };
 
+    let tracer = Tracer::new(opts);
+
     // Front end: obtain declarations and a core expression.
-    let (decls, core): (Declarations, Expr) = match lang {
+    let (decls, core): (Declarations, Expr) = tracer.span(Phase::Parse, || match lang {
         Lang::Source => {
             let compiled = implicit_source::compile(&src).map_err(|e| e.to_string())?;
-            (compiled.decls, compiled.core)
+            Ok((compiled.decls, compiled.core))
         }
-        _ => implicit_core::parse::parse_program(&src).map_err(|e| e.to_string())?,
-    };
+        _ => implicit_core::parse::parse_program(&src).map_err(|e| e.to_string()),
+    })?;
 
     // Type checking (with the chosen policy and strictness).
     let checker = Typechecker::with_policy(&decls, opts.policy.clone());
@@ -260,47 +356,81 @@ fn run(opts: &Options) -> Result<(), String> {
     } else {
         checker
     };
-    let ty = checker.check_closed(&core).map_err(|e| e.to_string())?;
+    let checker = match &tracer.sink {
+        Some(sink) => checker.with_trace(sink.clone()),
+        None => checker,
+    };
+    let ty = tracer.span(Phase::Typecheck, || {
+        checker.check_closed(&core).map_err(|e| e.to_string())
+    })?;
 
     match opts.emit {
         Emit::Type => {
             println!("{ty}");
-            return Ok(());
+            return tracer.finish(opts);
         }
         Emit::Core => {
             println!("{core}");
-            return Ok(());
+            return tracer.finish(opts);
         }
         Emit::Explain => {
             explain_queries(&core)?;
-            return Ok(());
+            return tracer.finish(opts);
         }
         Emit::SystemF => {
             let (_, fe) = implicit_elab::elaborate(&decls, &core).map_err(|e| e.to_string())?;
             println!("{fe}");
-            return Ok(());
+            return tracer.finish(opts);
         }
         Emit::Value => {}
     }
 
     let elab_value = if opts.semantics != Semantics::Opsem {
+        let mut elab = implicit_elab::Elaborator::with_policy(&decls, opts.policy.clone());
+        if let Some(sink) = &tracer.sink {
+            elab.set_trace(Some(sink.clone()));
+        }
+        let (_, target) = tracer.span(Phase::Elaborate, || {
+            elab.elaborate(&core).map_err(|e| e.to_string())
+        })?;
+        let fdecls = implicit_elab::translate_decls(&decls);
+        tracer
+            .span(Phase::Preservation, || systemf::typecheck(&fdecls, &target))
+            .map_err(|e| format!("type preservation violated: {e}"))?;
         let v = match opts.backend {
-            Backend::Tree => implicit_elab::run_with(&decls, &core, &opts.policy)
-                .map_err(|e| e.to_string())?
-                .value
-                .to_string(),
+            Backend::Tree => {
+                let mut ev = systemf::Evaluator::new();
+                tracer
+                    .span(Phase::Eval, || {
+                        let value = ev.eval(&target);
+                        tracer.emit(TraceEvent::TreeEval {
+                            fuel: ev.fuel_used(),
+                        });
+                        value
+                    })
+                    .map_err(|e| e.to_string())?
+                    .to_string()
+            }
             // The VM evaluates instead of (not after) the
             // tree-walker, so deep recursion never touches the host
             // stack; preservation is still checked before erasure.
             Backend::Vm => {
-                let (_, target) =
-                    implicit_elab::Elaborator::with_policy(&decls, opts.policy.clone())
-                        .elaborate(&core)
-                        .map_err(|e| e.to_string())?;
-                let fdecls = implicit_elab::translate_decls(&decls);
-                systemf::typecheck(&fdecls, &target)
-                    .map_err(|e| format!("type preservation violated: {e}"))?;
-                systemf::compile_and_run(&target)
+                let mut compiler = systemf::Compiler::new();
+                let main = tracer
+                    .span(Phase::Compile, || compiler.compile(&target))
+                    .map_err(|e| format!("vm: {e}"))?;
+                let mut vm = systemf::Vm::new();
+                tracer
+                    .span(Phase::Vm, || {
+                        let value = vm.run(compiler.code(), main, &[]);
+                        let stats = vm.stats();
+                        tracer.emit(TraceEvent::VmRun {
+                            fuel: stats.fuel_used,
+                            tail_calls: stats.tail_calls,
+                            fix_unfolds: stats.fix_unfolds,
+                        });
+                        value
+                    })
                     .map_err(|e| format!("vm: {e}"))?
                     .to_string()
             }
@@ -310,10 +440,13 @@ fn run(opts: &Options) -> Result<(), String> {
         None
     };
     let opsem_value = if opts.semantics != Semantics::Elab {
+        let mut interp = implicit_opsem::Interpreter::new(&decls).with_policy(opts.policy.clone());
+        if let Some(sink) = &tracer.sink {
+            interp.set_trace(Some(sink.clone()));
+        }
         Some(
-            implicit_opsem::Interpreter::new(&decls)
-                .with_policy(opts.policy.clone())
-                .eval(&core)
+            tracer
+                .span(Phase::Opsem, || interp.eval(&core))
                 .map_err(|e| e.to_string())?
                 .to_string(),
         )
@@ -330,7 +463,7 @@ fn run(opts: &Options) -> Result<(), String> {
         (Some(a), None) | (None, Some(a)) => println!("{a} : {ty}"),
         (None, None) => unreachable!("one semantics is always selected"),
     }
-    Ok(())
+    tracer.finish(opts)
 }
 
 /// Parses a batch prelude source into the shared declarations and
@@ -443,25 +576,80 @@ fn run_batch_mode(opts: &Options, dir: &str) -> Result<(), String> {
     let backend = opts.backend;
     let policy = &opts.policy;
     let prelude_src = prelude_src.as_deref();
-    let outcomes = implicit_pipeline::run_batch_scoped(programs, opts.jobs, |_, source| {
+    let tracing = opts.trace.is_some();
+    let observe = tracing || opts.metrics;
+    // One wall clock shared by every worker's Chrome recorder, so the
+    // per-worker lanes line up on a common time axis.
+    let clock = Instant::now();
+    let outcomes = implicit_pipeline::run_batch_scoped(programs, opts.jobs, |worker, source| {
         let (decls, prelude) =
             parse_batch_prelude(prelude_src).expect("prelude validated before dispatch");
         let mut session = implicit_pipeline::Session::new(&decls, policy.clone(), &prelude)
             .expect("prelude validated before dispatch");
+        let chrome =
+            tracing.then(|| Rc::new(RefCell::new(ChromeSink::with_clock(clock, worker as u64))));
+        if let Some(c) = &chrome {
+            session.set_trace(Some(SharedSink::from_rc(c.clone())));
+        } else if observe {
+            // Metrics only: any enabled sink switches resolution-grain
+            // counting on; the session keeps the counts itself.
+            session.set_trace(Some(SharedSink::new(MetricsSink::new())));
+        }
+        let mut jobreg = MetricsRegistry::new();
         let mut out: Vec<(usize, String, Result<String, String>)> = Vec::new();
-        for (ix, (name, src)) in source {
+        let mut steals_seen = 0usize;
+        while let Some((ix, (name, src))) = source.next() {
+            let stolen = source.steals > steals_seen;
+            steals_seen = source.steals;
+            if observe {
+                let ev = TraceEvent::JobStart {
+                    worker,
+                    job: ix,
+                    stolen,
+                };
+                jobreg.record(&ev);
+                if let Some(c) = &chrome {
+                    c.borrow_mut().event(ev);
+                }
+            }
             let r = run_batch_program(&mut session, semantics, backend, &src);
+            if observe {
+                let ev = TraceEvent::JobFinish {
+                    worker,
+                    job: ix,
+                    ok: r.is_ok(),
+                };
+                jobreg.record(&ev);
+                if let Some(c) = &chrome {
+                    c.borrow_mut().event(ev);
+                }
+            }
             out.push((ix, name, r));
         }
-        out
+        session.set_trace(None);
+        let mut registry = session.metrics();
+        registry.merge(&jobreg);
+        let rows: Vec<ChromeRow> = chrome
+            .map(|c| std::mem::replace(&mut *c.borrow_mut(), ChromeSink::new()).into_rows())
+            .unwrap_or_default();
+        (out, rows, registry)
     });
 
     let mut lines: Vec<Option<(String, Result<String, String>)>> =
         (0..total).map(|_| None).collect();
-    for worker in outcomes {
-        for (ix, name, r) in worker {
+    let mut rows: Vec<ChromeRow> = Vec::new();
+    let mut registry = MetricsRegistry::new();
+    for (worker_out, worker_rows, worker_registry) in outcomes {
+        for (ix, name, r) in worker_out {
             lines[ix] = Some((name, r));
         }
+        rows.extend(worker_rows);
+        registry.merge(&worker_registry);
+    }
+    if let Some(path) = &opts.trace {
+        rows.sort_by_key(|row| (row.1, row.0));
+        std::fs::write(path, chrome_trace_json(&rows))
+            .map_err(|e| format!("cannot write `{path}`: {e}"))?;
     }
     let mut failures = 0usize;
     for slot in lines {
@@ -478,6 +666,9 @@ fn run_batch_mode(opts: &Options, dir: &str) -> Result<(), String> {
         "batch: {total} programs, {failures} failed (jobs={})",
         opts.jobs
     );
+    if opts.metrics {
+        print!("{}", registry.render_table());
+    }
     if failures > 0 {
         return Err(format!("{failures} of {total} programs failed"));
     }

@@ -1,0 +1,453 @@
+//! `tracecheck` — validates Chrome trace-event JSON files produced by
+//! `implicitc --trace`.
+//!
+//! ```text
+//! tracecheck [--require-resolution] <file.json>...
+//! ```
+//!
+//! Checks, per file:
+//!
+//! - the file parses as JSON (a small self-contained parser — no
+//!   external dependencies);
+//! - the top level is an object with a `traceEvents` array (the
+//!   Chrome trace-event "JSON Object Format");
+//! - every event carries the required fields with the right types:
+//!   `name`/`cat`/`ph` strings, `ts`/`pid`/`tid` numbers, and a `ph`
+//!   that is one of `B`, `E`, or `i`;
+//! - instant events (`ph:"i"`) carry a scope `s`;
+//! - `B`/`E` duration events are properly nested per `tid`: every
+//!   `E` closes the most recent open `B` with the same name, and no
+//!   span is left open at the end;
+//! - at least one `phase`-category span is present.
+//!
+//! With `--require-resolution`, additionally requires at least one
+//! `resolution`-category event (CI uses this on corpora whose
+//! programs are known to contain implicit queries).
+//!
+//! Exit status 0 when every file validates, 1 otherwise.
+
+use std::process::ExitCode;
+
+/// A minimal JSON value.
+#[derive(Debug)]
+enum Json {
+    Null,
+    // The payload is only inspected by tests today, but a boolean
+    // JSON value without its boolean would not be much of a parser.
+    Bool(#[allow(dead_code)] bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn is_num(&self) -> bool {
+        matches!(self, Json::Num(_))
+    }
+}
+
+/// Recursive-descent JSON parser over a byte slice. Supports the full
+/// value grammar needed by trace files; rejects trailing garbage.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Parser<'a> {
+        Parser {
+            bytes: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, msg: &str) -> String {
+        format!("json error at byte {}: {msg}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if b.is_ascii_whitespace() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn parse_document(mut self) -> Result<Json, String> {
+        self.skip_ws();
+        let v = self.parse_value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(self.err("trailing characters after the document"));
+        }
+        Ok(v)
+    }
+
+    fn parse_value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.parse_obj(),
+            Some(b'[') => self.parse_arr(),
+            Some(b'"') => Ok(Json::Str(self.parse_string()?)),
+            Some(b't') => self.parse_lit("true", Json::Bool(true)),
+            Some(b'f') => self.parse_lit("false", Json::Bool(false)),
+            Some(b'n') => self.parse_lit("null", Json::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_num(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn parse_lit(&mut self, lit: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected `{lit}`")))
+        }
+    }
+
+    fn parse_num(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b) if b.is_ascii_digit() || b"+-.eE".contains(&b)) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err("malformed number"))
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("malformed \\u escape"))?;
+                            // Surrogate pairs do not occur in our
+                            // traces; map lone surrogates to U+FFFD.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) if b < 0x20 => return Err(self.err("raw control character in string")),
+                Some(b) if b < 0x80 => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8: copy the full scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_arr(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn parse_obj(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+}
+
+/// Validates one parsed trace document. Returns a short summary line
+/// on success.
+fn validate(doc: &Json, require_resolution: bool) -> Result<String, String> {
+    let events = match doc.get("traceEvents") {
+        Some(Json::Arr(events)) => events,
+        Some(_) => return Err("`traceEvents` is not an array".to_owned()),
+        None => return Err("missing top-level `traceEvents` array".to_owned()),
+    };
+    // Per-tid stack of open B spans (by name).
+    let mut open: Vec<(u64, Vec<String>)> = Vec::new();
+    let mut phase_spans = 0usize;
+    let mut resolution_events = 0usize;
+    for (ix, ev) in events.iter().enumerate() {
+        let ctx = |field: &str| format!("event #{ix}: {field}");
+        let name = ev
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ctx("missing string `name`"))?
+            .to_owned();
+        let cat = ev
+            .get("cat")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ctx("missing string `cat`"))?;
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ctx("missing string `ph`"))?;
+        for field in ["ts", "pid", "tid"] {
+            if !ev.get(field).is_some_and(Json::is_num) {
+                return Err(ctx(&format!("missing numeric `{field}`")));
+            }
+        }
+        let tid = match ev.get("tid") {
+            Some(Json::Num(n)) => *n as u64,
+            _ => unreachable!("checked above"),
+        };
+        let stack = match open.iter_mut().find(|(t, _)| *t == tid) {
+            Some((_, stack)) => stack,
+            None => {
+                open.push((tid, Vec::new()));
+                &mut open.last_mut().expect("just pushed").1
+            }
+        };
+        match ph {
+            "B" => {
+                if cat == "phase" {
+                    phase_spans += 1;
+                }
+                stack.push(name);
+            }
+            "E" => match stack.pop() {
+                Some(top) if top == name => {}
+                Some(top) => {
+                    return Err(format!(
+                        "event #{ix}: `E` for `{name}` closes open span `{top}` (tid {tid})"
+                    ))
+                }
+                None => {
+                    return Err(format!(
+                        "event #{ix}: `E` for `{name}` with no open span (tid {tid})"
+                    ))
+                }
+            },
+            "i" => {
+                if ev.get("s").and_then(Json::as_str).is_none() {
+                    return Err(ctx("instant event missing scope `s`"));
+                }
+                if cat == "resolution" {
+                    resolution_events += 1;
+                }
+            }
+            other => return Err(ctx(&format!("unexpected phase `{other}`"))),
+        }
+    }
+    for (tid, stack) in &open {
+        if let Some(name) = stack.last() {
+            return Err(format!(
+                "span `{name}` left open at end of trace (tid {tid})"
+            ));
+        }
+    }
+    if phase_spans == 0 {
+        return Err("no `phase`-category spans in trace".to_owned());
+    }
+    if require_resolution && resolution_events == 0 {
+        return Err("no `resolution`-category events in trace".to_owned());
+    }
+    Ok(format!(
+        "{} events, {phase_spans} phase spans, {resolution_events} resolution events, {} threads",
+        events.len(),
+        open.len()
+    ))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut require_resolution = false;
+    let mut files = Vec::new();
+    for a in &args {
+        match a.as_str() {
+            "--require-resolution" => require_resolution = true,
+            "--help" | "-h" => {
+                eprintln!("usage: tracecheck [--require-resolution] <file.json>...");
+                return ExitCode::FAILURE;
+            }
+            other => files.push(other.to_owned()),
+        }
+    }
+    if files.is_empty() {
+        eprintln!("usage: tracecheck [--require-resolution] <file.json>...");
+        return ExitCode::FAILURE;
+    }
+    let mut failed = false;
+    for file in &files {
+        let outcome = std::fs::read_to_string(file)
+            .map_err(|e| format!("cannot read: {e}"))
+            .and_then(|src| Parser::new(&src).parse_document())
+            .and_then(|doc| validate(&doc, require_resolution));
+        match outcome {
+            Ok(summary) => println!("{file}: ok ({summary})"),
+            Err(e) => {
+                failed = true;
+                println!("{file}: INVALID: {e}");
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> Json {
+        Parser::new(src).parse_document().expect("valid json")
+    }
+
+    #[test]
+    fn parses_scalars_and_structures() {
+        let doc = parse(r#"{"a":[1,-2.5,true,null,"x\nA"],"b":{}}"#);
+        let arr = doc.get("a").expect("a");
+        match arr {
+            Json::Arr(items) => {
+                assert_eq!(items.len(), 5);
+                assert!(matches!(items[2], Json::Bool(true)));
+                assert!(matches!(items[3], Json::Null));
+                assert_eq!(items[4].as_str(), Some("x\nA"));
+            }
+            _ => panic!("expected array"),
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(Parser::new("{} x").parse_document().is_err());
+    }
+
+    #[test]
+    fn validates_a_balanced_trace() {
+        let doc = parse(
+            r#"{"traceEvents":[
+                {"name":"parse","cat":"phase","ph":"B","ts":0,"pid":1,"tid":1},
+                {"name":"query_enter","cat":"resolution","ph":"i","ts":1,"pid":1,"tid":1,"s":"t"},
+                {"name":"parse","cat":"phase","ph":"E","ts":2,"pid":1,"tid":1}
+            ]}"#,
+        );
+        let summary = validate(&doc, true).expect("valid");
+        assert!(summary.contains("3 events"));
+    }
+
+    #[test]
+    fn rejects_unbalanced_spans() {
+        let doc = parse(
+            r#"{"traceEvents":[
+                {"name":"parse","cat":"phase","ph":"B","ts":0,"pid":1,"tid":1}
+            ]}"#,
+        );
+        assert!(validate(&doc, false).unwrap_err().contains("left open"));
+    }
+
+    #[test]
+    fn requires_resolution_when_asked() {
+        let doc = parse(
+            r#"{"traceEvents":[
+                {"name":"parse","cat":"phase","ph":"B","ts":0,"pid":1,"tid":1},
+                {"name":"parse","cat":"phase","ph":"E","ts":1,"pid":1,"tid":1}
+            ]}"#,
+        );
+        assert!(validate(&doc, false).is_ok());
+        assert!(validate(&doc, true).is_err());
+    }
+}
