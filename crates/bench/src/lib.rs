@@ -101,7 +101,8 @@ pub fn batch_metrics(
     let decls = Declarations::new();
     let prelude = Prelude::chain(depth);
     let mut session =
-        Session::new(&decls, ResolutionPolicy::paper(), &prelude).expect("chain prelude is valid");
+        Session::new_configured(&decls, ResolutionPolicy::paper(), &prelude, true, true)
+            .expect("chain prelude is valid");
     session.set_trace(Some(SharedSink::new(MetricsSink::new())));
     let mut sum = 0i64;
     for j in 0..programs as i64 {
@@ -180,8 +181,10 @@ pub fn run_vm_batch_cold(
 
 /// Runs the B14 batch **warm** under the chosen backend: one
 /// [`Session`] per worker (prelude compiled once for [`Backend::Vm`],
-/// with per-program code rolled back after each run). Returns the
-/// checksum of all program values — identical to
+/// with per-program code rolled back after each run), with
+/// superinstruction fusion and the dictionary inline cache enabled —
+/// the full warm-path configuration the B14 table measures. Returns
+/// the checksum of all program values — identical to
 /// [`run_vm_batch_cold`]'s.
 pub fn run_vm_batch_warm(
     depth: usize,
@@ -194,8 +197,9 @@ pub fn run_vm_batch_warm(
     run_batch_scoped(jobs, workers, |_, source| {
         let decls = Declarations::new();
         let prelude = Prelude::chain(depth);
-        let mut session = Session::new(&decls, ResolutionPolicy::paper(), &prelude)
-            .expect("chain prelude is valid");
+        let mut session =
+            Session::new_configured(&decls, ResolutionPolicy::paper(), &prelude, true, true)
+                .expect("chain prelude is valid");
         let mut sum = 0i64;
         for (_, j) in source {
             let out = session

@@ -707,6 +707,18 @@ pub(crate) fn derivation_cache_facts(
     }
 }
 
+/// `true` iff every rule `res` committed to lives in the outermost
+/// `prelude_depth` frames of an environment currently `depth` frames
+/// deep (and no policy extension or dangling frame reference is
+/// involved). This is the stability condition a session's dictionary
+/// inline cache checks before answering an implicit-query site with
+/// promoted evidence: a program that shadows a prelude rule produces
+/// a derivation referencing its own (deeper) frame, which fails this
+/// predicate and forces a miss.
+pub fn derivation_within(res: &Resolution, depth: usize, prelude_depth: usize) -> bool {
+    derivation_cache_facts(res, depth).is_some_and(|(_, max_abs)| max_abs < prelude_depth)
+}
+
 type RawHit = (RuleRef, RuleType, Vec<Type>, Vec<RuleType>);
 
 fn lookup_with_assumptions(

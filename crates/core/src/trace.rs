@@ -177,6 +177,27 @@ pub enum TraceEvent {
         /// The resolved rule type, pretty-printed.
         query: String,
     },
+    /// The session's dictionary inline cache answered an
+    /// implicit-query site with an already-promoted evidence global
+    /// (the dynamic analogue of a derivation-cache hit).
+    IcHit {
+        /// The query, pretty-printed.
+        query: String,
+    },
+    /// The dictionary inline cache had no reusable entry for this
+    /// query site (cold site, non-ground query, or an entry
+    /// invalidated by shadowing/rollback).
+    IcMiss {
+        /// The query, pretty-printed.
+        query: String,
+    },
+    /// One bytecode compile finished its superinstruction pass.
+    Fusion {
+        /// Instructions scanned by the peephole pass.
+        scanned: u64,
+        /// Adjacent pairs fused into superinstructions.
+        fused: u64,
+    },
     /// One tree-walking System F evaluation finished.
     TreeEval {
         /// Fuel charged (evaluation steps).
@@ -190,6 +211,10 @@ pub enum TraceEvent {
         tail_calls: u64,
         /// `fix` unfolds answered by the per-closure unfold cache.
         fix_unfolds: u64,
+        /// Match dispatches answered by the match-site inline cache.
+        match_ic_hits: u64,
+        /// Match dispatches that fell back to the linear arm scan.
+        match_ic_misses: u64,
     },
     /// A batch-driver worker picked up a job.
     JobStart {
@@ -227,6 +252,9 @@ impl TraceEvent {
             TraceEvent::QueryFailed { .. } => "query_failed",
             TraceEvent::MemoHit { .. } => "memo_hit",
             TraceEvent::MemoMiss { .. } => "memo_miss",
+            TraceEvent::IcHit { .. } => "ic_hit",
+            TraceEvent::IcMiss { .. } => "ic_miss",
+            TraceEvent::Fusion { .. } => "fusion",
             TraceEvent::TreeEval { .. } => "tree_eval",
             TraceEvent::VmRun { .. } => "vm_run",
             TraceEvent::JobStart { .. } => "job_start",
@@ -248,17 +276,24 @@ impl TraceEvent {
             | TraceEvent::QueryResolved { .. }
             | TraceEvent::QueryFailed { .. } => "resolution",
             TraceEvent::MemoHit { .. } | TraceEvent::MemoMiss { .. } => "memo",
+            TraceEvent::IcHit { .. } | TraceEvent::IcMiss { .. } => "ic",
+            TraceEvent::Fusion { .. } => "compile",
             TraceEvent::TreeEval { .. } | TraceEvent::VmRun { .. } => "eval",
             TraceEvent::JobStart { .. } | TraceEvent::JobFinish { .. } => "driver",
         }
     }
 
     /// `true` for the cache markers a warm stream adds over a
-    /// cache-off stream (`cache_hit` / `cache_miss`).
+    /// cache-off stream (`cache_hit` / `cache_miss`, and the
+    /// dictionary-IC `ic_hit` / `ic_miss` pair, which likewise only
+    /// report cache state without changing observable semantics).
     pub fn is_cache_marker(&self) -> bool {
         matches!(
             self,
-            TraceEvent::CacheHit { .. } | TraceEvent::CacheMiss { .. }
+            TraceEvent::CacheHit { .. }
+                | TraceEvent::CacheMiss { .. }
+                | TraceEvent::IcHit { .. }
+                | TraceEvent::IcMiss { .. }
         )
     }
 
@@ -302,18 +337,28 @@ impl TraceEvent {
                 ("query", Text(query.clone())),
                 ("error", Text(error.clone())),
             ],
-            TraceEvent::MemoHit { query } | TraceEvent::MemoMiss { query } => {
+            TraceEvent::MemoHit { query }
+            | TraceEvent::MemoMiss { query }
+            | TraceEvent::IcHit { query }
+            | TraceEvent::IcMiss { query } => {
                 vec![("query", Text(query.clone()))]
+            }
+            TraceEvent::Fusion { scanned, fused } => {
+                vec![("scanned", Num(*scanned)), ("fused", Num(*fused))]
             }
             TraceEvent::TreeEval { fuel } => vec![("fuel", Num(*fuel))],
             TraceEvent::VmRun {
                 fuel,
                 tail_calls,
                 fix_unfolds,
+                match_ic_hits,
+                match_ic_misses,
             } => vec![
                 ("fuel", Num(*fuel)),
                 ("tail_calls", Num(*tail_calls)),
                 ("fix_unfolds", Num(*fix_unfolds)),
+                ("match_ic_hits", Num(*match_ic_hits)),
+                ("match_ic_misses", Num(*match_ic_misses)),
             ],
             TraceEvent::JobStart {
                 worker,
@@ -647,6 +692,14 @@ pub struct MetricsRegistry {
     pub memo_hits: u64,
     /// Opsem runtime-memo misses.
     pub memo_misses: u64,
+    /// Dictionary inline-cache hits at implicit-query sites.
+    pub ic_hits: u64,
+    /// Dictionary inline-cache misses at implicit-query sites.
+    pub ic_misses: u64,
+    /// Instructions scanned by the superinstruction pass.
+    pub instrs_scanned: u64,
+    /// Adjacent instruction pairs fused into superinstructions.
+    pub instrs_fused: u64,
     /// Tree-walking evaluations completed.
     pub tree_runs: u64,
     /// Fuel charged across tree-walking evaluations.
@@ -659,6 +712,10 @@ pub struct MetricsRegistry {
     pub vm_tail_calls: u64,
     /// VM `fix` unfolds answered by the unfold cache.
     pub vm_fix_unfolds: u64,
+    /// VM match dispatches answered by the match-site inline cache.
+    pub vm_match_ic_hits: u64,
+    /// VM match dispatches that fell back to the linear arm scan.
+    pub vm_match_ic_misses: u64,
     /// Programs a session ran.
     pub programs: u64,
     /// Programs additionally run under the operational semantics.
@@ -698,6 +755,12 @@ impl MetricsRegistry {
             TraceEvent::QueryFailed { .. } => self.queries_failed += 1,
             TraceEvent::MemoHit { .. } => self.memo_hits += 1,
             TraceEvent::MemoMiss { .. } => self.memo_misses += 1,
+            TraceEvent::IcHit { .. } => self.ic_hits += 1,
+            TraceEvent::IcMiss { .. } => self.ic_misses += 1,
+            TraceEvent::Fusion { scanned, fused } => {
+                self.instrs_scanned += scanned;
+                self.instrs_fused += fused;
+            }
             TraceEvent::TreeEval { fuel } => {
                 self.tree_runs += 1;
                 self.tree_fuel += fuel;
@@ -706,11 +769,15 @@ impl MetricsRegistry {
                 fuel,
                 tail_calls,
                 fix_unfolds,
+                match_ic_hits,
+                match_ic_misses,
             } => {
                 self.vm_runs += 1;
                 self.vm_fuel += fuel;
                 self.vm_tail_calls += tail_calls;
                 self.vm_fix_unfolds += fix_unfolds;
+                self.vm_match_ic_hits += match_ic_hits;
+                self.vm_match_ic_misses += match_ic_misses;
             }
             TraceEvent::JobStart { stolen, .. } => {
                 if *stolen {
@@ -736,12 +803,18 @@ impl MetricsRegistry {
         self.cache_evictions += other.cache_evictions;
         self.memo_hits += other.memo_hits;
         self.memo_misses += other.memo_misses;
+        self.ic_hits += other.ic_hits;
+        self.ic_misses += other.ic_misses;
+        self.instrs_scanned += other.instrs_scanned;
+        self.instrs_fused += other.instrs_fused;
         self.tree_runs += other.tree_runs;
         self.tree_fuel += other.tree_fuel;
         self.vm_runs += other.vm_runs;
         self.vm_fuel += other.vm_fuel;
         self.vm_tail_calls += other.vm_tail_calls;
         self.vm_fix_unfolds += other.vm_fix_unfolds;
+        self.vm_match_ic_hits += other.vm_match_ic_hits;
+        self.vm_match_ic_misses += other.vm_match_ic_misses;
         self.programs += other.programs;
         self.opsem_programs += other.opsem_programs;
         self.compiled_programs += other.compiled_programs;
@@ -787,12 +860,18 @@ impl MetricsRegistry {
             ("cache_evictions", self.cache_evictions),
             ("memo_hits", self.memo_hits),
             ("memo_misses", self.memo_misses),
+            ("ic_hits", self.ic_hits),
+            ("ic_misses", self.ic_misses),
+            ("instrs_scanned", self.instrs_scanned),
+            ("instrs_fused", self.instrs_fused),
             ("tree_runs", self.tree_runs),
             ("tree_fuel", self.tree_fuel),
             ("vm_runs", self.vm_runs),
             ("vm_fuel", self.vm_fuel),
             ("vm_tail_calls", self.vm_tail_calls),
             ("vm_fix_unfolds", self.vm_fix_unfolds),
+            ("vm_match_ic_hits", self.vm_match_ic_hits),
+            ("vm_match_ic_misses", self.vm_match_ic_misses),
             ("programs", self.programs),
             ("opsem_programs", self.opsem_programs),
             ("compiled_programs", self.compiled_programs),
@@ -830,6 +909,16 @@ impl MetricsRegistry {
             row("memo hits", self.memo_hits.to_string());
             row("memo misses", self.memo_misses.to_string());
         }
+        if self.ic_hits + self.ic_misses > 0 {
+            row("ic hits", self.ic_hits.to_string());
+            row("ic misses", self.ic_misses.to_string());
+            let rate = 100.0 * self.ic_hits as f64 / (self.ic_hits + self.ic_misses) as f64;
+            row("ic hit rate", format!("{rate:.1}%"));
+        }
+        if self.instrs_scanned > 0 {
+            row("instrs scanned", self.instrs_scanned.to_string());
+            row("instrs fused", self.instrs_fused.to_string());
+        }
         if self.tree_runs > 0 {
             row("tree runs", self.tree_runs.to_string());
             row("tree fuel", self.tree_fuel.to_string());
@@ -839,6 +928,8 @@ impl MetricsRegistry {
             row("vm fuel", self.vm_fuel.to_string());
             row("vm tail calls", self.vm_tail_calls.to_string());
             row("vm fix unfolds", self.vm_fix_unfolds.to_string());
+            row("vm match ic hits", self.vm_match_ic_hits.to_string());
+            row("vm match ic misses", self.vm_match_ic_misses.to_string());
         }
         if self.programs > 0 {
             row("programs", self.programs.to_string());
@@ -949,6 +1040,15 @@ mod tests {
             fuel: 10,
             tail_calls: 4,
             fix_unfolds: 2,
+            match_ic_hits: 3,
+            match_ic_misses: 1,
+        });
+        m.record(&TraceEvent::IcHit {
+            query: "Int".into(),
+        });
+        m.record(&TraceEvent::Fusion {
+            scanned: 30,
+            fused: 6,
         });
         m.record(&TraceEvent::JobStart {
             worker: 0,
@@ -966,6 +1066,9 @@ mod tests {
         assert_eq!(total.queries, 2);
         assert_eq!(total.max_query_depth, 3);
         assert_eq!(total.vm_fuel, 20);
+        assert_eq!(total.vm_match_ic_hits, 6);
+        assert_eq!(total.ic_hits, 2);
+        assert_eq!(total.instrs_fused, 12);
         assert_eq!(total.steals, 2);
         assert_eq!(total.jobs, 2);
         let table = total.render_table();

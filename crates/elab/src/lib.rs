@@ -39,15 +39,21 @@
 // boxing advice would cost clarity for no measurable gain.
 #![allow(clippy::result_large_err)]
 
-use std::collections::BTreeSet;
+use std::cell::RefCell;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
+use std::rc::Rc;
 
 use implicit_core::alpha;
 use implicit_core::env::ImplicitEnv;
-use implicit_core::resolve::{resolve, Premise, Resolution, ResolutionPolicy, RuleRef};
+use implicit_core::intern::{self, InternSnapshot, RuleId};
+use implicit_core::resolve::{
+    derivation_within, resolve, Premise, Resolution, ResolutionPolicy, RuleRef,
+};
 use implicit_core::subst::TySubst;
 use implicit_core::symbol::{base_name, fresh, Symbol};
 use implicit_core::syntax::{Declarations, Expr, RuleType, TyVar, Type, UnOp};
+use implicit_core::trace::TraceEvent;
 use implicit_core::typeck::{types_equal, TypeError};
 use systemf::eval::{EvalError, Evaluator, Value};
 use systemf::syntax::{FDeclarations, FExpr, FInterfaceDecl, FType};
@@ -144,12 +150,122 @@ pub fn translate_decls(decls: &Declarations) -> FDeclarations {
     out
 }
 
+/// A session-lifetime **dictionary inline cache** for implicit-query
+/// sites — the dynamic analogue of the derivation cache.
+///
+/// A warm session owns one of these (shared with its [`Elaborator`]
+/// via [`Elaborator::set_dict_cache`]). When an implicit query is
+/// *ground and context-free* — its evidence is a plain first-order
+/// value, not a `Λ`/`λ` abstraction — and its resolution commits only
+/// to prelude-frame rules, the session may *promote* the evaluated
+/// evidence to a compiled-backend global; later elaborations of the
+/// same query (keyed by interned [`RuleId`]) then emit a single
+/// global load instead of rebuilding and re-evaluating the evidence
+/// term.
+///
+/// Correctness hinges on the hit condition: a hit requires the
+/// *current* resolution of the query (resolution always runs; it is
+/// cheap under the derivation cache) to still be prelude-pure
+/// ([`derivation_within`]). A program that shadows a prelude rule
+/// resolves to its own deeper frame, fails that check, and gets
+/// fresh evidence — so rollback of per-program frames needs no
+/// explicit invalidation sweep. Entries are keyed by interned ids,
+/// which an arena trim can orphan; [`DictCache::retain_covered`]
+/// drops exactly the entries a truncation would dangle (ids below
+/// the watermark are stable across truncation).
+#[derive(Default, Debug)]
+pub struct DictCache {
+    /// Environment depth of the session prelude: a derivation is
+    /// promotable iff it only references frames below this.
+    prelude_depth: usize,
+    /// Promoted queries: interned query id → evidence global.
+    entries: HashMap<RuleId, Symbol>,
+    /// Evidence awaiting promotion, recorded at miss time and drained
+    /// by the session after the program's code extension rolls back.
+    pending: Vec<(RuleType, FExpr)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl DictCache {
+    /// An empty cache for a prelude `prelude_depth` frames deep.
+    pub fn new(prelude_depth: usize) -> DictCache {
+        DictCache {
+            prelude_depth,
+            ..DictCache::default()
+        }
+    }
+
+    /// `true` for queries whose evidence a dictionary global can
+    /// stand in for: no quantifiers, no context (evidence is not an
+    /// abstraction), and a ground head (no free type variables, so
+    /// one interned id names one semantic query).
+    pub fn cacheable(rho: &RuleType) -> bool {
+        rho.vars().is_empty() && rho.context().is_empty() && intern::rule_is_ground(rho)
+    }
+
+    /// Number of promoted entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing has been promoted yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `(hits, misses)` counted over cacheable query sites.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// The promoted global for `rho`, if any, counting a hit.
+    fn lookup_hit(&mut self, id: RuleId) -> Option<Symbol> {
+        let g = self.entries.get(&id).copied();
+        if g.is_some() {
+            self.hits += 1;
+        }
+        g
+    }
+
+    /// Registers a promoted evidence global for `rho`.
+    pub fn insert(&mut self, rho: &RuleType, global: Symbol) {
+        self.entries.insert(intern::rule_id(rho), global);
+    }
+
+    /// Drains the evidence recorded for promotion since the last
+    /// call, deduplicated by query id (a program may contain the same
+    /// query site many times).
+    pub fn take_pending(&mut self) -> Vec<(RuleType, FExpr)> {
+        let mut seen: std::collections::HashSet<RuleId> = std::collections::HashSet::new();
+        std::mem::take(&mut self.pending)
+            .into_iter()
+            .filter(|(rho, _)| {
+                let id = intern::rule_id(rho);
+                seen.insert(id) && !self.entries.contains_key(&id)
+            })
+            .collect()
+    }
+
+    /// Drops entries whose interned query id a truncation to `snap`
+    /// would orphan. Must be called *before* the truncation, while
+    /// the ids still index the live arena; surviving ids are stable
+    /// because truncation keeps a prefix.
+    pub fn retain_covered(&mut self, snap: &InternSnapshot) {
+        self.entries.retain(|id, _| snap.covers_rule(*id));
+        self.pending.clear();
+    }
+}
+
 /// The elaborator: a combined type checker and translator
 /// implementing `Γ ∣ Δ ⊢ e : τ ⇝ E`.
 pub struct Elaborator<'d> {
     decls: &'d Declarations,
     policy: ResolutionPolicy,
     trace: Option<implicit_core::trace::SharedSink>,
+    /// Dictionary inline cache, installed by a warm session's
+    /// compiled path (see [`DictCache`]).
+    dict: Option<Rc<RefCell<DictCache>>>,
 }
 
 struct State {
@@ -181,6 +297,7 @@ impl<'d> Elaborator<'d> {
             decls,
             policy: ResolutionPolicy::paper(),
             trace: None,
+            dict: None,
         }
     }
 
@@ -190,6 +307,7 @@ impl<'d> Elaborator<'d> {
             decls,
             policy,
             trace: None,
+            dict: None,
         }
     }
 
@@ -205,6 +323,36 @@ impl<'d> Elaborator<'d> {
     /// (the warm-session entry point).
     pub fn set_trace(&mut self, sink: Option<implicit_core::trace::SharedSink>) {
         self.trace = sink;
+    }
+
+    /// Installs or clears the dictionary inline cache. While a cache
+    /// is attached, ground context-free queries whose resolution is
+    /// prelude-pure elaborate to a promoted evidence global when the
+    /// cache holds one (emitting [`TraceEvent::IcHit`]), and are
+    /// recorded for promotion otherwise ([`TraceEvent::IcMiss`]).
+    /// Only a session's *compiled* path should attach the cache: the
+    /// promoted globals exist in the session compiler's global table,
+    /// not in a tree-walker environment.
+    pub fn set_dict_cache(&mut self, dict: Option<Rc<RefCell<DictCache>>>) {
+        self.dict = dict;
+    }
+
+    /// Emits a dictionary-IC hit/miss marker through the trace sink.
+    fn emit_ic(&self, hit: bool, rho: &RuleType) {
+        if let Some(sink) = &self.trace {
+            let mut sink = sink.clone();
+            if implicit_core::trace::TraceSink::enabled(&sink) {
+                let query = rho.to_string();
+                implicit_core::trace::TraceSink::event(
+                    &mut sink,
+                    if hit {
+                        TraceEvent::IcHit { query }
+                    } else {
+                        TraceEvent::IcMiss { query }
+                    },
+                );
+            }
+        }
     }
 
     /// Elaborates a closed expression, returning its λ⇒ type and its
@@ -328,6 +476,33 @@ impl<'d> Elaborator<'d> {
                     }
                     None => resolve(&st.delta, rho, &self.policy).map_err(TypeError::from)?,
                 };
+                // Dictionary inline cache: resolution always runs
+                // (cheap under the derivation cache, and its events
+                // keep the trace stream IC-transparent); the cache
+                // only decides whether the *evidence* is a promoted
+                // global or a fresh term. The hit condition re-checks
+                // prelude-purity of the current derivation, so a
+                // program shadowing a prelude rule can never observe
+                // a stale dictionary.
+                if let Some(dict) = &self.dict {
+                    if DictCache::cacheable(rho) {
+                        let pure =
+                            derivation_within(&res, st.delta.depth(), dict.borrow().prelude_depth);
+                        if pure {
+                            if let Some(g) = dict.borrow_mut().lookup_hit(intern::rule_id(rho)) {
+                                self.emit_ic(true, rho);
+                                return Ok((rho.to_type(), FExpr::Var(g)));
+                            }
+                        }
+                        dict.borrow_mut().misses += 1;
+                        self.emit_ic(false, rho);
+                        if pure {
+                            let ev = self.evidence_of(st, &res)?;
+                            dict.borrow_mut().pending.push((rho.clone(), ev.clone()));
+                            return Ok((rho.to_type(), ev));
+                        }
+                    }
+                }
                 let ev = self.evidence_of(st, &res)?;
                 Ok((rho.to_type(), ev))
             }

@@ -49,7 +49,7 @@ use implicit_core::syntax::{Declarations, Expr, RuleType, Type};
 use implicit_core::trace::{
     FanSink, MetricsRegistry, MetricsSink, Phase, SharedSink, TraceEvent, TraceSink,
 };
-use implicit_elab::{translate_decls, translate_rule_type, translate_type, Elaborator};
+use implicit_elab::{translate_decls, translate_rule_type, translate_type, DictCache, Elaborator};
 use implicit_elab::{ElabError, RunError, RunOutput};
 use implicit_opsem::{ImplStack, Interpreter, OpsemError, VarEnv};
 use systemf::compile::CodeSnapshot;
@@ -311,6 +311,14 @@ pub struct Session<'d> {
     compiler: Compiler,
     vm_globals: Vec<systemf::Value>,
     code_base: CodeSnapshot,
+    /// Dictionary inline cache for the compiled path (attached to the
+    /// elaborator only while `dict_ic` is on; see
+    /// [`Session::set_dict_ic`]).
+    dict: Rc<RefCell<DictCache>>,
+    dict_ic: bool,
+    /// Preservation-wrapper binders for promoted dictionary globals,
+    /// parallel to their `vm_globals`/compiler-global registrations.
+    dict_binders: Vec<(Symbol, FType)>,
     /// Operational-semantics leg: one interpreter whose memo persists.
     interp: Interpreter<'d>,
     venv: VarEnv,
@@ -341,6 +349,25 @@ impl<'d> Session<'d> {
         policy: ResolutionPolicy,
         prelude: &Prelude,
     ) -> Result<Session<'d>, SessionError> {
+        Session::new_configured(decls, policy, prelude, true, false)
+    }
+
+    /// [`Session::new`] with the optimization knobs chosen up front:
+    /// `fusion` selects superinstruction lowering for *all* code this
+    /// session compiles (including the prelude, which
+    /// [`Session::set_fusion`] cannot reach — it is compiled here),
+    /// and `dict_ic` starts the dictionary inline cache enabled.
+    ///
+    /// # Errors
+    ///
+    /// See [`Session::new`].
+    pub fn new_configured(
+        decls: &'d Declarations,
+        policy: ResolutionPolicy,
+        prelude: &Prelude,
+        fusion: bool,
+        dict_ic: bool,
+    ) -> Result<Session<'d>, SessionError> {
         let elab = Elaborator::with_policy(decls, policy.clone());
         let fdecls = translate_decls(decls);
         let mut interp = Interpreter::new(decls).with_policy(policy.clone());
@@ -351,6 +378,7 @@ impl<'d> Session<'d> {
         let mut fenv = FEnv::new();
         let mut venv = VarEnv::new();
         let mut compiler = Compiler::new();
+        compiler.set_fusion(fusion);
         let mut vm_globals: Vec<systemf::Value> = Vec::new();
         for (x, ty, bound) in &prelude.lets {
             let mut scratch = ImplicitEnv::new();
@@ -424,6 +452,7 @@ impl<'d> Session<'d> {
         let intern_base = intern::snapshot();
         let env_base = env.snapshot();
         let code_base = compiler.snapshot();
+        let dict = Rc::new(RefCell::new(DictCache::new(evidence.len())));
         Ok(Session {
             decls,
             policy,
@@ -437,6 +466,9 @@ impl<'d> Session<'d> {
             compiler,
             vm_globals,
             code_base,
+            dict,
+            dict_ic,
+            dict_binders: Vec::new(),
             interp,
             venv,
             istack,
@@ -482,6 +514,9 @@ impl<'d> Session<'d> {
         let (memo_hits, memo_misses) = self.interp.memo_counters();
         m.memo_hits = memo_hits;
         m.memo_misses = memo_misses;
+        let (ic_hits, ic_misses) = self.dict.borrow().counters();
+        m.ic_hits = ic_hits;
+        m.ic_misses = ic_misses;
         m.programs = self.stats.programs;
         m.opsem_programs = self.stats.opsem_programs;
         m.compiled_programs = self.stats.compiled_programs;
@@ -534,6 +569,46 @@ impl<'d> Session<'d> {
         self.interp.memo_counters()
     }
 
+    /// Enables or disables the **dictionary inline cache** on the
+    /// compiled path ([`Session::run_compiled`]): ground context-free
+    /// queries whose resolution is prelude-pure get their evaluated
+    /// evidence promoted to a session global, and later occurrences
+    /// compile to a single global load. Off by default; the tree and
+    /// opsem legs are never affected. Disabling detaches the cache
+    /// but keeps promoted entries, so re-enabling resumes warm.
+    pub fn set_dict_ic(&mut self, on: bool) {
+        self.dict_ic = on;
+    }
+
+    /// Whether the dictionary inline cache is enabled.
+    pub fn dict_ic_enabled(&self) -> bool {
+        self.dict_ic
+    }
+
+    /// `(hits, misses)` of the dictionary inline cache.
+    pub fn dict_counters(&self) -> (u64, u64) {
+        self.dict.borrow().counters()
+    }
+
+    /// Number of promoted dictionary entries.
+    pub fn dict_entries(&self) -> usize {
+        self.dict.borrow().len()
+    }
+
+    /// Superinstruction knob for the session compiler: affects code
+    /// compiled from now on (existing code keeps its shape). For a
+    /// fusion-free session build the session with this off before
+    /// running anything — already-compiled prelude functions are not
+    /// re-lowered.
+    pub fn set_fusion(&mut self, on: bool) {
+        self.compiler.set_fusion(on);
+    }
+
+    /// Cumulative superinstruction statistics of the session compiler.
+    pub fn fusion_stats(&self) -> &systemf::compile::FusionStats {
+        self.compiler.fusion_stats()
+    }
+
     /// Cumulative session statistics.
     pub fn stats(&self) -> SessionStats {
         self.stats
@@ -548,6 +623,10 @@ impl<'d> Session<'d> {
     ///
     /// Returns the same [`RunError`] stages as the cold pipeline.
     pub fn run(&mut self, e: &Expr) -> Result<RunOutput, RunError> {
+        // The dictionary IC rewrites query sites to compiled-backend
+        // globals, which a tree-walker environment cannot resolve —
+        // the tree leg always elaborates with the cache detached.
+        self.elab.set_dict_cache(None);
         let out = self.run_inner(e);
         // Elaboration pushes/pops its own frames even on error, but be
         // defensive: never let a failed program leak frames into the
@@ -605,6 +684,10 @@ impl<'d> Session<'d> {
                     .copied()
                     .zip(self.context.iter().map(translate_rule_type)),
             )
+            // Promoted dictionary globals are free variables of
+            // IC-hit targets; bind them in the preservation wrapper
+            // like any other piece of session state.
+            .chain(self.dict_binders.iter().cloned())
             .collect();
         for (x, fty) in binders.iter().rev() {
             closed = FExpr::Lam(*x, fty.clone(), closed.into());
@@ -639,15 +722,57 @@ impl<'d> Session<'d> {
     ///
     /// [`Instr::Global`]: systemf::compile::Instr::Global
     pub fn run_compiled(&mut self, e: &Expr) -> Result<RunOutput, RunError> {
+        self.elab
+            .set_dict_cache(self.dict_ic.then(|| self.dict.clone()));
         let out = self.run_compiled_inner(e);
+        self.elab.set_dict_cache(None);
         let base = self.env_base;
         self.env.restore(&base);
         let code_base = self.code_base;
         self.compiler.rollback(&code_base);
+        // Promote after the per-program extension is gone, so the
+        // dictionaries' code and globals become part of the session
+        // watermark instead of being swept by the next rollback.
+        self.promote_dicts();
         self.stats.programs += 1;
         self.stats.compiled_programs += 1;
         self.maybe_trim();
         out
+    }
+
+    /// Compiles and evaluates the evidence the dictionary IC recorded
+    /// this program, registering each value as a session global. The
+    /// evaluation happens against prelude globals only (the evidence
+    /// is prelude-pure by construction), in scratch code space that
+    /// becomes part of the session watermark on success.
+    ///
+    /// Only *first-order* values are promoted: a dictionary that
+    /// evaluates to a closure would pin compiled function indices and
+    /// is skipped (`try_eq` on the value with itself is the
+    /// first-order test the equality primitive already defines).
+    /// Evidence that fails to evaluate — possible when its query site
+    /// sat in a branch the program never took — is skipped silently;
+    /// the query keeps elaborating to fresh evidence, preserving the
+    /// cold semantics exactly.
+    fn promote_dicts(&mut self) {
+        if !self.dict_ic {
+            return;
+        }
+        let pending = self.dict.borrow_mut().take_pending();
+        for (query, ev) in pending {
+            let snap = self.compiler.snapshot();
+            match compile_eval(&mut self.compiler, &self.vm_globals, &ev) {
+                Ok(v) if v.try_eq(&v) == Some(true) => {
+                    let g = fresh("dict");
+                    self.compiler.add_global(g);
+                    self.vm_globals.push(v);
+                    self.dict_binders.push((g, translate_rule_type(&query)));
+                    self.dict.borrow_mut().insert(&query, g);
+                    self.code_base = self.compiler.snapshot();
+                }
+                _ => self.compiler.rollback(&snap),
+            }
+        }
     }
 
     fn run_compiled_inner(&mut self, e: &Expr) -> Result<RunOutput, RunError> {
@@ -655,7 +780,19 @@ impl<'d> Session<'d> {
         self.emit(TraceEvent::PhaseStart {
             phase: Phase::Compile,
         });
+        let (scanned0, fused0) = {
+            let fs = self.compiler.fusion_stats();
+            (fs.instrs_scanned, fs.fused)
+        };
         let compiled = self.compiler.compile(&target);
+        let (scanned1, fused1) = {
+            let fs = self.compiler.fusion_stats();
+            (fs.instrs_scanned, fs.fused)
+        };
+        self.emit(TraceEvent::Fusion {
+            scanned: scanned1 - scanned0,
+            fused: fused1 - fused0,
+        });
         self.emit(TraceEvent::PhaseEnd {
             phase: Phase::Compile,
         });
@@ -668,6 +805,8 @@ impl<'d> Session<'d> {
             fuel: stats.fuel_used,
             tail_calls: stats.tail_calls,
             fix_unfolds: stats.fix_unfolds,
+            match_ic_hits: stats.match_ic_hits,
+            match_ic_misses: stats.match_ic_misses,
         });
         self.emit(TraceEvent::PhaseEnd { phase: Phase::Vm });
         let value = value.map_err(RunError::Eval)?;
@@ -729,6 +868,11 @@ impl<'d> Session<'d> {
         let base = self.intern_base;
         self.env.retain_cache(|id| base.covers_rule(id));
         self.interp.retain_memo(|id| base.covers_rule(id));
+        // Dictionary entries are keyed by interned rule id; drop the
+        // ones the truncation would orphan *before* truncating (ids
+        // below the watermark are prefix-stable). Their globals stay
+        // registered — harmless dead weight, re-promoted on demand.
+        self.dict.borrow_mut().retain_covered(&base);
         intern::truncate_to(&base);
         self.stats.trims += 1;
     }

@@ -1,0 +1,209 @@
+//! Dictionary inline cache: repeated ground implicit queries against a
+//! warm session must hit the promoted-dictionary fast path, and the
+//! cache must never change observable results — in particular a
+//! program that *shadows* a prelude rule must see the inner binding,
+//! not a stale cached dictionary.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use implicit_core::resolve::ResolutionPolicy;
+use implicit_core::syntax::{BinOp, Declarations, Expr, Type};
+use implicit_core::trace::{CollectSink, SharedSink, TraceEvent};
+use implicit_pipeline::{Prelude, Session};
+
+/// Deep chain resolutions overflow the default test-thread stack in
+/// debug builds; mirror the in-crate tests' big-stack harness.
+fn with_big_stack(f: impl FnOnce() + Send + 'static) {
+    std::thread::Builder::new()
+        .stack_size(64 << 20)
+        .spawn(f)
+        .unwrap()
+        .join()
+        .unwrap();
+}
+
+fn chain_query_program(n: usize, j: i64) -> Expr {
+    Expr::binop(
+        BinOp::Add,
+        Expr::Snd(Expr::query_simple(Prelude::chain_head(n)).into()),
+        Expr::Int(j),
+    )
+}
+
+#[test]
+fn repeated_queries_hit_the_dictionary_cache() {
+    with_big_stack(|| {
+        let decls = Declarations::default();
+        let prelude = Prelude::chain(10);
+        let mut sess = Session::new(&decls, ResolutionPolicy::paper(), &prelude).unwrap();
+        sess.set_dict_ic(true);
+
+        // Cold query: resolution runs, no cache entry yet.
+        let first = sess.run_compiled(&chain_query_program(10, 1)).unwrap();
+        let (hits0, misses0) = sess.dict_counters();
+        assert_eq!(hits0, 0, "first query cannot hit");
+        assert!(misses0 >= 1, "first query records a miss");
+        assert!(
+            sess.dict_entries() >= 1,
+            "successful run promotes the resolved dictionary"
+        );
+
+        // Warm queries: same ground query → cached global, and the
+        // value still matches the tree walker exactly.
+        for j in 2..6 {
+            let e = chain_query_program(10, j);
+            let vm = sess.run_compiled(&e).unwrap();
+            let tree = sess.run(&e).unwrap();
+            assert_eq!(vm.value.to_string(), tree.value.to_string());
+            assert_eq!(vm.source_type.to_string(), tree.source_type.to_string());
+        }
+        let (hits, _) = sess.dict_counters();
+        assert!(hits >= 4, "warm ground queries hit the cache (got {hits})");
+        assert_eq!(first.value.to_string(), {
+            let mut cold = Session::new(&decls, ResolutionPolicy::paper(), &prelude).unwrap();
+            cold.run_compiled(&chain_query_program(10, 1))
+                .unwrap()
+                .value
+                .to_string()
+        });
+
+        // The session metrics surface the same counters.
+        let m = sess.metrics();
+        assert_eq!(m.ic_hits, hits, "metrics mirror the cache's hit counter");
+    });
+}
+
+#[test]
+fn cache_hits_emit_ic_trace_events() {
+    with_big_stack(|| {
+        let decls = Declarations::default();
+        let prelude = Prelude::chain(8);
+        let mut sess = Session::new(&decls, ResolutionPolicy::paper(), &prelude).unwrap();
+        sess.set_dict_ic(true);
+        let sink = Rc::new(RefCell::new(CollectSink::new()));
+        sess.set_trace(Some(SharedSink::from_rc(sink.clone())));
+
+        sess.run_compiled(&chain_query_program(8, 0)).unwrap();
+        let cold_events = std::mem::take(&mut sink.borrow_mut().events);
+        assert!(
+            cold_events
+                .iter()
+                .any(|ev| matches!(ev, TraceEvent::IcMiss { .. })),
+            "cold query traces an IC miss"
+        );
+
+        sess.run_compiled(&chain_query_program(8, 1)).unwrap();
+        let warm_events = std::mem::take(&mut sink.borrow_mut().events);
+        assert!(
+            warm_events
+                .iter()
+                .any(|ev| matches!(ev, TraceEvent::IcHit { .. })),
+            "warm query traces an IC hit"
+        );
+    });
+}
+
+#[test]
+fn shadowing_a_prelude_rule_bypasses_the_cached_dictionary() {
+    let decls = Declarations::default();
+    let prelude = Prelude::implicits(vec![(Expr::Int(1), Type::Int.promote())]);
+    let mut sess = Session::new(&decls, ResolutionPolicy::paper(), &prelude).unwrap();
+    sess.set_dict_ic(true);
+
+    // Warm the cache on the prelude's Int rule.
+    let q = Expr::query_simple(Type::Int);
+    assert_eq!(sess.run_compiled(&q).unwrap().value.to_string(), "1");
+    assert_eq!(sess.run_compiled(&q).unwrap().value.to_string(), "1");
+    let (hits_before, _) = sess.dict_counters();
+    assert!(hits_before >= 1, "plain query warms the cache");
+
+    // A program-local implicit shadows the prelude rule: the query
+    // resolves against the inner frame, so the cached prelude
+    // dictionary must NOT be served.
+    let shadowed = Expr::implicit(
+        vec![(Expr::Int(2), Type::Int.promote())],
+        Expr::query_simple(Type::Int),
+        Type::Int,
+    );
+    let vm = sess.run_compiled(&shadowed).unwrap();
+    assert_eq!(
+        vm.value.to_string(),
+        "2",
+        "inner binding wins over the cache"
+    );
+    let tree = sess.run(&shadowed).unwrap();
+    assert_eq!(tree.value.to_string(), "2");
+    let (hits_after, _) = sess.dict_counters();
+    assert_eq!(
+        hits_after, hits_before,
+        "a shadowed query never counts as a cache hit"
+    );
+
+    // And the plain query still hits afterwards — shadowing is
+    // scoped, not a global invalidation.
+    assert_eq!(sess.run_compiled(&q).unwrap().value.to_string(), "1");
+    assert!(sess.dict_counters().0 > hits_after);
+}
+
+#[test]
+fn cache_survives_session_trim() {
+    with_big_stack(|| {
+        let decls = Declarations::default();
+        let prelude = Prelude::chain(8);
+        let mut sess = Session::new(&decls, ResolutionPolicy::paper(), &prelude).unwrap();
+        sess.set_dict_ic(true);
+
+        sess.run_compiled(&chain_query_program(8, 0)).unwrap();
+        let entries = sess.dict_entries();
+        assert!(entries >= 1);
+        // Trimming truncates the intern tables to the prelude
+        // snapshot; entries keyed by rules interned after it are
+        // dropped (their ids would dangle), never left stale.
+        sess.trim();
+        assert!(
+            sess.dict_entries() <= entries,
+            "trim may only shrink the cache"
+        );
+        // Correctness is unaffected: the next run re-resolves,
+        // re-promotes on demand, and still agrees with the tree leg.
+        let out = sess.run_compiled(&chain_query_program(8, 3)).unwrap();
+        let tree = sess.run(&chain_query_program(8, 3)).unwrap();
+        assert_eq!(out.value.to_string(), tree.value.to_string());
+        assert!(sess.dict_entries() >= 1, "dropped entries re-promote");
+        let hits = sess.dict_counters().0;
+        sess.run_compiled(&chain_query_program(8, 4)).unwrap();
+        assert!(
+            sess.dict_counters().0 > hits,
+            "re-promoted entry hits again"
+        );
+    });
+}
+
+#[test]
+fn dict_ic_never_changes_results_across_knob_settings() {
+    with_big_stack(|| {
+        let decls = Declarations::default();
+        let prelude = Prelude::chain(10);
+        let mut on =
+            Session::new_configured(&decls, ResolutionPolicy::paper(), &prelude, true, true)
+                .unwrap();
+        let mut off = Session::new(&decls, ResolutionPolicy::paper(), &prelude).unwrap();
+        for j in 0..6 {
+            let e = chain_query_program(10, j);
+            let a = on.run_compiled(&e).unwrap();
+            let b = off.run_compiled(&e).unwrap();
+            assert_eq!(a.value.to_string(), b.value.to_string(), "[{j}]");
+            assert_eq!(
+                a.source_type.to_string(),
+                b.source_type.to_string(),
+                "[{j}]"
+            );
+        }
+        assert!(
+            on.dict_counters().0 > 0,
+            "IC-on leg actually exercised hits"
+        );
+        assert_eq!(off.dict_counters(), (0, 0), "IC-off leg never touches it");
+    });
+}

@@ -53,6 +53,7 @@ fn vm_fuel_is_bounded_by_tree_fuel() {
                     fuel,
                     tail_calls,
                     fix_unfolds,
+                    ..
                 } => Some((*fuel, *tail_calls, *fix_unfolds)),
                 _ => None,
             })

@@ -50,6 +50,16 @@ fn warm_session_is_observationally_equal_to_cold_runs() {
     for (pname, policy) in policies() {
         let mut sess = Session::new(&decls, policy.clone(), &prelude)
             .unwrap_or_else(|e| panic!("[{pname}] prelude failed: {e}"));
+        // Compiled-backend legs, one per optimization configuration:
+        // superinstructions + dictionary IC, superinstructions only
+        // (the default), and plain unfused bytecode. All three must be
+        // observationally equal to the warm tree walker.
+        let mut vm_ic = Session::new_configured(&decls, policy.clone(), &prelude, true, true)
+            .unwrap_or_else(|e| panic!("[{pname}] prelude failed: {e}"));
+        let mut vm_plain = Session::new(&decls, policy.clone(), &prelude)
+            .unwrap_or_else(|e| panic!("[{pname}] prelude failed: {e}"));
+        let mut vm_nofuse = Session::new_configured(&decls, policy.clone(), &prelude, false, false)
+            .unwrap_or_else(|e| panic!("[{pname}] prelude failed: {e}"));
         for seed in 0..SEEDS_PER_POLICY {
             let mut r = rng(0xC0FFEE ^ seed);
             let prog = gen_program_with(&mut r, &config, &decls);
@@ -120,8 +130,75 @@ fn warm_session_is_observationally_equal_to_cold_runs() {
                     prog.expr
                 ),
             }
+            // Compiled legs: every optimization configuration of the
+            // bytecode backend must match the warm tree-walk outcome.
+            let legs = [
+                ("vm+ic", vm_ic.run_compiled(&prog.expr)),
+                ("vm", vm_plain.run_compiled(&prog.expr)),
+                ("vm-nofuse", vm_nofuse.run_compiled(&prog.expr)),
+            ];
+            match &warm {
+                Ok(w) => {
+                    for (lname, leg) in &legs {
+                        let l = leg.as_ref().unwrap_or_else(|e| {
+                            panic!(
+                                "[{pname}/{seed}] {lname} errored `{e}` where the \
+                                 tree walker succeeded on {}",
+                                prog.expr
+                            )
+                        });
+                        assert_eq!(
+                            l.value.to_string(),
+                            w.value.to_string(),
+                            "[{pname}/{seed}] {lname} value mismatch on {}",
+                            prog.expr
+                        );
+                        assert_eq!(
+                            l.source_type.to_string(),
+                            w.source_type.to_string(),
+                            "[{pname}/{seed}] {lname} source type mismatch"
+                        );
+                    }
+                }
+                Err(_) => {
+                    // Backend error *text* may differ tree vs VM, but
+                    // all three VM configurations must fail alike.
+                    let msgs: Vec<String> = legs
+                        .iter()
+                        .map(|(lname, leg)| match leg {
+                            Err(e) => normalize(&e.to_string()),
+                            Ok(o) => panic!(
+                                "[{pname}/{seed}] {lname} produced {} where the \
+                                 tree walker errored on {}",
+                                o.value, prog.expr
+                            ),
+                        })
+                        .collect();
+                    assert!(
+                        msgs.windows(2).all(|w| w[0] == w[1]),
+                        "[{pname}/{seed}] compiled legs disagree on the error: {msgs:?}"
+                    );
+                }
+            }
             checked += 1;
         }
+
+        // The IC leg must have genuinely exercised the dictionary
+        // cache: a repeated ground prelude query hits.
+        let probe = Expr::binop(
+            implicit_core::syntax::BinOp::Add,
+            Expr::Snd(Expr::query_simple(Prelude::chain_head(CHAIN)).into()),
+            Expr::Int(7),
+        );
+        vm_ic
+            .run_compiled(&probe)
+            .unwrap_or_else(|e| panic!("[{pname}] probe failed: {e}"));
+        let hits_before = vm_ic.dict_counters().0;
+        vm_ic.run_compiled(&probe).unwrap();
+        assert!(
+            vm_ic.dict_counters().0 > hits_before,
+            "[{pname}] dictionary IC never hit on a repeated ground query"
+        );
 
         // Derivation leg: ground prelude queries resolved against the
         // warm environment (cache and all) must produce exactly the

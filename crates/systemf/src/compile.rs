@@ -25,6 +25,7 @@
 //! discarded afterwards — the same watermark discipline the
 //! hash-consing interner uses.
 
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
@@ -157,14 +158,134 @@ pub enum Instr {
     /// Pop a data value; select the arm from the indexed
     /// [`MatchTable`], bind its fields, and jump to the arm body.
     Match(u32),
+    /// Superinstruction: push local slot, then push constant-pool
+    /// entry (fused `Local; Const`).
+    LocalConst {
+        /// Local slot.
+        slot: u16,
+        /// Constant-pool index.
+        konst: u32,
+    },
+    /// Superinstruction: push two local slots (fused `Local; Local`).
+    LocalLocal {
+        /// First slot pushed.
+        a: u16,
+        /// Second slot pushed.
+        b: u16,
+    },
+    /// Superinstruction: apply a primitive with the popped stack top
+    /// as the left operand and a constant as the right operand (fused
+    /// `Const; Bin`).
+    ConstBin {
+        /// Constant-pool index of the right operand.
+        konst: u32,
+        /// The operator.
+        op: BinOp,
+    },
+    /// Superinstruction: apply a primitive with the popped stack top
+    /// as the left operand and a local slot as the right operand
+    /// (fused `Local; Bin`).
+    LocalBin {
+        /// Local slot of the right operand.
+        slot: u16,
+        /// The operator.
+        op: BinOp,
+    },
+    /// Superinstruction: pop right then left operand, apply a
+    /// primitive, and jump when the result is `false` (fused
+    /// `Bin; JumpIfFalse` — the compare-and-branch at the top of
+    /// every counting loop).
+    BinJumpIfFalse {
+        /// The operator.
+        op: BinOp,
+        /// Branch target for a `false` result.
+        target: u32,
+    },
+    /// Superinstruction: return a constant (fused `Const; Ret`).
+    ConstRet {
+        /// Constant-pool index of the result.
+        konst: u32,
+    },
+    /// Superinstruction: return a local slot (fused `Local; Ret`).
+    LocalRet {
+        /// Local slot of the result.
+        slot: u16,
+    },
+    /// Superinstruction: apply a primitive to a local slot and a
+    /// constant without touching the operand stack (fused
+    /// `Local; Const; Bin` — the loop-variable update and the
+    /// loop-bound compare both take this shape).
+    LocalConstBin {
+        /// Local slot of the left operand.
+        slot: u16,
+        /// Constant-pool index of the right operand.
+        konst: u32,
+        /// The operator.
+        op: BinOp,
+    },
+    /// Superinstruction: apply a primitive to two local slots without
+    /// touching the operand stack (fused `Local; Local; Bin`).
+    LocalLocalBin {
+        /// Local slot of the left operand.
+        a: u16,
+        /// Local slot of the right operand.
+        b: u16,
+        /// The operator.
+        op: BinOp,
+    },
+    /// Superinstruction: compare a local slot against a constant and
+    /// branch when the result is `false`, all without touching the
+    /// operand stack (fused `Local; Const; Bin; JumpIfFalse` — the
+    /// guard of every compiled counting loop).
+    LocalConstBinJump {
+        /// Local slot of the left operand.
+        slot: u16,
+        /// Constant-pool index of the right operand.
+        konst: u32,
+        /// The operator.
+        op: BinOp,
+        /// Branch target for a `false` result.
+        target: u32,
+    },
+    /// Superinstruction: apply a primitive to a local slot and a
+    /// constant, then tail-call the stack top with the result as the
+    /// argument (fused `Local; Const; Bin; TailCall` — the
+    /// loop-variable update and back-edge of every compiled counting
+    /// loop).
+    LocalConstBinTail {
+        /// Local slot of the left operand.
+        slot: u16,
+        /// Constant-pool index of the right operand.
+        konst: u32,
+        /// The operator.
+        op: BinOp,
+    },
 }
 
 /// The dispatch table of one `match` expression.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct MatchTable {
     /// Arms in source order (first match by constructor wins, as in
     /// the tree-walker).
     pub arms: Vec<MatchArmCode>,
+    /// Monomorphic inline cache: the index of the arm this table
+    /// selected last (`u32::MAX` until the first dispatch). Match
+    /// sites are overwhelmingly monomorphic, so the VM probes this
+    /// arm before falling back to the linear scan. The cell lives in
+    /// `CodeSnapshot`-governed storage: every table belongs to
+    /// exactly one `Match` instruction of one function, and session
+    /// rollback truncates `match_tables`, so a stale cache can never
+    /// survive the code it describes.
+    pub ic: Cell<u32>,
+}
+
+impl Default for MatchTable {
+    fn default() -> MatchTable {
+        MatchTable {
+            arms: Vec::new(),
+            ic: Cell::new(u32::MAX),
+        }
+    }
 }
 
 /// One compiled `match` arm.
@@ -282,6 +403,155 @@ impl FnCtx {
     }
 }
 
+/// Cumulative superinstruction statistics of one [`Compiler`]:
+/// the opcode-pair mining table plus what the fusion pass actually
+/// emitted. Counters survive [`Compiler::rollback`] — they describe
+/// the whole session, not one program.
+#[derive(Clone, Debug, Default)]
+pub struct FusionStats {
+    /// Instructions scanned (pre-fusion stream length).
+    pub instrs_scanned: u64,
+    /// Instructions eliminated by fusion (a pair adds 1, a triple 2,
+    /// a quad 3).
+    pub fused: u64,
+    /// Emitted superinstructions by mnemonic.
+    pub fused_by_kind: HashMap<&'static str, u64>,
+    /// Adjacent opcode pairs seen in the pre-fusion stream, by
+    /// mnemonic — the mining table the fused set was selected from.
+    pub pair_counts: HashMap<(&'static str, &'static str), u64>,
+}
+
+impl FusionStats {
+    /// The `n` most frequent adjacent opcode pairs, most frequent
+    /// first (ties broken lexicographically for determinism).
+    pub fn top_pairs(&self, n: usize) -> Vec<((&'static str, &'static str), u64)> {
+        let mut pairs: Vec<_> = self.pair_counts.iter().map(|(k, v)| (*k, *v)).collect();
+        pairs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        pairs.truncate(n);
+        pairs
+    }
+
+    /// Accumulates another compiler's counters into this one (used to
+    /// aggregate per-worker stats in batch mode).
+    pub fn merge(&mut self, other: &FusionStats) {
+        self.instrs_scanned += other.instrs_scanned;
+        self.fused += other.fused;
+        for (k, v) in &other.fused_by_kind {
+            *self.fused_by_kind.entry(k).or_insert(0) += v;
+        }
+        for (k, v) in &other.pair_counts {
+            *self.pair_counts.entry(*k).or_insert(0) += v;
+        }
+    }
+}
+
+/// A short mnemonic for an instruction's opcode (payload-blind), as
+/// used by the pair-mining table.
+pub fn mnemonic(i: &Instr) -> &'static str {
+    match i {
+        Instr::Const(_) => "const",
+        Instr::Local(_) => "local",
+        Instr::Capture(_) => "capture",
+        Instr::Global(_) => "global",
+        Instr::Rec => "rec",
+        Instr::Closure(_) => "closure",
+        Instr::TyClosure(_) => "tyclosure",
+        Instr::EnterFix(_) => "enterfix",
+        Instr::Call => "call",
+        Instr::TailCall => "tailcall",
+        Instr::Force => "force",
+        Instr::Ret => "ret",
+        Instr::Jump(_) => "jump",
+        Instr::JumpIfFalse(_) => "jumpiffalse",
+        Instr::Bin(_) => "bin",
+        Instr::Un(_) => "un",
+        Instr::MakePair => "makepair",
+        Instr::Fst => "fst",
+        Instr::Snd => "snd",
+        Instr::PushNil => "pushnil",
+        Instr::ConsList => "conslist",
+        Instr::CaseList { .. } => "caselist",
+        Instr::MakeRecord { .. } => "makerecord",
+        Instr::Project(_) => "project",
+        Instr::Inject { .. } => "inject",
+        Instr::Match(_) => "match",
+        Instr::LocalConst { .. } => "local+const",
+        Instr::LocalLocal { .. } => "local+local",
+        Instr::ConstBin { .. } => "const+bin",
+        Instr::LocalBin { .. } => "local+bin",
+        Instr::BinJumpIfFalse { .. } => "bin+jumpiffalse",
+        Instr::ConstRet { .. } => "const+ret",
+        Instr::LocalRet { .. } => "local+ret",
+        Instr::LocalConstBin { .. } => "local+const+bin",
+        Instr::LocalLocalBin { .. } => "local+local+bin",
+        Instr::LocalConstBinJump { .. } => "local+const+bin+jumpiffalse",
+        Instr::LocalConstBinTail { .. } => "local+const+bin+tailcall",
+    }
+}
+
+/// Fuses one adjacent instruction quadruple, or `None`.
+fn fuse_quad(a: Instr, b: Instr, c: Instr, d: Instr) -> Option<Instr> {
+    match (a, b, c, d) {
+        (Instr::Local(slot), Instr::Const(konst), Instr::Bin(op), Instr::JumpIfFalse(target)) => {
+            Some(Instr::LocalConstBinJump {
+                slot,
+                konst,
+                op,
+                target,
+            })
+        }
+        (Instr::Local(slot), Instr::Const(konst), Instr::Bin(op), Instr::TailCall) => {
+            Some(Instr::LocalConstBinTail { slot, konst, op })
+        }
+        _ => None,
+    }
+}
+
+/// Fuses one adjacent instruction triple, or `None` when the triple
+/// has no superinstruction. Triples are preferred over pairs: they
+/// elide two dispatches and keep the whole primitive application off
+/// the operand stack.
+fn fuse_triple(a: Instr, b: Instr, c: Instr) -> Option<Instr> {
+    Some(match (a, b, c) {
+        (Instr::Local(slot), Instr::Const(konst), Instr::Bin(op)) => {
+            Instr::LocalConstBin { slot, konst, op }
+        }
+        (Instr::Local(a), Instr::Local(b), Instr::Bin(op)) => Instr::LocalLocalBin { a, b, op },
+        _ => return None,
+    })
+}
+
+/// Fuses one adjacent instruction pair, or `None` when the pair has
+/// no superinstruction.
+fn fuse_pair(a: Instr, b: Instr) -> Option<Instr> {
+    Some(match (a, b) {
+        (Instr::Const(k), Instr::Bin(op)) => Instr::ConstBin { konst: k, op },
+        (Instr::Local(s), Instr::Bin(op)) => Instr::LocalBin { slot: s, op },
+        (Instr::Bin(op), Instr::JumpIfFalse(t)) => Instr::BinJumpIfFalse { op, target: t },
+        (Instr::Const(k), Instr::Ret) => Instr::ConstRet { konst: k },
+        (Instr::Local(s), Instr::Ret) => Instr::LocalRet { slot: s },
+        (Instr::Local(s), Instr::Const(k)) => Instr::LocalConst { slot: s, konst: k },
+        (Instr::Local(a), Instr::Local(b)) => Instr::LocalLocal { a, b },
+        _ => return None,
+    })
+}
+
+/// `true` for superinstructions that *consume* the stack top
+/// (operator fusions) rather than merely pushing two values. The
+/// greedy scan prefers these: in `Local; Const; Bin` fusing
+/// `Const; Bin` saves a push *and* a dispatch, while `Local; Const`
+/// saves only the dispatch.
+fn consumes(i: &Instr) -> bool {
+    matches!(
+        i,
+        Instr::ConstBin { .. }
+            | Instr::LocalBin { .. }
+            | Instr::BinJumpIfFalse { .. }
+            | Instr::ConstRet { .. }
+            | Instr::LocalRet { .. }
+    )
+}
+
 /// The incremental bytecode compiler.
 ///
 /// A session-scoped instance accumulates functions, pools, and
@@ -289,7 +559,6 @@ impl FnCtx {
 /// [`CodeObject`] is shared by all of them, so a warm session's
 /// prelude functions stay compiled while per-program extensions are
 /// rolled back via [`Compiler::rollback`].
-#[derive(Default)]
 pub struct Compiler {
     code: CodeObject,
     int_pool: HashMap<i64, u32>,
@@ -297,6 +566,23 @@ pub struct Compiler {
     misc_pool: HashMap<u8, u32>,
     globals: Vec<Symbol>,
     global_map: HashMap<Symbol, u32>,
+    fusion: bool,
+    stats: FusionStats,
+}
+
+impl Default for Compiler {
+    fn default() -> Compiler {
+        Compiler {
+            code: CodeObject::default(),
+            int_pool: HashMap::new(),
+            str_pool: HashMap::new(),
+            misc_pool: HashMap::new(),
+            globals: Vec::new(),
+            global_map: HashMap::new(),
+            fusion: true,
+            stats: FusionStats::default(),
+        }
+    }
 }
 
 impl Compiler {
@@ -370,16 +656,153 @@ impl Compiler {
         Ok(self.finish(ctx))
     }
 
+    /// Enables or disables superinstruction fusion for functions
+    /// compiled *from now on* (default: enabled). Already-compiled
+    /// functions are unaffected, so a session that wants a fusion-off
+    /// leg must set this before compiling its prelude.
+    pub fn set_fusion(&mut self, on: bool) {
+        self.fusion = on;
+    }
+
+    /// Whether superinstruction fusion is enabled.
+    pub fn fusion_enabled(&self) -> bool {
+        self.fusion
+    }
+
+    /// Cumulative pair-mining and fusion counters.
+    pub fn fusion_stats(&self) -> &FusionStats {
+        &self.stats
+    }
+
     fn finish(&mut self, mut ctx: FnCtx) -> u32 {
         ctx.emit(Instr::Ret);
+        self.stats.instrs_scanned += ctx.code.len() as u64;
+        for w in ctx.code.windows(2) {
+            *self
+                .stats
+                .pair_counts
+                .entry((mnemonic(&w[0]), mnemonic(&w[1])))
+                .or_insert(0) += 1;
+        }
+        let code = if self.fusion {
+            self.fuse(ctx.code)
+        } else {
+            ctx.code
+        };
         let idx = self.code.funcs.len() as u32;
         self.code.funcs.push(FuncCode {
             kind: ctx.kind,
             nslots: ctx.nslots,
             captures: ctx.cap_srcs,
-            code: ctx.code,
+            code,
         });
         idx
+    }
+
+    /// The peephole superinstruction pass: greedily fuses adjacent
+    /// pairs (preferring operator fusions over push-push fusions via
+    /// one instruction of lookahead), never across a *leader* — an
+    /// instruction some jump lands on — and remaps every jump target,
+    /// `CaseList` nil target, and match-table arm target through the
+    /// old→new index map. Deterministic, so recompiling the same term
+    /// after a rollback reproduces identical code.
+    fn fuse(&mut self, code: Vec<Instr>) -> Vec<Instr> {
+        let n = code.len();
+        let mut leader = vec![false; n + 1];
+        for instr in &code {
+            match instr {
+                Instr::Jump(t) | Instr::JumpIfFalse(t) | Instr::CaseList { nil_target: t, .. } => {
+                    leader[*t as usize] = true
+                }
+                Instr::Match(tbl) => {
+                    for arm in &self.code.match_tables[*tbl as usize].arms {
+                        leader[arm.target as usize] = true;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let mut out = Vec::with_capacity(n);
+        let mut map = vec![0u32; n + 1];
+        let mut i = 0;
+        while i < n {
+            map[i] = out.len() as u32;
+            // Longest fusion first: a quadruple elides three
+            // dispatches, a triple two, a pair one.
+            if i + 3 < n && !leader[i + 1] && !leader[i + 2] && !leader[i + 3] {
+                if let Some(f) = fuse_quad(code[i], code[i + 1], code[i + 2], code[i + 3]) {
+                    for k in 1..4 {
+                        map[i + k] = out.len() as u32;
+                    }
+                    *self.stats.fused_by_kind.entry(mnemonic(&f)).or_insert(0) += 1;
+                    self.stats.fused += 3;
+                    out.push(f);
+                    i += 4;
+                    continue;
+                }
+            }
+            if i + 2 < n && !leader[i + 1] && !leader[i + 2] {
+                if let Some(f) = fuse_triple(code[i], code[i + 1], code[i + 2]) {
+                    // The swallowed slots are never leaders, so no
+                    // jump can land there; map them anyway to keep
+                    // the table total.
+                    map[i + 1] = out.len() as u32;
+                    map[i + 2] = out.len() as u32;
+                    *self.stats.fused_by_kind.entry(mnemonic(&f)).or_insert(0) += 1;
+                    self.stats.fused += 2;
+                    out.push(f);
+                    i += 3;
+                    continue;
+                }
+            }
+            let mut fused = None;
+            if i + 1 < n && !leader[i + 1] {
+                if let Some(f) = fuse_pair(code[i], code[i + 1]) {
+                    // Lookahead: leave a push-push pair unfused when
+                    // the *next* pair is an operator fusion.
+                    let next_consumes = !consumes(&f)
+                        && i + 2 < n
+                        && !leader[i + 2]
+                        && fuse_pair(code[i + 1], code[i + 2])
+                            .as_ref()
+                            .is_some_and(consumes);
+                    if !next_consumes {
+                        fused = Some(f);
+                    }
+                }
+            }
+            match fused {
+                Some(f) => {
+                    map[i + 1] = out.len() as u32;
+                    *self.stats.fused_by_kind.entry(mnemonic(&f)).or_insert(0) += 1;
+                    self.stats.fused += 1;
+                    out.push(f);
+                    i += 2;
+                }
+                None => {
+                    out.push(code[i]);
+                    i += 1;
+                }
+            }
+        }
+        map[n] = out.len() as u32;
+        for instr in &mut out {
+            match instr {
+                Instr::Jump(t)
+                | Instr::JumpIfFalse(t)
+                | Instr::CaseList { nil_target: t, .. }
+                | Instr::BinJumpIfFalse { target: t, .. }
+                | Instr::LocalConstBinJump { target: t, .. } => *t = map[*t as usize],
+                Instr::Match(tbl) => {
+                    let tbl = *tbl as usize;
+                    for arm in &mut self.code.match_tables[tbl].arms {
+                        arm.target = map[arm.target as usize];
+                    }
+                }
+                _ => {}
+            }
+        }
+        out
     }
 
     fn pool_const(&mut self, v: Value, key: PoolKey) -> u32 {

@@ -8,6 +8,23 @@
 //! [`crate::eval::Evaluator`] needs the 64 MB worker stacks of
 //! `implicit_pipeline::driver` for the same programs).
 //!
+//! ## Value representation
+//!
+//! The hot loop does not traffic in [`Value`] at all. Operands are
+//! tagged words ([`Word`]): a `Copy` scalar that carries ints, bools,
+//! unit, and the empty list inline and represents every compound
+//! value as an index into a per-run bump arena ([`Heap`]). Pushing,
+//! popping, and binding locals are plain 16-byte copies — no
+//! refcount traffic, no `Drop` glue, no per-node boxes. Pairs,
+//! cons cells, closures, records, and data values are appended to
+//! the arena and never freed mid-run (the language is pure and the
+//! run is fuel-bounded); the arena is dropped wholesale when the run
+//! finishes. The public boundary is unchanged: [`Vm::run`] takes
+//! `&[Value]` globals and returns a [`Value`], importing and
+//! exporting at the edges.
+//!
+//! ## Semantics
+//!
 //! Semantics mirror the tree-walker exactly: call-by-value, eager
 //! (non-short-circuit) `&&`/`||`, unfold-one-step `fix`, and the same
 //! [`EvalError`] kinds and messages, so a differential oracle can
@@ -15,19 +32,24 @@
 //! *frame entry* (call, force, fix unfold) rather than per node;
 //! since every frame entry corresponds to at least one tree-walker
 //! node visit, a program that finishes under the tree-walker's budget
-//! always finishes under the same VM budget.
+//! always finishes under the same VM budget. Inline caches and
+//! superinstructions only ever *skip* work — they never charge or
+//! save fuel — so the comparability invariant is untouched.
 
-use std::cell::RefCell;
+use std::cell::Cell;
 use std::rc::Rc;
 
 use implicit_core::symbol::Symbol;
 
 use crate::compile::{CapSrc, CodeObject, CompileError, Compiler, Instr};
-use crate::eval::{binop, EvalError, Value};
-use crate::syntax::{FExpr, UnOp};
+use crate::eval::{EvalError, Value};
+use crate::syntax::{BinOp, FExpr, UnOp};
 
-/// A flat compiled closure: a function index plus the captured
-/// values, materialized at creation time.
+/// A flat compiled closure at the [`Value`] boundary: a function
+/// index plus the captured values, materialized at creation time.
+/// Inside a run the VM uses arena-resident [`HClosure`]s instead;
+/// this type only appears when a closure crosses the boundary (a
+/// session global, or a program whose result is a function).
 #[derive(Debug)]
 pub struct VmClosure {
     /// Index into [`CodeObject::funcs`].
@@ -36,34 +58,370 @@ pub struct VmClosure {
     /// directives. A `fix` self-reference is stored as the
     /// [`Value::CompiledRec`] sentinel.
     pub captures: Vec<Value>,
+}
+
+impl VmClosure {
+    fn new(func: u32, captures: Vec<Value>) -> VmClosure {
+        VmClosure { func, captures }
+    }
+}
+
+/// The tagged-word operand representation. `Copy`, 16 bytes:
+/// scalars are carried inline, compound values are indices into the
+/// run's [`Heap`] arena.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Word {
+    /// Integer, inline.
+    Int(i64),
+    /// Boolean, inline.
+    Bool(bool),
+    /// Unit, inline.
+    Unit,
+    /// The empty list, inline.
+    Nil,
+    /// String: index into [`Heap::strs`].
+    Str(u32),
+    /// Pair: index into [`Heap::pairs`].
+    Pair(u32),
+    /// Non-empty list: index of a cons cell in [`Heap::conses`].
+    Cons(u32),
+    /// Function closure: index into [`Heap::clos`].
+    Clo(u32),
+    /// Type-abstraction thunk: index into [`Heap::clos`].
+    TyClo(u32),
+    /// `fix` self-reference sentinel: index into [`Heap::clos`].
+    /// Loading it from a capture unfolds the recursion one step.
+    Rec(u32),
+    /// Record: index into [`Heap::records`].
+    Record(u32),
+    /// Data (constructor application): index into [`Heap::datas`].
+    Data(u32),
+    /// An opaque boundary value the word representation cannot carry
+    /// (a tree-walker closure passed in as a global): index into
+    /// [`Heap::exts`]. Only ever observed by error paths and
+    /// equality, exactly like the tree-walker would.
+    Ext(u32),
+}
+
+/// An arena-resident closure.
+struct HClosure {
+    func: u32,
+    captures: Vec<Word>,
     /// One-step unfolding cache, used only when this closure is a
     /// `fix` body: the language is pure, so re-running the body
     /// always yields the same value, and a recursive loop would
     /// otherwise re-enter it (and re-allocate its result closure) on
     /// every iteration. Caching only ever *reduces* fuel charged, so
     /// the tree-walker-comparability invariant is preserved.
-    unfolded: RefCell<Option<Value>>,
+    unfolded: Cell<Option<Word>>,
 }
 
-impl VmClosure {
-    fn new(func: u32, captures: Vec<Value>) -> VmClosure {
-        VmClosure {
+/// An arena-resident record.
+struct HRecord {
+    name: Symbol,
+    fields: Rc<[Symbol]>,
+    vals: Vec<Word>,
+}
+
+/// An arena-resident data value.
+struct HData {
+    ctor: Symbol,
+    fields: Vec<Word>,
+}
+
+/// The per-run bump arena. Every compound value a run creates lives
+/// here, addressed by the `u32` payload of its [`Word`]; nothing is
+/// freed until the whole arena drops at the end of the run.
+#[derive(Default)]
+struct Heap {
+    pairs: Vec<(Word, Word)>,
+    /// Cons cells `(head, tail)`; `tail` is `Nil` or `Cons`. O(1)
+    /// cons, structure sharing for tails — the same shape the
+    /// tree-walker gets from `Rc` sharing, without the refcounts.
+    conses: Vec<(Word, Word)>,
+    strs: Vec<Rc<str>>,
+    clos: Vec<HClosure>,
+    records: Vec<HRecord>,
+    datas: Vec<HData>,
+    exts: Vec<Value>,
+}
+
+impl Heap {
+    fn alloc_clo(&mut self, func: u32, captures: Vec<Word>) -> u32 {
+        let i = self.clos.len() as u32;
+        self.clos.push(HClosure {
             func,
             captures,
-            unfolded: RefCell::new(None),
+            unfolded: Cell::new(None),
+        });
+        i
+    }
+}
+
+/// Imports a boundary [`Value`] into the arena.
+fn import(v: &Value, heap: &mut Heap) -> Word {
+    match v {
+        Value::Int(n) => Word::Int(*n),
+        Value::Bool(b) => Word::Bool(*b),
+        Value::Unit => Word::Unit,
+        Value::Str(s) => {
+            heap.strs.push(s.clone());
+            Word::Str((heap.strs.len() - 1) as u32)
+        }
+        Value::Pair(a, b) => {
+            let wa = import(a, heap);
+            let wb = import(b, heap);
+            heap.pairs.push((wa, wb));
+            Word::Pair((heap.pairs.len() - 1) as u32)
+        }
+        Value::List(xs) => {
+            let mut acc = Word::Nil;
+            for x in xs.iter().rev() {
+                let h = import(x, heap);
+                heap.conses.push((h, acc));
+                acc = Word::Cons((heap.conses.len() - 1) as u32);
+            }
+            acc
+        }
+        Value::Record { name, fields } => {
+            let syms: Rc<[Symbol]> = fields.iter().map(|(u, _)| *u).collect();
+            let vals: Vec<Word> = fields.iter().map(|(_, v)| import(v, heap)).collect();
+            heap.records.push(HRecord {
+                name: *name,
+                fields: syms,
+                vals,
+            });
+            Word::Record((heap.records.len() - 1) as u32)
+        }
+        Value::Data { ctor, fields } => {
+            let vals: Vec<Word> = fields.iter().map(|v| import(v, heap)).collect();
+            heap.datas.push(HData {
+                ctor: *ctor,
+                fields: vals,
+            });
+            Word::Data((heap.datas.len() - 1) as u32)
+        }
+        Value::CompiledClosure(rc) => {
+            let caps: Vec<Word> = rc.captures.iter().map(|c| import(c, heap)).collect();
+            Word::Clo(heap.alloc_clo(rc.func, caps))
+        }
+        Value::CompiledTyClosure(rc) => {
+            let caps: Vec<Word> = rc.captures.iter().map(|c| import(c, heap)).collect();
+            Word::TyClo(heap.alloc_clo(rc.func, caps))
+        }
+        Value::CompiledRec(rc) => {
+            let caps: Vec<Word> = rc.captures.iter().map(|c| import(c, heap)).collect();
+            Word::Rec(heap.alloc_clo(rc.func, caps))
+        }
+        // Tree-walker closures have no compiled code to point at;
+        // carry them opaquely (they can only be observed by error
+        // messages and closure-equality errors, same as the
+        // tree-walker).
+        Value::Closure { .. } | Value::TyClosure { .. } => {
+            heap.exts.push(v.clone());
+            Word::Ext((heap.exts.len() - 1) as u32)
         }
     }
 }
 
+/// Exports an arena word back to a boundary [`Value`].
+fn export(w: Word, heap: &Heap) -> Value {
+    match w {
+        Word::Int(n) => Value::Int(n),
+        Word::Bool(b) => Value::Bool(b),
+        Word::Unit => Value::Unit,
+        Word::Nil => Value::List(Rc::new(Vec::new())),
+        Word::Str(i) => Value::Str(heap.strs[i as usize].clone()),
+        Word::Pair(i) => {
+            let (a, b) = heap.pairs[i as usize];
+            Value::Pair(Rc::new(export(a, heap)), Rc::new(export(b, heap)))
+        }
+        Word::Cons(_) => {
+            let mut xs = Vec::new();
+            let mut cur = w;
+            while let Word::Cons(i) = cur {
+                let (h, t) = heap.conses[i as usize];
+                xs.push(export(h, heap));
+                cur = t;
+            }
+            Value::List(Rc::new(xs))
+        }
+        Word::Record(i) => {
+            let r = &heap.records[i as usize];
+            let fields: Vec<(Symbol, Value)> = r
+                .fields
+                .iter()
+                .copied()
+                .zip(r.vals.iter().map(|v| export(*v, heap)))
+                .collect();
+            Value::Record {
+                name: r.name,
+                fields: Rc::new(fields),
+            }
+        }
+        Word::Data(i) => {
+            let d = &heap.datas[i as usize];
+            Value::Data {
+                ctor: d.ctor,
+                fields: Rc::new(d.fields.iter().map(|v| export(*v, heap)).collect()),
+            }
+        }
+        Word::Clo(i) => {
+            let c = &heap.clos[i as usize];
+            Value::CompiledClosure(Rc::new(VmClosure::new(
+                c.func,
+                c.captures.iter().map(|w| export(*w, heap)).collect(),
+            )))
+        }
+        Word::TyClo(i) => {
+            let c = &heap.clos[i as usize];
+            Value::CompiledTyClosure(Rc::new(VmClosure::new(
+                c.func,
+                c.captures.iter().map(|w| export(*w, heap)).collect(),
+            )))
+        }
+        Word::Rec(i) => {
+            let c = &heap.clos[i as usize];
+            Value::CompiledRec(Rc::new(VmClosure::new(
+                c.func,
+                c.captures.iter().map(|w| export(*w, heap)).collect(),
+            )))
+        }
+        Word::Ext(i) => heap.exts[i as usize].clone(),
+    }
+}
+
+/// Renders a word the way the tree-walker renders the equivalent
+/// [`Value`] — error paths only.
+fn show(w: Word, heap: &Heap) -> String {
+    export(w, heap).to_string()
+}
+
+/// Structural equality on first-order words (`None` when a closure is
+/// involved), mirroring [`Value::try_eq`] decision-for-decision —
+/// including its length-before-elements short-circuiting, so the two
+/// backends stick (or don't) on exactly the same comparisons.
+fn word_eq(a: Word, b: Word, heap: &Heap) -> Option<bool> {
+    match (a, b) {
+        (Word::Int(x), Word::Int(y)) => Some(x == y),
+        (Word::Bool(x), Word::Bool(y)) => Some(x == y),
+        (Word::Unit, Word::Unit) => Some(true),
+        (Word::Str(x), Word::Str(y)) => Some(heap.strs[x as usize] == heap.strs[y as usize]),
+        (Word::Pair(p), Word::Pair(q)) => {
+            let (a1, b1) = heap.pairs[p as usize];
+            let (a2, b2) = heap.pairs[q as usize];
+            if !word_eq(a1, a2, heap)? {
+                return Some(false);
+            }
+            word_eq(b1, b2, heap)
+        }
+        (Word::Nil, Word::Nil) => Some(true),
+        (Word::Nil, Word::Cons(_)) | (Word::Cons(_), Word::Nil) => Some(false),
+        (Word::Cons(_), Word::Cons(_)) => {
+            if list_len(a, heap) != list_len(b, heap) {
+                return Some(false);
+            }
+            let (mut x, mut y) = (a, b);
+            while let (Word::Cons(i), Word::Cons(j)) = (x, y) {
+                let (hx, tx) = heap.conses[i as usize];
+                let (hy, ty) = heap.conses[j as usize];
+                if !word_eq(hx, hy, heap)? {
+                    return Some(false);
+                }
+                x = tx;
+                y = ty;
+            }
+            Some(true)
+        }
+        (Word::Data(x), Word::Data(y)) => {
+            let dx = &heap.datas[x as usize];
+            let dy = &heap.datas[y as usize];
+            if dx.ctor != dy.ctor || dx.fields.len() != dy.fields.len() {
+                return Some(false);
+            }
+            for (u, v) in dx.fields.iter().zip(dy.fields.iter()) {
+                if !word_eq(*u, *v, heap)? {
+                    return Some(false);
+                }
+            }
+            Some(true)
+        }
+        (Word::Record(x), Word::Record(y)) => {
+            let rx = &heap.records[x as usize];
+            let ry = &heap.records[y as usize];
+            if rx.name != ry.name || rx.fields.len() != ry.fields.len() {
+                return Some(false);
+            }
+            for (i, (u1, u2)) in rx.fields.iter().zip(ry.fields.iter()).enumerate() {
+                if u1 != u2 {
+                    return Some(false);
+                }
+                if !word_eq(rx.vals[i], ry.vals[i], heap)? {
+                    return Some(false);
+                }
+            }
+            Some(true)
+        }
+        _ => None,
+    }
+}
+
+fn list_len(mut w: Word, heap: &Heap) -> usize {
+    let mut n = 0;
+    while let Word::Cons(i) = w {
+        n += 1;
+        w = heap.conses[i as usize].1;
+    }
+    n
+}
+
+/// Word-level primitive application, byte-identical in results and
+/// error messages to [`crate::eval`]'s `binop`.
+#[inline]
+fn binop_w(op: BinOp, a: Word, b: Word, heap: &mut Heap) -> Result<Word, EvalError> {
+    use BinOp::*;
+    match (op, a, b) {
+        (Add, Word::Int(x), Word::Int(y)) => Ok(Word::Int(x.wrapping_add(y))),
+        (Sub, Word::Int(x), Word::Int(y)) => Ok(Word::Int(x.wrapping_sub(y))),
+        (Mul, Word::Int(x), Word::Int(y)) => Ok(Word::Int(x.wrapping_mul(y))),
+        (Div, Word::Int(_), Word::Int(0)) | (Mod, Word::Int(_), Word::Int(0)) => {
+            Err(EvalError::DivisionByZero)
+        }
+        (Div, Word::Int(x), Word::Int(y)) => Ok(Word::Int(x.wrapping_div(y))),
+        (Mod, Word::Int(x), Word::Int(y)) => Ok(Word::Int(x.wrapping_rem(y))),
+        (Lt, Word::Int(x), Word::Int(y)) => Ok(Word::Bool(x < y)),
+        (Le, Word::Int(x), Word::Int(y)) => Ok(Word::Bool(x <= y)),
+        (And, Word::Bool(x), Word::Bool(y)) => Ok(Word::Bool(x && y)),
+        (Or, Word::Bool(x), Word::Bool(y)) => Ok(Word::Bool(x || y)),
+        (Concat, Word::Str(x), Word::Str(y)) => {
+            let s = format!("{}{}", heap.strs[x as usize], heap.strs[y as usize]);
+            heap.strs.push(Rc::from(s.as_str()));
+            Ok(Word::Str((heap.strs.len() - 1) as u32))
+        }
+        (Eq, a, b) => word_eq(a, b, heap)
+            .map(Word::Bool)
+            .ok_or_else(|| EvalError::Stuck("equality on closures".into())),
+        (op, a, b) => Err(EvalError::Stuck(format!(
+            "{op:?} on {} and {}",
+            show(a, heap),
+            show(b, heap)
+        ))),
+    }
+}
+
+/// Frame sentinel for "no closure / not a fix body".
+const NONE: u32 = u32::MAX;
+
 /// One activation record. `stack_base`/`locals_base` delimit the
-/// frame's slices of the shared operand and locals stacks.
+/// frame's slices of the shared operand and locals stacks; `clo` and
+/// `rec` are arena closure indices (or [`NONE`]).
 struct Frame {
     func: u32,
     ip: usize,
     stack_base: usize,
     locals_base: usize,
-    clo: Option<Rc<VmClosure>>,
-    rec: Option<Rc<VmClosure>>,
+    clo: u32,
+    rec: u32,
 }
 
 /// The virtual machine, carrying the same kind of step budget as the
@@ -73,6 +431,8 @@ pub struct Vm {
     initial_fuel: u64,
     tail_calls: u64,
     fix_unfolds: u64,
+    match_ic_hits: u64,
+    match_ic_misses: u64,
 }
 
 /// Execution counters of one [`Vm`], cumulative over its lifetime
@@ -85,6 +445,12 @@ pub struct VmStats {
     pub tail_calls: u64,
     /// `fix` unfolds answered by the per-closure unfold cache.
     pub fix_unfolds: u64,
+    /// Match dispatches answered by the match-site inline cache
+    /// (last-arm probe succeeded).
+    pub match_ic_hits: u64,
+    /// Match dispatches that fell back to the linear arm scan (and
+    /// refilled the cache).
+    pub match_ic_misses: u64,
 }
 
 impl Default for Vm {
@@ -107,6 +473,8 @@ impl Vm {
             initial_fuel: fuel,
             tail_calls: 0,
             fix_unfolds: 0,
+            match_ic_hits: 0,
+            match_ic_misses: 0,
         }
     }
 
@@ -121,11 +489,17 @@ impl Vm {
             fuel_used: self.initial_fuel - self.fuel,
             tail_calls: self.tail_calls,
             fix_unfolds: self.fix_unfolds,
+            match_ic_hits: self.match_ic_hits,
+            match_ic_misses: self.match_ic_misses,
         }
     }
 
     /// Runs function `main` of `code` to completion. `globals` must
     /// be parallel to the owning [`Compiler`]'s global table.
+    ///
+    /// Creates a fresh bump arena for the run, imports the constant
+    /// pool and globals into it, executes the word-level dispatch
+    /// loop, and exports the result.
     ///
     /// # Errors
     ///
@@ -138,278 +512,305 @@ impl Vm {
         main: u32,
         globals: &[Value],
     ) -> Result<Value, EvalError> {
-        let mut stack: Vec<Value> = Vec::new();
-        let mut locals: Vec<Value> = Vec::new();
+        let mut heap = Heap::default();
+        let wconsts: Vec<Word> = code.consts.iter().map(|v| import(v, &mut heap)).collect();
+        let wglobals: Vec<Word> = globals.iter().map(|v| import(v, &mut heap)).collect();
+        self.run_words(code, main, &wconsts, &wglobals, &mut heap)
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn run_words(
+        &mut self,
+        code: &CodeObject,
+        main: u32,
+        wconsts: &[Word],
+        wglobals: &[Word],
+        heap: &mut Heap,
+    ) -> Result<Value, EvalError> {
+        let mut stack: Vec<Word> = Vec::new();
+        let mut locals: Vec<Word> = Vec::new();
         let mut frames: Vec<Frame> = Vec::new();
-        self.enter(code, &mut frames, &mut locals, 0, main, None, None, None)?;
+        self.enter(code, &mut frames, &mut locals, 0, main, None, NONE, NONE)?;
         // Dispatch registers: the hot loop reads these instead of
         // chasing `frames.last()` and double-indexing `code.funcs` on
-        // every instruction. They are written back to the `Frame` on
-        // a call (so `Ret` can resume the caller) and reloaded on
-        // every frame push/pop.
+        // every instruction. The mutable ones are written back to the
+        // `Frame` on a call (so `Ret` can resume the caller) and all
+        // are reloaded on every frame push/pop; in between — notably
+        // across the tail calls of a compiled loop — the `Frame` may
+        // be stale and the registers are authoritative.
         let mut ip: usize = 0;
         let mut locals_base: usize = 0;
+        let mut stack_base: usize = 0;
+        let mut cur_func: u32 = main;
+        let mut cur_clo: u32 = NONE;
+        let mut cur_rec: u32 = NONE;
         let mut fcode: &[Instr] = &code.funcs[main as usize].code;
         macro_rules! reload {
             () => {{
                 let fr = frames.last().expect("active frame");
                 ip = fr.ip;
                 locals_base = fr.locals_base;
+                stack_base = fr.stack_base;
+                cur_func = fr.func;
+                cur_clo = fr.clo;
+                cur_rec = fr.rec;
                 fcode = &code.funcs[fr.func as usize].code;
             }};
         }
-        macro_rules! save_ip {
-            () => {
-                frames.last_mut().expect("active frame").ip = ip
-            };
+        macro_rules! save_frame {
+            () => {{
+                let fr = frames.last_mut().expect("active frame");
+                fr.ip = ip;
+                fr.func = cur_func;
+                fr.clo = cur_clo;
+                fr.rec = cur_rec;
+            }};
+        }
+        /// Unfolds a `fix` self-reference: push the cached one-step
+        /// result, or re-enter the fix body.
+        macro_rules! unfold {
+            ($ix:expr) => {{
+                let ix = $ix;
+                match heap.clos[ix as usize].unfolded.get() {
+                    Some(v) => {
+                        self.fix_unfolds += 1;
+                        stack.push(v);
+                    }
+                    None => {
+                        save_frame!();
+                        let func = heap.clos[ix as usize].func;
+                        self.enter(
+                            code,
+                            &mut frames,
+                            &mut locals,
+                            stack.len(),
+                            func,
+                            None,
+                            ix,
+                            ix,
+                        )?;
+                        reload!();
+                    }
+                }
+            }};
+        }
+        /// Pops the current frame with `$result`, writing the fix
+        /// unfold cache and resuming the caller (or returning the
+        /// exported result when the last frame pops).
+        macro_rules! do_ret {
+            ($result:expr) => {{
+                let result: Word = $result;
+                frames.pop().expect("returning frame");
+                stack.truncate(stack_base);
+                locals.truncate(locals_base);
+                // A frame with a `rec` handle is a fix-body
+                // unfolding; remember its result so later unfolds
+                // of the same fix skip the re-entry.
+                if cur_rec != NONE {
+                    heap.clos[cur_rec as usize].unfolded.set(Some(result));
+                }
+                if frames.is_empty() {
+                    return Ok(export(result, heap));
+                }
+                stack.push(result);
+                reload!();
+            }};
+        }
+        /// Replaces the current frame in place with a call to
+        /// `$callee` (which must be a closure) on `$arg`. Charged like
+        /// a call, so the fuel comparability invariant is unchanged.
+        /// A *self* tail call — the shape of every compiled loop —
+        /// reuses the frame as-is: the layout is identical, and locals
+        /// beyond the argument slot are dead until rebound (binder
+        /// slots are always written by `Match`/`CaseList` before any
+        /// read).
+        macro_rules! do_tailcall {
+            ($callee:expr, $arg:expr) => {{
+                let arg: Word = $arg;
+                match $callee {
+                    Word::Clo(ix) => {
+                        if self.fuel == 0 {
+                            return Err(EvalError::OutOfFuel);
+                        }
+                        self.fuel -= 1;
+                        self.tail_calls += 1;
+                        let func = heap.clos[ix as usize].func;
+                        stack.truncate(stack_base);
+                        if func == cur_func {
+                            locals[locals_base] = arg;
+                        } else {
+                            locals.truncate(locals_base);
+                            let nslots = code.funcs[func as usize].nslots;
+                            locals.push(arg);
+                            for _ in 1..nslots {
+                                locals.push(Word::Unit);
+                            }
+                            cur_func = func;
+                            fcode = &code.funcs[func as usize].code;
+                        }
+                        cur_rec = NONE;
+                        cur_clo = ix;
+                        ip = 0;
+                    }
+                    other => return Err(EvalError::NotAFunction(show(other, heap))),
+                }
+            }};
         }
         loop {
             let instr = fcode[ip];
             ip += 1;
             match instr {
-                Instr::Const(i) => stack.push(code.consts[i as usize].clone()),
-                Instr::Local(s) => stack.push(locals[locals_base + s as usize].clone()),
+                Instr::Const(i) => stack.push(wconsts[i as usize]),
+                Instr::Local(s) => stack.push(locals[locals_base + s as usize]),
                 Instr::Capture(i) => {
-                    let cap = frames
-                        .last()
-                        .expect("running frame")
-                        .clo
-                        .as_ref()
-                        .expect("capture load in captureless frame")
-                        .captures[i as usize]
-                        .clone();
+                    debug_assert_ne!(cur_clo, NONE, "capture load in captureless frame");
+                    let cap = heap.clos[cur_clo as usize].captures[i as usize];
                     match cap {
                         // Unfold one recursion step: re-enter the fix
                         // body (or reuse its cached result); the
                         // unfolding replaces the load.
-                        Value::CompiledRec(rc) => {
-                            let cached = rc.unfolded.borrow().clone();
-                            match cached {
-                                Some(v) => {
-                                    self.fix_unfolds += 1;
-                                    stack.push(v);
-                                }
-                                None => {
-                                    save_ip!();
-                                    self.enter(
-                                        code,
-                                        &mut frames,
-                                        &mut locals,
-                                        stack.len(),
-                                        rc.func,
-                                        None,
-                                        Some(rc.clone()),
-                                        Some(rc),
-                                    )?;
-                                    reload!();
-                                }
-                            }
-                        }
+                        Word::Rec(ix) => unfold!(ix),
                         v => stack.push(v),
                     }
                 }
-                Instr::Global(i) => stack.push(globals[i as usize].clone()),
+                Instr::Global(i) => stack.push(wglobals[i as usize]),
                 Instr::Rec => {
-                    let rc = frames
-                        .last()
-                        .expect("running frame")
-                        .rec
-                        .clone()
-                        .expect("rec load outside fix body");
-                    let cached = rc.unfolded.borrow().clone();
-                    match cached {
-                        Some(v) => {
-                            self.fix_unfolds += 1;
-                            stack.push(v);
-                        }
-                        None => {
-                            save_ip!();
-                            self.enter(
-                                code,
-                                &mut frames,
-                                &mut locals,
-                                stack.len(),
-                                rc.func,
-                                None,
-                                Some(rc.clone()),
-                                Some(rc),
-                            )?;
-                            reload!();
-                        }
-                    }
+                    debug_assert_ne!(cur_rec, NONE, "rec load outside fix body");
+                    unfold!(cur_rec);
                 }
                 Instr::Closure(f) => {
-                    let captures = materialize_captures(code, f, &frames, &locals);
-                    stack.push(Value::CompiledClosure(Rc::new(VmClosure::new(f, captures))));
+                    let captures =
+                        materialize_captures(code, f, locals_base, cur_clo, cur_rec, &locals, heap);
+                    let ix = heap.alloc_clo(f, captures);
+                    stack.push(Word::Clo(ix));
                 }
                 Instr::TyClosure(f) => {
-                    let captures = materialize_captures(code, f, &frames, &locals);
-                    stack.push(Value::CompiledTyClosure(Rc::new(VmClosure::new(
-                        f, captures,
-                    ))));
+                    let captures =
+                        materialize_captures(code, f, locals_base, cur_clo, cur_rec, &locals, heap);
+                    let ix = heap.alloc_clo(f, captures);
+                    stack.push(Word::TyClo(ix));
                 }
                 Instr::EnterFix(f) => {
-                    let captures = materialize_captures(code, f, &frames, &locals);
-                    let rc = Rc::new(VmClosure::new(f, captures));
-                    save_ip!();
-                    self.enter(
-                        code,
-                        &mut frames,
-                        &mut locals,
-                        stack.len(),
-                        f,
-                        None,
-                        Some(rc.clone()),
-                        Some(rc),
-                    )?;
+                    let captures =
+                        materialize_captures(code, f, locals_base, cur_clo, cur_rec, &locals, heap);
+                    let ix = heap.alloc_clo(f, captures);
+                    save_frame!();
+                    self.enter(code, &mut frames, &mut locals, stack.len(), f, None, ix, ix)?;
                     reload!();
                 }
                 Instr::Call => {
                     let arg = stack.pop().expect("call argument");
                     let callee = stack.pop().expect("call function");
                     match callee {
-                        Value::CompiledClosure(rc) => {
-                            save_ip!();
+                        Word::Clo(ix) => {
+                            save_frame!();
+                            let func = heap.clos[ix as usize].func;
                             self.enter(
                                 code,
                                 &mut frames,
                                 &mut locals,
                                 stack.len(),
-                                rc.func,
+                                func,
                                 Some(arg),
-                                Some(rc),
-                                None,
+                                ix,
+                                NONE,
                             )?;
                             reload!();
                         }
-                        other => return Err(EvalError::NotAFunction(other.to_string())),
+                        other => return Err(EvalError::NotAFunction(show(other, heap))),
                     }
                 }
                 Instr::TailCall => {
                     let arg = stack.pop().expect("call argument");
                     let callee = stack.pop().expect("call function");
-                    match callee {
-                        Value::CompiledClosure(rc) => {
-                            // Replace the current frame in place: same
-                            // bases, new function. Charged like a
-                            // call, so the fuel comparability
-                            // invariant is unchanged.
-                            if self.fuel == 0 {
-                                return Err(EvalError::OutOfFuel);
-                            }
-                            self.fuel -= 1;
-                            self.tail_calls += 1;
-                            let frame = frames.last_mut().expect("active frame");
-                            stack.truncate(frame.stack_base);
-                            locals.truncate(frame.locals_base);
-                            let nslots = code.funcs[rc.func as usize].nslots;
-                            locals.push(arg);
-                            for _ in 1..nslots {
-                                locals.push(Value::Unit);
-                            }
-                            frame.func = rc.func;
-                            frame.ip = 0;
-                            frame.rec = None;
-                            fcode = &code.funcs[rc.func as usize].code;
-                            frame.clo = Some(rc);
-                            ip = 0;
-                        }
-                        other => return Err(EvalError::NotAFunction(other.to_string())),
-                    }
+                    do_tailcall!(callee, arg);
                 }
                 Instr::Force => match stack.pop().expect("force operand") {
-                    Value::CompiledTyClosure(rc) => {
-                        save_ip!();
+                    Word::TyClo(ix) => {
+                        save_frame!();
+                        let func = heap.clos[ix as usize].func;
                         self.enter(
                             code,
                             &mut frames,
                             &mut locals,
                             stack.len(),
-                            rc.func,
+                            func,
                             None,
-                            Some(rc),
-                            None,
+                            ix,
+                            NONE,
                         )?;
                         reload!();
                     }
                     other => {
                         return Err(EvalError::Stuck(format!(
-                            "type application of non-type-abstraction {other}"
+                            "type application of non-type-abstraction {}",
+                            show(other, heap)
                         )))
                     }
                 },
                 Instr::Ret => {
                     let result = stack.pop().expect("return value");
-                    let frame = frames.pop().expect("returning frame");
-                    stack.truncate(frame.stack_base);
-                    locals.truncate(frame.locals_base);
-                    // A frame with a `rec` handle is a fix-body
-                    // unfolding; remember its result so later unfolds
-                    // of the same fix skip the re-entry.
-                    if let Some(rc) = &frame.rec {
-                        *rc.unfolded.borrow_mut() = Some(result.clone());
-                    }
-                    if frames.is_empty() {
-                        return Ok(result);
-                    }
-                    stack.push(result);
-                    reload!();
+                    do_ret!(result);
                 }
                 Instr::Jump(t) => ip = t as usize,
                 Instr::JumpIfFalse(t) => match stack.pop().expect("branch condition") {
-                    Value::Bool(true) => {}
-                    Value::Bool(false) => ip = t as usize,
-                    other => return Err(EvalError::Stuck(format!("if on non-boolean {other}"))),
+                    Word::Bool(true) => {}
+                    Word::Bool(false) => ip = t as usize,
+                    other => {
+                        return Err(EvalError::Stuck(format!(
+                            "if on non-boolean {}",
+                            show(other, heap)
+                        )))
+                    }
                 },
                 Instr::Bin(op) => {
                     let b = stack.pop().expect("right operand");
                     let a = stack.pop().expect("left operand");
-                    stack.push(binop(op, a, b)?);
+                    stack.push(binop_w(op, a, b, heap)?);
                 }
                 Instr::Un(op) => {
                     let v = stack.pop().expect("unary operand");
                     stack.push(match (op, v) {
-                        (UnOp::Not, Value::Bool(b)) => Value::Bool(!b),
-                        (UnOp::Neg, Value::Int(n)) => Value::Int(-n),
-                        (UnOp::IntToStr, Value::Int(n)) => Value::Str(Rc::from(n.to_string())),
-                        (op, v) => return Err(EvalError::Stuck(format!("{op:?} on {v}"))),
+                        (UnOp::Not, Word::Bool(b)) => Word::Bool(!b),
+                        (UnOp::Neg, Word::Int(n)) => Word::Int(-n),
+                        (UnOp::IntToStr, Word::Int(n)) => {
+                            heap.strs.push(Rc::from(n.to_string()));
+                            Word::Str((heap.strs.len() - 1) as u32)
+                        }
+                        (op, v) => {
+                            return Err(EvalError::Stuck(format!("{op:?} on {}", show(v, heap))))
+                        }
                     });
                 }
                 Instr::MakePair => {
                     let b = stack.pop().expect("pair right");
                     let a = stack.pop().expect("pair left");
-                    stack.push(Value::Pair(Rc::new(a), Rc::new(b)));
+                    heap.pairs.push((a, b));
+                    stack.push(Word::Pair((heap.pairs.len() - 1) as u32));
                 }
                 Instr::Fst => match stack.pop().expect("fst operand") {
-                    Value::Pair(l, _) => {
-                        stack.push(Rc::try_unwrap(l).unwrap_or_else(|rc| (*rc).clone()));
-                    }
-                    other => return Err(EvalError::Stuck(format!("fst on {other}"))),
+                    Word::Pair(p) => stack.push(heap.pairs[p as usize].0),
+                    other => return Err(EvalError::Stuck(format!("fst on {}", show(other, heap)))),
                 },
                 Instr::Snd => match stack.pop().expect("snd operand") {
-                    Value::Pair(_, r) => {
-                        stack.push(Rc::try_unwrap(r).unwrap_or_else(|rc| (*rc).clone()));
-                    }
-                    other => return Err(EvalError::Stuck(format!("snd on {other}"))),
+                    Word::Pair(p) => stack.push(heap.pairs[p as usize].1),
+                    other => return Err(EvalError::Stuck(format!("snd on {}", show(other, heap)))),
                 },
-                Instr::PushNil => stack.push(Value::List(Rc::new(Vec::new()))),
+                Instr::PushNil => stack.push(Word::Nil),
                 Instr::ConsList => {
                     let t = stack.pop().expect("cons tail");
                     let h = stack.pop().expect("cons head");
                     match t {
-                        Value::List(xs) => match Rc::try_unwrap(xs) {
-                            Ok(mut owned) => {
-                                owned.insert(0, h);
-                                stack.push(Value::List(Rc::new(owned)));
-                            }
-                            Err(shared) => {
-                                let mut out = Vec::with_capacity(shared.len() + 1);
-                                out.push(h);
-                                out.extend(shared.iter().cloned());
-                                stack.push(Value::List(Rc::new(out)));
-                            }
-                        },
-                        other => return Err(EvalError::Stuck(format!("cons onto {other}"))),
+                        Word::Nil | Word::Cons(_) => {
+                            heap.conses.push((h, t));
+                            stack.push(Word::Cons((heap.conses.len() - 1) as u32));
+                        }
+                        other => {
+                            return Err(EvalError::Stuck(format!(
+                                "cons onto {}",
+                                show(other, heap)
+                            )))
+                        }
                     }
                 }
                 Instr::CaseList {
@@ -417,87 +818,167 @@ impl Vm {
                     tail,
                     nil_target,
                 } => match stack.pop().expect("case scrutinee") {
-                    Value::List(xs) => {
-                        let (hv, tv) = match Rc::try_unwrap(xs) {
-                            Ok(mut owned) => {
-                                if owned.is_empty() {
-                                    ip = nil_target as usize;
-                                    continue;
-                                }
-                                let h = owned.remove(0);
-                                (h, Value::List(Rc::new(owned)))
-                            }
-                            Err(shared) => match shared.split_first() {
-                                Some((h, rest)) => (h.clone(), Value::List(Rc::new(rest.to_vec()))),
-                                None => {
-                                    ip = nil_target as usize;
-                                    continue;
-                                }
-                            },
-                        };
+                    Word::Nil => ip = nil_target as usize,
+                    Word::Cons(c) => {
+                        let (hv, tv) = heap.conses[c as usize];
                         locals[locals_base + head as usize] = hv;
                         locals[locals_base + tail as usize] = tv;
                     }
-                    other => return Err(EvalError::Stuck(format!("case on {other}"))),
+                    other => {
+                        return Err(EvalError::Stuck(format!("case on {}", show(other, heap))))
+                    }
                 },
                 Instr::MakeRecord { name, fields } => {
                     let syms = &code.field_lists[fields as usize];
                     let vals = stack.split_off(stack.len() - syms.len());
-                    let out: Vec<(Symbol, Value)> = syms.iter().copied().zip(vals).collect();
-                    stack.push(Value::Record {
+                    heap.records.push(HRecord {
                         name,
-                        fields: Rc::new(out),
+                        fields: syms.clone(),
+                        vals,
                     });
+                    stack.push(Word::Record((heap.records.len() - 1) as u32));
                 }
                 Instr::Project(field) => match stack.pop().expect("projection operand") {
-                    Value::Record { name, fields } => {
-                        let Some(pos) = fields.iter().position(|(u, _)| *u == field) else {
+                    Word::Record(r) => {
+                        let rec = &heap.records[r as usize];
+                        let Some(pos) = rec.fields.iter().position(|u| *u == field) else {
                             return Err(EvalError::Stuck(format!(
-                                "record {name} has no field {field}"
+                                "record {} has no field {field}",
+                                rec.name
                             )));
                         };
-                        stack.push(match Rc::try_unwrap(fields) {
-                            Ok(mut owned) => owned.swap_remove(pos).1,
-                            Err(shared) => shared[pos].1.clone(),
-                        });
+                        stack.push(rec.vals[pos]);
                     }
-                    other => return Err(EvalError::Stuck(format!("projection on {other}"))),
+                    other => {
+                        return Err(EvalError::Stuck(format!(
+                            "projection on {}",
+                            show(other, heap)
+                        )))
+                    }
                 },
                 Instr::Inject { ctor, argc } => {
                     let vals = stack.split_off(stack.len() - argc as usize);
-                    stack.push(Value::Data {
-                        ctor,
-                        fields: Rc::new(vals),
-                    });
+                    heap.datas.push(HData { ctor, fields: vals });
+                    stack.push(Word::Data((heap.datas.len() - 1) as u32));
                 }
                 Instr::Match(tbl) => match stack.pop().expect("match scrutinee") {
-                    Value::Data { ctor, fields } => {
+                    Word::Data(d) => {
+                        let ctor = heap.datas[d as usize].ctor;
                         let table = &code.match_tables[tbl as usize];
-                        let Some(arm) = table.arms.iter().find(|a| a.ctor == ctor) else {
-                            return Err(EvalError::Stuck(format!("no arm for `{ctor}`")));
+                        // Monomorphic inline cache: probe the arm this
+                        // table selected last before the linear scan.
+                        let cached = table.ic.get();
+                        let pos = if cached != u32::MAX
+                            && table
+                                .arms
+                                .get(cached as usize)
+                                .is_some_and(|a| a.ctor == ctor)
+                        {
+                            self.match_ic_hits += 1;
+                            cached as usize
+                        } else {
+                            let Some(pos) = table.arms.iter().position(|a| a.ctor == ctor) else {
+                                return Err(EvalError::Stuck(format!("no arm for `{ctor}`")));
+                            };
+                            self.match_ic_misses += 1;
+                            table.ic.set(pos as u32);
+                            pos
                         };
-                        if arm.binders as usize != fields.len() {
+                        let arm = &table.arms[pos];
+                        let nfields = heap.datas[d as usize].fields.len();
+                        if arm.binders as usize != nfields {
                             return Err(EvalError::Stuck(format!(
                                 "arm `{ctor}` binder count mismatch"
                             )));
                         }
                         let base = locals_base + arm.binder_base as usize;
-                        match Rc::try_unwrap(fields) {
-                            Ok(owned) => {
-                                for (i, v) in owned.into_iter().enumerate() {
-                                    locals[base + i] = v;
-                                }
-                            }
-                            Err(shared) => {
-                                for (i, v) in shared.iter().enumerate() {
-                                    locals[base + i] = v.clone();
-                                }
-                            }
-                        }
+                        locals[base..base + nfields]
+                            .copy_from_slice(&heap.datas[d as usize].fields);
                         ip = arm.target as usize;
                     }
-                    other => return Err(EvalError::Stuck(format!("match on {other}"))),
+                    other => {
+                        return Err(EvalError::Stuck(format!("match on {}", show(other, heap))))
+                    }
                 },
+                // --- Superinstructions (see `compile::fuse`). Each
+                // is exactly its two constituents back to back, with
+                // one dispatch and the intermediate push elided.
+                Instr::LocalConst { slot, konst } => {
+                    stack.push(locals[locals_base + slot as usize]);
+                    stack.push(wconsts[konst as usize]);
+                }
+                Instr::LocalLocal { a, b } => {
+                    stack.push(locals[locals_base + a as usize]);
+                    stack.push(locals[locals_base + b as usize]);
+                }
+                Instr::ConstBin { konst, op } => {
+                    let b = wconsts[konst as usize];
+                    let a = stack.pop().expect("left operand");
+                    stack.push(binop_w(op, a, b, heap)?);
+                }
+                Instr::LocalBin { slot, op } => {
+                    let b = locals[locals_base + slot as usize];
+                    let a = stack.pop().expect("left operand");
+                    stack.push(binop_w(op, a, b, heap)?);
+                }
+                Instr::BinJumpIfFalse { op, target } => {
+                    let b = stack.pop().expect("right operand");
+                    let a = stack.pop().expect("left operand");
+                    match binop_w(op, a, b, heap)? {
+                        Word::Bool(true) => {}
+                        Word::Bool(false) => ip = target as usize,
+                        other => {
+                            return Err(EvalError::Stuck(format!(
+                                "if on non-boolean {}",
+                                show(other, heap)
+                            )))
+                        }
+                    }
+                }
+                Instr::ConstRet { konst } => {
+                    let result = wconsts[konst as usize];
+                    do_ret!(result);
+                }
+                Instr::LocalRet { slot } => {
+                    let result = locals[locals_base + slot as usize];
+                    do_ret!(result);
+                }
+                Instr::LocalConstBin { slot, konst, op } => {
+                    let a = locals[locals_base + slot as usize];
+                    let b = wconsts[konst as usize];
+                    stack.push(binop_w(op, a, b, heap)?);
+                }
+                Instr::LocalLocalBin { a, b, op } => {
+                    let x = locals[locals_base + a as usize];
+                    let y = locals[locals_base + b as usize];
+                    stack.push(binop_w(op, x, y, heap)?);
+                }
+                Instr::LocalConstBinTail { slot, konst, op } => {
+                    let a = locals[locals_base + slot as usize];
+                    let b = wconsts[konst as usize];
+                    let arg = binop_w(op, a, b, heap)?;
+                    let callee = stack.pop().expect("call function");
+                    do_tailcall!(callee, arg);
+                }
+                Instr::LocalConstBinJump {
+                    slot,
+                    konst,
+                    op,
+                    target,
+                } => {
+                    let a = locals[locals_base + slot as usize];
+                    let b = wconsts[konst as usize];
+                    match binop_w(op, a, b, heap)? {
+                        Word::Bool(true) => {}
+                        Word::Bool(false) => ip = target as usize,
+                        other => {
+                            return Err(EvalError::Stuck(format!(
+                                "if on non-boolean {}",
+                                show(other, heap)
+                            )))
+                        }
+                    }
+                }
             }
         }
     }
@@ -508,12 +989,12 @@ impl Vm {
         &mut self,
         code: &CodeObject,
         frames: &mut Vec<Frame>,
-        locals: &mut Vec<Value>,
+        locals: &mut Vec<Word>,
         stack_base: usize,
         func: u32,
-        arg: Option<Value>,
-        clo: Option<Rc<VmClosure>>,
-        rec: Option<Rc<VmClosure>>,
+        arg: Option<Word>,
+        clo: u32,
+        rec: u32,
     ) -> Result<(), EvalError> {
         if self.fuel == 0 {
             return Err(EvalError::OutOfFuel);
@@ -527,7 +1008,7 @@ impl Vm {
             filled = 1;
         }
         for _ in filled..f.nslots {
-            locals.push(Value::Unit);
+            locals.push(Word::Unit);
         }
         frames.push(Frame {
             func,
@@ -542,24 +1023,30 @@ impl Vm {
 }
 
 /// Executes a function's capture directives against the creating
-/// frame (see [`CapSrc`]). `CompiledRec` sentinels are propagated
-/// raw — they unfold only on operand loads.
+/// frame's register state (see [`CapSrc`]). `Rec` sentinels are
+/// propagated raw — they unfold only on operand loads.
 fn materialize_captures(
     code: &CodeObject,
     func: u32,
-    frames: &[Frame],
-    locals: &[Value],
-) -> Vec<Value> {
-    let frame = frames.last().expect("creating frame");
+    locals_base: usize,
+    clo: u32,
+    rec: u32,
+    locals: &[Word],
+    heap: &Heap,
+) -> Vec<Word> {
     code.funcs[func as usize]
         .captures
         .iter()
         .map(|src| match src {
-            CapSrc::Local(s) => locals[frame.locals_base + *s as usize].clone(),
+            CapSrc::Local(s) => locals[locals_base + *s as usize],
             CapSrc::Capture(i) => {
-                frame.clo.as_ref().expect("transitive capture").captures[*i as usize].clone()
+                debug_assert_ne!(clo, NONE, "transitive capture");
+                heap.clos[clo as usize].captures[*i as usize]
             }
-            CapSrc::Rec => Value::CompiledRec(frame.rec.clone().expect("rec capture outside fix")),
+            CapSrc::Rec => {
+                debug_assert_ne!(rec, NONE, "rec capture outside fix");
+                Word::Rec(rec)
+            }
         })
         .collect()
 }
@@ -708,7 +1195,7 @@ mod tests {
     fn fix_self_reference_survives_closure_capture() {
         // fix go: Int -> Int. \n. if n <= 0 then 0
         //   else (\unused. go (n - 1)) () — the recursive call sits
-        // inside a nested lambda, so `go` travels as a CompiledRec
+        // inside a nested lambda, so `go` travels as a `Rec` word
         // capture and unfolds on load.
         let call = FExpr::app(
             FExpr::var("go"),
@@ -826,6 +1313,40 @@ mod tests {
     }
 
     #[test]
+    fn list_equality_matches_tree_semantics() {
+        // Length mismatch decides before elements (mirroring
+        // `Value::try_eq`), element mismatch short-circuits, and
+        // nested pairs compare structurally.
+        let list = |ns: &[i64]| {
+            ns.iter().rev().fold(FExpr::Nil(FType::Int), |acc, n| {
+                FExpr::Cons(Rc::new(FExpr::Int(*n)), Rc::new(acc))
+            })
+        };
+        let eq = |a: FExpr, b: FExpr| FExpr::BinOp(BinOp::Eq, Rc::new(a), Rc::new(b));
+        assert_eq!(agree(&eq(list(&[1, 2]), list(&[1, 2]))), "true");
+        assert_eq!(agree(&eq(list(&[1, 2]), list(&[1]))), "false");
+        assert_eq!(agree(&eq(list(&[1, 2]), list(&[1, 3]))), "false");
+        assert_eq!(agree(&eq(list(&[]), list(&[]))), "true");
+        let pair = |a: i64, b: i64| FExpr::Pair(Rc::new(FExpr::Int(a)), Rc::new(FExpr::Int(b)));
+        assert_eq!(agree(&eq(pair(1, 2), pair(1, 2))), "true");
+        assert_eq!(agree(&eq(pair(1, 2), pair(2, 2))), "false");
+    }
+
+    #[test]
+    fn closure_equality_sticks_like_the_tree_walker() {
+        let lam = || FExpr::lam("x", FType::Int, FExpr::var("x"));
+        let e = FExpr::BinOp(BinOp::Eq, Rc::new(lam()), Rc::new(lam()));
+        assert_eq!(
+            compile_and_run(&e).unwrap_err(),
+            EvalError::Stuck("equality on closures".into())
+        );
+        assert_eq!(
+            eval(&e).unwrap_err(),
+            EvalError::Stuck("equality on closures".into())
+        );
+    }
+
+    #[test]
     fn records_and_data() {
         let lit = FExpr::Make(
             v("P"),
@@ -873,7 +1394,8 @@ mod tests {
         compiler.rollback(&snap);
         assert!(compiler.code().funcs.is_empty());
         // Recompiling after rollback reuses the same indices, and the
-        // constant pool repopulates without drift.
+        // constant pool repopulates without drift — the fusion pass
+        // is deterministic, so the code bytes match too.
         let main2 = compiler.compile(&e).unwrap();
         assert_eq!(main2, main);
         let out2 = Vm::new()
@@ -936,5 +1458,183 @@ mod tests {
             .expect("spawn");
         let out = handle.join().expect("no stack overflow");
         assert_eq!(out.unwrap(), (50_000i64 * 50_001 / 2).to_string());
+    }
+
+    #[test]
+    fn fusion_emits_superinstructions_and_preserves_results() {
+        // The factorial loop contains the canonical fusable shapes
+        // (local/const pushes feeding a compare-and-branch); fusion
+        // must shorten the code without changing the result or the
+        // fuel charged.
+        let e = FExpr::app(fac_expr(), FExpr::Int(10));
+        let mut fused = Compiler::new();
+        let mut plain = Compiler::new();
+        plain.set_fusion(false);
+        let mf = fused.compile(&e).unwrap();
+        let mp = plain.compile(&e).unwrap();
+        let mut vm_f = Vm::new();
+        let mut vm_p = Vm::new();
+        let out_f = vm_f.run(fused.code(), mf, &[]).unwrap();
+        let out_p = vm_p.run(plain.code(), mp, &[]).unwrap();
+        assert_eq!(out_f.to_string(), out_p.to_string());
+        assert_eq!(vm_f.stats().fuel_used, vm_p.stats().fuel_used);
+        assert!(
+            fused.fusion_stats().fused > 0,
+            "no superinstructions emitted"
+        );
+        assert_eq!(plain.fusion_stats().fused, 0);
+        let total_fused: usize = fused.code().funcs.iter().map(|f| f.code.len()).sum();
+        let total_plain: usize = plain.code().funcs.iter().map(|f| f.code.len()).sum();
+        assert!(
+            total_fused < total_plain,
+            "fused stream not shorter: {total_fused} vs {total_plain}"
+        );
+        // The mining table saw the pairs the fused set was built for.
+        assert!(fused
+            .fusion_stats()
+            .pair_counts
+            .contains_key(&("local", "const")));
+    }
+
+    #[test]
+    fn match_inline_cache_counts_hits() {
+        // A loop that matches the same constructor repeatedly: the
+        // first dispatch misses, the rest hit the cached arm.
+        let scrut = || FExpr::Inject(v("S"), vec![], vec![FExpr::Int(1)]);
+        let arm_match = |e: FExpr| {
+            FExpr::Match(
+                Rc::new(e),
+                vec![
+                    FMatchArm {
+                        ctor: v("Z"),
+                        binders: vec![],
+                        body: FExpr::Int(0),
+                    },
+                    FMatchArm {
+                        ctor: v("S"),
+                        binders: vec![v("k")],
+                        body: FExpr::var("k"),
+                    },
+                ],
+            )
+        };
+        // go n = if n <= 0 then 0 else match S(1) { Z -> 0; S k -> k } + go (n - 1) - 1
+        let body = FExpr::If(
+            Rc::new(FExpr::BinOp(
+                BinOp::Le,
+                Rc::new(FExpr::var("n")),
+                Rc::new(FExpr::Int(0)),
+            )),
+            Rc::new(FExpr::Int(0)),
+            Rc::new(FExpr::BinOp(
+                BinOp::Add,
+                Rc::new(arm_match(scrut())),
+                Rc::new(FExpr::BinOp(
+                    BinOp::Sub,
+                    Rc::new(FExpr::app(
+                        FExpr::var("go"),
+                        FExpr::BinOp(BinOp::Sub, Rc::new(FExpr::var("n")), Rc::new(FExpr::Int(1))),
+                    )),
+                    Rc::new(FExpr::Int(1)),
+                )),
+            )),
+        );
+        let e = FExpr::app(
+            FExpr::Fix(
+                v("go"),
+                FType::arrow(FType::Int, FType::Int),
+                Rc::new(FExpr::lam("n", FType::Int, body)),
+            ),
+            FExpr::Int(20),
+        );
+        let mut compiler = Compiler::new();
+        let main = compiler.compile(&e).unwrap();
+        let mut vm = Vm::new();
+        let out = vm.run(compiler.code(), main, &[]).unwrap();
+        assert_eq!(out.to_string(), "0");
+        let stats = vm.stats();
+        assert_eq!(
+            stats.match_ic_misses, 1,
+            "exactly the first dispatch misses"
+        );
+        assert_eq!(stats.match_ic_hits, 19, "every later dispatch hits");
+    }
+
+    #[test]
+    fn match_inline_cache_recovers_from_polymorphic_sites() {
+        // Alternate constructors at one site: the IC keeps
+        // re-priming, and results stay correct.
+        let mk = |c: &str, args: Vec<FExpr>| FExpr::Inject(v(c), vec![], args);
+        let arm_match = |e: FExpr| {
+            FExpr::Match(
+                Rc::new(e),
+                vec![
+                    FMatchArm {
+                        ctor: v("A"),
+                        binders: vec![],
+                        body: FExpr::Int(1),
+                    },
+                    FMatchArm {
+                        ctor: v("B"),
+                        binders: vec![],
+                        body: FExpr::Int(2),
+                    },
+                ],
+            )
+        };
+        // match A {} + match B {} + match A {} — the shared compile
+        // has one table per match site, so each site is monomorphic
+        // here; run the same compiled site against both ctors via a
+        // lambda instead.
+        let f = FExpr::lam(
+            "x",
+            FType::Int,
+            arm_match(FExpr::If(
+                Rc::new(FExpr::BinOp(
+                    BinOp::Le,
+                    Rc::new(FExpr::var("x")),
+                    Rc::new(FExpr::Int(0)),
+                )),
+                Rc::new(mk("A", vec![])),
+                Rc::new(mk("B", vec![])),
+            )),
+        );
+        let e = FExpr::BinOp(
+            BinOp::Add,
+            Rc::new(FExpr::app(f.clone(), FExpr::Int(0))),
+            Rc::new(FExpr::BinOp(
+                BinOp::Add,
+                Rc::new(FExpr::app(f.clone(), FExpr::Int(1))),
+                Rc::new(FExpr::app(f, FExpr::Int(0))),
+            )),
+        );
+        assert_eq!(agree(&e), "4");
+    }
+
+    #[test]
+    fn globals_of_every_shape_roundtrip_through_the_arena() {
+        // Compound globals (pairs, lists, records, data, strings) are
+        // imported into the arena at run start and must project and
+        // print exactly as the tree-walker would.
+        let mut compiler = Compiler::new();
+        let g = v("dict");
+        compiler.add_global(g);
+        let global = Value::Pair(
+            Rc::new(Value::List(Rc::new(vec![Value::Int(1), Value::Int(2)]))),
+            Rc::new(Value::Record {
+                name: v("Show"),
+                fields: Rc::new(vec![(v("s"), Value::Str(Rc::from("x")))]),
+            }),
+        );
+        let e = FExpr::Var(g);
+        let main = compiler.compile(&e).unwrap();
+        let out = Vm::new()
+            .run(compiler.code(), main, std::slice::from_ref(&global))
+            .unwrap();
+        assert_eq!(out.to_string(), global.to_string());
+        let snd = FExpr::Proj(Rc::new(FExpr::Snd(Rc::new(FExpr::Var(g)))), v("s"));
+        let main2 = compiler.compile(&snd).unwrap();
+        let out2 = Vm::new().run(compiler.code(), main2, &[global]).unwrap();
+        assert_eq!(out2.to_string(), "\"x\"");
     }
 }

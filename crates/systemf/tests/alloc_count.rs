@@ -293,14 +293,16 @@ fn vm_path_allocation_budget() {
     assert!(c2.0 < 50, "cons_build compile regressed: {c2:?}");
     assert!(c3.0 < 50, "match_proj_loop compile regressed: {c3:?}");
 
-    // Run cost is value heap only; the fix-unfold cache means the
-    // recursive closure is built once, not per iteration, so every
-    // workload runs under its tree-walk allocation count.
-    assert!(r1.0 < 1_400, "pair_list_fold run regressed: {r1:?}");
-    assert!(r2.0 < 750, "cons_build run regressed: {r2:?}");
+    // Run cost is the per-run bump arena: tagged words are `Copy`, so
+    // ints/bools/pairs/conses cost amortized `Vec` doublings instead
+    // of one `Rc` box per value. Measured 40 / 44 / 433 allocations
+    // (the match loop still pays one args-`Vec` per `Inject` and one
+    // fields-`Vec` per `Make`); budgets leave ~40% headroom.
+    assert!(r1.0 < 60, "pair_list_fold run regressed: {r1:?}");
+    assert!(r2.0 < 70, "cons_build run regressed: {r2:?}");
     assert!(
         r2.1 < 200_000,
         "cons_build run byte traffic regressed: {r2:?}"
     );
-    assert!(r3.0 < 1_400, "match_proj_loop run regressed: {r3:?}");
+    assert!(r3.0 < 600, "match_proj_loop run regressed: {r3:?}");
 }

@@ -36,6 +36,11 @@
 //!   --metrics              print the unified metrics table (queries,
 //!                          candidates, cache/memo hit rates, fuel)
 //!                          after the result
+//!   --vm-stats             print the bytecode compiler's fused-opcode
+//!                          statistics (instructions scanned, fusion
+//!                          rate, emitted superinstructions by
+//!                          mnemonic, hottest adjacent opcode pairs)
+//!                          after the result; requires --backend vm
 //! ```
 //!
 //! Exit status 0 on success, 1 on any error (reported to stderr).
@@ -66,6 +71,7 @@ struct Options {
     jobs: usize,
     trace: Option<String>,
     metrics: bool,
+    vm_stats: bool,
 }
 
 #[derive(PartialEq, Clone, Copy)]
@@ -99,7 +105,7 @@ enum Input {
 fn usage() -> String {
     "usage: implicitc [--lang core|source] [--emit value|type|core|systemf|explain] \
      [--semantics elab|opsem|both] [--policy paper|most-specific|env-extension] \
-     [--backend tree|vm] [--strict] [--trace <file.json>] [--metrics] \
+     [--backend tree|vm] [--strict] [--trace <file.json>] [--metrics] [--vm-stats] \
      (<file> | -e <program> | --batch <dir> [--jobs <m>])"
         .to_owned()
 }
@@ -117,6 +123,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         jobs: 1,
         trace: None,
         metrics: false,
+        vm_stats: false,
     };
     let mut input: Option<Input> = None;
     let mut it = args.iter();
@@ -196,6 +203,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 opts.trace = Some(path.clone());
             }
             "--metrics" => opts.metrics = true,
+            "--vm-stats" => opts.vm_stats = true,
             "-e" => {
                 let prog = it
                     .next()
@@ -222,7 +230,34 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     } else {
         opts.input = Some(input.ok_or_else(usage)?);
     }
+    if opts.vm_stats && opts.backend != Backend::Vm {
+        return Err("--vm-stats requires --backend vm".to_owned());
+    }
     Ok(opts)
+}
+
+/// Prints the bytecode compiler's cumulative fused-opcode statistics
+/// (`--vm-stats`): scan/fusion totals, the emitted superinstruction
+/// mix, and the hottest adjacent opcode pairs from the mining table.
+fn print_vm_stats(fs: &systemf::compile::FusionStats) {
+    println!("fused-opcode stats:");
+    println!("  instrs scanned: {}", fs.instrs_scanned);
+    let pct = if fs.instrs_scanned == 0 {
+        0.0
+    } else {
+        100.0 * fs.fused as f64 / fs.instrs_scanned as f64
+    };
+    println!("  instrs fused away: {} ({pct:.1}%)", fs.fused);
+    let mut kinds: Vec<(&str, u64)> = fs.fused_by_kind.iter().map(|(k, v)| (*k, *v)).collect();
+    kinds.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+    println!("  superinstructions emitted:");
+    for (kind, n) in kinds {
+        println!("    {kind:<32} {n}");
+    }
+    println!("  hottest adjacent opcode pairs:");
+    for ((a, b), n) in fs.top_pairs(8) {
+        println!("    {:<32} {n}", format!("{a},{b}"));
+    }
 }
 
 fn main() -> ExitCode {
@@ -385,6 +420,7 @@ fn run(opts: &Options) -> Result<(), String> {
         Emit::Value => {}
     }
 
+    let mut vm_fusion: Option<systemf::compile::FusionStats> = None;
     let elab_value = if opts.semantics != Semantics::Opsem {
         let mut elab = implicit_elab::Elaborator::with_policy(&decls, opts.policy.clone());
         if let Some(sink) = &tracer.sink {
@@ -420,7 +456,7 @@ fn run(opts: &Options) -> Result<(), String> {
                     .span(Phase::Compile, || compiler.compile(&target))
                     .map_err(|e| format!("vm: {e}"))?;
                 let mut vm = systemf::Vm::new();
-                tracer
+                let v = tracer
                     .span(Phase::Vm, || {
                         let value = vm.run(compiler.code(), main, &[]);
                         let stats = vm.stats();
@@ -428,11 +464,17 @@ fn run(opts: &Options) -> Result<(), String> {
                             fuel: stats.fuel_used,
                             tail_calls: stats.tail_calls,
                             fix_unfolds: stats.fix_unfolds,
+                            match_ic_hits: stats.match_ic_hits,
+                            match_ic_misses: stats.match_ic_misses,
                         });
                         value
                     })
                     .map_err(|e| format!("vm: {e}"))?
-                    .to_string()
+                    .to_string();
+                if opts.vm_stats {
+                    vm_fusion = Some(compiler.fusion_stats().clone());
+                }
+                v
             }
         };
         Some(v)
@@ -462,6 +504,9 @@ fn run(opts: &Options) -> Result<(), String> {
         }
         (Some(a), None) | (None, Some(a)) => println!("{a} : {ty}"),
         (None, None) => unreachable!("one semantics is always selected"),
+    }
+    if let Some(fs) = &vm_fusion {
+        print_vm_stats(fs);
     }
     tracer.finish(opts)
 }
@@ -632,19 +677,22 @@ fn run_batch_mode(opts: &Options, dir: &str) -> Result<(), String> {
         let rows: Vec<ChromeRow> = chrome
             .map(|c| std::mem::replace(&mut *c.borrow_mut(), ChromeSink::new()).into_rows())
             .unwrap_or_default();
-        (out, rows, registry)
+        let fusion = session.fusion_stats().clone();
+        (out, rows, registry, fusion)
     });
 
     let mut lines: Vec<Option<(String, Result<String, String>)>> =
         (0..total).map(|_| None).collect();
     let mut rows: Vec<ChromeRow> = Vec::new();
     let mut registry = MetricsRegistry::new();
-    for (worker_out, worker_rows, worker_registry) in outcomes {
+    let mut fusion = systemf::compile::FusionStats::default();
+    for (worker_out, worker_rows, worker_registry, worker_fusion) in outcomes {
         for (ix, name, r) in worker_out {
             lines[ix] = Some((name, r));
         }
         rows.extend(worker_rows);
         registry.merge(&worker_registry);
+        fusion.merge(&worker_fusion);
     }
     if let Some(path) = &opts.trace {
         rows.sort_by_key(|row| (row.1, row.0));
@@ -668,6 +716,9 @@ fn run_batch_mode(opts: &Options, dir: &str) -> Result<(), String> {
     );
     if opts.metrics {
         print!("{}", registry.render_table());
+    }
+    if opts.vm_stats {
+        print_vm_stats(&fusion);
     }
     if failures > 0 {
         return Err(format!("{failures} of {total} programs failed"));

@@ -18,7 +18,12 @@
 //! - `B`/`E` duration events are properly nested per `tid`: every
 //!   `E` closes the most recent open `B` with the same name, and no
 //!   span is left open at the end;
-//! - at least one `phase`-category span is present.
+//! - at least one `phase`-category span is present;
+//! - cache-marker placement: `ic`-category instants (`ic_hit` /
+//!   `ic_miss`, the dictionary inline cache) only occur while an
+//!   `elaborate` span is open on their thread, and `compile`-category
+//!   `fusion` instants (the superinstruction fusion summary) only
+//!   while a `compile` span is open.
 //!
 //! With `--require-resolution`, additionally requires at least one
 //! `resolution`-category event (CI uses this on corpora whose
@@ -267,6 +272,8 @@ fn validate(doc: &Json, require_resolution: bool) -> Result<String, String> {
     let mut open: Vec<(u64, Vec<String>)> = Vec::new();
     let mut phase_spans = 0usize;
     let mut resolution_events = 0usize;
+    let mut ic_events = 0usize;
+    let mut fusion_events = 0usize;
     for (ix, ev) in events.iter().enumerate() {
         let ctx = |field: &str| format!("event #{ix}: {field}");
         let name = ev
@@ -325,6 +332,27 @@ fn validate(doc: &Json, require_resolution: bool) -> Result<String, String> {
                 if cat == "resolution" {
                     resolution_events += 1;
                 }
+                // Cache markers must sit inside the pipeline stage
+                // that produced them: the dictionary inline cache
+                // fires during elaboration, fusion during compile.
+                if cat == "ic" {
+                    if !stack.iter().any(|s| s == "elaborate") {
+                        return Err(format!(
+                            "event #{ix}: `ic` instant `{name}` outside an open \
+                             `elaborate` span (tid {tid})"
+                        ));
+                    }
+                    ic_events += 1;
+                }
+                if cat == "compile" && name == "fusion" {
+                    if !stack.iter().any(|s| s == "compile") {
+                        return Err(format!(
+                            "event #{ix}: `fusion` instant outside an open \
+                             `compile` span (tid {tid})"
+                        ));
+                    }
+                    fusion_events += 1;
+                }
             }
             other => return Err(ctx(&format!("unexpected phase `{other}`"))),
         }
@@ -343,7 +371,8 @@ fn validate(doc: &Json, require_resolution: bool) -> Result<String, String> {
         return Err("no `resolution`-category events in trace".to_owned());
     }
     Ok(format!(
-        "{} events, {phase_spans} phase spans, {resolution_events} resolution events, {} threads",
+        "{} events, {phase_spans} phase spans, {resolution_events} resolution events, \
+         {ic_events} ic events, {fusion_events} fusion events, {} threads",
         events.len(),
         open.len()
     ))
@@ -437,6 +466,49 @@ mod tests {
             ]}"#,
         );
         assert!(validate(&doc, false).unwrap_err().contains("left open"));
+    }
+
+    #[test]
+    fn accepts_cache_markers_inside_their_phase_spans() {
+        let doc = parse(
+            r#"{"traceEvents":[
+                {"name":"elaborate","cat":"phase","ph":"B","ts":0,"pid":1,"tid":1},
+                {"name":"ic_hit","cat":"ic","ph":"i","ts":1,"pid":1,"tid":1,"s":"t"},
+                {"name":"elaborate","cat":"phase","ph":"E","ts":2,"pid":1,"tid":1},
+                {"name":"compile","cat":"phase","ph":"B","ts":3,"pid":1,"tid":1},
+                {"name":"fusion","cat":"compile","ph":"i","ts":4,"pid":1,"tid":1,"s":"t"},
+                {"name":"compile","cat":"phase","ph":"E","ts":5,"pid":1,"tid":1}
+            ]}"#,
+        );
+        let summary = validate(&doc, false).expect("valid");
+        assert!(summary.contains("1 ic events"), "{summary}");
+        assert!(summary.contains("1 fusion events"), "{summary}");
+    }
+
+    #[test]
+    fn rejects_ic_marker_outside_elaborate() {
+        let doc = parse(
+            r#"{"traceEvents":[
+                {"name":"compile","cat":"phase","ph":"B","ts":0,"pid":1,"tid":1},
+                {"name":"ic_miss","cat":"ic","ph":"i","ts":1,"pid":1,"tid":1,"s":"t"},
+                {"name":"compile","cat":"phase","ph":"E","ts":2,"pid":1,"tid":1}
+            ]}"#,
+        );
+        let err = validate(&doc, false).unwrap_err();
+        assert!(err.contains("outside an open `elaborate` span"), "{err}");
+    }
+
+    #[test]
+    fn rejects_fusion_marker_outside_compile() {
+        let doc = parse(
+            r#"{"traceEvents":[
+                {"name":"elaborate","cat":"phase","ph":"B","ts":0,"pid":1,"tid":1},
+                {"name":"fusion","cat":"compile","ph":"i","ts":1,"pid":1,"tid":1,"s":"t"},
+                {"name":"elaborate","cat":"phase","ph":"E","ts":2,"pid":1,"tid":1}
+            ]}"#,
+        );
+        let err = validate(&doc, false).unwrap_err();
+        assert!(err.contains("outside an open `compile` span"), "{err}");
     }
 
     #[test]
