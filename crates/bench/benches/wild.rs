@@ -1,0 +1,39 @@
+//! B15 `wild_throughput` — resolution at production shapes
+//! (`EXPERIMENTS.md` §10).
+//!
+//! One run = the field-study wild workload (a 160-rule import frame
+//! under 3 local frames, Zipf-skewed head constructors, conversion
+//! chains up to 12, 32 queries at 75% hot) resolved 8 passes over,
+//! per engine: the logic resolver with the derivation cache off and
+//! on (cold start, warming as hot queries repeat), and the
+//! intersection-subtyping resolver over a once-translated
+//! environment. All engines produce identical derivations, so the
+//! series isolate engine and caching cost at realistic scope sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use implicit_bench::{run_wild, WildConfig, WildEngine};
+
+const SEED: u64 = 0;
+const PASSES: usize = 8;
+
+fn wild_throughput(c: &mut Criterion) {
+    let config = WildConfig::field_study();
+    let mut g = c.benchmark_group("wild_throughput");
+    for engine in [
+        WildEngine::LogicNoCache,
+        WildEngine::Logic,
+        WildEngine::Subtyping,
+    ] {
+        g.bench_with_input(
+            BenchmarkId::new(engine.label(), PASSES),
+            &engine,
+            |b, &engine| b.iter(|| black_box(run_wild(SEED, &config, engine, PASSES))),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, wild_throughput);
+criterion_main!(benches);

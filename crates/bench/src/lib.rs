@@ -13,7 +13,7 @@
 
 pub use genprog::{
     chain_env, chain_program, deep_stack_env, distinct_type, partial_env, poly_env, poly_wide_env,
-    wide_env,
+    wide_env, wild_workload, WildConfig, WildHistogram, WildWorkload,
 };
 
 use std::rc::Rc;
@@ -301,6 +301,71 @@ implicit showInt', showTwice in showPerfect (({tree}) : Perfect Twice Int)
     )
 }
 
+// ---------------------------------------------------------------
+// B15: wild (production-shaped) resolution throughput
+// ---------------------------------------------------------------
+
+/// Which resolution engine a B15 series exercises.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WildEngine {
+    /// The logic resolver with the derivation cache disabled.
+    LogicNoCache,
+    /// The logic resolver with the derivation cache (cold at the start
+    /// of the run, warming as the hot queries repeat).
+    Logic,
+    /// The intersection-subtyping resolver, with the environment
+    /// translated to intersections once per run (the analog of a warm
+    /// compiled prelude).
+    Subtyping,
+}
+
+impl WildEngine {
+    /// Stable series label for tables and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            WildEngine::LogicNoCache => "logic, cache off",
+            WildEngine::Logic => "logic, cached",
+            WildEngine::Subtyping => "subtyping, pre-translated",
+        }
+    }
+}
+
+/// One B15 run: builds the seeded wild workload fresh (so the cached
+/// series starts cold), then resolves every query `passes` times with
+/// the chosen engine. Returns the total `TyRes` step count — the
+/// cross-engine checksum (all engines must agree derivation-for-
+/// derivation, so their step totals are equal).
+pub fn run_wild(seed: u64, config: &WildConfig, engine: WildEngine, passes: usize) -> u64 {
+    let w = wild_workload(seed, config);
+    let depth = 4096;
+    let policy = match engine {
+        WildEngine::LogicNoCache => ResolutionPolicy::paper()
+            .without_cache()
+            .with_max_depth(depth),
+        _ => ResolutionPolicy::paper().with_max_depth(depth),
+    };
+    let sigma = match engine {
+        WildEngine::Subtyping => implicit_core::subtyping::translate_env(&w.env),
+        _ => Vec::new(),
+    };
+    let mut steps = 0u64;
+    for _ in 0..passes {
+        for q in &w.queries {
+            steps += match engine {
+                WildEngine::Subtyping => {
+                    implicit_core::subtyping::subtype_resolve_translated(&sigma, q, &policy)
+                        .unwrap_or_else(|e| panic!("wild query `{q}` failed: {e:?}"))
+                        .steps() as u64
+                }
+                _ => implicit_core::resolve::resolve(&w.env, q, &policy)
+                    .unwrap_or_else(|e| panic!("wild query `{q}` failed: {e:?}"))
+                    .steps() as u64,
+            };
+        }
+    }
+    steps
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -354,6 +419,26 @@ mod tests {
                 expect,
                 "warm {backend} x4"
             );
+        }
+    }
+
+    #[test]
+    fn wild_engines_agree_on_the_step_checksum() {
+        // Small shape so the debug-build sanity check stays quick; the
+        // real B15 series runs in release via `benches/wild.rs`.
+        let config = WildConfig {
+            rules_per_frame: 40,
+            frames: 3,
+            max_chain: 8,
+            skew: 1.2,
+            queries: 12,
+            hot_fraction: 0.75,
+        };
+        for seed in [0u64, 5] {
+            let expect = run_wild(seed, &config, WildEngine::LogicNoCache, 2);
+            assert!(expect > 0);
+            assert_eq!(expect, run_wild(seed, &config, WildEngine::Logic, 2));
+            assert_eq!(expect, run_wild(seed, &config, WildEngine::Subtyping, 2));
         }
     }
 

@@ -1,0 +1,99 @@
+//! The B15 wild-throughput table, measured directly (not via
+//! Criterion) so a single release run prints the exact markdown
+//! recorded in `EXPERIMENTS.md` §10:
+//!
+//! ```text
+//! cargo test -p implicit-bench --release --test wild_table -- --ignored --nocapture
+//! ```
+
+use std::time::Instant;
+
+use implicit_bench::{run_wild, wild_workload, WildConfig, WildEngine};
+
+const SEED: u64 = 0;
+const PASSES: usize = 8;
+const REPS: u32 = 3;
+
+/// Times `f` (seconds per run, best of [`REPS`] after one warmup),
+/// asserting the step checksum on every run.
+fn time(f: impl Fn() -> u64, expect: u64) -> f64 {
+    assert_eq!(f(), expect);
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        assert_eq!(f(), expect);
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+#[test]
+#[ignore = "B15 measurement; run in release with --ignored --nocapture"]
+fn wild_throughput_table() {
+    let config = WildConfig::field_study();
+    let w = wild_workload(SEED, &config);
+    let hist = &w.histogram;
+    let queries = (config.queries * PASSES) as f64;
+
+    // All three engines must agree derivation-for-derivation; the
+    // step total is the cross-engine checksum.
+    let expect = run_wild(SEED, &config, WildEngine::LogicNoCache, PASSES);
+    assert!(expect > 0, "workload did no resolution work");
+
+    println!();
+    println!(
+        "B15: wild workload seed {SEED} — {} rules over {} frames \
+         (largest {}), max chain {}, {} queries ({} hot / {} cold) x {PASSES} passes, best of {REPS}",
+        hist.total_rules(),
+        hist.rules_per_frame.len(),
+        hist.rules_per_frame.iter().max().unwrap(),
+        hist.max_chain_len,
+        config.queries,
+        hist.hot_queries,
+        hist.cold_queries,
+    );
+    println!();
+    println!("head-constructor skew (top 8):");
+    println!();
+    print!("{}", hist.render_table(8));
+    println!();
+
+    let nocache = time(
+        || run_wild(SEED, &config, WildEngine::LogicNoCache, PASSES),
+        expect,
+    );
+    let cached = time(
+        || run_wild(SEED, &config, WildEngine::Logic, PASSES),
+        expect,
+    );
+    let subtyping = time(
+        || run_wild(SEED, &config, WildEngine::Subtyping, PASSES),
+        expect,
+    );
+
+    println!("| series | time/run | queries/sec | vs cache-off |");
+    println!("|---|---|---|---|");
+    for (label, t) in [
+        (WildEngine::LogicNoCache.label(), nocache),
+        (WildEngine::Logic.label(), cached),
+        (WildEngine::Subtyping.label(), subtyping),
+    ] {
+        println!(
+            "| {label} | {:.2} ms | {:.0} | {:.2}x |",
+            t * 1e3,
+            queries / t,
+            nocache / t
+        );
+    }
+    println!();
+
+    // Shape bars (the production-likeness acceptance criteria), not
+    // perf bars — wall-clock ratios on shared CI boxes are noise.
+    assert!(hist.rules_per_frame.iter().max().unwrap() >= &100);
+    assert!(hist.max_chain_len >= 8);
+    assert_eq!(run_wild(SEED, &config, WildEngine::Logic, PASSES), expect);
+    assert_eq!(
+        run_wild(SEED, &config, WildEngine::Subtyping, PASSES),
+        expect
+    );
+}

@@ -31,7 +31,10 @@ pub mod report;
 pub mod runner;
 pub mod shrink;
 
-pub use oracle::{run_program_oracle, run_resolution_oracle, Divergence, DivergenceKind};
-pub use report::{DivergenceRecord, RunReport, ShardReport};
+pub use oracle::{
+    run_program_oracle, run_resolution_oracle, run_subtyping_oracle, run_wild_oracle, Divergence,
+    DivergenceKind,
+};
+pub use report::{DivergenceRecord, LegTimings, RunReport, ShardReport};
 pub use runner::{replay, run, RunnerConfig};
 pub use shrink::{node_count, shrink};

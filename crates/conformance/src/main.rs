@@ -11,7 +11,7 @@ conformance — differential conformance harness for the implicit calculus
 
 USAGE:
     conformance [--shards N] [--seeds A..B] [--corpus DIR]
-                [--report FILE] [--fail-on-divergence]
+                [--report FILE] [--fail-on-divergence] [--wild]
     conformance --replay FILE
 
 OPTIONS:
@@ -20,6 +20,10 @@ OPTIONS:
     --corpus DIR           persist divergence reproducers here
     --report FILE          write the JSON run report here
     --fail-on-divergence   exit non-zero if any divergence was found
+    --wild                 production-shaped wild-mode sweep: per-seed
+                           field-study environments (hundreds of rules,
+                           Zipf head skew, conversion chains) resolved
+                           by the logic and subtyping engines
     --replay FILE          re-run the oracle on a corpus .imp file
     --help                 show this help
 ";
@@ -31,6 +35,7 @@ struct Cli {
     corpus: Option<PathBuf>,
     report: Option<PathBuf>,
     fail_on_divergence: bool,
+    wild: bool,
     replay: Option<PathBuf>,
 }
 
@@ -42,6 +47,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         corpus: None,
         report: None,
         fail_on_divergence: false,
+        wild: false,
         replay: None,
     };
     let mut it = args.iter();
@@ -74,6 +80,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             "--corpus" => cli.corpus = Some(PathBuf::from(value("--corpus")?)),
             "--report" => cli.report = Some(PathBuf::from(value("--report")?)),
             "--fail-on-divergence" => cli.fail_on_divergence = true,
+            "--wild" => cli.wild = true,
             "--replay" => cli.replay = Some(PathBuf::from(value("--replay")?)),
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown argument `{other}`")),
@@ -115,6 +122,7 @@ fn main() -> ExitCode {
         shards: cli.shards,
         corpus_dir: cli.corpus.clone(),
         gen: genprog::GenConfig::default(),
+        wild: cli.wild,
     };
     let report = match run(&config) {
         Ok(r) => r,
@@ -125,8 +133,9 @@ fn main() -> ExitCode {
     };
 
     println!(
-        "seeds {}..{} over {} shard(s): {} oracle runs in {} ms wall \
+        "{}seeds {}..{} over {} shard(s): {} oracle runs in {} ms wall \
          ({:.0} programs/sec, {:.2}x shard speedup), {} divergence(s)",
+        if cli.wild { "wild-mode " } else { "" },
         report.seed_lo,
         report.seed_hi,
         report.shards,
@@ -135,6 +144,15 @@ fn main() -> ExitCode {
         report.programs_per_sec(),
         report.speedup(),
         report.divergences.len(),
+    );
+    let legs = report.total_leg_timings();
+    println!(
+        "  per-leg cpu time: {}",
+        legs.as_pairs()
+            .iter()
+            .map(|(name, us)| format!("{name} {:.1} ms", *us as f64 / 1000.0))
+            .collect::<Vec<_>>()
+            .join(", ")
     );
     for d in &report.divergences {
         println!(

@@ -19,6 +19,12 @@
 //!   resolved under each [`ResolutionPolicy`] with the derivation
 //!   cache on and off; the full [`Resolution`] derivations and their
 //!   [`ResolutionStats`]-visible work counters must be identical.
+//! * **(d) Intersection subtyping** — every query site in the program
+//!   (and every env-level workload query) is also decided by the
+//!   structurally independent resolution-as-intersection-subtyping
+//!   algorithm ([`implicit_core::subtyping`]), which must reproduce
+//!   the logic resolver's outcome, evidence, and failure payloads
+//!   exactly.
 //!
 //! Any disagreement or crash is a [`Divergence`], categorized for
 //! triage and for the shrinker's "still diverges the same way"
@@ -67,6 +73,9 @@ pub enum DivergenceKind {
     /// The bytecode VM disagreed with (or failed where) the
     /// tree-walking System F evaluator (succeeded).
     VmMismatch,
+    /// The intersection-subtyping resolver disagreed with the logic
+    /// resolver — different outcome, evidence, or failure payload.
+    SubtypingMismatch,
 }
 
 impl DivergenceKind {
@@ -85,6 +94,7 @@ impl DivergenceKind {
             DivergenceKind::ResolutionMismatch => "resolution_mismatch",
             DivergenceKind::WarmColdMismatch => "warm_cold_mismatch",
             DivergenceKind::VmMismatch => "vm_mismatch",
+            DivergenceKind::SubtypingMismatch => "subtyping_mismatch",
         }
     }
 }
@@ -253,11 +263,54 @@ pub fn run_program_oracle(
         ));
     }
 
+    // Leg (d): the intersection-subtyping resolver, cross-checked at
+    // every query site of the program against the logic resolver —
+    // same successes (identical evidence after [`MpStep`] →
+    // [`Resolution`] conversion) and same failures (equal error
+    // values). Ample depth keeps the two engines fuel-equivalent (the
+    // logic resolver's derivation cache conserves fuel on repeated
+    // sub-queries; the subtyping prover has no cache).
+    check_subtyping_sites(expr)?;
+
     Ok(ProgramVerdict {
         value,
         ty: checked.to_string(),
         memo,
     })
+}
+
+/// Cross-checks the subtyping resolver against the logic resolver at
+/// every query site of `expr`, under the paper and most-specific
+/// policies.
+fn check_subtyping_sites(expr: &Expr) -> Result<(), Divergence> {
+    let policies = [
+        ("paper", ResolutionPolicy::paper().with_max_depth(4096)),
+        (
+            "most-specific",
+            ResolutionPolicy::paper()
+                .with_most_specific()
+                .with_max_depth(4096),
+        ),
+    ];
+    let mut failure: Option<Divergence> = None;
+    implicit_core::subtyping::walk_query_sites(expr, &mut |env, query| {
+        if failure.is_some() {
+            return;
+        }
+        for (pname, policy) in &policies {
+            if let Err(detail) = implicit_core::subtyping::cross_check(env, query, policy) {
+                failure = Some(Divergence::new(
+                    DivergenceKind::SubtypingMismatch,
+                    format!("[{pname}] query `{query}`: {detail}"),
+                ));
+                return;
+            }
+        }
+    });
+    match failure {
+        Some(d) => Err(d),
+        None => Ok(()),
+    }
 }
 
 /// Strips decimal digits so gensym suffixes (`ev17`, `a42`) compare
@@ -478,6 +531,137 @@ pub fn run_resolution_oracle(seed: u64) -> Result<ResolutionVerdict, Divergence>
     })
 }
 
+/// Runs the env-level subtyping leg: the seed's resolution workload
+/// decided by the intersection-subtyping resolver under all four
+/// policies, cross-checked against the logic resolver (same outcome,
+/// evidence, and failure payload), plus agreement of the source-level
+/// termination/coherence guards with their translated counterparts.
+///
+/// # Errors
+///
+/// Returns a [`Divergence`] of kind
+/// [`DivergenceKind::SubtypingMismatch`] on any disagreement.
+pub fn run_subtyping_oracle(seed: u64) -> Result<ResolutionVerdict, Divergence> {
+    let (family, env, query) = resolution_workload(seed);
+    let depth = 4096;
+    let mismatch = |detail: String| Divergence::new(DivergenceKind::SubtypingMismatch, detail);
+
+    let mut agreed_steps = 0;
+    for (pname, policy) in [
+        ("paper", ResolutionPolicy::paper().with_max_depth(depth)),
+        (
+            "paper-nocache",
+            ResolutionPolicy::paper()
+                .without_cache()
+                .with_max_depth(depth),
+        ),
+        (
+            "most-specific",
+            ResolutionPolicy::paper()
+                .with_most_specific()
+                .with_max_depth(depth),
+        ),
+        (
+            "env-extension",
+            ResolutionPolicy::paper()
+                .with_env_extension()
+                .with_max_depth(depth),
+        ),
+    ] {
+        implicit_core::subtyping::cross_check(&env, &query, &policy)
+            .map_err(|detail| mismatch(format!("[{family}/{pname}] {detail}")))?;
+        if pname == "paper" {
+            if let Ok(sub) = implicit_core::subtyping::subtype_resolve(&env, &query, &policy) {
+                agreed_steps = sub.steps();
+            }
+        }
+    }
+
+    // The translated guards must accept/reject exactly like the
+    // source-level termination and coherence checks.
+    let sigma = implicit_core::subtyping::translate_env(&env);
+    let translated = implicit_core::subtyping::check_translation(&sigma);
+    let source: Result<(), _> = env
+        .frames_innermost_first()
+        .flat_map(|(_, frame)| frame.iter())
+        .try_for_each(implicit_core::termination::check_rule);
+    match (&translated, &source) {
+        (Ok(()), Ok(())) => {}
+        (Err(t), Err(s)) if t == s => {}
+        (t, s) => {
+            return Err(mismatch(format!(
+                "[{family}] guard verdicts differ: translated {t:?} vs source {s:?}"
+            )));
+        }
+    }
+
+    Ok(ResolutionVerdict {
+        family,
+        steps: agreed_steps,
+    })
+}
+
+/// What the wild-mode oracle observed when all legs agreed.
+#[derive(Clone, Debug)]
+pub struct WildVerdict {
+    /// Shape statistics of the generated workload (merged into the
+    /// sweep's coverage histogram).
+    pub histogram: genprog::WildHistogram,
+    /// Total `TyRes` steps across all queries.
+    pub steps: usize,
+}
+
+/// Runs the wild-mode oracle: a production-shaped
+/// [`genprog::wild_workload`] (field-study scope sizes, Zipf head
+/// skew, conversion chains, hot/cold query mix) where every query is
+/// resolved cache-off / cold / warm by the logic resolver and decided
+/// by the subtyping resolver, all four in exact agreement.
+///
+/// # Errors
+///
+/// Returns a [`DivergenceKind::ResolutionMismatch`] divergence when
+/// the logic resolver disagrees with itself across cache modes, and a
+/// [`DivergenceKind::SubtypingMismatch`] when the subtyping leg
+/// disagrees.
+pub fn run_wild_oracle(seed: u64, config: &genprog::WildConfig) -> Result<WildVerdict, Divergence> {
+    let w = genprog::wild_workload(seed, config);
+    let policy = ResolutionPolicy::paper().with_max_depth(4096);
+    let nocache = policy.clone().without_cache();
+
+    let mut steps = 0usize;
+    for (i, query) in w.queries.iter().enumerate() {
+        let off = resolve(&w.env, query, &nocache).map_err(|e| {
+            Divergence::new(
+                DivergenceKind::ResolutionMismatch,
+                format!("[wild/q{i}] cache-off failed on `{query}`: {e}"),
+            )
+        })?;
+        // Cold and warm hits share one environment: the first resolve
+        // fills the derivation cache, the second replays it.
+        for mode in ["cold", "warm"] {
+            let on = resolve(&w.env, query, &policy).map_err(|e| {
+                Divergence::new(
+                    DivergenceKind::ResolutionMismatch,
+                    format!("[wild/q{i}] cache-{mode} failed on `{query}`: {e}"),
+                )
+            })?;
+            check_derivations_agree("wild", mode, &w.env, &off, &on)?;
+        }
+        implicit_core::subtyping::cross_check(&w.env, query, &policy).map_err(|detail| {
+            Divergence::new(
+                DivergenceKind::SubtypingMismatch,
+                format!("[wild/q{i}] {detail}"),
+            )
+        })?;
+        steps += off.steps();
+    }
+
+    Ok(WildVerdict {
+        histogram: w.histogram,
+        steps,
+    })
+}
+
 fn check_derivations_agree(
     family: &str,
     pname: &str,
@@ -578,6 +762,24 @@ mod tests {
         for seed in 0..100 {
             let v = run_resolution_oracle(seed).unwrap_or_else(|d| panic!("seed {seed}: {d}"));
             assert!(v.steps > 0, "seed {seed} family {}", v.family);
+        }
+    }
+
+    #[test]
+    fn subtyping_oracle_agrees_across_families() {
+        for seed in 0..100 {
+            let v = run_subtyping_oracle(seed).unwrap_or_else(|d| panic!("seed {seed}: {d}"));
+            assert!(v.steps > 0, "seed {seed} family {}", v.family);
+        }
+    }
+
+    #[test]
+    fn wild_oracle_agrees_on_field_study_shapes() {
+        let cfg = genprog::WildConfig::field_study();
+        for seed in 0..4 {
+            let v = run_wild_oracle(seed, &cfg).unwrap_or_else(|d| panic!("seed {seed}: {d}"));
+            assert!(v.steps > 0, "seed {seed}");
+            assert!(v.histogram.total_rules() >= 100, "seed {seed}");
         }
     }
 }

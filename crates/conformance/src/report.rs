@@ -100,6 +100,56 @@ impl Json {
     }
 }
 
+/// Wall time spent inside each oracle leg, accumulated per shard in
+/// microseconds (reported in milliseconds), so the cost of every leg
+/// — the new subtyping leg in particular — is visible in the JSON
+/// report.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LegTimings {
+    /// The program oracle (typecheck, 3× elaboration, VM, opsem,
+    /// per-site subtyping cross-check).
+    pub program_us: u64,
+    /// The warm/cold session oracle.
+    pub session_us: u64,
+    /// The env-level resolution oracle.
+    pub resolution_us: u64,
+    /// The env-level subtyping oracle.
+    pub subtyping_us: u64,
+    /// The wild-mode oracle (wild sweeps only).
+    pub wild_us: u64,
+}
+
+impl LegTimings {
+    /// Accumulates another shard's (or seed's) timings.
+    pub fn merge(&mut self, other: &LegTimings) {
+        self.program_us += other.program_us;
+        self.session_us += other.session_us;
+        self.resolution_us += other.resolution_us;
+        self.subtyping_us += other.subtyping_us;
+        self.wild_us += other.wild_us;
+    }
+
+    /// `(leg name, accumulated microseconds)` pairs in report order.
+    pub fn as_pairs(&self) -> [(&'static str, u64); 5] {
+        [
+            ("program", self.program_us),
+            ("session", self.session_us),
+            ("resolution", self.resolution_us),
+            ("subtyping", self.subtyping_us),
+            ("wild", self.wild_us),
+        ]
+    }
+
+    fn to_json(self) -> Json {
+        Json::Obj(
+            self.as_pairs()
+                .into_iter()
+                .map(|(k, us)| (format!("{k}_ms"), Json::Num(us as f64 / 1000.0)))
+                .collect(),
+        )
+    }
+}
+
 /// Per-shard throughput numbers.
 #[derive(Clone, Debug)]
 pub struct ShardReport {
@@ -121,6 +171,9 @@ pub struct ShardReport {
     /// The worker session's unified counter snapshot (resolution,
     /// cache, memo, evaluator, and session counters; DESIGN.md S28).
     pub metrics: MetricsRegistry,
+    /// Per-oracle-leg wall time accumulated across this shard's
+    /// seeds.
+    pub leg_timings: LegTimings,
 }
 
 impl ShardReport {
@@ -143,6 +196,7 @@ impl ShardReport {
             ("divergences", Json::Int(self.divergences as i64)),
             ("steals", Json::Int(self.steals as i64)),
             ("warm_cache_hits", Json::Int(self.warm_cache_hits as i64)),
+            ("leg_timing", self.leg_timings.to_json()),
             ("metrics", metrics_json(&self.metrics)),
         ])
     }
@@ -237,6 +291,15 @@ impl RunReport {
         total
     }
 
+    /// The per-shard leg timings summed sweep-wide.
+    pub fn total_leg_timings(&self) -> LegTimings {
+        let mut total = LegTimings::default();
+        for s in &self.shard_reports {
+            total.merge(&s.leg_timings);
+        }
+        total
+    }
+
     /// Sum of per-shard worker durations (the "serial cost"); the
     /// ratio against `wall_ms` is the observed shard speedup.
     pub fn cpu_ms(&self) -> u64 {
@@ -274,6 +337,7 @@ impl RunReport {
             ("total_programs", Json::Int(self.total_programs() as i64)),
             ("programs_per_sec", Json::Num(self.programs_per_sec())),
             ("divergence_count", Json::Int(self.divergences.len() as i64)),
+            ("leg_timing", self.total_leg_timings().to_json()),
             ("metrics", metrics_json(&self.total_metrics())),
             (
                 "coverage",
@@ -338,6 +402,13 @@ mod tests {
                         queries_resolved: 10,
                         ..MetricsRegistry::new()
                     },
+                    leg_timings: LegTimings {
+                        program_us: 30_000,
+                        session_us: 5_000,
+                        resolution_us: 3_000,
+                        subtyping_us: 2_000,
+                        wild_us: 0,
+                    },
                 },
                 ShardReport {
                     shard: 1,
@@ -351,6 +422,13 @@ mod tests {
                         queries: 12,
                         queries_resolved: 12,
                         ..MetricsRegistry::new()
+                    },
+                    leg_timings: LegTimings {
+                        program_us: 32_500,
+                        session_us: 6_000,
+                        resolution_us: 3_500,
+                        subtyping_us: 2_500,
+                        wild_us: 0,
                     },
                 },
             ],
@@ -368,5 +446,12 @@ mod tests {
         assert!(json.contains("\"queries\":22"), "got {json}");
         assert!(json.contains("\"queries\":10"), "got {json}");
         assert!(json.contains("\"queries\":12"), "got {json}");
+        // Per-leg timings merge sweep-wide and render in ms.
+        let total = report.total_leg_timings();
+        assert_eq!(total.program_us, 62_500);
+        assert_eq!(total.subtyping_us, 4_500);
+        assert!(json.contains("\"subtyping_ms\":4.500"), "got {json}");
+        assert!(json.contains("\"program_ms\":62.500"), "got {json}");
+        assert!(json.contains("\"wild_ms\":0.000"), "got {json}");
     }
 }

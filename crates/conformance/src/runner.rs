@@ -26,9 +26,10 @@ use implicit_core::trace::{MetricsSink, SharedSink};
 use implicit_pipeline::{run_batch_scoped, Prelude, Session};
 
 use crate::oracle::{
-    run_program_oracle, run_resolution_oracle, run_session_oracle, Divergence, DivergenceKind,
+    run_program_oracle, run_resolution_oracle, run_session_oracle, run_subtyping_oracle,
+    run_wild_oracle, Divergence, DivergenceKind,
 };
-use crate::report::{DivergenceRecord, RunReport, ShardReport};
+use crate::report::{DivergenceRecord, LegTimings, RunReport, ShardReport};
 use crate::shrink::{node_count, shrink};
 
 /// The prelude every sweep worker warms its [`Session`] with: a
@@ -52,6 +53,12 @@ pub struct RunnerConfig {
     pub corpus_dir: Option<PathBuf>,
     /// Program generator knobs.
     pub gen: GenConfig,
+    /// Wild mode: replace the per-seed program legs with
+    /// production-shaped [`genprog::wild_workload`] environments
+    /// (field-study scope sizes, Zipf head skew, conversion chains),
+    /// resolved by the logic resolver across cache modes and
+    /// cross-checked by the subtyping resolver.
+    pub wild: bool,
 }
 
 impl Default for RunnerConfig {
@@ -62,6 +69,7 @@ impl Default for RunnerConfig {
             shards: 1,
             corpus_dir: None,
             gen: GenConfig::default(),
+            wild: false,
         }
     }
 }
@@ -73,10 +81,35 @@ struct ShardOutcome {
     divergences: Vec<DivergenceRecord>,
 }
 
+/// Packages an env-level (by-seed) divergence: nothing to shrink, but
+/// the record replays by seed.
+fn by_seed_record(d: Divergence, seed: u64, shard: usize) -> DivergenceRecord {
+    DivergenceRecord {
+        id: format!("s{seed}-{}", d.kind.label()),
+        seed,
+        shard,
+        kind: d.kind.label().to_owned(),
+        detail: d.detail,
+        program: String::new(),
+        minimized: String::new(),
+        original_nodes: 0,
+        minimized_nodes: 0,
+        replayable: false,
+    }
+}
+
+/// Times one oracle leg, accumulating its wall time into `slot`.
+fn timed<T>(slot: &mut u64, f: impl FnOnce() -> T) -> T {
+    let t = Instant::now();
+    let out = f();
+    *slot += t.elapsed().as_micros() as u64;
+    out
+}
+
 /// Runs one seed's program leg end to end — generate, oracle, and on
 /// divergence shrink to a minimal reproducer with the same
-/// [`DivergenceKind`]. The warm-session and resolution legs run
-/// afterwards so every seed exercises all three.
+/// [`DivergenceKind`]. The warm-session, resolution, and subtyping
+/// legs run afterwards so every seed exercises all of them.
 fn run_seed(
     decls: &Declarations,
     session: &mut Session<'_>,
@@ -84,14 +117,19 @@ fn run_seed(
     gen: &GenConfig,
     seed: u64,
     shard: usize,
+    timings: &mut LegTimings,
 ) -> SeedOutcome {
     let mut r = rng(seed);
     let program = gen_program_with(&mut r, gen, decls);
     let mut divergence = None;
 
-    if let Err(d) = run_program_oracle(decls, &program.expr, &program.ty) {
+    if let Err(d) = timed(&mut timings.program_us, || {
+        run_program_oracle(decls, &program.expr, &program.ty)
+    }) {
         divergence = Some(minimize(decls, &program.expr, &program.ty, d, seed, shard));
-    } else if let Err(d) = run_session_oracle(decls, session, prelude, &program.expr, &program.ty) {
+    } else if let Err(d) = timed(&mut timings.session_us, || {
+        run_session_oracle(decls, session, prelude, &program.expr, &program.ty)
+    }) {
         // Warm/cold disagreements depend on session state, which the
         // shrinker cannot replay in isolation; record unshrunken.
         divergence = Some(DivergenceRecord {
@@ -106,25 +144,43 @@ fn run_seed(
             minimized_nodes: 0,
             replayable: false,
         });
-    } else if let Err(d) = run_resolution_oracle(seed) {
-        // Env-level workloads are derived from the seed, not the
-        // program: nothing to shrink, but the record replays by seed.
-        divergence = Some(DivergenceRecord {
-            id: format!("s{seed}-{}", d.kind.label()),
-            seed,
-            shard,
-            kind: d.kind.label().to_owned(),
-            detail: d.detail,
-            program: String::new(),
-            minimized: String::new(),
-            original_nodes: 0,
-            minimized_nodes: 0,
-            replayable: false,
-        });
+    } else if let Err(d) = timed(&mut timings.resolution_us, run_resolution_oracle_seed(seed)) {
+        divergence = Some(by_seed_record(d, seed, shard));
+    } else if let Err(d) = timed(&mut timings.subtyping_us, run_subtyping_oracle_seed(seed)) {
+        divergence = Some(by_seed_record(d, seed, shard));
     }
 
     SeedOutcome {
         counters: program.counters,
+        divergence,
+    }
+}
+
+/// Thunk adapters so the env-level legs fit [`timed`].
+fn run_resolution_oracle_seed(seed: u64) -> impl FnOnce() -> Result<(), Divergence> {
+    move || run_resolution_oracle(seed).map(|_| ())
+}
+
+fn run_subtyping_oracle_seed(seed: u64) -> impl FnOnce() -> Result<(), Divergence> {
+    move || run_subtyping_oracle(seed).map(|_| ())
+}
+
+/// Runs one wild-mode seed: a production-shaped environment/query
+/// workload through the logic resolver (cache off / cold / warm) and
+/// the subtyping resolver, folding the workload's shape histogram
+/// into the coverage counters.
+fn run_seed_wild(seed: u64, shard: usize, timings: &mut LegTimings) -> SeedOutcome {
+    let config = genprog::WildConfig::field_study();
+    let mut counters = GenCounters::default();
+    let divergence = match timed(&mut timings.wild_us, || run_wild_oracle(seed, &config)) {
+        Ok(v) => {
+            counters.record_wild(&v.histogram);
+            None
+        }
+        Err(d) => Some(by_seed_record(d, seed, shard)),
+    };
+    SeedOutcome {
+        counters,
         divergence,
     }
 }
@@ -204,8 +260,21 @@ pub fn run(config: &RunnerConfig) -> std::io::Result<RunReport> {
         let mut counters = GenCounters::default();
         let mut divergences = Vec::new();
         let mut seeds = 0u64;
+        let mut timings = LegTimings::default();
         for (_, seed) in source.by_ref() {
-            let out = run_seed(&decls, &mut session, &prelude, gen, seed, shard);
+            let out = if config.wild {
+                run_seed_wild(seed, shard, &mut timings)
+            } else {
+                run_seed(
+                    &decls,
+                    &mut session,
+                    &prelude,
+                    gen,
+                    seed,
+                    shard,
+                    &mut timings,
+                )
+            };
             counters.merge(&out.counters);
             divergences.extend(out.divergence);
             seeds += 1;
@@ -222,6 +291,7 @@ pub fn run(config: &RunnerConfig) -> std::io::Result<RunReport> {
                 steals: source.steals as u64,
                 warm_cache_hits: warm.hits,
                 metrics,
+                leg_timings: timings,
             },
             counters,
             divergences,
@@ -294,6 +364,7 @@ mod tests {
             shards: 3,
             corpus_dir: None,
             gen: GenConfig::default(),
+            wild: false,
         };
         let r1 = run(&config).unwrap();
         assert_eq!(r1.total_programs(), 120);
@@ -322,6 +393,7 @@ mod tests {
             shards: 4,
             corpus_dir: None,
             gen: GenConfig::default(),
+            wild: false,
         };
         let r = run(&config).unwrap();
         let total: u64 = r.shard_reports.iter().map(|s| s.seeds).sum();
@@ -337,5 +409,39 @@ mod tests {
             "unbalanced query spans: {m:?}"
         );
         assert!(m.tree_runs > 0, "no evaluator metrics: {m:?}");
+        // Every leg's cost is visible in the report.
+        let t = r.total_leg_timings();
+        assert!(t.program_us > 0 && t.subtyping_us > 0, "timings: {t:?}");
+        assert_eq!(t.wild_us, 0, "wild leg ran in a normal sweep: {t:?}");
+    }
+
+    #[test]
+    fn wild_sweep_is_divergence_free_with_production_coverage() {
+        let config = RunnerConfig {
+            seed_lo: 0,
+            seed_hi: 12,
+            shards: 2,
+            corpus_dir: None,
+            gen: GenConfig::default(),
+            wild: true,
+        };
+        let r = run(&config).unwrap();
+        assert!(
+            r.divergences.is_empty(),
+            "wild divergences: {:?}",
+            r.divergences
+                .iter()
+                .map(|d| format!("{}: {}", d.id, d.detail))
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(r.total_programs(), 12);
+        // Coverage carries the wild histogram, not program constructs.
+        let cov: std::collections::HashMap<&str, u64> = r.coverage.iter().copied().collect();
+        assert!(cov["wild_rules"] >= 12 * 100, "coverage: {:?}", r.coverage);
+        assert!(cov["wild_hot_queries"] > 0 && cov["wild_cold_queries"] > 0);
+        assert!(cov["wild_max_chain"] >= 8);
+        // The wild leg is the only one that accumulated time.
+        let t = r.total_leg_timings();
+        assert!(t.wild_us > 0 && t.program_us == 0, "timings: {t:?}");
     }
 }

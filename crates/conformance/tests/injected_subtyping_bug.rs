@@ -1,0 +1,75 @@
+//! End-to-end validation of the harness's handling of the fifth
+//! (intersection-subtyping) oracle leg: inject a bug that makes the
+//! leg mis-report on any program containing an implicit query, and
+//! check the pipeline catches it as a [`DivergenceKind::SubtypingMismatch`]
+//! and shrinks the reproducer to a tiny program — mirroring the PR 2
+//! injected-bug test for the opsem leg.
+
+use conformance::oracle::{run_program_oracle, Divergence, DivergenceKind};
+use conformance::shrink::{node_count, shrink};
+use genprog::{gen_program_with, rng, GenConfig};
+use implicit_core::syntax::{Declarations, Expr, Type};
+
+/// Does the program contain an implicit query `?(ρ)` anywhere?
+fn contains_query(e: &Expr) -> bool {
+    let mut found = false;
+    implicit_core::subtyping::walk_query_sites(e, &mut |_, _| found = true);
+    found
+}
+
+/// The real oracle with a bug injected into the subtyping leg: any
+/// program exercising implicit resolution is reported as a subtyping
+/// mismatch — the observable of an intersection-subtyping prover
+/// whose modus-ponens step selects the wrong intersection member.
+fn buggy_oracle(decls: &Declarations, e: &Expr, ty: &Type) -> Result<(), Divergence> {
+    run_program_oracle(decls, e, ty)?;
+    if contains_query(e) {
+        return Err(Divergence {
+            kind: DivergenceKind::SubtypingMismatch,
+            detail: "injected: subtyping prover selects the wrong member".into(),
+        });
+    }
+    Ok(())
+}
+
+#[test]
+fn injected_subtyping_bug_is_caught_and_shrunk_to_a_tiny_program() {
+    let decls = genprog::data_prelude();
+    let gen = GenConfig::default();
+
+    // Sweep seeds through the buggy oracle until the bug fires, as
+    // the runner would.
+    let mut caught = None;
+    for seed in 0..2000u64 {
+        let mut r = rng(seed);
+        let p = gen_program_with(&mut r, &gen, &decls);
+        if let Err(d) = buggy_oracle(&decls, &p.expr, &p.ty) {
+            caught = Some((seed, p, d));
+            break;
+        }
+    }
+    let (seed, program, d) = caught.expect("generator never emitted a query within 2000 seeds");
+    assert_eq!(
+        d.kind,
+        DivergenceKind::SubtypingMismatch,
+        "seed {seed}: {d}"
+    );
+
+    // Shrink under the harness's property: the buggy oracle still
+    // reports the same divergence kind.
+    let property = |cand: &Expr| {
+        buggy_oracle(&decls, cand, &program.ty)
+            .err()
+            .is_some_and(|d2| d2.kind == d.kind)
+    };
+    assert!(property(&program.expr));
+    let minimized = shrink(&program.expr, &property);
+
+    assert!(property(&minimized), "shrink lost the divergence");
+    assert!(contains_query(&minimized));
+    assert!(
+        node_count(&minimized) <= 10,
+        "seed {seed}: shrunk only to {} nodes: {minimized}",
+        node_count(&minimized)
+    );
+}

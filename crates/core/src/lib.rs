@@ -64,6 +64,7 @@ pub mod parse;
 pub mod pretty;
 pub mod resolve;
 pub mod subst;
+pub mod subtyping;
 pub mod symbol;
 pub mod syntax;
 pub mod termination;

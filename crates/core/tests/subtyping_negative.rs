@@ -1,0 +1,209 @@
+//! Negative-path pinning for the subtyping leg: on the existing
+//! negative corpus (see `negative_paths.rs`), the intersection-
+//! subtyping guards must report the *same*
+//! [`TerminationViolation`]/[`CoherenceError`] payloads as the
+//! source-level checks — same variant, same rules, same witnesses —
+//! so a divergence report reads identically whichever engine raised
+//! it.
+
+// Same allowance the core crate makes: guard errors carry their full
+// witnesses by design.
+#![allow(clippy::result_large_err)]
+
+use implicit_core::coherence::{
+    exists_most_specific, query_stability, unique_instances, CoherenceError,
+};
+use implicit_core::resolve::ResolutionPolicy;
+use implicit_core::subtyping::{
+    check_member, check_translation, member_meet, most_specific_members, stable_query,
+    translate_env, translate_rule, unique_members, Intersection, Member,
+};
+use implicit_core::syntax::{RuleType, Type};
+use implicit_core::termination::{check_env, check_rule, TerminationViolation};
+use implicit_core::{ImplicitEnv, Symbol};
+
+fn tv(name: &str) -> Symbol {
+    Symbol::intern(name)
+}
+
+fn member(rho: &RuleType) -> Member {
+    Member {
+        itype: translate_rule(rho),
+        source: rho.clone(),
+    }
+}
+
+/// Both engines' verdicts on one rule, asserted equal and returned.
+fn termination_verdicts(rho: &RuleType) -> Result<(), TerminationViolation> {
+    let source = check_rule(rho);
+    let translated = check_member(&member(rho));
+    assert_eq!(source, translated, "engines disagree on {rho}");
+    source
+}
+
+// ---------------------------------------------------------------
+// Termination (Appendix A) — corpus cases from negative_paths.rs
+// ---------------------------------------------------------------
+
+#[test]
+fn premise_as_large_as_head_reports_identical_sizes() {
+    let rule = RuleType::mono(vec![Type::prod(Type::Int, Type::Int).promote()], Type::Int);
+    match termination_verdicts(&rule) {
+        Err(TerminationViolation::PremiseNotSmaller {
+            rule: r,
+            premise,
+            premise_size,
+            head_size,
+        }) => {
+            assert_eq!(r, rule);
+            assert_eq!(premise, Type::prod(Type::Int, Type::Int).promote());
+            assert_eq!((premise_size, head_size), (3, 1));
+        }
+        other => panic!("expected PremiseNotSmaller, got {other:?}"),
+    }
+}
+
+#[test]
+fn equal_sized_premise_rejected_identically() {
+    let rule = RuleType::mono(vec![Type::Str.promote()], Type::Int);
+    match termination_verdicts(&rule) {
+        Err(TerminationViolation::PremiseNotSmaller {
+            premise_size,
+            head_size,
+            ..
+        }) => assert_eq!((premise_size, head_size), (1, 1)),
+        other => panic!("expected PremiseNotSmaller, got {other:?}"),
+    }
+}
+
+#[test]
+fn growing_variable_named_identically() {
+    let a = tv("subneg_a");
+    let rule = RuleType::new(
+        vec![a],
+        vec![Type::prod(Type::var(a), Type::var(a)).promote()],
+        Type::prod(Type::prod(Type::var(a), Type::Int), Type::Int),
+    );
+    match termination_verdicts(&rule) {
+        Err(TerminationViolation::VariableGrows {
+            rule: r,
+            premise,
+            var,
+        }) => {
+            assert_eq!(r, rule);
+            assert_eq!(premise, Type::prod(Type::var(a), Type::var(a)).promote());
+            assert_eq!(var, a);
+        }
+        other => panic!("expected VariableGrows, got {other:?}"),
+    }
+}
+
+#[test]
+fn translated_env_check_pinpoints_the_same_offending_rule() {
+    let bad = RuleType::mono(vec![Type::Str.promote()], Type::Int);
+    let mut env = ImplicitEnv::new();
+    env.push(vec![bad.clone()]);
+    env.push(vec![Type::Bool.promote()]); // innermost, fine
+    let source = check_env(&env);
+    let translated = check_translation(&translate_env(&env));
+    assert_eq!(source, translated);
+    match translated {
+        Err(TerminationViolation::PremiseNotSmaller { rule, .. }) => assert_eq!(rule, bad),
+        other => panic!("expected PremiseNotSmaller, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------
+// Coherence (§6) — corpus cases from negative_paths.rs
+// ---------------------------------------------------------------
+
+#[test]
+fn overlapping_members_carry_the_same_witness() {
+    let a = tv("subneg_b");
+    let left = RuleType::new(vec![a], vec![], Type::arrow(Type::var(a), Type::Int));
+    let right = RuleType::new(vec![a], vec![], Type::arrow(Type::Int, Type::var(a)));
+    let rules = [left.clone(), right.clone()];
+    let source = unique_instances(&rules);
+    let translated = unique_members(&Intersection::from_context(&rules));
+    assert_eq!(source, translated);
+    match translated {
+        Err(CoherenceError::OverlappingInstances {
+            left: l,
+            right: r,
+            witness,
+        }) => {
+            assert_eq!(l, left);
+            assert_eq!(r, right);
+            assert_eq!(witness, Type::arrow(Type::Int, Type::Int));
+        }
+        other => panic!("expected OverlappingInstances, got {other:?}"),
+    }
+    // The member-level meet agrees with the witness, too.
+    assert_eq!(
+        member_meet(&member(&left), &member(&right)),
+        Some(Type::arrow(Type::Int, Type::Int))
+    );
+}
+
+#[test]
+fn missing_meet_reports_the_same_most_general_common_instance() {
+    let a = tv("subneg_c");
+    let left = RuleType::new(vec![a], vec![], Type::prod(Type::var(a), Type::Int));
+    let right = RuleType::new(vec![a], vec![], Type::prod(Type::Int, Type::var(a)));
+    let rules = [left.clone(), right.clone()];
+    let source = exists_most_specific(&rules);
+    let translated = most_specific_members(&Intersection::from_context(&rules));
+    assert_eq!(source, translated);
+    match translated {
+        Err(CoherenceError::NoMostSpecific {
+            left: l,
+            right: r,
+            meet,
+        }) => {
+            assert_eq!(l, left);
+            assert_eq!(r, right);
+            assert_eq!(meet, Type::prod(Type::Int, Type::Int));
+        }
+        other => panic!("expected NoMostSpecific, got {other:?}"),
+    }
+    // Adding the meet as its own rule repairs both readings.
+    let repaired = [left, right, Type::prod(Type::Int, Type::Int).promote()];
+    assert_eq!(exists_most_specific(&repaired), Ok(()));
+    assert_eq!(
+        most_specific_members(&Intersection::from_context(&repaired)),
+        Ok(())
+    );
+}
+
+#[test]
+fn unstable_query_names_the_same_winner_and_rival() {
+    let a = tv("subneg_d");
+    let b = tv("subneg_e");
+    let winner = RuleType::new(vec![b], vec![], Type::prod(Type::var(b), Type::Int));
+    let rival = Type::prod(Type::Int, Type::Int).promote();
+    let mut env = ImplicitEnv::new();
+    env.push(vec![winner.clone()]); // outer
+    env.push(vec![rival.clone()]); // inner (nearer)
+    let query = Type::prod(Type::var(a), Type::Int).promote();
+    let policy = ResolutionPolicy::paper();
+
+    let source = query_stability(&env, &query, &policy);
+    let translated = stable_query(&translate_env(&env), &query, &policy);
+    assert_eq!(source, translated);
+    match translated {
+        Err(CoherenceError::UnstableQuery {
+            query: q,
+            winner: w,
+            rival: r,
+        }) => {
+            assert_eq!(q, query);
+            assert_eq!(w, winner);
+            assert_eq!(r, rival);
+        }
+        other => panic!("expected UnstableQuery, got {other:?}"),
+    }
+    // A ground query is stable under both readings.
+    let ground = Type::prod(Type::Bool, Type::Int).promote();
+    assert_eq!(query_stability(&env, &ground, &policy), Ok(()));
+    assert_eq!(stable_query(&translate_env(&env), &ground, &policy), Ok(()));
+}

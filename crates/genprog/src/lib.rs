@@ -194,6 +194,307 @@ pub fn chain_program(n: usize) -> Expr {
 }
 
 // ---------------------------------------------------------------
+// "Wild" production-shaped workloads (Scala-implicits field study)
+// ---------------------------------------------------------------
+
+/// Knobs for [`wild_workload`]: scope shapes drawn from the
+/// Krikava/Miller/Vitek field study of Scala implicits (PAPERS.md) —
+/// huge flat import scopes, Zipf-skewed head-constructor popularity,
+/// conversion chains, deep lexical nesting, and a hot/cold query mix.
+#[derive(Clone, Debug)]
+pub struct WildConfig {
+    /// Rules in the outermost "import" frame (the field study's
+    /// hundreds-of-implicits-in-scope regime).
+    pub rules_per_frame: usize,
+    /// Lexical nesting depth: one big import frame plus `frames - 1`
+    /// smaller local frames (each about an eighth of the import
+    /// frame).
+    pub frames: usize,
+    /// Cap on conversion-chain length; rules per head constructor
+    /// decay Zipf-like from this, so a few constructors own long
+    /// chains and the tail is singletons.
+    pub max_chain: usize,
+    /// Zipf exponent of the head-constructor popularity skew.
+    pub skew: f64,
+    /// Queries in the workload.
+    pub queries: usize,
+    /// Fraction of queries drawn from the small *hot* set (repeated
+    /// chain-end lookups, the cache-friendly regime); the rest are
+    /// cold one-offs, skewed toward fresh instantiations.
+    pub hot_fraction: f64,
+}
+
+impl WildConfig {
+    /// The default production shape: a 160-rule import scope, 4-deep
+    /// nesting, chains up to 12, 32 queries at 75% hot.
+    pub fn field_study() -> WildConfig {
+        WildConfig {
+            rules_per_frame: 160,
+            frames: 4,
+            max_chain: 12,
+            skew: 1.2,
+            queries: 32,
+            hot_fraction: 0.75,
+        }
+    }
+}
+
+impl Default for WildConfig {
+    fn default() -> WildConfig {
+        WildConfig::field_study()
+    }
+}
+
+/// Shape statistics of one generated wild workload, for coverage
+/// tests and the B15 bench table.
+#[derive(Clone, Debug, Default)]
+pub struct WildHistogram {
+    /// Rules per frame, outermost first.
+    pub rules_per_frame: Vec<usize>,
+    /// Head-constructor popularity, most popular first (count ties
+    /// break by name for determinism).
+    pub head_constructors: Vec<(String, u64)>,
+    /// Context-free ground value rules.
+    pub base_rules: u64,
+    /// Single-premise conversion rules (`{C τᵢ₋₁} ⇒ C τᵢ`).
+    pub conversion_rules: u64,
+    /// Polymorphic constructor rules (`∀a. {a} ⇒ P a`).
+    pub poly_rules: u64,
+    /// Cross-frame bridge rules (premise resolved in an outer frame).
+    pub bridge_rules: u64,
+    /// Queries drawn from the hot set.
+    pub hot_queries: u64,
+    /// Cold one-off queries.
+    pub cold_queries: u64,
+    /// Longest conversion chain emitted.
+    pub max_chain_len: u64,
+}
+
+impl WildHistogram {
+    /// Total rules across frames.
+    pub fn total_rules(&self) -> u64 {
+        self.rules_per_frame.iter().map(|&n| n as u64).sum()
+    }
+
+    /// The most popular head constructor and its rule count.
+    pub fn top_constructor(&self) -> Option<(&str, u64)> {
+        self.head_constructors
+            .first()
+            .map(|(name, n)| (name.as_str(), *n))
+    }
+
+    /// A markdown table of the constructor-popularity skew (top
+    /// `rows` constructors), for `EXPERIMENTS.md` and the B15 bench
+    /// output.
+    pub fn render_table(&self, rows: usize) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("| head constructor | rules |\n|---|---|\n");
+        for (name, n) in self.head_constructors.iter().take(rows) {
+            let _ = writeln!(out, "| {name} | {n} |");
+        }
+        let tail: u64 = self
+            .head_constructors
+            .iter()
+            .skip(rows)
+            .map(|(_, n)| n)
+            .sum();
+        if tail > 0 {
+            let _ = writeln!(
+                out,
+                "| …{} more | {tail} |",
+                self.head_constructors.len() - rows
+            );
+        }
+        out
+    }
+}
+
+/// A production-shaped environment/query workload.
+#[derive(Clone, Debug)]
+pub struct WildWorkload {
+    /// The environment: one huge import frame under smaller local
+    /// frames.
+    pub env: ImplicitEnv,
+    /// The queries, hot/cold mixed in generation order. Every query
+    /// resolves by construction (the oracle legs demand success).
+    pub queries: Vec<RuleType>,
+    /// Shape statistics.
+    pub histogram: WildHistogram,
+}
+
+/// One conversion chain: `len` rules with head constructor `ctor`
+/// over payloads `T₀ … T₍len−1₎`.
+struct WildChain {
+    ctor: Symbol,
+    len: usize,
+}
+
+/// Builds one frame as a set of conversion chains with Zipf-skewed
+/// lengths: constructor `k` gets `max_chain / (k+1)^skew` rules
+/// (clamped to ≥ 1, jittered ±1), so the head histogram has a heavy
+/// head and a long singleton tail, as in the field study.
+fn wild_frame(
+    prefix: &str,
+    budget: usize,
+    max_chain: usize,
+    skew: f64,
+    r: &mut impl Rng,
+    hist: &mut WildHistogram,
+) -> (Vec<RuleType>, Vec<WildChain>) {
+    let mut rules = Vec::with_capacity(budget);
+    let mut chains = Vec::new();
+    let mut k = 0usize;
+    while rules.len() < budget {
+        let zipf = (max_chain as f64) / ((k + 1) as f64).powf(skew.max(0.0));
+        let jitter = r.gen_range(0..=1usize);
+        let len = (zipf.round() as usize + jitter)
+            .clamp(1, max_chain)
+            .min(budget - rules.len());
+        let ctor = Symbol::intern(&format!("{prefix}C{k}"));
+        // Base value rule: `C T₀` out of thin air…
+        rules.push(Type::Con(ctor, vec![distinct_type(0)]).promote());
+        hist.base_rules += 1;
+        // …then the conversion chain `{C Tᵢ₋₁} ⇒ C Tᵢ`.
+        for i in 1..len {
+            rules.push(RuleType::mono(
+                vec![Type::Con(ctor, vec![distinct_type(i - 1)]).promote()],
+                Type::Con(ctor, vec![distinct_type(i)]),
+            ));
+            hist.conversion_rules += 1;
+        }
+        hist.max_chain_len = hist.max_chain_len.max(len as u64);
+        chains.push(WildChain { ctor, len });
+        k += 1;
+    }
+    (rules, chains)
+}
+
+/// Generates a seeded wild workload: a [`WildConfig::rules_per_frame`]-
+/// rule import frame under `frames − 1` smaller local frames (with
+/// polymorphic constructor rules and cross-frame bridges), plus a
+/// hot/cold query mix over chain ends, mid-chain targets, and
+/// polymorphic instantiations. Deterministic in `(seed, config)`.
+pub fn wild_workload(seed: u64, config: &WildConfig) -> WildWorkload {
+    let mut r = rng(seed.wrapping_mul(0x9E37_79B9).wrapping_add(0x571D));
+    let mut hist = WildHistogram::default();
+    let mut env = ImplicitEnv::new();
+    // (frame label, chains, poly ctors) per frame, outermost first.
+    let mut frames: Vec<(Vec<WildChain>, Vec<Symbol>)> = Vec::new();
+
+    let frame_count = config.frames.max(1);
+    for f in 0..frame_count {
+        let budget = if f == 0 {
+            config.rules_per_frame.max(1)
+        } else {
+            (config.rules_per_frame / 8).max(4)
+        };
+        let prefix = format!("Wf{f}");
+        let (mut rules, chains) = wild_frame(
+            &prefix,
+            budget,
+            config.max_chain.max(1),
+            config.skew,
+            &mut r,
+            &mut hist,
+        );
+        // Polymorphic constructor rules: `∀a. {a} ⇒ P a` — the
+        // typeclass-shaped tail that head indexing cannot fully
+        // discriminate.
+        let mut polys = Vec::new();
+        for j in 0..2 {
+            let p = Symbol::intern(&format!("{prefix}P{j}"));
+            let a = Symbol::intern("wild_a");
+            rules.push(RuleType::new(
+                vec![a],
+                vec![Type::var(a).promote()],
+                Type::Con(p, vec![Type::var(a)]),
+            ));
+            hist.poly_rules += 1;
+            polys.push(p);
+        }
+        // Cross-frame bridges (local frames only): the local rule's
+        // premise is the *outer* import frame's top chain end, so
+        // resolving the bridge head descends the scope stack.
+        if f > 0 {
+            if let Some((outer_chains, _)) = frames.first() {
+                let top = &outer_chains[0];
+                let b = Symbol::intern(&format!("{prefix}B"));
+                rules.push(RuleType::mono(
+                    vec![Type::Con(top.ctor, vec![distinct_type(top.len - 1)]).promote()],
+                    Type::Con(b, vec![distinct_type(top.len)]),
+                ));
+                hist.bridge_rules += 1;
+            }
+        }
+        hist.rules_per_frame.push(rules.len());
+        env.push(rules);
+        frames.push((chains, polys));
+    }
+
+    // Head-constructor histogram over the whole environment.
+    {
+        let mut counts: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+        for (_, frame) in env.frames_innermost_first() {
+            for rule in frame.iter() {
+                let label = match rule.head() {
+                    Type::Con(sym, _) => sym.as_str().to_owned(),
+                    other => other.to_string(),
+                };
+                *counts.entry(label).or_default() += 1;
+            }
+        }
+        let mut pairs: Vec<(String, u64)> = counts.into_iter().collect();
+        pairs.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        hist.head_constructors = pairs;
+    }
+
+    // The hot set: chain ends of the import frame's two most popular
+    // constructors, plus the innermost bridge head (a deep-descent
+    // repeat customer).
+    let import_chains = &frames[0].0;
+    let mut hot: Vec<RuleType> = import_chains
+        .iter()
+        .take(2)
+        .map(|c| Type::Con(c.ctor, vec![distinct_type(c.len - 1)]).promote())
+        .collect();
+    if frame_count > 1 && hist.bridge_rules > 0 {
+        let top = &import_chains[0];
+        let b = Symbol::intern(&format!("Wf{}B", frame_count - 1));
+        hot.push(Type::Con(b, vec![distinct_type(top.len)]).promote());
+    }
+
+    let mut queries = Vec::with_capacity(config.queries);
+    for _ in 0..config.queries {
+        if r.gen_bool(config.hot_fraction.clamp(0.0, 1.0)) {
+            let q = hot[r.gen_range(0..hot.len())].clone();
+            hist.hot_queries += 1;
+            queries.push(q);
+        } else {
+            // A cold one-off: a random chain position in a random
+            // frame, optionally wrapped in a polymorphic constructor
+            // (a fresh instantiation the cache has never seen).
+            let f = r.gen_range(0..frames.len());
+            let (chains, polys) = &frames[f];
+            let c = &chains[r.gen_range(0..chains.len())];
+            let depth = r.gen_range(0..c.len);
+            let mut target = Type::Con(c.ctor, vec![distinct_type(depth)]);
+            if r.gen_bool(0.4) {
+                let p = polys[r.gen_range(0..polys.len())];
+                target = Type::Con(p, vec![target]);
+            }
+            hist.cold_queries += 1;
+            queries.push(target.promote());
+        }
+    }
+
+    WildWorkload {
+        env,
+        queries,
+        histogram: hist,
+    }
+}
+
+// ---------------------------------------------------------------
 // Random well-typed programs (property tests)
 // ---------------------------------------------------------------
 
@@ -262,6 +563,14 @@ pub struct GenCounters {
     pub applied_ctor_type: u64,
     /// Deepest implicit-scope nesting reached (a max, not a sum).
     pub max_scope_depth: u64,
+    /// Rules emitted across wild-mode frames.
+    pub wild_rules: u64,
+    /// Wild-mode queries drawn from the hot set.
+    pub wild_hot_queries: u64,
+    /// Wild-mode cold one-off queries.
+    pub wild_cold_queries: u64,
+    /// Longest wild-mode conversion chain (a max, not a sum).
+    pub wild_max_chain: u64,
 }
 
 impl GenCounters {
@@ -286,6 +595,10 @@ impl GenCounters {
             list_case,
             applied_ctor_type,
             max_scope_depth,
+            wild_rules,
+            wild_hot_queries,
+            wild_cold_queries,
+            wild_max_chain,
         } = other;
         self.int_lit += int_lit;
         self.bool_lit += bool_lit;
@@ -305,6 +618,19 @@ impl GenCounters {
         self.list_case += list_case;
         self.applied_ctor_type += applied_ctor_type;
         self.max_scope_depth = self.max_scope_depth.max(*max_scope_depth);
+        self.wild_rules += wild_rules;
+        self.wild_hot_queries += wild_hot_queries;
+        self.wild_cold_queries += wild_cold_queries;
+        self.wild_max_chain = self.wild_max_chain.max(*wild_max_chain);
+    }
+
+    /// Folds a wild workload's histogram into the counters (the
+    /// wild-mode sweep's coverage rows).
+    pub fn record_wild(&mut self, hist: &WildHistogram) {
+        self.wild_rules += hist.total_rules();
+        self.wild_hot_queries += hist.hot_queries;
+        self.wild_cold_queries += hist.cold_queries;
+        self.wild_max_chain = self.wild_max_chain.max(hist.max_chain_len);
     }
 
     /// The counters as labelled pairs, in a stable order (the
@@ -329,6 +655,10 @@ impl GenCounters {
             ("list_case", self.list_case),
             ("applied_ctor_type", self.applied_ctor_type),
             ("max_scope_depth", self.max_scope_depth),
+            ("wild_rules", self.wild_rules),
+            ("wild_hot_queries", self.wild_hot_queries),
+            ("wild_cold_queries", self.wild_cold_queries),
+            ("wild_max_chain", self.wild_max_chain),
         ]
     }
 }
@@ -1068,6 +1398,116 @@ mod tests {
         assert_eq!(a.int_lit, 7);
         assert_eq!(a.query, 2);
         assert_eq!(a.max_scope_depth, 5);
-        assert_eq!(a.as_pairs().len(), 18);
+        assert_eq!(a.as_pairs().len(), 22);
+    }
+
+    /// Acceptance criterion for the wild mode: the default
+    /// (field-study) shape emits ≥100 rules in at least one frame,
+    /// with a skewed head-constructor histogram — the most popular
+    /// constructor owns several rules while the tail is singletons.
+    #[test]
+    fn wild_coverage_histogram_is_production_shaped() {
+        for seed in 0..8u64 {
+            let w = wild_workload(seed, &WildConfig::field_study());
+            let hist = &w.histogram;
+            // One huge import frame…
+            let biggest = *hist.rules_per_frame.iter().max().unwrap();
+            assert!(
+                biggest >= 100,
+                "seed {seed}: biggest frame has only {biggest} rules"
+            );
+            assert_eq!(hist.rules_per_frame.len(), 4);
+            assert_eq!(hist.total_rules(), env_rule_count(&w.env) as u64);
+            // …with Zipf-skewed head popularity: the top constructor
+            // owns a long chain, the tail is singletons, and the gap
+            // between them is wide.
+            let (_, top) = hist.top_constructor().unwrap();
+            let (_, bottom) = *hist.head_constructors.last().unwrap();
+            assert!(
+                top >= 8 && bottom <= 2 && top >= 4 * bottom,
+                "seed {seed}: skew too flat (top {top}, bottom {bottom})"
+            );
+            let singletons = hist
+                .head_constructors
+                .iter()
+                .filter(|(_, n)| *n == 1)
+                .count();
+            assert!(
+                singletons * 2 >= hist.head_constructors.len(),
+                "seed {seed}: tail not singleton-heavy ({singletons} of {})",
+                hist.head_constructors.len()
+            );
+            // Deep conversion chains and every rule category present.
+            assert!(hist.max_chain_len >= 8, "seed {seed}");
+            assert!(hist.base_rules > 0 && hist.conversion_rules > 0);
+            assert!(hist.poly_rules > 0 && hist.bridge_rules > 0);
+            // Hot/cold mix roughly matches the configured fraction.
+            assert_eq!(hist.hot_queries + hist.cold_queries, 32);
+            assert!(hist.hot_queries >= 16, "seed {seed}: {hist:?}");
+            // The rendered table is well-formed markdown.
+            let table = hist.render_table(5);
+            assert!(table.starts_with("| head constructor | rules |"));
+            assert!(table.contains("more"));
+        }
+    }
+
+    fn env_rule_count(env: &ImplicitEnv) -> usize {
+        env.frames_innermost_first()
+            .map(|(_, frame)| frame.len())
+            .sum()
+    }
+
+    /// Every wild query resolves (the oracle legs demand success),
+    /// under both the logic resolver and the subtyping resolver, with
+    /// identical evidence.
+    #[test]
+    fn wild_queries_all_resolve_and_engines_agree() {
+        let policy = ResolutionPolicy::paper().with_max_depth(4096);
+        for seed in [0u64, 1, 7, 42] {
+            let w = wild_workload(seed, &WildConfig::field_study());
+            for q in &w.queries {
+                let res = resolve(&w.env, q, &policy)
+                    .unwrap_or_else(|e| panic!("seed {seed}, query {q}: {e:?}"));
+                let sub = implicit_core::subtyping::subtype_resolve(&w.env, q, &policy)
+                    .unwrap_or_else(|e| panic!("seed {seed}, query {q} (subtyping): {e:?}"));
+                assert_eq!(res, sub.to_resolution(), "seed {seed}, query {q}");
+            }
+        }
+    }
+
+    /// The wild environment passes the source-level termination and
+    /// coherence guards — production-shaped, not pathological.
+    #[test]
+    fn wild_env_passes_guards() {
+        let w = wild_workload(3, &WildConfig::field_study());
+        for (_, frame) in w.env.frames_innermost_first() {
+            for rule in frame.iter() {
+                implicit_core::termination::check_rule(rule)
+                    .unwrap_or_else(|e| panic!("{rule}: {e:?}"));
+            }
+            implicit_core::coherence::unique_instances(frame)
+                .unwrap_or_else(|e| panic!("overlap: {e:?}"));
+        }
+    }
+
+    #[test]
+    fn wild_workload_is_deterministic_per_seed() {
+        let cfg = WildConfig::field_study();
+        let a = wild_workload(9, &cfg);
+        let b = wild_workload(9, &cfg);
+        assert_eq!(a.queries, b.queries);
+        assert_eq!(a.histogram.head_constructors, b.histogram.head_constructors);
+        let c = wild_workload(10, &cfg);
+        assert_ne!(a.queries, c.queries);
+    }
+
+    #[test]
+    fn record_wild_folds_histogram_into_counters() {
+        let w = wild_workload(0, &WildConfig::field_study());
+        let mut counters = GenCounters::default();
+        counters.record_wild(&w.histogram);
+        assert_eq!(counters.wild_rules, w.histogram.total_rules());
+        assert_eq!(counters.wild_hot_queries + counters.wild_cold_queries, 32);
+        assert_eq!(counters.wild_max_chain, w.histogram.max_chain_len);
     }
 }

@@ -41,6 +41,11 @@
 //!                          rate, emitted superinstructions by
 //!                          mnemonic, hottest adjacent opcode pairs)
 //!                          after the result; requires --backend vm
+//!   --xcheck               cross-check every query site with the
+//!                          intersection-subtyping resolver (the
+//!                          conformance harness's fifth leg): the
+//!                          logic and subtyping engines must produce
+//!                          identical evidence or identical failures
 //! ```
 //!
 //! Exit status 0 on success, 1 on any error (reported to stderr).
@@ -72,6 +77,7 @@ struct Options {
     trace: Option<String>,
     metrics: bool,
     vm_stats: bool,
+    xcheck: bool,
 }
 
 #[derive(PartialEq, Clone, Copy)]
@@ -106,7 +112,7 @@ fn usage() -> String {
     "usage: implicitc [--lang core|source] [--emit value|type|core|systemf|explain] \
      [--semantics elab|opsem|both] [--policy paper|most-specific|env-extension] \
      [--backend tree|vm] [--strict] [--trace <file.json>] [--metrics] [--vm-stats] \
-     (<file> | -e <program> | --batch <dir> [--jobs <m>])"
+     [--xcheck] (<file> | -e <program> | --batch <dir> [--jobs <m>])"
         .to_owned()
 }
 
@@ -124,6 +130,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         trace: None,
         metrics: false,
         vm_stats: false,
+        xcheck: false,
     };
     let mut input: Option<Input> = None;
     let mut it = args.iter();
@@ -204,6 +211,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--metrics" => opts.metrics = true,
             "--vm-stats" => opts.vm_stats = true,
+            "--xcheck" => opts.xcheck = true,
             "-e" => {
                 let prog = it
                     .next()
@@ -232,6 +240,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     }
     if opts.vm_stats && opts.backend != Backend::Vm {
         return Err("--vm-stats requires --backend vm".to_owned());
+    }
+    if opts.xcheck && opts.batch.is_some() {
+        return Err("--xcheck verifies a single program; drop --batch".to_owned());
     }
     Ok(opts)
 }
@@ -398,6 +409,27 @@ fn run(opts: &Options) -> Result<(), String> {
     let ty = tracer.span(Phase::Typecheck, || {
         checker.check_closed(&core).map_err(|e| e.to_string())
     })?;
+
+    // --xcheck: decide every query site with both the logic resolver
+    // and the intersection-subtyping resolver (the conformance
+    // harness's fifth leg) and demand identical evidence/failures.
+    if opts.xcheck {
+        let policy = opts.policy.clone().with_max_depth(4096);
+        let mut sites = 0usize;
+        let mut mismatch: Option<String> = None;
+        implicit_core::subtyping::walk_query_sites(&core, &mut |env, query| {
+            sites += 1;
+            if mismatch.is_none() {
+                if let Err(detail) = implicit_core::subtyping::cross_check(env, query, &policy) {
+                    mismatch = Some(format!("query `{query}`: {detail}"));
+                }
+            }
+        });
+        if let Some(detail) = mismatch {
+            return Err(format!("xcheck: engines disagree — {detail}"));
+        }
+        eprintln!("xcheck: {sites} query site(s), logic ≡ subtyping");
+    }
 
     match opts.emit {
         Emit::Type => {
