@@ -22,6 +22,8 @@ use implicit_core::resolve::ResolutionPolicy;
 use implicit_core::syntax::{BinOp, Declarations, Expr, Type};
 use implicit_pipeline::{run_batch_scoped, Backend, Prelude, Session};
 
+pub mod report;
+
 /// One B13 batch program: `snd(?T_depth) + j`, where `T_depth` is the
 /// head of [`Prelude::chain`]. Resolving the query is a `depth`-deep
 /// recursive derivation; the program evaluates to `depth + j`.
@@ -100,8 +102,9 @@ pub fn batch_metrics(
     use implicit_core::trace::{MetricsSink, SharedSink};
     let decls = Declarations::new();
     let prelude = Prelude::chain(depth);
+    let isa = backend.isa().unwrap_or_default();
     let mut session =
-        Session::new_configured(&decls, ResolutionPolicy::paper(), &prelude, true, true)
+        Session::new_configured_isa(&decls, ResolutionPolicy::paper(), &prelude, true, true, isa)
             .expect("chain prelude is valid");
     session.set_trace(Some(SharedSink::new(MetricsSink::new())));
     let mut sum = 0i64;
@@ -165,9 +168,17 @@ pub fn run_vm_batch_cold(
         let decls = Declarations::new();
         let prelude = Prelude::chain(depth);
         let mut sum = 0i64;
+        let isa = backend.isa().unwrap_or_default();
         for (_, j) in source {
-            let mut session = Session::new(&decls, ResolutionPolicy::paper(), &prelude)
-                .expect("chain prelude is valid");
+            let mut session = Session::new_configured_isa(
+                &decls,
+                ResolutionPolicy::paper(),
+                &prelude,
+                true,
+                false,
+                isa,
+            )
+            .expect("chain prelude is valid");
             let out = session
                 .run_with_backend(&vm_batch_program(depth, iters, j), backend)
                 .expect("cold vm batch run");
@@ -197,9 +208,16 @@ pub fn run_vm_batch_warm(
     run_batch_scoped(jobs, workers, |_, source| {
         let decls = Declarations::new();
         let prelude = Prelude::chain(depth);
-        let mut session =
-            Session::new_configured(&decls, ResolutionPolicy::paper(), &prelude, true, true)
-                .expect("chain prelude is valid");
+        let isa = backend.isa().unwrap_or_default();
+        let mut session = Session::new_configured_isa(
+            &decls,
+            ResolutionPolicy::paper(),
+            &prelude,
+            true,
+            true,
+            isa,
+        )
+        .expect("chain prelude is valid");
         let mut sum = 0i64;
         for (_, j) in source {
             let out = session
@@ -315,8 +333,12 @@ pub enum WildEngine {
     Logic,
     /// The intersection-subtyping resolver, with the environment
     /// translated to intersections once per run (the analog of a warm
-    /// compiled prelude).
+    /// compiled prelude) and the head-constructor pre-filter on.
     Subtyping,
+    /// The intersection-subtyping resolver with the pre-filter
+    /// disabled: every member of every intersection is scanned, as
+    /// the resolver did before the index existed.
+    SubtypingScan,
 }
 
 impl WildEngine {
@@ -325,7 +347,8 @@ impl WildEngine {
         match self {
             WildEngine::LogicNoCache => "logic, cache off",
             WildEngine::Logic => "logic, cached",
-            WildEngine::Subtyping => "subtyping, pre-translated",
+            WildEngine::Subtyping => "subtyping, head-indexed",
+            WildEngine::SubtypingScan => "subtyping, linear scan",
         }
     }
 }
@@ -345,7 +368,9 @@ pub fn run_wild(seed: u64, config: &WildConfig, engine: WildEngine, passes: usiz
         _ => ResolutionPolicy::paper().with_max_depth(depth),
     };
     let sigma = match engine {
-        WildEngine::Subtyping => implicit_core::subtyping::translate_env(&w.env),
+        WildEngine::Subtyping | WildEngine::SubtypingScan => {
+            implicit_core::subtyping::translate_env(&w.env)
+        }
         _ => Vec::new(),
     };
     let mut steps = 0u64;
@@ -354,6 +379,11 @@ pub fn run_wild(seed: u64, config: &WildConfig, engine: WildEngine, passes: usiz
             steps += match engine {
                 WildEngine::Subtyping => {
                     implicit_core::subtyping::subtype_resolve_translated(&sigma, q, &policy)
+                        .unwrap_or_else(|e| panic!("wild query `{q}` failed: {e:?}"))
+                        .steps() as u64
+                }
+                WildEngine::SubtypingScan => {
+                    implicit_core::subtyping::subtype_resolve_translated_scan(&sigma, q, &policy)
                         .unwrap_or_else(|e| panic!("wild query `{q}` failed: {e:?}"))
                         .steps() as u64
                 }
@@ -439,6 +469,10 @@ mod tests {
             assert!(expect > 0);
             assert_eq!(expect, run_wild(seed, &config, WildEngine::Logic, 2));
             assert_eq!(expect, run_wild(seed, &config, WildEngine::Subtyping, 2));
+            assert_eq!(
+                expect,
+                run_wild(seed, &config, WildEngine::SubtypingScan, 2)
+            );
         }
     }
 

@@ -1,0 +1,134 @@
+//! Machine-readable bench artifact: `BENCH_vm.json` at the
+//! repository root, one section per measurement table (`b14` from
+//! `vm_table`, `b15` from `wild_table`). Each section is an array of
+//! `{series, ms, speedup, checksum}` rows, so the perf trajectory is
+//! diffable across PRs and CI can upload a single artifact.
+//!
+//! The two tables run as separate test binaries, so a writer must not
+//! clobber the other's section: [`write_section`] re-reads the file
+//! and carries every other known section over verbatim. The format is
+//! fully controlled by this module (flat rows, no nested brackets),
+//! which is what makes the bracket-scan in [`section_body`] sound.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// Every section a `BENCH_vm.json` may contain, in file order.
+const SECTIONS: [&str; 2] = ["b14", "b15"];
+
+/// One measured series: label, best-of wall time, speedup against the
+/// table's baseline series, and the cross-engine checksum that pins
+/// the run as semantically valid.
+pub struct BenchRow {
+    /// Stable series label (matches the markdown table row).
+    pub series: String,
+    /// Best-of-reps wall time in milliseconds.
+    pub ms: f64,
+    /// Ratio of the baseline series' time to this one.
+    pub speedup: f64,
+    /// The run's checksum (step total, value sum — table-specific).
+    pub checksum: u64,
+}
+
+/// Repository-root path of the artifact.
+pub fn artifact_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_vm.json")
+}
+
+/// Writes (or replaces) one section of `BENCH_vm.json`, preserving
+/// the other sections already on disk. Returns the path written.
+///
+/// # Panics
+///
+/// Panics if `section` is not one of the known [`SECTIONS`] or the
+/// file cannot be written — a bench artifact that silently fails to
+/// land is worse than a loud one.
+pub fn write_section(section: &str, rows: &[BenchRow]) -> PathBuf {
+    assert!(
+        SECTIONS.contains(&section),
+        "unknown BENCH_vm.json section `{section}`"
+    );
+    let path = artifact_path();
+    let existing = std::fs::read_to_string(&path).unwrap_or_default();
+    let mut out = String::from("{\n");
+    for (i, name) in SECTIONS.iter().enumerate() {
+        let body = if *name == section {
+            render_rows(rows)
+        } else {
+            section_body(&existing, name).unwrap_or_else(|| String::from("[]"))
+        };
+        let comma = if i + 1 < SECTIONS.len() { "," } else { "" };
+        let _ = writeln!(out, "  \"{name}\": {body}{comma}");
+    }
+    out.push_str("}\n");
+    std::fs::write(&path, out).expect("write BENCH_vm.json");
+    path
+}
+
+/// Renders rows as a JSON array, one flat object per line.
+fn render_rows(rows: &[BenchRow]) -> String {
+    if rows.is_empty() {
+        return String::from("[]");
+    }
+    let mut out = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"series\": \"{}\", \"ms\": {:.3}, \"speedup\": {:.3}, \"checksum\": {}}}{comma}",
+            escape(&r.series),
+            r.ms,
+            r.speedup,
+            r.checksum
+        );
+    }
+    out.push_str("  ]");
+    out
+}
+
+/// Extracts a section's `[...]` body from a previously written file.
+/// Sound only on this module's own output: rows are flat objects, so
+/// the first `]` after the key closes the array.
+fn section_body(text: &str, name: &str) -> Option<String> {
+    let key = format!("\"{name}\":");
+    let start = text.find(&key)? + key.len();
+    let rest = &text[start..];
+    let open = rest.find('[')?;
+    let close = rest.find(']')?;
+    (open < close).then(|| rest[open..=close].to_string())
+}
+
+/// Escapes a series label for a JSON string literal.
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_and_reextract_round_trip() {
+        let rows = vec![
+            BenchRow {
+                series: String::from("warm tree"),
+                ms: 563.712,
+                speedup: 1.0,
+                checksum: 42,
+            },
+            BenchRow {
+                series: String::from("warm vm"),
+                ms: 61.5,
+                speedup: 9.17,
+                checksum: 42,
+            },
+        ];
+        let body = render_rows(&rows);
+        let file = format!("{{\n  \"b14\": {body},\n  \"b15\": []\n}}\n");
+        assert_eq!(section_body(&file, "b14").unwrap(), body);
+        assert_eq!(section_body(&file, "b15").unwrap(), "[]");
+        assert!(section_body(&file, "b99").is_none());
+        assert!(body.contains("\"ms\": 563.712"));
+        assert!(body.contains("\"speedup\": 9.170"));
+    }
+}

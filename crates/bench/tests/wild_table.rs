@@ -1,13 +1,17 @@
 //! The B15 wild-throughput table, measured directly (not via
 //! Criterion) so a single release run prints the exact markdown
-//! recorded in `EXPERIMENTS.md` §10:
+//! recorded in `EXPERIMENTS.md` §10/§11:
 //!
 //! ```text
 //! cargo test -p implicit-bench --release --test wild_table -- --ignored --nocapture
 //! ```
+//!
+//! Also writes the `b15` section of the repo-root `BENCH_vm.json`
+//! artifact (series, ms, speedup, checksum) for CI upload.
 
 use std::time::Instant;
 
+use implicit_bench::report::{write_section, BenchRow};
 use implicit_bench::{run_wild, wild_workload, WildConfig, WildEngine};
 
 const SEED: u64 = 0;
@@ -35,7 +39,7 @@ fn wild_throughput_table() {
     let hist = &w.histogram;
     let queries = (config.queries * PASSES) as f64;
 
-    // All three engines must agree derivation-for-derivation; the
+    // All four engines must agree derivation-for-derivation; the
     // step total is the cross-engine checksum.
     let expect = run_wild(SEED, &config, WildEngine::LogicNoCache, PASSES);
     assert!(expect > 0, "workload did no resolution work");
@@ -58,39 +62,55 @@ fn wild_throughput_table() {
     print!("{}", hist.render_table(8));
     println!();
 
-    let nocache = time(
-        || run_wild(SEED, &config, WildEngine::LogicNoCache, PASSES),
-        expect,
-    );
-    let cached = time(
-        || run_wild(SEED, &config, WildEngine::Logic, PASSES),
-        expect,
-    );
-    let subtyping = time(
-        || run_wild(SEED, &config, WildEngine::Subtyping, PASSES),
-        expect,
-    );
+    let series = [
+        WildEngine::LogicNoCache,
+        WildEngine::Logic,
+        WildEngine::SubtypingScan,
+        WildEngine::Subtyping,
+    ];
+    let times: Vec<f64> = series
+        .iter()
+        .map(|&e| time(|| run_wild(SEED, &config, e, PASSES), expect))
+        .collect();
+    let nocache = times[0];
 
     println!("| series | time/run | queries/sec | vs cache-off |");
     println!("|---|---|---|---|");
-    for (label, t) in [
-        (WildEngine::LogicNoCache.label(), nocache),
-        (WildEngine::Logic.label(), cached),
-        (WildEngine::Subtyping.label(), subtyping),
-    ] {
+    let mut rows = Vec::new();
+    for (engine, &t) in series.iter().zip(&times) {
         println!(
-            "| {label} | {:.2} ms | {:.0} | {:.2}x |",
+            "| {} | {:.2} ms | {:.0} | {:.2}x |",
+            engine.label(),
             t * 1e3,
             queries / t,
             nocache / t
         );
+        rows.push(BenchRow {
+            series: engine.label().to_string(),
+            ms: t * 1e3,
+            speedup: nocache / t,
+            checksum: expect,
+        });
     }
+    println!();
+    let path = write_section("b15", &rows);
+    println!("wrote {}", path.display());
     println!();
 
     // Shape bars (the production-likeness acceptance criteria), not
     // perf bars — wall-clock ratios on shared CI boxes are noise.
     assert!(hist.rules_per_frame.iter().max().unwrap() >= &100);
     assert!(hist.max_chain_len >= 8);
+    // The pre-filter must strictly beat the linear scan on this
+    // head-skewed workload (a shape property of the index, loose
+    // enough to hold on noisy shared boxes).
+    let (scan, indexed) = (times[2], times[3]);
+    assert!(
+        indexed < scan,
+        "head index ({:.2} ms) did not beat linear scan ({:.2} ms)",
+        indexed * 1e3,
+        scan * 1e3
+    );
     assert_eq!(run_wild(SEED, &config, WildEngine::Logic, PASSES), expect);
     assert_eq!(
         run_wild(SEED, &config, WildEngine::Subtyping, PASSES),

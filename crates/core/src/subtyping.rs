@@ -35,10 +35,15 @@
 //! harness (`crates/conformance`) runs this resolver as a fifth
 //! oracle leg against elaboration, the operational semantics, the
 //! derivation cache, and the bytecode VM. Because this procedure
-//! shares *no control flow* with [`crate::resolve`] — no head-index
-//! buckets, no derivation cache, a different recursion structure — a
-//! bug in either engine surfaces as a [`SubProof`]/[`Resolution`]
-//! mismatch on some generated seed.
+//! shares *no control flow* with [`crate::resolve`] — no derivation
+//! cache, a different recursion structure — a bug in either engine
+//! surfaces as a [`SubProof`]/[`Resolution`] mismatch on some
+//! generated seed. The one structure the engines now share is the
+//! head-constructor pre-filter over intersection members (built from
+//! the same [`crate::intern::head_key`]); to keep the differential
+//! honest, [`subtype_resolve_translated_scan`] preserves the
+//! unindexed every-member scan as a baseline the indexed path is
+//! tested against.
 //!
 //! ## Design notes on exact agreement
 //!
@@ -46,20 +51,22 @@
 //! never backtracks across members or scopes. Scope order is
 //! assumption frames innermost-first (under the environment-extension
 //! policy), then environment frames innermost-first; within a scope
-//! it matches *every* member (the resolver's head-index buckets are a
-//! sound pre-filter, so scanning all members yields the same match
-//! set) and applies the same 0/1/many commitment: descend, commit, or
-//! fail via the [`OverlapPolicy`]. Nested rule types in conclusion
+//! it consults a head-constructor index to visit only the members
+//! whose conclusion head could match (a sound pre-filter: every
+//! skipped member would fail unification on its rigid head), in frame
+//! order, and applies the same 0/1/many commitment: descend, commit,
+//! or fail via the [`OverlapPolicy`]. Nested rule types in conclusion
 //! position stay atomic ([`IType::Atom`] can hold a
 //! [`Type::Rule`](crate::syntax::Type::Rule)) because the resolver's
 //! matching treats rule-typed heads opaquely.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 
 use crate::alpha;
 use crate::coherence::CoherenceError;
 use crate::env::{ImplicitEnv, LookupError, OverlapPolicy};
+use crate::intern::{head_key, HeadKey};
 use crate::resolve::{Premise, Resolution, ResolutionPolicy, ResolveError, RuleRef};
 use crate::subst::{freshen_rule, TySubst};
 use crate::syntax::{Expr, RuleType, TyVar, Type};
@@ -213,15 +220,34 @@ pub struct Member {
 /// An *ordered* intersection of translated rules — the image of one
 /// context/frame. Order is significant: it carries the within-frame
 /// rule positions that evidence refers to.
+///
+/// Alongside the members, the intersection carries a head-constructor
+/// index built once at translation time: `buckets[k]` holds the
+/// ascending member indices whose conclusion head has the
+/// non-wildcard key `k`, and `wildcard` the indices of
+/// variable-headed members (which can match any target). Selection
+/// visits only admitted members, in frame order, so the scan is
+/// O(admitted) instead of O(members).
 #[derive(Clone, Debug, Default)]
 pub struct Intersection {
     /// Members in frame order.
     pub members: Vec<Member>,
+    buckets: HashMap<HeadKey, Vec<usize>>,
+    wildcard: Vec<usize>,
 }
 
 impl Intersection {
-    /// Translates a context (one environment frame) memberwise.
+    /// Translates a context (one environment frame) memberwise and
+    /// builds the head-constructor index.
     pub fn from_context(rules: &[RuleType]) -> Intersection {
+        let mut buckets: HashMap<HeadKey, Vec<usize>> = HashMap::new();
+        let mut wildcard = Vec::new();
+        for (ix, rule) in rules.iter().enumerate() {
+            match head_key(rule.head()) {
+                HeadKey::Wildcard => wildcard.push(ix),
+                key => buckets.entry(key).or_default().push(ix),
+            }
+        }
         Intersection {
             members: rules
                 .iter()
@@ -230,6 +256,23 @@ impl Intersection {
                     source: r.clone(),
                 })
                 .collect(),
+            buckets,
+            wildcard,
+        }
+    }
+
+    /// Ascending indices of the concrete-headed members admitted for
+    /// a target with the given key. A variable-headed target is
+    /// matched only by variable-headed members: a rigid conclusion
+    /// head can never unify with it.
+    fn specific(&self, target_key: HeadKey) -> &[usize] {
+        if target_key == HeadKey::Wildcard {
+            &[]
+        } else {
+            self.buckets
+                .get(&target_key)
+                .map(Vec::as_slice)
+                .unwrap_or(&[])
         }
     }
 }
@@ -411,7 +454,40 @@ pub fn subtype_resolve_translated(
     policy: &ResolutionPolicy,
 ) -> Result<MpStep, ResolveError> {
     let mut assumptions: Vec<Intersection> = Vec::new();
-    prove(sigma, &mut assumptions, query, policy, policy.max_depth)
+    prove(
+        sigma,
+        &mut assumptions,
+        query,
+        policy,
+        policy.max_depth,
+        true,
+    )
+}
+
+/// [`subtype_resolve_translated`] with the head-constructor pre-filter
+/// disabled: every member of every intersection is scanned, exactly
+/// as the resolver did before the index existed. Kept as the baseline
+/// the indexed path is differentially tested against (same
+/// derivations, same errors) and as the linear-scan leg of the B15
+/// benchmark.
+///
+/// # Errors
+///
+/// See [`subtype_resolve`].
+pub fn subtype_resolve_translated_scan(
+    sigma: &[Intersection],
+    query: &RuleType,
+    policy: &ResolutionPolicy,
+) -> Result<MpStep, ResolveError> {
+    let mut assumptions: Vec<Intersection> = Vec::new();
+    prove(
+        sigma,
+        &mut assumptions,
+        query,
+        policy,
+        policy.max_depth,
+        false,
+    )
 }
 
 /// A selected member, instantiated: its position, source rule, type
@@ -427,6 +503,7 @@ fn prove(
     goal: &RuleType,
     policy: &ResolutionPolicy,
     fuel: usize,
+    indexed: bool,
 ) -> Result<MpStep, ResolveError> {
     if fuel == 0 {
         return Err(ResolveError::DepthExceeded {
@@ -437,9 +514,11 @@ fn prove(
 
     let target = goal.head();
     let (scope, member, source, type_args, inst_premises) =
-        select(sigma, assumptions, target, policy).map_err(|error| ResolveError::Lookup {
-            query: goal.clone(),
-            error,
+        select(sigma, assumptions, target, policy, indexed).map_err(|error| {
+            ResolveError::Lookup {
+                query: goal.clone(),
+                error,
+            }
         })?;
 
     // Premise proofs: α-present-in-goal premises close by the axiom
@@ -456,11 +535,11 @@ fn prove(
             None => {
                 let sub = if policy.env_extension {
                     assumptions.push(Intersection::from_context(goal.context()));
-                    let sub = prove(sigma, assumptions, rho, policy, fuel - 1);
+                    let sub = prove(sigma, assumptions, rho, policy, fuel - 1, indexed);
                     assumptions.pop();
                     sub
                 } else {
-                    prove(sigma, assumptions, rho, policy, fuel - 1)
+                    prove(sigma, assumptions, rho, policy, fuel - 1, indexed)
                 };
                 premises.push(SubProof::ModusPonens(Box::new(sub?)));
             }
@@ -488,34 +567,86 @@ fn select(
     assumptions: &[Intersection],
     target: &Type,
     policy: &ResolutionPolicy,
+    indexed: bool,
 ) -> Result<ScopedSelected, LookupError> {
     if policy.env_extension {
         for (level_rev, inter) in assumptions.iter().rev().enumerate() {
             let level = assumptions.len() - 1 - level_rev;
-            if let Some((ix, source, args, prems)) = select_in(inter, target, policy.overlap)? {
+            if let Some((ix, source, args, prems)) =
+                select_in(inter, target, policy.overlap, indexed)?
+            {
                 return Ok((Scope::Assumption(level), ix, source, args, prems));
             }
         }
     }
     for (frame_ix, inter) in sigma.iter().enumerate() {
-        if let Some((ix, source, args, prems)) = select_in(inter, target, policy.overlap)? {
+        if let Some((ix, source, args, prems)) = select_in(inter, target, policy.overlap, indexed)?
+        {
             return Ok((Scope::Env(frame_ix), ix, source, args, prems));
         }
     }
     Err(LookupError::NoMatch(target.clone()))
 }
 
-/// Matches `target` against every member conclusion of one
-/// intersection and applies the 0/1/many commitment.
+/// One intersection's match-and-commit step. With `indexed` the
+/// head-constructor index narrows the scan to members whose
+/// conclusion head could unify with `target` (plus the
+/// variable-headed members); without it every member is visited. Both
+/// paths visit admitted members in ascending frame order, so matches —
+/// and therefore selections, overlap candidate lists, and every other
+/// observable — are identical.
 fn select_in(
     inter: &Intersection,
+    target: &Type,
+    policy: OverlapPolicy,
+    indexed: bool,
+) -> Result<Option<Selected>, LookupError> {
+    if indexed {
+        let specific = inter.specific(head_key(target));
+        if inter.wildcard.is_empty() {
+            select_among(inter, specific.iter().copied(), target, policy)
+        } else if specific.is_empty() {
+            select_among(inter, inter.wildcard.iter().copied(), target, policy)
+        } else {
+            let merged = merge_sorted(specific, &inter.wildcard);
+            select_among(inter, merged.into_iter(), target, policy)
+        }
+    } else {
+        select_among(inter, 0..inter.members.len(), target, policy)
+    }
+}
+
+/// Merges two ascending index slices into one ascending vector.
+fn merge_sorted(a: &[usize], b: &[usize]) -> Vec<usize> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i] < b[j] {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// Matches `target` against the conclusions of the given members (in
+/// ascending index order) and applies the 0/1/many commitment.
+fn select_among(
+    inter: &Intersection,
+    indices: impl Iterator<Item = usize>,
     target: &Type,
     policy: OverlapPolicy,
 ) -> Result<Option<Selected>, LookupError> {
     // (member index, freshened source + θ); `None` for
     // quantifier-free members, whose freshening is the identity.
     let mut matches: Vec<(usize, Option<(RuleType, TySubst)>)> = Vec::new();
-    for (ix, m) in inter.members.iter().enumerate() {
+    for ix in indices {
+        let m = &inter.members[ix];
         let (vars, _premises, concl) = m.itype.parts();
         if vars.is_empty() {
             if unify::match_type(concl, target, &[]).is_some() {
@@ -807,7 +938,7 @@ pub fn stable_query(
     // resolution itself.
     let mut winner: Option<(usize, RuleType)> = None;
     for (frame_ix, inter) in sigma.iter().enumerate() {
-        match select_in(inter, query.head(), policy.overlap) {
+        match select_in(inter, query.head(), policy.overlap, true) {
             Ok(Some((_, source, _, _))) => {
                 winner = Some((frame_ix, source));
                 break;
@@ -1176,6 +1307,69 @@ mod tests {
         assert_eq!(
             most_specific_members(&inter).unwrap_err(),
             coherence::exists_most_specific(&[r1, r2]).unwrap_err()
+        );
+    }
+
+    #[test]
+    fn indexed_prefilter_agrees_with_full_scan() {
+        // A frame mixing rigid heads, a variable-headed (wildcard)
+        // member, and an unresolvable premise chain, plus an outer
+        // frame — exercises bucket hits, bucket misses with wildcard
+        // fallback, and merged candidate ordering.
+        let mut env = ImplicitEnv::with_frame(vec![
+            Type::Str.promote(),
+            RuleType::new(vec![v("a")], vec![Type::var(v("a")).promote()], tv("a")),
+        ]);
+        env.push(vec![
+            Type::Int.promote(),
+            RuleType::mono(vec![Type::Int.promote()], Type::Bool),
+            RuleType::new(
+                vec![v("a")],
+                vec![Type::var(v("a")).promote()],
+                Type::prod(tv("a"), tv("a")),
+            ),
+            RuleType::mono(vec![Type::Unit.promote()], Type::list(Type::Int)),
+        ]);
+        let sigma = translate_env(&env);
+        let queries = [
+            Type::Int.promote(),
+            Type::Bool.promote(),
+            Type::Str.promote(),
+            Type::prod(Type::Int, Type::Int).promote(),
+            Type::prod(Type::Bool, Type::Bool).promote(),
+            Type::list(Type::Int).promote(), // stuck on Unit
+            Type::arrow(Type::Int, Type::Bool).promote(), // wildcard only
+            tv("zz_free").promote(),         // variable-headed target
+        ];
+        // Depth-capped: the wildcard member loops on variable-headed
+        // targets, and the default 512 frames of `prove` outgrow the
+        // debug-profile test stack.
+        for policy in [
+            ResolutionPolicy::paper().with_max_depth(64),
+            ResolutionPolicy::paper()
+                .with_most_specific()
+                .with_max_depth(64),
+            ResolutionPolicy::paper()
+                .with_env_extension()
+                .with_max_depth(64),
+            ResolutionPolicy::paper().with_max_depth(3),
+        ] {
+            for q in &queries {
+                let indexed = subtype_resolve_translated(&sigma, q, &policy);
+                let scan = subtype_resolve_translated_scan(&sigma, q, &policy);
+                assert_eq!(indexed, scan, "indexed/scan divergence for {q}");
+            }
+        }
+        // Overlap error payloads (candidate order) must also agree.
+        let overlapping = translate_env(&ImplicitEnv::with_frame(vec![
+            RuleType::new(vec![v("a")], vec![], Type::arrow(tv("a"), Type::Int)),
+            RuleType::new(vec![v("a")], vec![], Type::arrow(Type::Int, tv("a"))),
+        ]));
+        let q = Type::arrow(Type::Int, Type::Int).promote();
+        let policy = ResolutionPolicy::paper();
+        assert_eq!(
+            subtype_resolve_translated(&overlapping, &q, &policy),
+            subtype_resolve_translated_scan(&overlapping, &q, &policy),
         );
     }
 

@@ -54,7 +54,7 @@ use implicit_elab::{ElabError, RunError, RunOutput};
 use implicit_opsem::{ImplStack, Interpreter, OpsemError, VarEnv};
 use systemf::compile::CodeSnapshot;
 use systemf::eval::Env as FEnv;
-use systemf::{CompileError, Compiler, Evaluator, FDeclarations, FExpr, FType, Vm};
+use systemf::{CompileError, Compiler, Evaluator, FDeclarations, FExpr, FType, Isa, Vm};
 
 pub use driver::{run_batch, run_batch_scoped, JobSource, WorkerMeta};
 
@@ -258,9 +258,14 @@ pub enum Backend {
     /// The `Rc`-cloning tree-walking evaluator ([`systemf::eval`]).
     #[default]
     Tree,
-    /// The closure-converted bytecode VM ([`systemf::vm`]) — compiled
-    /// prelude cached per session, constant host stack.
+    /// The closure-converted bytecode VM ([`systemf::vm`]) on its
+    /// default register ISA — compiled prelude cached per session,
+    /// constant host stack.
     Vm,
+    /// The same VM on the legacy stack ISA, kept for one release so
+    /// the register machine can be compared (and differentially
+    /// tested) against it.
+    VmStack,
 }
 
 impl Backend {
@@ -269,7 +274,20 @@ impl Backend {
         match s {
             "tree" => Some(Backend::Tree),
             "vm" => Some(Backend::Vm),
+            "vm-stack" => Some(Backend::VmStack),
             _ => None,
+        }
+    }
+
+    /// The instruction set a compiled backend wants from the session
+    /// compiler (`None` for the tree-walker). Sessions fix their ISA
+    /// at construction ([`Session::new_configured_isa`]); pass this
+    /// when building a session for a specific backend.
+    pub fn isa(self) -> Option<Isa> {
+        match self {
+            Backend::Tree => None,
+            Backend::Vm => Some(Isa::Register),
+            Backend::VmStack => Some(Isa::Stack),
         }
     }
 }
@@ -279,6 +297,7 @@ impl std::fmt::Display for Backend {
         match self {
             Backend::Tree => f.write_str("tree"),
             Backend::Vm => f.write_str("vm"),
+            Backend::VmStack => f.write_str("vm-stack"),
         }
     }
 }
@@ -332,6 +351,11 @@ pub struct Session<'d> {
     metrics: Rc<RefCell<MetricsSink>>,
     /// The caller's sink, if any (see [`Session::set_trace`]).
     trace: Option<SharedSink>,
+    /// Per-opcode dispatch profiling for compiled runs (see
+    /// [`Session::set_profile_dispatch`]).
+    profile_dispatch: bool,
+    /// Dispatch counts accumulated across profiled compiled runs.
+    dispatch_counts: std::collections::HashMap<&'static str, u64>,
 }
 
 impl<'d> Session<'d> {
@@ -368,6 +392,26 @@ impl<'d> Session<'d> {
         fusion: bool,
         dict_ic: bool,
     ) -> Result<Session<'d>, SessionError> {
+        Session::new_configured_isa(decls, policy, prelude, fusion, dict_ic, Isa::default())
+    }
+
+    /// [`Session::new_configured`] with the compiled backend's
+    /// instruction set also chosen up front. The ISA is baked into
+    /// every code object this session compiles (prelude included), so
+    /// it cannot change later; build one session per ISA to compare
+    /// them. Use [`Backend::isa`] to pick the ISA a backend expects.
+    ///
+    /// # Errors
+    ///
+    /// See [`Session::new`].
+    pub fn new_configured_isa(
+        decls: &'d Declarations,
+        policy: ResolutionPolicy,
+        prelude: &Prelude,
+        fusion: bool,
+        dict_ic: bool,
+        isa: Isa,
+    ) -> Result<Session<'d>, SessionError> {
         let elab = Elaborator::with_policy(decls, policy.clone());
         let fdecls = translate_decls(decls);
         let mut interp = Interpreter::new(decls).with_policy(policy.clone());
@@ -377,7 +421,7 @@ impl<'d> Session<'d> {
         let mut gamma: Vec<(Symbol, Type)> = Vec::with_capacity(prelude.lets.len());
         let mut fenv = FEnv::new();
         let mut venv = VarEnv::new();
-        let mut compiler = Compiler::new();
+        let mut compiler = Compiler::new_with_isa(isa);
         compiler.set_fusion(fusion);
         let mut vm_globals: Vec<systemf::Value> = Vec::new();
         for (x, ty, bound) in &prelude.lets {
@@ -477,6 +521,8 @@ impl<'d> Session<'d> {
             stats: SessionStats::default(),
             metrics: Rc::new(RefCell::new(MetricsSink::new())),
             trace: None,
+            profile_dispatch: false,
+            dispatch_counts: std::collections::HashMap::new(),
         })
     }
 
@@ -607,6 +653,35 @@ impl<'d> Session<'d> {
     /// Cumulative superinstruction statistics of the session compiler.
     pub fn fusion_stats(&self) -> &systemf::compile::FusionStats {
         self.compiler.fusion_stats()
+    }
+
+    /// Turns per-opcode dispatch profiling on for every subsequent
+    /// compiled run; counts accumulate across runs (see
+    /// [`Session::dispatch_histogram`]). Off by default — the
+    /// unprofiled dispatch loop carries no counting overhead.
+    pub fn set_profile_dispatch(&mut self, on: bool) {
+        self.profile_dispatch = on;
+    }
+
+    /// Dispatch counts accumulated by profiled compiled runs, sorted
+    /// by count descending (mnemonic ascending on ties).
+    pub fn dispatch_histogram(&self) -> Vec<(&'static str, u64)> {
+        let mut v: Vec<(&'static str, u64)> =
+            self.dispatch_counts.iter().map(|(k, n)| (*k, *n)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        v
+    }
+
+    /// Per-function frame widths (registers per activation window) of
+    /// everything this session has compiled — the register-pressure
+    /// companion to the dispatch histogram.
+    pub fn frame_widths(&self) -> Vec<u16> {
+        self.compiler
+            .code()
+            .funcs
+            .iter()
+            .map(|f| f.nslots)
+            .collect()
     }
 
     /// Cumulative session statistics.
@@ -799,7 +874,13 @@ impl<'d> Session<'d> {
         let main = compiled.map_err(|err| RunError::Eval(compile_error_to_eval(err)))?;
         self.emit(TraceEvent::PhaseStart { phase: Phase::Vm });
         let mut vm = Vm::new();
+        vm.set_profile(self.profile_dispatch);
         let value = vm.run(self.compiler.code(), main, &self.vm_globals);
+        if self.profile_dispatch {
+            for (mnemonic, n) in vm.dispatch_histogram() {
+                *self.dispatch_counts.entry(mnemonic).or_insert(0) += n;
+            }
+        }
         let stats = vm.stats();
         self.emit(TraceEvent::VmRun {
             fuel: stats.fuel_used,
@@ -826,8 +907,21 @@ impl<'d> Session<'d> {
     pub fn run_with_backend(&mut self, e: &Expr, backend: Backend) -> Result<RunOutput, RunError> {
         match backend {
             Backend::Tree => self.run(e),
-            Backend::Vm => self.run_compiled(e),
+            Backend::Vm | Backend::VmStack => {
+                debug_assert_eq!(
+                    backend.isa(),
+                    Some(self.isa()),
+                    "session compiled for a different ISA than {backend} expects"
+                );
+                self.run_compiled(e)
+            }
         }
+    }
+
+    /// The instruction set this session's compiled backend emits,
+    /// fixed at construction ([`Session::new_configured_isa`]).
+    pub fn isa(&self) -> Isa {
+        self.compiler.isa()
     }
 
     /// Runs one program through the runtime-resolution semantics,
@@ -1141,9 +1235,27 @@ mod tests {
         let v = sess.run_with_backend(&e, Backend::Vm).unwrap();
         assert_eq!(t.value.to_string(), "7");
         assert_eq!(v.value.to_string(), "7");
+        assert_eq!(sess.isa(), Isa::Register);
+        let mut stack_sess = Session::new_configured_isa(
+            &decls,
+            ResolutionPolicy::paper(),
+            &prelude,
+            true,
+            false,
+            Isa::Stack,
+        )
+        .unwrap();
+        let s = stack_sess.run_with_backend(&e, Backend::VmStack).unwrap();
+        assert_eq!(s.value.to_string(), "7");
+        assert_eq!(stack_sess.isa(), Isa::Stack);
         assert_eq!(Backend::parse("vm"), Some(Backend::Vm));
+        assert_eq!(Backend::parse("vm-stack"), Some(Backend::VmStack));
         assert_eq!(Backend::parse("tree"), Some(Backend::Tree));
         assert_eq!(Backend::parse("jit"), None);
+        assert_eq!(Backend::VmStack.to_string(), "vm-stack");
+        assert_eq!(Backend::Vm.isa(), Some(Isa::Register));
+        assert_eq!(Backend::VmStack.isa(), Some(Isa::Stack));
+        assert_eq!(Backend::Tree.isa(), None);
     }
 
     #[test]

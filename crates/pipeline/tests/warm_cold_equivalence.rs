@@ -52,14 +52,25 @@ fn warm_session_is_observationally_equal_to_cold_runs() {
             .unwrap_or_else(|e| panic!("[{pname}] prelude failed: {e}"));
         // Compiled-backend legs, one per optimization configuration:
         // superinstructions + dictionary IC, superinstructions only
-        // (the default), and plain unfused bytecode. All three must be
-        // observationally equal to the warm tree walker.
+        // (the default register ISA), plain unfused bytecode, and the
+        // stack ISA kept as the register machine's differential
+        // baseline. All four must be observationally equal to the
+        // warm tree walker.
         let mut vm_ic = Session::new_configured(&decls, policy.clone(), &prelude, true, true)
             .unwrap_or_else(|e| panic!("[{pname}] prelude failed: {e}"));
         let mut vm_plain = Session::new(&decls, policy.clone(), &prelude)
             .unwrap_or_else(|e| panic!("[{pname}] prelude failed: {e}"));
         let mut vm_nofuse = Session::new_configured(&decls, policy.clone(), &prelude, false, false)
             .unwrap_or_else(|e| panic!("[{pname}] prelude failed: {e}"));
+        let mut vm_stack = Session::new_configured_isa(
+            &decls,
+            policy.clone(),
+            &prelude,
+            true,
+            false,
+            systemf::Isa::Stack,
+        )
+        .unwrap_or_else(|e| panic!("[{pname}] prelude failed: {e}"));
         for seed in 0..SEEDS_PER_POLICY {
             let mut r = rng(0xC0FFEE ^ seed);
             let prog = gen_program_with(&mut r, &config, &decls);
@@ -136,6 +147,7 @@ fn warm_session_is_observationally_equal_to_cold_runs() {
                 ("vm+ic", vm_ic.run_compiled(&prog.expr)),
                 ("vm", vm_plain.run_compiled(&prog.expr)),
                 ("vm-nofuse", vm_nofuse.run_compiled(&prog.expr)),
+                ("vm-stack", vm_stack.run_compiled(&prog.expr)),
             ];
             match &warm {
                 Ok(w) => {
@@ -162,7 +174,7 @@ fn warm_session_is_observationally_equal_to_cold_runs() {
                 }
                 Err(_) => {
                     // Backend error *text* may differ tree vs VM, but
-                    // all three VM configurations must fail alike.
+                    // all four VM configurations must fail alike.
                     let msgs: Vec<String> = legs
                         .iter()
                         .map(|(lname, leg)| match leg {

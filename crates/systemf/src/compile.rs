@@ -5,7 +5,16 @@
 //! weight at runtime: the compiler erases them, resolves every
 //! variable to a frame slot, a capture index, or a global, and
 //! flattens the tree into a linear instruction stream executed by
-//! [`crate::vm::Vm`] in constant host stack. Type abstraction is
+//! [`crate::vm::Vm`] in constant host stack.
+//!
+//! The compiler targets one of two ISAs (chosen at construction, see
+//! [`Isa`]): the default **register ISA** — three-address
+//! instructions over frame slots with RK-encoded small-constant
+//! operands, compiled directly from the AST with a stack-discipline
+//! virtual-register allocator and move coalescing (a variable
+//! reference is its binder's register; no shuffle is emitted) — and
+//! the PR 6 **stack ISA**, kept for one release as a differential
+//! baseline for the conformance oracle. Type abstraction is
 //! *not* fully erased — `Λα.E` must remain a value (the tree-walker
 //! prints it as `<type-closure>` and type application delays
 //! evaluation of `E`), so it compiles to a nullary closure forced by
@@ -48,6 +57,30 @@ pub enum CapSrc {
     /// `CompiledRec` sentinel.
     Rec,
 }
+
+/// Which instruction set a [`Compiler`] (and the [`CodeObject`] it
+/// grows) targets. Fixed at construction: a code object never mixes
+/// ISAs, and [`crate::vm::Vm::run`] picks its dispatch loop from it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Isa {
+    /// Three-address register code: operands and results live in the
+    /// frame's flat register window, there is no operand stack, and
+    /// small constants ride inline as RK operands. The default.
+    #[default]
+    Register,
+    /// The PR 6 operand-stack ISA, kept for one release as the
+    /// register-vs-stack differential baseline
+    /// (`--backend vm-stack`).
+    Stack,
+}
+
+/// RK operand encoding (register ISA): a `u16` operand with bit 15
+/// clear names a frame register; with bit 15 set, the low 15 bits
+/// index the constant pool. Pool entries beyond [`RK_MASK`] are
+/// materialized through [`Instr::RConst`] instead.
+pub const RK_CONST: u16 = 0x8000;
+/// Payload mask of an RK operand.
+pub const RK_MASK: u16 = 0x7FFF;
 
 /// What kind of source binder a compiled function came from (for
 /// diagnostics and tests; the VM treats all kinds uniformly).
@@ -260,6 +293,271 @@ pub enum Instr {
         /// The operator.
         op: BinOp,
     },
+    // --- Register ISA ([`Isa::Register`]). `dst`/`src`/`f` name
+    // frame registers; operands documented as *rk* are RK-encoded
+    // (see [`RK_CONST`]): bit 15 clear = register, bit 15 set =
+    // constant-pool index.
+    /// Load a constant-pool entry into `dst` (pool indices too large
+    /// for RK encoding).
+    RConst {
+        /// Destination register.
+        dst: u16,
+        /// Constant-pool index.
+        konst: u32,
+    },
+    /// Copy `src` into `dst`. Rare: direct binder references are
+    /// coalesced away; this only survives where a branch join needs a
+    /// value in a specific register.
+    RMove {
+        /// Destination register.
+        dst: u16,
+        /// Source register.
+        src: u16,
+    },
+    /// Load a capture into `dst`; a `Rec` sentinel unfolds into `dst`
+    /// (entering the fix body unless the unfold cache is filled).
+    RCapture {
+        /// Destination register.
+        dst: u16,
+        /// Capture index.
+        idx: u16,
+    },
+    /// Load a session global into `dst`.
+    RGlobal {
+        /// Destination register.
+        dst: u16,
+        /// Global slot.
+        idx: u32,
+    },
+    /// Unfold the current frame's recursive self-reference into
+    /// `dst`.
+    RRec {
+        /// Destination register.
+        dst: u16,
+    },
+    /// Build a function closure into `dst`.
+    RClosure {
+        /// Destination register.
+        dst: u16,
+        /// Function index.
+        func: u32,
+    },
+    /// Build a nullary type-abstraction thunk into `dst`.
+    RTyClosure {
+        /// Destination register.
+        dst: u16,
+        /// Function index.
+        func: u32,
+    },
+    /// Build the closure for a fix body and immediately enter it; the
+    /// body's result lands in `dst`.
+    REnterFix {
+        /// Destination register.
+        dst: u16,
+        /// Function index of the fix body.
+        func: u32,
+    },
+    /// Call the closure in register `f` on *rk* operand `arg`; the
+    /// callee's result lands in `dst`.
+    RCall {
+        /// Destination register.
+        dst: u16,
+        /// Register holding the callee.
+        f: u16,
+        /// Argument (*rk*).
+        arg: u16,
+    },
+    /// Tail-call the closure in register `f` on *rk* operand `arg`,
+    /// replacing the current frame.
+    RTailCall {
+        /// Register holding the callee.
+        f: u16,
+        /// Argument (*rk*).
+        arg: u16,
+    },
+    /// Force the type-abstraction thunk in `src`; its body's result
+    /// lands in `dst`.
+    RForce {
+        /// Destination register.
+        dst: u16,
+        /// Register holding the thunk.
+        src: u16,
+    },
+    /// Return the *rk* operand, discarding the frame.
+    RRet {
+        /// Result (*rk*).
+        src: u16,
+    },
+    /// Jump when the *rk* operand is `false`.
+    RJumpIfFalse {
+        /// Condition (*rk*).
+        cond: u16,
+        /// Branch target for a `false` condition.
+        target: u32,
+    },
+    /// `dst = a op b` over *rk* operands.
+    RBin {
+        /// The operator.
+        op: BinOp,
+        /// Destination register.
+        dst: u16,
+        /// Left operand (*rk*).
+        a: u16,
+        /// Right operand (*rk*).
+        b: u16,
+    },
+    /// `dst = op src` over an *rk* operand.
+    RUn {
+        /// The operator.
+        op: UnOp,
+        /// Destination register.
+        dst: u16,
+        /// Operand (*rk*).
+        src: u16,
+    },
+    /// Build a pair of *rk* operands into `dst`.
+    RPair {
+        /// Destination register.
+        dst: u16,
+        /// First component (*rk*).
+        a: u16,
+        /// Second component (*rk*).
+        b: u16,
+    },
+    /// First component of the pair in `src`.
+    RFst {
+        /// Destination register.
+        dst: u16,
+        /// Register holding the pair.
+        src: u16,
+    },
+    /// Second component of the pair in `src`.
+    RSnd {
+        /// Destination register.
+        dst: u16,
+        /// Register holding the pair.
+        src: u16,
+    },
+    /// Extend list *rk* `tail` with *rk* `head` into `dst`.
+    RCons {
+        /// Destination register.
+        dst: u16,
+        /// Head (*rk*).
+        head: u16,
+        /// Tail list (*rk*).
+        tail: u16,
+    },
+    /// List case on *rk* `src`. Empty: jump to `nil_target`.
+    /// Non-empty: store head and tail into the named registers (the
+    /// scrutinee is read before either write, so `src` may alias
+    /// them) and fall through.
+    RCaseList {
+        /// Scrutinee (*rk*).
+        src: u16,
+        /// Register receiving the head.
+        head: u16,
+        /// Register receiving the tail list.
+        tail: u16,
+        /// Branch target for the empty list.
+        nil_target: u32,
+    },
+    /// Build a record from consecutive registers starting at `base`
+    /// (one per field, in declaration order).
+    RMakeRecord {
+        /// Destination register.
+        dst: u16,
+        /// First field register.
+        base: u16,
+        /// Interface name.
+        name: Symbol,
+        /// Index into the field-name pool.
+        fields: u32,
+    },
+    /// Project a field of the record in `src`.
+    RProject {
+        /// Destination register.
+        dst: u16,
+        /// Register holding the record.
+        src: u16,
+        /// Field name.
+        field: Symbol,
+    },
+    /// Build a data value from `argc` consecutive registers starting
+    /// at `base`.
+    RInject {
+        /// Destination register.
+        dst: u16,
+        /// First argument register.
+        base: u16,
+        /// Constructor name.
+        ctor: Symbol,
+        /// Argument count.
+        argc: u16,
+    },
+    /// Dispatch on the data value in `src` through the indexed
+    /// [`MatchTable`]; the selected arm's fields land in its
+    /// consecutive binder registers.
+    RMatch {
+        /// Register holding the scrutinee.
+        src: u16,
+        /// Match-table index.
+        tbl: u32,
+    },
+    // --- Register superinstructions, re-mined on the register ISA
+    // (the stack set above is push/pop-shaped and does not apply).
+    // See `Compiler::fuse_regs`.
+    /// Fused `RBin; RJumpIfFalse` over the bin result — the guard of
+    /// every compiled counting loop.
+    RBinJump {
+        /// The operator.
+        op: BinOp,
+        /// Left operand (*rk*).
+        a: u16,
+        /// Right operand (*rk*).
+        b: u16,
+        /// Branch target for a `false` result.
+        target: u32,
+    },
+    /// Fused `RBin; RRet` — compute-and-return.
+    RBinRet {
+        /// The operator.
+        op: BinOp,
+        /// Left operand (*rk*).
+        a: u16,
+        /// Right operand (*rk*).
+        b: u16,
+    },
+    /// Fused `RBin; RTailCall` — the argument update plus back-edge
+    /// of a compiled loop.
+    RBinTail {
+        /// The operator.
+        op: BinOp,
+        /// Register holding the callee.
+        f: u16,
+        /// Left operand (*rk*).
+        a: u16,
+        /// Right operand (*rk*).
+        b: u16,
+    },
+    /// Fused `RCapture; RBin; RTailCall` — the whole back-edge of a
+    /// self-recursive loop (the self-reference reaches the loop
+    /// lambda as a capture, threaded through the enclosing `fix`
+    /// body): load the captured callee (unfolding a recursive
+    /// reference), compute the new argument, tail-call. On an
+    /// unfold-cache miss the fix body runs first (into the frame's
+    /// reserved scratch register) and the instruction re-executes
+    /// against the filled cache, so the cache discipline and the
+    /// fuel charged match unfused code exactly.
+    RCapBinTail {
+        /// The operator.
+        op: BinOp,
+        /// Capture index of the callee.
+        idx: u16,
+        /// Left operand (*rk*).
+        a: u16,
+        /// Right operand (*rk*).
+        b: u16,
+    },
 }
 
 /// The dispatch table of one `match` expression.
@@ -304,6 +602,8 @@ pub struct MatchArmCode {
 /// A compiled program: functions plus the pools they reference.
 #[derive(Clone, Debug, Default)]
 pub struct CodeObject {
+    /// The instruction set every function in this object targets.
+    pub isa: Isa,
     /// Compiled functions, indexed by [`Instr::Closure`] etc.
     pub funcs: Vec<FuncCode>,
     /// Constant pool (ints, strings, booleans, unit — deduplicated).
@@ -379,6 +679,7 @@ impl FnCtx {
 
     fn alloc_slot(&mut self) -> u16 {
         let s = self.next_slot;
+        assert!(s < RK_MASK, "frame register file overflow");
         self.next_slot += 1;
         self.nslots = self.nslots.max(self.next_slot);
         s
@@ -395,7 +696,11 @@ impl FnCtx {
 
     fn patch(&mut self, at: usize, target: u32) {
         match &mut self.code[at] {
-            Instr::Jump(t) | Instr::JumpIfFalse(t) | Instr::CaseList { nil_target: t, .. } => {
+            Instr::Jump(t)
+            | Instr::JumpIfFalse(t)
+            | Instr::CaseList { nil_target: t, .. }
+            | Instr::RJumpIfFalse { target: t, .. }
+            | Instr::RCaseList { nil_target: t, .. } => {
                 *t = target;
             }
             other => unreachable!("patching non-jump instruction {other:?}"),
@@ -486,6 +791,34 @@ pub fn mnemonic(i: &Instr) -> &'static str {
         Instr::LocalLocalBin { .. } => "local+local+bin",
         Instr::LocalConstBinJump { .. } => "local+const+bin+jumpiffalse",
         Instr::LocalConstBinTail { .. } => "local+const+bin+tailcall",
+        Instr::RConst { .. } => "r.const",
+        Instr::RMove { .. } => "r.move",
+        Instr::RCapture { .. } => "r.capture",
+        Instr::RGlobal { .. } => "r.global",
+        Instr::RRec { .. } => "r.rec",
+        Instr::RClosure { .. } => "r.closure",
+        Instr::RTyClosure { .. } => "r.tyclosure",
+        Instr::REnterFix { .. } => "r.enterfix",
+        Instr::RCall { .. } => "r.call",
+        Instr::RTailCall { .. } => "r.tailcall",
+        Instr::RForce { .. } => "r.force",
+        Instr::RRet { .. } => "r.ret",
+        Instr::RJumpIfFalse { .. } => "r.jumpiffalse",
+        Instr::RBin { .. } => "r.bin",
+        Instr::RUn { .. } => "r.un",
+        Instr::RPair { .. } => "r.pair",
+        Instr::RFst { .. } => "r.fst",
+        Instr::RSnd { .. } => "r.snd",
+        Instr::RCons { .. } => "r.cons",
+        Instr::RCaseList { .. } => "r.caselist",
+        Instr::RMakeRecord { .. } => "r.makerecord",
+        Instr::RProject { .. } => "r.project",
+        Instr::RInject { .. } => "r.inject",
+        Instr::RMatch { .. } => "r.match",
+        Instr::RBinJump { .. } => "r.bin+jumpiffalse",
+        Instr::RBinRet { .. } => "r.bin+ret",
+        Instr::RBinTail { .. } => "r.bin+tailcall",
+        Instr::RCapBinTail { .. } => "r.capture+bin+tailcall",
     }
 }
 
@@ -552,6 +885,50 @@ fn consumes(i: &Instr) -> bool {
     )
 }
 
+/// Fuses one adjacent register-instruction triple, or `None`.
+///
+/// `RCapture; RBin; RTailCall` — the back-edge of a self-recursive
+/// loop, whose callee arrives as a capture of the loop lambda —
+/// fuses only when the tail call consumes exactly the two freshly
+/// written registers and neither `RBin` operand reads the callee
+/// destination (whose write the fusion elides).
+fn fuse_rtriple(x: Instr, y: Instr, z: Instr) -> Option<Instr> {
+    match (x, y, z) {
+        (
+            Instr::RCapture { dst: r, idx },
+            Instr::RBin { op, dst: t, a, b },
+            Instr::RTailCall { f, arg },
+        ) if f == r && arg == t && t != r && a != r && b != r => {
+            Some(Instr::RCapBinTail { op, idx, a, b })
+        }
+        _ => None,
+    }
+}
+
+/// Fuses one adjacent register-instruction pair, or `None`.
+///
+/// Each pattern requires the consumer to read exactly the register
+/// the producer writes. That register is always a compiler temporary
+/// (binder registers are never `RBin` destinations), and temporaries
+/// are dead past their consuming instruction under the
+/// stack-discipline allocator, so eliding the write is sound.
+fn fuse_rpair(x: Instr, y: Instr) -> Option<Instr> {
+    Some(match (x, y) {
+        // A register destination is always < `RK_MASK`, so an equal
+        // rk operand is necessarily a register reference to it.
+        (Instr::RBin { op, dst, a, b }, Instr::RJumpIfFalse { cond, target }) if cond == dst => {
+            Instr::RBinJump { op, a, b, target }
+        }
+        (Instr::RBin { op, dst, a, b }, Instr::RRet { src }) if src == dst => {
+            Instr::RBinRet { op, a, b }
+        }
+        (Instr::RBin { op, dst, a, b }, Instr::RTailCall { f, arg }) if arg == dst && f != dst => {
+            Instr::RBinTail { op, f, a, b }
+        }
+        _ => return None,
+    })
+}
+
 /// The incremental bytecode compiler.
 ///
 /// A session-scoped instance accumulates functions, pools, and
@@ -586,9 +963,21 @@ impl Default for Compiler {
 }
 
 impl Compiler {
-    /// An empty compiler.
+    /// An empty compiler targeting the default (register) ISA.
     pub fn new() -> Compiler {
         Compiler::default()
+    }
+
+    /// An empty compiler targeting `isa`.
+    pub fn new_with_isa(isa: Isa) -> Compiler {
+        let mut c = Compiler::default();
+        c.code.isa = isa;
+        c
+    }
+
+    /// The instruction set this compiler targets.
+    pub fn isa(&self) -> Isa {
+        self.code.isa
     }
 
     /// The accumulated code object.
@@ -649,7 +1038,10 @@ impl Compiler {
     /// indicates an elaboration bug.
     pub fn compile(&mut self, e: &FExpr) -> Result<u32, CompileError> {
         let mut fns = vec![FnCtx::new(FuncKind::Main, None, None)];
-        self.compile_expr(&mut fns, e, true)?;
+        match self.code.isa {
+            Isa::Register => self.rc_tail(&mut fns, e)?,
+            Isa::Stack => self.compile_expr(&mut fns, e, true)?,
+        }
         let ctx = fns.pop().expect("main context");
         debug_assert!(fns.is_empty(), "unbalanced function contexts");
         debug_assert!(ctx.cap_srcs.is_empty(), "main function cannot capture");
@@ -675,7 +1067,12 @@ impl Compiler {
     }
 
     fn finish(&mut self, mut ctx: FnCtx) -> u32 {
-        ctx.emit(Instr::Ret);
+        // Register code terminates every path itself (`RRet` /
+        // `RTailCall`); the stack compiler leaves the result on the
+        // operand stack and needs the trailing `Ret`.
+        if self.code.isa == Isa::Stack {
+            ctx.emit(Instr::Ret);
+        }
         self.stats.instrs_scanned += ctx.code.len() as u64;
         for w in ctx.code.windows(2) {
             *self
@@ -684,15 +1081,18 @@ impl Compiler {
                 .entry((mnemonic(&w[0]), mnemonic(&w[1])))
                 .or_insert(0) += 1;
         }
-        let code = if self.fusion {
-            self.fuse(ctx.code)
+        let (code, needs_scratch) = if self.fusion {
+            match self.code.isa {
+                Isa::Register => self.fuse_regs(ctx.code),
+                Isa::Stack => (self.fuse(ctx.code), false),
+            }
         } else {
-            ctx.code
+            (ctx.code, false)
         };
         let idx = self.code.funcs.len() as u32;
         self.code.funcs.push(FuncCode {
             kind: ctx.kind,
-            nslots: ctx.nslots,
+            nslots: ctx.nslots + u16::from(needs_scratch),
             captures: ctx.cap_srcs,
             code,
         });
@@ -803,6 +1203,78 @@ impl Compiler {
             }
         }
         out
+    }
+
+    /// The register-ISA peephole superinstruction pass, mirroring
+    /// [`Compiler::fuse`]'s leader and remap machinery over the
+    /// re-mined register fusion set ([`fuse_rtriple`] /
+    /// [`fuse_rpair`]). Returns the fused stream and whether a
+    /// scratch register must be reserved ([`Instr::RCapBinTail`]
+    /// parks its cache-miss unfold result there).
+    fn fuse_regs(&mut self, code: Vec<Instr>) -> (Vec<Instr>, bool) {
+        let n = code.len();
+        let mut leader = vec![false; n + 1];
+        for instr in &code {
+            match instr {
+                Instr::Jump(t)
+                | Instr::RJumpIfFalse { target: t, .. }
+                | Instr::RCaseList { nil_target: t, .. } => leader[*t as usize] = true,
+                Instr::RMatch { tbl, .. } => {
+                    for arm in &self.code.match_tables[*tbl as usize].arms {
+                        leader[arm.target as usize] = true;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let mut out = Vec::with_capacity(n);
+        let mut map = vec![0u32; n + 1];
+        let mut needs_scratch = false;
+        let mut i = 0;
+        while i < n {
+            map[i] = out.len() as u32;
+            if i + 2 < n && !leader[i + 1] && !leader[i + 2] {
+                if let Some(f) = fuse_rtriple(code[i], code[i + 1], code[i + 2]) {
+                    map[i + 1] = out.len() as u32;
+                    map[i + 2] = out.len() as u32;
+                    *self.stats.fused_by_kind.entry(mnemonic(&f)).or_insert(0) += 1;
+                    self.stats.fused += 2;
+                    needs_scratch = true;
+                    out.push(f);
+                    i += 3;
+                    continue;
+                }
+            }
+            if i + 1 < n && !leader[i + 1] {
+                if let Some(f) = fuse_rpair(code[i], code[i + 1]) {
+                    map[i + 1] = out.len() as u32;
+                    *self.stats.fused_by_kind.entry(mnemonic(&f)).or_insert(0) += 1;
+                    self.stats.fused += 1;
+                    out.push(f);
+                    i += 2;
+                    continue;
+                }
+            }
+            out.push(code[i]);
+            i += 1;
+        }
+        map[n] = out.len() as u32;
+        for instr in &mut out {
+            match instr {
+                Instr::Jump(t)
+                | Instr::RJumpIfFalse { target: t, .. }
+                | Instr::RCaseList { nil_target: t, .. }
+                | Instr::RBinJump { target: t, .. } => *t = map[*t as usize],
+                Instr::RMatch { tbl, .. } => {
+                    let tbl = *tbl as usize;
+                    for arm in &mut self.code.match_tables[tbl].arms {
+                        arm.target = map[arm.target as usize];
+                    }
+                }
+                _ => {}
+            }
+        }
+        (out, needs_scratch)
     }
 
     fn pool_const(&mut self, v: Value, key: PoolKey) -> u32 {
@@ -1030,13 +1502,428 @@ impl Compiler {
         }
         Ok(())
     }
+
+    /// Compiles one expression for the register ISA in *tail*
+    /// position: every control path it emits ends in [`Instr::RRet`]
+    /// or [`Instr::RTailCall`], so branch joins need no jump and the
+    /// frame is never resumed.
+    fn rc_tail(&mut self, fns: &mut Vec<FnCtx>, e: &FExpr) -> Result<(), CompileError> {
+        match e {
+            FExpr::App(f, a) => {
+                let mark = fns.last().expect("fn ctx").next_slot;
+                let fr = self.rc_reg(fns, f)?;
+                let arg = self.rc_operand(fns, a)?;
+                let ctx = fns.last_mut().expect("fn ctx");
+                ctx.emit(Instr::RTailCall { f: fr, arg });
+                ctx.next_slot = mark;
+            }
+            FExpr::If(c, t, el) => {
+                let mark = fns.last().expect("fn ctx").next_slot;
+                let cond = self.rc_operand(fns, c)?;
+                let ctx = fns.last_mut().expect("fn ctx");
+                let to_else = ctx.emit(Instr::RJumpIfFalse { cond, target: 0 });
+                ctx.next_slot = mark;
+                self.rc_tail(fns, t)?;
+                let ctx = fns.last_mut().expect("fn ctx");
+                let else_at = ctx.here();
+                ctx.patch(to_else, else_at);
+                self.rc_tail(fns, el)?;
+            }
+            FExpr::ListCase {
+                scrut,
+                nil,
+                head,
+                tail: tail_name,
+                cons,
+            } => {
+                let mark = fns.last().expect("fn ctx").next_slot;
+                let src = self.rc_operand(fns, scrut)?;
+                let ctx = fns.last_mut().expect("fn ctx");
+                // The scrutinee temp is released before the binder
+                // registers are carved out; `RCaseList` reads it
+                // before writing, so aliasing is harmless.
+                ctx.next_slot = mark;
+                let saved_scope = ctx.scope.len();
+                let hslot = ctx.alloc_slot();
+                let tslot = ctx.alloc_slot();
+                let case_at = ctx.emit(Instr::RCaseList {
+                    src,
+                    head: hslot,
+                    tail: tslot,
+                    nil_target: 0,
+                });
+                ctx.scope.push((*head, hslot));
+                ctx.scope.push((*tail_name, tslot));
+                self.rc_tail(fns, cons)?;
+                let ctx = fns.last_mut().expect("fn ctx");
+                ctx.scope.truncate(saved_scope);
+                ctx.next_slot = mark;
+                let nil_at = ctx.here();
+                ctx.patch(case_at, nil_at);
+                self.rc_tail(fns, nil)?;
+            }
+            FExpr::Match(scrut, arms) => {
+                let mark = fns.last().expect("fn ctx").next_slot;
+                let src = self.rc_reg(fns, scrut)?;
+                let tbl = self.code.match_tables.len() as u32;
+                self.code.match_tables.push(MatchTable::default());
+                let ctx = fns.last_mut().expect("fn ctx");
+                ctx.emit(Instr::RMatch { src, tbl });
+                ctx.next_slot = mark;
+                let mut compiled_arms = Vec::with_capacity(arms.len());
+                for arm in arms {
+                    let ctx = fns.last_mut().expect("fn ctx");
+                    let target = ctx.here();
+                    let saved_scope = ctx.scope.len();
+                    let binder_base = ctx.next_slot;
+                    for b in &arm.binders {
+                        let s = ctx.alloc_slot();
+                        ctx.scope.push((*b, s));
+                    }
+                    self.rc_tail(fns, &arm.body)?;
+                    let ctx = fns.last_mut().expect("fn ctx");
+                    ctx.scope.truncate(saved_scope);
+                    ctx.next_slot = mark;
+                    compiled_arms.push(MatchArmCode {
+                        ctor: arm.ctor,
+                        binder_base,
+                        binders: arm.binders.len() as u16,
+                        target,
+                    });
+                }
+                self.code.match_tables[tbl as usize].arms = compiled_arms;
+            }
+            _ => {
+                let mark = fns.last().expect("fn ctx").next_slot;
+                let src = self.rc_operand(fns, e)?;
+                let ctx = fns.last_mut().expect("fn ctx");
+                ctx.emit(Instr::RRet { src });
+                ctx.next_slot = mark;
+            }
+        }
+        Ok(())
+    }
+
+    /// Compiles one expression for the register ISA, leaving its
+    /// value in register `dst` (non-tail position).
+    #[allow(clippy::too_many_lines)]
+    fn rc_into(&mut self, fns: &mut Vec<FnCtx>, e: &FExpr, dst: u16) -> Result<(), CompileError> {
+        match e {
+            FExpr::Int(_) | FExpr::Bool(_) | FExpr::Str(_) | FExpr::Unit | FExpr::Nil(_) => {
+                let konst = self.pool_literal(e);
+                fns.last_mut()
+                    .expect("fn ctx")
+                    .emit(Instr::RConst { dst, konst });
+            }
+            FExpr::Var(x) => {
+                let load = match resolve_var(fns, *x) {
+                    Some(CapSrc::Local(s)) if s == dst => return Ok(()),
+                    Some(CapSrc::Local(s)) => Instr::RMove { dst, src: s },
+                    Some(CapSrc::Capture(i)) => Instr::RCapture { dst, idx: i },
+                    Some(CapSrc::Rec) => Instr::RRec { dst },
+                    None => match self.global_map.get(x) {
+                        Some(&g) => Instr::RGlobal { dst, idx: g },
+                        None => return Err(CompileError::Unbound(*x)),
+                    },
+                };
+                fns.last_mut().expect("fn ctx").emit(load);
+            }
+            FExpr::Lam(x, _, b) => {
+                fns.push(FnCtx::new(FuncKind::Lambda, Some(*x), None));
+                self.rc_tail(fns, b)?;
+                let ctx = fns.pop().expect("lambda context");
+                let func = self.finish(ctx);
+                fns.last_mut()
+                    .expect("fn ctx")
+                    .emit(Instr::RClosure { dst, func });
+            }
+            FExpr::App(f, a) => {
+                let mark = fns.last().expect("fn ctx").next_slot;
+                let fr = self.rc_reg(fns, f)?;
+                let arg = self.rc_operand(fns, a)?;
+                let ctx = fns.last_mut().expect("fn ctx");
+                ctx.emit(Instr::RCall { dst, f: fr, arg });
+                ctx.next_slot = mark;
+            }
+            FExpr::TyAbs(_, b) => {
+                fns.push(FnCtx::new(FuncKind::TyAbs, None, None));
+                self.rc_tail(fns, b)?;
+                let ctx = fns.pop().expect("tyabs context");
+                let func = self.finish(ctx);
+                fns.last_mut()
+                    .expect("fn ctx")
+                    .emit(Instr::RTyClosure { dst, func });
+            }
+            FExpr::TyApp(f, _) => {
+                let mark = fns.last().expect("fn ctx").next_slot;
+                let src = self.rc_reg(fns, f)?;
+                let ctx = fns.last_mut().expect("fn ctx");
+                ctx.emit(Instr::RForce { dst, src });
+                ctx.next_slot = mark;
+            }
+            FExpr::If(c, t, el) => {
+                let mark = fns.last().expect("fn ctx").next_slot;
+                let cond = self.rc_operand(fns, c)?;
+                let ctx = fns.last_mut().expect("fn ctx");
+                let to_else = ctx.emit(Instr::RJumpIfFalse { cond, target: 0 });
+                ctx.next_slot = mark;
+                self.rc_into(fns, t, dst)?;
+                let ctx = fns.last_mut().expect("fn ctx");
+                let to_end = ctx.emit(Instr::Jump(0));
+                let else_at = ctx.here();
+                ctx.patch(to_else, else_at);
+                self.rc_into(fns, el, dst)?;
+                let ctx = fns.last_mut().expect("fn ctx");
+                let end = ctx.here();
+                ctx.patch(to_end, end);
+            }
+            FExpr::BinOp(op, a, b) => {
+                let mark = fns.last().expect("fn ctx").next_slot;
+                let ra = self.rc_operand(fns, a)?;
+                let rb = self.rc_operand(fns, b)?;
+                let ctx = fns.last_mut().expect("fn ctx");
+                ctx.emit(Instr::RBin {
+                    op: *op,
+                    dst,
+                    a: ra,
+                    b: rb,
+                });
+                ctx.next_slot = mark;
+            }
+            FExpr::UnOp(op, a) => {
+                let mark = fns.last().expect("fn ctx").next_slot;
+                let src = self.rc_operand(fns, a)?;
+                let ctx = fns.last_mut().expect("fn ctx");
+                ctx.emit(Instr::RUn { op: *op, dst, src });
+                ctx.next_slot = mark;
+            }
+            FExpr::Pair(a, b) => {
+                let mark = fns.last().expect("fn ctx").next_slot;
+                let ra = self.rc_operand(fns, a)?;
+                let rb = self.rc_operand(fns, b)?;
+                let ctx = fns.last_mut().expect("fn ctx");
+                ctx.emit(Instr::RPair { dst, a: ra, b: rb });
+                ctx.next_slot = mark;
+            }
+            FExpr::Fst(a) => {
+                let mark = fns.last().expect("fn ctx").next_slot;
+                let src = self.rc_reg(fns, a)?;
+                let ctx = fns.last_mut().expect("fn ctx");
+                ctx.emit(Instr::RFst { dst, src });
+                ctx.next_slot = mark;
+            }
+            FExpr::Snd(a) => {
+                let mark = fns.last().expect("fn ctx").next_slot;
+                let src = self.rc_reg(fns, a)?;
+                let ctx = fns.last_mut().expect("fn ctx");
+                ctx.emit(Instr::RSnd { dst, src });
+                ctx.next_slot = mark;
+            }
+            FExpr::Cons(h, t) => {
+                let mark = fns.last().expect("fn ctx").next_slot;
+                let head = self.rc_operand(fns, h)?;
+                let tail = self.rc_operand(fns, t)?;
+                let ctx = fns.last_mut().expect("fn ctx");
+                ctx.emit(Instr::RCons { dst, head, tail });
+                ctx.next_slot = mark;
+            }
+            FExpr::ListCase {
+                scrut,
+                nil,
+                head,
+                tail: tail_name,
+                cons,
+            } => {
+                let mark = fns.last().expect("fn ctx").next_slot;
+                let src = self.rc_operand(fns, scrut)?;
+                let ctx = fns.last_mut().expect("fn ctx");
+                ctx.next_slot = mark;
+                let saved_scope = ctx.scope.len();
+                let hslot = ctx.alloc_slot();
+                let tslot = ctx.alloc_slot();
+                let case_at = ctx.emit(Instr::RCaseList {
+                    src,
+                    head: hslot,
+                    tail: tslot,
+                    nil_target: 0,
+                });
+                ctx.scope.push((*head, hslot));
+                ctx.scope.push((*tail_name, tslot));
+                self.rc_into(fns, cons, dst)?;
+                let ctx = fns.last_mut().expect("fn ctx");
+                ctx.scope.truncate(saved_scope);
+                ctx.next_slot = mark;
+                let to_end = ctx.emit(Instr::Jump(0));
+                let nil_at = ctx.here();
+                ctx.patch(case_at, nil_at);
+                self.rc_into(fns, nil, dst)?;
+                let ctx = fns.last_mut().expect("fn ctx");
+                let end = ctx.here();
+                ctx.patch(to_end, end);
+            }
+            FExpr::Fix(x, _, b) => {
+                // The fix body never tail-calls: its `RRet` must run
+                // so the VM can cache the one-step unfolding.
+                fns.push(FnCtx::new(FuncKind::FixBody, None, Some(*x)));
+                let src = self.rc_operand(fns, b)?;
+                fns.last_mut()
+                    .expect("fix context")
+                    .emit(Instr::RRet { src });
+                let ctx = fns.pop().expect("fix context");
+                let func = self.finish(ctx);
+                fns.last_mut()
+                    .expect("fn ctx")
+                    .emit(Instr::REnterFix { dst, func });
+            }
+            FExpr::Make(name, _, fields) => {
+                let mark = fns.last().expect("fn ctx").next_slot;
+                let base = mark;
+                for (_, fe) in fields {
+                    let t = fns.last_mut().expect("fn ctx").alloc_slot();
+                    self.rc_into(fns, fe, t)?;
+                }
+                let syms: Rc<[Symbol]> = fields.iter().map(|(u, _)| *u).collect();
+                let fl = self.code.field_lists.len() as u32;
+                self.code.field_lists.push(syms);
+                let ctx = fns.last_mut().expect("fn ctx");
+                ctx.emit(Instr::RMakeRecord {
+                    dst,
+                    base,
+                    name: *name,
+                    fields: fl,
+                });
+                ctx.next_slot = mark;
+            }
+            FExpr::Proj(rec, field) => {
+                let mark = fns.last().expect("fn ctx").next_slot;
+                let src = self.rc_reg(fns, rec)?;
+                let ctx = fns.last_mut().expect("fn ctx");
+                ctx.emit(Instr::RProject {
+                    dst,
+                    src,
+                    field: *field,
+                });
+                ctx.next_slot = mark;
+            }
+            FExpr::Inject(ctor, _, args) => {
+                let mark = fns.last().expect("fn ctx").next_slot;
+                let base = mark;
+                for a in args {
+                    let t = fns.last_mut().expect("fn ctx").alloc_slot();
+                    self.rc_into(fns, a, t)?;
+                }
+                let ctx = fns.last_mut().expect("fn ctx");
+                ctx.emit(Instr::RInject {
+                    dst,
+                    base,
+                    ctor: *ctor,
+                    argc: args.len() as u16,
+                });
+                ctx.next_slot = mark;
+            }
+            FExpr::Match(scrut, arms) => {
+                let mark = fns.last().expect("fn ctx").next_slot;
+                let src = self.rc_reg(fns, scrut)?;
+                let tbl = self.code.match_tables.len() as u32;
+                self.code.match_tables.push(MatchTable::default());
+                let ctx = fns.last_mut().expect("fn ctx");
+                ctx.emit(Instr::RMatch { src, tbl });
+                ctx.next_slot = mark;
+                let mut compiled_arms = Vec::with_capacity(arms.len());
+                let mut end_jumps = Vec::with_capacity(arms.len());
+                for arm in arms {
+                    let ctx = fns.last_mut().expect("fn ctx");
+                    let target = ctx.here();
+                    let saved_scope = ctx.scope.len();
+                    let binder_base = ctx.next_slot;
+                    for b in &arm.binders {
+                        let s = ctx.alloc_slot();
+                        ctx.scope.push((*b, s));
+                    }
+                    self.rc_into(fns, &arm.body, dst)?;
+                    let ctx = fns.last_mut().expect("fn ctx");
+                    ctx.scope.truncate(saved_scope);
+                    ctx.next_slot = mark;
+                    end_jumps.push(ctx.emit(Instr::Jump(0)));
+                    compiled_arms.push(MatchArmCode {
+                        ctor: arm.ctor,
+                        binder_base,
+                        binders: arm.binders.len() as u16,
+                        target,
+                    });
+                }
+                let ctx = fns.last_mut().expect("fn ctx");
+                let end = ctx.here();
+                for j in end_jumps {
+                    ctx.patch(j, end);
+                }
+                self.code.match_tables[tbl as usize].arms = compiled_arms;
+            }
+        }
+        Ok(())
+    }
+
+    /// Pools a literal expression's constant, returning its index.
+    fn pool_literal(&mut self, e: &FExpr) -> u32 {
+        match e {
+            FExpr::Int(n) => self.pool_const(Value::Int(*n), PoolKey::Int(*n)),
+            FExpr::Bool(b) => self.pool_const(Value::Bool(*b), PoolKey::Misc(u8::from(*b))),
+            FExpr::Str(s) => {
+                self.pool_const(Value::Str(Rc::from(s.as_str())), PoolKey::Str(s.clone()))
+            }
+            FExpr::Unit => self.pool_const(Value::Unit, PoolKey::Misc(2)),
+            FExpr::Nil(_) => self.pool_const(Value::List(Rc::new(Vec::new())), PoolKey::Misc(3)),
+            other => unreachable!("pooling non-literal {other}"),
+        }
+    }
+
+    /// Compiles an expression to an RK operand: literals become
+    /// inline constant references (no instruction at all), a variable
+    /// bound to a register *is* that register (move coalescing), and
+    /// everything else lands in a fresh temporary. Capture, `rec`,
+    /// and global loads keep their instruction — a capture load can
+    /// unfold recursion, so it must hold its place in the stream.
+    fn rc_operand(&mut self, fns: &mut Vec<FnCtx>, e: &FExpr) -> Result<u16, CompileError> {
+        match e {
+            FExpr::Int(_) | FExpr::Bool(_) | FExpr::Str(_) | FExpr::Unit | FExpr::Nil(_) => {
+                let konst = self.pool_literal(e);
+                if konst <= u32::from(RK_MASK) {
+                    return Ok(konst as u16 | RK_CONST);
+                }
+            }
+            FExpr::Var(x) => {
+                if let Some(CapSrc::Local(s)) = resolve_var(fns, *x) {
+                    return Ok(s);
+                }
+            }
+            _ => {}
+        }
+        let t = fns.last_mut().expect("fn ctx").alloc_slot();
+        self.rc_into(fns, e, t)?;
+        Ok(t)
+    }
+
+    /// Compiles an expression to a plain register (for operands that
+    /// must not be RK constants: callees, scrutinees, pairs being
+    /// projected).
+    fn rc_reg(&mut self, fns: &mut Vec<FnCtx>, e: &FExpr) -> Result<u16, CompileError> {
+        if let FExpr::Var(x) = e {
+            if let Some(CapSrc::Local(s)) = resolve_var(fns, *x) {
+                return Ok(s);
+            }
+        }
+        let t = fns.last_mut().expect("fn ctx").alloc_slot();
+        self.rc_into(fns, e, t)?;
+        Ok(t)
+    }
 }
 
 /// Keys for constant-pool deduplication.
 enum PoolKey {
     Int(i64),
     Str(String),
-    /// `0`/`1` for the booleans, `2` for unit.
+    /// `0`/`1` for the booleans, `2` for unit, `3` for the empty
+    /// list (register-ISA RK operands only).
     Misc(u8),
 }
 

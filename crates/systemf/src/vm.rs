@@ -2,11 +2,21 @@
 //! [`crate::compile`]).
 //!
 //! The VM executes the flat instruction stream produced by
-//! [`Compiler`] with heap-allocated value/locals/frame stacks and a
+//! [`Compiler`] with heap-allocated register/frame stacks and a
 //! single dispatch loop — no host-stack recursion, so arbitrarily
 //! deep programs run in constant host stack (the tree-walking
 //! [`crate::eval::Evaluator`] needs the 64 MB worker stacks of
 //! `implicit_pipeline::driver` for the same programs).
+//!
+//! Two dispatch loops back the two ISAs: the default **register**
+//! loop is stackless — every frame is one flat window of registers
+//! holding parameters, binders, and temporaries, results are written
+//! straight to the caller's destination register on return, and
+//! there is no operand stack at all — while the **stack** loop
+//! executes the PR 6 push/pop ISA unchanged as the differential
+//! baseline. Both share the word representation, the arena, fuel
+//! accounting, tail-call frame reuse, the fix-unfold cache, and the
+//! `Match` inline caches.
 //!
 //! ## Value representation
 //!
@@ -37,11 +47,14 @@
 //! save fuel — so the comparability invariant is untouched.
 
 use std::cell::Cell;
+use std::collections::HashMap;
 use std::rc::Rc;
 
 use implicit_core::symbol::Symbol;
 
-use crate::compile::{CapSrc, CodeObject, CompileError, Compiler, Instr};
+use crate::compile::{
+    mnemonic, CapSrc, CodeObject, CompileError, Compiler, Instr, Isa, RK_CONST, RK_MASK,
+};
 use crate::eval::{EvalError, Value};
 use crate::syntax::{BinOp, FExpr, UnOp};
 
@@ -424,6 +437,18 @@ struct Frame {
     rec: u32,
 }
 
+/// One register-ISA activation record. The frame's register window
+/// is `regs[base..base + nslots]`; `ret_dst` is the absolute index
+/// (inside the *caller's* window) that receives this frame's result.
+struct RFrame {
+    func: u32,
+    ip: usize,
+    base: usize,
+    clo: u32,
+    rec: u32,
+    ret_dst: usize,
+}
+
 /// The virtual machine, carrying the same kind of step budget as the
 /// tree-walker (counted per frame entry).
 pub struct Vm {
@@ -433,6 +458,8 @@ pub struct Vm {
     fix_unfolds: u64,
     match_ic_hits: u64,
     match_ic_misses: u64,
+    profile: bool,
+    dispatch_counts: HashMap<&'static str, u64>,
 }
 
 /// Execution counters of one [`Vm`], cumulative over its lifetime
@@ -475,7 +502,26 @@ impl Vm {
             fix_unfolds: 0,
             match_ic_hits: 0,
             match_ic_misses: 0,
+            profile: false,
+            dispatch_counts: HashMap::new(),
         }
+    }
+
+    /// Enables per-opcode dispatch profiling for register-ISA runs:
+    /// every executed instruction is counted by mnemonic. Off by
+    /// default — profiling selects a separately monomorphized
+    /// dispatch loop, so the unprofiled hot path pays nothing.
+    pub fn set_profile(&mut self, on: bool) {
+        self.profile = on;
+    }
+
+    /// The per-opcode dispatch histogram accumulated while profiling
+    /// was enabled, most-executed first (ties broken
+    /// lexicographically for determinism).
+    pub fn dispatch_histogram(&self) -> Vec<(&'static str, u64)> {
+        let mut v: Vec<_> = self.dispatch_counts.iter().map(|(k, c)| (*k, *c)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        v
     }
 
     /// Fuel still available.
@@ -515,7 +561,13 @@ impl Vm {
         let mut heap = Heap::default();
         let wconsts: Vec<Word> = code.consts.iter().map(|v| import(v, &mut heap)).collect();
         let wglobals: Vec<Word> = globals.iter().map(|v| import(v, &mut heap)).collect();
-        self.run_words(code, main, &wconsts, &wglobals, &mut heap)
+        match code.isa {
+            Isa::Register if self.profile => {
+                self.run_regs::<true>(code, main, &wconsts, &wglobals, &mut heap)
+            }
+            Isa::Register => self.run_regs::<false>(code, main, &wconsts, &wglobals, &mut heap),
+            Isa::Stack => self.run_words(code, main, &wconsts, &wglobals, &mut heap),
+        }
     }
 
     #[allow(clippy::too_many_lines)]
@@ -979,8 +1031,559 @@ impl Vm {
                         }
                     }
                 }
+                other => unreachable!("register-ISA instruction {other:?} in stack code"),
             }
         }
+    }
+
+    /// The stackless register-ISA dispatch loop. One flat `regs`
+    /// vector holds every live frame's register window; results
+    /// travel through each frame's `ret_dst` instead of an operand
+    /// stack. `PROFILE` selects the dispatch-histogram
+    /// instrumentation at monomorphization time, so the unprofiled
+    /// loop carries no check at all.
+    #[allow(clippy::too_many_lines)]
+    fn run_regs<const PROFILE: bool>(
+        &mut self,
+        code: &CodeObject,
+        main: u32,
+        wconsts: &[Word],
+        wglobals: &[Word],
+        heap: &mut Heap,
+    ) -> Result<Value, EvalError> {
+        let mut regs: Vec<Word> = Vec::new();
+        let mut frames: Vec<RFrame> = Vec::new();
+        self.enter_regs(code, &mut frames, &mut regs, main, None, NONE, NONE, 0)?;
+        // Dispatch registers, exactly as in the stack loop: written
+        // back to the `RFrame` on a call, reloaded on push/pop,
+        // authoritative in between.
+        let mut ip: usize = 0;
+        let mut base: usize = 0;
+        let mut cur_func: u32 = main;
+        let mut cur_clo: u32 = NONE;
+        let mut cur_rec: u32 = NONE;
+        let mut fcode: &[Instr] = &code.funcs[main as usize].code;
+        macro_rules! reload {
+            () => {{
+                let fr = frames.last().expect("active frame");
+                ip = fr.ip;
+                base = fr.base;
+                cur_func = fr.func;
+                cur_clo = fr.clo;
+                cur_rec = fr.rec;
+                fcode = &code.funcs[fr.func as usize].code;
+            }};
+        }
+        macro_rules! save_frame {
+            () => {{
+                let fr = frames.last_mut().expect("active frame");
+                fr.ip = ip;
+                fr.func = cur_func;
+                fr.clo = cur_clo;
+                fr.rec = cur_rec;
+            }};
+        }
+        /// Reads an RK operand: register when bit 15 is clear,
+        /// constant-pool entry otherwise.
+        macro_rules! rk {
+            ($x:expr) => {{
+                let x: u16 = $x;
+                if x & RK_CONST != 0 {
+                    wconsts[(x & RK_MASK) as usize]
+                } else {
+                    regs[base + x as usize]
+                }
+            }};
+        }
+        /// Unfolds a `fix` self-reference into register `$dst`:
+        /// write the cached one-step result, or re-enter the fix
+        /// body with `$dst` as its return destination.
+        macro_rules! unfold {
+            ($ix:expr, $dst:expr) => {{
+                let ix = $ix;
+                match heap.clos[ix as usize].unfolded.get() {
+                    Some(v) => {
+                        self.fix_unfolds += 1;
+                        regs[base + $dst as usize] = v;
+                    }
+                    None => {
+                        save_frame!();
+                        let func = heap.clos[ix as usize].func;
+                        let ret_dst = base + $dst as usize;
+                        self.enter_regs(code, &mut frames, &mut regs, func, None, ix, ix, ret_dst)?;
+                        reload!();
+                    }
+                }
+            }};
+        }
+        /// Pops the current frame with `$result`, writing the fix
+        /// unfold cache and the caller's destination register (or
+        /// returning the exported result when the last frame pops).
+        macro_rules! do_ret {
+            ($result:expr) => {{
+                let result: Word = $result;
+                let fr = frames.pop().expect("returning frame");
+                if cur_rec != NONE {
+                    heap.clos[cur_rec as usize].unfolded.set(Some(result));
+                }
+                if frames.is_empty() {
+                    return Ok(export(result, heap));
+                }
+                regs.truncate(fr.base);
+                regs[fr.ret_dst] = result;
+                reload!();
+            }};
+        }
+        /// Replaces the current frame in place with a call to
+        /// `$callee` on `$arg`, charged like a call. A *self* tail
+        /// call reuses the window as-is, rewriting only the argument
+        /// register.
+        macro_rules! do_tailcall {
+            ($callee:expr, $arg:expr) => {{
+                let arg: Word = $arg;
+                match $callee {
+                    Word::Clo(ix) => {
+                        if self.fuel == 0 {
+                            return Err(EvalError::OutOfFuel);
+                        }
+                        self.fuel -= 1;
+                        self.tail_calls += 1;
+                        if ix == cur_clo {
+                            // Self tail call on the *same closure* —
+                            // the shape of every compiled loop's
+                            // steady state. Function, window and
+                            // closure registers are already right;
+                            // only the argument changes.
+                            regs[base] = arg;
+                        } else {
+                            let func = heap.clos[ix as usize].func;
+                            if func == cur_func {
+                                regs[base] = arg;
+                            } else {
+                                regs.truncate(base);
+                                let nslots = code.funcs[func as usize].nslots;
+                                regs.push(arg);
+                                for _ in 1..nslots {
+                                    regs.push(Word::Unit);
+                                }
+                                cur_func = func;
+                                fcode = &code.funcs[func as usize].code;
+                            }
+                            cur_clo = ix;
+                        }
+                        cur_rec = NONE;
+                        ip = 0;
+                    }
+                    other => return Err(EvalError::NotAFunction(show(other, heap))),
+                }
+            }};
+        }
+        // Monomorphic callee cache for `RCapBinTail`: a compiled
+        // loop's back edge resolves the same capture of the same
+        // closure every iteration, so remember the last
+        // (closure, capture index) → callee resolution and skip the
+        // two dependent heap chases. Sound because captures are
+        // immutable and a fix's unfold cache is write-once
+        // deterministic (the language is pure). Only the
+        // unfolded-`Rec` path is cached, so `fix_unfolds`
+        // accounting stays exact; `cur_clo` is never `NONE` at an
+        // `RCapBinTail` (the fusion requires a capture load), so
+        // the `NONE` seed cannot produce a false hit.
+        let mut captail_clo: u32 = NONE;
+        let mut captail_idx: u16 = 0;
+        let mut captail_callee: Word = Word::Unit;
+        loop {
+            let instr = fcode[ip];
+            ip += 1;
+            if PROFILE {
+                *self.dispatch_counts.entry(mnemonic(&instr)).or_insert(0) += 1;
+            }
+            match instr {
+                Instr::RConst { dst, konst } => {
+                    regs[base + dst as usize] = wconsts[konst as usize];
+                }
+                Instr::RMove { dst, src } => {
+                    regs[base + dst as usize] = regs[base + src as usize];
+                }
+                Instr::RCapture { dst, idx } => {
+                    debug_assert_ne!(cur_clo, NONE, "capture load in captureless frame");
+                    let cap = heap.clos[cur_clo as usize].captures[idx as usize];
+                    match cap {
+                        Word::Rec(ix) => unfold!(ix, dst),
+                        v => regs[base + dst as usize] = v,
+                    }
+                }
+                Instr::RGlobal { dst, idx } => {
+                    regs[base + dst as usize] = wglobals[idx as usize];
+                }
+                Instr::RRec { dst } => {
+                    debug_assert_ne!(cur_rec, NONE, "rec load outside fix body");
+                    unfold!(cur_rec, dst);
+                }
+                Instr::RClosure { dst, func } => {
+                    let captures =
+                        materialize_captures(code, func, base, cur_clo, cur_rec, &regs, heap);
+                    let ix = heap.alloc_clo(func, captures);
+                    regs[base + dst as usize] = Word::Clo(ix);
+                }
+                Instr::RTyClosure { dst, func } => {
+                    let captures =
+                        materialize_captures(code, func, base, cur_clo, cur_rec, &regs, heap);
+                    let ix = heap.alloc_clo(func, captures);
+                    regs[base + dst as usize] = Word::TyClo(ix);
+                }
+                Instr::REnterFix { dst, func } => {
+                    let captures =
+                        materialize_captures(code, func, base, cur_clo, cur_rec, &regs, heap);
+                    let ix = heap.alloc_clo(func, captures);
+                    save_frame!();
+                    let ret_dst = base + dst as usize;
+                    self.enter_regs(code, &mut frames, &mut regs, func, None, ix, ix, ret_dst)?;
+                    reload!();
+                }
+                Instr::RCall { dst, f, arg } => {
+                    let callee = regs[base + f as usize];
+                    let a = rk!(arg);
+                    match callee {
+                        Word::Clo(ix) => {
+                            save_frame!();
+                            let func = heap.clos[ix as usize].func;
+                            let ret_dst = base + dst as usize;
+                            self.enter_regs(
+                                code,
+                                &mut frames,
+                                &mut regs,
+                                func,
+                                Some(a),
+                                ix,
+                                NONE,
+                                ret_dst,
+                            )?;
+                            reload!();
+                        }
+                        other => return Err(EvalError::NotAFunction(show(other, heap))),
+                    }
+                }
+                Instr::RTailCall { f, arg } => {
+                    let callee = regs[base + f as usize];
+                    let a = rk!(arg);
+                    do_tailcall!(callee, a);
+                }
+                Instr::RForce { dst, src } => match regs[base + src as usize] {
+                    Word::TyClo(ix) => {
+                        save_frame!();
+                        let func = heap.clos[ix as usize].func;
+                        let ret_dst = base + dst as usize;
+                        self.enter_regs(
+                            code,
+                            &mut frames,
+                            &mut regs,
+                            func,
+                            None,
+                            ix,
+                            NONE,
+                            ret_dst,
+                        )?;
+                        reload!();
+                    }
+                    other => {
+                        return Err(EvalError::Stuck(format!(
+                            "type application of non-type-abstraction {}",
+                            show(other, heap)
+                        )))
+                    }
+                },
+                Instr::RRet { src } => {
+                    let result = rk!(src);
+                    do_ret!(result);
+                }
+                Instr::Jump(t) => ip = t as usize,
+                Instr::RJumpIfFalse { cond, target } => match rk!(cond) {
+                    Word::Bool(true) => {}
+                    Word::Bool(false) => ip = target as usize,
+                    other => {
+                        return Err(EvalError::Stuck(format!(
+                            "if on non-boolean {}",
+                            show(other, heap)
+                        )))
+                    }
+                },
+                Instr::RBin { op, dst, a, b } => {
+                    let x = rk!(a);
+                    let y = rk!(b);
+                    regs[base + dst as usize] = binop_w(op, x, y, heap)?;
+                }
+                Instr::RUn { op, dst, src } => {
+                    let v = rk!(src);
+                    regs[base + dst as usize] = match (op, v) {
+                        (UnOp::Not, Word::Bool(b)) => Word::Bool(!b),
+                        (UnOp::Neg, Word::Int(n)) => Word::Int(-n),
+                        (UnOp::IntToStr, Word::Int(n)) => {
+                            heap.strs.push(Rc::from(n.to_string()));
+                            Word::Str((heap.strs.len() - 1) as u32)
+                        }
+                        (op, v) => {
+                            return Err(EvalError::Stuck(format!("{op:?} on {}", show(v, heap))))
+                        }
+                    };
+                }
+                Instr::RPair { dst, a, b } => {
+                    let x = rk!(a);
+                    let y = rk!(b);
+                    heap.pairs.push((x, y));
+                    regs[base + dst as usize] = Word::Pair((heap.pairs.len() - 1) as u32);
+                }
+                Instr::RFst { dst, src } => match regs[base + src as usize] {
+                    Word::Pair(p) => regs[base + dst as usize] = heap.pairs[p as usize].0,
+                    other => return Err(EvalError::Stuck(format!("fst on {}", show(other, heap)))),
+                },
+                Instr::RSnd { dst, src } => match regs[base + src as usize] {
+                    Word::Pair(p) => regs[base + dst as usize] = heap.pairs[p as usize].1,
+                    other => return Err(EvalError::Stuck(format!("snd on {}", show(other, heap)))),
+                },
+                Instr::RCons { dst, head, tail } => {
+                    let h = rk!(head);
+                    let t = rk!(tail);
+                    match t {
+                        Word::Nil | Word::Cons(_) => {
+                            heap.conses.push((h, t));
+                            regs[base + dst as usize] = Word::Cons((heap.conses.len() - 1) as u32);
+                        }
+                        other => {
+                            return Err(EvalError::Stuck(format!(
+                                "cons onto {}",
+                                show(other, heap)
+                            )))
+                        }
+                    }
+                }
+                Instr::RCaseList {
+                    src,
+                    head,
+                    tail,
+                    nil_target,
+                } => match rk!(src) {
+                    Word::Nil => ip = nil_target as usize,
+                    Word::Cons(c) => {
+                        let (hv, tv) = heap.conses[c as usize];
+                        regs[base + head as usize] = hv;
+                        regs[base + tail as usize] = tv;
+                    }
+                    other => {
+                        return Err(EvalError::Stuck(format!("case on {}", show(other, heap))))
+                    }
+                },
+                Instr::RMakeRecord {
+                    dst,
+                    base: rbase,
+                    name,
+                    fields,
+                } => {
+                    let syms = &code.field_lists[fields as usize];
+                    let lo = base + rbase as usize;
+                    let vals = regs[lo..lo + syms.len()].to_vec();
+                    heap.records.push(HRecord {
+                        name,
+                        fields: syms.clone(),
+                        vals,
+                    });
+                    regs[base + dst as usize] = Word::Record((heap.records.len() - 1) as u32);
+                }
+                Instr::RProject { dst, src, field } => match regs[base + src as usize] {
+                    Word::Record(r) => {
+                        let rec = &heap.records[r as usize];
+                        let Some(pos) = rec.fields.iter().position(|u| *u == field) else {
+                            return Err(EvalError::Stuck(format!(
+                                "record {} has no field {field}",
+                                rec.name
+                            )));
+                        };
+                        regs[base + dst as usize] = rec.vals[pos];
+                    }
+                    other => {
+                        return Err(EvalError::Stuck(format!(
+                            "projection on {}",
+                            show(other, heap)
+                        )))
+                    }
+                },
+                Instr::RInject {
+                    dst,
+                    base: rbase,
+                    ctor,
+                    argc,
+                } => {
+                    let lo = base + rbase as usize;
+                    let vals = regs[lo..lo + argc as usize].to_vec();
+                    heap.datas.push(HData { ctor, fields: vals });
+                    regs[base + dst as usize] = Word::Data((heap.datas.len() - 1) as u32);
+                }
+                Instr::RMatch { src, tbl } => match regs[base + src as usize] {
+                    Word::Data(d) => {
+                        let ctor = heap.datas[d as usize].ctor;
+                        let table = &code.match_tables[tbl as usize];
+                        let cached = table.ic.get();
+                        let pos = if cached != u32::MAX
+                            && table
+                                .arms
+                                .get(cached as usize)
+                                .is_some_and(|a| a.ctor == ctor)
+                        {
+                            self.match_ic_hits += 1;
+                            cached as usize
+                        } else {
+                            let Some(pos) = table.arms.iter().position(|a| a.ctor == ctor) else {
+                                return Err(EvalError::Stuck(format!("no arm for `{ctor}`")));
+                            };
+                            self.match_ic_misses += 1;
+                            table.ic.set(pos as u32);
+                            pos
+                        };
+                        let arm = &table.arms[pos];
+                        let nfields = heap.datas[d as usize].fields.len();
+                        if arm.binders as usize != nfields {
+                            return Err(EvalError::Stuck(format!(
+                                "arm `{ctor}` binder count mismatch"
+                            )));
+                        }
+                        let lo = base + arm.binder_base as usize;
+                        regs[lo..lo + nfields].copy_from_slice(&heap.datas[d as usize].fields);
+                        ip = arm.target as usize;
+                    }
+                    other => {
+                        return Err(EvalError::Stuck(format!("match on {}", show(other, heap))))
+                    }
+                },
+                // --- Register superinstructions (see
+                // `compile::fuse_regs`). Each is exactly its
+                // constituents back to back with the intermediate
+                // register writes elided.
+                Instr::RBinJump { op, a, b, target } => {
+                    let x = rk!(a);
+                    let y = rk!(b);
+                    match binop_w(op, x, y, heap)? {
+                        Word::Bool(true) => {}
+                        Word::Bool(false) => ip = target as usize,
+                        other => {
+                            return Err(EvalError::Stuck(format!(
+                                "if on non-boolean {}",
+                                show(other, heap)
+                            )))
+                        }
+                    }
+                }
+                Instr::RBinRet { op, a, b } => {
+                    let x = rk!(a);
+                    let y = rk!(b);
+                    let result = binop_w(op, x, y, heap)?;
+                    do_ret!(result);
+                }
+                Instr::RBinTail { op, f, a, b } => {
+                    let callee = regs[base + f as usize];
+                    let x = rk!(a);
+                    let y = rk!(b);
+                    let arg = binop_w(op, x, y, heap)?;
+                    do_tailcall!(callee, arg);
+                }
+                Instr::RCapBinTail { op, idx, a, b } => {
+                    debug_assert_ne!(cur_clo, NONE, "capture load in captureless frame");
+                    if cur_clo == captail_clo && idx == captail_idx {
+                        self.fix_unfolds += 1;
+                        let x = rk!(a);
+                        let y = rk!(b);
+                        let arg = binop_w(op, x, y, heap)?;
+                        do_tailcall!(captail_callee, arg);
+                        continue;
+                    }
+                    match heap.clos[cur_clo as usize].captures[idx as usize] {
+                        Word::Rec(ix) => match heap.clos[ix as usize].unfolded.get() {
+                            Some(callee) => {
+                                self.fix_unfolds += 1;
+                                captail_clo = cur_clo;
+                                captail_idx = idx;
+                                captail_callee = callee;
+                                let x = rk!(a);
+                                let y = rk!(b);
+                                let arg = binop_w(op, x, y, heap)?;
+                                do_tailcall!(callee, arg);
+                            }
+                            None => {
+                                // First unfold of this fix: run the
+                                // body into the frame's reserved
+                                // scratch register, then re-execute
+                                // this instruction against the filled
+                                // cache. Entering the body charges
+                                // the same one fuel unit the unfused
+                                // `RCapture` miss charges; the
+                                // re-execution charges none.
+                                ip -= 1;
+                                save_frame!();
+                                let func = heap.clos[ix as usize].func;
+                                let scratch =
+                                    base + code.funcs[cur_func as usize].nslots as usize - 1;
+                                self.enter_regs(
+                                    code,
+                                    &mut frames,
+                                    &mut regs,
+                                    func,
+                                    None,
+                                    ix,
+                                    ix,
+                                    scratch,
+                                )?;
+                                reload!();
+                            }
+                        },
+                        callee => {
+                            let x = rk!(a);
+                            let y = rk!(b);
+                            let arg = binop_w(op, x, y, heap)?;
+                            do_tailcall!(callee, arg);
+                        }
+                    }
+                }
+                other => unreachable!("stack-ISA instruction {other:?} in register code"),
+            }
+        }
+    }
+
+    /// Pushes a register-ISA activation record, charging one fuel
+    /// unit (the same discipline as [`Vm::enter`]).
+    #[allow(clippy::too_many_arguments)]
+    fn enter_regs(
+        &mut self,
+        code: &CodeObject,
+        frames: &mut Vec<RFrame>,
+        regs: &mut Vec<Word>,
+        func: u32,
+        arg: Option<Word>,
+        clo: u32,
+        rec: u32,
+        ret_dst: usize,
+    ) -> Result<(), EvalError> {
+        if self.fuel == 0 {
+            return Err(EvalError::OutOfFuel);
+        }
+        self.fuel -= 1;
+        let f = &code.funcs[func as usize];
+        let base = regs.len();
+        let mut filled = 0;
+        if let Some(a) = arg {
+            regs.push(a);
+            filled = 1;
+        }
+        for _ in filled..f.nslots {
+            regs.push(Word::Unit);
+        }
+        frames.push(RFrame {
+            func,
+            ip: 0,
+            base,
+            clo,
+            rec,
+            ret_dst,
+        });
+        Ok(())
     }
 
     /// Pushes a new activation record, charging one fuel unit.
@@ -1060,7 +1663,18 @@ fn materialize_captures(
 /// tree-walker reports the same term the same way, just later);
 /// otherwise see [`Vm::run`].
 pub fn compile_and_run(e: &FExpr) -> Result<Value, EvalError> {
-    let mut compiler = Compiler::new();
+    compile_and_run_isa(e, Isa::default())
+}
+
+/// Like [`compile_and_run`] but pinning the instruction set, so
+/// differential harnesses can run the register and stack backends
+/// against each other explicitly.
+///
+/// # Errors
+///
+/// See [`compile_and_run`].
+pub fn compile_and_run_isa(e: &FExpr, isa: Isa) -> Result<Value, EvalError> {
+    let mut compiler = Compiler::new_with_isa(isa);
     let main = compiler.compile(e).map_err(|err| match err {
         CompileError::Unbound(x) => EvalError::UnboundVar(x),
     })?;
@@ -1463,37 +2077,134 @@ mod tests {
     #[test]
     fn fusion_emits_superinstructions_and_preserves_results() {
         // The factorial loop contains the canonical fusable shapes
-        // (local/const pushes feeding a compare-and-branch); fusion
-        // must shorten the code without changing the result or the
-        // fuel charged.
+        // on both ISAs (a compare feeding a branch, an arithmetic op
+        // feeding the recursive tail call); fusion must shorten the
+        // code without changing the result or the fuel charged.
         let e = FExpr::app(fac_expr(), FExpr::Int(10));
-        let mut fused = Compiler::new();
-        let mut plain = Compiler::new();
-        plain.set_fusion(false);
-        let mf = fused.compile(&e).unwrap();
-        let mp = plain.compile(&e).unwrap();
-        let mut vm_f = Vm::new();
-        let mut vm_p = Vm::new();
-        let out_f = vm_f.run(fused.code(), mf, &[]).unwrap();
-        let out_p = vm_p.run(plain.code(), mp, &[]).unwrap();
-        assert_eq!(out_f.to_string(), out_p.to_string());
-        assert_eq!(vm_f.stats().fuel_used, vm_p.stats().fuel_used);
-        assert!(
-            fused.fusion_stats().fused > 0,
-            "no superinstructions emitted"
+        for (isa, mined_pair) in [
+            (Isa::Register, ("r.bin", "r.jumpiffalse")),
+            (Isa::Stack, ("local", "const")),
+        ] {
+            let mut fused = Compiler::new_with_isa(isa);
+            let mut plain = Compiler::new_with_isa(isa);
+            plain.set_fusion(false);
+            let mf = fused.compile(&e).unwrap();
+            let mp = plain.compile(&e).unwrap();
+            let mut vm_f = Vm::new();
+            let mut vm_p = Vm::new();
+            let out_f = vm_f.run(fused.code(), mf, &[]).unwrap();
+            let out_p = vm_p.run(plain.code(), mp, &[]).unwrap();
+            assert_eq!(out_f.to_string(), out_p.to_string());
+            assert_eq!(vm_f.stats().fuel_used, vm_p.stats().fuel_used);
+            assert!(
+                fused.fusion_stats().fused > 0,
+                "no superinstructions emitted for {isa:?}"
+            );
+            assert_eq!(plain.fusion_stats().fused, 0);
+            let total_fused: usize = fused.code().funcs.iter().map(|f| f.code.len()).sum();
+            let total_plain: usize = plain.code().funcs.iter().map(|f| f.code.len()).sum();
+            assert!(
+                total_fused < total_plain,
+                "fused stream not shorter for {isa:?}: {total_fused} vs {total_plain}"
+            );
+            // The mining table saw the pairs each fused set was built for.
+            assert!(
+                fused.fusion_stats().pair_counts.contains_key(&mined_pair),
+                "{isa:?} mining table missing {mined_pair:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn register_and_stack_backends_agree_with_equal_fuel() {
+        // The register ISA must be observably identical to the stack
+        // ISA: same values, same errors, and the same fuel bill (both
+        // charge one unit per frame entry and per tail call).
+        let cases = vec![
+            FExpr::app(fac_expr(), FExpr::Int(12)),
+            FExpr::Pair(
+                Rc::new(FExpr::BinOp(
+                    BinOp::Add,
+                    Rc::new(FExpr::Int(2)),
+                    Rc::new(FExpr::Int(3)),
+                )),
+                Rc::new(FExpr::Str(String::from("hi"))),
+            ),
+            FExpr::Cons(
+                Rc::new(FExpr::Int(1)),
+                Rc::new(FExpr::Cons(
+                    Rc::new(FExpr::Int(2)),
+                    Rc::new(FExpr::Nil(FType::Int)),
+                )),
+            ),
+            FExpr::app(FExpr::Int(1), FExpr::Int(2)),
+        ];
+        for e in cases {
+            let run = |isa: Isa| {
+                let mut compiler = Compiler::new_with_isa(isa);
+                let main = compiler.compile(&e).unwrap();
+                let mut vm = Vm::new();
+                let out = vm.run(compiler.code(), main, &[]);
+                (
+                    out.map(|value| value.to_string())
+                        .map_err(|err| err.to_string()),
+                    vm.stats().fuel_used,
+                )
+            };
+            let (reg_out, reg_fuel) = run(Isa::Register);
+            let (stack_out, stack_fuel) = run(Isa::Stack);
+            assert_eq!(reg_out, stack_out, "ISAs disagree on {e}");
+            assert_eq!(reg_fuel, stack_fuel, "fuel differs on {e}");
+        }
+    }
+
+    #[test]
+    fn dispatch_histogram_profiles_register_loop() {
+        // A tail-recursive countdown: the canonical hot-loop shape
+        // whose back edge the fused triple covers.
+        let e = FExpr::app(
+            FExpr::Fix(
+                v("go"),
+                FType::arrow(FType::Int, FType::Int),
+                Rc::new(FExpr::lam(
+                    "n",
+                    FType::Int,
+                    FExpr::If(
+                        Rc::new(FExpr::BinOp(
+                            BinOp::Le,
+                            Rc::new(FExpr::var("n")),
+                            Rc::new(FExpr::Int(0)),
+                        )),
+                        Rc::new(FExpr::Int(0)),
+                        Rc::new(FExpr::app(
+                            FExpr::var("go"),
+                            FExpr::BinOp(
+                                BinOp::Sub,
+                                Rc::new(FExpr::var("n")),
+                                Rc::new(FExpr::Int(1)),
+                            ),
+                        )),
+                    ),
+                )),
+            ),
+            FExpr::Int(10),
         );
-        assert_eq!(plain.fusion_stats().fused, 0);
-        let total_fused: usize = fused.code().funcs.iter().map(|f| f.code.len()).sum();
-        let total_plain: usize = plain.code().funcs.iter().map(|f| f.code.len()).sum();
+        let mut compiler = Compiler::new();
+        let main = compiler.compile(&e).unwrap();
+        let mut vm = Vm::new();
+        vm.set_profile(true);
+        vm.run(compiler.code(), main, &[]).unwrap();
+        let hist = vm.dispatch_histogram();
+        assert!(!hist.is_empty(), "profiling recorded nothing");
+        let total: u64 = hist.iter().map(|(_, n)| n).sum();
+        assert!(total > 10, "suspiciously few dispatches: {total}");
+        // Sorted by count descending.
+        assert!(hist.windows(2).all(|w| w[0].1 >= w[1].1));
+        // The countdown's back edge is the fused triple.
         assert!(
-            total_fused < total_plain,
-            "fused stream not shorter: {total_fused} vs {total_plain}"
+            hist.iter().any(|(m, _)| *m == "r.capture+bin+tailcall"),
+            "hot loop not running on the fused back edge: {hist:?}"
         );
-        // The mining table saw the pairs the fused set was built for.
-        assert!(fused
-            .fusion_stats()
-            .pair_counts
-            .contains_key(&("local", "const")));
     }
 
     #[test]

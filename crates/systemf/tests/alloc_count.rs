@@ -295,13 +295,18 @@ fn vm_path_allocation_budget() {
 
     // Run cost is the per-run bump arena: tagged words are `Copy`, so
     // ints/bools/pairs/conses cost amortized `Vec` doublings instead
-    // of one `Rc` box per value. Measured 40 / 44 / 433 allocations
-    // (the match loop still pays one args-`Vec` per `Inject` and one
-    // fields-`Vec` per `Make`); budgets leave ~40% headroom.
-    assert!(r1.0 < 60, "pair_list_fold run regressed: {r1:?}");
-    assert!(r2.0 < 70, "cons_build run regressed: {r2:?}");
+    // of one `Rc` box per value. The register loop measures 34 / 39 /
+    // 434 allocations — fewer than the stack loop's 40 / 44 / 433,
+    // since one flat register file replaces the locals + operand-stack
+    // pair (the match loop still pays one args-`Vec` per `Inject` and
+    // one fields-`Vec` per `Make`). Byte traffic on the deep non-tail
+    // recursion is a little higher (each of the 500 live windows is a
+    // full frame's registers, and the file doubles through them);
+    // budgets leave ~40% headroom.
+    assert!(r1.0 < 50, "pair_list_fold run regressed: {r1:?}");
+    assert!(r2.0 < 55, "cons_build run regressed: {r2:?}");
     assert!(
-        r2.1 < 200_000,
+        r2.1 < 320_000,
         "cons_build run byte traffic regressed: {r2:?}"
     );
     assert!(r3.0 < 600, "match_proj_loop run regressed: {r3:?}");

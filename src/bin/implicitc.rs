@@ -13,10 +13,13 @@
 //!   --semantics elab|opsem|both
 //!                          evaluation route (default: both, compared)
 //!   --policy paper|most-specific|env-extension
-//!   --backend tree|vm      how the elaborated System F term is
+//!   --backend tree|vm|vm-stack
+//!                          how the elaborated System F term is
 //!                          evaluated: the tree-walking evaluator
-//!                          (default) or the closure-converted
-//!                          bytecode VM
+//!                          (default), the closure-converted bytecode
+//!                          VM on its register ISA, or the same VM on
+//!                          the legacy stack ISA (kept for one
+//!                          release for differential testing)
 //!   --strict               enable strict static checks (termination,
 //!                          coherence)
 //!   --batch <DIR>          compile every core program (*.imp, *.lc)
@@ -36,11 +39,13 @@
 //!   --metrics              print the unified metrics table (queries,
 //!                          candidates, cache/memo hit rates, fuel)
 //!                          after the result
-//!   --vm-stats             print the bytecode compiler's fused-opcode
-//!                          statistics (instructions scanned, fusion
-//!                          rate, emitted superinstructions by
-//!                          mnemonic, hottest adjacent opcode pairs)
-//!                          after the result; requires --backend vm
+//!   --vm-stats             print VM execution statistics after the
+//!                          result: the per-opcode dispatch histogram,
+//!                          register-count/frame-width stats, and the
+//!                          compiler's fusion totals (instructions
+//!                          scanned, fusion rate, emitted
+//!                          superinstructions by mnemonic); requires
+//!                          --backend vm or vm-stack
 //!   --xcheck               cross-check every query site with the
 //!                          intersection-subtyping resolver (the
 //!                          conformance harness's fifth leg): the
@@ -111,7 +116,7 @@ enum Input {
 fn usage() -> String {
     "usage: implicitc [--lang core|source] [--emit value|type|core|systemf|explain] \
      [--semantics elab|opsem|both] [--policy paper|most-specific|env-extension] \
-     [--backend tree|vm] [--strict] [--trace <file.json>] [--metrics] [--vm-stats] \
+     [--backend tree|vm|vm-stack] [--strict] [--trace <file.json>] [--metrics] [--vm-stats] \
      [--xcheck] (<file> | -e <program> | --batch <dir> [--jobs <m>])"
         .to_owned()
 }
@@ -184,7 +189,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--backend" => {
                 opts.backend = match it.next().map(String::as_str).and_then(Backend::parse) {
                     Some(b) => b,
-                    None => return Err("--backend: expected tree|vm".to_owned()),
+                    None => return Err("--backend: expected tree|vm|vm-stack".to_owned()),
                 }
             }
             "--strict" => opts.strict = true,
@@ -238,8 +243,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     } else {
         opts.input = Some(input.ok_or_else(usage)?);
     }
-    if opts.vm_stats && opts.backend != Backend::Vm {
-        return Err("--vm-stats requires --backend vm".to_owned());
+    if opts.vm_stats && opts.backend.isa().is_none() {
+        return Err("--vm-stats requires --backend vm or vm-stack".to_owned());
     }
     if opts.xcheck && opts.batch.is_some() {
         return Err("--xcheck verifies a single program; drop --batch".to_owned());
@@ -247,11 +252,38 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     Ok(opts)
 }
 
-/// Prints the bytecode compiler's cumulative fused-opcode statistics
-/// (`--vm-stats`): scan/fusion totals, the emitted superinstruction
-/// mix, and the hottest adjacent opcode pairs from the mining table.
-fn print_vm_stats(fs: &systemf::compile::FusionStats) {
-    println!("fused-opcode stats:");
+/// Everything `--vm-stats` prints, collected from whichever mode ran
+/// (one compiler + VM in single-program mode; merged across warm
+/// worker sessions in batch mode).
+struct VmReport {
+    fusion: systemf::compile::FusionStats,
+    /// Per-opcode dispatch counts, sorted descending.
+    histogram: Vec<(&'static str, u64)>,
+    /// Registers per compiled function frame.
+    frame_widths: Vec<u16>,
+}
+
+/// Prints the `--vm-stats` report: the per-opcode dispatch histogram,
+/// register-count/frame-width stats, and the compiler's cumulative
+/// fusion totals with the emitted superinstruction mix.
+fn print_vm_stats(report: &VmReport) {
+    println!("vm stats:");
+    let dispatched: u64 = report.histogram.iter().map(|(_, n)| n).sum();
+    println!("  instrs dispatched: {dispatched}");
+    println!("  dispatch histogram:");
+    for (mnemonic, n) in &report.histogram {
+        let pct = 100.0 * *n as f64 / dispatched.max(1) as f64;
+        println!("    {mnemonic:<32} {n:>10} ({pct:.1}%)");
+    }
+    let widths = &report.frame_widths;
+    let widest = widths.iter().copied().max().unwrap_or(0);
+    let total: u64 = widths.iter().map(|w| u64::from(*w)).sum();
+    let mean = total as f64 / widths.len().max(1) as f64;
+    println!(
+        "  frames: {} functions, {mean:.1} registers/frame mean, {widest} widest",
+        widths.len()
+    );
+    let fs = &report.fusion;
     println!("  instrs scanned: {}", fs.instrs_scanned);
     let pct = if fs.instrs_scanned == 0 {
         0.0
@@ -264,10 +296,6 @@ fn print_vm_stats(fs: &systemf::compile::FusionStats) {
     println!("  superinstructions emitted:");
     for (kind, n) in kinds {
         println!("    {kind:<32} {n}");
-    }
-    println!("  hottest adjacent opcode pairs:");
-    for ((a, b), n) in fs.top_pairs(8) {
-        println!("    {:<32} {n}", format!("{a},{b}"));
     }
 }
 
@@ -452,7 +480,7 @@ fn run(opts: &Options) -> Result<(), String> {
         Emit::Value => {}
     }
 
-    let mut vm_fusion: Option<systemf::compile::FusionStats> = None;
+    let mut vm_report: Option<VmReport> = None;
     let elab_value = if opts.semantics != Semantics::Opsem {
         let mut elab = implicit_elab::Elaborator::with_policy(&decls, opts.policy.clone());
         if let Some(sink) = &tracer.sink {
@@ -482,12 +510,14 @@ fn run(opts: &Options) -> Result<(), String> {
             // The VM evaluates instead of (not after) the
             // tree-walker, so deep recursion never touches the host
             // stack; preservation is still checked before erasure.
-            Backend::Vm => {
-                let mut compiler = systemf::Compiler::new();
+            Backend::Vm | Backend::VmStack => {
+                let isa = opts.backend.isa().expect("VM backends have an ISA");
+                let mut compiler = systemf::Compiler::new_with_isa(isa);
                 let main = tracer
                     .span(Phase::Compile, || compiler.compile(&target))
                     .map_err(|e| format!("vm: {e}"))?;
                 let mut vm = systemf::Vm::new();
+                vm.set_profile(opts.vm_stats);
                 let v = tracer
                     .span(Phase::Vm, || {
                         let value = vm.run(compiler.code(), main, &[]);
@@ -504,7 +534,11 @@ fn run(opts: &Options) -> Result<(), String> {
                     .map_err(|e| format!("vm: {e}"))?
                     .to_string();
                 if opts.vm_stats {
-                    vm_fusion = Some(compiler.fusion_stats().clone());
+                    vm_report = Some(VmReport {
+                        fusion: compiler.fusion_stats().clone(),
+                        histogram: vm.dispatch_histogram(),
+                        frame_widths: compiler.code().funcs.iter().map(|f| f.nslots).collect(),
+                    });
                 }
                 v
             }
@@ -537,8 +571,8 @@ fn run(opts: &Options) -> Result<(), String> {
         (Some(a), None) | (None, Some(a)) => println!("{a} : {ty}"),
         (None, None) => unreachable!("one semantics is always selected"),
     }
-    if let Some(fs) = &vm_fusion {
-        print_vm_stats(fs);
+    if let Some(report) = &vm_report {
+        print_vm_stats(report);
     }
     tracer.finish(opts)
 }
@@ -658,11 +692,20 @@ fn run_batch_mode(opts: &Options, dir: &str) -> Result<(), String> {
     // One wall clock shared by every worker's Chrome recorder, so the
     // per-worker lanes line up on a common time axis.
     let clock = Instant::now();
+    let vm_stats = opts.vm_stats;
     let outcomes = implicit_pipeline::run_batch_scoped(programs, opts.jobs, |worker, source| {
         let (decls, prelude) =
             parse_batch_prelude(prelude_src).expect("prelude validated before dispatch");
-        let mut session = implicit_pipeline::Session::new(&decls, policy.clone(), &prelude)
-            .expect("prelude validated before dispatch");
+        let mut session = implicit_pipeline::Session::new_configured_isa(
+            &decls,
+            policy.clone(),
+            &prelude,
+            true,
+            false,
+            backend.isa().unwrap_or_default(),
+        )
+        .expect("prelude validated before dispatch");
+        session.set_profile_dispatch(vm_stats);
         let chrome =
             tracing.then(|| Rc::new(RefCell::new(ChromeSink::with_clock(clock, worker as u64))));
         if let Some(c) = &chrome {
@@ -710,7 +753,9 @@ fn run_batch_mode(opts: &Options, dir: &str) -> Result<(), String> {
             .map(|c| std::mem::replace(&mut *c.borrow_mut(), ChromeSink::new()).into_rows())
             .unwrap_or_default();
         let fusion = session.fusion_stats().clone();
-        (out, rows, registry, fusion)
+        let histogram = session.dispatch_histogram();
+        let widths = session.frame_widths();
+        (out, rows, registry, fusion, histogram, widths)
     });
 
     let mut lines: Vec<Option<(String, Result<String, String>)>> =
@@ -718,13 +763,22 @@ fn run_batch_mode(opts: &Options, dir: &str) -> Result<(), String> {
     let mut rows: Vec<ChromeRow> = Vec::new();
     let mut registry = MetricsRegistry::new();
     let mut fusion = systemf::compile::FusionStats::default();
-    for (worker_out, worker_rows, worker_registry, worker_fusion) in outcomes {
+    let mut dispatch: std::collections::HashMap<&'static str, u64> =
+        std::collections::HashMap::new();
+    let mut frame_widths: Vec<u16> = Vec::new();
+    for (worker_out, worker_rows, worker_registry, worker_fusion, worker_hist, worker_widths) in
+        outcomes
+    {
         for (ix, name, r) in worker_out {
             lines[ix] = Some((name, r));
         }
         rows.extend(worker_rows);
         registry.merge(&worker_registry);
         fusion.merge(&worker_fusion);
+        for (mnemonic, n) in worker_hist {
+            *dispatch.entry(mnemonic).or_insert(0) += n;
+        }
+        frame_widths.extend(worker_widths);
     }
     if let Some(path) = &opts.trace {
         rows.sort_by_key(|row| (row.1, row.0));
@@ -750,7 +804,13 @@ fn run_batch_mode(opts: &Options, dir: &str) -> Result<(), String> {
         print!("{}", registry.render_table());
     }
     if opts.vm_stats {
-        print_vm_stats(&fusion);
+        let mut histogram: Vec<(&'static str, u64)> = dispatch.into_iter().collect();
+        histogram.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        print_vm_stats(&VmReport {
+            fusion,
+            histogram,
+            frame_widths,
+        });
     }
     if failures > 0 {
         return Err(format!("{failures} of {total} programs failed"));
