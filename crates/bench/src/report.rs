@@ -1,33 +1,73 @@
 //! Machine-readable bench artifact: `BENCH_vm.json` at the
-//! repository root, one section per measurement table (`b14` from
-//! `vm_table`, `b15` from `wild_table`). Each section is an array of
-//! `{series, ms, speedup, checksum}` rows, so the perf trajectory is
-//! diffable across PRs and CI can upload a single artifact.
+//! repository root, one section per measurement table (`b13` from
+//! `batch_table`, `b14` from `vm_table`, `b15` from `wild_table`,
+//! `b16` from `restart_table`). Each section is an array of
+//! `{series, workers, cpus, ms, speedup, checksum}` rows, so the perf
+//! trajectory is diffable across PRs and CI can upload a single
+//! superset artifact.
 //!
-//! The two tables run as separate test binaries, so a writer must not
-//! clobber the other's section: [`write_section`] re-reads the file
+//! The tables run as separate test binaries, so a writer must not
+//! clobber the others' sections: [`write_section`] re-reads the file
 //! and carries every other known section over verbatim. The format is
 //! fully controlled by this module (flat rows, no nested brackets),
 //! which is what makes the bracket-scan in [`section_body`] sound.
+//!
+//! Rows record both the worker count the series *requested* and the
+//! parallelism the host *offers* ([`detected_parallelism`]): a
+//! "4 workers" row measured on a 1-CPU runner is contention, not
+//! speedup, and downstream consumers must be able to tell the two
+//! apart. The table binaries skip multi-worker series outright on
+//! single-CPU hosts.
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
 /// Every section a `BENCH_vm.json` may contain, in file order.
-const SECTIONS: [&str; 2] = ["b14", "b15"];
+const SECTIONS: [&str; 4] = ["b13", "b14", "b15", "b16"];
 
-/// One measured series: label, best-of wall time, speedup against the
-/// table's baseline series, and the cross-engine checksum that pins
-/// the run as semantically valid.
+/// The parallelism the host actually offers, with 1 as the
+/// conservative fallback when the query fails (cgroup-restricted
+/// runners). Multi-worker series are meaningless when this is 1.
+pub fn detected_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// One measured series: label, worker count, host parallelism,
+/// best-of wall time, speedup against the table's baseline series,
+/// and the cross-engine checksum that pins the run as semantically
+/// valid.
 pub struct BenchRow {
     /// Stable series label (matches the markdown table row).
     pub series: String,
+    /// Worker threads the series ran with.
+    pub workers: usize,
+    /// Host parallelism at measurement time
+    /// ([`detected_parallelism`]); rows with `workers > cpus` measure
+    /// contention and carry no speedup claim.
+    pub cpus: usize,
     /// Best-of-reps wall time in milliseconds.
     pub ms: f64,
     /// Ratio of the baseline series' time to this one.
     pub speedup: f64,
     /// The run's checksum (step total, value sum — table-specific).
     pub checksum: u64,
+}
+
+impl BenchRow {
+    /// A single-worker row — the common case for every series that
+    /// isn't explicitly a scaling measurement.
+    pub fn single(series: &str, ms: f64, speedup: f64, checksum: u64) -> Self {
+        BenchRow {
+            series: series.to_string(),
+            workers: 1,
+            cpus: detected_parallelism(),
+            ms,
+            speedup,
+            checksum,
+        }
+    }
 }
 
 /// Repository-root path of the artifact.
@@ -75,8 +115,11 @@ fn render_rows(rows: &[BenchRow]) -> String {
         let comma = if i + 1 < rows.len() { "," } else { "" };
         let _ = writeln!(
             out,
-            "    {{\"series\": \"{}\", \"ms\": {:.3}, \"speedup\": {:.3}, \"checksum\": {}}}{comma}",
+            "    {{\"series\": \"{}\", \"workers\": {}, \"cpus\": {}, \
+             \"ms\": {:.3}, \"speedup\": {:.3}, \"checksum\": {}}}{comma}",
             escape(&r.series),
+            r.workers,
+            r.cpus,
             r.ms,
             r.speedup,
             r.checksum
@@ -110,25 +153,31 @@ mod tests {
     #[test]
     fn render_and_reextract_round_trip() {
         let rows = vec![
-            BenchRow {
-                series: String::from("warm tree"),
-                ms: 563.712,
-                speedup: 1.0,
-                checksum: 42,
-            },
+            BenchRow::single("warm tree", 563.712, 1.0, 42),
             BenchRow {
                 series: String::from("warm vm"),
+                workers: 4,
+                cpus: 8,
                 ms: 61.5,
                 speedup: 9.17,
                 checksum: 42,
             },
         ];
         let body = render_rows(&rows);
-        let file = format!("{{\n  \"b14\": {body},\n  \"b15\": []\n}}\n");
+        let file =
+            format!("{{\n  \"b13\": [],\n  \"b14\": {body},\n  \"b15\": [],\n  \"b16\": []\n}}\n");
         assert_eq!(section_body(&file, "b14").unwrap(), body);
         assert_eq!(section_body(&file, "b15").unwrap(), "[]");
+        assert_eq!(section_body(&file, "b16").unwrap(), "[]");
         assert!(section_body(&file, "b99").is_none());
         assert!(body.contains("\"ms\": 563.712"));
         assert!(body.contains("\"speedup\": 9.170"));
+        assert!(body.contains("\"workers\": 4"));
+        assert!(body.contains("\"cpus\": 8"));
+    }
+
+    #[test]
+    fn detected_parallelism_is_at_least_one() {
+        assert!(detected_parallelism() >= 1);
     }
 }

@@ -5,9 +5,16 @@
 //! ```text
 //! cargo test -p implicit-bench --release --test batch_table -- --ignored --nocapture
 //! ```
+//!
+//! Also writes the `b13` section of the repo-root `BENCH_vm.json`
+//! artifact (series, workers, cpus, ms, speedup, checksum) for CI
+//! upload. Multi-worker series are skipped outright on single-CPU
+//! runners: with one core they would measure scheduler contention,
+//! not scaling, and a misleading row is worse than a missing one.
 
 use std::time::Instant;
 
+use implicit_bench::report::{detected_parallelism, write_section, BenchRow};
 use implicit_bench::{batch_checksum, batch_metrics, run_batch_cold, run_batch_warm};
 use implicit_pipeline::Backend;
 
@@ -31,16 +38,29 @@ fn time(f: impl Fn() -> i64, expect: i64) -> f64 {
 #[test]
 #[ignore = "B13 measurement; run in release with --ignored --nocapture"]
 fn batch_speedup_table() {
+    let cpus = detected_parallelism();
     let expect = batch_checksum(DEPTH, PROGRAMS);
     let cold = time(|| run_batch_cold(DEPTH, PROGRAMS, 1), expect);
     println!();
-    println!("B13: {PROGRAMS} programs, chain depth {DEPTH}, best of {REPS}");
+    println!("B13: {PROGRAMS} programs, chain depth {DEPTH}, best of {REPS} ({cpus} CPUs)");
     println!();
     println!("| series | workers | time/batch | speedup vs cold |");
     println!("|---|---|---|---|");
     println!("| cold one-shot | 1 | {:.1} ms | 1.00x |", cold * 1e3);
+    let mut rows = vec![BenchRow {
+        series: "cold one-shot".to_string(),
+        workers: 1,
+        cpus,
+        ms: cold * 1e3,
+        speedup: 1.0,
+        checksum: expect.unsigned_abs(),
+    }];
     let mut warm_at = Vec::new();
     for m in [1usize, 2, 4, 8] {
+        if m > 1 && cpus == 1 {
+            println!("| warm session | {m} | skipped (single-CPU runner) | — |");
+            continue;
+        }
         let t = time(|| run_batch_warm(DEPTH, PROGRAMS, m), expect);
         warm_at.push((m, t));
         println!(
@@ -48,7 +68,18 @@ fn batch_speedup_table() {
             t * 1e3,
             cold / t
         );
+        rows.push(BenchRow {
+            series: "warm session".to_string(),
+            workers: m,
+            cpus,
+            ms: t * 1e3,
+            speedup: cold / t,
+            checksum: expect.unsigned_abs(),
+        });
     }
+    println!();
+    let path = write_section("b13", &rows);
+    println!("wrote {}", path.display());
     println!();
     // Per-series resolution metrics for the warm single-worker run
     // (the unified `MetricsRegistry` snapshot; see DESIGN.md S28).
@@ -66,15 +97,19 @@ fn batch_speedup_table() {
         m.cache_misses
     );
     let warm1 = warm_at[0].1;
-    let warm4 = warm_at[2].1;
     assert!(
         cold / warm1 >= 2.0,
         "warm single-thread speedup {:.2}x is below the 2x acceptance bar",
         cold / warm1
     );
-    assert!(
-        cold / warm4 >= 3.0,
-        "warm 4-thread speedup {:.2}x is below the 3x acceptance bar",
-        cold / warm4
-    );
+    // Scaling bar only where scaling is physically possible.
+    if let Some(&(_, warm4)) = warm_at.iter().find(|&&(m, _)| m == 4) {
+        assert!(
+            cold / warm4 >= 3.0,
+            "warm 4-thread speedup {:.2}x is below the 3x acceptance bar",
+            cold / warm4
+        );
+    } else {
+        println!("4-worker acceptance bar skipped: single-CPU runner");
+    }
 }

@@ -1,0 +1,128 @@
+//! The B16 warm-restart table, measured directly (not via Criterion)
+//! so a single release run prints the exact markdown recorded in
+//! `EXPERIMENTS.md` §12:
+//!
+//! ```text
+//! cargo test -p implicit-bench --release --test restart_table -- --ignored --nocapture
+//! ```
+//!
+//! Three legs over the B13 batch workload (256 programs, chain depth
+//! 48), tree and register-VM backends:
+//!
+//! - **cold one-shot** — every program re-elaborates and re-evaluates
+//!   the prelude from source (the no-session baseline);
+//! - **warm session** — one in-process [`Session`] built cold, then
+//!   copy-on-write program runs (the B13 warm series);
+//! - **warm restart** — the session is *rehydrated from a serialized
+//!   artifact* built by a previous process, skipping typechecking,
+//!   elaboration, prelude evaluation, and compilation entirely.
+//!
+//! The acceptance bars pin the artifact store's reason to exist: a
+//! restarted batch must be ≥ 3x faster than cold (the artifact
+//! actually carries the prelude work) and within 1.15x of the
+//! same-process warm batch (rehydration is a read, not a rebuild —
+//! imported derivation-cache entries, memo roots, and compiled code
+//! genuinely hit).
+//!
+//! Also writes the `b16` section of the repo-root `BENCH_vm.json`
+//! artifact for CI upload.
+
+use std::time::Instant;
+
+use implicit_bench::report::{detected_parallelism, write_section, BenchRow};
+use implicit_bench::{
+    batch_checksum, chain_artifact, run_batch_cold, run_batch_restarted, run_batch_warm_backend,
+};
+use implicit_pipeline::Backend;
+
+const DEPTH: usize = 48;
+const PROGRAMS: usize = 256;
+const REPS: u32 = 3;
+
+/// Times `f` (seconds per batch, best of [`REPS`] after one warmup),
+/// asserting the checksum on every run.
+fn time(f: impl Fn() -> i64, expect: i64) -> f64 {
+    assert_eq!(f(), expect);
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        assert_eq!(f(), expect);
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+#[test]
+#[ignore = "B16 measurement; run in release with --ignored --nocapture"]
+fn warm_restart_table() {
+    let cpus = detected_parallelism();
+    let expect = batch_checksum(DEPTH, PROGRAMS);
+    // The artifact is built once, outside every timed region: it is
+    // the previous process's output, not part of the restart.
+    let bytes = chain_artifact(DEPTH);
+
+    let cold = time(|| run_batch_cold(DEPTH, PROGRAMS, 1), expect);
+    let warm_tree = time(
+        || run_batch_warm_backend(DEPTH, PROGRAMS, 1, Backend::Tree),
+        expect,
+    );
+    let restart_tree = time(
+        || run_batch_restarted(DEPTH, PROGRAMS, 1, &bytes, Backend::Tree),
+        expect,
+    );
+    let warm_vm = time(
+        || run_batch_warm_backend(DEPTH, PROGRAMS, 1, Backend::Vm),
+        expect,
+    );
+    let restart_vm = time(
+        || run_batch_restarted(DEPTH, PROGRAMS, 1, &bytes, Backend::Vm),
+        expect,
+    );
+
+    println!();
+    println!(
+        "B16: {PROGRAMS} programs, chain depth {DEPTH}, artifact {} bytes, \
+         best of {REPS} ({cpus} CPUs)",
+        bytes.len()
+    );
+    println!();
+    println!("| series | workers | time/batch | speedup vs cold |");
+    println!("|---|---|---|---|");
+    let table = [
+        ("cold one-shot", cold),
+        ("warm session, tree", warm_tree),
+        ("warm restart, tree", restart_tree),
+        ("warm session, register vm", warm_vm),
+        ("warm restart, register vm", restart_vm),
+    ];
+    for (label, t) in table {
+        println!("| {label} | 1 | {:.1} ms | {:.2}x |", t * 1e3, cold / t);
+    }
+    println!();
+    let rows: Vec<BenchRow> = table
+        .iter()
+        .map(|&(label, t)| BenchRow::single(label, t * 1e3, cold / t, expect.unsigned_abs()))
+        .collect();
+    let path = write_section("b16", &rows);
+    println!("wrote {}", path.display());
+    println!();
+
+    // Acceptance bars (tree and VM legs independently).
+    for (label, warm, restart) in [
+        ("tree", warm_tree, restart_tree),
+        ("register vm", warm_vm, restart_vm),
+    ] {
+        assert!(
+            cold / restart >= 3.0,
+            "{label}: warm restart is only {:.2}x over cold — below the 3x bar",
+            cold / restart
+        );
+        assert!(
+            restart <= warm * 1.15,
+            "{label}: warm restart ({:.1} ms) is more than 1.15x the same-process \
+             warm batch ({:.1} ms) — rehydration is not actually warm",
+            restart * 1e3,
+            warm * 1e3
+        );
+    }
+}

@@ -85,12 +85,12 @@ fn wild_throughput_table() {
             queries / t,
             nocache / t
         );
-        rows.push(BenchRow {
-            series: engine.label().to_string(),
-            ms: t * 1e3,
-            speedup: nocache / t,
-            checksum: expect,
-        });
+        rows.push(BenchRow::single(
+            engine.label(),
+            t * 1e3,
+            nocache / t,
+            expect,
+        ));
     }
     println!();
     let path = write_section("b15", &rows);

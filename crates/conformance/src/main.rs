@@ -12,6 +12,7 @@ conformance — differential conformance harness for the implicit calculus
 USAGE:
     conformance [--shards N] [--seeds A..B] [--corpus DIR]
                 [--report FILE] [--fail-on-divergence] [--wild]
+                [--cache-dir DIR]
     conformance --replay FILE
 
 OPTIONS:
@@ -24,6 +25,11 @@ OPTIONS:
                            field-study environments (hundreds of rules,
                            Zipf head skew, conversion chains) resolved
                            by the logic and subtyping engines
+    --cache-dir DIR        load-or-build the rehydrated-session leg's
+                           prelude artifact through this on-disk store
+                           (exercises the cross-process warm-start
+                           path; without it the leg round-trips the
+                           artifact in memory)
     --replay FILE          re-run the oracle on a corpus .imp file
     --help                 show this help
 ";
@@ -36,6 +42,7 @@ struct Cli {
     report: Option<PathBuf>,
     fail_on_divergence: bool,
     wild: bool,
+    cache_dir: Option<PathBuf>,
     replay: Option<PathBuf>,
 }
 
@@ -48,6 +55,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         report: None,
         fail_on_divergence: false,
         wild: false,
+        cache_dir: None,
         replay: None,
     };
     let mut it = args.iter();
@@ -81,6 +89,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             "--report" => cli.report = Some(PathBuf::from(value("--report")?)),
             "--fail-on-divergence" => cli.fail_on_divergence = true,
             "--wild" => cli.wild = true,
+            "--cache-dir" => cli.cache_dir = Some(PathBuf::from(value("--cache-dir")?)),
             "--replay" => cli.replay = Some(PathBuf::from(value("--replay")?)),
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown argument `{other}`")),
@@ -123,6 +132,7 @@ fn main() -> ExitCode {
         corpus_dir: cli.corpus.clone(),
         gen: genprog::GenConfig::default(),
         wild: cli.wild,
+        cache_dir: cli.cache_dir.clone(),
     };
     let report = match run(&config) {
         Ok(r) => r,

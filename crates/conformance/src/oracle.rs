@@ -77,6 +77,10 @@ pub enum DivergenceKind {
     /// The intersection-subtyping resolver disagreed with the logic
     /// resolver — different outcome, evidence, or failure payload.
     SubtypingMismatch,
+    /// A session rehydrated from a serialized artifact
+    /// ([`implicit_pipeline::Session::from_artifact`]) disagreed with
+    /// the same-process warm session on a program.
+    RestartMismatch,
 }
 
 impl DivergenceKind {
@@ -96,6 +100,7 @@ impl DivergenceKind {
             DivergenceKind::WarmColdMismatch => "warm_cold_mismatch",
             DivergenceKind::VmMismatch => "vm_mismatch",
             DivergenceKind::SubtypingMismatch => "subtyping_mismatch",
+            DivergenceKind::RestartMismatch => "restart_mismatch",
         }
     }
 }
@@ -407,6 +412,90 @@ pub fn run_session_oracle(
                     "warm opsem {} vs cold {}",
                     if w.is_ok() { "succeeded" } else { "failed" },
                     if c.is_ok() { "succeeded" } else { "failed" }
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The rehydrated-session leg: a [`implicit_pipeline::Session`]
+/// rebuilt from a serialized artifact (another process's warm state,
+/// in spirit) must agree with the same-process warm session on every
+/// program, in both the elaboration and the operational semantics.
+/// Both sessions restore to their base state after each run, so
+/// re-running the warm session here is observationally free.
+///
+/// # Errors
+///
+/// Returns a [`DivergenceKind::RestartMismatch`] divergence on any
+/// disagreement.
+pub fn run_restart_oracle(
+    warm: &mut implicit_pipeline::Session<'_>,
+    restarted: &mut implicit_pipeline::Session<'_>,
+    expr: &Expr,
+) -> Result<(), Divergence> {
+    let w = warm.run(expr);
+    let r = restarted.run(expr);
+    match (&w, &r) {
+        (Ok(w), Ok(r)) => {
+            if w.value.to_string() != r.value.to_string()
+                || w.source_type.to_string() != r.source_type.to_string()
+            {
+                return Err(Divergence::new(
+                    DivergenceKind::RestartMismatch,
+                    format!(
+                        "warm `{} : {}` vs restarted `{} : {}`",
+                        w.value, w.source_type, r.value, r.source_type
+                    ),
+                ));
+            }
+        }
+        (Err(we), Err(re)) => {
+            if normalize(&we.to_string()) != normalize(&re.to_string()) {
+                return Err(Divergence::new(
+                    DivergenceKind::RestartMismatch,
+                    format!("warm error `{we}` vs restarted `{re}`"),
+                ));
+            }
+        }
+        (w, r) => {
+            return Err(Divergence::new(
+                DivergenceKind::RestartMismatch,
+                format!(
+                    "warm {} vs restarted {}",
+                    if w.is_ok() { "succeeded" } else { "failed" },
+                    if r.is_ok() { "succeeded" } else { "failed" }
+                ),
+            ));
+        }
+    }
+    let w_op = warm.run_opsem(expr);
+    let r_op = restarted.run_opsem(expr);
+    match (&w_op, &r_op) {
+        (Ok(w), Ok(r)) => {
+            if w.to_string() != r.to_string() {
+                return Err(Divergence::new(
+                    DivergenceKind::RestartMismatch,
+                    format!("warm opsem `{w}` vs restarted `{r}`"),
+                ));
+            }
+        }
+        (Err(we), Err(re)) => {
+            if normalize(&we.to_string()) != normalize(&re.to_string()) {
+                return Err(Divergence::new(
+                    DivergenceKind::RestartMismatch,
+                    format!("warm opsem error `{we}` vs restarted `{re}`"),
+                ));
+            }
+        }
+        (w, r) => {
+            return Err(Divergence::new(
+                DivergenceKind::RestartMismatch,
+                format!(
+                    "warm opsem {} vs restarted {}",
+                    if w.is_ok() { "succeeded" } else { "failed" },
+                    if r.is_ok() { "succeeded" } else { "failed" }
                 ),
             ));
         }

@@ -115,6 +115,8 @@ pub struct LegTimings {
     pub resolution_us: u64,
     /// The env-level subtyping oracle.
     pub subtyping_us: u64,
+    /// The rehydrated-session (warm-restart) oracle.
+    pub restart_us: u64,
     /// The wild-mode oracle (wild sweeps only).
     pub wild_us: u64,
 }
@@ -126,16 +128,18 @@ impl LegTimings {
         self.session_us += other.session_us;
         self.resolution_us += other.resolution_us;
         self.subtyping_us += other.subtyping_us;
+        self.restart_us += other.restart_us;
         self.wild_us += other.wild_us;
     }
 
     /// `(leg name, accumulated microseconds)` pairs in report order.
-    pub fn as_pairs(&self) -> [(&'static str, u64); 5] {
+    pub fn as_pairs(&self) -> [(&'static str, u64); 6] {
         [
             ("program", self.program_us),
             ("session", self.session_us),
             ("resolution", self.resolution_us),
             ("subtyping", self.subtyping_us),
+            ("restart", self.restart_us),
             ("wild", self.wild_us),
         ]
     }
@@ -407,6 +411,7 @@ mod tests {
                         session_us: 5_000,
                         resolution_us: 3_000,
                         subtyping_us: 2_000,
+                        restart_us: 1_000,
                         wild_us: 0,
                     },
                 },
@@ -428,6 +433,7 @@ mod tests {
                         session_us: 6_000,
                         resolution_us: 3_500,
                         subtyping_us: 2_500,
+                        restart_us: 1_500,
                         wild_us: 0,
                     },
                 },
@@ -450,7 +456,9 @@ mod tests {
         let total = report.total_leg_timings();
         assert_eq!(total.program_us, 62_500);
         assert_eq!(total.subtyping_us, 4_500);
+        assert_eq!(total.restart_us, 2_500);
         assert!(json.contains("\"subtyping_ms\":4.500"), "got {json}");
+        assert!(json.contains("\"restart_ms\":2.500"), "got {json}");
         assert!(json.contains("\"program_ms\":62.500"), "got {json}");
         assert!(json.contains("\"wild_ms\":0.000"), "got {json}");
     }

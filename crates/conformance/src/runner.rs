@@ -26,8 +26,8 @@ use implicit_core::trace::{MetricsSink, SharedSink};
 use implicit_pipeline::{run_batch_scoped, Prelude, Session};
 
 use crate::oracle::{
-    run_program_oracle, run_resolution_oracle, run_session_oracle, run_subtyping_oracle,
-    run_wild_oracle, Divergence, DivergenceKind,
+    run_program_oracle, run_resolution_oracle, run_restart_oracle, run_session_oracle,
+    run_subtyping_oracle, run_wild_oracle, Divergence, DivergenceKind,
 };
 use crate::report::{DivergenceRecord, LegTimings, RunReport, ShardReport};
 use crate::shrink::{node_count, shrink};
@@ -59,6 +59,11 @@ pub struct RunnerConfig {
     /// resolved by the logic resolver across cache modes and
     /// cross-checked by the subtyping resolver.
     pub wild: bool,
+    /// Artifact-store directory: when set, every worker's rehydrated
+    /// session loads-or-builds through the on-disk store
+    /// ([`implicit_pipeline::artifact`]) instead of serializing in
+    /// memory, so the sweep also exercises the cross-process path.
+    pub cache_dir: Option<PathBuf>,
 }
 
 impl Default for RunnerConfig {
@@ -70,6 +75,7 @@ impl Default for RunnerConfig {
             corpus_dir: None,
             gen: GenConfig::default(),
             wild: false,
+            cache_dir: None,
         }
     }
 }
@@ -110,9 +116,11 @@ fn timed<T>(slot: &mut u64, f: impl FnOnce() -> T) -> T {
 /// divergence shrink to a minimal reproducer with the same
 /// [`DivergenceKind`]. The warm-session, resolution, and subtyping
 /// legs run afterwards so every seed exercises all of them.
+#[allow(clippy::too_many_arguments)]
 fn run_seed(
     decls: &Declarations,
     session: &mut Session<'_>,
+    restarted: &mut Session<'_>,
     prelude: &Prelude,
     gen: &GenConfig,
     seed: u64,
@@ -123,6 +131,21 @@ fn run_seed(
     let program = gen_program_with(&mut r, gen, decls);
     let mut divergence = None;
 
+    // Session-state-dependent disagreements (warm/cold, restart)
+    // cannot be replayed by the shrinker in isolation; they are
+    // recorded unshrunken (see the session leg below).
+    let session_record = |d: Divergence| DivergenceRecord {
+        id: format!("s{seed}-{}", d.kind.label()),
+        seed,
+        shard,
+        kind: d.kind.label().to_owned(),
+        detail: d.detail,
+        program: program.expr.to_string(),
+        minimized: String::new(),
+        original_nodes: node_count(&program.expr),
+        minimized_nodes: 0,
+        replayable: false,
+    };
     if let Err(d) = timed(&mut timings.program_us, || {
         run_program_oracle(decls, &program.expr, &program.ty)
     }) {
@@ -130,20 +153,11 @@ fn run_seed(
     } else if let Err(d) = timed(&mut timings.session_us, || {
         run_session_oracle(decls, session, prelude, &program.expr, &program.ty)
     }) {
-        // Warm/cold disagreements depend on session state, which the
-        // shrinker cannot replay in isolation; record unshrunken.
-        divergence = Some(DivergenceRecord {
-            id: format!("s{seed}-{}", d.kind.label()),
-            seed,
-            shard,
-            kind: d.kind.label().to_owned(),
-            detail: d.detail,
-            program: program.expr.to_string(),
-            minimized: String::new(),
-            original_nodes: node_count(&program.expr),
-            minimized_nodes: 0,
-            replayable: false,
-        });
+        divergence = Some(session_record(d));
+    } else if let Err(d) = timed(&mut timings.restart_us, || {
+        run_restart_oracle(session, restarted, &program.expr)
+    }) {
+        divergence = Some(session_record(d));
     } else if let Err(d) = timed(&mut timings.resolution_us, run_resolution_oracle_seed(seed)) {
         divergence = Some(by_seed_record(d, seed, shard));
     } else if let Err(d) = timed(&mut timings.subtyping_us, run_subtyping_oracle_seed(seed)) {
@@ -257,6 +271,43 @@ pub fn run(config: &RunnerConfig) -> std::io::Result<RunReport> {
         // counter snapshot (the session folds events into its own
         // registry; this sink just enables the instrumented paths).
         session.set_trace(Some(SharedSink::new(MetricsSink::new())));
+        // The rehydrated leg's session: built from a serialized
+        // artifact — through the on-disk store when `--cache-dir` is
+        // set (exercising the cross-process path; the first worker
+        // builds cold and saves, the rest exact-load), else from an
+        // in-memory byte roundtrip.
+        let mut restarted = match &config.cache_dir {
+            Some(dir) => {
+                let store = implicit_pipeline::artifact::ArtifactStore::new(dir)
+                    .expect("artifact cache dir is creatable");
+                implicit_pipeline::artifact::load_or_build(
+                    &store,
+                    &decls,
+                    &ResolutionPolicy::paper(),
+                    &prelude,
+                    true,
+                    false,
+                    systemf::Isa::Register,
+                )
+                .expect("the sweep session prelude is valid")
+                .0
+            }
+            None => {
+                let bytes = Session::new(&decls, ResolutionPolicy::paper(), &prelude)
+                    .expect("the sweep session prelude is valid")
+                    .to_artifact();
+                Session::from_artifact(
+                    &decls,
+                    &ResolutionPolicy::paper(),
+                    &prelude,
+                    true,
+                    false,
+                    systemf::Isa::Register,
+                    &bytes,
+                )
+                .expect("the sweep artifact rehydrates")
+            }
+        };
         let mut counters = GenCounters::default();
         let mut divergences = Vec::new();
         let mut seeds = 0u64;
@@ -268,6 +319,7 @@ pub fn run(config: &RunnerConfig) -> std::io::Result<RunReport> {
                 run_seed(
                     &decls,
                     &mut session,
+                    &mut restarted,
                     &prelude,
                     gen,
                     seed,
@@ -365,6 +417,7 @@ mod tests {
             corpus_dir: None,
             gen: GenConfig::default(),
             wild: false,
+            cache_dir: None,
         };
         let r1 = run(&config).unwrap();
         assert_eq!(r1.total_programs(), 120);
@@ -394,6 +447,7 @@ mod tests {
             corpus_dir: None,
             gen: GenConfig::default(),
             wild: false,
+            cache_dir: None,
         };
         let r = run(&config).unwrap();
         let total: u64 = r.shard_reports.iter().map(|s| s.seeds).sum();
@@ -412,7 +466,38 @@ mod tests {
         // Every leg's cost is visible in the report.
         let t = r.total_leg_timings();
         assert!(t.program_us > 0 && t.subtyping_us > 0, "timings: {t:?}");
+        assert!(t.restart_us > 0, "rehydrated leg never ran: {t:?}");
         assert_eq!(t.wild_us, 0, "wild leg ran in a normal sweep: {t:?}");
+    }
+
+    #[test]
+    fn sweep_with_cache_dir_rehydrates_from_the_store() {
+        let dir =
+            std::env::temp_dir().join(format!("implicit-conformance-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = RunnerConfig {
+            seed_lo: 0,
+            seed_hi: 40,
+            shards: 2,
+            corpus_dir: None,
+            gen: GenConfig::default(),
+            wild: false,
+            cache_dir: Some(dir.clone()),
+        };
+        let r = run(&config).unwrap();
+        assert!(
+            r.divergences.is_empty(),
+            "divergences through the store-backed rehydrated leg: {:?}",
+            r.divergences
+                .iter()
+                .map(|d| format!("{}: {}", d.id, d.detail))
+                .collect::<Vec<_>>()
+        );
+        // The store now holds the sweep prelude's artifact (content
+        // file + config head pointer).
+        let files = std::fs::read_dir(&dir).unwrap().count();
+        assert!(files >= 2, "store has only {files} files");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -424,6 +509,7 @@ mod tests {
             corpus_dir: None,
             gen: GenConfig::default(),
             wild: true,
+            cache_dir: None,
         };
         let r = run(&config).unwrap();
         assert!(

@@ -549,6 +549,82 @@ impl ImplicitEnv {
         cache.order.retain(|(id, _)| keep(*id));
     }
 
+    /// Exports the derivation cache for the artifact store, oldest
+    /// entry first (so an import replays the FIFO order).
+    ///
+    /// Only entries that are stable under the given intern watermark
+    /// *and* whose derivation uses no frame at or beyond the current
+    /// depth are exported: those are exactly the entries that remain
+    /// valid for a rehydrated session sitting at this depth.
+    pub fn export_cache(&self, snap: &crate::intern::InternSnapshot) -> Vec<CacheExport> {
+        let cache = self.cache.borrow();
+        let depth = self.frames.len();
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for key in &cache.order {
+            if !seen.insert(*key) {
+                continue;
+            }
+            let Some(e) = cache.entries.get(key) else {
+                continue;
+            };
+            if !snap.covers_rule(key.0) || e.max_abs_frame >= depth {
+                continue;
+            }
+            let Some(query) = intern::rule_of(key.0) else {
+                continue;
+            };
+            out.push(CacheExport {
+                query,
+                overlap: key.1,
+                resolution: e.resolution.clone(),
+                cached_depth: e.cached_depth,
+                max_abs_frame: e.max_abs_frame,
+            });
+        }
+        out
+    }
+
+    /// Imports derivation-cache entries exported by
+    /// [`ImplicitEnv::export_cache`], preserving their insertion
+    /// order and original depths (hits replay through the usual
+    /// depth-shift). Entries whose invalidation facts cannot be
+    /// recomputed, or that reference a frame at or beyond the current
+    /// depth, are skipped — the cache only ever under-approximates.
+    /// Counters and the generation stamp are untouched.
+    pub fn import_cache(&self, entries: Vec<CacheExport>) {
+        let depth = self.frames.len();
+        let mut cache = self.cache.borrow_mut();
+        if cache.capacity == 0 {
+            return;
+        }
+        for ce in entries {
+            let Some((target_keys, max_abs_frame)) =
+                crate::resolve::derivation_cache_facts(&ce.resolution, ce.cached_depth)
+            else {
+                continue;
+            };
+            if max_abs_frame >= depth {
+                continue;
+            }
+            let key = (intern::rule_id(&ce.query), ce.overlap);
+            if !cache.entries.contains_key(&key) {
+                let room = cache.capacity - 1;
+                cache.evict_to(room);
+                cache.order.push_back(key);
+            }
+            cache.entries.insert(
+                key,
+                CacheEntry {
+                    resolution: ce.resolution,
+                    cached_depth: ce.cached_depth,
+                    target_keys,
+                    max_abs_frame,
+                },
+            );
+        }
+    }
+
     /// Takes a watermark of the frame stack (see
     /// [`ImplicitEnv::restore`]).
     pub fn snapshot(&self) -> EnvSnapshot {
@@ -571,6 +647,29 @@ impl ImplicitEnv {
             self.pop();
         }
     }
+}
+
+/// One derivation-cache entry in artifact form: the interned key
+/// rebuilt as a structural [`RuleType`] (intern ids are process
+/// local), the derivation itself, and the depth it was memoized at.
+/// Produced by [`ImplicitEnv::export_cache`], consumed by
+/// [`ImplicitEnv::import_cache`].
+#[derive(Clone, Debug)]
+pub struct CacheExport {
+    /// The memoized query (the cache key, rebuilt structurally).
+    pub query: RuleType,
+    /// Overlap policy the derivation was built under (part of the
+    /// cache key: the same query can resolve differently per policy).
+    pub overlap: OverlapPolicy,
+    /// The memoized derivation.
+    pub resolution: Resolution,
+    /// Environment depth at insertion time.
+    pub cached_depth: usize,
+    /// Largest absolute frame position the derivation used — the
+    /// invalidation-cone summary: an edit that changes the rule type
+    /// of any implicit binding at or below this position invalidates
+    /// the entry, edits strictly above it cannot.
+    pub max_abs_frame: usize,
 }
 
 /// A frame-stack watermark, taken with [`ImplicitEnv::snapshot`].

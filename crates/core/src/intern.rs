@@ -151,6 +151,10 @@ const PTR_MEMO_CAP: usize = 1 << 20;
 #[derive(Default)]
 struct Arena {
     type_table: HashMap<TypeNode, TypeId>,
+    /// Reverse of `type_table`: node for each id, for [`type_of`].
+    type_nodes: Vec<TypeNode>,
+    /// Reverse of `rule_table`: node for each id, for [`rule_of`].
+    rule_nodes: Vec<RuleNode>,
     /// Per-[`TypeId`] metadata: `true` when the type mentions no
     /// type variable (bound or free).
     type_ground: Vec<bool>,
@@ -176,6 +180,7 @@ impl Arena {
         let id = TypeId(u32::try_from(self.type_ground.len()).expect("type arena overflow"));
         self.type_ground.push(ground);
         self.type_has_ctor.push(has_ctor);
+        self.type_nodes.push(node.clone());
         self.type_table.insert(node, id);
         id
     }
@@ -187,8 +192,45 @@ impl Arena {
         let id = RuleId(u32::try_from(self.rule_ground.len()).expect("rule arena overflow"));
         self.rule_ground.push(ground);
         self.rule_has_ctor.push(has_ctor);
+        self.rule_nodes.push(node.clone());
         self.rule_table.insert(node, id);
         id
+    }
+
+    fn rebuild_type(&self, id: TypeId) -> Type {
+        match &self.type_nodes[id.0 as usize] {
+            TypeNode::Var(a) => Type::Var(*a),
+            TypeNode::Int => Type::Int,
+            TypeNode::Bool => Type::Bool,
+            TypeNode::Str => Type::Str,
+            TypeNode::Unit => Type::Unit,
+            TypeNode::Arrow(a, b) => Type::Arrow(
+                Rc::new(self.rebuild_type(*a)),
+                Rc::new(self.rebuild_type(*b)),
+            ),
+            TypeNode::Prod(a, b) => Type::Prod(
+                Rc::new(self.rebuild_type(*a)),
+                Rc::new(self.rebuild_type(*b)),
+            ),
+            TypeNode::List(a) => Type::List(Rc::new(self.rebuild_type(*a))),
+            TypeNode::Con(n, args) => {
+                Type::Con(*n, args.iter().map(|i| self.rebuild_type(*i)).collect())
+            }
+            TypeNode::VarApp(f, args) => {
+                Type::VarApp(*f, args.iter().map(|i| self.rebuild_type(*i)).collect())
+            }
+            TypeNode::Ctor(c) => Type::Ctor(*c),
+            TypeNode::Rule(r) => Type::Rule(Rc::new(self.rebuild_rule(*r))),
+        }
+    }
+
+    fn rebuild_rule(&self, id: RuleId) -> RuleType {
+        let node = &self.rule_nodes[id.0 as usize];
+        RuleType::new(
+            node.vars.clone(),
+            node.context.iter().map(|i| self.rebuild_rule(*i)).collect(),
+            self.rebuild_type(node.head),
+        )
     }
 
     fn intern_type_rc(&mut self, ty: &Rc<Type>) -> TypeId {
@@ -319,6 +361,35 @@ pub fn type_id(ty: &Type) -> TypeId {
 /// Interns `rho`, returning its structural identity.
 pub fn rule_id(rho: &RuleType) -> RuleId {
     ARENA.with(|a| a.borrow_mut().intern_rule(rho))
+}
+
+/// Reconstructs the type an id was interned from (structurally equal
+/// to every type that maps to `id`). Used by the artifact store to
+/// serialize caches that are keyed by intern id.
+///
+/// Returns `None` when `id` does not denote a live arena entry (e.g.
+/// after [`truncate_to`]).
+pub fn type_of(id: TypeId) -> Option<Type> {
+    ARENA.with(|a| {
+        let a = a.borrow();
+        if (id.0 as usize) < a.type_nodes.len() {
+            Some(a.rebuild_type(id))
+        } else {
+            None
+        }
+    })
+}
+
+/// Reconstructs the rule type an id was interned from; see [`type_of`].
+pub fn rule_of(id: RuleId) -> Option<RuleType> {
+    ARENA.with(|a| {
+        let a = a.borrow();
+        if (id.0 as usize) < a.rule_nodes.len() {
+            Some(a.rebuild_rule(id))
+        } else {
+            None
+        }
+    })
 }
 
 /// `true` when `ty` mentions no type variable (bound or free), so it
@@ -507,9 +578,11 @@ pub fn truncate_to(snap: &InternSnapshot) {
         a.type_table.retain(|_, id| id.0 < snap.types);
         a.type_ground.truncate(snap.types as usize);
         a.type_has_ctor.truncate(snap.types as usize);
+        a.type_nodes.truncate(snap.types as usize);
         a.rule_table.retain(|_, id| id.0 < snap.rules);
         a.rule_ground.truncate(snap.rules as usize);
         a.rule_has_ctor.truncate(snap.rules as usize);
+        a.rule_nodes.truncate(snap.rules as usize);
         // Pointer memos may alias ids past the watermark through any
         // shared subtree; keep only entries whose id survives.
         a.type_ptr_memo.retain(|_, (id, _)| id.0 < snap.types);

@@ -71,6 +71,7 @@ pub mod termination;
 pub mod trace;
 pub mod typeck;
 pub mod unify;
+pub mod wire;
 
 pub use env::{ImplicitEnv, OverlapPolicy};
 pub use resolve::{resolve, resolve_with, Resolution, ResolutionPolicy};

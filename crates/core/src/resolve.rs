@@ -35,7 +35,7 @@ use crate::syntax::{RuleType, Type};
 use crate::trace::{NullSink, TraceEvent, TraceSink};
 
 /// Resolution configuration.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct ResolutionPolicy {
     /// Overlap handling within one frame.
     pub overlap: OverlapPolicy,

@@ -115,6 +115,30 @@ pub fn fresh(stem: &str) -> Symbol {
     Symbol::intern(&format!("{stem}%{n}"))
 }
 
+/// Returns the current fresh-name counter.
+///
+/// Serialized session artifacts record this watermark so a process
+/// that rehydrates a session can advance its own counter past every
+/// fresh name the artifact may mention (see
+/// [`ensure_fresh_at_least`]); without it, a newly minted `ev%3`
+/// could collide with a deserialized `ev%3` bound to different
+/// evidence.
+pub fn fresh_watermark() -> u64 {
+    let i = interner().lock().expect("interner poisoned");
+    i.fresh_counter
+}
+
+/// Advances the fresh-name counter to at least `n`.
+///
+/// Never moves the counter backwards, so interleaved loads from
+/// several artifacts compose.
+pub fn ensure_fresh_at_least(n: u64) {
+    let mut i = interner().lock().expect("interner poisoned");
+    if i.fresh_counter < n {
+        i.fresh_counter = n;
+    }
+}
+
 /// Strips the freshness suffix from a symbol's name, for display.
 ///
 /// `strip_fresh(fresh("beta"))` starts with `"beta"`.

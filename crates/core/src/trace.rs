@@ -728,6 +728,9 @@ pub struct MetricsRegistry {
     pub jobs: u64,
     /// Batch jobs obtained by stealing.
     pub steals: u64,
+    /// Session artifacts that failed to load (truncated, corrupted,
+    /// or key/version mismatch) and fell back to a cold build.
+    pub artifact_fallbacks: u64,
 }
 
 impl MetricsRegistry {
@@ -821,6 +824,7 @@ impl MetricsRegistry {
         self.trims += other.trims;
         self.jobs += other.jobs;
         self.steals += other.steals;
+        self.artifact_fallbacks += other.artifact_fallbacks;
     }
 
     /// Absorbs a per-derivation [`crate::resolve::ResolutionStats`]
@@ -878,6 +882,7 @@ impl MetricsRegistry {
             ("trims", self.trims),
             ("jobs", self.jobs),
             ("steals", self.steals),
+            ("artifact_fallbacks", self.artifact_fallbacks),
         ]
     }
 
@@ -940,6 +945,9 @@ impl MetricsRegistry {
         if self.jobs > 0 {
             row("jobs", self.jobs.to_string());
             row("steals", self.steals.to_string());
+        }
+        if self.artifact_fallbacks > 0 {
+            row("artifact fallbacks", self.artifact_fallbacks.to_string());
         }
         if out.is_empty() {
             out.push_str("  (no activity recorded)\n");

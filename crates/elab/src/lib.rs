@@ -247,6 +247,34 @@ impl DictCache {
             .collect()
     }
 
+    /// The prelude depth this cache was created for.
+    pub fn prelude_depth(&self) -> usize {
+        self.prelude_depth
+    }
+
+    /// Exports promoted entries as `(query, global)` pairs for
+    /// session artifacts, sorted by global name so the export is
+    /// deterministic. Entries whose interned id `snap` does not cover
+    /// are skipped (they name program-local queries).
+    pub fn export_entries(&self, snap: &InternSnapshot) -> Vec<(RuleType, Symbol)> {
+        let mut out: Vec<(RuleType, Symbol)> = self
+            .entries
+            .iter()
+            .filter(|(id, _)| snap.covers_rule(**id))
+            .filter_map(|(id, g)| intern::rule_of(*id).map(|rho| (rho, *g)))
+            .collect();
+        out.sort_by_key(|(_, g)| g.as_str());
+        out
+    }
+
+    /// Imports entries exported by [`DictCache::export_entries`].
+    /// Counters and pending promotions are untouched.
+    pub fn import_entries(&mut self, entries: Vec<(RuleType, Symbol)>) {
+        for (rho, g) in entries {
+            self.entries.insert(intern::rule_id(&rho), g);
+        }
+    }
+
     /// Drops entries whose interned query id a truncation to `snap`
     /// would orphan. Must be called *before* the truncation, while
     /// the ids still index the live arena; surviving ids are stable

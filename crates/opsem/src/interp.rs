@@ -112,6 +112,22 @@ impl RuntimeMemo {
     }
 }
 
+/// One runtime-memo entry rooted in a persistent prelude stack,
+/// exported for session artifacts (see `implicit-pipeline`).
+///
+/// Frame identity does not survive serialization, so the key is
+/// reduced to the *depth* of the prelude-stack prefix it covered; the
+/// importer re-keys against the rebuilt stack's frame `Rc`s.
+#[derive(Clone, Debug)]
+pub struct MemoExport {
+    /// Number of outermost prelude frames the memo key covered.
+    pub depth: usize,
+    /// The memoized query.
+    pub query: RuleType,
+    /// The resolved value.
+    pub value: Value,
+}
+
 impl<'d> Interpreter<'d> {
     /// An interpreter with the paper's resolution policy and a
     /// generous step budget.
@@ -167,6 +183,54 @@ impl<'d> Interpreter<'d> {
     pub fn retain_memo(&mut self, keep: impl Fn(intern::RuleId) -> bool) {
         self.memo.entries.retain(|k, _| keep(k.1));
         self.memo.order.retain(|k| keep(k.1));
+    }
+
+    /// Exports the runtime-memo entries rooted in the prelude stack
+    /// `stack`: entries whose frame-identity key is a prefix (by
+    /// depth) of `stack`'s frames. Entries keyed by program-local
+    /// frames are skipped — their `Rc` identities die with this
+    /// process. Iterates in insertion order so the export (and any
+    /// artifact embedding it) is deterministic.
+    pub fn export_memo_roots(&self, stack: &ImplStack) -> Vec<MemoExport> {
+        let full: Vec<usize> = stack
+            .frames_innermost_first()
+            .map(|rc| Rc::as_ptr(rc) as *const () as usize)
+            .collect();
+        let n = full.len();
+        let mut out = Vec::new();
+        for key in &self.memo.order {
+            let k = key.0.len();
+            if k > n || key.0[..] != full[n - k..] {
+                continue;
+            }
+            let Some(query) = intern::rule_of(key.1) else {
+                continue;
+            };
+            let Some((value, _pin)) = self.memo.entries.get(key) else {
+                continue;
+            };
+            out.push(MemoExport {
+                depth: k,
+                query,
+                value: value.clone(),
+            });
+        }
+        out
+    }
+
+    /// Imports memo entries exported by [`Interpreter::export_memo_roots`],
+    /// re-keying them against the rebuilt prelude stack `stack` (whose
+    /// frame `Rc`s are this process's identities for those frames).
+    /// Entries deeper than `stack` are dropped.
+    pub fn import_memo_roots(&mut self, stack: &ImplStack, roots: Vec<MemoExport>) {
+        for root in roots {
+            if root.depth > stack.depth() {
+                continue;
+            }
+            let pin = stack.truncated(root.depth);
+            let key = RuntimeMemo::key(&pin, &root.query);
+            self.memo.insert(key, pin, root.value);
+        }
     }
 
     /// Evaluates a closed expression.

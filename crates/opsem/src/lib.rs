@@ -30,6 +30,7 @@
 pub mod error;
 pub mod interp;
 pub mod value;
+pub mod wire;
 
 pub use error::OpsemError;
 pub use interp::{eval, Interpreter, DEFAULT_FUEL};

@@ -250,18 +250,18 @@ impl fmt::Display for Value {
 /// A persistent term-variable environment.
 #[derive(Clone, Default, Debug)]
 pub struct VarEnv {
-    node: Option<Rc<VarNode>>,
+    pub(crate) node: Option<Rc<VarNode>>,
 }
 
 #[derive(Debug)]
-struct VarNode {
-    name: Symbol,
-    value: VarBinding,
-    next: VarEnv,
+pub(crate) struct VarNode {
+    pub(crate) name: Symbol,
+    pub(crate) value: VarBinding,
+    pub(crate) next: VarEnv,
 }
 
 #[derive(Clone, Debug)]
-enum VarBinding {
+pub(crate) enum VarBinding {
     Done(Value),
     Rec {
         body: Rc<Expr>,
@@ -286,6 +286,30 @@ impl VarEnv {
     /// Empty environment.
     pub fn new() -> VarEnv {
         VarEnv::default()
+    }
+
+    /// Iterates the binding spine outward (innermost binding first),
+    /// for the artifact serializer.
+    pub(crate) fn nodes(&self) -> impl Iterator<Item = &Rc<VarNode>> {
+        std::iter::successors(self.node.as_ref(), |n| n.next.node.as_ref())
+    }
+
+    /// The spine as `(name, value)` pairs, outermost binding first;
+    /// `None` for recursive (`fix`) bindings. Used by the session
+    /// artifact layer to recover per-binding prelude values.
+    pub fn bindings_outermost_first(&self) -> Vec<(Symbol, Option<Value>)> {
+        let mut out: Vec<(Symbol, Option<Value>)> = self
+            .nodes()
+            .map(|n| {
+                let v = match &n.value {
+                    VarBinding::Done(v) => Some(v.clone()),
+                    VarBinding::Rec { .. } => None,
+                };
+                (n.name, v)
+            })
+            .collect();
+        out.reverse();
+        out
     }
 
     /// Extends with a value binding.
@@ -386,7 +410,7 @@ pub enum Lookup {
 /// `η = {ρ₁:v₁, …}` (innermost last).
 #[derive(Clone, Default, Debug)]
 pub struct ImplStack {
-    frames: Vec<Rc<Vec<(RuleType, Value)>>>,
+    pub(crate) frames: Vec<Rc<Vec<(RuleType, Value)>>>,
 }
 
 impl ImplStack {
@@ -411,6 +435,15 @@ impl ImplStack {
     /// Number of frames.
     pub fn depth(&self) -> usize {
         self.frames.len()
+    }
+
+    /// The stack restricted to its `n` outermost frames (used when
+    /// re-keying imported memo entries against a rebuilt prelude
+    /// stack).
+    pub fn truncated(&self, n: usize) -> ImplStack {
+        ImplStack {
+            frames: self.frames[..n.min(self.frames.len())].to_vec(),
+        }
     }
 
     /// Pointwise substitution.

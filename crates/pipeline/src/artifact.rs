@@ -1,0 +1,1200 @@
+//! Versioned on-disk session artifacts.
+//!
+//! A warm [`Session`] is a pure function of `(declarations, prelude
+//! source, policy, ISA, knobs)` — resolution is deterministic and
+//! coherent, so the prelude's elaborated evidence, compiled bytecode,
+//! derivation cache, and runtime-memo roots can be serialized once and
+//! rehydrated by a later process without re-running any pipeline
+//! phase. This module is that serialization layer:
+//!
+//! * [`Session::to_artifact`] encodes the whole base-state session —
+//!   interned prelude types ride along structurally, the compiled
+//!   prelude rides as [`CodeParts`], evidence values as the System F
+//!   value graph (sharing preserved), the opsem leg as its
+//!   environment/stack/memo-roots — into one checksummed byte vector
+//!   keyed by a content hash of the inputs;
+//! * [`Session::from_artifact`] rehydrates it, validating the magic,
+//!   format version, checksum, and content key, so a stale or
+//!   corrupted artifact is an `Err` (never a panic, never stale code);
+//! * [`rebuild_incremental`] diffs an old artifact against an edited
+//!   prelude and re-runs *only* the dependency cone of the edited
+//!   bindings, reusing every surviving value, compiled global, cache
+//!   entry, and memo root;
+//! * [`ArtifactStore`] is the content-addressed directory layout
+//!   (`<key>.iart` plus a `<config>.head` pointer for incremental
+//!   lookup on exact-miss) with atomic writes, and [`load_or_build`]
+//!   is the exact → incremental → cold loading ladder. Every decode
+//!   or validation failure on the way down is counted and reported
+//!   via [`Session::note_artifact_fallbacks`].
+//!
+//! The dependency metadata behind the incremental path is
+//! [`BindingMeta`]: for each prelude binding (lets first, then
+//! implicits — the same order as the compiler's global slots) the
+//! indices of earlier bindings its elaborated evidence reads, from
+//! both the free term variables of the elaborated System F term and
+//! the global slots its compiled functions load.
+
+use std::cell::RefCell;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::rc::Rc;
+
+use implicit_core::env::{CacheExport, ImplicitEnv};
+use implicit_core::intern;
+use implicit_core::resolve::ResolutionPolicy;
+use implicit_core::symbol::{ensure_fresh_at_least, Symbol};
+use implicit_core::syntax::{Declarations, RuleType, Type};
+use implicit_core::trace::MetricsSink;
+use implicit_core::wire::{fnv64, Dec, Enc, WireError};
+use implicit_elab::{translate_decls, DictCache, Elaborator};
+use implicit_opsem::interp::MemoExport;
+use implicit_opsem::wire::{OpDec, OpEnc};
+use implicit_opsem::{ImplStack, Interpreter, VarEnv};
+use systemf::compile::{func_global_reads, CodeObject, CodeParts};
+use systemf::eval::Env as FEnv;
+use systemf::wire::{SfDec, SfEnc};
+use systemf::{Compiler, Evaluator, FExpr, FType, Isa};
+
+use crate::{check_closed, compile_eval, Prelude, Session, SessionError, SessionStats};
+
+/// Artifact file magic.
+const MAGIC: [u8; 4] = *b"IART";
+
+/// On-disk format version; bumped on any wire-layout change so older
+/// processes reject newer artifacts (and vice versa) instead of
+/// misreading them.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// An artifact failed to decode, validate, or rebuild. Always a
+/// recoverable condition: callers fall back to a cold build.
+#[derive(Debug)]
+pub struct ArtifactError(pub String);
+
+impl std::fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "artifact: {}", self.0)
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+impl From<WireError> for ArtifactError {
+    fn from(e: WireError) -> ArtifactError {
+        ArtifactError(format!("wire: {e}"))
+    }
+}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, ArtifactError> {
+    Err(ArtifactError(msg.into()))
+}
+
+/// Per-binding dependency metadata: indices (into the unified
+/// lets-then-implicits binding order) of the earlier bindings this
+/// binding's evidence reads. Sorted, deduplicated; reads always point
+/// strictly earlier, so invalidation is a single forward pass.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BindingMeta {
+    /// Indices of earlier bindings read by this one.
+    pub reads: Vec<u32>,
+}
+
+/// Free term variables of an elaborated System F term, in first-use
+/// order (scope-tracked; binders shadow).
+fn free_term_vars(e: &FExpr) -> Vec<Symbol> {
+    fn go(e: &FExpr, scope: &mut Vec<Symbol>, out: &mut Vec<Symbol>) {
+        match e {
+            FExpr::Int(_) | FExpr::Bool(_) | FExpr::Str(_) | FExpr::Unit | FExpr::Nil(_) => {}
+            FExpr::Var(x) => {
+                if !scope.contains(x) && !out.contains(x) {
+                    out.push(*x);
+                }
+            }
+            FExpr::Lam(x, _, b) | FExpr::Fix(x, _, b) => {
+                scope.push(*x);
+                go(b, scope, out);
+                scope.pop();
+            }
+            FExpr::App(f, a) | FExpr::Pair(f, a) | FExpr::Cons(f, a) => {
+                go(f, scope, out);
+                go(a, scope, out);
+            }
+            FExpr::BinOp(_, l, r) => {
+                go(l, scope, out);
+                go(r, scope, out);
+            }
+            FExpr::TyAbs(_, b)
+            | FExpr::TyApp(b, _)
+            | FExpr::UnOp(_, b)
+            | FExpr::Fst(b)
+            | FExpr::Snd(b)
+            | FExpr::Proj(b, _) => go(b, scope, out),
+            FExpr::If(c, t, f) => {
+                go(c, scope, out);
+                go(t, scope, out);
+                go(f, scope, out);
+            }
+            FExpr::ListCase {
+                scrut,
+                nil,
+                head,
+                tail,
+                cons,
+            } => {
+                go(scrut, scope, out);
+                go(nil, scope, out);
+                scope.push(*head);
+                scope.push(*tail);
+                go(cons, scope, out);
+                scope.pop();
+                scope.pop();
+            }
+            FExpr::Make(_, _, fields) => {
+                for (_, f) in fields {
+                    go(f, scope, out);
+                }
+            }
+            FExpr::Inject(_, _, args) => {
+                for a in args {
+                    go(a, scope, out);
+                }
+            }
+            FExpr::Match(scrut, arms) => {
+                go(scrut, scope, out);
+                for arm in arms {
+                    let n = arm.binders.len();
+                    scope.extend(arm.binders.iter().copied());
+                    go(&arm.body, scope, out);
+                    scope.truncate(scope.len() - n);
+                }
+            }
+        }
+    }
+    let mut out = Vec::new();
+    go(e, &mut Vec::new(), &mut out);
+    out
+}
+
+/// Computes a binding's read-set from its elaborated term and the
+/// functions compiled for it. `names` are the earlier bindings' names
+/// in index order (which is also global-slot order), `funcs` the
+/// function range this binding's compilation appended.
+pub(crate) fn binding_reads(
+    names: &[Symbol],
+    fe: &FExpr,
+    code: &CodeObject,
+    funcs: std::ops::Range<usize>,
+) -> BindingMeta {
+    let mut reads: Vec<u32> = free_term_vars(fe)
+        .into_iter()
+        .filter_map(|x| names.iter().position(|n| *n == x).map(|i| i as u32))
+        .collect();
+    for f in &code.funcs[funcs] {
+        for g in func_global_reads(f) {
+            if (g as usize) < names.len() {
+                reads.push(g);
+            }
+        }
+    }
+    reads.sort_unstable();
+    reads.dedup();
+    BindingMeta { reads }
+}
+
+fn isa_tag(isa: Isa) -> u8 {
+    match isa {
+        Isa::Register => 0,
+        Isa::Stack => 1,
+    }
+}
+
+fn isa_from(tag: u8) -> Result<Isa, ArtifactError> {
+    match tag {
+        0 => Ok(Isa::Register),
+        1 => Ok(Isa::Stack),
+        t => err(format!("unknown isa tag {t}")),
+    }
+}
+
+fn enc_decls(e: &mut Enc, decls: &Declarations) {
+    let interfaces: Vec<_> = decls.iter().collect();
+    e.len(interfaces.len());
+    for d in interfaces {
+        e.sym(d.name);
+        e.len(d.vars.len());
+        for v in &d.vars {
+            e.sym(*v);
+        }
+        e.len(d.fields.len());
+        for (f, t) in &d.fields {
+            e.sym(*f);
+            e.ty(t);
+        }
+    }
+    let datas: Vec<_> = decls.iter_datas().collect();
+    e.len(datas.len());
+    for d in datas {
+        e.sym(d.name);
+        e.len(d.params.len());
+        for (p, k) in &d.params {
+            e.sym(*p);
+            e.len(*k);
+        }
+        e.len(d.ctors.len());
+        for (c, args) in &d.ctors {
+            e.sym(*c);
+            e.len(args.len());
+            for t in args {
+                e.ty(t);
+            }
+        }
+    }
+}
+
+fn enc_prelude(e: &mut Enc, p: &Prelude) {
+    e.len(p.lets.len());
+    for (x, ty, b) in &p.lets {
+        e.sym(*x);
+        e.ty(ty);
+        e.expr(b);
+    }
+    e.len(p.implicits.len());
+    for (a, r) in &p.implicits {
+        e.expr(a);
+        e.rule(r);
+    }
+}
+
+fn dec_prelude(d: &mut Dec<'_>) -> Result<Prelude, ArtifactError> {
+    let n = d.len()?;
+    let mut lets = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        let x = d.sym()?;
+        let ty = d.ty()?;
+        let b = d.expr()?;
+        lets.push((x, ty, b));
+    }
+    let n = d.len()?;
+    let mut implicits = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        let a = d.expr()?;
+        let r = d.rule()?;
+        implicits.push((a, r));
+    }
+    Ok(Prelude { lets, implicits })
+}
+
+/// The content-address of the artifact a given session configuration
+/// would produce: a 64-bit FNV hash over the format version, the
+/// declarations, the full prelude source, the resolution policy, the
+/// ISA, and the optimization knobs. Two processes with identical
+/// inputs compute identical keys.
+pub fn artifact_key(
+    decls: &Declarations,
+    prelude: &Prelude,
+    policy: &ResolutionPolicy,
+    fusion: bool,
+    dict_ic: bool,
+    isa: Isa,
+) -> u64 {
+    let mut e = Enc::new();
+    e.u32(FORMAT_VERSION);
+    enc_decls(&mut e, decls);
+    enc_prelude(&mut e, prelude);
+    e.policy(policy);
+    e.u8(isa_tag(isa));
+    e.bool(fusion);
+    e.bool(dict_ic);
+    fnv64(e.buf())
+}
+
+/// Like [`artifact_key`] but *without* the prelude: the address of
+/// the configuration family an artifact belongs to. The store's
+/// `.head` pointer files are keyed by this, so an exact-key miss can
+/// still find the previous artifact for the same configuration and
+/// rebuild incrementally from it.
+pub fn config_key(
+    decls: &Declarations,
+    policy: &ResolutionPolicy,
+    fusion: bool,
+    dict_ic: bool,
+    isa: Isa,
+) -> u64 {
+    let mut e = Enc::new();
+    e.u32(FORMAT_VERSION);
+    enc_decls(&mut e, decls);
+    e.policy(policy);
+    e.u8(isa_tag(isa));
+    e.bool(fusion);
+    e.bool(dict_ic);
+    fnv64(e.buf())
+}
+
+/// A fully decoded artifact, ready for [`assemble`] (exact rehydrate)
+/// or [`rebuild_incremental`] (diff against an edited prelude).
+pub struct DecodedArtifact {
+    /// The content key the producer computed (validated against the
+    /// consumer's recomputation on load).
+    pub key: u64,
+    /// Resolution policy the session was built with.
+    pub policy: ResolutionPolicy,
+    /// Compiled-backend instruction set.
+    pub isa: Isa,
+    /// Superinstruction-fusion knob.
+    pub fusion: bool,
+    /// Dictionary-inline-cache knob.
+    pub dict_ic: bool,
+    /// Fresh-symbol watermark at encode time; the loader raises the
+    /// process counter past it so later `fresh` names cannot collide
+    /// with serialized ones.
+    pub fresh_watermark: u64,
+    /// The prelude source the artifact was built from.
+    pub prelude: Prelude,
+    /// Prelude `let` binders.
+    pub gamma: Vec<(Symbol, Type)>,
+    /// Prelude implicit context, canonical order.
+    pub context: Vec<RuleType>,
+    /// Evidence variable frames parallel to `context`.
+    pub evidence: Vec<Vec<Symbol>>,
+    /// Per-binding dependency read-sets.
+    pub binding_meta: Vec<BindingMeta>,
+    /// Compiled prelude code, pools, and globals.
+    pub code_parts: CodeParts,
+    /// Evaluated global values, parallel to `code_parts.globals`.
+    pub vm_globals: Vec<systemf::Value>,
+    /// Tree-walker environment binding lets and evidence.
+    pub fenv: FEnv,
+    /// Preservation binders for promoted dictionary globals.
+    pub dict_binders: Vec<(Symbol, FType)>,
+    /// Promoted dictionary entries (query → global name).
+    pub dict_entries: Vec<(RuleType, Symbol)>,
+    /// Warm derivation-cache entries.
+    pub cache_entries: Vec<CacheExport>,
+    /// Opsem term environment (lets).
+    pub venv: VarEnv,
+    /// Opsem implicit stack (one frame per implicit binding).
+    pub istack: ImplStack,
+    /// Prelude-rooted runtime-memo entries.
+    pub memo_roots: Vec<MemoExport>,
+}
+
+impl<'d> Session<'d> {
+    /// Serializes this session's base state into one checksummed,
+    /// content-keyed artifact. The session is first restored to its
+    /// base state (environment depth, code watermark, arena trim) —
+    /// the same state every `run*` call already leaves it in — so
+    /// serializing mid-batch is safe.
+    pub fn to_artifact(&mut self) -> Vec<u8> {
+        let env_base = self.env_base;
+        self.env.restore(&env_base);
+        let code_base = self.code_base;
+        self.compiler.rollback(&code_base);
+        // Exports are filtered against a *current* arena snapshot, not
+        // the prelude watermark: entries learned while running
+        // programs are still prelude-pure (the exporters reject
+        // anything that depended on program-local frames), and they
+        // are exactly the warmth a restarted batch wants back.
+        let snap = intern::snapshot();
+
+        let key = artifact_key(
+            self.decls,
+            &self.prelude,
+            &self.policy,
+            self.compiler.fusion_enabled(),
+            self.dict_ic,
+            self.isa(),
+        );
+        let mut e = Enc::new();
+        for b in MAGIC {
+            e.u8(b);
+        }
+        e.u32(FORMAT_VERSION);
+        e.u64(key);
+        e.policy(&self.policy);
+        e.u8(isa_tag(self.isa()));
+        e.bool(self.compiler.fusion_enabled());
+        e.bool(self.dict_ic);
+        e.u64(self.fresh_base);
+        enc_prelude(&mut e, &self.prelude);
+        e.len(self.gamma.len());
+        for (x, t) in &self.gamma {
+            e.sym(*x);
+            e.ty(t);
+        }
+        e.len(self.context.len());
+        for r in &self.context {
+            e.rule(r);
+        }
+        e.len(self.evidence.len());
+        for frame in &self.evidence {
+            e.len(frame.len());
+            for s in frame {
+                e.sym(*s);
+            }
+        }
+        e.len(self.binding_meta.len());
+        for m in &self.binding_meta {
+            e.len(m.reads.len());
+            for r in &m.reads {
+                e.u32(*r);
+            }
+        }
+        // System F section: code first, so the decoder knows the
+        // function count before any compiled closure references one.
+        {
+            let parts = self.compiler.export_parts(&code_base);
+            let mut sf = SfEnc::new(&mut e);
+            sf.code_parts(&parts);
+            sf.e.len(self.vm_globals.len());
+            for v in &self.vm_globals {
+                sf.value(v);
+            }
+            sf.env(&self.fenv);
+            sf.e.len(self.dict_binders.len());
+            for (s, t) in &self.dict_binders {
+                sf.e.sym(*s);
+                sf.ftype(t);
+            }
+        }
+        let dict_entries = self.dict.borrow().export_entries(&snap);
+        e.len(dict_entries.len());
+        for (r, g) in &dict_entries {
+            e.rule(r);
+            e.sym(*g);
+        }
+        let cache = self.env.export_cache(&snap);
+        e.len(cache.len());
+        for c in &cache {
+            e.rule(&c.query);
+            e.overlap(c.overlap);
+            e.resolution(&c.resolution);
+            e.len(c.cached_depth);
+            e.len(c.max_abs_frame);
+        }
+        // Opsem section: environment and stack first so memo-root
+        // values can backreference shared frames.
+        {
+            let roots = self.interp.export_memo_roots(&self.istack);
+            let mut op = OpEnc::new(&mut e);
+            op.varenv(&self.venv);
+            op.implstack(&self.istack);
+            op.e.len(roots.len());
+            for r in &roots {
+                op.e.len(r.depth);
+                op.e.rule(&r.query);
+                op.value(&r.value);
+            }
+        }
+        e.finish()
+    }
+
+    /// Rehydrates a session from artifact bytes, validating that the
+    /// artifact was produced by exactly this `(declarations, prelude,
+    /// policy, knobs, isa)` configuration — the stored content key
+    /// must equal the recomputed one.
+    ///
+    /// # Errors
+    ///
+    /// Any corruption (checksum, truncation, bad tags), version skew,
+    /// or key mismatch is an [`ArtifactError`]; callers fall back to
+    /// a cold build.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_artifact(
+        decls: &'d Declarations,
+        policy: &ResolutionPolicy,
+        prelude: &Prelude,
+        fusion: bool,
+        dict_ic: bool,
+        isa: Isa,
+        bytes: &[u8],
+    ) -> Result<Session<'d>, ArtifactError> {
+        let a = decode(bytes)?;
+        let expect = artifact_key(decls, prelude, policy, fusion, dict_ic, isa);
+        if a.key != expect {
+            return err(format!(
+                "content key mismatch: artifact {:016x}, configuration {:016x}",
+                a.key, expect
+            ));
+        }
+        if a.policy != *policy || a.isa != isa || a.fusion != fusion || a.dict_ic != dict_ic {
+            return err("configuration fields disagree with content key");
+        }
+        assemble(decls, a)
+    }
+}
+
+/// Decodes artifact bytes into their plain parts. Checksum, magic,
+/// version, and structural tags are all validated here; semantic
+/// cross-checks happen in [`assemble`].
+///
+/// # Errors
+///
+/// See [`Session::from_artifact`].
+pub fn decode(bytes: &[u8]) -> Result<DecodedArtifact, ArtifactError> {
+    let mut d = Dec::new(bytes)?;
+    for b in MAGIC {
+        if d.u8()? != b {
+            return err("bad magic");
+        }
+    }
+    let version = d.u32()?;
+    if version != FORMAT_VERSION {
+        return err(format!(
+            "format version {version} (this build reads {FORMAT_VERSION})"
+        ));
+    }
+    let key = d.u64()?;
+    let policy = d.policy()?;
+    let isa = isa_from(d.u8()?)?;
+    let fusion = d.bool()?;
+    let dict_ic = d.bool()?;
+    let fresh_wm = d.u64()?;
+    let prelude = dec_prelude(&mut d)?;
+    let n = d.len()?;
+    let mut gamma = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        let x = d.sym()?;
+        let t = d.ty()?;
+        gamma.push((x, t));
+    }
+    let n = d.len()?;
+    let mut context = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        context.push(d.rule()?);
+    }
+    let n = d.len()?;
+    let mut evidence = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        let k = d.len()?;
+        let mut frame = Vec::with_capacity(k.min(1 << 16));
+        for _ in 0..k {
+            frame.push(d.sym()?);
+        }
+        evidence.push(frame);
+    }
+    let n = d.len()?;
+    let mut binding_meta = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        let k = d.len()?;
+        let mut reads = Vec::with_capacity(k.min(1 << 16));
+        for _ in 0..k {
+            reads.push(d.u32()?);
+        }
+        binding_meta.push(BindingMeta { reads });
+    }
+    let (code_parts, vm_globals, fenv, dict_binders) = {
+        let mut sf = SfDec::new(&mut d);
+        let parts = sf.code_parts()?;
+        let n = sf.d.len()?;
+        let mut globals = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            globals.push(sf.value()?);
+        }
+        let fenv = sf.env()?;
+        let n = sf.d.len()?;
+        let mut binders = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            let s = sf.d.sym()?;
+            let t = sf.ftype()?;
+            binders.push((s, t));
+        }
+        (parts, globals, fenv, binders)
+    };
+    let n = d.len()?;
+    let mut dict_entries = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        let r = d.rule()?;
+        let g = d.sym()?;
+        dict_entries.push((r, g));
+    }
+    let n = d.len()?;
+    let mut cache_entries = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        let query = d.rule()?;
+        let overlap = d.overlap()?;
+        let resolution = d.resolution()?;
+        let cached_depth = d.len()?;
+        let max_abs_frame = d.len()?;
+        cache_entries.push(CacheExport {
+            query,
+            overlap,
+            resolution,
+            cached_depth,
+            max_abs_frame,
+        });
+    }
+    let (venv, istack, memo_roots) = {
+        let mut op = OpDec::new(&mut d);
+        let venv = op.varenv()?;
+        let istack = op.implstack()?;
+        let n = op.d.len()?;
+        let mut roots = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            let depth = op.d.len()?;
+            let query = op.d.rule()?;
+            let value = op.value()?;
+            roots.push(MemoExport {
+                depth,
+                query,
+                value,
+            });
+        }
+        (venv, istack, roots)
+    };
+    if !d.at_end() {
+        return err("trailing bytes after artifact payload");
+    }
+    Ok(DecodedArtifact {
+        key,
+        policy,
+        isa,
+        fusion,
+        dict_ic,
+        fresh_watermark: fresh_wm,
+        prelude,
+        gamma,
+        context,
+        evidence,
+        binding_meta,
+        code_parts,
+        vm_globals,
+        fenv,
+        dict_binders,
+        dict_entries,
+        cache_entries,
+        venv,
+        istack,
+        memo_roots,
+    })
+}
+
+/// Cross-checks a decoded artifact's invariants: parallel structures
+/// must agree in length, and the code object must cover its globals.
+fn validate(a: &DecodedArtifact) -> Result<(), ArtifactError> {
+    if a.context.len() != a.evidence.len() {
+        return err("context/evidence length mismatch");
+    }
+    if a.istack.depth() != a.context.len() {
+        return err("implicit stack depth disagrees with context");
+    }
+    if a.gamma.len() != a.prelude.lets.len() || a.context.len() != a.prelude.implicits.len() {
+        return err("binder counts disagree with prelude source");
+    }
+    if a.binding_meta.len() != a.gamma.len() + a.context.len() {
+        return err("binding metadata count mismatch");
+    }
+    if a.code_parts.globals.len() != a.vm_globals.len() {
+        return err("global table / global values length mismatch");
+    }
+    if a.vm_globals.len() != a.gamma.len() + a.context.len() + a.dict_binders.len() {
+        return err("global count disagrees with binders");
+    }
+    if a.code_parts.isa != a.isa {
+        return err("code object isa disagrees with header");
+    }
+    for (i, m) in a.binding_meta.iter().enumerate() {
+        if m.reads.iter().any(|r| *r as usize >= i) {
+            return err("binding read-set points at itself or a later binding");
+        }
+    }
+    Ok(())
+}
+
+/// Assembles a warm [`Session`] from decoded parts without re-running
+/// any pipeline phase: the compiler is rebuilt from its parts, the
+/// implicit environment by re-pushing the context frames and
+/// importing the derivation cache, the interpreter by re-keying the
+/// memo roots against the rehydrated stack.
+///
+/// # Errors
+///
+/// Structural cross-check failures (see [`Session::from_artifact`]).
+pub fn assemble<'d>(
+    decls: &'d Declarations,
+    a: DecodedArtifact,
+) -> Result<Session<'d>, ArtifactError> {
+    validate(&a)?;
+    ensure_fresh_at_least(a.fresh_watermark);
+    let compiler = Compiler::from_parts(a.code_parts);
+    let mut env = ImplicitEnv::new();
+    for r in &a.context {
+        env.push(vec![r.clone()]);
+    }
+    env.import_cache(a.cache_entries);
+    let mut interp = Interpreter::new(decls).with_policy(a.policy.clone());
+    interp.import_memo_roots(&a.istack, a.memo_roots);
+    let mut dict = DictCache::new(a.evidence.len());
+    dict.import_entries(a.dict_entries);
+    let elab = Elaborator::with_policy(decls, a.policy.clone());
+    let fdecls = translate_decls(decls);
+    // The watermark is taken *after* every import so all ids interned
+    // during rehydration are covered — a later trim keeps them.
+    let intern_base = intern::snapshot();
+    let env_base = env.snapshot();
+    let code_base = compiler.snapshot();
+    Ok(Session {
+        decls,
+        policy: a.policy,
+        elab,
+        fdecls,
+        env,
+        evidence: a.evidence,
+        gamma: a.gamma,
+        context: a.context,
+        fenv: a.fenv,
+        compiler,
+        vm_globals: a.vm_globals,
+        code_base,
+        dict: Rc::new(RefCell::new(dict)),
+        dict_ic: a.dict_ic,
+        dict_binders: a.dict_binders,
+        interp,
+        venv: a.venv,
+        istack: a.istack,
+        intern_base,
+        env_base,
+        stats: SessionStats::default(),
+        metrics: Rc::new(RefCell::new(MetricsSink::new())),
+        trace: None,
+        prelude: a.prelude,
+        binding_meta: a.binding_meta,
+        fresh_base: a.fresh_watermark,
+        profile_dispatch: false,
+        dispatch_counts: std::collections::HashMap::new(),
+    })
+}
+
+/// What an incremental rebuild reused versus recomputed.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RebuildStats {
+    /// Total prelude bindings (lets + implicits).
+    pub bindings_total: usize,
+    /// Bindings whose evidence/value/code were reused unchanged.
+    pub bindings_reused: usize,
+    /// Derivation-cache entries carried over.
+    pub cache_entries_retained: usize,
+    /// Runtime-memo roots carried over.
+    pub memo_roots_retained: usize,
+}
+
+/// Rebuilds a session for `prelude` from an old artifact of the same
+/// *shape* (same let names/types, same implicit rule types, same
+/// counts) whose binding expressions may have been edited: only the
+/// dependency cone of the edited bindings — the bindings themselves
+/// plus everything whose [`BindingMeta::reads`] reach one,
+/// transitively — is re-elaborated, re-evaluated, and re-compiled.
+/// Everything else reuses the decoded values, compiled globals,
+/// derivation-cache entries, and (up to the first dirty implicit
+/// frame) runtime-memo roots.
+///
+/// Promoted dictionary entries are always dropped (their values may
+/// embed dirty evidence); their globals and binders are kept as dead
+/// weight so compiled code and slot indices stay valid, and queries
+/// re-promote on demand.
+///
+/// # Errors
+///
+/// Shape changes, decode-level inconsistencies, and any pipeline
+/// failure while recomputing a dirty binding; callers fall back to a
+/// cold build.
+pub fn rebuild_incremental<'d>(
+    decls: &'d Declarations,
+    old: DecodedArtifact,
+    prelude: &Prelude,
+) -> Result<(Session<'d>, RebuildStats), ArtifactError> {
+    validate(&old)?;
+    let nlets = prelude.lets.len();
+    let nimp = prelude.implicits.len();
+    let total = nlets + nimp;
+    if old.prelude.lets.len() != nlets || old.prelude.implicits.len() != nimp {
+        return err("prelude shape changed (binding counts)");
+    }
+    for ((ox, oty, _), (nx, nty, _)) in old.prelude.lets.iter().zip(&prelude.lets) {
+        if ox != nx || oty != nty {
+            return err("prelude shape changed (let binder)");
+        }
+    }
+    for ((_, orho), (_, nrho)) in old.prelude.implicits.iter().zip(&prelude.implicits) {
+        if orho != nrho {
+            return err("prelude shape changed (implicit rule type)");
+        }
+    }
+    // Dirty seed: bindings whose expression changed. Closure: one
+    // forward pass suffices because reads point strictly earlier.
+    let mut dirty = vec![false; total];
+    for (i, ((_, _, ob), (_, _, nb))) in old.prelude.lets.iter().zip(&prelude.lets).enumerate() {
+        dirty[i] = ob != nb;
+    }
+    for (j, ((oa, _), (na, _))) in old
+        .prelude
+        .implicits
+        .iter()
+        .zip(&prelude.implicits)
+        .enumerate()
+    {
+        dirty[nlets + j] = oa != na;
+    }
+    for i in 0..total {
+        if !dirty[i] && old.binding_meta[i].reads.iter().any(|r| dirty[*r as usize]) {
+            dirty[i] = true;
+        }
+    }
+
+    ensure_fresh_at_least(old.fresh_watermark);
+    let old_fenv = old.fenv.bindings_outermost_first();
+    if old_fenv.len() != total {
+        return err("tree environment does not cover the prelude bindings");
+    }
+    let old_venv = old.venv.bindings_outermost_first();
+    if old_venv.len() != nlets {
+        return err("opsem environment does not cover the prelude lets");
+    }
+    let mut old_frames: Vec<Rc<Vec<(RuleType, implicit_opsem::Value)>>> =
+        old.istack.frames_innermost_first().cloned().collect();
+    old_frames.reverse(); // outermost first, parallel to implicits
+
+    let elab = Elaborator::with_policy(decls, old.policy.clone());
+    let fdecls = translate_decls(decls);
+    let mut interp = Interpreter::new(decls).with_policy(old.policy.clone());
+    let mut compiler = Compiler::from_parts(old.code_parts);
+    let mut vm_globals = old.vm_globals;
+
+    let pipeline_err = |e: SessionError| ArtifactError(format!("incremental rebuild: {e}"));
+    let elab_err = |e: implicit_elab::ElabError| ArtifactError(format!("incremental rebuild: {e}"));
+
+    let mut gamma: Vec<(Symbol, Type)> = Vec::with_capacity(nlets);
+    let mut binding_meta: Vec<BindingMeta> = Vec::with_capacity(total);
+    let mut fenv = FEnv::new();
+    let mut venv = VarEnv::new();
+    let mut reused = 0usize;
+    for (i, (x, ty, bound)) in prelude.lets.iter().enumerate() {
+        if !dirty[i] {
+            let v = old_fenv[i]
+                .1
+                .clone()
+                .ok_or_else(|| ArtifactError("recursive top-level binding".into()))?;
+            fenv = fenv.bind(*x, v);
+            let vo = old_venv[i]
+                .1
+                .clone()
+                .ok_or_else(|| ArtifactError("recursive top-level opsem binding".into()))?;
+            venv = venv.bind(*x, vo);
+            binding_meta.push(old.binding_meta[i].clone());
+            reused += 1;
+        } else {
+            let mut scratch = ImplicitEnv::new();
+            let (got, fb) = elab
+                .elaborate_with_env(&mut scratch, &[], &gamma, bound)
+                .map_err(elab_err)?;
+            if !intern::types_equal(&got, ty) {
+                return err(format!("let `{x}` declared `{ty}` but edited to `{got}`"));
+            }
+            check_closed(&fdecls, &gamma, &[], &fb).map_err(pipeline_err)?;
+            let v = Evaluator::new()
+                .eval_in(&fenv, &fb)
+                .map_err(|e| ArtifactError(format!("incremental rebuild: {e}")))?;
+            fenv = fenv.bind(*x, v);
+            let funcs_before = compiler.code().funcs.len();
+            let gv = compile_eval(&mut compiler, &vm_globals, &fb).map_err(pipeline_err)?;
+            let funcs_after = compiler.code().funcs.len();
+            vm_globals[i] = gv;
+            let names: Vec<Symbol> = gamma.iter().map(|(n, _)| *n).collect();
+            binding_meta.push(binding_reads(
+                &names,
+                &fb,
+                compiler.code(),
+                funcs_before..funcs_after,
+            ));
+            let vo = interp
+                .eval_in(&venv, &ImplStack::new(), bound)
+                .map_err(|e| ArtifactError(format!("incremental rebuild: {e}")))?;
+            venv = venv.bind(*x, vo);
+        }
+        gamma.push((*x, ty.clone()));
+    }
+
+    let mut env = ImplicitEnv::new();
+    let mut evidence: Vec<Vec<Symbol>> = Vec::with_capacity(nimp);
+    let mut context: Vec<RuleType> = Vec::with_capacity(nimp);
+    let mut istack = ImplStack::new();
+    let mut first_dirty_implicit: Option<usize> = None;
+    for (j, (arg, arho)) in prelude.implicits.iter().enumerate() {
+        let i = nlets + j;
+        if old.evidence[j].len() != 1 {
+            return err("implicit evidence frame is not a singleton");
+        }
+        let sym = old.evidence[j][0];
+        if !dirty[i] {
+            let v = old_fenv[i]
+                .1
+                .clone()
+                .ok_or_else(|| ArtifactError("recursive evidence binding".into()))?;
+            fenv = fenv.bind(sym, v);
+            istack = istack.pushed((*old_frames[j]).clone());
+            env.push(vec![arho.clone()]);
+            evidence.push(old.evidence[j].clone());
+            context.push(arho.clone());
+            binding_meta.push(old.binding_meta[i].clone());
+            reused += 1;
+        } else {
+            if first_dirty_implicit.is_none() {
+                first_dirty_implicit = Some(j);
+            }
+            let (got, ea) = elab
+                .elaborate_with_env(&mut env, &evidence, &gamma, arg)
+                .map_err(elab_err)?;
+            let want = arho.to_type();
+            if !intern::types_equal(&got, &want) {
+                return err(format!(
+                    "implicit binding declared `{arho}` but edited to `{got}`"
+                ));
+            }
+            let outer: Vec<(Symbol, RuleType)> = evidence
+                .iter()
+                .flat_map(|syms| syms.iter())
+                .copied()
+                .zip(context.iter().cloned())
+                .collect();
+            check_closed(&fdecls, &gamma, &outer, &ea).map_err(pipeline_err)?;
+            let v = Evaluator::new()
+                .eval_in(&fenv, &ea)
+                .map_err(|e| ArtifactError(format!("incremental rebuild: {e}")))?;
+            // The old evidence symbol is reused: it already names the
+            // compiled global slot, and a name carries no staleness.
+            fenv = fenv.bind(sym, v);
+            let funcs_before = compiler.code().funcs.len();
+            let gv = compile_eval(&mut compiler, &vm_globals, &ea).map_err(pipeline_err)?;
+            let funcs_after = compiler.code().funcs.len();
+            vm_globals[i] = gv;
+            let names: Vec<Symbol> = gamma
+                .iter()
+                .map(|(n, _)| *n)
+                .chain(evidence.iter().flat_map(|syms| syms.iter()).copied())
+                .collect();
+            binding_meta.push(binding_reads(
+                &names,
+                &ea,
+                compiler.code(),
+                funcs_before..funcs_after,
+            ));
+            let av = interp
+                .eval_in(&venv, &istack, arg)
+                .map_err(|e| ArtifactError(format!("incremental rebuild: {e}")))?;
+            istack = istack.pushed(vec![(arho.clone(), av)]);
+            env.push(vec![arho.clone()]);
+            evidence.push(vec![sym]);
+            context.push(arho.clone());
+        }
+    }
+
+    // Derivation-cache entries are type-level — a resolution depends
+    // only on the context rule types, which shape-equality fixed — so
+    // every exported entry stays valid under expression-only edits.
+    let cache_entries_retained = old.cache_entries.len();
+    env.import_cache(old.cache_entries);
+
+    // Runtime-memo values may embed evidence, so a root is only safe
+    // when every binding it can reach is clean: any dirty let poisons
+    // all roots (lets feed every frame), a dirty implicit poisons
+    // roots that pinned its frame or a deeper one.
+    let memo_cut = if dirty[..nlets].iter().any(|d| *d) {
+        0
+    } else {
+        first_dirty_implicit.unwrap_or(nimp)
+    };
+    let roots: Vec<MemoExport> = old
+        .memo_roots
+        .into_iter()
+        .filter(|r| r.depth <= memo_cut)
+        .collect();
+    let memo_roots_retained = roots.len();
+    interp.import_memo_roots(&istack, roots);
+
+    let dict = DictCache::new(evidence.len());
+    let intern_base = intern::snapshot();
+    let env_base = env.snapshot();
+    let code_base = compiler.snapshot();
+    let stats = RebuildStats {
+        bindings_total: total,
+        bindings_reused: reused,
+        cache_entries_retained,
+        memo_roots_retained,
+    };
+    let session = Session {
+        decls,
+        policy: old.policy,
+        elab,
+        fdecls,
+        env,
+        evidence,
+        gamma,
+        context,
+        fenv,
+        compiler,
+        vm_globals,
+        code_base,
+        dict: Rc::new(RefCell::new(dict)),
+        dict_ic: old.dict_ic,
+        dict_binders: old.dict_binders,
+        interp,
+        venv,
+        istack,
+        intern_base,
+        env_base,
+        stats: SessionStats::default(),
+        metrics: Rc::new(RefCell::new(MetricsSink::new())),
+        trace: None,
+        prelude: prelude.clone(),
+        binding_meta,
+        fresh_base: old.fresh_watermark,
+        profile_dispatch: false,
+        dispatch_counts: std::collections::HashMap::new(),
+    };
+    Ok((session, stats))
+}
+
+/// A content-addressed artifact directory: `<key>.iart` content files
+/// plus `<config>.head` pointers naming the most recent artifact key
+/// per configuration family (the incremental-rebuild anchor on an
+/// exact-key miss). All writes are atomic (temp file + rename), so a
+/// crashed writer never leaves a torn artifact behind.
+pub struct ArtifactStore {
+    dir: PathBuf,
+}
+
+impl ArtifactStore {
+    /// Opens (creating if needed) the store directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn new(dir: impl Into<PathBuf>) -> io::Result<ArtifactStore> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(ArtifactStore { dir })
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of the content file for `key`.
+    pub fn content_path(&self, key: u64) -> PathBuf {
+        self.dir.join(format!("{key:016x}.iart"))
+    }
+
+    fn head_path(&self, config: u64) -> PathBuf {
+        self.dir.join(format!("{config:016x}.head"))
+    }
+
+    /// Reads the artifact stored under `key`, if any.
+    pub fn load(&self, key: u64) -> Option<Vec<u8>> {
+        std::fs::read(self.content_path(key)).ok()
+    }
+
+    /// The most recent artifact key recorded for `config`, if any.
+    pub fn head(&self, config: u64) -> Option<u64> {
+        let s = std::fs::read_to_string(self.head_path(config)).ok()?;
+        u64::from_str_radix(s.trim(), 16).ok()
+    }
+
+    /// Atomically writes `bytes` under `key` and points `config`'s
+    /// head at it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures (callers treat saving as
+    /// best-effort: a failed save never fails the build).
+    pub fn save(&self, key: u64, config: u64, bytes: &[u8]) -> io::Result<()> {
+        atomic_write(&self.content_path(key), bytes)?;
+        atomic_write(&self.head_path(config), format!("{key:016x}\n").as_bytes())
+    }
+}
+
+fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = path.with_extension(format!("tmp{}", std::process::id()));
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// How [`load_or_build`] obtained its session.
+#[derive(Clone, Debug)]
+pub enum LoadOutcome {
+    /// Rehydrated from an exact-key artifact; no phase re-ran.
+    Exact,
+    /// Rebuilt incrementally from the configuration's previous
+    /// artifact; only the edited bindings' cones re-ran.
+    Incremental(RebuildStats),
+    /// Built cold (no usable artifact).
+    Cold,
+}
+
+/// Loads a warm session from `store` if it can, building (and
+/// saving) otherwise: exact content-key hit → incremental rebuild
+/// from the configuration head → cold build. Every decode or
+/// validation failure along the way falls through to the next rung
+/// and is counted on the returned session's metrics as an
+/// `artifact_fallback` — a corrupt store degrades to exactly the
+/// no-store behavior, never a panic and never stale code.
+///
+/// # Errors
+///
+/// Only a failed *cold build* errors (same conditions as
+/// [`Session::new_configured_isa`]).
+#[allow(clippy::too_many_arguments)]
+pub fn load_or_build<'d>(
+    store: &ArtifactStore,
+    decls: &'d Declarations,
+    policy: &ResolutionPolicy,
+    prelude: &Prelude,
+    fusion: bool,
+    dict_ic: bool,
+    isa: Isa,
+) -> Result<(Session<'d>, LoadOutcome), SessionError> {
+    let key = artifact_key(decls, prelude, policy, fusion, dict_ic, isa);
+    let config = config_key(decls, policy, fusion, dict_ic, isa);
+    let mut fallbacks = 0u64;
+    if let Some(bytes) = store.load(key) {
+        match Session::from_artifact(decls, policy, prelude, fusion, dict_ic, isa, &bytes) {
+            Ok(mut s) => {
+                s.note_artifact_fallbacks(fallbacks);
+                let _ = store.save(key, config, &bytes);
+                return Ok((s, LoadOutcome::Exact));
+            }
+            Err(_) => fallbacks += 1,
+        }
+    }
+    if let Some(old_key) = store.head(config) {
+        if old_key != key {
+            match store.load(old_key) {
+                Some(bytes) => {
+                    let rebuilt = decode(&bytes).and_then(|a| {
+                        // The head must really belong to this
+                        // configuration: its own key must recompute
+                        // under our declarations/policy/knobs.
+                        let k = artifact_key(decls, &a.prelude, policy, fusion, dict_ic, isa);
+                        if k != a.key {
+                            return err("head artifact belongs to a different configuration");
+                        }
+                        rebuild_incremental(decls, a, prelude)
+                    });
+                    match rebuilt {
+                        Ok((mut s, stats)) => {
+                            s.note_artifact_fallbacks(fallbacks);
+                            let bytes = s.to_artifact();
+                            let _ = store.save(key, config, &bytes);
+                            return Ok((s, LoadOutcome::Incremental(stats)));
+                        }
+                        Err(_) => fallbacks += 1,
+                    }
+                }
+                None => fallbacks += 1,
+            }
+        }
+    }
+    let mut s = Session::new_configured_isa(decls, policy.clone(), prelude, fusion, dict_ic, isa)?;
+    s.note_artifact_fallbacks(fallbacks);
+    let bytes = s.to_artifact();
+    let _ = store.save(key, config, &bytes);
+    Ok((s, LoadOutcome::Cold))
+}

@@ -36,6 +36,7 @@
 // core and elab crates).
 #![allow(clippy::result_large_err)]
 
+pub mod artifact;
 pub mod driver;
 
 use std::cell::RefCell;
@@ -44,7 +45,7 @@ use std::rc::Rc;
 use implicit_core::env::{CacheCounters, EnvSnapshot, ImplicitEnv};
 use implicit_core::intern::{self, InternSnapshot};
 use implicit_core::resolve::ResolutionPolicy;
-use implicit_core::symbol::fresh;
+use implicit_core::symbol::{fresh, fresh_watermark};
 use implicit_core::syntax::{Declarations, Expr, RuleType, Type};
 use implicit_core::trace::{
     FanSink, MetricsRegistry, MetricsSink, Phase, SharedSink, TraceEvent, TraceSink,
@@ -351,6 +352,18 @@ pub struct Session<'d> {
     metrics: Rc<RefCell<MetricsSink>>,
     /// The caller's sink, if any (see [`Session::set_trace`]).
     trace: Option<SharedSink>,
+    /// The prelude this session was built from, kept for artifact
+    /// serialization and incremental-rebuild diffing.
+    prelude: Prelude,
+    /// Per-binding dependency read-sets (indices of earlier prelude
+    /// bindings each binding's evidence reads), for incremental
+    /// artifact invalidation.
+    binding_meta: Vec<artifact::BindingMeta>,
+    /// Fresh-symbol watermark covering every `fresh` name this
+    /// session's persistent state can embed (evidence and promoted
+    /// dictionary globals). Serialized so a rehydrating process can
+    /// raise its own counter past it.
+    fresh_base: u64,
     /// Per-opcode dispatch profiling for compiled runs (see
     /// [`Session::set_profile_dispatch`]).
     profile_dispatch: bool,
@@ -419,6 +432,7 @@ impl<'d> Session<'d> {
         // `let` bindings: each elaborates under the earlier ones and
         // is evaluated once in both semantics.
         let mut gamma: Vec<(Symbol, Type)> = Vec::with_capacity(prelude.lets.len());
+        let mut binding_meta: Vec<artifact::BindingMeta> = Vec::new();
         let mut fenv = FEnv::new();
         let mut venv = VarEnv::new();
         let mut compiler = Compiler::new_with_isa(isa);
@@ -441,9 +455,18 @@ impl<'d> Session<'d> {
             fenv = fenv.bind(*x, v);
             // Compiled backend: evaluate the same elaborated binding
             // through the VM and register it as a global.
+            let funcs_before = compiler.code().funcs.len();
             let gv = compile_eval(&mut compiler, &vm_globals, &fb)?;
+            let funcs_after = compiler.code().funcs.len();
             compiler.add_global(*x);
             vm_globals.push(gv);
+            let names: Vec<Symbol> = gamma.iter().map(|(n, _)| *n).collect();
+            binding_meta.push(artifact::binding_reads(
+                &names,
+                &fb,
+                compiler.code(),
+                funcs_before..funcs_after,
+            ));
             let vo = interp
                 .eval_in(&venv, &ImplStack::new(), bound)
                 .map_err(|e| SessionError::Prelude(format!("let `{x}` diverged in opsem: {e}")))?;
@@ -481,9 +504,22 @@ impl<'d> Session<'d> {
                 .map_err(|e| SessionError::Run(RunError::Eval(e)))?;
             let sym = fresh("ev");
             fenv = fenv.bind(sym, v);
+            let funcs_before = compiler.code().funcs.len();
             let gv = compile_eval(&mut compiler, &vm_globals, &ea)?;
+            let funcs_after = compiler.code().funcs.len();
             compiler.add_global(sym);
             vm_globals.push(gv);
+            let names: Vec<Symbol> = gamma
+                .iter()
+                .map(|(n, _)| *n)
+                .chain(evidence.iter().flat_map(|syms| syms.iter()).copied())
+                .collect();
+            binding_meta.push(artifact::binding_reads(
+                &names,
+                &ea,
+                compiler.code(),
+                funcs_before..funcs_after,
+            ));
             let av = interp.eval_in(&venv, &istack, arg).map_err(|e| {
                 SessionError::Prelude(format!("implicit binding `{arho}` in opsem: {e}"))
             })?;
@@ -496,6 +532,7 @@ impl<'d> Session<'d> {
         let intern_base = intern::snapshot();
         let env_base = env.snapshot();
         let code_base = compiler.snapshot();
+        let fresh_base = fresh_watermark();
         let dict = Rc::new(RefCell::new(DictCache::new(evidence.len())));
         Ok(Session {
             decls,
@@ -521,9 +558,19 @@ impl<'d> Session<'d> {
             stats: SessionStats::default(),
             metrics: Rc::new(RefCell::new(MetricsSink::new())),
             trace: None,
+            prelude: prelude.clone(),
+            binding_meta,
+            fresh_base,
             profile_dispatch: false,
             dispatch_counts: std::collections::HashMap::new(),
         })
+    }
+
+    /// Folds `n` artifact-load fallbacks (corrupt/stale/mismatched
+    /// artifacts that forced a cold build; see [`crate::artifact`])
+    /// into this session's metrics.
+    pub fn note_artifact_fallbacks(&mut self, n: u64) {
+        self.metrics.borrow_mut().metrics.artifact_fallbacks += n;
     }
 
     /// Installs (or clears, with `None`) a trace sink: pipeline phase
@@ -834,6 +881,7 @@ impl<'d> Session<'d> {
             return;
         }
         let pending = self.dict.borrow_mut().take_pending();
+        let promoted_any = !pending.is_empty();
         for (query, ev) in pending {
             let snap = self.compiler.snapshot();
             match compile_eval(&mut self.compiler, &self.vm_globals, &ev) {
@@ -847,6 +895,11 @@ impl<'d> Session<'d> {
                 }
                 _ => self.compiler.rollback(&snap),
             }
+        }
+        if promoted_any {
+            // Promotions mint fresh `dict` globals; widen the
+            // serialized watermark so artifacts cover them.
+            self.fresh_base = self.fresh_base.max(fresh_watermark());
         }
     }
 

@@ -1,0 +1,345 @@
+//! Artifact-store behavior: exact rehydration fidelity (byte-stable
+//! re-encode), graceful degradation on corruption (fallback to cold,
+//! counted, never a panic or stale code), and incremental-rebuild
+//! precision (a one-binding edit invalidates exactly its dependency
+//! cone).
+
+use implicit_core::resolve::ResolutionPolicy;
+use implicit_core::symbol::Symbol;
+use implicit_core::syntax::{BinOp, Declarations, Expr, Type};
+use implicit_pipeline::artifact::{self, artifact_key, config_key, ArtifactStore, LoadOutcome};
+use implicit_pipeline::{Prelude, Session};
+use systemf::Isa;
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("implicit-artifact-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// `x0 = root; x_k = x_{k-1} + 1` lets, then two implicits: `Int`
+/// evidence reading the last let, and `Int × Int` evidence querying
+/// `?Int` (so it reads the first implicit's evidence). Every binding
+/// reads its predecessor, so the dependency graph is one chain —
+/// invalidation cones are exact intervals.
+fn lets_chain(n: usize, root: i64, bump: i64) -> Prelude {
+    let x = |k: usize| Symbol::intern(&format!("x{k}"));
+    let mut lets = vec![(x(0), Type::Int, Expr::Int(root))];
+    for k in 1..n {
+        lets.push((
+            x(k),
+            Type::Int,
+            Expr::binop(BinOp::Add, Expr::var(x(k - 1)), Expr::Int(1)),
+        ));
+    }
+    let implicits = vec![
+        (Expr::var(x(n - 1)), Type::Int.promote()),
+        (
+            Expr::pair(Expr::query_simple(Type::Int), Expr::Int(bump)),
+            Type::prod(Type::Int, Type::Int).promote(),
+        ),
+    ];
+    Prelude { lets, implicits }
+}
+
+/// `?(Int × Int)` plus the first let — exercises lets, both implicit
+/// frames, the derivation cache, and the runtime memo.
+fn probe() -> Expr {
+    Expr::binop(
+        BinOp::Add,
+        Expr::Snd(Expr::query_simple(Type::prod(Type::Int, Type::Int)).into()),
+        Expr::var("x0"),
+    )
+}
+
+#[test]
+fn rehydrated_session_reencodes_byte_identically() {
+    let decls = Declarations::default();
+    let prelude = lets_chain(4, 10, 1);
+    let policy = ResolutionPolicy::paper();
+    let mut builder = Session::new(&decls, policy.clone(), &prelude).unwrap();
+    // Warm the caches so the artifact carries nontrivial cache and
+    // memo sections, not just the prelude skeleton.
+    builder.run(&probe()).unwrap();
+    builder.run_compiled(&probe()).unwrap();
+    builder.run_opsem(&probe()).unwrap();
+    let bytes = builder.to_artifact();
+    drop(builder);
+
+    let mut back = Session::from_artifact(
+        &decls,
+        &policy,
+        &prelude,
+        true,
+        false,
+        Isa::Register,
+        &bytes,
+    )
+    .unwrap();
+    let again = back.to_artifact();
+    assert_eq!(
+        bytes, again,
+        "decode → assemble → re-encode must be byte-identical"
+    );
+
+    // And the rehydrated session computes the same values as a cold
+    // build, with warm-cache behavior (hits on the very first run).
+    let mut cold = Session::new(&decls, policy, &prelude).unwrap();
+    let w = back.run_compiled(&probe()).unwrap();
+    let c = cold.run_compiled(&probe()).unwrap();
+    assert_eq!(w.value.to_string(), c.value.to_string());
+    let hits = back.cache_counters().hits;
+    assert!(
+        hits > 0,
+        "rehydrated session must hit the imported derivation cache on its first program"
+    );
+}
+
+#[test]
+fn corrupted_artifacts_fall_back_to_cold_and_are_counted() {
+    let decls = Declarations::default();
+    let prelude = lets_chain(3, 5, 2);
+    let policy = ResolutionPolicy::paper();
+    let mut builder = Session::new(&decls, policy.clone(), &prelude).unwrap();
+    builder.run(&probe()).unwrap();
+    let bytes = builder.to_artifact();
+    drop(builder);
+
+    // Every single-bit flip must be rejected at decode/validate time
+    // (checksum first, structural tags behind it) — sample positions
+    // across the whole payload, including the trailing checksum.
+    for pos in (0..bytes.len()).step_by((bytes.len() / 64).max(1)) {
+        let mut bad = bytes.clone();
+        bad[pos] ^= 0x10;
+        let r = Session::from_artifact(&decls, &policy, &prelude, true, false, Isa::Register, &bad);
+        assert!(
+            r.is_err(),
+            "bit-flip at byte {pos} was accepted — stale/corrupt state could leak"
+        );
+    }
+    // Truncations too.
+    for cut in [0, 1, bytes.len() / 2, bytes.len() - 1] {
+        assert!(
+            Session::from_artifact(
+                &decls,
+                &policy,
+                &prelude,
+                true,
+                false,
+                Isa::Register,
+                &bytes[..cut],
+            )
+            .is_err(),
+            "truncated artifact ({cut} bytes) was accepted"
+        );
+    }
+
+    // A corrupt store degrades to a cold build and counts the
+    // fallback on the session metrics.
+    let dir = tmpdir("corrupt");
+    let store = ArtifactStore::new(&dir).unwrap();
+    let key = artifact_key(&decls, &prelude, &policy, true, false, Isa::Register);
+    let mut bad = bytes.clone();
+    let mid = bad.len() / 2;
+    bad[mid] ^= 0xFF;
+    std::fs::write(store.content_path(key), &bad).unwrap();
+    let (sess, outcome) = artifact::load_or_build(
+        &store,
+        &decls,
+        &policy,
+        &prelude,
+        true,
+        false,
+        Isa::Register,
+    )
+    .unwrap();
+    assert!(matches!(outcome, LoadOutcome::Cold), "got {outcome:?}");
+    assert_eq!(
+        sess.metrics().artifact_fallbacks,
+        1,
+        "the corrupt artifact must be counted as a fallback"
+    );
+    // The cold build overwrote the corrupt file; the next load is an
+    // exact hit with no fallbacks.
+    drop(sess);
+    let (sess2, outcome2) = artifact::load_or_build(
+        &store,
+        &decls,
+        &policy,
+        &prelude,
+        true,
+        false,
+        Isa::Register,
+    )
+    .unwrap();
+    assert!(matches!(outcome2, LoadOutcome::Exact), "got {outcome2:?}");
+    assert_eq!(sess2.metrics().artifact_fallbacks, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn wrong_configuration_never_rehydrates() {
+    let decls = Declarations::default();
+    let prelude = lets_chain(3, 5, 2);
+    let policy = ResolutionPolicy::paper();
+    let mut builder = Session::new(&decls, policy.clone(), &prelude).unwrap();
+    let bytes = builder.to_artifact();
+    drop(builder);
+    // Different ISA, policy, knobs, or prelude → key mismatch → Err.
+    assert!(
+        Session::from_artifact(&decls, &policy, &prelude, true, false, Isa::Stack, &bytes).is_err()
+    );
+    assert!(Session::from_artifact(
+        &decls,
+        &policy.clone().with_most_specific(),
+        &prelude,
+        true,
+        false,
+        Isa::Register,
+        &bytes,
+    )
+    .is_err());
+    assert!(Session::from_artifact(
+        &decls,
+        &policy,
+        &prelude,
+        false,
+        false,
+        Isa::Register,
+        &bytes
+    )
+    .is_err());
+    let other = lets_chain(3, 6, 2);
+    assert!(
+        Session::from_artifact(&decls, &policy, &other, true, false, Isa::Register, &bytes)
+            .is_err()
+    );
+}
+
+#[test]
+fn incremental_rebuild_invalidates_exactly_the_dependency_cone() {
+    let decls = Declarations::default();
+    let n = 6;
+    let prelude = lets_chain(n, 100, 1);
+    let policy = ResolutionPolicy::paper();
+    let dir = tmpdir("incremental");
+    let store = ArtifactStore::new(&dir).unwrap();
+
+    // Seed the store with a warmed artifact for the original prelude.
+    let (mut first, outcome) = artifact::load_or_build(
+        &store,
+        &decls,
+        &policy,
+        &prelude,
+        true,
+        false,
+        Isa::Register,
+    )
+    .unwrap();
+    assert!(matches!(outcome, LoadOutcome::Cold));
+    first.run(&probe()).unwrap();
+    first.run_opsem(&probe()).unwrap();
+    let key = artifact_key(&decls, &prelude, &policy, true, false, Isa::Register);
+    let config = config_key(&decls, &policy, true, false, Isa::Register);
+    store.save(key, config, &first.to_artifact()).unwrap();
+    drop(first);
+
+    // Leaf edit: the *last* binding (second implicit) changes its
+    // expression. Nothing reads it, so its cone is itself: every
+    // other binding must be reused, and the prelude-level derivation
+    // cache must carry over.
+    let leaf_edit = lets_chain(n, 100, 2);
+    let (mut sess, outcome) = artifact::load_or_build(
+        &store,
+        &decls,
+        &policy,
+        &leaf_edit,
+        true,
+        false,
+        Isa::Register,
+    )
+    .unwrap();
+    let LoadOutcome::Incremental(stats) = outcome else {
+        panic!("leaf edit must rebuild incrementally, got {outcome:?}");
+    };
+    let total = n + 2;
+    assert_eq!(stats.bindings_total, total);
+    assert_eq!(
+        stats.bindings_reused,
+        total - 1,
+        "a leaf edit's cone is exactly itself: {stats:?}"
+    );
+    assert!(
+        stats.cache_entries_retained > 0,
+        "derivation-cache entries must survive an expression-only edit: {stats:?}"
+    );
+    // Correctness of the rebuilt session against a cold build.
+    let mut cold = Session::new(&decls, policy.clone(), &leaf_edit).unwrap();
+    for e in [probe(), Expr::query_simple(Type::Int)] {
+        assert_eq!(
+            sess.run_compiled(&e).unwrap().value.to_string(),
+            cold.run_compiled(&e).unwrap().value.to_string(),
+            "incremental rebuild diverged from cold on {e}"
+        );
+        assert_eq!(
+            sess.run_opsem(&e).unwrap().to_string(),
+            cold.run_opsem(&e).unwrap().to_string(),
+            "incremental rebuild (opsem) diverged from cold on {e}"
+        );
+    }
+    drop(sess);
+    drop(cold);
+
+    // Root edit: `x0`'s expression changes. Every later binding reads
+    // its predecessor, so the cone is the entire prelude — nothing is
+    // reused, and the rebuilt values must reflect the new root.
+    let root_edit = lets_chain(n, 200, 2);
+    let (mut sess, outcome) = artifact::load_or_build(
+        &store,
+        &decls,
+        &policy,
+        &root_edit,
+        true,
+        false,
+        Isa::Register,
+    )
+    .unwrap();
+    let LoadOutcome::Incremental(stats) = outcome else {
+        panic!("root edit must rebuild incrementally, got {outcome:?}");
+    };
+    assert_eq!(
+        stats.bindings_reused, 0,
+        "a root edit must invalidate everything it reaches: {stats:?}"
+    );
+    let mut cold = Session::new(&decls, policy.clone(), &root_edit).unwrap();
+    let w = sess.run_compiled(&probe()).unwrap();
+    let c = cold.run_compiled(&probe()).unwrap();
+    assert_eq!(w.value.to_string(), c.value.to_string());
+    // ?(Int×Int) = (?Int, 2) = (x5, 2) with x5 = 205; probe adds x0.
+    assert_eq!(w.value.to_string(), "202");
+    drop(sess);
+    drop(cold);
+
+    // Shape change (extra binding) cannot rebuild incrementally —
+    // the ladder lands on a cold build, not stale state.
+    let mut reshaped = lets_chain(n, 200, 2);
+    reshaped
+        .lets
+        .push((Symbol::intern("extra"), Type::Int, Expr::Int(1)));
+    let (sess, outcome) = artifact::load_or_build(
+        &store,
+        &decls,
+        &policy,
+        &reshaped,
+        true,
+        false,
+        Isa::Register,
+    )
+    .unwrap();
+    assert!(
+        matches!(outcome, LoadOutcome::Cold),
+        "shape change must fall back to cold, got {outcome:?}"
+    );
+    assert_eq!(sess.metrics().artifact_fallbacks, 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -8,6 +8,12 @@
 //! elaborates the prelude once, the cold run re-elaborates it per
 //! program), so evidence-variable *names* differ; values print
 //! name-free and errors are compared with digits stripped.
+//!
+//! PR 9 adds a *restarted* leg per ISA: a session is built, serialized
+//! to an artifact, dropped, and rehydrated via
+//! [`Session::from_artifact`]; the rehydrated session must be
+//! observationally equal to the same-process warm session (and hence
+//! to cold) on every program, on both the compiled and opsem legs.
 
 use genprog::{data_prelude, gen_program_with, rng, GenConfig};
 use implicit_core::resolve::{resolve, ResolutionPolicy};
@@ -71,6 +77,46 @@ fn warm_session_is_observationally_equal_to_cold_runs() {
             systemf::Isa::Stack,
         )
         .unwrap_or_else(|e| panic!("[{pname}] prelude failed: {e}"));
+        // Restarted legs: serialize → drop → rehydrate, one per ISA.
+        // The builder sessions are dropped before rehydration, so the
+        // restarted sessions share no in-memory state with them.
+        let reg_bytes = {
+            let mut b = Session::new(&decls, policy.clone(), &prelude)
+                .unwrap_or_else(|e| panic!("[{pname}] prelude failed: {e}"));
+            b.to_artifact()
+        };
+        let mut restart_reg = Session::from_artifact(
+            &decls,
+            &policy,
+            &prelude,
+            true,
+            false,
+            systemf::Isa::Register,
+            &reg_bytes,
+        )
+        .unwrap_or_else(|e| panic!("[{pname}] register rehydration failed: {e}"));
+        let stack_bytes = {
+            let mut b = Session::new_configured_isa(
+                &decls,
+                policy.clone(),
+                &prelude,
+                true,
+                false,
+                systemf::Isa::Stack,
+            )
+            .unwrap_or_else(|e| panic!("[{pname}] prelude failed: {e}"));
+            b.to_artifact()
+        };
+        let mut restart_stack = Session::from_artifact(
+            &decls,
+            &policy,
+            &prelude,
+            true,
+            false,
+            systemf::Isa::Stack,
+            &stack_bytes,
+        )
+        .unwrap_or_else(|e| panic!("[{pname}] stack rehydration failed: {e}"));
         for seed in 0..SEEDS_PER_POLICY {
             let mut r = rng(0xC0FFEE ^ seed);
             let prog = gen_program_with(&mut r, &config, &decls);
@@ -141,6 +187,29 @@ fn warm_session_is_observationally_equal_to_cold_runs() {
                     prog.expr
                 ),
             }
+            // Restarted opsem leg: the rehydrated interpreter (with
+            // its imported memo roots) must agree with the warm one.
+            let restart_op = restart_reg.run_opsem(&prog.expr);
+            match (&warm_op, &restart_op) {
+                (Ok(w), Ok(r)) => assert_eq!(
+                    w.to_string(),
+                    r.to_string(),
+                    "[{pname}/{seed}] restarted opsem value mismatch on {}",
+                    prog.expr
+                ),
+                (Err(we), Err(re)) => assert_eq!(
+                    normalize(&we.to_string()),
+                    normalize(&re.to_string()),
+                    "[{pname}/{seed}] restarted opsem error mismatch on {}",
+                    prog.expr
+                ),
+                (w, r) => panic!(
+                    "[{pname}/{seed}] opsem warm {:?} vs restarted {:?} on {}",
+                    w.as_ref().map(|v| v.to_string()),
+                    r.as_ref().map(|v| v.to_string()),
+                    prog.expr
+                ),
+            }
             // Compiled legs: every optimization configuration of the
             // bytecode backend must match the warm tree-walk outcome.
             let legs = [
@@ -148,6 +217,8 @@ fn warm_session_is_observationally_equal_to_cold_runs() {
                 ("vm", vm_plain.run_compiled(&prog.expr)),
                 ("vm-nofuse", vm_nofuse.run_compiled(&prog.expr)),
                 ("vm-stack", vm_stack.run_compiled(&prog.expr)),
+                ("restarted", restart_reg.run_compiled(&prog.expr)),
+                ("restarted-stack", restart_stack.run_compiled(&prog.expr)),
             ];
             match &warm {
                 Ok(w) => {

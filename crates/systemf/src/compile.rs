@@ -962,6 +962,47 @@ impl Default for Compiler {
     }
 }
 
+/// Plain decomposition of a compiler's state up to a snapshot —
+/// everything a fresh process needs to rebuild the compiler without
+/// recompiling (see [`Compiler::export_parts`] /
+/// [`Compiler::from_parts`]).
+#[derive(Clone, Debug)]
+pub struct CodeParts {
+    /// Instruction set the code was compiled for.
+    pub isa: Isa,
+    /// Compiled functions.
+    pub funcs: Vec<FuncCode>,
+    /// Constant pool.
+    pub consts: Vec<Value>,
+    /// Record field-name lists.
+    pub field_lists: Vec<Rc<[Symbol]>>,
+    /// Match dispatch tables.
+    pub match_tables: Vec<MatchTable>,
+    /// Global names in slot order.
+    pub globals: Vec<Symbol>,
+    /// Whether superinstruction fusion was enabled.
+    pub fusion: bool,
+}
+
+/// Global slots read by `func` — the per-compiled-function read-set
+/// the artifact store records for incremental invalidation. Globals
+/// are only ever loaded by [`Instr::Global`] / [`Instr::RGlobal`], so
+/// a scan over those two opcodes is exact.
+pub fn func_global_reads(func: &FuncCode) -> Vec<u32> {
+    let mut out: Vec<u32> = func
+        .code
+        .iter()
+        .filter_map(|i| match i {
+            Instr::Global(g) => Some(*g),
+            Instr::RGlobal { idx, .. } => Some(*idx),
+            _ => None,
+        })
+        .collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
 impl Compiler {
     /// An empty compiler targeting the default (register) ISA.
     pub fn new() -> Compiler {
@@ -1010,6 +1051,75 @@ impl Compiler {
             field_lists: self.code.field_lists.len(),
             match_tables: self.code.match_tables.len(),
             globals: self.globals.len(),
+        }
+    }
+
+    /// Decomposes the prefix of this compiler covered by `snap` into
+    /// plain parts for the artifact serializer. The derived pools and
+    /// the global map are not exported; [`Compiler::from_parts`]
+    /// rebuilds them.
+    pub fn export_parts(&self, snap: &CodeSnapshot) -> CodeParts {
+        CodeParts {
+            isa: self.code.isa,
+            funcs: self.code.funcs[..snap.funcs].to_vec(),
+            consts: self.code.consts[..snap.consts].to_vec(),
+            field_lists: self.code.field_lists[..snap.field_lists].to_vec(),
+            match_tables: self.code.match_tables[..snap.match_tables].to_vec(),
+            globals: self.globals[..snap.globals].to_vec(),
+            fusion: self.fusion,
+        }
+    }
+
+    /// Rebuilds a compiler from decoded parts: the literal pools are
+    /// re-derived by scanning the constant table (first occurrence
+    /// wins, matching how [`Compiler::rollback`] leaves live pools)
+    /// and the global map from the slot order.
+    pub fn from_parts(parts: CodeParts) -> Compiler {
+        let mut int_pool = HashMap::new();
+        let mut str_pool = HashMap::new();
+        let mut misc_pool = HashMap::new();
+        for (i, v) in parts.consts.iter().enumerate() {
+            let i = i as u32;
+            match v {
+                Value::Int(n) => {
+                    int_pool.entry(*n).or_insert(i);
+                }
+                Value::Str(s) => {
+                    str_pool.entry(s.to_string()).or_insert(i);
+                }
+                Value::Bool(b) => {
+                    misc_pool.entry(u8::from(*b)).or_insert(i);
+                }
+                Value::Unit => {
+                    misc_pool.entry(2).or_insert(i);
+                }
+                Value::List(xs) if xs.is_empty() => {
+                    misc_pool.entry(3).or_insert(i);
+                }
+                _ => {}
+            }
+        }
+        let global_map = parts
+            .globals
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (*s, i as u32))
+            .collect();
+        Compiler {
+            code: CodeObject {
+                isa: parts.isa,
+                funcs: parts.funcs,
+                consts: parts.consts,
+                field_lists: parts.field_lists,
+                match_tables: parts.match_tables,
+            },
+            int_pool,
+            str_pool,
+            misc_pool,
+            globals: parts.globals,
+            global_map,
+            fusion: parts.fusion,
+            stats: FusionStats::default(),
         }
     }
 

@@ -191,18 +191,18 @@ impl fmt::Display for Value {
 /// A persistent evaluation environment (linked list of bindings).
 #[derive(Clone, Default, Debug)]
 pub struct Env {
-    node: Option<Rc<EnvNode>>,
+    pub(crate) node: Option<Rc<EnvNode>>,
 }
 
 #[derive(Debug)]
-struct EnvNode {
-    name: Symbol,
-    value: Binding,
-    next: Env,
+pub(crate) struct EnvNode {
+    pub(crate) name: Symbol,
+    pub(crate) value: Binding,
+    pub(crate) next: Env,
 }
 
 #[derive(Clone, Debug)]
-enum Binding {
+pub(crate) enum Binding {
     Done(Value),
     /// A `fix x:T. e` binding: re-evaluating `e` in `env` (with `x`
     /// bound recursively) unfolds the recursion one step.
@@ -210,6 +210,32 @@ enum Binding {
         body: Rc<FExpr>,
         env: Env,
     },
+}
+
+impl Env {
+    /// Iterates the binding spine outward (innermost binding first),
+    /// for the artifact serializer.
+    pub(crate) fn nodes(&self) -> impl Iterator<Item = &Rc<EnvNode>> {
+        std::iter::successors(self.node.as_ref(), |n| n.next.node.as_ref())
+    }
+
+    /// The spine as `(name, value)` pairs, outermost binding first;
+    /// `None` for recursive (`fix`) bindings. Used by the session
+    /// artifact layer to recover per-binding prelude values.
+    pub fn bindings_outermost_first(&self) -> Vec<(Symbol, Option<Value>)> {
+        let mut out: Vec<(Symbol, Option<Value>)> = self
+            .nodes()
+            .map(|n| {
+                let v = match &n.value {
+                    Binding::Done(v) => Some(v.clone()),
+                    Binding::Rec { .. } => None,
+                };
+                (n.name, v)
+            })
+            .collect();
+        out.reverse();
+        out
+    }
 }
 
 impl Drop for Env {

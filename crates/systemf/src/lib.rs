@@ -33,6 +33,7 @@ pub mod eval;
 pub mod syntax;
 pub mod typeck;
 pub mod vm;
+pub mod wire;
 
 pub use compile::{CodeObject, CodeSnapshot, CompileError, Compiler, Isa};
 pub use eval::{eval, EvalError, Evaluator, Value};

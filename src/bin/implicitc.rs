@@ -31,6 +31,16 @@
 //!                          program
 //!   --jobs <M>             batch worker threads (default 1), fed by
 //!                          a work-stealing deque
+//!   --cache-dir <D>        persistent artifact store: sessions are
+//!                          loaded from content-addressed prelude
+//!                          snapshots in D when one matches (falling
+//!                          back to an incremental rebuild on a
+//!                          prelude edit, and a cold build otherwise)
+//!                          and saved back after a cold build. In
+//!                          single-program mode the program's leading
+//!                          `let`/`implicit` wrappers form the cached
+//!                          prelude; in batch mode it is
+//!                          DIR/prelude.imp. Requires --emit value.
 //!   --trace <FILE>         write a Chrome trace-event JSON file
 //!                          (open in about:tracing or Perfetto):
 //!                          phase spans, per-query resolution events,
@@ -78,6 +88,7 @@ struct Options {
     strict: bool,
     input: Option<Input>,
     batch: Option<String>,
+    cache_dir: Option<String>,
     jobs: usize,
     trace: Option<String>,
     metrics: bool,
@@ -117,7 +128,7 @@ fn usage() -> String {
     "usage: implicitc [--lang core|source] [--emit value|type|core|systemf|explain] \
      [--semantics elab|opsem|both] [--policy paper|most-specific|env-extension] \
      [--backend tree|vm|vm-stack] [--strict] [--trace <file.json>] [--metrics] [--vm-stats] \
-     [--xcheck] (<file> | -e <program> | --batch <dir> [--jobs <m>])"
+     [--xcheck] [--cache-dir <d>] (<file> | -e <program> | --batch <dir> [--jobs <m>])"
         .to_owned()
 }
 
@@ -131,6 +142,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         strict: false,
         input: None,
         batch: None,
+        cache_dir: None,
         jobs: 1,
         trace: None,
         metrics: false,
@@ -199,6 +211,12 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .ok_or_else(|| "--batch needs a directory argument".to_owned())?;
                 opts.batch = Some(dir.clone());
             }
+            "--cache-dir" => {
+                let dir = it
+                    .next()
+                    .ok_or_else(|| "--cache-dir needs a directory argument".to_owned())?;
+                opts.cache_dir = Some(dir.clone());
+            }
             "--jobs" => {
                 let arg = it
                     .next()
@@ -248,6 +266,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     }
     if opts.xcheck && opts.batch.is_some() {
         return Err("--xcheck verifies a single program; drop --batch".to_owned());
+    }
+    if opts.cache_dir.is_some() && opts.emit != Emit::Value {
+        return Err("--cache-dir caches evaluation sessions; it requires --emit value".to_owned());
     }
     Ok(opts)
 }
@@ -480,6 +501,12 @@ fn run(opts: &Options) -> Result<(), String> {
         Emit::Value => {}
     }
 
+    // --cache-dir: run through a session loaded-or-built from the
+    // persistent artifact store instead of the one-shot pipeline.
+    if let Some(dir) = &opts.cache_dir {
+        return run_single_cached(opts, dir, &decls, &core, &ty.to_string(), &tracer);
+    }
+
     let mut vm_report: Option<VmReport> = None;
     let elab_value = if opts.semantics != Semantics::Opsem {
         let mut elab = implicit_elab::Elaborator::with_policy(&decls, opts.policy.clone());
@@ -574,6 +601,142 @@ fn run(opts: &Options) -> Result<(), String> {
     if let Some(report) = &vm_report {
         print_vm_stats(report);
     }
+    tracer.finish(opts)
+}
+
+/// Peels the program's leading `let`/`implicit` wrappers into a
+/// cacheable [`implicit_pipeline::Prelude`] (lets first, then
+/// single-binding implicits — the session convention) and returns the
+/// residual body. Splitting stops at the first non-wrapper node, so
+/// any program splits; a program with no wrappers yields the empty
+/// prelude, whose artifact is trivial but still valid.
+fn split_prelude(e: &Expr) -> (implicit_pipeline::Prelude, Expr) {
+    let mut prelude = implicit_pipeline::Prelude::new();
+    let mut cur = e;
+    while let Expr::App(f, bound) = cur {
+        match &**f {
+            Expr::Lam(x, ty, body) => {
+                prelude.lets.push((*x, ty.clone(), (**bound).clone()));
+                cur = body;
+            }
+            _ => break,
+        }
+    }
+    loop {
+        match cur {
+            Expr::RuleApp(f, args) if args.len() == 1 => match &**f {
+                Expr::RuleAbs(_, body) => {
+                    let (a, r) = &args[0];
+                    prelude.implicits.push((a.clone(), r.clone()));
+                    cur = body;
+                }
+                _ => break,
+            },
+            _ => break,
+        }
+    }
+    (prelude, cur.clone())
+}
+
+/// One human-readable line describing how the store satisfied a load.
+fn outcome_line(outcome: &implicit_pipeline::artifact::LoadOutcome) -> String {
+    use implicit_pipeline::artifact::LoadOutcome;
+    match outcome {
+        LoadOutcome::Exact => "exact artifact hit (no phase re-ran)".to_owned(),
+        LoadOutcome::Incremental(s) => format!(
+            "incremental rebuild ({}/{} bindings reused, {} cache entries retained)",
+            s.bindings_reused, s.bindings_total, s.cache_entries_retained
+        ),
+        LoadOutcome::Cold => "cold build (artifact saved)".to_owned(),
+    }
+}
+
+/// Single-program `--cache-dir` mode: the program's leading wrappers
+/// become the session prelude, loaded-or-built through the artifact
+/// store ([`implicit_pipeline::artifact::load_or_build`] — exact hit,
+/// incremental rebuild on a prelude edit, or cold build); the
+/// residual body then runs through the session under the chosen
+/// `--semantics` and `--backend`.
+fn run_single_cached(
+    opts: &Options,
+    dir: &str,
+    decls: &Declarations,
+    core: &Expr,
+    ty: &str,
+    tracer: &Tracer,
+) -> Result<(), String> {
+    let (prelude, body) = split_prelude(core);
+    let store = implicit_pipeline::artifact::ArtifactStore::new(dir)
+        .map_err(|e| format!("--cache-dir `{dir}`: {e}"))?;
+    let (mut session, outcome) = implicit_pipeline::artifact::load_or_build(
+        &store,
+        decls,
+        &opts.policy,
+        &prelude,
+        true,
+        false,
+        opts.backend.isa().unwrap_or_default(),
+    )
+    .map_err(|e| e.to_string())?;
+    eprintln!(
+        "cache: {} ({} lets, {} implicits)",
+        outcome_line(&outcome),
+        prelude.lets.len(),
+        prelude.implicits.len()
+    );
+    if let Some(sink) = &tracer.sink {
+        session.set_trace(Some(sink.clone()));
+    }
+    session.set_profile_dispatch(opts.vm_stats);
+    let elab_value = if opts.semantics != Semantics::Opsem {
+        Some(
+            session
+                .run_with_backend(&body, opts.backend)
+                .map_err(|e| e.to_string())?
+                .value
+                .to_string(),
+        )
+    } else {
+        None
+    };
+    let opsem_value = if opts.semantics != Semantics::Elab {
+        Some(
+            session
+                .run_opsem(&body)
+                .map_err(|e| e.to_string())?
+                .to_string(),
+        )
+    } else {
+        None
+    };
+    match (elab_value, opsem_value) {
+        (Some(a), Some(b)) => {
+            if a != b {
+                return Err(format!("semantics disagree: elaboration {a} vs opsem {b}"));
+            }
+            println!("{a} : {ty}");
+        }
+        (Some(a), None) | (None, Some(a)) => println!("{a} : {ty}"),
+        (None, None) => unreachable!("one semantics is always selected"),
+    }
+    if opts.vm_stats {
+        let mut histogram = session.dispatch_histogram();
+        histogram.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        print_vm_stats(&VmReport {
+            fusion: session.fusion_stats().clone(),
+            histogram,
+            frame_widths: session.frame_widths(),
+        });
+    }
+    session.set_trace(None);
+    // Re-save the now-warmer artifact (best-effort): prelude-pure
+    // derivation-cache entries learned while running the body persist
+    // to the next process under the same content key.
+    let isa = opts.backend.isa().unwrap_or_default();
+    let key =
+        implicit_pipeline::artifact::artifact_key(decls, &prelude, &opts.policy, true, false, isa);
+    let config = implicit_pipeline::artifact::config_key(decls, &opts.policy, true, false, isa);
+    let _ = store.save(key, config, &session.to_artifact());
     tracer.finish(opts)
 }
 
@@ -681,6 +844,11 @@ fn run_batch_mode(opts: &Options, dir: &str) -> Result<(), String> {
     implicit_pipeline::Session::new(&decls, opts.policy.clone(), &prelude)
         .map_err(|e| format!("prelude: {e}"))?;
     drop((decls, prelude));
+    // Same for the artifact store: fail once here, not per worker.
+    if let Some(d) = &opts.cache_dir {
+        implicit_pipeline::artifact::ArtifactStore::new(d)
+            .map_err(|e| format!("--cache-dir `{d}`: {e}"))?;
+    }
 
     let total = programs.len();
     let semantics = opts.semantics;
@@ -693,18 +861,40 @@ fn run_batch_mode(opts: &Options, dir: &str) -> Result<(), String> {
     // per-worker lanes line up on a common time axis.
     let clock = Instant::now();
     let vm_stats = opts.vm_stats;
+    let cache_dir = opts.cache_dir.as_deref();
     let outcomes = implicit_pipeline::run_batch_scoped(programs, opts.jobs, |worker, source| {
         let (decls, prelude) =
             parse_batch_prelude(prelude_src).expect("prelude validated before dispatch");
-        let mut session = implicit_pipeline::Session::new_configured_isa(
-            &decls,
-            policy.clone(),
-            &prelude,
-            true,
-            false,
-            backend.isa().unwrap_or_default(),
-        )
-        .expect("prelude validated before dispatch");
+        let mut session = match cache_dir {
+            // Warm-start workers from the on-disk artifact store: the
+            // first worker to arrive builds and saves, the rest (and
+            // every later process) rehydrate without re-running any
+            // phase.
+            Some(d) => {
+                let store = implicit_pipeline::artifact::ArtifactStore::new(d)
+                    .expect("cache dir validated before dispatch");
+                implicit_pipeline::artifact::load_or_build(
+                    &store,
+                    &decls,
+                    policy,
+                    &prelude,
+                    true,
+                    false,
+                    backend.isa().unwrap_or_default(),
+                )
+                .expect("prelude validated before dispatch")
+                .0
+            }
+            None => implicit_pipeline::Session::new_configured_isa(
+                &decls,
+                policy.clone(),
+                &prelude,
+                true,
+                false,
+                backend.isa().unwrap_or_default(),
+            )
+            .expect("prelude validated before dispatch"),
+        };
         session.set_profile_dispatch(vm_stats);
         let chrome =
             tracing.then(|| Rc::new(RefCell::new(ChromeSink::with_clock(clock, worker as u64))));
