@@ -51,6 +51,15 @@ fn err<T>(msg: impl Into<String>) -> Result<T, WireError> {
     Err(WireError(msg.into()))
 }
 
+/// Clamps a wire-supplied element count before pre-allocating, so a
+/// checksum-valid but corrupt (or crafted) length can't force a huge
+/// up-front allocation and abort the process; an honest count above
+/// the clamp just grows the vec as elements are pushed, and a lying
+/// count fails element-by-element with a decode `Err` instead.
+pub fn cap(n: usize) -> usize {
+    n.min(1 << 16)
+}
+
 /// 64-bit FNV-1a over `bytes`.
 pub fn fnv64(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
@@ -621,7 +630,7 @@ impl<'a> Dec<'a> {
                     8 => {
                         let n = self.sym()?;
                         let k = self.u32()? as usize;
-                        let mut args = Vec::with_capacity(k);
+                        let mut args = Vec::with_capacity(cap(k));
                         for _ in 0..k {
                             args.push(self.ty()?);
                         }
@@ -630,7 +639,7 @@ impl<'a> Dec<'a> {
                     9 => {
                         let v = self.sym()?;
                         let k = self.u32()? as usize;
-                        let mut args = Vec::with_capacity(k);
+                        let mut args = Vec::with_capacity(cap(k));
                         for _ in 0..k {
                             args.push(self.ty()?);
                         }
@@ -660,12 +669,12 @@ impl<'a> Dec<'a> {
             }
             1 => {
                 let nv = self.u32()? as usize;
-                let mut vars = Vec::with_capacity(nv);
+                let mut vars = Vec::with_capacity(cap(nv));
                 for _ in 0..nv {
                     vars.push(self.sym()?);
                 }
                 let nc = self.u32()? as usize;
-                let mut context = Vec::with_capacity(nc);
+                let mut context = Vec::with_capacity(cap(nc));
                 for _ in 0..nc {
                     context.push(self.rule()?);
                 }
@@ -706,7 +715,7 @@ impl<'a> Dec<'a> {
             9 => {
                 let f = self.expr()?;
                 let k = self.u32()? as usize;
-                let mut ts = Vec::with_capacity(k);
+                let mut ts = Vec::with_capacity(cap(k));
                 for _ in 0..k {
                     ts.push(self.ty()?);
                 }
@@ -715,7 +724,7 @@ impl<'a> Dec<'a> {
             10 => {
                 let f = self.expr()?;
                 let k = self.u32()? as usize;
-                let mut args = Vec::with_capacity(k);
+                let mut args = Vec::with_capacity(cap(k));
                 for _ in 0..k {
                     let a = self.expr()?;
                     let r = self.rule()?;
@@ -776,12 +785,12 @@ impl<'a> Dec<'a> {
             21 => {
                 let n = self.sym()?;
                 let kt = self.u32()? as usize;
-                let mut ts = Vec::with_capacity(kt);
+                let mut ts = Vec::with_capacity(cap(kt));
                 for _ in 0..kt {
                     ts.push(self.ty()?);
                 }
                 let kf = self.u32()? as usize;
-                let mut fields = Vec::with_capacity(kf);
+                let mut fields = Vec::with_capacity(cap(kf));
                 for _ in 0..kf {
                     let f = self.sym()?;
                     let e = self.expr()?;
@@ -797,12 +806,12 @@ impl<'a> Dec<'a> {
             23 => {
                 let c = self.sym()?;
                 let kt = self.u32()? as usize;
-                let mut ts = Vec::with_capacity(kt);
+                let mut ts = Vec::with_capacity(cap(kt));
                 for _ in 0..kt {
                     ts.push(self.ty()?);
                 }
                 let ka = self.u32()? as usize;
-                let mut args = Vec::with_capacity(ka);
+                let mut args = Vec::with_capacity(cap(ka));
                 for _ in 0..ka {
                     args.push(self.expr()?);
                 }
@@ -811,11 +820,11 @@ impl<'a> Dec<'a> {
             24 => {
                 let scrut = self.expr()?;
                 let k = self.u32()? as usize;
-                let mut arms = Vec::with_capacity(k);
+                let mut arms = Vec::with_capacity(cap(k));
                 for _ in 0..k {
                     let ctor = self.sym()?;
                     let nb = self.u32()? as usize;
-                    let mut binders = Vec::with_capacity(nb);
+                    let mut binders = Vec::with_capacity(cap(nb));
                     for _ in 0..nb {
                         binders.push(self.sym()?);
                     }
@@ -848,12 +857,12 @@ impl<'a> Dec<'a> {
         };
         let rule_type = self.rule()?;
         let kt = self.u32()? as usize;
-        let mut type_args = Vec::with_capacity(kt);
+        let mut type_args = Vec::with_capacity(cap(kt));
         for _ in 0..kt {
             type_args.push(self.ty()?);
         }
         let kp = self.u32()? as usize;
-        let mut premises = Vec::with_capacity(kp);
+        let mut premises = Vec::with_capacity(cap(kp));
         for _ in 0..kp {
             premises.push(match self.u8()? {
                 0 => Premise::Assumed {

@@ -42,7 +42,7 @@ use std::rc::Rc;
 use implicit_core::env::{CacheExport, ImplicitEnv};
 use implicit_core::intern;
 use implicit_core::resolve::ResolutionPolicy;
-use implicit_core::symbol::{ensure_fresh_at_least, Symbol};
+use implicit_core::symbol::{ensure_fresh_at_least, fresh_watermark, Symbol};
 use implicit_core::syntax::{Declarations, RuleType, Type};
 use implicit_core::trace::MetricsSink;
 use implicit_core::wire::{fnv64, Dec, Enc, WireError};
@@ -1045,7 +1045,11 @@ pub fn rebuild_incremental<'d>(
         trace: None,
         prelude: prelude.clone(),
         binding_meta,
-        fresh_base: old.fresh_watermark,
+        // Re-elaborating dirty bindings minted gensyms above the old
+        // artifact's watermark; snapshot the counter *after* rebuild
+        // (as cold construction does) so a saved artifact covers them
+        // and a later loader can't re-mint colliding names.
+        fresh_base: fresh_watermark(),
         profile_dispatch: false,
         dispatch_counts: std::collections::HashMap::new(),
     };
@@ -1112,7 +1116,14 @@ impl ArtifactStore {
 }
 
 fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
-    let tmp = path.with_extension(format!("tmp{}", std::process::id()));
+    // The temp name carries a process-wide counter on top of the pid:
+    // concurrent saves of the same key from different threads (the
+    // conformance runner shares one store across workers) must not
+    // share a temp file, or interleaved writes could rename a torn
+    // artifact into place.
+    static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let seq = SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let tmp = path.with_extension(format!("tmp{}.{seq}", std::process::id()));
     std::fs::write(&tmp, bytes)?;
     std::fs::rename(&tmp, path)
 }

@@ -217,6 +217,76 @@ fn wrong_configuration_never_rehydrates() {
 }
 
 #[test]
+fn incremental_rebuild_artifact_covers_rebuild_minted_gensyms() {
+    let decls = Declarations::default();
+    // A rule-typed implicit with a non-empty context: elaborating its
+    // rule abstraction mints a fresh `ev%N` context binder every time
+    // it is (re-)elaborated, so rebuilds advance the fresh counter.
+    let with_rule_implicit = |root: i64| {
+        let mut p = lets_chain(4, root, 1);
+        let rho = implicit_core::syntax::RuleType::new(
+            Vec::new(),
+            vec![Type::Bool.promote()],
+            Type::prod(Type::Bool, Type::Int),
+        );
+        p.implicits.push((
+            Expr::rule_abs(
+                rho.clone(),
+                Expr::pair(Expr::query_simple(Type::Bool), Expr::var("x3")),
+            ),
+            rho,
+        ));
+        p
+    };
+    let prelude = with_rule_implicit(10);
+    let policy = ResolutionPolicy::paper();
+    let dir = tmpdir("watermark");
+    let store = ArtifactStore::new(&dir).unwrap();
+    let (first, outcome) = artifact::load_or_build(
+        &store,
+        &decls,
+        &policy,
+        &prelude,
+        true,
+        false,
+        Isa::Register,
+    )
+    .unwrap();
+    assert!(matches!(outcome, LoadOutcome::Cold));
+    drop(first);
+    let key = artifact_key(&decls, &prelude, &policy, true, false, Isa::Register);
+    let old_wm = artifact::decode(&store.load(key).unwrap())
+        .unwrap()
+        .fresh_watermark;
+
+    // A root edit re-elaborates every binding, minting fresh `ev`
+    // gensyms above the seed artifact's watermark. The artifact saved
+    // from the rebuilt session must record a watermark covering them —
+    // a stale (equal) watermark would let a later process re-mint the
+    // same names as local binders and capture the deserialized
+    // prelude evidence they collide with.
+    let edited = with_rule_implicit(20);
+    let (mut sess, outcome) = artifact::load_or_build(
+        &store,
+        &decls,
+        &policy,
+        &edited,
+        true,
+        false,
+        Isa::Register,
+    )
+    .unwrap();
+    assert!(matches!(outcome, LoadOutcome::Incremental(_)), "got {outcome:?}");
+    let new_wm = artifact::decode(&sess.to_artifact()).unwrap().fresh_watermark;
+    assert!(
+        new_wm > old_wm,
+        "rebuilt artifact watermark ({new_wm}) must advance past the seed's ({old_wm}) \
+         to cover gensyms minted during re-elaboration"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn incremental_rebuild_invalidates_exactly_the_dependency_cone() {
     let decls = Declarations::default();
     let n = 6;

@@ -29,7 +29,7 @@ use std::rc::Rc;
 
 use implicit_core::symbol::Symbol;
 use implicit_core::syntax::TyCon;
-use implicit_core::wire::{Dec, Enc, WireError};
+use implicit_core::wire::{cap, Dec, Enc, WireError};
 
 use crate::compile::{CapSrc, CodeParts, FuncCode, FuncKind, Instr, Isa, MatchArmCode, MatchTable};
 use crate::eval::{Binding, Env, EnvNode, Value};
@@ -896,7 +896,7 @@ impl<'a, 'b> SfDec<'a, 'b> {
             8 => {
                 let name = self.d.sym()?;
                 let n = self.d.len()?;
-                let mut args = Vec::with_capacity(n);
+                let mut args = Vec::with_capacity(cap(n));
                 for _ in 0..n {
                     args.push(self.ftype()?);
                 }
@@ -905,7 +905,7 @@ impl<'a, 'b> SfDec<'a, 'b> {
             9 => {
                 let f = self.d.sym()?;
                 let n = self.d.len()?;
-                let mut args = Vec::with_capacity(n);
+                let mut args = Vec::with_capacity(cap(n));
                 for _ in 0..n {
                     args.push(self.ftype()?);
                 }
@@ -1013,12 +1013,12 @@ impl<'a, 'b> SfDec<'a, 'b> {
             19 => {
                 let name = self.d.sym()?;
                 let nt = self.d.len()?;
-                let mut tys = Vec::with_capacity(nt);
+                let mut tys = Vec::with_capacity(cap(nt));
                 for _ in 0..nt {
                     tys.push(self.ftype()?);
                 }
                 let nf = self.d.len()?;
-                let mut fields = Vec::with_capacity(nf);
+                let mut fields = Vec::with_capacity(cap(nf));
                 for _ in 0..nf {
                     let f = self.d.sym()?;
                     fields.push((f, self.fexpr()?));
@@ -1032,12 +1032,12 @@ impl<'a, 'b> SfDec<'a, 'b> {
             21 => {
                 let ctor = self.d.sym()?;
                 let nt = self.d.len()?;
-                let mut tys = Vec::with_capacity(nt);
+                let mut tys = Vec::with_capacity(cap(nt));
                 for _ in 0..nt {
                     tys.push(self.ftype()?);
                 }
                 let na = self.d.len()?;
-                let mut args = Vec::with_capacity(na);
+                let mut args = Vec::with_capacity(cap(na));
                 for _ in 0..na {
                     args.push(self.fexpr()?);
                 }
@@ -1046,11 +1046,11 @@ impl<'a, 'b> SfDec<'a, 'b> {
             22 => {
                 let scrut = self.fexpr_rc()?;
                 let n = self.d.len()?;
-                let mut arms = Vec::with_capacity(n);
+                let mut arms = Vec::with_capacity(cap(n));
                 for _ in 0..n {
                     let ctor = self.d.sym()?;
                     let nb = self.d.len()?;
-                    let mut binders = Vec::with_capacity(nb);
+                    let mut binders = Vec::with_capacity(cap(nb));
                     for _ in 0..nb {
                         binders.push(self.d.sym()?);
                     }
@@ -1298,7 +1298,20 @@ impl<'a, 'b> SfDec<'a, 'b> {
         }
         // VM closures decoded after this point must reference one of
         // these functions.
-        self.func_limit = Some(u32::try_from(funcs.len()).unwrap_or(u32::MAX));
+        let limit = u32::try_from(funcs.len()).unwrap_or(u32::MAX);
+        self.func_limit = Some(limit);
+        // The constant pool decodes before the function table, so its
+        // closures bypassed the inline bounds check in `vmclosure`;
+        // the memo table holds every closure decoded so far (however
+        // deeply nested), so sweep it now that the limit is known.
+        for c in &self.vmclosures {
+            if c.func >= limit {
+                return err(format!(
+                    "const-pool vm closure func {} out of range (< {limit})",
+                    c.func
+                ));
+            }
+        }
         Ok(CodeParts {
             isa,
             funcs,
