@@ -1,7 +1,8 @@
 //! Machine-readable bench artifact: `BENCH_vm.json` at the
 //! repository root, one section per measurement table (`b13` from
 //! `batch_table`, `b14` from `vm_table`, `b15` from `wild_table`,
-//! `b16` from `restart_table`). Each section is an array of
+//! `b16` from `restart_table`, `b17` from `daemon_table`). Each
+//! section is an array of
 //! `{series, workers, cpus, ms, speedup, checksum}` rows, so the perf
 //! trajectory is diffable across PRs and CI can upload a single
 //! superset artifact.
@@ -23,7 +24,7 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 
 /// Every section a `BENCH_vm.json` may contain, in file order.
-const SECTIONS: [&str; 4] = ["b13", "b14", "b15", "b16"];
+const SECTIONS: [&str; 5] = ["b13", "b14", "b15", "b16", "b17"];
 
 /// The parallelism the host actually offers, with 1 as the
 /// conservative fallback when the query fails (cgroup-restricted

@@ -1,0 +1,190 @@
+//! The B17 daemon-service table, measured directly (not via
+//! Criterion) so a single release run prints the exact markdown
+//! recorded in `EXPERIMENTS.md` §13:
+//!
+//! ```text
+//! cargo test -p implicit-bench --release --test daemon_table -- --ignored --nocapture
+//! ```
+//!
+//! One in-process `implicitd` serves a chain-prelude tenant; the legs
+//! measure what residency is worth end-to-end (framing, socket, and
+//! admission queue included in every number):
+//!
+//! - **cold-per-request** — every request opens a fresh tenant
+//!   (prelude recompiled from source), evaluates, and closes: the
+//!   no-daemon baseline a CLI invocation pays;
+//! - **warm resident, 1 client** — one tenant compiled once, then
+//!   sequential requests against the warm session;
+//! - **warm resident, soak concurrency** — the same tenant under
+//!   concurrent clients, client-side per-request latencies recorded
+//!   for p50/p99.
+//!
+//! Acceptance bars pin the daemon's reason to exist: warm resident
+//! throughput must be ≥ 3x cold-per-request (the tenant genuinely
+//! amortizes the prelude), and at soak concurrency p99 must stay
+//! ≤ 5x p50 (the admission queue bounds latency spread rather than
+//! letting stragglers pile up).
+//!
+//! Also writes the `b17` section of the repo-root `BENCH_vm.json`
+//! artifact for CI upload.
+
+use std::time::Instant;
+
+use implicit_bench::report::{detected_parallelism, write_section, BenchRow};
+use implicit_pipeline::service::{prelude_source, Client, Daemon, DaemonConfig};
+use implicit_pipeline::{Backend, Prelude};
+
+const DEPTH: usize = 12;
+const COLD_REQUESTS: usize = 24;
+const WARM_REQUESTS: usize = 600;
+const SOAK_CLIENTS: usize = 4;
+const QUERY: &str = "?(Int * Int)";
+
+/// Per-request work for the warm legs: evaluate the chain query and
+/// fold the reply into a checksum so the measurement cannot be
+/// optimized into not reading responses.
+fn checked_eval(client: &mut Client, tenant: &str) -> u64 {
+    let (value, ty) = client.eval(tenant, QUERY).expect("warm eval");
+    (value.len() + ty.len()) as u64
+}
+
+#[test]
+#[ignore = "B17 measurement; run in release with --ignored --nocapture"]
+fn daemon_table() {
+    let cpus = detected_parallelism();
+    let d = Daemon::start(DaemonConfig {
+        max_tenants: SOAK_CLIENTS + 2,
+        ..DaemonConfig::default()
+    })
+    .expect("daemon starts");
+    let addr = d.addr();
+    let prelude = prelude_source(&Prelude::chain(DEPTH));
+
+    // --- Cold-per-request: open + eval + close, every time. -------
+    let mut c = Client::connect(addr).unwrap();
+    let mut cold_checksum = 0u64;
+    let t0 = Instant::now();
+    for i in 0..COLD_REQUESTS {
+        let tenant = format!("cold-{i}");
+        c.open_prelude(&tenant, &prelude, Backend::Vm).unwrap();
+        cold_checksum += checked_eval(&mut c, &tenant);
+        c.close(&tenant).unwrap();
+    }
+    let cold_s = t0.elapsed().as_secs_f64();
+    let cold_rps = COLD_REQUESTS as f64 / cold_s;
+
+    // --- Warm resident, 1 client. ---------------------------------
+    c.open_prelude("warm", &prelude, Backend::Vm).unwrap();
+    let mut warm_checksum = checked_eval(&mut c, "warm"); // warmup
+    let t0 = Instant::now();
+    for _ in 0..WARM_REQUESTS {
+        warm_checksum += checked_eval(&mut c, "warm");
+    }
+    let warm_s = t0.elapsed().as_secs_f64();
+    let warm_rps = WARM_REQUESTS as f64 / warm_s;
+
+    // --- Warm resident under soak concurrency. --------------------
+    let t0 = Instant::now();
+    let mut latencies_us: Vec<u64> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..SOAK_CLIENTS)
+            .map(|_| {
+                s.spawn(move || {
+                    let mut client = Client::connect(addr).expect("soak client");
+                    let mut lat = Vec::with_capacity(WARM_REQUESTS / SOAK_CLIENTS);
+                    let mut sum = 0u64;
+                    for _ in 0..WARM_REQUESTS / SOAK_CLIENTS {
+                        let t = Instant::now();
+                        sum += checked_eval(&mut client, "warm");
+                        lat.push(t.elapsed().as_micros() as u64);
+                    }
+                    (lat, sum)
+                })
+            })
+            .collect();
+        let mut all = Vec::new();
+        for h in handles {
+            let (lat, sum) = h.join().unwrap();
+            all.extend(lat);
+            warm_checksum += sum;
+        }
+        all
+    });
+    let soak_s = t0.elapsed().as_secs_f64();
+    let soak_total = latencies_us.len();
+    let soak_rps = soak_total as f64 / soak_s;
+    latencies_us.sort_unstable();
+    let p50 = latencies_us[soak_total / 2];
+    let p99 = latencies_us[(soak_total * 99 / 100).min(soak_total - 1)];
+
+    // Every leg computed the same per-request answer.
+    let per_request = cold_checksum / COLD_REQUESTS as u64;
+    assert_eq!(
+        warm_checksum % per_request,
+        0,
+        "legs disagreed on the reply"
+    );
+
+    println!();
+    println!(
+        "B17: chain depth {DEPTH}, query `{QUERY}`, {COLD_REQUESTS} cold / \
+         {WARM_REQUESTS} warm requests, soak {SOAK_CLIENTS} clients ({cpus} CPUs)"
+    );
+    println!();
+    println!("| series | clients | req/s | p50 | p99 |");
+    println!("|---|---|---|---|---|");
+    println!(
+        "| cold-per-request | 1 | {cold_rps:.0} | {:.1} ms | — |",
+        cold_s / COLD_REQUESTS as f64 * 1e3
+    );
+    println!(
+        "| warm resident | 1 | {warm_rps:.0} | {:.3} ms | — |",
+        warm_s / WARM_REQUESTS as f64 * 1e3
+    );
+    println!(
+        "| warm resident | {SOAK_CLIENTS} | {soak_rps:.0} | {:.3} ms | {:.3} ms |",
+        p50 as f64 / 1e3,
+        p99 as f64 / 1e3
+    );
+    println!();
+
+    let rows = vec![
+        BenchRow::single(
+            "daemon cold-per-request",
+            cold_s / COLD_REQUESTS as f64 * 1e3,
+            1.0,
+            cold_checksum,
+        ),
+        BenchRow::single(
+            "daemon warm resident",
+            warm_s / WARM_REQUESTS as f64 * 1e3,
+            warm_rps / cold_rps,
+            per_request,
+        ),
+        BenchRow {
+            series: String::from("daemon warm soak p99"),
+            workers: SOAK_CLIENTS,
+            cpus,
+            ms: p99 as f64 / 1e3,
+            speedup: soak_rps / cold_rps,
+            checksum: p50, // p50 rides along in the checksum slot
+        },
+    ];
+    let path = write_section("b17", &rows);
+    println!("wrote {}", path.display());
+    println!();
+
+    // Acceptance bars.
+    assert!(
+        warm_rps >= 3.0 * cold_rps,
+        "warm resident is only {:.2}x cold-per-request throughput — below the 3x bar \
+         (warm {warm_rps:.0} req/s vs cold {cold_rps:.0} req/s)",
+        warm_rps / cold_rps
+    );
+    assert!(
+        p99 <= 5 * p50.max(1),
+        "p99 {p99} µs is more than 5x p50 {p50} µs at {SOAK_CLIENTS}-client soak — \
+         the admission queue is not bounding latency spread"
+    );
+
+    drop(d);
+}

@@ -30,6 +30,11 @@ OPTIONS:
                            (exercises the cross-process warm-start
                            path; without it the leg round-trips the
                            artifact in memory)
+    --daemon               seventh oracle leg: start an in-process
+                           implicitd, open one tenant per shard, and
+                           serve every round-trippable program over
+                           the framed wire protocol, comparing against
+                           the in-process warm session
     --replay FILE          re-run the oracle on a corpus .imp file
     --help                 show this help
 ";
@@ -43,6 +48,7 @@ struct Cli {
     fail_on_divergence: bool,
     wild: bool,
     cache_dir: Option<PathBuf>,
+    daemon: bool,
     replay: Option<PathBuf>,
 }
 
@@ -56,6 +62,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         fail_on_divergence: false,
         wild: false,
         cache_dir: None,
+        daemon: false,
         replay: None,
     };
     let mut it = args.iter();
@@ -90,6 +97,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             "--fail-on-divergence" => cli.fail_on_divergence = true,
             "--wild" => cli.wild = true,
             "--cache-dir" => cli.cache_dir = Some(PathBuf::from(value("--cache-dir")?)),
+            "--daemon" => cli.daemon = true,
             "--replay" => cli.replay = Some(PathBuf::from(value("--replay")?)),
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown argument `{other}`")),
@@ -133,6 +141,7 @@ fn main() -> ExitCode {
         gen: genprog::GenConfig::default(),
         wild: cli.wild,
         cache_dir: cli.cache_dir.clone(),
+        daemon: cli.daemon,
     };
     let report = match run(&config) {
         Ok(r) => r,

@@ -81,6 +81,10 @@ pub enum DivergenceKind {
     /// ([`implicit_pipeline::Session::from_artifact`]) disagreed with
     /// the same-process warm session on a program.
     RestartMismatch,
+    /// An `implicitd` tenant serving the program over the wire
+    /// ([`implicit_pipeline::service`]) disagreed with the in-process
+    /// warm session.
+    DaemonMismatch,
 }
 
 impl DivergenceKind {
@@ -101,6 +105,7 @@ impl DivergenceKind {
             DivergenceKind::VmMismatch => "vm_mismatch",
             DivergenceKind::SubtypingMismatch => "subtyping_mismatch",
             DivergenceKind::RestartMismatch => "restart_mismatch",
+            DivergenceKind::DaemonMismatch => "daemon_mismatch",
         }
     }
 }
@@ -496,6 +501,87 @@ pub fn run_restart_oracle(
                     "warm opsem {} vs restarted {}",
                     if w.is_ok() { "succeeded" } else { "failed" },
                     if r.is_ok() { "succeeded" } else { "failed" }
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Renders a warm-session error the way the daemon would frame it
+/// (`kind: detail`, see `run_error_json` in
+/// [`implicit_pipeline::service`]), so the daemon leg can compare
+/// error outcomes string-to-string.
+fn daemon_err_string(e: &implicit_elab::RunError) -> String {
+    use implicit_elab::RunError;
+    let kind = match e {
+        RunError::Elab(_) => "elab_error",
+        RunError::PreservationViolated(_) => "preservation_violated",
+        RunError::Eval(_) => "eval_error",
+    };
+    format!("{kind}: {e}")
+}
+
+/// The daemon-service leg: an `implicitd` tenant — same declarations
+/// and prelude as the warm session, but living behind the framed JSON
+/// protocol on its own thread — must agree with the in-process warm
+/// session on every program it can be asked about.
+///
+/// The daemon serves *source text*, so the leg only fires when the
+/// pretty-printed program parses back to the identical AST (the same
+/// replayability bar the shrinker applies); programs that don't
+/// round-trip are skipped, not failed.
+///
+/// # Errors
+///
+/// Returns a [`DivergenceKind::DaemonMismatch`] divergence on any
+/// disagreement — including transport-level failures, which should
+/// never happen on a healthy daemon.
+pub fn run_daemon_oracle(
+    client: &mut implicit_pipeline::service::Client,
+    tenant: &str,
+    warm: &mut implicit_pipeline::Session<'_>,
+    expr: &Expr,
+) -> Result<(), Divergence> {
+    let printed = expr.to_string();
+    let roundtrips = implicit_core::parse::parse_expr(&printed)
+        .map(|p| &p == expr)
+        .unwrap_or(false);
+    if !roundtrips {
+        return Ok(());
+    }
+    let w = warm.run(expr);
+    let d = client.eval(tenant, &printed);
+    match (&w, &d) {
+        (Ok(w), Ok((value, ty))) => {
+            if w.value.to_string() != *value || w.source_type.to_string() != *ty {
+                return Err(Divergence::new(
+                    DivergenceKind::DaemonMismatch,
+                    format!(
+                        "warm `{} : {}` vs daemon `{value} : {ty}`",
+                        w.value, w.source_type
+                    ),
+                ));
+            }
+        }
+        (Err(we), Err(de)) => {
+            if normalize(&daemon_err_string(we)) != normalize(de) {
+                return Err(Divergence::new(
+                    DivergenceKind::DaemonMismatch,
+                    format!("warm error `{we}` vs daemon `{de}`"),
+                ));
+            }
+        }
+        (w, d) => {
+            return Err(Divergence::new(
+                DivergenceKind::DaemonMismatch,
+                format!(
+                    "warm {} vs daemon {}",
+                    if w.is_ok() { "succeeded" } else { "failed" },
+                    match d {
+                        Ok(_) => "succeeded".to_owned(),
+                        Err(e) => format!("failed (`{e}`)"),
+                    }
                 ),
             ));
         }

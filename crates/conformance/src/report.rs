@@ -3,102 +3,19 @@
 //! The harness emits a single JSON document per sweep: per-shard
 //! throughput (so future perf PRs can regress-check programs/sec),
 //! the generator coverage histogram, and every divergence with its
-//! minimized reproducer. The encoder is a ~60-line hand-rolled JSON
-//! writer — the build environment has no registry access, and the
-//! report shape is small and fixed.
-
-use std::fmt::Write as _;
+//! minimized reproducer. The encoder is the hand-rolled JSON value
+//! from [`implicit_pipeline::service`] (re-exported here as [`Json`])
+//! — the daemon wire protocol and this report share one
+//! implementation, so a report value can be framed to `implicitd`
+//! verbatim and vice versa. The build environment has no registry
+//! access, and both shapes are small and fixed.
 
 use implicit_core::trace::MetricsRegistry;
 
-/// A JSON value (the subset the report needs).
-#[derive(Clone, Debug)]
-pub enum Json {
-    /// `null`
-    Null,
-    /// `true` / `false`
-    Bool(bool),
-    /// An integer (all report counters are unsigned or small).
-    Int(i64),
-    /// A float, rendered with limited precision.
-    Num(f64),
-    /// A string, escaped on render.
-    Str(String),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object with insertion-ordered keys.
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// Convenience constructor for object fields.
-    pub fn obj(fields: Vec<(&str, Json)>) -> Json {
-        Json::Obj(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
-    }
-
-    /// Renders the value as compact JSON.
-    pub fn render(&self) -> String {
-        let mut out = String::new();
-        self.render_into(&mut out);
-        out
-    }
-
-    fn render_into(&self, out: &mut String) {
-        match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Json::Int(n) => {
-                let _ = write!(out, "{n}");
-            }
-            Json::Num(x) => {
-                if x.is_finite() {
-                    let _ = write!(out, "{x:.3}");
-                } else {
-                    out.push_str("null");
-                }
-            }
-            Json::Str(s) => {
-                out.push('"');
-                for c in s.chars() {
-                    match c {
-                        '"' => out.push_str("\\\""),
-                        '\\' => out.push_str("\\\\"),
-                        '\n' => out.push_str("\\n"),
-                        '\r' => out.push_str("\\r"),
-                        '\t' => out.push_str("\\t"),
-                        c if (c as u32) < 0x20 => {
-                            let _ = write!(out, "\\u{:04x}", c as u32);
-                        }
-                        c => out.push(c),
-                    }
-                }
-                out.push('"');
-            }
-            Json::Arr(items) => {
-                out.push('[');
-                for (i, item) in items.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    item.render_into(out);
-                }
-                out.push(']');
-            }
-            Json::Obj(fields) => {
-                out.push('{');
-                for (i, (k, v)) in fields.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    Json::Str(k.clone()).render_into(out);
-                    out.push(':');
-                    v.render_into(out);
-                }
-                out.push('}');
-            }
-        }
-    }
-}
+/// The report's JSON value — the daemon protocol's encoder/decoder
+/// ([`implicit_pipeline::service::Json`]), re-exported so existing
+/// `conformance::report::Json` users keep compiling.
+pub use implicit_pipeline::service::Json;
 
 /// Wall time spent inside each oracle leg, accumulated per shard in
 /// microseconds (reported in milliseconds), so the cost of every leg
@@ -119,6 +36,10 @@ pub struct LegTimings {
     pub restart_us: u64,
     /// The wild-mode oracle (wild sweeps only).
     pub wild_us: u64,
+    /// The daemon oracle: an `implicitd` tenant served over the wire
+    /// must agree with the in-process warm session (daemon sweeps
+    /// only).
+    pub daemon_us: u64,
 }
 
 impl LegTimings {
@@ -130,10 +51,11 @@ impl LegTimings {
         self.subtyping_us += other.subtyping_us;
         self.restart_us += other.restart_us;
         self.wild_us += other.wild_us;
+        self.daemon_us += other.daemon_us;
     }
 
     /// `(leg name, accumulated microseconds)` pairs in report order.
-    pub fn as_pairs(&self) -> [(&'static str, u64); 6] {
+    pub fn as_pairs(&self) -> [(&'static str, u64); 7] {
         [
             ("program", self.program_us),
             ("session", self.session_us),
@@ -141,6 +63,7 @@ impl LegTimings {
             ("subtyping", self.subtyping_us),
             ("restart", self.restart_us),
             ("wild", self.wild_us),
+            ("daemon", self.daemon_us),
         ]
     }
 
@@ -413,6 +336,7 @@ mod tests {
                         subtyping_us: 2_000,
                         restart_us: 1_000,
                         wild_us: 0,
+                        daemon_us: 400,
                     },
                 },
                 ShardReport {
@@ -435,6 +359,7 @@ mod tests {
                         subtyping_us: 2_500,
                         restart_us: 1_500,
                         wild_us: 0,
+                        daemon_us: 600,
                     },
                 },
             ],
@@ -457,9 +382,11 @@ mod tests {
         assert_eq!(total.program_us, 62_500);
         assert_eq!(total.subtyping_us, 4_500);
         assert_eq!(total.restart_us, 2_500);
+        assert_eq!(total.daemon_us, 1_000);
         assert!(json.contains("\"subtyping_ms\":4.500"), "got {json}");
         assert!(json.contains("\"restart_ms\":2.500"), "got {json}");
         assert!(json.contains("\"program_ms\":62.500"), "got {json}");
         assert!(json.contains("\"wild_ms\":0.000"), "got {json}");
+        assert!(json.contains("\"daemon_ms\":1.000"), "got {json}");
     }
 }

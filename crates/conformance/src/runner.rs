@@ -26,8 +26,8 @@ use implicit_core::trace::{MetricsSink, SharedSink};
 use implicit_pipeline::{run_batch_scoped, Prelude, Session};
 
 use crate::oracle::{
-    run_program_oracle, run_resolution_oracle, run_restart_oracle, run_session_oracle,
-    run_subtyping_oracle, run_wild_oracle, Divergence, DivergenceKind,
+    run_daemon_oracle, run_program_oracle, run_resolution_oracle, run_restart_oracle,
+    run_session_oracle, run_subtyping_oracle, run_wild_oracle, Divergence, DivergenceKind,
 };
 use crate::report::{DivergenceRecord, LegTimings, RunReport, ShardReport};
 use crate::shrink::{node_count, shrink};
@@ -64,6 +64,13 @@ pub struct RunnerConfig {
     /// ([`implicit_pipeline::artifact`]) instead of serializing in
     /// memory, so the sweep also exercises the cross-process path.
     pub cache_dir: Option<PathBuf>,
+    /// Daemon leg: when set, the sweep starts one in-process
+    /// `implicitd` ([`implicit_pipeline::service::Daemon`]), each
+    /// shard opens its own tenant over the same prelude recipe, and
+    /// every seed's program is additionally served over the wire and
+    /// compared against the warm session
+    /// ([`crate::oracle::run_daemon_oracle`]).
+    pub daemon: bool,
 }
 
 impl Default for RunnerConfig {
@@ -76,6 +83,7 @@ impl Default for RunnerConfig {
             gen: GenConfig::default(),
             wild: false,
             cache_dir: None,
+            daemon: false,
         }
     }
 }
@@ -121,6 +129,7 @@ fn run_seed(
     decls: &Declarations,
     session: &mut Session<'_>,
     restarted: &mut Session<'_>,
+    daemon: Option<&mut (implicit_pipeline::service::Client, String)>,
     prelude: &Prelude,
     gen: &GenConfig,
     seed: u64,
@@ -162,6 +171,17 @@ fn run_seed(
         divergence = Some(by_seed_record(d, seed, shard));
     } else if let Err(d) = timed(&mut timings.subtyping_us, run_subtyping_oracle_seed(seed)) {
         divergence = Some(by_seed_record(d, seed, shard));
+    }
+    // Seventh leg: the same program served by the resident daemon
+    // over the wire (daemon sweeps only).
+    if divergence.is_none() {
+        if let Some((client, tenant)) = daemon {
+            if let Err(d) = timed(&mut timings.daemon_us, || {
+                run_daemon_oracle(client, tenant, session, &program.expr)
+            }) {
+                divergence = Some(session_record(d));
+            }
+        }
     }
 
     SeedOutcome {
@@ -255,6 +275,25 @@ pub fn run(config: &RunnerConfig) -> std::io::Result<RunReport> {
     let hi = config.seed_hi.max(lo);
     let wall = Instant::now();
 
+    // One resident daemon for the whole sweep: every shard opens its
+    // own tenant (sessions are thread-confined daemon-side too), so
+    // the wire, admission queue, and per-tenant rollback paths all
+    // run under the same multi-shard load as the sweep itself.
+    let daemon = if config.daemon {
+        let daemon =
+            implicit_pipeline::service::Daemon::start(implicit_pipeline::service::DaemonConfig {
+                addr: "127.0.0.1:0".to_owned(),
+                max_tenants: shards.max(1),
+                cache_dir: config.cache_dir.clone(),
+                decls: std::sync::Arc::new(genprog::data_prelude),
+                ..implicit_pipeline::service::DaemonConfig::default()
+            })?;
+        Some(daemon)
+    } else {
+        None
+    };
+    let daemon_addr = daemon.as_ref().map(|d| d.addr());
+
     let gen = &config.gen;
     let seeds: Vec<u64> = (lo..hi).collect();
     let outcomes: Vec<ShardOutcome> = run_batch_scoped(seeds, shards, |shard, source| {
@@ -312,6 +351,21 @@ pub fn run(config: &RunnerConfig) -> std::io::Result<RunReport> {
         let mut divergences = Vec::new();
         let mut seeds = 0u64;
         let mut timings = LegTimings::default();
+        // The shard's daemon tenant: same decls + prelude recipe as
+        // the warm session, but compiled daemon-side behind the wire.
+        let mut daemon_tenant = daemon_addr.map(|addr| {
+            let mut client = implicit_pipeline::service::Client::connect(addr)
+                .expect("sweep daemon is reachable");
+            let tenant = format!("sweep-shard-{shard}");
+            client
+                .open_prelude(
+                    &tenant,
+                    &implicit_pipeline::service::prelude_source(&session_prelude()),
+                    implicit_pipeline::Backend::Vm,
+                )
+                .expect("sweep daemon tenant opens");
+            (client, tenant)
+        });
         for (_, seed) in source.by_ref() {
             let out = if config.wild {
                 run_seed_wild(seed, shard, &mut timings)
@@ -320,6 +374,7 @@ pub fn run(config: &RunnerConfig) -> std::io::Result<RunReport> {
                     &decls,
                     &mut session,
                     &mut restarted,
+                    daemon_tenant.as_mut(),
                     &prelude,
                     gen,
                     seed,
@@ -330,6 +385,11 @@ pub fn run(config: &RunnerConfig) -> std::io::Result<RunReport> {
             counters.merge(&out.counters);
             divergences.extend(out.divergence);
             seeds += 1;
+        }
+        if let Some((mut client, tenant)) = daemon_tenant.take() {
+            // Flushes the tenant's warmed artifact to the store (when
+            // the daemon has one) and frees its slot.
+            let _ = client.close(&tenant);
         }
         let warm = session.cache_counters();
         let metrics = session.metrics();
@@ -349,6 +409,10 @@ pub fn run(config: &RunnerConfig) -> std::io::Result<RunReport> {
             divergences,
         }
     });
+
+    if let Some(mut d) = daemon {
+        d.shutdown();
+    }
 
     let wall_ms = wall.elapsed().as_millis() as u64;
     let mut counters = GenCounters::default();
@@ -418,6 +482,7 @@ mod tests {
             gen: GenConfig::default(),
             wild: false,
             cache_dir: None,
+            daemon: false,
         };
         let r1 = run(&config).unwrap();
         assert_eq!(r1.total_programs(), 120);
@@ -448,6 +513,7 @@ mod tests {
             gen: GenConfig::default(),
             wild: false,
             cache_dir: None,
+            daemon: false,
         };
         let r = run(&config).unwrap();
         let total: u64 = r.shard_reports.iter().map(|s| s.seeds).sum();
@@ -483,6 +549,7 @@ mod tests {
             gen: GenConfig::default(),
             wild: false,
             cache_dir: Some(dir.clone()),
+            daemon: false,
         };
         let r = run(&config).unwrap();
         assert!(
@@ -501,6 +568,40 @@ mod tests {
     }
 
     #[test]
+    fn daemon_sweep_runs_the_seventh_leg_divergence_free() {
+        let config = RunnerConfig {
+            seed_lo: 0,
+            seed_hi: 60,
+            shards: 2,
+            corpus_dir: None,
+            gen: GenConfig::default(),
+            wild: false,
+            cache_dir: None,
+            daemon: true,
+        };
+        let r = run(&config).unwrap();
+        assert!(
+            r.divergences.is_empty(),
+            "daemon-leg divergences: {:?}",
+            r.divergences
+                .iter()
+                .map(|d| format!("{}: {}", d.id, d.detail))
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(r.total_programs(), 60);
+        // The wire leg actually ran and its cost is reported.
+        let t = r.total_leg_timings();
+        assert!(t.daemon_us > 0, "daemon leg never ran: {t:?}");
+        // A daemon-less sweep reports zero daemon time.
+        let r2 = run(&RunnerConfig {
+            daemon: false,
+            ..config
+        })
+        .unwrap();
+        assert_eq!(r2.total_leg_timings().daemon_us, 0);
+    }
+
+    #[test]
     fn wild_sweep_is_divergence_free_with_production_coverage() {
         let config = RunnerConfig {
             seed_lo: 0,
@@ -510,6 +611,7 @@ mod tests {
             gen: GenConfig::default(),
             wild: true,
             cache_dir: None,
+            daemon: false,
         };
         let r = run(&config).unwrap();
         assert!(

